@@ -1,0 +1,313 @@
+//! The base Aegis error-recovery scheme (paper §2.2).
+
+use crate::cost::ceil_log2;
+use crate::rom::InversionRom;
+use crate::Rectangle;
+use bitblock::BitBlock;
+use pcm_sim::codec::{StuckAtCodec, WriteReport};
+use pcm_sim::{PcmBlock, UncorrectableError};
+
+/// The base Aegis codec: slope counter + `B`-bit inversion vector, no fault
+/// knowledge.
+///
+/// Per-block metadata is `⌈log₂B⌉ + B` bits. The write algorithm is the
+/// paper's: write, verification-read, derive the group of every
+/// wrong-reading bit; if two wrong bits share a group (or a wrong bit
+/// appears in a group already inverted this round) that is a *collision* —
+/// increment the slope counter and start over; otherwise invert the groups
+/// holding wrong bits and verify again.
+///
+/// # Examples
+///
+/// ```
+/// use aegis_core::{AegisCodec, Rectangle};
+/// use bitblock::BitBlock;
+/// use pcm_sim::codec::StuckAtCodec;
+/// use pcm_sim::PcmBlock;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut codec = AegisCodec::new(Rectangle::new(17, 31, 512)?);
+/// let mut block = PcmBlock::pristine(512);
+/// block.force_stuck(10, true);
+/// block.force_stuck(20, false);
+///
+/// let data = BitBlock::zeros(512); // bit 10 wants 0 but is stuck at 1
+/// codec.write(&mut block, &data)?;
+/// assert_eq!(codec.read(&block), data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AegisCodec {
+    rect: Rectangle,
+    rom: InversionRom,
+    slope: usize,
+    inversion: BitBlock,
+}
+
+impl AegisCodec {
+    /// Creates the codec for one data block laid out on `rect`.
+    #[must_use]
+    pub fn new(rect: Rectangle) -> Self {
+        let rom = InversionRom::new(&rect);
+        let inversion = BitBlock::zeros(rect.groups());
+        Self {
+            rect,
+            rom,
+            slope: 0,
+            inversion,
+        }
+    }
+
+    /// The partition scheme in use.
+    #[must_use]
+    pub fn rect(&self) -> &Rectangle {
+        &self.rect
+    }
+
+    /// Current slope-counter value.
+    #[must_use]
+    pub fn slope(&self) -> usize {
+        self.slope
+    }
+
+    /// Current inversion vector (bit `y` set ⇔ group `y` stored inverted).
+    #[must_use]
+    pub fn inversion_vector(&self) -> &BitBlock {
+        &self.inversion
+    }
+
+    /// One write attempt at a fixed slope: iteratively discovers wrong
+    /// groups and inverts them. Returns the final inversion vector on
+    /// success, or `None` upon a collision (caller advances the slope).
+    fn try_slope(
+        &self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+        slope: usize,
+        report: &mut WriteReport,
+    ) -> Option<BitBlock> {
+        let groups = self.rect.groups();
+        let mut inversion = BitBlock::zeros(groups);
+        for round in 0..=groups {
+            let target = data ^ &self.rom.inversion_mask(slope, &inversion);
+            report.cell_pulses += block.write_raw(&target);
+            if round > 0 {
+                report.inversion_writes += 1;
+            }
+            report.verify_reads += 1;
+            let wrong = block.verify(&target);
+            if wrong.is_empty() {
+                return Some(inversion);
+            }
+            let mut new_groups: Vec<usize> = Vec::with_capacity(wrong.len());
+            for offset in wrong {
+                let group = self.rect.group_of(offset, slope);
+                if inversion.get(group) || new_groups.contains(&group) {
+                    // Two faults of this write collide in one group.
+                    return None;
+                }
+                new_groups.push(group);
+            }
+            for group in new_groups {
+                inversion.set(group, true);
+            }
+        }
+        // Unreachable: each round sets at least one of B inversion bits.
+        None
+    }
+}
+
+impl StuckAtCodec for AegisCodec {
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] when every slope of the scheme exhibits a
+    /// fault collision for this data word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` or `block` width differs from the rectangle's block
+    /// width.
+    fn write(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError> {
+        assert_eq!(data.len(), self.rect.bits(), "data width mismatch");
+        assert_eq!(block.len(), self.rect.bits(), "block width mismatch");
+        let slopes = self.rect.slopes();
+        let mut report = WriteReport::default();
+        for attempt in 0..slopes {
+            let slope = (self.slope + attempt) % slopes;
+            if attempt > 0 {
+                report.repartitions += 1;
+            }
+            if let Some(inversion) = self.try_slope(block, data, slope, &mut report) {
+                self.slope = slope;
+                self.inversion = inversion;
+                return Ok(report);
+            }
+        }
+        Err(UncorrectableError::new(
+            self.name(),
+            block.fault_count(),
+            "every slope has a fault collision for this data",
+        ))
+    }
+
+    fn read(&self, block: &PcmBlock) -> BitBlock {
+        block.read_raw() ^ self.rom.inversion_mask(self.slope, &self.inversion)
+    }
+
+    fn overhead_bits(&self) -> usize {
+        ceil_log2(self.rect.slopes()) + self.rect.groups()
+    }
+
+    fn block_bits(&self) -> usize {
+        self.rect.bits()
+    }
+
+    fn name(&self) -> String {
+        format!("Aegis {}", self.rect.formation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_codec() -> AegisCodec {
+        AegisCodec::new(Rectangle::new(5, 7, 32).unwrap())
+    }
+
+    #[test]
+    fn clean_block_roundtrip() {
+        let mut codec = small_codec();
+        let mut block = PcmBlock::pristine(32);
+        let data = BitBlock::from_indices(32, [0usize, 13, 31]);
+        let report = codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert_eq!(report.repartitions, 0);
+        assert_eq!(report.inversion_writes, 0);
+    }
+
+    #[test]
+    fn single_w_fault_is_masked_by_inversion() {
+        let mut codec = small_codec();
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(6, true); // stuck at 1
+        let data = BitBlock::zeros(32); // wants 0 at offset 6 => W fault
+        let report = codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert!(report.inversion_writes >= 1);
+        // The group of offset 6 must be flagged.
+        let group = codec.rect().group_of(6, codec.slope());
+        assert!(codec.inversion_vector().get(group));
+    }
+
+    #[test]
+    fn r_fault_costs_nothing() {
+        let mut codec = small_codec();
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(6, true);
+        let data = BitBlock::from_indices(32, [6usize]); // wants 1 => R fault
+        let report = codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert_eq!(report.inversion_writes, 0);
+        assert_eq!(report.repartitions, 0);
+    }
+
+    #[test]
+    fn colliding_faults_force_repartition() {
+        let codec_probe = small_codec();
+        let rect = codec_probe.rect().clone();
+        // Two offsets sharing a group under slope 0 (row 0): 0 and 1.
+        assert_eq!(rect.group_of(0, 0), rect.group_of(1, 0));
+        let mut codec = small_codec();
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(0, true);
+        block.force_stuck(1, true);
+        let data = BitBlock::zeros(32); // both W faults
+        let report = codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert!(report.repartitions >= 1, "collision must trigger a re-partition");
+        assert_ne!(codec.slope(), 0);
+    }
+
+    #[test]
+    fn tolerates_hard_ftc_faults_for_any_data() {
+        // 5x7 rectangle: hard FTC = 3 (C(3,2)+1 = 4 <= 7).
+        use rand::RngExt;
+        let rect = Rectangle::new(5, 7, 32).unwrap();
+        assert_eq!(rect.hard_ftc(), 4); // C(4,2)+1 = 7 <= B = 7
+        let mut rng = SmallRng::seed_from_u64(20);
+        for trial in 0..50 {
+            let mut codec = AegisCodec::new(rect.clone());
+            let mut block = PcmBlock::pristine(32);
+            // Three random faults at distinct offsets.
+            let mut offsets = Vec::new();
+            while offsets.len() < 3 {
+                let o: usize = rng.random_range(0..32);
+                if !offsets.contains(&o) {
+                    offsets.push(o);
+                }
+            }
+            for &o in &offsets {
+                block.force_stuck(o, rng.random());
+            }
+            for _ in 0..8 {
+                let data = BitBlock::random(&mut rng, 32);
+                codec.write(&mut block, &data).unwrap_or_else(|e| {
+                    panic!("trial {trial}: hard-FTC fault set must be correctable: {e}")
+                });
+                assert_eq!(codec.read(&block), data);
+            }
+        }
+    }
+
+    #[test]
+    fn uncorrectable_when_all_slopes_collide() {
+        // Saturate a 2x3 rectangle (6 bits, 3 slopes) with faults so every
+        // slope collides for all-zeros data.
+        let rect = Rectangle::new(2, 3, 6).unwrap();
+        let mut codec = AegisCodec::new(rect);
+        let mut block = PcmBlock::pristine(6);
+        for offset in 0..6 {
+            block.force_stuck(offset, true);
+        }
+        let data = BitBlock::zeros(6); // all six faults are W
+        let err = codec.write(&mut block, &data).unwrap_err();
+        assert_eq!(err.faults(), 6);
+    }
+
+    #[test]
+    fn overhead_matches_paper_annotations() {
+        // Figure 5 annotates Aegis 9x61 with 67 bits = ceil(log2 61) + 61.
+        let codec = AegisCodec::new(Rectangle::new(9, 61, 512).unwrap());
+        assert_eq!(codec.overhead_bits(), 67);
+        let codec = AegisCodec::new(Rectangle::new(23, 23, 512).unwrap());
+        assert_eq!(codec.overhead_bits(), 28);
+        // "Aegis 12x23 spends only 28 bits" (256-bit blocks).
+        let codec = AegisCodec::new(Rectangle::new(12, 23, 256).unwrap());
+        assert_eq!(codec.overhead_bits(), 28);
+    }
+
+    #[test]
+    fn metadata_survives_across_writes() {
+        let mut codec = small_codec();
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(3, false);
+        for seed in 0..10u64 {
+            let data = BitBlock::random(&mut SmallRng::seed_from_u64(seed), 32);
+            codec.write(&mut block, &data).unwrap();
+            assert_eq!(codec.read(&block), data, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn name_reports_formation() {
+        assert_eq!(small_codec().name(), "Aegis 5x7");
+    }
+}

@@ -1,0 +1,316 @@
+//! Aegis-rw: the cache-assisted variant that distinguishes stuck-at-Wrong
+//! from stuck-at-Right faults (paper §2.4).
+
+use crate::cost::ceil_log2;
+use crate::rom::{CollisionRom, InversionRom};
+use crate::Rectangle;
+use bitblock::BitBlock;
+use pcm_sim::codec::{StuckAtCodec, WriteReport};
+use pcm_sim::{classify_split, Fault, PcmBlock, UncorrectableError};
+
+/// The Aegis-rw codec: with fault positions and stuck values known before a
+/// write, a group may hold arbitrarily many faults of the *same* type, and
+/// the slope is chosen directly — no trial re-partitions.
+///
+/// For each W–R fault pair the collision ROM yields the single slope on
+/// which they would share a group; any slope outside that set is
+/// collision-free. `f_W · f_R + 1` candidate slopes always suffice.
+///
+/// The [`StuckAtCodec`] impl obtains fault knowledge from the simulator's
+/// ground truth (the paper's "sufficiently large cache");
+/// [`write_with_known`](Self::write_with_known) accepts an explicit,
+/// possibly incomplete fault list to model bounded caches.
+///
+/// # Examples
+///
+/// ```
+/// use aegis_core::{AegisRwCodec, Rectangle};
+/// use bitblock::BitBlock;
+/// use pcm_sim::codec::StuckAtCodec;
+/// use pcm_sim::PcmBlock;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut codec = AegisRwCodec::new(Rectangle::new(17, 31, 512)?);
+/// let mut block = PcmBlock::pristine(512);
+/// // Two W faults in one group would kill base Aegis at this slope;
+/// // Aegis-rw inverts the whole group and needs no re-partition.
+/// block.force_stuck(0, true);
+/// block.force_stuck(1, true);
+/// let data = BitBlock::zeros(512);
+/// let report = codec.write(&mut block, &data)?;
+/// assert_eq!(codec.read(&block), data);
+/// assert_eq!(report.repartitions, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AegisRwCodec {
+    rect: Rectangle,
+    rom: InversionRom,
+    collisions: CollisionRom,
+    slope: usize,
+    inversion: BitBlock,
+}
+
+impl AegisRwCodec {
+    /// Creates the codec for one data block laid out on `rect`.
+    #[must_use]
+    pub fn new(rect: Rectangle) -> Self {
+        let rom = InversionRom::new(&rect);
+        let collisions = CollisionRom::new(&rect);
+        let inversion = BitBlock::zeros(rect.groups());
+        Self {
+            rect,
+            rom,
+            collisions,
+            slope: 0,
+            inversion,
+        }
+    }
+
+    /// The partition scheme in use.
+    #[must_use]
+    pub fn rect(&self) -> &Rectangle {
+        &self.rect
+    }
+
+    /// Current slope-counter value.
+    #[must_use]
+    pub fn slope(&self) -> usize {
+        self.slope
+    }
+
+    /// Smallest slope on which no W fault shares a group with an R fault,
+    /// or `None` if the W–R collision slopes cover every configuration.
+    fn choose_slope(&self, faults: &[Fault], wrong: &[bool]) -> Option<usize> {
+        let slopes = self.rect.slopes();
+        let mut bad = vec![false; slopes];
+        for (i, fi) in faults.iter().enumerate() {
+            for (j, fj) in faults.iter().enumerate().skip(i + 1) {
+                if wrong[i] != wrong[j] {
+                    if let Some(k) = self.collisions.collision_slope(fi.offset, fj.offset) {
+                        bad[k] = true;
+                    }
+                }
+            }
+        }
+        bad.iter().position(|&b| !b)
+    }
+
+    /// Writes `data` given an explicit list of known faults (e.g. from a
+    /// bounded fail cache). Faults missing from the list are discovered by
+    /// the verification read and handled with extra write rounds, exactly
+    /// as a real controller would.
+    ///
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] when no slope separates the W faults from the
+    /// R faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn write_with_known(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+        known: &[Fault],
+    ) -> Result<WriteReport, UncorrectableError> {
+        assert_eq!(data.len(), self.rect.bits(), "data width mismatch");
+        assert_eq!(block.len(), self.rect.bits(), "block width mismatch");
+        let mut known: Vec<Fault> = known.to_vec();
+        let mut report = WriteReport::default();
+        // Each retry learns at least one new fault; the block width bounds
+        // the loop.
+        for round in 0..=self.rect.bits() {
+            let wrong = classify_split(&known, data);
+            let Some(slope) = self.choose_slope(&known, &wrong) else {
+                return Err(UncorrectableError::new(
+                    self.name(),
+                    known.len(),
+                    "W-R collision slopes cover every configuration",
+                ));
+            };
+            let mut inversion = BitBlock::zeros(self.rect.groups());
+            for (fault, &is_wrong) in known.iter().zip(&wrong) {
+                if is_wrong {
+                    inversion.set(self.rect.group_of(fault.offset, slope), true);
+                }
+            }
+            let target = data ^ &self.rom.inversion_mask(slope, &inversion);
+            report.cell_pulses += block.write_raw(&target);
+            if round > 0 {
+                report.inversion_writes += 1;
+            }
+            report.verify_reads += 1;
+            let still_wrong = block.verify(&target);
+            if still_wrong.is_empty() {
+                self.slope = slope;
+                self.inversion = inversion;
+                return Ok(report);
+            }
+            // Newly discovered faults: remember their stuck values and retry.
+            let mut learned = false;
+            for offset in still_wrong {
+                if !known.iter().any(|f| f.offset == offset) {
+                    known.push(Fault::new(offset, block.cell(offset).read()));
+                    learned = true;
+                }
+            }
+            assert!(
+                learned,
+                "verification failed without revealing a new fault; \
+                 the chosen slope should have masked all known faults"
+            );
+        }
+        unreachable!("cannot discover more faults than cells")
+    }
+}
+
+impl StuckAtCodec for AegisRwCodec {
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] when no slope separates the W faults from the
+    /// R faults.
+    fn write(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError> {
+        let known = block.faults(); // ideal fail cache
+        self.write_with_known(block, data, &known)
+    }
+
+    fn read(&self, block: &PcmBlock) -> BitBlock {
+        block.read_raw() ^ self.rom.inversion_mask(self.slope, &self.inversion)
+    }
+
+    fn overhead_bits(&self) -> usize {
+        // Same metadata as base Aegis when built on the same rectangle
+        // (§2.4: "if Aegis-rw and Aegis use the same A×B … they are of the
+        // same space cost").
+        ceil_log2(self.rect.slopes()) + self.rect.groups()
+    }
+
+    fn block_bits(&self) -> usize {
+        self.rect.bits()
+    }
+
+    fn name(&self) -> String {
+        format!("Aegis-rw {}", self.rect.formation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn small() -> AegisRwCodec {
+        AegisRwCodec::new(Rectangle::new(5, 7, 32).unwrap())
+    }
+
+    #[test]
+    fn two_same_type_faults_in_one_group_are_fine() {
+        let mut codec = small();
+        let mut block = PcmBlock::pristine(32);
+        // Offsets 0 and 1 share group 0 under slope 0.
+        block.force_stuck(0, true);
+        block.force_stuck(1, true);
+        let data = BitBlock::zeros(32); // both W
+        let report = codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert_eq!(report.repartitions, 0);
+        assert_eq!(codec.slope(), 0, "no W-R pair => slope 0 is usable");
+    }
+
+    #[test]
+    fn mixed_pair_moves_off_the_colliding_slope() {
+        let codec_probe = small();
+        let rect = codec_probe.rect().clone();
+        let k = rect.collision_slope(0, 1).unwrap();
+        assert_eq!(k, 0);
+        let mut codec = small();
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(0, true); // W for all-zero data
+        block.force_stuck(1, false); // R for all-zero data
+        let data = BitBlock::zeros(32);
+        codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert_ne!(codec.slope(), 0, "slope 0 mixes the W and R fault");
+    }
+
+    #[test]
+    fn random_fault_sets_roundtrip_well_beyond_plain_hard_ftc() {
+        let rect = Rectangle::new(5, 7, 32).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut successes = 0;
+        for _ in 0..100 {
+            let mut codec = AegisRwCodec::new(rect.clone());
+            let mut block = PcmBlock::pristine(32);
+            for _ in 0..5 {
+                let o: usize = rng.random_range(0..32);
+                block.force_stuck(o, rng.random());
+            }
+            let data = BitBlock::random(&mut rng, 32);
+            if codec.write(&mut block, &data).is_ok() {
+                assert_eq!(codec.read(&block), data);
+                successes += 1;
+            }
+        }
+        // 5 faults is beyond the 5x7 plain hard FTC (3); -rw should still
+        // succeed almost always.
+        assert!(successes >= 95, "only {successes}/100 succeeded");
+    }
+
+    #[test]
+    fn discovers_faults_missing_from_the_cache() {
+        let mut codec = small();
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(4, true);
+        block.force_stuck(9, true);
+        let data = BitBlock::zeros(32);
+        // Empty cache: both faults must be learned from verification reads.
+        let report = codec.write_with_known(&mut block, &data, &[]).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert!(report.verify_reads >= 2);
+    }
+
+    #[test]
+    fn consecutive_writes_keep_metadata_consistent() {
+        let mut codec = small();
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(2, true);
+        block.force_stuck(7, false);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let data = BitBlock::random(&mut rng, 32);
+            codec.write(&mut block, &data).unwrap();
+            assert_eq!(codec.read(&block), data);
+        }
+    }
+
+    #[test]
+    fn uncorrectable_when_mixed_pairs_cover_all_slopes() {
+        // 2x3 rectangle: 3 slopes. Stuck values chosen so W-R pairs cover
+        // all slopes for all-zero data.
+        let rect = Rectangle::new(2, 3, 6).unwrap();
+        let mut codec = AegisRwCodec::new(rect);
+        let mut block = PcmBlock::pristine(6);
+        for offset in 0..6 {
+            // Alternate stuck values => plenty of W-R pairs.
+            block.force_stuck(offset, offset % 2 == 0);
+        }
+        let data = BitBlock::zeros(6);
+        let err = codec.write(&mut block, &data).unwrap_err();
+        assert!(err.to_string().contains("collision"));
+    }
+
+    #[test]
+    fn name_and_overhead() {
+        let codec = AegisRwCodec::new(Rectangle::new(9, 61, 512).unwrap());
+        assert_eq!(codec.name(), "Aegis-rw 9x61");
+        assert_eq!(codec.overhead_bits(), 67);
+    }
+}

@@ -1,0 +1,353 @@
+//! Aegis-rw-p: the pointer-based variant of Aegis-rw (paper §2.4).
+
+use crate::cost::ceil_log2;
+use crate::rom::{CollisionRom, InversionRom};
+use crate::Rectangle;
+use bitblock::BitBlock;
+use pcm_sim::codec::{StuckAtCodec, WriteReport};
+use pcm_sim::{classify_split, Fault, PcmBlock, UncorrectableError};
+
+/// How the pointers of one stored word are to be interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StorageCase {
+    /// Pointers name the inverted groups (those containing W faults); the
+    /// rest of the block is stored plain.
+    InvertPointed,
+    /// The whole block is stored inverted *except* the pointed groups
+    /// (those containing R faults), which are stored plain.
+    InvertAllButPointed,
+}
+
+/// The Aegis-rw-p codec: Aegis-rw with the `B`-bit inversion vector replaced
+/// by `p` group pointers, a case flag and a whole-block inversion flag.
+///
+/// By the pigeonhole principle a block with `f` faults has either at most
+/// `⌊f/2⌋` groups containing W faults or at most `⌊f/2⌋` groups containing R
+/// faults, so `p = ⌊f/2⌋` pointers suffice for hard FTC `f` (given enough
+/// slopes). If the W-groups fit, they are inverted and pointed at
+/// (case A); otherwise everything *except* the R-groups is inverted and the
+/// pointers name the R-groups (case B) — a read inverts the pointed groups,
+/// then the entire block.
+///
+/// # Examples
+///
+/// ```
+/// use aegis_core::{AegisRwPCodec, Rectangle};
+/// use bitblock::BitBlock;
+/// use pcm_sim::codec::StuckAtCodec;
+/// use pcm_sim::PcmBlock;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut codec = AegisRwPCodec::new(Rectangle::new(17, 31, 512)?, 5);
+/// let mut block = PcmBlock::pristine(512);
+/// block.force_stuck(100, true);
+/// let data = BitBlock::zeros(512);
+/// codec.write(&mut block, &data)?;
+/// assert_eq!(codec.read(&block), data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AegisRwPCodec {
+    rect: Rectangle,
+    rom: InversionRom,
+    collisions: CollisionRom,
+    pointers: usize,
+    slope: usize,
+    case: StorageCase,
+    pointed: Vec<usize>,
+}
+
+impl AegisRwPCodec {
+    /// Creates the codec with `pointers` group pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pointers == 0`.
+    #[must_use]
+    pub fn new(rect: Rectangle, pointers: usize) -> Self {
+        assert!(pointers > 0, "need at least one group pointer");
+        let rom = InversionRom::new(&rect);
+        let collisions = CollisionRom::new(&rect);
+        Self {
+            rect,
+            rom,
+            collisions,
+            pointers,
+            slope: 0,
+            case: StorageCase::InvertPointed,
+            pointed: Vec::new(),
+        }
+    }
+
+    /// The partition scheme in use.
+    #[must_use]
+    pub fn rect(&self) -> &Rectangle {
+        &self.rect
+    }
+
+    /// Number of group pointers provisioned.
+    #[must_use]
+    pub fn pointers(&self) -> usize {
+        self.pointers
+    }
+
+    /// Current slope-counter value.
+    #[must_use]
+    pub fn slope(&self) -> usize {
+        self.slope
+    }
+
+    /// Finds a slope with no W–R mixed group whose W-groups or R-groups fit
+    /// in the pointer budget.
+    fn choose_config(
+        &self,
+        faults: &[Fault],
+        wrong: &[bool],
+    ) -> Option<(usize, StorageCase, Vec<usize>)> {
+        let slopes = self.rect.slopes();
+        let mut bad = vec![false; slopes];
+        for (i, fi) in faults.iter().enumerate() {
+            for (j, fj) in faults.iter().enumerate().skip(i + 1) {
+                if wrong[i] != wrong[j] {
+                    if let Some(k) = self.collisions.collision_slope(fi.offset, fj.offset) {
+                        bad[k] = true;
+                    }
+                }
+            }
+        }
+        for (slope, _) in bad.iter().enumerate().filter(|&(_, &is_bad)| !is_bad) {
+            let mut w_groups = Vec::new();
+            let mut r_groups = Vec::new();
+            for (fault, &is_wrong) in faults.iter().zip(wrong) {
+                let g = self.rect.group_of(fault.offset, slope);
+                let set = if is_wrong { &mut w_groups } else { &mut r_groups };
+                if !set.contains(&g) {
+                    set.push(g);
+                }
+            }
+            if w_groups.len() <= self.pointers {
+                return Some((slope, StorageCase::InvertPointed, w_groups));
+            }
+            if r_groups.len() <= self.pointers {
+                return Some((slope, StorageCase::InvertAllButPointed, r_groups));
+            }
+        }
+        None
+    }
+
+    fn physical_target(&self, data: &BitBlock, slope: usize, case: StorageCase, pointed: &[usize]) -> BitBlock {
+        let mut mask = BitBlock::zeros(self.rect.bits());
+        for &group in pointed {
+            mask |= self.rom.group_mask(slope, group);
+        }
+        let mut target = data ^ &mask;
+        if case == StorageCase::InvertAllButPointed {
+            target.invert_all();
+        }
+        target
+    }
+
+    /// Writes `data` given an explicit fault list (see
+    /// [`AegisRwCodec::write_with_known`](crate::AegisRwCodec::write_with_known)
+    /// for the bounded-cache rationale).
+    ///
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] when no slope both separates W from R faults
+    /// and fits the pointer budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn write_with_known(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+        known: &[Fault],
+    ) -> Result<WriteReport, UncorrectableError> {
+        assert_eq!(data.len(), self.rect.bits(), "data width mismatch");
+        assert_eq!(block.len(), self.rect.bits(), "block width mismatch");
+        let mut known: Vec<Fault> = known.to_vec();
+        let mut report = WriteReport::default();
+        for round in 0..=self.rect.bits() {
+            let wrong = classify_split(&known, data);
+            let Some((slope, case, pointed)) = self.choose_config(&known, &wrong) else {
+                return Err(UncorrectableError::new(
+                    self.name(),
+                    known.len(),
+                    "no slope separates W from R faults within the pointer budget",
+                ));
+            };
+            let target = self.physical_target(data, slope, case, &pointed);
+            report.cell_pulses += block.write_raw(&target);
+            if round > 0 {
+                report.inversion_writes += 1;
+            }
+            report.verify_reads += 1;
+            let still_wrong = block.verify(&target);
+            if still_wrong.is_empty() {
+                self.slope = slope;
+                self.case = case;
+                self.pointed = pointed;
+                return Ok(report);
+            }
+            let mut learned = false;
+            for offset in still_wrong {
+                if !known.iter().any(|f| f.offset == offset) {
+                    known.push(Fault::new(offset, block.cell(offset).read()));
+                    learned = true;
+                }
+            }
+            assert!(
+                learned,
+                "verification failed without revealing a new fault"
+            );
+        }
+        unreachable!("cannot discover more faults than cells")
+    }
+}
+
+impl StuckAtCodec for AegisRwPCodec {
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] when no slope both separates W from R faults
+    /// and fits the pointer budget.
+    fn write(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError> {
+        let known = block.faults(); // ideal fail cache
+        self.write_with_known(block, data, &known)
+    }
+
+    fn read(&self, block: &PcmBlock) -> BitBlock {
+        let mut mask = BitBlock::zeros(self.rect.bits());
+        for &group in &self.pointed {
+            mask |= self.rom.group_mask(self.slope, group);
+        }
+        let mut data = block.read_raw() ^ mask;
+        if self.case == StorageCase::InvertAllButPointed {
+            data.invert_all();
+        }
+        data
+    }
+
+    fn overhead_bits(&self) -> usize {
+        // Slope counter + p group pointers + case flag + pointers-in-use
+        // flag (paper §2.4).
+        ceil_log2(self.rect.slopes()) * (1 + self.pointers) + 2
+    }
+
+    fn block_bits(&self) -> usize {
+        self.rect.bits()
+    }
+
+    fn name(&self) -> String {
+        format!("Aegis-rw-p {} p={}", self.rect.formation(), self.pointers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn small(p: usize) -> AegisRwPCodec {
+        AegisRwPCodec::new(Rectangle::new(5, 7, 32).unwrap(), p)
+    }
+
+    #[test]
+    fn clean_roundtrip_uses_no_pointers() {
+        let mut codec = small(2);
+        let mut block = PcmBlock::pristine(32);
+        let data = BitBlock::from_indices(32, [5usize, 17]);
+        codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert!(codec.pointed.is_empty());
+    }
+
+    #[test]
+    fn case_a_inverts_pointed_w_groups() {
+        let mut codec = small(2);
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(6, true);
+        let data = BitBlock::zeros(32); // one W fault
+        codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert_eq!(codec.case, StorageCase::InvertPointed);
+        assert_eq!(codec.pointed.len(), 1);
+    }
+
+    #[test]
+    fn case_b_kicks_in_when_w_groups_exceed_pointers() {
+        let mut codec = small(1);
+        let mut block = PcmBlock::pristine(32);
+        // Three W faults in three different columns => at least two W
+        // groups on most slopes; with a single pointer, case B (pointing at
+        // zero R-groups) must be chosen.
+        block.force_stuck(0, true);
+        block.force_stuck(11, true);
+        block.force_stuck(22, true);
+        let data = BitBlock::zeros(32);
+        codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert_eq!(codec.case, StorageCase::InvertAllButPointed);
+        assert!(codec.pointed.is_empty());
+    }
+
+    #[test]
+    fn mixed_w_and_r_faults_roundtrip() {
+        let mut codec = small(2);
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(3, true); // W for zeros
+        block.force_stuck(20, false); // R for zeros
+        let data = BitBlock::zeros(32);
+        codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+    }
+
+    #[test]
+    fn random_writes_roundtrip_with_growing_faults() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut codec = small(3);
+        let mut block = PcmBlock::pristine(32);
+        for step in 0..6 {
+            let o: usize = rng.random_range(0..32);
+            block.force_stuck(o, rng.random());
+            let data = BitBlock::random(&mut rng, 32);
+            match codec.write(&mut block, &data) {
+                Ok(_) => assert_eq!(codec.read(&block), data, "step {step}"),
+                Err(_) => break, // acceptable once faults accumulate
+            }
+        }
+    }
+
+    #[test]
+    fn fails_without_pointer_budget() {
+        // 2x3 rectangle, 1 pointer, many faults of both types.
+        let mut codec = AegisRwPCodec::new(Rectangle::new(2, 3, 6).unwrap(), 1);
+        let mut block = PcmBlock::pristine(6);
+        for offset in 0..6 {
+            block.force_stuck(offset, offset % 2 == 0);
+        }
+        let data = BitBlock::zeros(6);
+        assert!(codec.write(&mut block, &data).is_err());
+    }
+
+    #[test]
+    fn overhead_formula() {
+        // 9x61 with 9 pointers: 6·(1+9) + 2 = 62 bits.
+        let codec = AegisRwPCodec::new(Rectangle::new(9, 61, 512).unwrap(), 9);
+        assert_eq!(codec.overhead_bits(), 62);
+        assert_eq!(codec.name(), "Aegis-rw-p 9x61 p=9");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group pointer")]
+    fn zero_pointers_panics() {
+        let _ = AegisRwPCodec::new(Rectangle::new(5, 7, 32).unwrap(), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Functional codecs: the Aegis write/read algorithms driving simulated PCM
+//! cells.
+//!
+//! Three variants, as in the paper:
+//!
+//! - [`AegisCodec`] — §2.2: no fault knowledge; faults are discovered by
+//!   verification reads, collisions resolved by incrementing the slope
+//!   counter.
+//! - [`AegisRwCodec`] — §2.4: a fail cache reveals fault positions and
+//!   stuck values; groups may hold multiple same-type faults and the slope
+//!   is chosen directly from the collision ROM.
+//! - [`AegisRwPCodec`] — §2.4: Aegis-rw with the B-bit inversion vector
+//!   replaced by `p` group pointers plus a whole-block inversion flag
+//!   (pigeonhole trick).
+
+mod aegis;
+mod aegis_rw;
+mod aegis_rw_p;
+
+pub use aegis::AegisCodec;
+pub use aegis_rw::AegisRwCodec;
+pub use aegis_rw_p::AegisRwPCodec;

@@ -1,0 +1,303 @@
+//! Hardware-cost model: the closed-form bit counts behind the paper's
+//! Table 1.
+//!
+//! Table 1 reports, for each hard FTC 1–10 and a 512-bit block, the
+//! per-block metadata bits of ECP, SAFER, Aegis, Aegis-rw and Aegis-rw-p.
+//! The ECP and SAFER formulas are reconstructed from their papers and
+//! validated against every value the Aegis paper prints; the Aegis formulas
+//! come from §2.3–2.4.
+//!
+//! One paper-internal inconsistency is preserved deliberately: Table 1's
+//! Aegis-rw cost for hard FTC 10 assumes `B = 23`, although the text's own
+//! requirement `⌊f/2⌋·⌈f/2⌉ + 1 = 26 ≤ B` would force `B = 29`. Both the
+//! printed value ([`aegis_rw_table1_cost`]) and the self-consistent one
+//! ([`aegis_rw_cost`]) are exposed.
+
+use crate::primes::next_prime_at_least;
+
+/// `⌈log₂ n⌉`, with `ceil_log2(1) == 0`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn ceil_log2(n: usize) -> usize {
+    assert!(n > 0, "log2 of zero");
+    (n - 1).checked_ilog2().map_or(0, |b| b as usize + 1)
+}
+
+/// Address bits of an `n`-bit block.
+#[must_use]
+fn address_bits(block_bits: usize) -> usize {
+    ceil_log2(block_bits)
+}
+
+/// ECP-N per-block cost: `N` entries of (address pointer + replacement bit)
+/// plus one full/valid bit — `N·(⌈log₂n⌉ + 1) + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use aegis_core::cost::ecp_cost;
+/// assert_eq!(ecp_cost(6, 512), 61); // the paper's ECP6 annotation
+/// ```
+#[must_use]
+pub fn ecp_cost(pointers: usize, block_bits: usize) -> usize {
+    pointers * (address_bits(block_bits) + 1) + 1
+}
+
+/// SAFER cost for `2^m` partition groups on an `n`-bit block:
+/// `(2^m − 1)` inversion bits, `m` stored bit-position selectors of
+/// `⌈log₂⌈log₂n⌉⌉` bits each, a `⌈log₂(m+1)⌉`-bit count of selectors in
+/// use, and one fail bit.
+///
+/// Reproduces every SAFER value of the paper's Table 1 (m = 0..=9,
+/// 512-bit blocks → 1, 7, 14, 22, 35, 55, 91, 159, 292, 552).
+#[must_use]
+pub fn safer_cost(m: usize, block_bits: usize) -> usize {
+    (1 << m) - 1 + m * ceil_log2(address_bits(block_bits)) + ceil_log2(m + 1) + 1
+}
+
+/// SAFER's hard FTC with `2^m` groups is `m + 1`; this returns the Table 1
+/// cost for a required hard FTC.
+#[must_use]
+pub fn safer_table1_cost(hard_ftc: usize, block_bits: usize) -> usize {
+    safer_cost(hard_ftc.saturating_sub(1), block_bits)
+}
+
+/// Number of SAFER groups used to reach a hard FTC (the paper's `N` row).
+#[must_use]
+pub fn safer_groups_for_ftc(hard_ftc: usize) -> usize {
+    1 << hard_ftc.saturating_sub(1)
+}
+
+/// The smallest admissible `B` for an `n`-bit block: prime, at least
+/// `⌈√n⌉` (so some `A ≤ B` gives `A·B ≥ n`), and at least `min_slopes`.
+#[must_use]
+pub fn minimal_b(block_bits: usize, min_slopes: usize) -> usize {
+    let geometric = (block_bits as f64).sqrt().ceil() as usize;
+    next_prime_at_least(geometric.max(min_slopes))
+}
+
+/// Candidate slopes base Aegis needs for hard FTC `f`: `C(f,2) + 1`.
+#[must_use]
+pub fn aegis_slopes_needed(hard_ftc: usize) -> usize {
+    hard_ftc * (hard_ftc - 1) / 2 + 1
+}
+
+/// Candidate slopes Aegis-rw needs for hard FTC `f`:
+/// `⌊f/2⌋·⌈f/2⌉ + 1` (the worst W/R split).
+#[must_use]
+pub fn aegis_rw_slopes_needed(hard_ftc: usize) -> usize {
+    (hard_ftc / 2) * hard_ftc.div_ceil(2) + 1
+}
+
+/// Base Aegis minimal cost for a hard FTC (Table 1 row "Aegis"): slope
+/// counter of `⌈log₂(C(f,2)+1)⌉` bits plus the `B`-bit inversion vector,
+/// with `B` the smallest admissible prime ≥ `C(f,2)+1`.
+///
+/// # Examples
+///
+/// ```
+/// use aegis_core::cost::aegis_table1_cost;
+/// // Table 1: 23, 24, 25, 26, 27, 27, 28, 34, 43, 53.
+/// let row: Vec<usize> = (1..=10).map(|f| aegis_table1_cost(f, 512)).collect();
+/// assert_eq!(row, [23, 24, 25, 26, 27, 27, 28, 34, 43, 53]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `hard_ftc == 0`.
+#[must_use]
+pub fn aegis_table1_cost(hard_ftc: usize, block_bits: usize) -> usize {
+    assert!(hard_ftc > 0, "hard FTC must be at least 1");
+    let slopes = aegis_slopes_needed(hard_ftc);
+    ceil_log2(slopes) + minimal_b(block_bits, slopes)
+}
+
+/// Aegis-rw cost from the §2.4 model: the slope counter shrinks to
+/// `⌈log₂(⌊f/2⌋·⌈f/2⌉+1)⌉` bits and `B` stays at the geometric minimum.
+///
+/// The paper's printed Table 1 row ([`PAPER_TABLE1_AEGIS_RW`]) differs from
+/// this model by one counter bit at hard FTC 5 and 7 and ignores that hard
+/// FTC 10 needs 26 > 23 slopes; see EXPERIMENTS.md for the reconciliation.
+#[must_use]
+pub fn aegis_rw_table1_cost(hard_ftc: usize, block_bits: usize) -> usize {
+    assert!(hard_ftc > 0, "hard FTC must be at least 1");
+    let b = minimal_b(block_bits, 0);
+    ceil_log2(aegis_rw_slopes_needed(hard_ftc)) + b
+}
+
+/// The Aegis-rw row exactly as printed in the paper's Table 1 (512-bit
+/// blocks, hard FTC 1..=10). Kept verbatim because no single formula
+/// reproduces it (see [`aegis_rw_table1_cost`]).
+pub const PAPER_TABLE1_AEGIS_RW: [usize; 10] = [23, 24, 25, 26, 27, 27, 28, 28, 28, 28];
+
+/// The Aegis row as printed in the paper's Table 1 (512-bit blocks).
+pub const PAPER_TABLE1_AEGIS: [usize; 10] = [23, 24, 25, 26, 27, 27, 28, 34, 43, 53];
+
+/// The Aegis-rw-p row as printed in the paper's Table 1 (512-bit blocks).
+pub const PAPER_TABLE1_AEGIS_RW_P: [usize; 10] = [1, 8, 9, 15, 15, 21, 21, 27, 27, 32];
+
+/// Self-consistent Aegis-rw cost: like [`aegis_rw_table1_cost`] but `B` is
+/// raised to actually provide the `⌊f/2⌋·⌈f/2⌉+1` slopes the guarantee
+/// needs.
+#[must_use]
+pub fn aegis_rw_cost(hard_ftc: usize, block_bits: usize) -> usize {
+    assert!(hard_ftc > 0, "hard FTC must be at least 1");
+    let slopes = aegis_rw_slopes_needed(hard_ftc);
+    ceil_log2(slopes) + minimal_b(block_bits, slopes)
+}
+
+/// Aegis-rw-p cost for a hard FTC (Table 1 row "Aegis-rw-p"):
+/// `p = ⌊f/2⌋` group pointers of `⌈log₂B⌉` bits, a slope counter of
+/// `⌈log₂(⌊f/2⌋·⌈f/2⌉+1)⌉` bits, a case flag and a pointers-in-use flag.
+/// Hard FTC 1 is the special case needing a single inversion bit.
+///
+/// # Examples
+///
+/// ```
+/// use aegis_core::cost::aegis_rw_p_table1_cost;
+/// // Table 1: 1, 8, 9, 15, 15, 21, 21, 27, 27, 32.
+/// let row: Vec<usize> = (1..=10).map(|f| aegis_rw_p_table1_cost(f, 512)).collect();
+/// assert_eq!(row, [1, 8, 9, 15, 15, 21, 21, 27, 27, 32]);
+/// ```
+#[must_use]
+pub fn aegis_rw_p_table1_cost(hard_ftc: usize, block_bits: usize) -> usize {
+    assert!(hard_ftc > 0, "hard FTC must be at least 1");
+    if hard_ftc == 1 {
+        return 1;
+    }
+    let b = minimal_b(block_bits, 0);
+    let pointers = hard_ftc / 2;
+    ceil_log2(aegis_rw_slopes_needed(hard_ftc)) + pointers * ceil_log2(b) + 2
+}
+
+/// One row set of Table 1 for a given hard FTC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Hard fault-tolerance capability this row is provisioned for.
+    pub hard_ftc: usize,
+    /// ECP cost in bits.
+    pub ecp: usize,
+    /// SAFER cost in bits.
+    pub safer: usize,
+    /// SAFER group count (the paper's `N` row).
+    pub safer_groups: usize,
+    /// Base Aegis cost in bits.
+    pub aegis: usize,
+    /// Aegis-rw cost in bits (as printed in the paper).
+    pub aegis_rw: usize,
+    /// Aegis-rw-p cost in bits.
+    pub aegis_rw_p: usize,
+}
+
+/// Computes the full Table 1 for hard FTC 1..=max_ftc on `block_bits`-bit
+/// blocks.
+#[must_use]
+pub fn table1(max_ftc: usize, block_bits: usize) -> Vec<Table1Row> {
+    (1..=max_ftc)
+        .map(|f| Table1Row {
+            hard_ftc: f,
+            ecp: ecp_cost(f, block_bits),
+            safer: safer_table1_cost(f, block_bits),
+            safer_groups: safer_groups_for_ftc(f),
+            aegis: aegis_table1_cost(f, block_bits),
+            aegis_rw: aegis_rw_table1_cost(f, block_bits),
+            aegis_rw_p: aegis_rw_p_table1_cost(f, block_bits),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(17), 5);
+        assert_eq!(ceil_log2(61), 6);
+        assert_eq!(ceil_log2(64), 6);
+        assert_eq!(ceil_log2(65), 7);
+    }
+
+    #[test]
+    fn ecp_row_matches_table1() {
+        let row: Vec<usize> = (1..=10).map(|f| ecp_cost(f, 512)).collect();
+        assert_eq!(row, [11, 21, 31, 41, 51, 61, 71, 81, 91, 101]);
+    }
+
+    #[test]
+    fn safer_row_matches_table1() {
+        let row: Vec<usize> = (1..=10).map(|f| safer_table1_cost(f, 512)).collect();
+        assert_eq!(row, [1, 7, 14, 22, 35, 55, 91, 159, 292, 552]);
+        let n: Vec<usize> = (1..=10).map(safer_groups_for_ftc).collect();
+        assert_eq!(n, [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]);
+    }
+
+    #[test]
+    fn safer_figure_annotations() {
+        // Figure 5 annotations: SAFER32 = 55, SAFER64 = 91, SAFER128 = 159.
+        assert_eq!(safer_cost(5, 512), 55);
+        assert_eq!(safer_cost(6, 512), 91);
+        assert_eq!(safer_cost(7, 512), 159);
+    }
+
+    #[test]
+    fn aegis_rw_model_row_tracks_paper_within_one_bit() {
+        let row: Vec<usize> = (1..=10).map(|f| aegis_rw_table1_cost(f, 512)).collect();
+        assert_eq!(row, [23, 24, 25, 26, 26, 27, 27, 28, 28, 28]);
+        for (model, paper) in row.iter().zip(PAPER_TABLE1_AEGIS_RW) {
+            assert!(paper.abs_diff(*model) <= 1, "model {model} vs paper {paper}");
+        }
+    }
+
+    #[test]
+    fn aegis_rw_consistent_variant_diverges_only_at_ftc10() {
+        for f in 1..=9 {
+            assert_eq!(aegis_rw_cost(f, 512), aegis_rw_table1_cost(f, 512), "f={f}");
+        }
+        // f = 10 needs 26 slopes, hence B = 29 rather than 23.
+        assert_eq!(aegis_rw_cost(10, 512), 5 + 29);
+        assert_eq!(aegis_rw_table1_cost(10, 512), 28);
+    }
+
+    #[test]
+    fn paper_aegis_row_matches_model_exactly() {
+        let row: Vec<usize> = (1..=10).map(|f| aegis_table1_cost(f, 512)).collect();
+        assert_eq!(row, PAPER_TABLE1_AEGIS);
+    }
+
+    #[test]
+    fn paper_rw_p_row_matches_model_exactly() {
+        let row: Vec<usize> = (1..=10).map(|f| aegis_rw_p_table1_cost(f, 512)).collect();
+        assert_eq!(row, PAPER_TABLE1_AEGIS_RW_P);
+    }
+
+    #[test]
+    fn slope_requirements_match_section_2_4_example() {
+        // "for hard FTC of 10, Aegis needs 46 slopes while Aegis-rw needs
+        // only 26 slopes."
+        assert_eq!(aegis_slopes_needed(10), 46);
+        assert_eq!(aegis_rw_slopes_needed(10), 26);
+    }
+
+    #[test]
+    fn minimal_b_for_paper_blocks() {
+        assert_eq!(minimal_b(512, 0), 23);
+        assert_eq!(minimal_b(256, 0), 17);
+        assert_eq!(minimal_b(512, 29), 29);
+        assert_eq!(minimal_b(512, 30), 31);
+    }
+
+    #[test]
+    fn table1_assembles_all_rows() {
+        let table = table1(10, 512);
+        assert_eq!(table.len(), 10);
+        assert_eq!(table[7].aegis, 34);
+        assert_eq!(table[9].aegis_rw_p, 32);
+    }
+}

@@ -1,0 +1,459 @@
+//! The A×B Cartesian partition scheme (paper §2.1).
+//!
+//! Bits of an `n`-bit block are placed on an `A×B` rectangle (`A ≤ B`, `B`
+//! prime). A *partition configuration* is a slope `k ∈ [0, B)`; the bits on
+//! the line of slope `k` anchored at `(0, y)` form group `y`. Theorem 1
+//! makes group membership well-defined; Theorem 2 guarantees that two bits
+//! sharing a group under one slope are separated under every other slope —
+//! both are enforced by this module's tests.
+
+use crate::primes::{is_prime, mod_inverse};
+use std::error::Error;
+use std::fmt;
+
+/// A point of the rectangle: column `a ∈ [0, A)`, row `b ∈ [0, B)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Point {
+    /// Column (x coordinate).
+    pub a: usize,
+    /// Row (y coordinate).
+    pub b: usize,
+}
+
+/// Invalid rectangle parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// `A` must be at least 1 and at most `B`.
+    BadWidth {
+        /// Offending `A`.
+        a: usize,
+        /// The `B` it must not exceed.
+        b: usize,
+    },
+    /// `B` must be prime (Theorem 2 depends on it).
+    NotPrime(
+        /// Offending `B`.
+        usize,
+    ),
+    /// The rectangle must hold at least the block: `A·B ≥ bits ≥ 1`.
+    TooSmall {
+        /// Offending `A`.
+        a: usize,
+        /// Offending `B`.
+        b: usize,
+        /// Block width that does not fit.
+        bits: usize,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadWidth { a, b } => write!(f, "invalid rectangle width A={a}: need 1 <= A <= B={b}"),
+            Self::NotPrime(b) => write!(f, "rectangle height B={b} must be prime"),
+            Self::TooSmall { a, b, bits } => {
+                write!(f, "rectangle {a}x{b} cannot hold a {bits}-bit block")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+/// An `A×B` Aegis partition scheme for an `n`-bit data block.
+///
+/// # Examples
+///
+/// The paper's Figure 2: a 32-bit block on a 5×7 rectangle has 7 slopes of 7
+/// groups each, and re-partitioning separates any two co-grouped bits:
+///
+/// ```
+/// use aegis_core::Rectangle;
+///
+/// let rect = Rectangle::new(5, 7, 32)?;
+/// assert_eq!(rect.slopes(), 7);
+/// assert_eq!(rect.groups(), 7);
+/// // Bits 0 and 1 share group 0 under slope 0 …
+/// assert_eq!(rect.group_of(0, 0), rect.group_of(1, 0));
+/// // … and are in different groups under every other slope.
+/// for k in 1..7 {
+///     assert_ne!(rect.group_of(0, k), rect.group_of(1, k));
+/// }
+/// # Ok::<(), aegis_core::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rectangle {
+    a: usize,
+    b: usize,
+    bits: usize,
+    /// `inverse[x]` = x⁻¹ mod B for x in 1..B (index 0 unused).
+    inverse: Vec<usize>,
+}
+
+impl Rectangle {
+    /// Creates the `A×B` scheme for an `n`-bit block.
+    ///
+    /// # Errors
+    ///
+    /// - [`GeometryError::BadWidth`] unless `1 ≤ A ≤ B`;
+    /// - [`GeometryError::NotPrime`] unless `B` is prime;
+    /// - [`GeometryError::TooSmall`] unless `1 ≤ bits ≤ A·B`.
+    pub fn new(a: usize, b: usize, bits: usize) -> Result<Self, GeometryError> {
+        if !is_prime(b) {
+            return Err(GeometryError::NotPrime(b));
+        }
+        if a == 0 || a > b {
+            return Err(GeometryError::BadWidth { a, b });
+        }
+        if bits == 0 || a * b < bits {
+            return Err(GeometryError::TooSmall { a, b, bits });
+        }
+        let inverse = std::iter::once(0)
+            .chain((1..b).map(|x| mod_inverse(x, b)))
+            .collect();
+        Ok(Self { a, b, bits, inverse })
+    }
+
+    /// The minimal scheme for an `n`-bit block: the smallest prime
+    /// `B ≥ √bits` and the smallest `A` with `A·B ≥ bits`.
+    ///
+    /// For 512-bit blocks this yields 23×23, the cheapest formation in the
+    /// paper's Table 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    #[must_use]
+    pub fn minimal(bits: usize) -> Self {
+        assert!(bits > 0, "block must have at least one bit");
+        let mut b = crate::primes::next_prime_at_least((bits as f64).sqrt().ceil() as usize);
+        loop {
+            let a = bits.div_ceil(b);
+            if a <= b {
+                if let Ok(rect) = Self::new(a, b, bits) {
+                    return rect;
+                }
+            }
+            b = crate::primes::next_prime_at_least(b + 1);
+        }
+    }
+
+    /// Rectangle width `A` (columns).
+    #[must_use]
+    pub fn a(&self) -> usize {
+        self.a
+    }
+
+    /// Rectangle height `B` (rows) — also the number of slopes and groups.
+    #[must_use]
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// Protected block width in bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of partition configurations (= `B`).
+    #[must_use]
+    pub fn slopes(&self) -> usize {
+        self.b
+    }
+
+    /// Number of groups per configuration (= `B`).
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.b
+    }
+
+    /// Whether the rectangle is "just large enough" in the paper's strict
+    /// sense: `A·(B−1) < bits ≤ A·B`.
+    ///
+    /// The paper's own 9×61 and 8×71 formations for 512-bit blocks violate
+    /// this (see DESIGN.md), so it is informational, not enforced.
+    #[must_use]
+    pub fn is_tight(&self) -> bool {
+        self.a * (self.b - 1) < self.bits
+    }
+
+    /// Maps a bit offset to its point: `a = offset mod A`, `b = offset / A`
+    /// (row-major fill from the bottom row, matching Figure 2 where the
+    /// unmapped positions sit at the top right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= bits`.
+    #[must_use]
+    pub fn point(&self, offset: usize) -> Point {
+        assert!(offset < self.bits, "offset {offset} out of {}-bit block", self.bits);
+        Point {
+            a: offset % self.a,
+            b: offset / self.a,
+        }
+    }
+
+    /// Maps a point back to its bit offset, or `None` for the unmapped
+    /// positions of a non-full rectangle.
+    #[must_use]
+    pub fn offset(&self, point: Point) -> Option<usize> {
+        if point.a >= self.a || point.b >= self.b {
+            return None;
+        }
+        let offset = point.b * self.a + point.a;
+        (offset < self.bits).then_some(offset)
+    }
+
+    /// Group (anchor row `y`) of the bit at `offset` under slope `k`:
+    /// the unique `y` with `b = (a·k + y) mod B` (Theorem 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= bits` or `slope >= B`.
+    #[must_use]
+    pub fn group_of(&self, offset: usize, slope: usize) -> usize {
+        assert!(slope < self.b, "slope {slope} out of range 0..{}", self.b);
+        let p = self.point(offset);
+        let shift = p.a * slope % self.b;
+        (p.b + self.b - shift) % self.b
+    }
+
+    /// Bit offsets of group `y` under slope `k`, ascending. Unmapped
+    /// rectangle positions are skipped, so groups have at most `A` members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slope >= B` or `group >= B`.
+    #[must_use]
+    pub fn group_members(&self, slope: usize, group: usize) -> Vec<usize> {
+        assert!(slope < self.b, "slope {slope} out of range 0..{}", self.b);
+        assert!(group < self.b, "group {group} out of range 0..{}", self.b);
+        let mut members: Vec<usize> = (0..self.a)
+            .filter_map(|a| {
+                let b = (a * slope + group) % self.b;
+                self.offset(Point { a, b })
+            })
+            .collect();
+        members.sort_unstable();
+        members
+    }
+
+    /// The unique slope under which two distinct bits share a group, or
+    /// `None` if they never do (bits in the same column never collide).
+    ///
+    /// This is the content of the paper's §2.4 collision ROM: solving
+    /// `b₁ − a₁k ≡ b₂ − a₂k (mod B)` gives `k = (b₁−b₂)·(a₁−a₂)⁻¹ mod B`,
+    /// unique because `B` is prime (Theorem 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either offset is out of range or the offsets are equal.
+    #[must_use]
+    pub fn collision_slope(&self, offset1: usize, offset2: usize) -> Option<usize> {
+        assert_ne!(offset1, offset2, "a bit always shares a group with itself");
+        let p1 = self.point(offset1);
+        let p2 = self.point(offset2);
+        if p1.a == p2.a {
+            // Same column: same group iff same point, which is excluded.
+            return None;
+        }
+        let db = (p1.b + self.b - p2.b) % self.b;
+        let da = (p1.a + self.b - p2.a) % self.b; // non-zero since a < A <= B
+        Some(db * self.inverse[da] % self.b)
+    }
+
+    /// Hard fault-tolerance capability: the largest `f` with
+    /// `C(f,2) + 1 ≤ B` (paper §2.3).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aegis_core::Rectangle;
+    /// assert_eq!(Rectangle::new(23, 23, 512)?.hard_ftc(), 7);
+    /// assert_eq!(Rectangle::new(9, 61, 512)?.hard_ftc(), 11);
+    /// # Ok::<(), aegis_core::GeometryError>(())
+    /// ```
+    #[must_use]
+    pub fn hard_ftc(&self) -> usize {
+        let mut f = 1;
+        while (f + 1) * f / 2 < self.b {
+            f += 1;
+        }
+        f
+    }
+
+    /// Hard FTC of the Aegis-rw variant: the largest `f` whose worst W/R
+    /// split needs at most `B` slopes (`⌊f/2⌋·⌈f/2⌉ + 1 ≤ B`, paper §2.4).
+    #[must_use]
+    pub fn hard_ftc_rw(&self) -> usize {
+        let mut f = 1usize;
+        // ⌊(f+1)/2⌋ · ⌈(f+1)/2⌉ < B ⇔ the worst split of f+1 faults still
+        // fits the slope budget.
+        while f.div_ceil(2) * (f + 1).div_ceil(2) < self.b {
+            f += 1;
+        }
+        f
+    }
+
+    /// Formation name as used in the paper, e.g. `"17x31"`.
+    #[must_use]
+    pub fn formation(&self) -> String {
+        format!("{}x{}", self.a, self.b)
+    }
+}
+
+impl fmt::Display for Rectangle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Aegis {} ({} bits)", self.formation(), self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_rect() -> Rectangle {
+        Rectangle::new(5, 7, 32).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(Rectangle::new(5, 6, 30), Err(GeometryError::NotPrime(6)));
+        assert_eq!(
+            Rectangle::new(8, 7, 32),
+            Err(GeometryError::BadWidth { a: 8, b: 7 })
+        );
+        assert_eq!(
+            Rectangle::new(0, 7, 5),
+            Err(GeometryError::BadWidth { a: 0, b: 7 })
+        );
+        assert_eq!(
+            Rectangle::new(5, 7, 36),
+            Err(GeometryError::TooSmall { a: 5, b: 7, bits: 36 })
+        );
+        assert!(Rectangle::new(5, 7, 35).is_ok());
+    }
+
+    #[test]
+    fn paper_formations_construct() {
+        for (a, b) in [(23, 23), (17, 31), (9, 61), (8, 71)] {
+            let rect = Rectangle::new(a, b, 512).unwrap();
+            assert_eq!(rect.slopes(), b);
+        }
+        for (a, b) in [(12, 23), (9, 31)] {
+            assert!(Rectangle::new(a, b, 256).is_ok());
+        }
+    }
+
+    #[test]
+    fn minimal_512_is_23x23() {
+        let rect = Rectangle::minimal(512);
+        assert_eq!((rect.a(), rect.b()), (23, 23));
+        let rect = Rectangle::minimal(256);
+        assert_eq!(rect.b(), 17);
+    }
+
+    #[test]
+    fn point_offset_roundtrip() {
+        let rect = fig2_rect();
+        for offset in 0..32 {
+            let p = rect.point(offset);
+            assert!(p.a < 5 && p.b < 7);
+            assert_eq!(rect.offset(p), Some(offset));
+        }
+        // The three unmapped top-right positions of Figure 2.
+        for a in 2..5 {
+            assert_eq!(rect.offset(Point { a, b: 6 }), None);
+        }
+    }
+
+    #[test]
+    fn theorem1_every_bit_in_exactly_one_group() {
+        let rect = fig2_rect();
+        for slope in 0..rect.slopes() {
+            let mut seen = vec![false; 32];
+            for group in 0..rect.groups() {
+                for offset in rect.group_members(slope, group) {
+                    assert!(!seen[offset], "offset {offset} in two groups at slope {slope}");
+                    seen[offset] = true;
+                    assert_eq!(rect.group_of(offset, slope), group);
+                }
+            }
+            assert!(seen.into_iter().all(|s| s), "some bit missing at slope {slope}");
+        }
+    }
+
+    #[test]
+    fn fig2_slope0_groups_are_rows() {
+        let rect = fig2_rect();
+        // Under slope 0, group y is row y: offsets 5y..5y+5 (clipped to 32).
+        assert_eq!(rect.group_members(0, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rect.group_members(0, 6), vec![30, 31]);
+    }
+
+    #[test]
+    fn theorem2_repartition_separates_cogrouped_bits() {
+        // Exhaustive over the Figure 2 rectangle and a 512-bit formation.
+        for rect in [fig2_rect(), Rectangle::new(17, 31, 512).unwrap()] {
+            for o1 in 0..rect.bits() {
+                for o2 in (o1 + 1)..rect.bits() {
+                    let shared: Vec<usize> = (0..rect.slopes())
+                        .filter(|&k| rect.group_of(o1, k) == rect.group_of(o2, k))
+                        .collect();
+                    assert!(
+                        shared.len() <= 1,
+                        "bits {o1},{o2} share a group under {} slopes",
+                        shared.len()
+                    );
+                    assert_eq!(
+                        rect.collision_slope(o1, o2),
+                        shared.first().copied(),
+                        "collision_slope disagrees for {o1},{o2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_column_bits_never_collide() {
+        let rect = Rectangle::new(9, 61, 512).unwrap();
+        // Offsets 0 and 9 share column a=0.
+        assert_eq!(rect.collision_slope(0, 9), None);
+        for k in 0..61 {
+            assert_ne!(rect.group_of(0, k), rect.group_of(9, k));
+        }
+    }
+
+    #[test]
+    fn hard_ftc_matches_paper_table1() {
+        // Table 1: B=23 tolerates 7, B=29 → 8, B=37 → 9, B=47 → 10.
+        assert_eq!(Rectangle::new(23, 23, 512).unwrap().hard_ftc(), 7);
+        assert_eq!(Rectangle::new(18, 29, 512).unwrap().hard_ftc(), 8);
+        assert_eq!(Rectangle::new(14, 37, 512).unwrap().hard_ftc(), 9);
+        assert_eq!(Rectangle::new(11, 47, 512).unwrap().hard_ftc(), 10);
+    }
+
+    #[test]
+    fn hard_ftc_rw_exceeds_plain() {
+        // §2.4: for hard FTC 10 Aegis needs 46 slopes, Aegis-rw only 26.
+        let rect = Rectangle::new(9, 61, 512).unwrap();
+        assert!(rect.hard_ftc_rw() > rect.hard_ftc());
+        let b29 = Rectangle::new(18, 29, 512).unwrap();
+        assert_eq!(b29.hard_ftc_rw(), 10); // ⌊10/2⌋·⌈10/2⌉+1 = 26 ≤ 29
+    }
+
+    #[test]
+    fn tightness_flags_paper_exceptions() {
+        assert!(Rectangle::new(23, 23, 512).unwrap().is_tight());
+        assert!(!Rectangle::new(9, 61, 512).unwrap().is_tight());
+    }
+
+    #[test]
+    fn display_and_formation() {
+        let rect = fig2_rect();
+        assert_eq!(rect.formation(), "5x7");
+        assert_eq!(rect.to_string(), "Aegis 5x7 (32 bits)");
+    }
+}

@@ -1,0 +1,347 @@
+//! Fast recoverability predicates: the Monte Carlo face of each Aegis
+//! variant.
+//!
+//! These implement [`RecoveryPolicy`] for the engine in
+//! [`pcm_sim::montecarlo`]. Each predicate answers, in `O(f²)` for `f`
+//! faults, exactly the question the corresponding functional codec answers
+//! by physically writing cells — an equivalence enforced by property tests
+//! in `tests/codec_vs_policy.rs`.
+//!
+//! The derivations (see also DESIGN.md §3):
+//!
+//! - **Aegis**: a write succeeds at slope `k` iff no group holds ≥ 2 W
+//!   faults or a W together with an R fault (two wrong bits in one group, or
+//!   a wrong bit in an inverted group, is treated as a collision by §2.2's
+//!   algorithm). Equivalently, slope `k` is *bad* iff some fault pair that
+//!   is not R–R collides on `k`; the write succeeds iff some slope is not
+//!   bad.
+//! - **Aegis-rw**: only W–R mixed pairs make a slope bad (same-type
+//!   multi-fault groups are fine).
+//! - **Aegis-rw-p**: additionally, some good slope must have
+//!   `min(#W-groups, #R-groups) ≤ p`.
+
+use crate::cost::ceil_log2;
+use crate::Rectangle;
+use pcm_sim::policy::RecoveryPolicy;
+use pcm_sim::Fault;
+
+/// Marks every slope on which a pair selected by `matters` collides and
+/// returns the flags (`true` = bad) plus the count of bad slopes.
+fn bad_slopes<F: Fn(bool, bool) -> bool>(
+    rect: &Rectangle,
+    faults: &[Fault],
+    wrong: &[bool],
+    matters: F,
+) -> (Vec<bool>, usize) {
+    let slopes = rect.slopes();
+    let mut bad = vec![false; slopes];
+    let mut count = 0;
+    for (i, fi) in faults.iter().enumerate() {
+        for (j, fj) in faults.iter().enumerate().skip(i + 1) {
+            if matters(wrong[i], wrong[j]) {
+                if let Some(k) = rect.collision_slope(fi.offset, fj.offset) {
+                    if !bad[k] {
+                        bad[k] = true;
+                        count += 1;
+                        if count == slopes {
+                            return (bad, count);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (bad, count)
+}
+
+/// Monte Carlo predicate for base Aegis (§2.2 semantics).
+#[derive(Debug, Clone)]
+pub struct AegisPolicy {
+    rect: Rectangle,
+}
+
+impl AegisPolicy {
+    /// Creates the policy for an `A×B` scheme.
+    #[must_use]
+    pub fn new(rect: Rectangle) -> Self {
+        Self { rect }
+    }
+
+    /// The partition scheme.
+    #[must_use]
+    pub fn rect(&self) -> &Rectangle {
+        &self.rect
+    }
+}
+
+impl RecoveryPolicy for AegisPolicy {
+    fn name(&self) -> String {
+        format!("Aegis {}", self.rect.formation())
+    }
+
+    fn overhead_bits(&self) -> usize {
+        ceil_log2(self.rect.slopes()) + self.rect.groups()
+    }
+
+    fn block_bits(&self) -> usize {
+        self.rect.bits()
+    }
+
+    fn recoverable(&self, faults: &[Fault], wrong: &[bool]) -> bool {
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        // A pair is harmless only when both faults are stuck-at-Right.
+        let (_, count) = bad_slopes(&self.rect, faults, wrong, |wi, wj| wi || wj);
+        count < self.rect.slopes()
+    }
+
+    /// Exact data-independent guarantee: some slope puts every fault in its
+    /// own group (then any data word is writable).
+    fn guaranteed(&self, faults: &[Fault]) -> bool {
+        let all_wrong = vec![true; faults.len()];
+        let (_, count) = bad_slopes(&self.rect, faults, &all_wrong, |_, _| true);
+        count < self.rect.slopes()
+    }
+}
+
+/// Monte Carlo predicate for Aegis-rw (§2.4 semantics, ideal fail cache).
+#[derive(Debug, Clone)]
+pub struct AegisRwPolicy {
+    rect: Rectangle,
+}
+
+impl AegisRwPolicy {
+    /// Creates the policy for an `A×B` scheme.
+    #[must_use]
+    pub fn new(rect: Rectangle) -> Self {
+        Self { rect }
+    }
+
+    /// The partition scheme.
+    #[must_use]
+    pub fn rect(&self) -> &Rectangle {
+        &self.rect
+    }
+}
+
+impl RecoveryPolicy for AegisRwPolicy {
+    fn name(&self) -> String {
+        format!("Aegis-rw {}", self.rect.formation())
+    }
+
+    fn overhead_bits(&self) -> usize {
+        ceil_log2(self.rect.slopes()) + self.rect.groups()
+    }
+
+    fn block_bits(&self) -> usize {
+        self.rect.bits()
+    }
+
+    fn recoverable(&self, faults: &[Fault], wrong: &[bool]) -> bool {
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        let (_, count) = bad_slopes(&self.rect, faults, wrong, |wi, wj| wi != wj);
+        count < self.rect.slopes()
+    }
+}
+
+/// Monte Carlo predicate for Aegis-rw-p (§2.4, `p` group pointers).
+#[derive(Debug, Clone)]
+pub struct AegisRwPPolicy {
+    rect: Rectangle,
+    pointers: usize,
+}
+
+impl AegisRwPPolicy {
+    /// Creates the policy with `pointers` group pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pointers == 0`.
+    #[must_use]
+    pub fn new(rect: Rectangle, pointers: usize) -> Self {
+        assert!(pointers > 0, "need at least one group pointer");
+        Self { rect, pointers }
+    }
+
+    /// The partition scheme.
+    #[must_use]
+    pub fn rect(&self) -> &Rectangle {
+        &self.rect
+    }
+
+    /// Pointer budget.
+    #[must_use]
+    pub fn pointers(&self) -> usize {
+        self.pointers
+    }
+}
+
+impl RecoveryPolicy for AegisRwPPolicy {
+    fn name(&self) -> String {
+        format!("Aegis-rw-p {} p={}", self.rect.formation(), self.pointers)
+    }
+
+    fn overhead_bits(&self) -> usize {
+        ceil_log2(self.rect.slopes()) * (1 + self.pointers) + 2
+    }
+
+    fn block_bits(&self) -> usize {
+        self.rect.bits()
+    }
+
+    fn recoverable(&self, faults: &[Fault], wrong: &[bool]) -> bool {
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        let (bad, count) = bad_slopes(&self.rect, faults, wrong, |wi, wj| wi != wj);
+        if count == self.rect.slopes() {
+            return false;
+        }
+        let groups = self.rect.groups();
+        // Scratch occupancy per group: 0 = empty, 1 = has W, 2 = has R,
+        // 3 = both (impossible on a good slope).
+        let mut occupancy = vec![0u8; groups];
+        for (slope, &is_bad) in bad.iter().enumerate() {
+            if is_bad {
+                continue;
+            }
+            occupancy.fill(0);
+            let (mut w_groups, mut r_groups) = (0usize, 0usize);
+            for (fault, &is_wrong) in faults.iter().zip(wrong) {
+                let g = self.rect.group_of(fault.offset, slope);
+                let flag = if is_wrong { 1 } else { 2 };
+                if occupancy[g] & flag == 0 {
+                    occupancy[g] |= flag;
+                    if is_wrong {
+                        w_groups += 1;
+                    } else {
+                        r_groups += 1;
+                    }
+                }
+            }
+            if w_groups.min(r_groups) <= self.pointers {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect() -> Rectangle {
+        Rectangle::new(5, 7, 32).unwrap()
+    }
+
+    fn faults(offsets: &[usize]) -> Vec<Fault> {
+        offsets.iter().map(|&o| Fault::new(o, false)).collect()
+    }
+
+    #[test]
+    fn aegis_two_wrong_in_one_column_is_always_fine() {
+        // Same-column bits never collide on any slope.
+        let p = AegisPolicy::new(rect());
+        let fs = faults(&[0, 5, 10]); // column a = 0
+        assert!(p.recoverable(&fs, &[true, true, true]));
+        assert!(p.guaranteed(&fs));
+    }
+
+    #[test]
+    fn aegis_r_r_pairs_do_not_poison_slopes() {
+        let p = AegisPolicy::new(rect());
+        // Offsets 0 and 1 collide on slope 0; as two R faults that is fine.
+        let fs = faults(&[0, 1]);
+        assert!(p.recoverable(&fs, &[false, false]));
+        // As two W faults there is still another slope (B = 7 > 1 bad).
+        assert!(p.recoverable(&fs, &[true, true]));
+    }
+
+    #[test]
+    fn aegis_guaranteed_matches_hard_ftc() {
+        // Any hard-FTC-sized fault set must be guaranteed.
+        let r = rect();
+        let p = AegisPolicy::new(r.clone());
+        assert_eq!(r.hard_ftc(), 4); // C(4,2)+1 = 7 <= B = 7
+        // Exhaustive over all 3-subsets of a sample of offsets.
+        let sample: Vec<usize> = (0..32).step_by(3).collect();
+        for (i, &a) in sample.iter().enumerate() {
+            for (j, &b) in sample.iter().enumerate().skip(i + 1) {
+                for &c in sample.iter().skip(j + 1) {
+                    assert!(p.guaranteed(&faults(&[a, b, c])), "{a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rw_accepts_splits_plain_aegis_rejects() {
+        let r = Rectangle::new(2, 3, 6).unwrap();
+        let plain = AegisPolicy::new(r.clone());
+        let rw = AegisRwPolicy::new(r);
+        // All six bits stuck; every slope has a multi-W group for the
+        // all-wrong split => plain fails.
+        let fs = faults(&[0, 1, 2, 3, 4, 5]);
+        let all_w = vec![true; 6];
+        assert!(!plain.recoverable(&fs, &all_w));
+        // For -rw an all-W population has no mixed pair at all.
+        assert!(rw.recoverable(&fs, &all_w));
+    }
+
+    #[test]
+    fn rw_p_needs_pointer_budget() {
+        let r = rect();
+        // Three W faults in three distinct columns: on every slope they
+        // occupy 2-3 distinct groups (at most two can share one group).
+        let fs = faults(&[0, 11, 22]);
+        let all_w = vec![true; 3];
+        let tight = AegisRwPPolicy::new(r.clone(), 1);
+        // Case B rescues it: zero R-groups fit any budget.
+        assert!(tight.recoverable(&fs, &all_w));
+        // Mixed population: 3 W + 3 R spread out, budget 1 can fail.
+        let many = faults(&[0, 11, 22, 6, 17, 28]);
+        let split = vec![true, true, true, false, false, false];
+        let roomy = AegisRwPPolicy::new(r.clone(), 3);
+        let rw = AegisRwPolicy::new(r);
+        // Sanity: whenever rw-p accepts, plain rw must accept too.
+        if tight.recoverable(&many, &split) {
+            assert!(rw.recoverable(&many, &split));
+        }
+        if rw.recoverable(&many, &split) {
+            assert!(roomy.recoverable(&many, &split));
+        }
+    }
+
+    #[test]
+    fn rw_p_is_monotone_in_pointers() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let r = rect();
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..200 {
+            let f: usize = rng.random_range(2..10);
+            let mut offsets = Vec::new();
+            while offsets.len() < f {
+                let o: usize = rng.random_range(0..32);
+                if !offsets.contains(&o) {
+                    offsets.push(o);
+                }
+            }
+            let fs = faults(&offsets);
+            let wrong: Vec<bool> = (0..f).map(|_| rng.random()).collect();
+            let mut prev = false;
+            for p in 1..=4 {
+                let policy = AegisRwPPolicy::new(r.clone(), p);
+                let now = policy.recoverable(&fs, &wrong);
+                assert!(!prev || now, "more pointers must not hurt");
+                prev = now;
+            }
+        }
+    }
+
+    #[test]
+    fn policies_report_paper_overheads() {
+        let r512 = Rectangle::new(9, 61, 512).unwrap();
+        assert_eq!(AegisPolicy::new(r512.clone()).overhead_bits(), 67);
+        assert_eq!(AegisRwPolicy::new(r512.clone()).overhead_bits(), 67);
+        assert_eq!(AegisRwPPolicy::new(r512, 9).overhead_bits(), 62);
+    }
+}

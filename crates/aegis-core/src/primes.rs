@@ -1,0 +1,122 @@
+//! Primality helpers for choosing the `B` dimension of an Aegis rectangle.
+
+/// Whether `n` is prime (deterministic trial division; the `B` values used
+/// by Aegis are tiny, so this is never hot).
+///
+/// # Examples
+///
+/// ```
+/// use aegis_core::primes::is_prime;
+/// assert!(is_prime(61));
+/// assert!(!is_prime(63));
+/// assert!(!is_prime(1));
+/// ```
+#[must_use]
+pub fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Smallest prime `>= n`.
+///
+/// # Examples
+///
+/// ```
+/// use aegis_core::primes::next_prime_at_least;
+/// assert_eq!(next_prime_at_least(24), 29);
+/// assert_eq!(next_prime_at_least(23), 23);
+/// assert_eq!(next_prime_at_least(0), 2);
+/// ```
+#[must_use]
+pub fn next_prime_at_least(n: usize) -> usize {
+    let mut candidate = n.max(2);
+    while !is_prime(candidate) {
+        candidate += 1;
+    }
+    candidate
+}
+
+/// Modular inverse of `x` modulo prime `p`, via Fermat's little theorem.
+///
+/// # Panics
+///
+/// Panics if `p` is not prime or `x % p == 0` (no inverse exists).
+#[must_use]
+pub fn mod_inverse(x: usize, p: usize) -> usize {
+    assert!(is_prime(p), "modulus {p} must be prime");
+    let x = x % p;
+    assert!(x != 0, "0 has no inverse modulo {p}");
+    mod_pow(x, p - 2, p)
+}
+
+/// `base^exp mod m` by square-and-multiply.
+#[must_use]
+pub fn mod_pow(mut base: usize, mut exp: usize, m: usize) -> usize {
+    let mut result = 1usize;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * base % m;
+        }
+        base = base * base % m;
+        exp >>= 1;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<usize> = (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn paper_b_values_are_prime() {
+        for b in [23, 31, 61, 71] {
+            assert!(is_prime(b), "{b} should be prime");
+        }
+    }
+
+    #[test]
+    fn next_prime_examples() {
+        assert_eq!(next_prime_at_least(16), 17);
+        assert_eq!(next_prime_at_least(62), 67);
+    }
+
+    #[test]
+    fn inverse_times_x_is_one() {
+        for p in [23usize, 31, 61, 71] {
+            for x in 1..p {
+                assert_eq!(x * mod_inverse(x, p) % p, 1, "x={x} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_has_no_inverse() {
+        let _ = mod_inverse(23, 23);
+    }
+
+    #[test]
+    fn mod_pow_basics() {
+        assert_eq!(mod_pow(2, 10, 1000), 24);
+        assert_eq!(mod_pow(5, 0, 7), 1);
+    }
+}

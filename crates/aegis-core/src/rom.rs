@@ -1,0 +1,240 @@
+//! Precomputed lookup tables mirroring the paper's wired logic.
+//!
+//! The paper implements Aegis with three ROM structures:
+//!
+//! - Figure 3: `(slope, fault address) → group ID` — [`GroupRom`];
+//! - Figure 4: `(slope, inversion vector) → bits to invert` —
+//!   [`InversionRom`];
+//! - §2.4: the `n×n` "on which slope do these two bits collide" ROM used by
+//!   Aegis-rw — [`CollisionRom`].
+//!
+//! A software table computed once at construction has the same
+//! input→output behaviour as the combinational circuits in the figures.
+
+use crate::Rectangle;
+use bitblock::BitBlock;
+
+/// `(slope, offset) → group ID` table (the paper's Figure 3 logic).
+#[derive(Debug, Clone)]
+pub struct GroupRom {
+    /// `table[slope * bits + offset]` = group.
+    table: Vec<u16>,
+    bits: usize,
+    slopes: usize,
+}
+
+impl GroupRom {
+    /// Builds the table for a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle has more than `u16::MAX` groups (never the
+    /// case for realistic block sizes).
+    #[must_use]
+    pub fn new(rect: &Rectangle) -> Self {
+        assert!(rect.groups() <= u16::MAX as usize);
+        let bits = rect.bits();
+        let slopes = rect.slopes();
+        let mut table = Vec::with_capacity(bits * slopes);
+        for slope in 0..slopes {
+            for offset in 0..bits {
+                table.push(rect.group_of(offset, slope) as u16);
+            }
+        }
+        Self { table, bits, slopes }
+    }
+
+    /// Group of `offset` under `slope`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input is out of range.
+    #[must_use]
+    pub fn group_of(&self, offset: usize, slope: usize) -> usize {
+        assert!(offset < self.bits && slope < self.slopes, "GroupRom index out of range");
+        self.table[slope * self.bits + offset] as usize
+    }
+}
+
+/// `(slope, group) → member-bit mask` table (the paper's Figure 4 logic).
+#[derive(Debug, Clone)]
+pub struct InversionRom {
+    /// `masks[slope * groups + group]` = n-bit mask of the group's members.
+    masks: Vec<BitBlock>,
+    groups: usize,
+    slopes: usize,
+    bits: usize,
+}
+
+impl InversionRom {
+    /// Builds the mask table for a rectangle.
+    #[must_use]
+    pub fn new(rect: &Rectangle) -> Self {
+        let groups = rect.groups();
+        let slopes = rect.slopes();
+        let mut masks = Vec::with_capacity(groups * slopes);
+        for slope in 0..slopes {
+            for group in 0..groups {
+                masks.push(BitBlock::from_indices(
+                    rect.bits(),
+                    rect.group_members(slope, group),
+                ));
+            }
+        }
+        Self {
+            masks,
+            groups,
+            slopes,
+            bits: rect.bits(),
+        }
+    }
+
+    /// Member mask of one group under one slope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input is out of range.
+    #[must_use]
+    pub fn group_mask(&self, slope: usize, group: usize) -> &BitBlock {
+        assert!(slope < self.slopes && group < self.groups, "InversionRom index out of range");
+        &self.masks[slope * self.groups + group]
+    }
+
+    /// Combined mask of every group whose bit is set in `inversion_vector`
+    /// — exactly the bits written in inverted form (Figure 4's output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slope` is out of range or the vector width differs from
+    /// the group count.
+    #[must_use]
+    pub fn inversion_mask(&self, slope: usize, inversion_vector: &BitBlock) -> BitBlock {
+        assert_eq!(
+            inversion_vector.len(),
+            self.groups,
+            "inversion vector width must equal the group count"
+        );
+        let mut mask = BitBlock::zeros(self.bits);
+        for group in inversion_vector.ones() {
+            mask |= self.group_mask(slope, group);
+        }
+        mask
+    }
+}
+
+/// The §2.4 ROM: for every pair of bit offsets, the unique slope on which
+/// they collide (`u16::MAX` encodes "never collide" — same-column pairs).
+#[derive(Debug, Clone)]
+pub struct CollisionRom {
+    table: Vec<u16>,
+    bits: usize,
+}
+
+const NO_COLLISION: u16 = u16::MAX;
+
+impl CollisionRom {
+    /// Builds the `n×n` collision table.
+    #[must_use]
+    pub fn new(rect: &Rectangle) -> Self {
+        let bits = rect.bits();
+        let mut table = vec![NO_COLLISION; bits * bits];
+        for o1 in 0..bits {
+            for o2 in (o1 + 1)..bits {
+                if let Some(slope) = rect.collision_slope(o1, o2) {
+                    table[o1 * bits + o2] = slope as u16;
+                    table[o2 * bits + o1] = slope as u16;
+                }
+            }
+        }
+        Self { table, bits }
+    }
+
+    /// Slope on which two distinct bits collide, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either offset is out of range or they are equal.
+    #[must_use]
+    pub fn collision_slope(&self, offset1: usize, offset2: usize) -> Option<usize> {
+        assert!(offset1 < self.bits && offset2 < self.bits, "offset out of range");
+        assert_ne!(offset1, offset2, "a bit always collides with itself");
+        let entry = self.table[offset1 * self.bits + offset2];
+        (entry != NO_COLLISION).then_some(entry as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect() -> Rectangle {
+        Rectangle::new(5, 7, 32).unwrap()
+    }
+
+    #[test]
+    fn group_rom_matches_geometry() {
+        let r = rect();
+        let rom = GroupRom::new(&r);
+        for slope in 0..r.slopes() {
+            for offset in 0..r.bits() {
+                assert_eq!(rom.group_of(offset, slope), r.group_of(offset, slope));
+            }
+        }
+    }
+
+    #[test]
+    fn inversion_rom_masks_partition_the_block() {
+        let r = rect();
+        let rom = InversionRom::new(&r);
+        for slope in 0..r.slopes() {
+            let mut union = BitBlock::zeros(r.bits());
+            let mut total = 0;
+            for group in 0..r.groups() {
+                let mask = rom.group_mask(slope, group);
+                total += mask.count_ones();
+                union |= mask;
+            }
+            assert_eq!(total, r.bits(), "groups overlap at slope {slope}");
+            assert_eq!(union.count_ones(), r.bits());
+        }
+    }
+
+    #[test]
+    fn inversion_mask_unions_selected_groups() {
+        let r = rect();
+        let rom = InversionRom::new(&r);
+        let mut vector = BitBlock::zeros(r.groups());
+        vector.set(0, true);
+        vector.set(3, true);
+        let mask = rom.inversion_mask(2, &vector);
+        let expected = rom.group_mask(2, 0) | rom.group_mask(2, 3);
+        assert_eq!(mask, expected);
+    }
+
+    #[test]
+    fn empty_vector_gives_empty_mask() {
+        let r = rect();
+        let rom = InversionRom::new(&r);
+        assert_eq!(rom.inversion_mask(0, &BitBlock::zeros(r.groups())).count_ones(), 0);
+    }
+
+    #[test]
+    fn collision_rom_matches_geometry() {
+        let r = rect();
+        let rom = CollisionRom::new(&r);
+        for o1 in 0..r.bits() {
+            for o2 in 0..r.bits() {
+                if o1 != o2 {
+                    assert_eq!(rom.collision_slope(o1, o2), r.collision_slope(o1, o2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with itself")]
+    fn collision_rom_rejects_identical_offsets() {
+        let rom = CollisionRom::new(&rect());
+        let _ = rom.collision_slope(3, 3);
+    }
+}

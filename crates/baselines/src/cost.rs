@@ -1,0 +1,48 @@
+//! Per-block metadata costs of the baseline schemes.
+
+pub use aegis_core::cost::{ceil_log2, safer_cost as safer_overhead};
+
+/// ECP-N overhead: `N·(⌈log₂n⌉ + 1) + 1` bits (pointer + replacement bit
+/// per entry, plus a full bit).
+#[must_use]
+pub fn ecp_overhead(entries: usize, block_bits: usize) -> usize {
+    entries * (ceil_log2(block_bits) + 1) + 1
+}
+
+/// Literal metadata cost of our RDIS implementation: one row mask and one
+/// column mask per recursion level.
+#[must_use]
+pub fn rdis_overhead(rows: usize, cols: usize, depth: usize) -> usize {
+    depth * (rows + cols)
+}
+
+/// The overhead the Aegis paper attributes to RDIS-3 ("25% of data space"
+/// for 256-bit blocks, "19%" for 512-bit), used for figure annotations.
+/// `None` for block sizes the paper does not quote.
+#[must_use]
+pub fn rdis_paper_overhead(block_bits: usize) -> Option<usize> {
+    match block_bits {
+        256 => Some(64),
+        512 => Some(97),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecp_matches_table1() {
+        let row: Vec<usize> = (1..=10).map(|n| ecp_overhead(n, 512)).collect();
+        assert_eq!(row, [11, 21, 31, 41, 51, 61, 71, 81, 91, 101]);
+    }
+
+    #[test]
+    fn rdis_literal_and_paper_values() {
+        assert_eq!(rdis_overhead(16, 32, 3), 144);
+        assert_eq!(rdis_paper_overhead(512), Some(97));
+        assert_eq!(rdis_paper_overhead(256), Some(64));
+        assert_eq!(rdis_paper_overhead(128), None);
+    }
+}

@@ -1,0 +1,422 @@
+//! Hamming SEC-DED ECC — the conventional-memory comparator.
+//!
+//! The paper uses "the 12.5% space overhead of the (72, 64) Hamming
+//! coding, the most popular ECC scheme" as the budget yardstick for
+//! Figure 6 and argues (§4) that ECC is a poor fit for PCM because
+//! correcting *multiple* accumulated hard faults per word is expensive.
+//! This module implements the actual code so that claim can be measured
+//! rather than assumed: a 512-bit block is eight (72,64) codewords, and a
+//! word with two or more stuck-at-Wrong cells is uncorrectable.
+//!
+//! Following this workspace's convention (inversion vectors, pointers and
+//! slope counters are ideal side storage for every scheme), the eight
+//! check bits per word live in ideal metadata, not in wearing cells —
+//! a strictly favorable treatment for ECC.
+
+use bitblock::BitBlock;
+use pcm_sim::codec::{StuckAtCodec, WriteReport};
+use pcm_sim::policy::RecoveryPolicy;
+use pcm_sim::{Fault, PcmBlock, UncorrectableError};
+
+/// Number of payload bits per codeword.
+pub const WORD_BITS: usize = 64;
+/// Check bits per codeword (positions 1,2,4,…,64 in the extended Hamming
+/// layout, plus the overall parity bit).
+pub const CHECK_BITS: usize = 8;
+
+/// Encodes a 64-bit payload into its 8 check bits (extended Hamming
+/// H(72,64): 7 positional parities + 1 overall parity).
+#[must_use]
+pub fn encode_checks(word: u64) -> u8 {
+    let mut checks = 0u8;
+    // Positional parities over codeword positions 1..=71, data packed into
+    // the non-power-of-two positions in ascending order.
+    let mut data_idx = 0usize;
+    let mut parity = [false; 7];
+    let mut overall = false;
+    for position in 1usize..72 {
+        if position.is_power_of_two() {
+            continue; // check-bit slot
+        }
+        let bit = (word >> data_idx) & 1 == 1;
+        data_idx += 1;
+        if bit {
+            overall = !overall;
+            for (p, flag) in parity.iter_mut().enumerate() {
+                if position & (1 << p) != 0 {
+                    *flag = !*flag;
+                }
+            }
+        }
+    }
+    for (p, &flag) in parity.iter().enumerate() {
+        if flag {
+            checks |= 1 << p;
+            overall = !overall;
+        }
+    }
+    if overall {
+        checks |= 1 << 7;
+    }
+    checks
+}
+
+/// Decode outcome of one codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// Codeword is consistent.
+    Clean,
+    /// One payload bit was flipped back (its 0-based payload index).
+    CorrectedData(usize),
+    /// A check bit was wrong; payload already correct.
+    CorrectedCheck,
+    /// Two or more errors: uncorrectable.
+    DoubleError,
+}
+
+/// Decodes a received payload + checks, correcting a single error in
+/// place.
+#[must_use]
+pub fn decode_word(word: &mut u64, checks: u8) -> DecodeOutcome {
+    let expected = encode_checks(*word);
+    let syndrome = ((expected ^ checks) & 0x7f) as usize;
+    // The overall bit covers all 71 other positions, so the *total* parity
+    // of the received codeword is the stored-vs-recomputed overall
+    // mismatch folded with the parity of the positional syndrome.
+    let overall_mismatch = (expected ^ checks) & 0x80 != 0;
+    let total_parity_odd = overall_mismatch ^ (syndrome.count_ones() % 2 == 1);
+    match (syndrome, total_parity_odd) {
+        (0, false) => DecodeOutcome::Clean,
+        // Odd error count at a zero syndrome: the overall bit itself.
+        (0, true) => DecodeOutcome::CorrectedCheck,
+        // Non-zero syndrome with even total parity: >= 2 errors.
+        (_, false) => DecodeOutcome::DoubleError,
+        (s, true) if s.is_power_of_two() => DecodeOutcome::CorrectedCheck,
+        (s, true) if s < 72 => {
+            // Map the codeword position back to its payload index.
+            let data_idx = (1..s).filter(|p| !p.is_power_of_two()).count();
+            *word ^= 1 << data_idx;
+            DecodeOutcome::CorrectedData(data_idx)
+        }
+        // Syndromes past the codeword length arise only from multi-bit
+        // corruption.
+        _ => DecodeOutcome::DoubleError,
+    }
+}
+
+/// The (72,64) SEC-DED codec over a block of 64-bit words.
+///
+/// # Examples
+///
+/// ```
+/// use aegis_baselines::HammingCodec;
+/// use bitblock::BitBlock;
+/// use pcm_sim::codec::StuckAtCodec;
+/// use pcm_sim::PcmBlock;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut codec = HammingCodec::new(512);
+/// let mut block = PcmBlock::pristine(512);
+/// block.force_stuck(100, true); // one fault per word is correctable
+/// let data = BitBlock::zeros(512);
+/// codec.write(&mut block, &data)?;
+/// assert_eq!(codec.read(&block), data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HammingCodec {
+    block_bits: usize,
+    checks: Vec<u8>,
+}
+
+impl HammingCodec {
+    /// Creates the codec for a block of `block_bits` (a multiple of 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `block_bits` is a positive multiple of 64.
+    #[must_use]
+    pub fn new(block_bits: usize) -> Self {
+        assert!(
+            block_bits > 0 && block_bits.is_multiple_of(WORD_BITS),
+            "block must be a positive multiple of {WORD_BITS} bits"
+        );
+        Self {
+            block_bits,
+            checks: vec![0; block_bits / WORD_BITS],
+        }
+    }
+
+    fn words(data: &BitBlock) -> Vec<u64> {
+        data.as_words().to_vec()
+    }
+}
+
+impl StuckAtCodec for HammingCodec {
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] when some codeword holds two or more
+    /// stuck-at-Wrong cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    fn write(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError> {
+        assert_eq!(data.len(), self.block_bits, "data width mismatch");
+        assert_eq!(block.len(), self.block_bits, "block width mismatch");
+        let mut report = WriteReport::default();
+        report.cell_pulses += block.write_raw(data);
+        report.verify_reads += 1;
+        // Any single wrong cell per word is covered by SEC; two are not.
+        let wrong = block.verify(data);
+        let mut per_word = vec![0usize; self.checks.len()];
+        for offset in wrong {
+            per_word[offset / WORD_BITS] += 1;
+        }
+        if let Some(word) = per_word.iter().position(|&w| w > 1) {
+            return Err(UncorrectableError::new(
+                self.name(),
+                block.fault_count(),
+                format!("codeword {word} holds multiple stuck-at-wrong cells"),
+            ));
+        }
+        for (word, checks) in Self::words(data).iter().zip(&mut self.checks) {
+            *checks = encode_checks(*word);
+        }
+        Ok(report)
+    }
+
+    fn read(&self, block: &PcmBlock) -> BitBlock {
+        let raw = block.read_raw();
+        let mut words = Self::words(&raw);
+        for (word, &checks) in words.iter_mut().zip(&self.checks) {
+            let _ = decode_word(word, checks);
+        }
+        let mut out = BitBlock::zeros(self.block_bits);
+        for (w, word) in words.iter().enumerate() {
+            for bit in 0..WORD_BITS {
+                if word >> bit & 1 == 1 {
+                    out.set(w * WORD_BITS + bit, true);
+                }
+            }
+        }
+        out
+    }
+
+    fn overhead_bits(&self) -> usize {
+        self.checks.len() * CHECK_BITS
+    }
+
+    fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    fn name(&self) -> String {
+        "Hamming72_64".to_owned()
+    }
+}
+
+/// Monte Carlo predicate for the SEC-DED baseline: a write succeeds iff no
+/// 64-bit word holds two or more stuck-at-Wrong faults.
+#[derive(Debug, Clone, Copy)]
+pub struct HammingPolicy {
+    block_bits: usize,
+}
+
+impl HammingPolicy {
+    /// Creates the policy (block width a positive multiple of 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `block_bits` is a positive multiple of 64.
+    #[must_use]
+    pub fn new(block_bits: usize) -> Self {
+        assert!(
+            block_bits > 0 && block_bits.is_multiple_of(WORD_BITS),
+            "block must be a positive multiple of {WORD_BITS} bits"
+        );
+        Self { block_bits }
+    }
+}
+
+impl RecoveryPolicy for HammingPolicy {
+    fn name(&self) -> String {
+        "Hamming72_64".to_owned()
+    }
+
+    fn overhead_bits(&self) -> usize {
+        self.block_bits / WORD_BITS * CHECK_BITS
+    }
+
+    fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    fn recoverable(&self, faults: &[Fault], wrong: &[bool]) -> bool {
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        let mut per_word = vec![0u8; self.block_bits / WORD_BITS];
+        for (fault, &is_wrong) in faults.iter().zip(wrong) {
+            if is_wrong {
+                let w = fault.offset / WORD_BITS;
+                per_word[w] += 1;
+                if per_word[w] > 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Exact guarantee: at most one fault of any kind per codeword (two
+    /// faults in one word always have a split making both W… no — making
+    /// both *wrong* needs only each to be W, which a single data word can
+    /// arrange whenever both cells exist).
+    fn guaranteed(&self, faults: &[Fault]) -> bool {
+        let mut per_word = vec![0u8; self.block_bits / WORD_BITS];
+        for fault in faults {
+            let w = fault.offset / WORD_BITS;
+            per_word[w] += 1;
+            if per_word[w] > 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn encode_decode_roundtrip_clean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let word: u64 = rng.random();
+            let checks = encode_checks(word);
+            let mut received = word;
+            assert_eq!(decode_word(&mut received, checks), DecodeOutcome::Clean);
+            assert_eq!(received, word);
+        }
+    }
+
+    #[test]
+    fn every_single_data_bit_error_is_corrected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let word: u64 = rng.random();
+            let checks = encode_checks(word);
+            for bit in 0..64 {
+                let mut received = word ^ (1 << bit);
+                assert_eq!(
+                    decode_word(&mut received, checks),
+                    DecodeOutcome::CorrectedData(bit),
+                    "bit {bit}"
+                );
+                assert_eq!(received, word);
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_check_bit_error_is_flagged_harmless() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let word: u64 = rng.random();
+        let checks = encode_checks(word);
+        for c in 0..8 {
+            let mut received = word;
+            assert_eq!(
+                decode_word(&mut received, checks ^ (1 << c)),
+                DecodeOutcome::CorrectedCheck,
+                "check bit {c}"
+            );
+            assert_eq!(received, word);
+        }
+    }
+
+    #[test]
+    fn double_data_errors_are_detected_not_miscorrected() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let word: u64 = rng.random();
+            let checks = encode_checks(word);
+            let b1 = rng.random_range(0..64u32);
+            let mut b2 = rng.random_range(0..64u32);
+            while b2 == b1 {
+                b2 = rng.random_range(0..64u32);
+            }
+            let mut received = word ^ (1 << b1) ^ (1 << b2);
+            assert_eq!(decode_word(&mut received, checks), DecodeOutcome::DoubleError);
+        }
+    }
+
+    #[test]
+    fn codec_masks_one_fault_per_word() {
+        let mut codec = HammingCodec::new(512);
+        let mut block = PcmBlock::pristine(512);
+        for w in 0..8 {
+            block.force_stuck(w * 64 + 7, true); // one fault in every word
+        }
+        let data = BitBlock::zeros(512);
+        codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+        assert_eq!(codec.overhead_bits(), 64); // 12.5%
+    }
+
+    #[test]
+    fn codec_fails_on_two_wrong_cells_in_one_word() {
+        let mut codec = HammingCodec::new(512);
+        let mut block = PcmBlock::pristine(512);
+        block.force_stuck(3, true);
+        block.force_stuck(40, true); // same word 0
+        assert!(codec.write(&mut block, &BitBlock::zeros(512)).is_err());
+    }
+
+    #[test]
+    fn codec_agrees_with_policy() {
+        use pcm_sim::classify_split;
+        let policy = HammingPolicy::new(128);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..300 {
+            let mut block = PcmBlock::pristine(128);
+            let mut faults = Vec::new();
+            for _ in 0..4 {
+                let o = rng.random_range(0..128);
+                if !faults.iter().any(|f: &Fault| f.offset == o) {
+                    let stuck = rng.random();
+                    block.force_stuck(o, stuck);
+                    faults.push(Fault::new(o, stuck));
+                }
+            }
+            let data = BitBlock::random(&mut rng, 128);
+            let wrong = classify_split(&faults, &data);
+            let mut codec = HammingCodec::new(128);
+            assert_eq!(
+                codec.write(&mut block, &data).is_ok(),
+                policy.recoverable(&faults, &wrong)
+            );
+        }
+    }
+
+    #[test]
+    fn guaranteed_is_one_fault_per_word() {
+        let p = HammingPolicy::new(512);
+        let spread: Vec<Fault> = (0..8).map(|w| Fault::new(w * 64, true)).collect();
+        assert!(p.guaranteed(&spread));
+        let clash = vec![Fault::new(0, true), Fault::new(1, false)];
+        assert!(!p.guaranteed(&clash));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn odd_width_panics() {
+        let _ = HammingCodec::new(100);
+    }
+}

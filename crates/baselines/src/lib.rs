@@ -1,0 +1,58 @@
+//! Baseline PCM stuck-at-fault recovery schemes.
+//!
+//! Everything the Aegis paper (MICRO-46, 2013) compares against, rebuilt
+//! from the comparators' published descriptions:
+//!
+//! - [`EcpCodec`] / [`EcpPolicy`] — ECP-N, the pointer-based scheme
+//!   (Schechter et al., ISCA 2010);
+//! - [`SaferCodec`] / [`SaferPolicy`] — SAFER-N, partition vectors over
+//!   address bits (Seong et al., MICRO 2010), with and without a fail
+//!   cache, and with both the faithful incremental re-partition and an
+//!   idealized exhaustive search;
+//! - [`RdisCodec`] / [`RdisPolicy`] — RDIS, the recursively defined
+//!   invertible set (Melhem et al., DSN 2012), depth-parameterized
+//!   (RDIS-3 by default);
+//! - [`UnprotectedCodec`] / [`UnprotectedPolicy`] — the normalization
+//!   baseline of the lifetime-improvement figures.
+//!
+//! Each scheme comes in two faces, like the Aegis variants in
+//! [`aegis_core`]: a functional [`StuckAtCodec`](pcm_sim::codec::StuckAtCodec)
+//! that drives simulated cells, and an analytic
+//! [`RecoveryPolicy`](pcm_sim::policy::RecoveryPolicy) for the Monte Carlo
+//! engine, property-tested to agree with each other.
+//!
+//! # Examples
+//!
+//! ```
+//! use aegis_baselines::EcpCodec;
+//! use bitblock::BitBlock;
+//! use pcm_sim::codec::StuckAtCodec;
+//! use pcm_sim::PcmBlock;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut codec = EcpCodec::new(6, 512);
+//! let mut block = PcmBlock::pristine(512);
+//! block.force_stuck(3, true);
+//! let data = BitBlock::zeros(512);
+//! codec.write(&mut block, &data)?;
+//! assert_eq!(codec.read(&block), data);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ecp;
+mod rdis;
+mod safer;
+mod unprotected;
+
+pub mod cost;
+pub mod hamming;
+
+pub use ecp::{EcpCodec, EcpPolicy};
+pub use hamming::{HammingCodec, HammingPolicy};
+pub use rdis::{InvertibleSets, RdisCodec, RdisPolicy, RdisScheme};
+pub use safer::{combinations, PartitionSearch, SaferCodec, SaferPolicy, SaferScheme};
+pub use unprotected::{UnprotectedCodec, UnprotectedPolicy};

@@ -1,0 +1,140 @@
+//! The unprotected baseline: a page dies with its first stuck cell.
+//!
+//! Figures 6, 7, 12 and 13 report lifetime *improvement* relative to "a
+//! 4KB-page without any error protection"; this is that denominator.
+
+use bitblock::BitBlock;
+use pcm_sim::codec::{StuckAtCodec, WriteReport};
+use pcm_sim::policy::RecoveryPolicy;
+use pcm_sim::{Fault, PcmBlock, UncorrectableError};
+
+/// Raw storage with no recovery mechanism at all.
+#[derive(Debug, Clone, Copy)]
+pub struct UnprotectedCodec {
+    block_bits: usize,
+}
+
+impl UnprotectedCodec {
+    /// Creates the pass-through codec for `block_bits`-bit blocks.
+    #[must_use]
+    pub fn new(block_bits: usize) -> Self {
+        Self { block_bits }
+    }
+}
+
+impl StuckAtCodec for UnprotectedCodec {
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] as soon as any cell reads back wrong.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    fn write(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError> {
+        assert_eq!(data.len(), self.block_bits, "data width mismatch");
+        let mut report = WriteReport::default();
+        report.cell_pulses += block.write_raw(data);
+        report.verify_reads += 1;
+        let wrong = block.verify(data);
+        if wrong.is_empty() {
+            Ok(report)
+        } else {
+            Err(UncorrectableError::new(
+                self.name(),
+                block.fault_count(),
+                format!("{} cells read back wrong", wrong.len()),
+            ))
+        }
+    }
+
+    fn read(&self, block: &PcmBlock) -> BitBlock {
+        block.read_raw()
+    }
+
+    fn overhead_bits(&self) -> usize {
+        0
+    }
+
+    fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    fn name(&self) -> String {
+        "unprotected".to_owned()
+    }
+}
+
+/// Monte Carlo predicate: survives only while fault-free.
+///
+/// (A stuck-at-Right fault happens to survive the write that reveals it,
+/// but the very next write flips a coin on it; the paper's unprotected
+/// baseline counts a page dead at its first failed cell, and so do we.)
+#[derive(Debug, Clone, Copy)]
+pub struct UnprotectedPolicy {
+    block_bits: usize,
+}
+
+impl UnprotectedPolicy {
+    /// Creates the policy for `block_bits`-bit blocks.
+    #[must_use]
+    pub fn new(block_bits: usize) -> Self {
+        Self { block_bits }
+    }
+}
+
+impl RecoveryPolicy for UnprotectedPolicy {
+    fn name(&self) -> String {
+        "unprotected".to_owned()
+    }
+
+    fn overhead_bits(&self) -> usize {
+        0
+    }
+
+    fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    fn recoverable(&self, faults: &[Fault], wrong: &[bool]) -> bool {
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        faults.is_empty()
+    }
+
+    fn guaranteed(&self, faults: &[Fault]) -> bool {
+        faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_block_roundtrips() {
+        let mut codec = UnprotectedCodec::new(32);
+        let mut block = PcmBlock::pristine(32);
+        let data = BitBlock::from_indices(32, [1usize, 30]);
+        codec.write(&mut block, &data).unwrap();
+        assert_eq!(codec.read(&block), data);
+    }
+
+    #[test]
+    fn first_w_fault_is_fatal() {
+        let mut codec = UnprotectedCodec::new(32);
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(4, true);
+        assert!(codec.write(&mut block, &BitBlock::zeros(32)).is_err());
+    }
+
+    #[test]
+    fn policy_rejects_any_fault() {
+        let p = UnprotectedPolicy::new(512);
+        assert!(p.recoverable(&[], &[]));
+        assert!(!p.recoverable(&[Fault::new(0, false)], &[false]));
+        assert!(!p.guaranteed(&[Fault::new(0, false)]));
+    }
+}

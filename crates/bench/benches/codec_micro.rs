@@ -1,0 +1,96 @@
+//! Micro-benchmarks of every functional codec: write+read round-trips on
+//! clean and faulty 512-bit blocks, and the cost of a forced re-partition.
+
+use aegis_bench::{faulty_block, random_data};
+use aegis_core::{AegisCodec, AegisRwCodec, AegisRwPCodec, Rectangle};
+use aegis_baselines::{EcpCodec, PartitionSearch, RdisCodec, SaferCodec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcm_sim::codec::StuckAtCodec;
+use std::hint::black_box;
+
+fn codecs() -> Vec<Box<dyn StuckAtCodec>> {
+    let r = |a, b| Rectangle::new(a, b, 512).expect("valid formation");
+    vec![
+        Box::new(EcpCodec::new(6, 512)),
+        Box::new(SaferCodec::new(6, 512, PartitionSearch::Incremental)),
+        Box::new(RdisCodec::rdis3(512)),
+        Box::new(AegisCodec::new(r(17, 31))),
+        Box::new(AegisRwCodec::new(r(17, 31))),
+        Box::new(AegisRwPCodec::new(r(17, 31), 5)),
+    ]
+}
+
+fn bench_clean_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_read_clean_512");
+    for codec in codecs() {
+        let mut codec = codec;
+        let data = random_data(512, 1);
+        let (mut block, _) = faulty_block(512, 0, 2);
+        group.bench_function(codec.name(), |b| {
+            b.iter(|| {
+                codec
+                    .write(black_box(&mut block), black_box(&data))
+                    .expect("clean write");
+                black_box(codec.read(&block));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_faulty_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_read_5_faults_512");
+    for codec in codecs() {
+        let mut codec = codec;
+        let (mut block, _) = faulty_block(512, 5, 3);
+        group.bench_function(codec.name(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                // Fresh data each iteration so inversion state keeps moving.
+                seed = seed.wrapping_add(1);
+                let data = random_data(512, seed);
+                if codec.write(black_box(&mut block), black_box(&data)).is_ok() {
+                    black_box(codec.read(&block));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_repartition(c: &mut Criterion) {
+    // Two faults that collide at slope 0 force at least one re-partition
+    // per fresh codec: measures the §2.2 slope-increment machinery.
+    let rect = Rectangle::new(17, 31, 512).expect("valid formation");
+    let (mut block, _) = faulty_block(512, 0, 4);
+    block.force_stuck(0, true);
+    block.force_stuck(1, true);
+    let data = random_data(512, 9);
+    c.bench_function("aegis_forced_repartition", |b| {
+        b.iter(|| {
+            let mut codec = AegisCodec::new(rect.clone());
+            codec
+                .write(black_box(&mut block), black_box(&data))
+                .expect("two faults are within hard FTC");
+        });
+    });
+}
+
+fn bench_rom_construction(c: &mut Criterion) {
+    let rect = Rectangle::new(9, 61, 512).expect("valid formation");
+    c.bench_function("collision_rom_build_9x61", |b| {
+        b.iter(|| black_box(aegis_core::rom::CollisionRom::new(black_box(&rect))));
+    });
+    c.bench_function("inversion_rom_build_9x61", |b| {
+        b.iter(|| black_box(aegis_core::rom::InversionRom::new(black_box(&rect))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_clean_roundtrip,
+    bench_faulty_roundtrip,
+    bench_repartition,
+    bench_rom_construction
+);
+criterion_main!(benches);

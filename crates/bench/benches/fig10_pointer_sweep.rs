@@ -1,0 +1,34 @@
+//! Benchmarks the Figure 10 pipeline: Aegis-rw-p block-lifetime sweep over
+//! pointer counts, plus the rw-p predicate at each pointer budget.
+
+use aegis_bench::{bench_options, random_split};
+use aegis_experiments::{fig10, schemes};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcm_sim::Fault;
+use std::hint::black_box;
+
+fn bench_fig10_pipeline(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig10_pipeline");
+    group.sample_size(10);
+    group.bench_function("four_formations_p1_to_12", |b| {
+        b.iter(|| black_box(fig10::run(black_box(&opts))));
+    });
+    group.finish();
+}
+
+fn bench_rw_p_predicate_by_pointers(c: &mut Criterion) {
+    let faults: Vec<Fault> = (0..16).map(|i| Fault::new(i * 31 % 512, i % 2 == 0)).collect();
+    let wrong = random_split(faults.len(), 11);
+    let mut group = c.benchmark_group("rw_p_predicate_16_faults");
+    for p in [1usize, 3, 6, 9, 12] {
+        let policy = schemes::aegis_rw_p(9, 61, 512, p);
+        group.bench_function(format!("p={p}"), |b| {
+            b.iter(|| black_box(policy.recoverable(black_box(&faults), black_box(&wrong))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10_pipeline, bench_rw_p_predicate_by_pointers);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Benchmarks the Figure 5/6/7 pipeline (chip-level Monte Carlo for every
+//! scheme) and the per-scheme predicate throughput that dominates it.
+
+use aegis_bench::{bench_options, random_split};
+use aegis_experiments::{fig567, schemes};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcm_sim::Fault;
+use std::hint::black_box;
+
+fn bench_fig567_pipeline(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig567_pipeline");
+    group.sample_size(10);
+    group.bench_function("both_block_sizes_2_pages", |b| {
+        b.iter(|| black_box(fig567::run(black_box(&opts))));
+    });
+    group.finish();
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    // The Monte Carlo inner loop: recoverability of a 20-fault population.
+    let faults: Vec<Fault> = (0..20).map(|i| Fault::new(i * 23 % 512, i % 3 == 0)).collect();
+    let wrong = random_split(faults.len(), 5);
+    let mut group = c.benchmark_group("predicate_20_faults_512");
+    for policy in schemes::fig5_schemes(512) {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(policy.recoverable(black_box(&faults), black_box(&wrong))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig567_pipeline, bench_predicates);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks the Figure 8 pipeline: per-block failure CDFs for the
+//! cache/no-cache scheme set.
+
+use aegis_bench::bench_options;
+use aegis_experiments::schemes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcm_sim::montecarlo::block_failure_cdf;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig8_block_failure_cdf");
+    group.sample_size(10);
+    for policy in schemes::fig8_schemes() {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                black_box(block_failure_cdf(
+                    policy.as_ref(),
+                    opts.criterion,
+                    black_box(opts.trials),
+                    opts.seed,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks the Table 1 cost-model computation (and, by running it,
+//! regenerates the table's values — asserted against the paper inside).
+
+use aegis_core::cost;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Correctness gate: the bench refuses to measure a wrong table.
+    let rows = cost::table1(10, 512);
+    assert_eq!(
+        rows.iter().map(|r| r.aegis).collect::<Vec<_>>(),
+        cost::PAPER_TABLE1_AEGIS
+    );
+    assert_eq!(
+        rows.iter().map(|r| r.aegis_rw_p).collect::<Vec<_>>(),
+        cost::PAPER_TABLE1_AEGIS_RW_P
+    );
+
+    c.bench_function("table1_compute_512", |b| {
+        b.iter(|| black_box(cost::table1(black_box(10), black_box(512))));
+    });
+    c.bench_function("table1_compute_4096", |b| {
+        // Beyond the paper: a full-cacheline-sized block.
+        b.iter(|| black_box(cost::table1(black_box(10), black_box(4096))));
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

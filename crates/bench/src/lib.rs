@@ -1,0 +1,60 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each `benches/*.rs` target corresponds to one artifact of the paper
+//! (Table 1, Figures 5/8/10) or to an ablation DESIGN.md calls out, and
+//! drives the same entry points as the `experiments` binary at a reduced,
+//! benchmark-friendly scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aegis_experiments::runner::RunOptions;
+use bitblock::BitBlock;
+use pcm_sim::montecarlo::FailureCriterion;
+use pcm_sim::{Fault, PcmBlock};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Benchmark-scale run options: small enough for Criterion's repeated
+/// sampling, large enough to exercise the full pipeline.
+#[must_use]
+pub fn bench_options() -> RunOptions {
+    RunOptions {
+        pages: 2,
+        trials: 64,
+        seed: 7,
+        criterion: FailureCriterion::default(),
+        page_bytes: 4096,
+    }
+}
+
+/// A block with `f` random stuck-at faults, plus the fault list (arrival
+/// order).
+#[must_use]
+pub fn faulty_block(bits: usize, f: usize, seed: u64) -> (PcmBlock, Vec<Fault>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut block = PcmBlock::pristine(bits);
+    let mut faults = Vec::with_capacity(f);
+    while faults.len() < f {
+        let offset = rng.random_range(0..bits);
+        if !faults.iter().any(|fa: &Fault| fa.offset == offset) {
+            let stuck = rng.random();
+            block.force_stuck(offset, stuck);
+            faults.push(Fault::new(offset, stuck));
+        }
+    }
+    (block, faults)
+}
+
+/// A deterministic random data word.
+#[must_use]
+pub fn random_data(bits: usize, seed: u64) -> BitBlock {
+    BitBlock::random(&mut SmallRng::seed_from_u64(seed), bits)
+}
+
+/// A deterministic W/R split for `f` faults.
+#[must_use]
+pub fn random_split(f: usize, seed: u64) -> Vec<bool> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..f).map(|_| rng.random()).collect()
+}

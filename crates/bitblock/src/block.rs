@@ -1,0 +1,467 @@
+//! The [`BitBlock`] type: a fixed-width, heap-backed bit vector.
+
+use crate::iter::{Bits, Ones};
+use rand::{Rng, RngExt};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-width bit vector backed by `u64` words.
+///
+/// The width is chosen at construction and never changes; out-of-range
+/// indices panic (the schemes in this workspace address bits by in-block
+/// offset, so a range error is always a logic bug, not recoverable input).
+///
+/// # Examples
+///
+/// ```
+/// use bitblock::BitBlock;
+///
+/// let block = BitBlock::from_indices(32, [0usize, 5, 31]);
+/// assert_eq!(block.len(), 32);
+/// assert_eq!(block.count_ones(), 3);
+/// assert!(block.get(5));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitBlock {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitBlock {
+    /// Creates a block of `len` zero bits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let b = bitblock::BitBlock::zeros(512);
+    /// assert_eq!(b.count_ones(), 0);
+    /// assert_eq!(b.len(), 512);
+    /// ```
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Creates a block of `len` one bits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let b = bitblock::BitBlock::ones_block(10);
+    /// assert_eq!(b.count_ones(), 10);
+    /// ```
+    #[must_use]
+    pub fn ones_block(len: usize) -> Self {
+        let mut block = Self {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        block.clear_tail();
+        block
+    }
+
+    /// Creates a block from an iterator of booleans; the width is the
+    /// iterator's length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let b = bitblock::BitBlock::from_bools([true, false, true]);
+    /// assert_eq!(b.len(), 3);
+    /// assert_eq!(b.ones().collect::<Vec<_>>(), vec![0, 2]);
+    /// ```
+    #[must_use]
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut block = Self::zeros(0);
+        block.extend(bits);
+        block
+    }
+
+    /// Creates a `len`-bit block with ones exactly at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let b = bitblock::BitBlock::from_indices(8, [1usize, 7]);
+    /// assert_eq!(format!("{b}"), "01000001");
+    /// ```
+    #[must_use]
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, indices: I) -> Self {
+        let mut block = Self::zeros(len);
+        for i in indices {
+            block.set(i, true);
+        }
+        block
+    }
+
+    /// Creates a `len`-bit block whose bit `i` is `f(i)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let b = bitblock::BitBlock::from_fn(6, |i| i % 2 == 0);
+    /// assert_eq!(format!("{b}"), "101010");
+    /// ```
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, f: F) -> Self {
+        Self::from_bools((0..len).map(f))
+    }
+
+    /// Creates a uniformly random `len`-bit block.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::SmallRng, SeedableRng};
+    /// let mut rng = SmallRng::seed_from_u64(7);
+    /// let b = bitblock::BitBlock::random(&mut rng, 512);
+    /// assert_eq!(b.len(), 512);
+    /// ```
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
+        let mut block = Self {
+            words: (0..len.div_ceil(WORD_BITS)).map(|_| rng.random()).collect(),
+            len,
+        };
+        block.clear_tail();
+        block
+    }
+
+    /// Creates a random `len`-bit block where each bit is `1` with
+    /// probability `density` — models skewed data (real memory contents
+    /// are typically zero-heavy).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ density ≤ 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::SmallRng, SeedableRng};
+    /// let mut rng = SmallRng::seed_from_u64(1);
+    /// let b = bitblock::BitBlock::random_with_density(&mut rng, 1000, 0.1);
+    /// assert!(b.count_ones() < 200);
+    /// ```
+    #[must_use]
+    pub fn random_with_density<R: Rng + ?Sized>(rng: &mut R, len: usize, density: f64) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density out of [0, 1]");
+        Self::from_bools((0..len).map(|_| rng.random_bool(density)))
+    }
+
+    /// Number of bits in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block has zero width.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range 0..{}", self.len);
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes `value` into bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range 0..{}", self.len);
+        let mask = 1u64 << (index % WORD_BITS);
+        if value {
+            self.words[index / WORD_BITS] |= mask;
+        } else {
+            self.words[index / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flips bit `index` and returns its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn toggle(&mut self, index: usize) -> bool {
+        let new = !self.get(index);
+        self.set(index, new);
+        new
+    }
+
+    /// Number of one bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of zero bits.
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Whether any bit is set.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Whether every bit is set.
+    #[must_use]
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Iterator over every bit value, in offset order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let b = bitblock::BitBlock::from_indices(3, [1usize]);
+    /// assert_eq!(b.iter().collect::<Vec<_>>(), vec![false, true, false]);
+    /// ```
+    #[must_use]
+    pub fn iter(&self) -> Bits<'_> {
+        Bits::new(self)
+    }
+
+    /// Iterator over the offsets of set bits, ascending.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let b = bitblock::BitBlock::from_indices(100, [3usize, 64, 99]);
+    /// assert_eq!(b.ones().collect::<Vec<_>>(), vec![3, 64, 99]);
+    /// ```
+    #[must_use]
+    pub fn ones(&self) -> Ones<'_> {
+        Ones::new(self)
+    }
+
+    /// Number of positions at which `self` and `other` differ.
+    ///
+    /// This is the core of a PCM *verification read*: comparing the data just
+    /// written against what the cells actually hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn hamming_distance(&self, other: &Self) -> usize {
+        self.assert_same_len(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Offsets at which `self` and `other` differ, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bitblock::BitBlock;
+    /// let a = BitBlock::from_indices(16, [2usize, 9]);
+    /// let b = BitBlock::from_indices(16, [9usize, 11]);
+    /// assert_eq!(a.diff_offsets(&b), vec![2, 11]);
+    /// ```
+    #[must_use]
+    pub fn diff_offsets(&self, other: &Self) -> Vec<usize> {
+        self.assert_same_len(other);
+        let diff = self ^ other;
+        diff.ones().collect()
+    }
+
+    /// Inverts (XORs with 1) every bit whose offset is yielded by `offsets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any offset is out of range.
+    pub fn invert_offsets<I: IntoIterator<Item = usize>>(&mut self, offsets: I) {
+        for i in offsets {
+            self.toggle(i);
+        }
+    }
+
+    /// Inverts every bit of the block in place.
+    pub fn invert_all(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_tail();
+    }
+
+    /// Borrows the backing words (tail bits beyond `len` are zero).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn assert_same_len(&self, other: &Self) {
+        assert_eq!(
+            self.len, other.len,
+            "bit blocks differ in width ({} vs {})",
+            self.len, other.len
+        );
+    }
+
+    /// Zeroes the unused bits of the final word so that equality, hashing and
+    /// popcounts stay canonical.
+    pub(crate) fn clear_tail(&mut self) {
+        let used = self.len % WORD_BITS;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    pub(crate) fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(WORD_BITS) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if bit {
+            let idx = self.len - 1;
+            self.words[idx / WORD_BITS] |= 1u64 << (idx % WORD_BITS);
+        }
+    }
+}
+
+impl Extend<bool> for BitBlock {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for bit in iter {
+            self.push(bit);
+        }
+    }
+}
+
+impl FromIterator<bool> for BitBlock {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_bools(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let b = BitBlock::zeros(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.any());
+    }
+
+    #[test]
+    fn ones_block_is_all_ones_and_canonical() {
+        let b = BitBlock::ones_block(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.all());
+        // Tail of last word must be clear.
+        assert_eq!(b.as_words()[1] >> 6, 0);
+    }
+
+    #[test]
+    fn set_get_toggle_roundtrip() {
+        let mut b = BitBlock::zeros(512);
+        b.set(511, true);
+        assert!(b.get(511));
+        assert!(!b.toggle(511));
+        assert!(!b.get(511));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let _ = BitBlock::zeros(8).get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitBlock::zeros(8).set(9, true);
+    }
+
+    #[test]
+    fn from_indices_and_ones_agree() {
+        let idx = vec![0usize, 63, 64, 65, 200, 511];
+        let b = BitBlock::from_indices(512, idx.clone());
+        assert_eq!(b.ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn hamming_and_diff_offsets_agree() {
+        let a = BitBlock::from_indices(256, [1usize, 100, 200]);
+        let b = BitBlock::from_indices(256, [1usize, 101, 200, 255]);
+        assert_eq!(a.hamming_distance(&b), 3);
+        assert_eq!(a.diff_offsets(&b), vec![100, 101, 255]);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in width")]
+    fn hamming_width_mismatch_panics() {
+        let _ = BitBlock::zeros(8).hamming_distance(&BitBlock::zeros(9));
+    }
+
+    #[test]
+    fn invert_all_is_involutive_and_canonical() {
+        let mut b = BitBlock::from_indices(67, [0usize, 66]);
+        let orig = b.clone();
+        b.invert_all();
+        assert_eq!(b.count_ones(), 65);
+        assert_eq!(b.as_words()[1] >> 3, 0);
+        b.invert_all();
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let b: BitBlock = [true, false, true, true].into_iter().collect();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn random_is_canonical_and_seed_deterministic() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let a = BitBlock::random(&mut SmallRng::seed_from_u64(9), 130);
+        let b = BitBlock::random(&mut SmallRng::seed_from_u64(9), 130);
+        assert_eq!(a, b);
+        assert_eq!(a.as_words()[2] >> 2, 0);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let b = BitBlock::default();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

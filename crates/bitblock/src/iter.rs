@@ -1,0 +1,157 @@
+//! Iterators over [`BitBlock`] contents.
+
+use crate::BitBlock;
+
+/// Iterator over every bit of a [`BitBlock`], in offset order.
+///
+/// Produced by [`BitBlock::iter`].
+#[derive(Debug, Clone)]
+pub struct Bits<'a> {
+    block: &'a BitBlock,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Bits<'a> {
+    pub(crate) fn new(block: &'a BitBlock) -> Self {
+        Self {
+            block,
+            front: 0,
+            back: block.len(),
+        }
+    }
+}
+
+impl Iterator for Bits<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.front == self.back {
+            return None;
+        }
+        let bit = self.block.get(self.front);
+        self.front += 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.back - self.front;
+        (rem, Some(rem))
+    }
+}
+
+impl DoubleEndedIterator for Bits<'_> {
+    fn next_back(&mut self) -> Option<bool> {
+        if self.front == self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(self.block.get(self.back))
+    }
+}
+
+impl ExactSizeIterator for Bits<'_> {}
+
+impl<'a> IntoIterator for &'a BitBlock {
+    type Item = bool;
+    type IntoIter = Bits<'a>;
+
+    fn into_iter(self) -> Bits<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the offsets of set bits of a [`BitBlock`], ascending.
+///
+/// Produced by [`BitBlock::ones`]. Skips whole zero words, so it is efficient
+/// on sparse blocks (the common case: a handful of faults in a 512-bit
+/// block).
+#[derive(Debug, Clone)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    /// Remaining bits of the word currently being drained.
+    current: u64,
+    /// Offset of bit 0 of `current` within the block.
+    base: usize,
+    len: usize,
+}
+
+impl<'a> Ones<'a> {
+    pub(crate) fn new(block: &'a BitBlock) -> Self {
+        let words = block.as_words();
+        let (first, rest) = words.split_first().map_or((0, words), |(w, r)| (*w, r));
+        Self {
+            words: rest,
+            current: first,
+            base: 0,
+            len: block.len(),
+        }
+    }
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let offset = self.base + bit;
+                // Tail bits past `len` are kept zero by BitBlock, so this
+                // check is redundant defence-in-depth.
+                return (offset < self.len).then_some(offset);
+            }
+            let (next, rest) = self.words.split_first()?;
+            self.current = *next;
+            self.words = rest;
+            self.base += 64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BitBlock;
+
+    #[test]
+    fn bits_iterates_in_order_and_backwards() {
+        let b = BitBlock::from_indices(5, [0usize, 4]);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![true, false, false, false, true]);
+        assert_eq!(
+            b.iter().rev().collect::<Vec<_>>(),
+            vec![true, false, false, false, true]
+        );
+        assert_eq!(b.iter().len(), 5);
+    }
+
+    #[test]
+    fn ones_skips_zero_words() {
+        let b = BitBlock::from_indices(640, [639usize]);
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![639]);
+    }
+
+    #[test]
+    fn ones_on_empty_block() {
+        let b = BitBlock::zeros(0);
+        assert_eq!(b.ones().count(), 0);
+    }
+
+    #[test]
+    fn into_iterator_for_ref() {
+        let b = BitBlock::from_indices(3, [1usize]);
+        let collected: Vec<bool> = (&b).into_iter().collect();
+        assert_eq!(collected, vec![false, true, false]);
+    }
+
+    #[test]
+    fn ones_matches_naive_scan() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        for len in [1usize, 63, 64, 65, 512, 1000] {
+            let b = BitBlock::random(&mut rng, len);
+            let naive: Vec<usize> = (0..len).filter(|&i| b.get(i)).collect();
+            assert_eq!(b.ones().collect::<Vec<_>>(), naive);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Operator and formatting impls for [`BitBlock`].
+
+use crate::BitBlock;
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign};
+
+macro_rules! word_op_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&BitBlock> for BitBlock {
+            fn $method(&mut self, rhs: &BitBlock) {
+                assert_eq!(
+                    self.len(),
+                    rhs.len(),
+                    "bit blocks differ in width ({} vs {})",
+                    self.len(),
+                    rhs.len()
+                );
+                for (a, b) in self.words_mut().iter_mut().zip(rhs.as_words()) {
+                    *a $op *b;
+                }
+                self.clear_tail();
+            }
+        }
+
+        impl $trait<BitBlock> for BitBlock {
+            fn $method(&mut self, rhs: BitBlock) {
+                self.$method(&rhs);
+            }
+        }
+    };
+}
+
+macro_rules! word_op {
+    ($trait:ident, $method:ident, $assign:ident) => {
+        impl $trait for &BitBlock {
+            type Output = BitBlock;
+
+            fn $method(self, rhs: &BitBlock) -> BitBlock {
+                let mut out = self.clone();
+                out.$assign(rhs);
+                out
+            }
+        }
+
+        impl $trait for BitBlock {
+            type Output = BitBlock;
+
+            fn $method(mut self, rhs: BitBlock) -> BitBlock {
+                self.$assign(&rhs);
+                self
+            }
+        }
+    };
+}
+
+word_op_assign!(BitXorAssign, bitxor_assign, ^=);
+word_op_assign!(BitAndAssign, bitand_assign, &=);
+word_op_assign!(BitOrAssign, bitor_assign, |=);
+word_op!(BitXor, bitxor, bitxor_assign);
+word_op!(BitAnd, bitand, bitand_assign);
+word_op!(BitOr, bitor, bitor_assign);
+
+impl fmt::Display for BitBlock {
+    /// Renders the block as a binary string, offset 0 first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for bit in self.iter() {
+            f.write_str(if bit { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitBlock<{}>[{}]", self.len(), self)
+    }
+}
+
+impl fmt::Binary for BitBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for BitBlock {
+    /// Hex digits, least-significant word first (matches offset order).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for w in self.as_words() {
+            write!(f, "{w:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BitBlock;
+
+    #[test]
+    fn xor_marks_differences() {
+        let a = BitBlock::from_indices(128, [0usize, 70]);
+        let b = BitBlock::from_indices(128, [70usize, 71]);
+        let d = &a ^ &b;
+        assert_eq!(d.ones().collect::<Vec<_>>(), vec![0, 71]);
+    }
+
+    #[test]
+    fn xor_assign_owned_and_borrowed_agree() {
+        let a = BitBlock::from_indices(8, [1usize]);
+        let b = BitBlock::from_indices(8, [2usize]);
+        let mut c = a.clone();
+        c ^= &b;
+        assert_eq!(c, a ^ b);
+    }
+
+    #[test]
+    fn and_or_behave() {
+        let a = BitBlock::from_indices(8, [1usize, 2]);
+        let b = BitBlock::from_indices(8, [2usize, 3]);
+        assert_eq!((&a & &b).ones().collect::<Vec<_>>(), vec![2]);
+        assert_eq!((&a | &b).ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in width")]
+    fn xor_width_mismatch_panics() {
+        let _ = &BitBlock::zeros(8) ^ &BitBlock::zeros(16);
+    }
+
+    #[test]
+    fn display_is_offset_order() {
+        let b = BitBlock::from_indices(4, [0usize]);
+        assert_eq!(b.to_string(), "1000");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", BitBlock::zeros(0)).is_empty());
+    }
+
+    #[test]
+    fn hex_formats() {
+        let b = BitBlock::from_indices(64, [0usize, 4]);
+        assert_eq!(format!("{b:x}"), "0000000000000011");
+    }
+}

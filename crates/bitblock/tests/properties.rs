@@ -1,0 +1,73 @@
+//! Property-based tests for the `bitblock` substrate.
+
+use bitblock::BitBlock;
+use proptest::prelude::*;
+
+/// Strategy: a block width and a set of valid indices within it.
+fn block_and_indices() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (1usize..700).prop_flat_map(|len| {
+        (
+            Just(len),
+            proptest::collection::vec(0..len, 0..32),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn xor_is_involutive((len, idx) in block_and_indices(), seed in any::<u64>()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = BitBlock::random(&mut rng, len);
+        let mask = BitBlock::from_indices(len, idx);
+        let twice = &(&a ^ &mask) ^ &mask;
+        prop_assert_eq!(twice, a);
+    }
+
+    #[test]
+    fn hamming_is_xor_popcount((len, _) in block_and_indices(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let a = BitBlock::random(&mut SmallRng::seed_from_u64(s1), len);
+        let b = BitBlock::random(&mut SmallRng::seed_from_u64(s2), len);
+        prop_assert_eq!(a.hamming_distance(&b), (&a ^ &b).count_ones());
+    }
+
+    #[test]
+    fn ones_roundtrips_from_indices((len, mut idx) in block_and_indices()) {
+        idx.sort_unstable();
+        idx.dedup();
+        let b = BitBlock::from_indices(len, idx.clone());
+        prop_assert_eq!(b.ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn invert_all_complements_popcount((len, idx) in block_and_indices()) {
+        let mut b = BitBlock::from_indices(len, idx);
+        let ones = b.count_ones();
+        b.invert_all();
+        prop_assert_eq!(b.count_ones(), len - ones);
+    }
+
+    #[test]
+    fn iter_agrees_with_get((len, idx) in block_and_indices()) {
+        let b = BitBlock::from_indices(len, idx);
+        let via_iter: Vec<bool> = b.iter().collect();
+        let via_get: Vec<bool> = (0..len).map(|i| b.get(i)).collect();
+        prop_assert_eq!(via_iter, via_get);
+    }
+
+    #[test]
+    fn from_fn_matches_from_bools(len in 1usize..300, modulus in 1usize..10) {
+        let a = BitBlock::from_fn(len, |i| i % modulus == 0);
+        let b = BitBlock::from_bools((0..len).map(|i| i % modulus == 0));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diff_offsets_symmetric((len, idx) in block_and_indices(), seed in any::<u64>()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let a = BitBlock::random(&mut SmallRng::seed_from_u64(seed), len);
+        let b = BitBlock::from_indices(len, idx);
+        prop_assert_eq!(a.diff_offsets(&b), b.diff_offsets(&a));
+    }
+}

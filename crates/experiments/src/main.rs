@@ -1,0 +1,255 @@
+//! CLI entry point: `experiments <table1|fig5..fig13|all> [options]`.
+
+use aegis_experiments::runner::RunOptions;
+use aegis_experiments::{
+    biasstudy, cachestudy, fig10, fig567, fig8, fig9, osassist, payg_check, table1, variants,
+    wearlevel_check, writecost,
+};
+use pcm_sim::montecarlo::FailureCriterion;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: experiments <COMMAND> [OPTIONS]
+
+Commands:
+  table1             Table 1: per-block cost (bits) vs hard FTC
+  fig5 | fig6 | fig7 Recoverable faults / lifetime improvement / per-bit contribution
+  fig8               Block failure probability vs fault count
+  fig9               Page survival rate and half lifetime
+  fig10              Aegis-rw-p lifetime vs pointer count
+  fig11|fig12|fig13  Aegis vs Aegis-rw vs Aegis-rw-p
+  wearlevel          Extension: validate the perfect-wear-leveling assumption
+  payg               Extension: Aegis as the local scheme inside PAYG (matched budget)
+  cachestudy         Extension: fail-cache capacity vs Aegis-rw write costs
+  osassist           Extension: FREE-p and Dynamic Pairing above the in-block schemes
+  writecost          Extension: per-write costs (pulses/verifies/inversions) vs faults
+  biasstudy          Extension: sensitivity to data / stuck-value skew
+  all                Everything above
+
+Options:
+  --pages N       Pages per simulated chip (default 256; paper scale 2048)
+  --trials N      Independent blocks for fig8/fig10 (default 4000)
+  --seed N        Master RNG seed (default 42)
+  --page-bytes N  Memory-block size in bytes (default 4096; the paper also
+                  reports 256-byte memory blocks show the same trend)
+  --samples N     W/R splits tested per fault event (default 1)
+  --guaranteed    Use the strict all-data failure criterion
+  --full          Paper scale: --pages 2048 --trials 20000
+  --out DIR       CSV output directory (default results/)
+";
+
+struct Cli {
+    command: String,
+    opts: RunOptions,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(|| USAGE.to_owned())?;
+    let mut opts = RunOptions::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut samples = 1u32;
+    let mut guaranteed = false;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} expects a value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--pages" => {
+                opts.pages = value("--pages")?.parse().map_err(|e| format!("--pages: {e}"))?;
+            }
+            "--trials" => {
+                opts.trials = value("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--page-bytes" => {
+                opts.page_bytes = value("--page-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--page-bytes: {e}"))?;
+            }
+            "--samples" => {
+                samples = value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?;
+            }
+            "--guaranteed" => guaranteed = true,
+            "--full" => {
+                opts.pages = 2048;
+                opts.trials = 20_000;
+            }
+            "--out" => out_dir = PathBuf::from(value("--out")?),
+            other => return Err(format!("unknown option {other}\n\n{USAGE}")),
+        }
+    }
+    opts.criterion = if guaranteed {
+        FailureCriterion::GuaranteedAllData
+    } else {
+        FailureCriterion::PerEventSplit { samples }
+    };
+    Ok(Cli {
+        command,
+        opts,
+        out_dir,
+    })
+}
+
+fn run_table1(out: &Path) -> std::io::Result<()> {
+    let table = table1::run(512);
+    println!("{}", table1::report(&table));
+    for note in table1::diff_against_paper(&table) {
+        println!("note: {note} (documented in EXPERIMENTS.md)");
+    }
+    table1::write_csv(&table, out)
+}
+
+fn run_fig567(command: &str, opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[fig5-7] simulating {} pages per block size…", opts.pages);
+    let results = fig567::run(opts);
+    if matches!(command, "fig5" | "all") {
+        println!("{}", fig567::report_fig5(&results));
+    }
+    if matches!(command, "fig6" | "all") {
+        println!("{}", fig567::report_fig6(&results));
+    }
+    if matches!(command, "fig7" | "all") {
+        println!("{}", fig567::report_fig7(&results));
+    }
+    fig567::write_csvs(&results, out)
+}
+
+fn run_fig8(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[fig8] simulating {} blocks per scheme…", opts.trials);
+    let results = fig8::run(opts);
+    println!("{}", fig8::report(&results));
+    fig8::write_csv(&results, out)
+}
+
+fn run_fig9(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[fig9] simulating {} pages per scheme…", opts.pages);
+    let results = fig9::run(opts);
+    println!("{}", fig9::report(&results));
+    fig9::write_csv(&results, out)
+}
+
+fn run_fig10(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[fig10] sweeping pointer counts over {} blocks…", opts.trials);
+    let results = fig10::run(opts);
+    println!("{}", fig10::report(&results));
+    fig10::write_csv(&results, out)
+}
+
+fn run_variants(command: &str, opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[fig11-13] simulating {} pages…", opts.pages);
+    let results = variants::run(opts);
+    if matches!(command, "fig11" | "all") {
+        println!("{}", variants::report_fig11(&results));
+    }
+    if matches!(command, "fig12" | "all") {
+        println!("{}", variants::report_fig12(&results));
+    }
+    if matches!(command, "fig13" | "all") {
+        println!("{}", variants::report_fig13(&results));
+    }
+    variants::write_csvs(&results, out)
+}
+
+fn run_wearlevel(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[wearlevel] leveling skewed write streams…");
+    let results = wearlevel_check::run(256, 2_000_000, opts.seed);
+    println!("{}", wearlevel_check::report(&results));
+    wearlevel_check::write_csv(&results, out)
+}
+
+fn run_payg(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[payg] matched-budget PAYG comparison over {} pages…", opts.pages);
+    let results = payg_check::run(opts);
+    println!("{}", payg_check::report(&results));
+    payg_check::write_csv(&results, out)
+}
+
+fn run_cachestudy(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[cachestudy] wearing out functional Aegis-rw blocks…");
+    let results = cachestudy::run(16, opts.seed);
+    println!("{}", cachestudy::report(&results));
+    cachestudy::write_csv(&results, out)
+}
+
+fn run_osassist(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[osassist] FREE-p and pairing over {} pages…", opts.pages);
+    let results = osassist::run(opts);
+    println!("{}", osassist::report(&results));
+    osassist::write_csv(&results, out)
+}
+
+fn run_writecost(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[writecost] sweeping fault counts over functional codecs…");
+    let results = writecost::run(24, 16, opts.seed);
+    println!("{}", writecost::report(&results));
+    writecost::write_csv(&results, out)
+}
+
+fn run_biasstudy(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
+    eprintln!("[biasstudy] sweeping data / stuck-value skew…");
+    let results = biasstudy::run(200, opts.seed);
+    println!("{}", biasstudy::report(&results));
+    biasstudy::write_csv(&results, out)
+}
+
+fn dispatch(cli: &Cli) -> Result<std::io::Result<()>, ()> {
+    let (opts, out) = (&cli.opts, cli.out_dir.as_path());
+    let command = cli.command.as_str();
+    Ok(match command {
+        "table1" => run_table1(out),
+        "fig5" | "fig6" | "fig7" => run_fig567(command, opts, out),
+        "fig8" => run_fig8(opts, out),
+        "fig9" => run_fig9(opts, out),
+        "fig10" => run_fig10(opts, out),
+        "fig11" | "fig12" | "fig13" => run_variants(command, opts, out),
+        "wearlevel" => run_wearlevel(opts, out),
+        "payg" => run_payg(opts, out),
+        "cachestudy" => run_cachestudy(opts, out),
+        "osassist" => run_osassist(opts, out),
+        "writecost" => run_writecost(opts, out),
+        "biasstudy" => run_biasstudy(opts, out),
+        "all" => run_table1(out)
+            .and_then(|()| run_fig567("all", opts, out))
+            .and_then(|()| run_fig8(opts, out))
+            .and_then(|()| run_fig9(opts, out))
+            .and_then(|()| run_fig10(opts, out))
+            .and_then(|()| run_variants("all", opts, out))
+            .and_then(|()| run_wearlevel(opts, out))
+            .and_then(|()| run_payg(opts, out))
+            .and_then(|()| run_cachestudy(opts, out))
+            .and_then(|()| run_osassist(opts, out))
+            .and_then(|()| run_writecost(opts, out))
+            .and_then(|()| run_biasstudy(opts, out)),
+        _ => return Err(()),
+    })
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(&cli) {
+        Ok(Ok(())) => {
+            eprintln!("CSV written to {}", cli.out_dir.display());
+            ExitCode::SUCCESS
+        }
+        Ok(Err(err)) => {
+            eprintln!("I/O error: {err}");
+            ExitCode::FAILURE
+        }
+        Err(()) => {
+            eprintln!("unknown command {}\n\n{USAGE}", cli.command);
+            ExitCode::FAILURE
+        }
+    }
+}

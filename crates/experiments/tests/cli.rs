@@ -1,0 +1,92 @@
+//! End-to-end tests of the `experiments` binary: argument handling, report
+//! output and CSV emission, exactly as a user would drive it.
+
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let output = experiments().output().expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("Usage:"), "{stderr}");
+    assert!(stderr.contains("table1"));
+}
+
+#[test]
+fn unknown_command_is_rejected() {
+    let output = experiments().arg("fig99").output().expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}
+
+#[test]
+fn bad_option_value_is_rejected() {
+    let output = experiments()
+        .args(["table1", "--pages", "many"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--pages"));
+}
+
+#[test]
+fn table1_prints_the_paper_rows_and_writes_csv() {
+    let dir = std::env::temp_dir().join("aegis-cli-test-table1");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = experiments()
+        .args(["table1", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // Spot-check the printed table against the paper.
+    assert!(stdout.contains("ECP"));
+    assert!(stdout.contains("101")); // ECP10
+    assert!(stdout.contains("552")); // SAFER512
+    let csv = std::fs::read_to_string(dir.join("table1.csv")).expect("csv written");
+    assert!(csv.starts_with("hard_ftc,"));
+    assert_eq!(csv.lines().count(), 11); // header + 10 FTC rows
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn fig5_scaled_run_is_deterministic_across_invocations() {
+    let dir_a = std::env::temp_dir().join("aegis-cli-fig5-a");
+    let dir_b = std::env::temp_dir().join("aegis-cli-fig5-b");
+    for dir in [&dir_a, &dir_b] {
+        let _ = std::fs::remove_dir_all(dir);
+        let output = experiments()
+            .args(["fig5", "--pages", "2", "--seed", "9", "--out"])
+            .arg(dir)
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    }
+    let a = std::fs::read_to_string(dir_a.join("fig5.csv")).unwrap();
+    let b = std::fs::read_to_string(dir_b.join("fig5.csv")).unwrap();
+    assert_eq!(a, b, "same seed must give identical CSV");
+    assert!(a.contains("Aegis 9x61"));
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+}
+
+#[test]
+fn wearlevel_extension_runs_standalone() {
+    let dir = std::env::temp_dir().join("aegis-cli-wearlevel");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = experiments()
+        .args(["wearlevel", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("security-refresh"));
+    assert!(dir.join("wearlevel.csv").exists());
+    let _ = std::fs::remove_dir_all(dir);
+}

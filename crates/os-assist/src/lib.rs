@@ -1,0 +1,78 @@
+//! OS-assisted recovery above the in-block schemes.
+//!
+//! The Aegis paper's §4 frames on-chip recovery as "the first line of
+//! defense" and surveys what the OS can do once a block's scheme is
+//! exhausted:
+//!
+//! - the naive policy — retire the page — depletes memory quickly;
+//! - **Dynamic Pairing** (Ipek et al., ASPLOS 2010) recycles two retired
+//!   pages whose failed blocks sit at different offsets into one usable
+//!   page ([`pairing`]);
+//! - **FREE-p** (Yoon et al., HPCA 2011) redirects a worn-out block to a
+//!   spare through an embedded pointer, delaying page loss
+//!   ([`freep`]).
+//!
+//! Both are built on the same event-driven machinery as the main Monte
+//! Carlo (block-death times derived from sampled timelines), so their
+//! interplay with any [`RecoveryPolicy`](pcm_sim::policy::RecoveryPolicy)
+//! — including Aegis — is directly measurable: the paper's claim that
+//! strong in-block recovery "substantially delays" both the re-direction
+//! and the page loss becomes a number (see `experiments osassist`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod freep;
+pub mod pairing;
+
+use pcm_sim::montecarlo::{evaluate_block, SimConfig};
+use pcm_sim::policy::RecoveryPolicy;
+use pcm_sim::timeline::TimelineSampler;
+
+/// Death time of every block of every page, in block writes — the shared
+/// input of both OS-assist mechanisms.
+///
+/// `matrix[page][block]` is the write count at which that block's scheme
+/// first fails (blocks that outlive their truncated timeline get the
+/// horizon; with the default event cap that does not happen for any
+/// scheme in this workspace).
+#[must_use]
+pub fn block_death_matrix(policy: &dyn RecoveryPolicy, cfg: &SimConfig) -> Vec<Vec<f64>> {
+    let sampler = TimelineSampler::paper_default(cfg.block_bits);
+    let blocks_per_page = cfg.blocks_per_page();
+    (0..cfg.pages)
+        .map(|page| {
+            let mut rng = TimelineSampler::page_rng(cfg.seed, page as u64);
+            let timeline = sampler.sample_page(&mut rng, blocks_per_page);
+            timeline
+                .blocks
+                .iter()
+                .map(|bt| {
+                    let outcome = evaluate_block(policy, bt, cfg.criterion);
+                    outcome
+                        .death_time
+                        .unwrap_or_else(|| bt.events.last().map_or(f64::INFINITY, |e| e.time))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aegis_baselines::EcpPolicy;
+    use pcm_sim::montecarlo::run_memory;
+
+    #[test]
+    fn matrix_minimum_equals_page_death() {
+        let policy = EcpPolicy::new(4, 512);
+        let cfg = SimConfig::scaled(4, 512, 3);
+        let matrix = block_death_matrix(&policy, &cfg);
+        let run = run_memory(&policy, &cfg);
+        for (page, deaths) in matrix.iter().enumerate() {
+            let min = deaths.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert_eq!(min, run.page_lifetimes[page], "page {page}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Pay-As-You-Go (PAYG) global error correction with pluggable local
+//! schemes.
+//!
+//! The Aegis paper's related work (§4) discusses PAYG (Qureshi, MICRO
+//! 2011): because cell lifetime varies wildly, provisioning every data
+//! block for the worst case wastes space — instead give each block a small
+//! *local* error-correction (LEC) budget and let the rare heavily-faulted
+//! blocks draw ECP-style entries from a shared *global* (GEC) pool. The
+//! paper notes "Aegis complements PAYG with its strong fault tolerance
+//! capability and its space efficiency"; this crate makes that claim
+//! executable:
+//!
+//! - [`GlobalPool`] — the GEC pool: tagged repair entries that permanently
+//!   patch one cell each;
+//! - [`run_payg_chip`] — chip-wide event-driven evaluation: any
+//!   [`RecoveryPolicy`](pcm_sim::policy::RecoveryPolicy) acts as the LEC,
+//!   and blocks that outgrow it consume pool entries (a granted entry
+//!   erases that fault for good);
+//! - [`overhead`] — budget accounting, so configurations can be compared
+//!   at *matched total overhead* (the `experiments payg` command does
+//!   exactly that against dedicated ECP6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+pub mod overhead;
+mod pool;
+
+pub use chip::{run_payg_chip, PaygOutcome, PaygRun};
+pub use pool::GlobalPool;

@@ -1,0 +1,70 @@
+//! Budget accounting for PAYG configurations.
+//!
+//! A fair comparison holds the *total* overhead constant: dedicated
+//! per-block schemes pay `overhead_bits × blocks`; PAYG pays a small LEC
+//! per block plus tagged GEC entries (`entry bits + block tag`) in a
+//! shared structure.
+
+/// Bits of one GEC entry for a chip of `blocks` data blocks of
+/// `block_bits` bits: a block tag, a cell pointer and a replacement bit.
+#[must_use]
+pub fn gec_entry_bits(blocks: usize, block_bits: usize) -> usize {
+    ceil_log2(blocks) + ceil_log2(block_bits) + 1
+}
+
+/// Total overhead of a PAYG configuration, in bits.
+#[must_use]
+pub fn payg_total_bits(
+    lec_bits_per_block: usize,
+    blocks: usize,
+    block_bits: usize,
+    gec_entries: usize,
+) -> usize {
+    lec_bits_per_block * blocks + gec_entries * gec_entry_bits(blocks, block_bits)
+}
+
+/// Largest GEC pool affordable when a PAYG configuration must not exceed
+/// the budget of a dedicated scheme of `dedicated_bits_per_block`.
+#[must_use]
+pub fn affordable_gec_entries(
+    dedicated_bits_per_block: usize,
+    lec_bits_per_block: usize,
+    blocks: usize,
+    block_bits: usize,
+) -> usize {
+    let budget = dedicated_bits_per_block.saturating_sub(lec_bits_per_block) * blocks;
+    budget / gec_entry_bits(blocks, block_bits)
+}
+
+fn ceil_log2(n: usize) -> usize {
+    aegis_core::cost::ceil_log2(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_bits_scale_with_tag_and_pointer() {
+        // 8192 blocks of 512 bits: 13-bit tag + 9-bit pointer + 1.
+        assert_eq!(gec_entry_bits(8192, 512), 23);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        assert_eq!(payg_total_bits(11, 100, 512, 10), 11 * 100 + 10 * (7 + 9 + 1));
+    }
+
+    #[test]
+    fn affordability_matches_budget() {
+        let blocks = 1024;
+        let entries = affordable_gec_entries(61, 11, blocks, 512);
+        assert!(payg_total_bits(11, blocks, 512, entries) <= 61 * blocks);
+        assert!(payg_total_bits(11, blocks, 512, entries + 1) > 61 * blocks);
+    }
+
+    #[test]
+    fn lec_exceeding_budget_affords_nothing() {
+        assert_eq!(affordable_gec_entries(11, 28, 64, 512), 0);
+    }
+}

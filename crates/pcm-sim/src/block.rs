@@ -1,0 +1,246 @@
+//! A PCM data block: the row of cells a recovery scheme protects.
+
+use crate::{Cell, Fault};
+use bitblock::BitBlock;
+
+/// A fixed-width row of PCM [`Cell`]s.
+///
+/// This is the protection granularity of every scheme in the paper (expected
+/// between 128 and 512 bits, "equal to a physical row"). The block exposes
+/// exactly the operations a memory controller has:
+///
+/// - [`write_raw`](Self::write_raw): a *differential* write — only cells
+///   whose stored value differs from the target are programmed;
+/// - [`read_raw`](Self::read_raw): read every cell;
+/// - [`verify`](Self::verify): the verification read that follows each write
+///   in the partition-and-inversion framework, returning the offsets that
+///   read back wrong.
+///
+/// Fault bookkeeping ([`faults`](Self::faults), [`force_stuck`](Self::force_stuck))
+/// is simulation-side instrumentation: the base Aegis and SAFER codecs never
+/// consult it, while the `-rw` variants access it through a fail-cache model.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_sim::PcmBlock;
+/// use bitblock::BitBlock;
+///
+/// let mut block = PcmBlock::pristine(16);
+/// block.force_stuck(3, true);
+/// let data = BitBlock::zeros(16);
+/// block.write_raw(&data);
+/// assert_eq!(block.verify(&data), vec![3]); // the W fault reads back wrong
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcmBlock {
+    cells: Vec<Cell>,
+    writes: u64,
+}
+
+impl PcmBlock {
+    /// Creates a block of `len` pristine cells (effectively unlimited
+    /// endurance), all storing `false`.
+    #[must_use]
+    pub fn pristine(len: usize) -> Self {
+        Self {
+            cells: vec![Cell::default(); len],
+            writes: 0,
+        }
+    }
+
+    /// Creates a block whose cell `i` gets lifetime `lifetime(i)` and an
+    /// initial value of `false`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pcm_sim::PcmBlock;
+    /// let block = PcmBlock::with_lifetimes(4, |i| (i as u64 + 1) * 10);
+    /// assert_eq!(block.len(), 4);
+    /// ```
+    #[must_use]
+    pub fn with_lifetimes<F: FnMut(usize) -> u64>(len: usize, mut lifetime: F) -> Self {
+        Self {
+            cells: (0..len).map(|i| Cell::new(false, lifetime(i))).collect(),
+            writes: 0,
+        }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the block has zero width.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Programs the block toward `target` with a differential write and
+    /// returns the number of cells actually pulsed.
+    ///
+    /// Stuck cells silently keep their value — discovering that is the job
+    /// of the verification read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len() != self.len()`.
+    pub fn write_raw(&mut self, target: &BitBlock) -> usize {
+        assert_eq!(target.len(), self.len(), "write width mismatch");
+        self.writes += 1;
+        let mut pulses = 0;
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            if cell.write(target.get(i)) {
+                pulses += 1;
+            }
+        }
+        pulses
+    }
+
+    /// Reads every cell.
+    #[must_use]
+    pub fn read_raw(&self) -> BitBlock {
+        self.cells.iter().map(Cell::read).collect()
+    }
+
+    /// Verification read: offsets whose stored value differs from `expected`,
+    /// ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected.len() != self.len()`.
+    #[must_use]
+    pub fn verify(&self, expected: &BitBlock) -> Vec<usize> {
+        assert_eq!(expected.len(), self.len(), "verify width mismatch");
+        self.read_raw().diff_offsets(expected)
+    }
+
+    /// All stuck-at faults currently present, by ascending offset.
+    ///
+    /// Simulation-side oracle; schemes without a fail cache must not call
+    /// this (they learn about faults through [`verify`](Self::verify) only).
+    #[must_use]
+    pub fn faults(&self) -> Vec<Fault> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.stuck_value().map(|v| Fault::new(i, v)))
+            .collect()
+    }
+
+    /// Number of stuck cells.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_stuck()).count()
+    }
+
+    /// Fault-injection hook: forces the cell at `offset` to be stuck at
+    /// `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of range.
+    pub fn force_stuck(&mut self, offset: usize, value: bool) {
+        self.cells[offset].force_stuck(value);
+    }
+
+    /// Immutable access to a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of range.
+    #[must_use]
+    pub fn cell(&self, offset: usize) -> &Cell {
+        &self.cells[offset]
+    }
+
+    /// How many block-level writes have been issued so far.
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Sum of programming pulses it would take to reach `target` (without
+    /// issuing them) — used by wear-aware tests.
+    #[must_use]
+    pub fn pending_pulses(&self, target: &BitBlock) -> usize {
+        assert_eq!(target.len(), self.len(), "width mismatch");
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| !c.is_stuck() && c.read() != target.get(*i))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differential_write_only_pulses_changed_cells() {
+        let mut b = PcmBlock::pristine(8);
+        let data = BitBlock::from_indices(8, [0usize, 7]);
+        assert_eq!(b.write_raw(&data), 2);
+        assert_eq!(b.write_raw(&data), 0); // nothing changes the second time
+        assert_eq!(b.read_raw(), data);
+    }
+
+    #[test]
+    fn verify_reports_stuck_wrong_cells_only() {
+        let mut b = PcmBlock::pristine(8);
+        b.force_stuck(2, true); // stuck at 1
+        b.force_stuck(5, false); // stuck at 0
+        let data = BitBlock::zeros(8); // wants all 0
+        b.write_raw(&data);
+        assert_eq!(b.verify(&data), vec![2]); // only offset 2 disagrees
+    }
+
+    #[test]
+    fn faults_oracle_lists_offsets_and_values() {
+        let mut b = PcmBlock::pristine(16);
+        b.force_stuck(9, true);
+        b.force_stuck(3, false);
+        assert_eq!(
+            b.faults(),
+            vec![Fault::new(3, false), Fault::new(9, true)]
+        );
+        assert_eq!(b.fault_count(), 2);
+    }
+
+    #[test]
+    fn cells_wear_out_through_raw_writes() {
+        let mut b = PcmBlock::with_lifetimes(2, |_| 1);
+        let one = BitBlock::ones_block(2);
+        let zero = BitBlock::zeros(2);
+        b.write_raw(&one); // each cell consumes its single write
+        b.write_raw(&zero); // ignored: both cells are now stuck at 1
+        assert_eq!(b.read_raw(), one);
+        assert_eq!(b.fault_count(), 2);
+    }
+
+    #[test]
+    fn write_count_tracks_block_writes() {
+        let mut b = PcmBlock::pristine(4);
+        b.write_raw(&BitBlock::zeros(4));
+        b.write_raw(&BitBlock::ones_block(4));
+        assert_eq!(b.write_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn write_width_mismatch_panics() {
+        PcmBlock::pristine(4).write_raw(&BitBlock::zeros(5));
+    }
+
+    #[test]
+    fn pending_pulses_ignores_stuck_cells() {
+        let mut b = PcmBlock::pristine(4);
+        b.force_stuck(0, false);
+        let target = BitBlock::ones_block(4);
+        assert_eq!(b.pending_pulses(&target), 3);
+    }
+}

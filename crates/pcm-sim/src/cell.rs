@@ -1,0 +1,152 @@
+//! A single phase-change-memory cell with finite write endurance.
+
+/// One PCM cell.
+///
+/// A cell stores a bit and survives a fixed number of *actual* programming
+/// operations (its lifetime). When the budget is exhausted the cell becomes
+/// permanently stuck at the value it held at that moment: reads keep
+/// returning that value, writes silently fail — exactly the stuck-at-fault
+/// model of the paper (§1: "its stuck-at value is still readable but cannot
+/// be changed").
+///
+/// # Examples
+///
+/// ```
+/// use pcm_sim::Cell;
+///
+/// let mut cell = Cell::new(false, 2);
+/// cell.write(true);  // consumes 1 write
+/// cell.write(false); // consumes the last write; cell is now stuck at false
+/// assert!(cell.is_stuck());
+/// cell.write(true);  // silently ineffective
+/// assert!(!cell.read());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cell {
+    value: bool,
+    writes_left: u64,
+}
+
+impl Cell {
+    /// Creates a cell holding `value` that survives `lifetime` more writes.
+    #[must_use]
+    pub fn new(value: bool, lifetime: u64) -> Self {
+        Self {
+            value,
+            writes_left: lifetime,
+        }
+    }
+
+    /// Creates an already-failed cell stuck at `value`.
+    ///
+    /// Used by tests and examples to inject faults deterministically.
+    #[must_use]
+    pub fn stuck_at(value: bool) -> Self {
+        Self {
+            value,
+            writes_left: 0,
+        }
+    }
+
+    /// Reads the stored value. Always succeeds, even for a stuck cell.
+    #[must_use]
+    pub fn read(&self) -> bool {
+        self.value
+    }
+
+    /// Programs the cell to `value`.
+    ///
+    /// Consumes one unit of lifetime *only if the value actually changes*
+    /// (writing the already-stored value is filtered out by the
+    /// read-before-write the paper assumes, and does not wear the cell).
+    /// Returns `true` if a programming pulse was issued.
+    ///
+    /// A stuck cell ignores the write entirely.
+    pub fn write(&mut self, value: bool) -> bool {
+        if self.is_stuck() || self.value == value {
+            return false;
+        }
+        self.value = value;
+        self.writes_left -= 1;
+        true
+    }
+
+    /// Whether the cell has exhausted its endurance.
+    #[must_use]
+    pub fn is_stuck(&self) -> bool {
+        self.writes_left == 0
+    }
+
+    /// The stuck-at value, if the cell has failed.
+    #[must_use]
+    pub fn stuck_value(&self) -> Option<bool> {
+        self.is_stuck().then_some(self.value)
+    }
+
+    /// Remaining write budget.
+    #[must_use]
+    pub fn writes_left(&self) -> u64 {
+        self.writes_left
+    }
+
+    /// Forces the cell into the stuck state at `value`, regardless of its
+    /// remaining lifetime. Fault-injection hook for tests and examples.
+    pub fn force_stuck(&mut self, value: bool) {
+        self.value = value;
+        self.writes_left = 0;
+    }
+}
+
+impl Default for Cell {
+    /// A pristine cell holding `false` with an effectively unlimited
+    /// lifetime.
+    fn default() -> Self {
+        Self::new(false, u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_value_write_is_free() {
+        let mut c = Cell::new(false, 1);
+        assert!(!c.write(false));
+        assert_eq!(c.writes_left(), 1);
+        assert!(!c.is_stuck());
+    }
+
+    #[test]
+    fn wears_out_and_sticks_at_last_value() {
+        let mut c = Cell::new(false, 2);
+        assert!(c.write(true));
+        assert!(c.write(false));
+        assert!(c.is_stuck());
+        assert_eq!(c.stuck_value(), Some(false));
+        assert!(!c.write(true));
+        assert!(!c.read());
+    }
+
+    #[test]
+    fn stuck_at_constructor() {
+        let c = Cell::stuck_at(true);
+        assert!(c.is_stuck());
+        assert_eq!(c.stuck_value(), Some(true));
+        assert!(c.read());
+    }
+
+    #[test]
+    fn force_stuck_overrides_lifetime() {
+        let mut c = Cell::new(false, 1_000);
+        c.force_stuck(true);
+        assert_eq!(c.stuck_value(), Some(true));
+    }
+
+    #[test]
+    fn default_is_pristine() {
+        let c = Cell::default();
+        assert!(!c.is_stuck());
+        assert!(!c.read());
+    }
+}

@@ -1,0 +1,114 @@
+//! The interface every stuck-at-fault recovery scheme implements.
+
+use crate::{PcmBlock, UncorrectableError};
+use bitblock::BitBlock;
+
+/// Statistics of one logical write through a codec.
+///
+/// The paper's schemes differ not only in *whether* they can store a value
+/// but in how many extra physical operations it takes (verification reads,
+/// inversion rewrites, re-partition trials); lifetime and energy arguments
+/// hinge on these counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteReport {
+    /// Cells actually programmed, across all attempts.
+    pub cell_pulses: usize,
+    /// Verification reads issued.
+    pub verify_reads: usize,
+    /// Whole-group inversion rewrites issued after the initial write.
+    pub inversion_writes: usize,
+    /// Re-partitions performed (slope increments for Aegis, vector growth
+    /// for SAFER). Zero for pointer-based schemes.
+    pub repartitions: usize,
+}
+
+impl WriteReport {
+    /// Merges the counters of a sub-step into this report.
+    pub fn absorb(&mut self, other: WriteReport) {
+        self.cell_pulses += other.cell_pulses;
+        self.verify_reads += other.verify_reads;
+        self.inversion_writes += other.inversion_writes;
+        self.repartitions += other.repartitions;
+    }
+}
+
+/// A block-level stuck-at-fault recovery scheme.
+///
+/// Implementations own their per-block metadata (slope counter, inversion
+/// vector, pointers, …) and keep it consistent across writes, mirroring the
+/// bookkeeping bits a PCM chip would attach to the block.
+///
+/// # Contract
+///
+/// After `write(block, data)` returns `Ok`, `read(block)` must equal `data`
+/// — even though some of the block's cells are stuck. `write` returns
+/// [`UncorrectableError`] exactly when the scheme's mechanisms are
+/// exhausted; the block is then considered dead (the metadata may be left in
+/// an arbitrary state).
+pub trait StuckAtCodec {
+    /// Stores `data` into `block`, tolerating stuck cells if possible.
+    ///
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] when the fault population can no longer be
+    /// masked for this data word.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `data.len()` differs from the block
+    /// width the codec was constructed for.
+    fn write(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError>;
+
+    /// Recovers the logical data last stored in `block`.
+    fn read(&self, block: &PcmBlock) -> BitBlock;
+
+    /// Metadata bits this codec attaches to each protected block
+    /// (the "hardware cost" rows of the paper's Table 1).
+    fn overhead_bits(&self) -> usize;
+
+    /// Block width in bits the codec protects.
+    fn block_bits(&self) -> usize;
+
+    /// Human-readable scheme name as used in the paper's figures
+    /// (e.g. `"Aegis 17x31"`, `"SAFER32"`, `"ECP6"`).
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_report_absorb_accumulates() {
+        let mut a = WriteReport {
+            cell_pulses: 1,
+            verify_reads: 2,
+            inversion_writes: 0,
+            repartitions: 1,
+        };
+        a.absorb(WriteReport {
+            cell_pulses: 3,
+            verify_reads: 1,
+            inversion_writes: 2,
+            repartitions: 0,
+        });
+        assert_eq!(
+            a,
+            WriteReport {
+                cell_pulses: 4,
+                verify_reads: 3,
+                inversion_writes: 2,
+                repartitions: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn codec_trait_is_object_safe() {
+        fn _takes_dyn(_: &mut dyn StuckAtCodec) {}
+    }
+}

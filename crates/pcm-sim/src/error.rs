@@ -1,0 +1,75 @@
+//! Error types shared by the simulator and the recovery codecs.
+
+use std::error::Error;
+use std::fmt;
+
+/// A write could not be completed correctly: the recovery scheme exhausted
+/// its mechanisms (re-partitions, pointers, inversion flags…) and at least
+/// one cell still reads back the wrong value.
+///
+/// This is the event that ends a data block's life in the paper's
+/// methodology; a memory page dies with its first block that reports it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UncorrectableError {
+    scheme: String,
+    faults: usize,
+    detail: String,
+}
+
+impl UncorrectableError {
+    /// Creates an error for `scheme` observing `faults` faults, with a
+    /// scheme-specific explanation of what was exhausted.
+    #[must_use]
+    pub fn new(scheme: impl Into<String>, faults: usize, detail: impl Into<String>) -> Self {
+        Self {
+            scheme: scheme.into(),
+            faults,
+            detail: detail.into(),
+        }
+    }
+
+    /// The recovery scheme that gave up.
+    #[must_use]
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Number of faults present in the block when the write failed.
+    #[must_use]
+    pub fn faults(&self) -> usize {
+        self.faults
+    }
+}
+
+impl fmt::Display for UncorrectableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} could not correct a write with {} stuck-at faults: {}",
+            self.scheme, self.faults, self.detail
+        )
+    }
+}
+
+impl Error for UncorrectableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_scheme_and_count() {
+        let e = UncorrectableError::new("aegis 17x31", 9, "all 31 slopes collide");
+        let msg = e.to_string();
+        assert!(msg.contains("aegis 17x31"));
+        assert!(msg.contains('9'));
+        assert_eq!(e.scheme(), "aegis 17x31");
+        assert_eq!(e.faults(), 9);
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<UncorrectableError>();
+    }
+}

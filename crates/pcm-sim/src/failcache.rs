@@ -1,0 +1,222 @@
+//! Fail-cache models: how a scheme learns where the faults are.
+//!
+//! The base Aegis and SAFER schemes discover faults only through
+//! verification reads. Their enhanced variants (Aegis-rw, Aegis-rw-p,
+//! SAFER-cache, RDIS as evaluated in the paper) assume a *fail cache*: an
+//! SRAM structure recording fault locations and stuck-at values so the
+//! controller knows, before writing, which bits of a block are stuck
+//! (paper §2.4).
+//!
+//! Two models are provided:
+//!
+//! - [`IdealFailCache`] — "a sufficiently large cache to provide information
+//!   about any faulty cells" (the paper's evaluation setting);
+//! - [`DirectMappedFailCache`] — the bounded, direct-mapped SRAM the paper
+//!   describes and leaves as future work; used here for a capacity ablation.
+
+use crate::{Fault, PcmBlock};
+
+/// Source of pre-write fault knowledge for cache-assisted schemes.
+pub trait FaultOracle {
+    /// Faults of block `block_id` known *before* a write, ascending offset.
+    ///
+    /// `block` is the physical block, available so that ideal oracles can
+    /// consult the simulator's ground truth; bounded caches must use only
+    /// their own state.
+    fn known_faults(&mut self, block_id: u64, block: &PcmBlock) -> Vec<Fault>;
+
+    /// Records a fault discovered by a verification read.
+    fn record(&mut self, block_id: u64, fault: Fault);
+
+    /// Model name for reports.
+    fn name(&self) -> String;
+}
+
+/// The paper's evaluation assumption: every fault is always known.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealFailCache;
+
+impl IdealFailCache {
+    /// Creates the ideal (miss-free) cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl FaultOracle for IdealFailCache {
+    fn known_faults(&mut self, _block_id: u64, block: &PcmBlock) -> Vec<Fault> {
+        block.faults()
+    }
+
+    fn record(&mut self, _block_id: u64, _fault: Fault) {}
+
+    fn name(&self) -> String {
+        "ideal".to_owned()
+    }
+}
+
+/// A direct-mapped SRAM fail cache of bounded capacity.
+///
+/// Each entry holds one `(block, offset) → stuck value` record; the slot is
+/// chosen by hashing the pair, and a colliding insertion evicts the previous
+/// occupant — the structure proposed alongside SAFER and referenced by the
+/// paper as the practical way to supply R/W fault knowledge.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_sim::failcache::{DirectMappedFailCache, FaultOracle};
+/// use pcm_sim::{Fault, PcmBlock};
+///
+/// let mut cache = DirectMappedFailCache::new(64);
+/// let mut block = PcmBlock::pristine(512);
+/// block.force_stuck(42, true);
+/// cache.record(7, Fault::new(42, true));
+/// assert_eq!(cache.known_faults(7, &block), vec![Fault::new(42, true)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectMappedFailCache {
+    slots: Vec<Option<Entry>>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    block_id: u64,
+    fault: Fault,
+}
+
+impl DirectMappedFailCache {
+    /// Creates a cache with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fail cache capacity must be positive");
+        Self {
+            slots: vec![None; capacity],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Entries the cache can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lookups that found the probed fault.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed a fault actually present in the block.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn slot_of(&self, block_id: u64, offset: usize) -> usize {
+        // Fibonacci hashing of the (block, offset) pair; cheap and adequate
+        // for a direct-mapped index.
+        let key = block_id
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(offset as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (key % self.slots.len() as u64) as usize
+    }
+}
+
+impl FaultOracle for DirectMappedFailCache {
+    /// Probes the cache for every fault the block actually has and returns
+    /// the subset the cache knows about. Faults the cache has evicted are
+    /// *not* returned — the scheme will rediscover them through a
+    /// verification read (and `record` them again).
+    fn known_faults(&mut self, block_id: u64, block: &PcmBlock) -> Vec<Fault> {
+        let mut known = Vec::new();
+        for fault in block.faults() {
+            let slot = self.slot_of(block_id, fault.offset);
+            match self.slots[slot] {
+                Some(e) if e.block_id == block_id && e.fault.offset == fault.offset => {
+                    self.hits += 1;
+                    known.push(e.fault);
+                }
+                _ => self.misses += 1,
+            }
+        }
+        known
+    }
+
+    fn record(&mut self, block_id: u64, fault: Fault) {
+        let slot = self.slot_of(block_id, fault.offset);
+        self.slots[slot] = Some(Entry { block_id, fault });
+    }
+
+    fn name(&self) -> String {
+        format!("direct-mapped({})", self.slots.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_cache_sees_ground_truth() {
+        let mut block = PcmBlock::pristine(32);
+        block.force_stuck(5, true);
+        block.force_stuck(20, false);
+        let mut cache = IdealFailCache::new();
+        assert_eq!(
+            cache.known_faults(0, &block),
+            vec![Fault::new(5, true), Fault::new(20, false)]
+        );
+    }
+
+    #[test]
+    fn direct_mapped_recalls_recorded_faults() {
+        let mut block = PcmBlock::pristine(64);
+        block.force_stuck(3, true);
+        let mut cache = DirectMappedFailCache::new(16);
+        // Before recording: miss.
+        assert!(cache.known_faults(1, &block).is_empty());
+        assert_eq!(cache.misses(), 1);
+        cache.record(1, Fault::new(3, true));
+        assert_eq!(cache.known_faults(1, &block), vec![Fault::new(3, true)]);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_evicts_on_collision() {
+        let mut cache = DirectMappedFailCache::new(1);
+        cache.record(1, Fault::new(0, true));
+        cache.record(2, Fault::new(9, false)); // same single slot: evicts
+        let mut b1 = PcmBlock::pristine(16);
+        b1.force_stuck(0, true);
+        assert!(cache.known_faults(1, &b1).is_empty());
+    }
+
+    #[test]
+    fn entries_from_other_blocks_do_not_alias() {
+        let mut cache = DirectMappedFailCache::new(1024);
+        cache.record(1, Fault::new(7, true));
+        let mut other = PcmBlock::pristine(16);
+        other.force_stuck(7, false);
+        // Block 2 has a fault at the same offset; the cache entry belongs to
+        // block 1 and must not be returned for block 2.
+        let known = cache.known_faults(2, &other);
+        assert!(known.is_empty() || !known[0].stuck);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = DirectMappedFailCache::new(0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Stuck-at faults and their per-write W/R classification.
+
+use bitblock::BitBlock;
+use rand::{Rng, RngExt};
+
+/// A permanent stuck-at fault: the cell at `offset` always reads `stuck`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// Bit offset of the failed cell within its data block.
+    pub offset: usize,
+    /// The value the cell is permanently stuck at.
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(offset: usize, stuck: bool) -> Self {
+        Self { offset, stuck }
+    }
+
+    /// Whether this fault is *stuck-at-Wrong* for `data`: the stuck value
+    /// disagrees with the bit the write wants to store (paper §2.4).
+    ///
+    /// A W fault is revealed by the verification read after a plain write; an
+    /// R ("stuck-at-Right") fault stores the desired bit for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is outside `data`.
+    #[must_use]
+    pub fn is_wrong_for(&self, data: &BitBlock) -> bool {
+        data.get(self.offset) != self.stuck
+    }
+}
+
+/// Classifies each fault as W (`true`) or R (`false`) for the given data
+/// word, preserving order.
+///
+/// # Examples
+///
+/// ```
+/// use bitblock::BitBlock;
+/// use pcm_sim::{classify_split, Fault};
+///
+/// let data = BitBlock::from_indices(8, [3usize]);
+/// let faults = [Fault::new(3, true), Fault::new(5, true)];
+/// // Bit 3 wants 1 and is stuck at 1 (R); bit 5 wants 0 but is stuck at 1 (W).
+/// assert_eq!(classify_split(&faults, &data), vec![false, true]);
+/// ```
+#[must_use]
+pub fn classify_split(faults: &[Fault], data: &BitBlock) -> Vec<bool> {
+    faults.iter().map(|f| f.is_wrong_for(data)).collect()
+}
+
+/// Samples the W/R split induced by a uniformly random data word: each fault
+/// is W with probability ½, independently.
+///
+/// This is the Monte Carlo shortcut for "the write that revealed the fault
+/// carries random data" — drawing one bit per fault is equivalent to drawing
+/// the whole word, because only the bits at fault offsets matter.
+#[must_use]
+pub fn sample_split<R: Rng + ?Sized>(rng: &mut R, fault_count: usize) -> Vec<bool> {
+    (0..fault_count).map(|_| rng.random()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn w_r_classification() {
+        let data = BitBlock::from_indices(16, [1usize, 2]);
+        // stuck at 0 where data wants 1 => W
+        assert!(Fault::new(1, false).is_wrong_for(&data));
+        // stuck at 1 where data wants 1 => R
+        assert!(!Fault::new(2, true).is_wrong_for(&data));
+        // stuck at 0 where data wants 0 => R
+        assert!(!Fault::new(7, false).is_wrong_for(&data));
+    }
+
+    #[test]
+    fn classify_matches_pointwise() {
+        let data = BitBlock::from_indices(32, [0usize, 8, 9]);
+        let faults = vec![
+            Fault::new(0, false),
+            Fault::new(8, true),
+            Fault::new(20, true),
+        ];
+        assert_eq!(classify_split(&faults, &data), vec![true, false, true]);
+    }
+
+    #[test]
+    fn sample_split_is_seed_deterministic_and_roughly_fair() {
+        let a = sample_split(&mut SmallRng::seed_from_u64(5), 1000);
+        let b = sample_split(&mut SmallRng::seed_from_u64(5), 1000);
+        assert_eq!(a, b);
+        let w = a.iter().filter(|&&x| x).count();
+        assert!((350..=650).contains(&w), "grossly unfair split: {w}/1000");
+    }
+
+    #[test]
+    fn classify_equals_split_of_real_data() {
+        // classify_split over random data has the same distribution
+        // sample_split models: spot-check the mechanical equivalence.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let data = BitBlock::random(&mut rng, 64);
+        let faults: Vec<Fault> = (0..64).step_by(7).map(|o| Fault::new(o, false)).collect();
+        let split = classify_split(&faults, &data);
+        for (f, w) in faults.iter().zip(&split) {
+            assert_eq!(*w, data.get(f.offset) != f.stuck);
+        }
+    }
+}

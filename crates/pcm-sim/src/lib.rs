@@ -1,0 +1,74 @@
+//! Phase-change-memory device and Monte Carlo lifetime simulator.
+//!
+//! This crate is the *substrate* of the Aegis reproduction: everything the
+//! MICRO-46 paper's evaluation (§3.1) assumes about the memory device lives
+//! here, independent of any particular recovery scheme.
+//!
+//! ## Device model
+//!
+//! - [`Cell`]: one PCM cell with a finite write endurance. After its lifetime
+//!   is exhausted it becomes *stuck at* its current value: still readable,
+//!   never writable again (the defining property the partition-and-inversion
+//!   schemes exploit).
+//! - [`PcmBlock`]: a row of cells — the protection granularity (128–512
+//!   bits). Supports differential writes (only cells whose stored value
+//!   differs from the target are programmed) and verification reads.
+//! - [`codec::StuckAtCodec`]: the interface every recovery scheme implements
+//!   to store logical data in a possibly-faulty block.
+//!
+//! ## Stochastic model (paper §3.1)
+//!
+//! - Cell lifetimes are i.i.d. `Normal(1e8, 25% CV)` ([`LifetimeModel`]).
+//! - A read-before-write excludes ~50% of cells from each write
+//!   ([`WearModel`]), so a cell's fault *arrival time*, measured in block
+//!   writes, is `lifetime / participation`.
+//! - Perfect wear leveling spreads writes uniformly over live pages;
+//!   [`montecarlo::survival_curve`] converts per-page lifetimes into the
+//!   chip-level survival curve exactly, without a per-write loop.
+//!
+//! ## Event-driven Monte Carlo
+//!
+//! [`montecarlo`] samples per-page fault *timelines* ([`timeline`]) and asks
+//! a scheme's [`policy::RecoveryPolicy`] whether each newly arrived fault is
+//! recoverable. All schemes are evaluated on the same timelines (common
+//! random numbers), so cross-scheme comparisons are stable at moderate page
+//! counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use pcm_sim::{PcmBlock, LifetimeModel};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let lifetimes = LifetimeModel::paper_default();
+//! let mut block = PcmBlock::with_lifetimes(512, |_| lifetimes.sample(&mut rng) as u64);
+//! assert_eq!(block.len(), 512);
+//! assert!(block.faults().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod cell;
+mod error;
+mod fault;
+mod lifetime;
+
+pub mod chip;
+pub mod codec;
+pub mod failcache;
+pub mod montecarlo;
+pub mod policy;
+pub mod securerefresh;
+pub mod stats;
+pub mod timeline;
+pub mod trace;
+pub mod wearlevel;
+
+pub use block::PcmBlock;
+pub use cell::Cell;
+pub use error::UncorrectableError;
+pub use fault::{classify_split, sample_split, Fault};
+pub use lifetime::{LifetimeModel, WearModel};

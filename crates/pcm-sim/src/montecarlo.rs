@@ -1,0 +1,551 @@
+//! Event-driven Monte Carlo engine.
+//!
+//! Reproduces the paper's §3.1 methodology: a chip of 4 KB pages, each made
+//! of 128–512-bit data blocks, written continuously under perfect wear
+//! leveling until every page is dead. Instead of issuing ~10^11 writes, the
+//! engine samples per-page fault [timelines](crate::timeline) and asks a
+//! scheme's [`RecoveryPolicy`] whether each fault arrival is survivable.
+//!
+//! The key outputs map one-to-one onto the paper's figures:
+//!
+//! - [`MemoryRun::mean_faults_recovered`] → Figure 5 / 11 bars;
+//! - [`MemoryRun::lifetime_improvement`] → Figure 6 / 12 bars
+//!   (and ÷ overhead bits → Figures 7 / 13);
+//! - [`block_failure_cdf`] → Figure 8 curves;
+//! - [`survival_curve`] / [`half_lifetime`] → Figure 9 curves.
+
+use crate::policy::RecoveryPolicy;
+use crate::timeline::{BlockTimeline, PageTimeline, TimelineSampler};
+use crate::{sample_split, Fault};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// When is a block considered dead? (See DESIGN.md §3.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureCriterion {
+    /// At each fault arrival, test the scheme against `samples` random W/R
+    /// splits (the split of the revealing write, plus optional extra draws
+    /// standing in for nearby writes). `samples = 1` matches the
+    /// evaluation style of the SAFER/RDIS/Aegis papers.
+    PerEventSplit {
+        /// Random splits tested per fault event; the block dies if any
+        /// fails.
+        samples: u32,
+    },
+    /// A block survives only while its fault set is recoverable for *every*
+    /// data word ([`RecoveryPolicy::guaranteed`]). Stricter; used in
+    /// ablations.
+    GuaranteedAllData,
+}
+
+impl Default for FailureCriterion {
+    fn default() -> Self {
+        Self::PerEventSplit { samples: 1 }
+    }
+}
+
+/// Outcome of running one policy over one block timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockOutcome {
+    /// Fault events survived before death (= faults recovered in this
+    /// block).
+    pub events_survived: usize,
+    /// Time of death in block writes; `None` if the block outlived its
+    /// (truncated) timeline.
+    pub death_time: Option<f64>,
+}
+
+/// Evaluates `policy` over a single block's fault timeline.
+pub fn evaluate_block(
+    policy: &dyn RecoveryPolicy,
+    timeline: &BlockTimeline,
+    criterion: FailureCriterion,
+) -> BlockOutcome {
+    let mut faults: Vec<Fault> = Vec::with_capacity(timeline.events.len());
+    for (i, event) in timeline.events.iter().enumerate() {
+        faults.push(event.fault);
+        let survivable = match criterion {
+            FailureCriterion::PerEventSplit { samples } => {
+                let mut rng = SmallRng::seed_from_u64(event.split_seed);
+                (0..samples).all(|_| {
+                    let wrong = sample_split(&mut rng, faults.len());
+                    policy.recoverable(&faults, &wrong)
+                })
+            }
+            FailureCriterion::GuaranteedAllData => policy.guaranteed(&faults),
+        };
+        if !survivable {
+            return BlockOutcome {
+                events_survived: i,
+                death_time: Some(event.time),
+            };
+        }
+    }
+    BlockOutcome {
+        events_survived: timeline.events.len(),
+        death_time: None,
+    }
+}
+
+/// Outcome of one policy over one page timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageOutcome {
+    /// Page death time in page writes (a page write is one write to each of
+    /// its blocks): the earliest block death.
+    pub death_time: f64,
+    /// Fault events (across all blocks) that arrived strictly before death
+    /// — the paper's "recoverable faults in a 4KB page".
+    pub faults_recovered: usize,
+    /// True if some block outlived its truncated timeline, making
+    /// `death_time` a lower bound. Should never happen with the default
+    /// event cap; surfaced loudly rather than silently.
+    pub capped: bool,
+}
+
+/// Evaluates `policy` over a page timeline.
+pub fn evaluate_page(
+    policy: &dyn RecoveryPolicy,
+    page: &PageTimeline,
+    criterion: FailureCriterion,
+) -> PageOutcome {
+    let mut death_time = f64::INFINITY;
+    let mut capped = false;
+    for block in &page.blocks {
+        let outcome = evaluate_block(policy, block, criterion);
+        match outcome.death_time {
+            Some(t) => death_time = death_time.min(t),
+            None => capped = true,
+        }
+    }
+    // A block that outlived its truncated timeline only matters if it could
+    // have died before the earliest real death; its last tracked event is a
+    // lower bound witness.
+    let capped = capped
+        && page.blocks.iter().any(|b| {
+            b.events
+                .last()
+                .is_some_and(|e| e.time < death_time)
+        });
+    let faults_recovered = page
+        .blocks
+        .iter()
+        .flat_map(|b| &b.events)
+        .filter(|e| e.time < death_time)
+        .count();
+    PageOutcome {
+        death_time,
+        faults_recovered,
+        capped,
+    }
+}
+
+/// Configuration of a chip-level Monte Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Pages simulated (the paper's 8 MB chip has 2048 pages of 4 KB).
+    pub pages: usize,
+    /// Bits per page (4 KB = 32768).
+    pub page_bits: usize,
+    /// Bits per protected data block (256 or 512 in the paper).
+    pub block_bits: usize,
+    /// Death criterion.
+    pub criterion: FailureCriterion,
+    /// Master seed; every policy evaluated with the same config sees the
+    /// identical fault timelines.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's full-scale setup: 8 MB of 4 KB pages.
+    #[must_use]
+    pub fn paper_8mb(block_bits: usize, seed: u64) -> Self {
+        Self {
+            pages: 2048,
+            page_bits: 4096 * 8,
+            block_bits,
+            criterion: FailureCriterion::default(),
+            seed,
+        }
+    }
+
+    /// A scaled-down setup for quick runs and benches.
+    #[must_use]
+    pub fn scaled(pages: usize, block_bits: usize, seed: u64) -> Self {
+        Self {
+            pages,
+            page_bits: 4096 * 8,
+            block_bits,
+            criterion: FailureCriterion::default(),
+            seed,
+        }
+    }
+
+    /// Data blocks per page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block width does not divide the page width.
+    #[must_use]
+    pub fn blocks_per_page(&self) -> usize {
+        assert_eq!(
+            self.page_bits % self.block_bits,
+            0,
+            "block width must divide page width"
+        );
+        self.page_bits / self.block_bits
+    }
+}
+
+/// Results of a chip-level run of one policy.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRun {
+    /// Per-page death times under the policy, in page writes.
+    pub page_lifetimes: Vec<f64>,
+    /// Per-page death times without any protection (first cell failure).
+    pub unprotected_lifetimes: Vec<f64>,
+    /// Per-page recoverable-fault counts.
+    pub faults_recovered: Vec<usize>,
+    /// Pages whose death time was capped by timeline truncation (expected
+    /// 0; a non-zero value means the event cap must be raised).
+    pub capped_pages: usize,
+}
+
+impl MemoryRun {
+    /// Mean recoverable faults per page (Figure 5 / 11 metric).
+    #[must_use]
+    pub fn mean_faults_recovered(&self) -> f64 {
+        crate::stats::mean_usize(&self.faults_recovered)
+    }
+
+    /// Mean page lifetime in page writes.
+    #[must_use]
+    pub fn mean_lifetime(&self) -> f64 {
+        crate::stats::mean(&self.page_lifetimes)
+    }
+
+    /// Mean unprotected page lifetime in page writes.
+    #[must_use]
+    pub fn mean_unprotected_lifetime(&self) -> f64 {
+        crate::stats::mean(&self.unprotected_lifetimes)
+    }
+
+    /// Lifetime improvement factor over the unprotected page
+    /// (Figure 6 metric; Figure 12 reports `(x − 1) · 100%`).
+    #[must_use]
+    pub fn lifetime_improvement(&self) -> f64 {
+        self.mean_lifetime() / self.mean_unprotected_lifetime()
+    }
+}
+
+/// Runs `policy` over a simulated chip, in parallel across pages.
+///
+/// Timelines are derived deterministically from `cfg.seed` and the page
+/// index, so runs with different policies (or thread counts) see identical
+/// randomness.
+pub fn run_memory(policy: &dyn RecoveryPolicy, cfg: &SimConfig) -> MemoryRun {
+    assert_eq!(
+        policy.block_bits(),
+        cfg.block_bits,
+        "policy protects {}-bit blocks but the config uses {}-bit blocks",
+        policy.block_bits(),
+        cfg.block_bits
+    );
+    let sampler = TimelineSampler::paper_default(cfg.block_bits);
+    let blocks_per_page = cfg.blocks_per_page();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chunk = cfg.pages.div_ceil(threads).max(1);
+
+    let mut results: Vec<(f64, f64, usize, bool)> = Vec::with_capacity(cfg.pages);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.pages)
+            .collect::<Vec<_>>()
+            .chunks(chunk)
+            .map(|pages| {
+                let pages = pages.to_vec();
+                scope.spawn(move || {
+                    pages
+                        .into_iter()
+                        .map(|page_idx| {
+                            let mut rng = TimelineSampler::page_rng(cfg.seed, page_idx as u64);
+                            let page = sampler.sample_page(&mut rng, blocks_per_page);
+                            let outcome = evaluate_page(policy, &page, cfg.criterion);
+                            (
+                                outcome.death_time,
+                                page.first_cell_death(),
+                                outcome.faults_recovered,
+                                outcome.capped,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.extend(handle.join().expect("simulation worker panicked"));
+        }
+    });
+
+    let mut run = MemoryRun::default();
+    for (death, unprotected, faults, capped) in results {
+        run.page_lifetimes.push(death);
+        run.unprotected_lifetimes.push(unprotected);
+        run.faults_recovered.push(faults);
+        run.capped_pages += usize::from(capped);
+    }
+    run
+}
+
+/// Survival curve of a chip under perfect wear leveling over *live* pages.
+///
+/// Input: per-page intrinsic lifetimes (writes each page can absorb).
+/// Output: `(global_writes, surviving_fraction)` breakpoints. Because the
+/// write stream spreads over surviving pages only, the global write count at
+/// which the `k`-th page dies is `Σ_{i≤k} (N−i+1)·(T(i) − T(i−1))` over the
+/// sorted lifetimes — an exact transform, no per-write loop.
+#[must_use]
+pub fn survival_curve(page_lifetimes: &[f64]) -> Vec<(f64, f64)> {
+    let n = page_lifetimes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut sorted = page_lifetimes.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mut curve = Vec::with_capacity(n + 1);
+    curve.push((0.0, 1.0));
+    let mut global = 0.0;
+    let mut prev = 0.0;
+    for (i, &t) in sorted.iter().enumerate() {
+        global += (n - i) as f64 * (t - prev);
+        prev = t;
+        curve.push((global, (n - i - 1) as f64 / n as f64));
+    }
+    curve
+}
+
+/// Global page writes at which half the pages have died (the paper's "half
+/// lifetime" metric from Figure 9).
+///
+/// # Panics
+///
+/// Panics on an empty input.
+#[must_use]
+pub fn half_lifetime(page_lifetimes: &[f64]) -> f64 {
+    assert!(!page_lifetimes.is_empty(), "no pages simulated");
+    let curve = survival_curve(page_lifetimes);
+    curve
+        .iter()
+        .find(|&&(_, alive)| alive <= 0.5)
+        .map(|&(writes, _)| writes)
+        .expect("survival curve always reaches 0")
+}
+
+/// Distribution of block death fault-counts for Figure 8.
+#[derive(Debug, Clone, Default)]
+pub struct FailureCdf {
+    /// `histogram[f]` = blocks that died exactly upon their `f`-th fault.
+    pub histogram: Vec<usize>,
+    /// Blocks simulated.
+    pub trials: usize,
+}
+
+impl FailureCdf {
+    /// `P(block has failed | f faults occurred)` for `f = 0..=max`.
+    #[must_use]
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = 0usize;
+        self.histogram
+            .iter()
+            .map(|&h| {
+                acc += h;
+                acc as f64 / self.trials as f64
+            })
+            .collect()
+    }
+}
+
+/// Simulates `trials` independent blocks, returning each block's outcome.
+///
+/// Block `i` is derived deterministically from `(seed, i)`, so different
+/// policies evaluated with the same arguments see identical fault
+/// timelines.
+pub fn block_outcomes(
+    policy: &dyn RecoveryPolicy,
+    criterion: FailureCriterion,
+    trials: usize,
+    seed: u64,
+) -> Vec<BlockOutcome> {
+    let sampler = TimelineSampler::paper_default(policy.block_bits());
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chunk = trials.div_ceil(threads).max(1);
+    let mut outcomes = Vec::with_capacity(trials);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..trials)
+            .collect::<Vec<_>>()
+            .chunks(chunk)
+            .map(|idxs| {
+                let idxs = idxs.to_vec();
+                scope.spawn(move || {
+                    idxs.into_iter()
+                        .map(|i| {
+                            let mut rng = TimelineSampler::page_rng(seed, i as u64);
+                            let tl = sampler.sample_block(&mut rng);
+                            evaluate_block(policy, &tl, criterion)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            outcomes.extend(handle.join().expect("worker panicked"));
+        }
+    });
+    outcomes
+}
+
+/// Simulates `trials` independent blocks and records the fault count at
+/// which each dies (Figure 8).
+pub fn block_failure_cdf(
+    policy: &dyn RecoveryPolicy,
+    criterion: FailureCriterion,
+    trials: usize,
+    seed: u64,
+) -> FailureCdf {
+    let sampler = TimelineSampler::paper_default(policy.block_bits());
+    let mut histogram = vec![0usize; sampler.max_events() + 1];
+    for outcome in block_outcomes(policy, criterion, trials, seed) {
+        if outcome.death_time.is_some() {
+            let slot = (outcome.events_survived + 1).min(histogram.len() - 1);
+            histogram[slot] += 1;
+        }
+    }
+    FailureCdf { histogram, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::FaultEvent;
+
+    /// Policy that tolerates up to `cap` faults regardless of data.
+    struct CapPolicy {
+        cap: usize,
+        bits: usize,
+    }
+
+    impl RecoveryPolicy for CapPolicy {
+        fn name(&self) -> String {
+            format!("cap{}", self.cap)
+        }
+        fn overhead_bits(&self) -> usize {
+            0
+        }
+        fn block_bits(&self) -> usize {
+            self.bits
+        }
+        fn recoverable(&self, faults: &[Fault], wrong: &[bool]) -> bool {
+            assert_eq!(faults.len(), wrong.len());
+            faults.len() <= self.cap
+        }
+        fn guaranteed(&self, faults: &[Fault]) -> bool {
+            faults.len() <= self.cap
+        }
+    }
+
+    fn timeline(times: &[f64]) -> BlockTimeline {
+        BlockTimeline {
+            events: times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| FaultEvent {
+                    time: t,
+                    fault: Fault::new(i, false),
+                    split_seed: i as u64,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn block_dies_at_capacity_exceeded() {
+        let policy = CapPolicy { cap: 2, bits: 512 };
+        let outcome = evaluate_block(
+            &policy,
+            &timeline(&[10.0, 20.0, 30.0, 40.0]),
+            FailureCriterion::default(),
+        );
+        assert_eq!(outcome.events_survived, 2);
+        assert_eq!(outcome.death_time, Some(30.0));
+    }
+
+    #[test]
+    fn block_outliving_timeline_reports_none() {
+        let policy = CapPolicy { cap: 10, bits: 512 };
+        let outcome = evaluate_block(&policy, &timeline(&[1.0, 2.0]), FailureCriterion::default());
+        assert_eq!(outcome.events_survived, 2);
+        assert_eq!(outcome.death_time, None);
+    }
+
+    #[test]
+    fn page_death_is_earliest_block_death() {
+        let policy = CapPolicy { cap: 1, bits: 512 };
+        let page = PageTimeline {
+            blocks: vec![timeline(&[5.0, 50.0]), timeline(&[7.0, 9.0])],
+        };
+        let outcome = evaluate_page(&policy, &page, FailureCriterion::default());
+        // Block 1 dies at 9.0, block 0 at 50.0 => page dies at 9.0 having
+        // recovered the faults at 5.0 and 7.0.
+        assert_eq!(outcome.death_time, 9.0);
+        assert_eq!(outcome.faults_recovered, 2);
+        assert!(!outcome.capped);
+    }
+
+    #[test]
+    fn survival_curve_integrates_wear_leveling() {
+        // Two pages with lifetimes 10 and 20 page-writes. Both alive until
+        // global 20 (10 each); then the survivor absorbs everything and
+        // dies at global 20 + (20-10) = 30.
+        let curve = survival_curve(&[10.0, 20.0]);
+        assert_eq!(curve, vec![(0.0, 1.0), (20.0, 0.5), (30.0, 0.0)]);
+    }
+
+    #[test]
+    fn half_lifetime_reads_the_curve() {
+        assert_eq!(half_lifetime(&[10.0, 20.0]), 20.0);
+        // Four pages of lifetimes [1, 1, 100, 100]: all four absorb writes
+        // until the two short-lived pages die at global 4·1 = 4.
+        assert_eq!(half_lifetime(&[1.0, 1.0, 100.0, 100.0]), 4.0);
+    }
+
+    #[test]
+    fn failure_cdf_is_monotone_and_reaches_one() {
+        let policy = CapPolicy { cap: 3, bits: 64 };
+        let cdf = block_failure_cdf(&policy, FailureCriterion::default(), 200, 11).cdf();
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+        // Nothing dies at or below the cap.
+        assert_eq!(cdf[3], 0.0);
+        // Everything is dead by fault 4.
+        assert_eq!(cdf[4], 1.0);
+    }
+
+    #[test]
+    fn run_memory_is_deterministic_and_ordered() {
+        let policy = CapPolicy { cap: 4, bits: 512 };
+        let cfg = SimConfig {
+            pages: 8,
+            page_bits: 4096,
+            block_bits: 512,
+            criterion: FailureCriterion::default(),
+            seed: 5,
+        };
+        let a = run_memory(&policy, &cfg);
+        let b = run_memory(&policy, &cfg);
+        assert_eq!(a.page_lifetimes, b.page_lifetimes);
+        assert_eq!(a.faults_recovered, b.faults_recovered);
+        assert_eq!(a.capped_pages, 0);
+        // A protected page must outlive the unprotected one.
+        for (p, u) in a.page_lifetimes.iter().zip(&a.unprotected_lifetimes) {
+            assert!(p >= u);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The analytic interface between recovery schemes and the Monte Carlo
+//! engine.
+//!
+//! Simulating ~10^11 individual writes is pointless: the only writes that
+//! can change a block's fate are the ones that reveal a *new* fault. A
+//! [`RecoveryPolicy`] answers, for a given fault population and a given
+//! W/R split (which faults are stuck-at-Wrong for the data being written),
+//! whether the scheme's write algorithm succeeds. Each scheme crate provides
+//! a policy that is property-tested against its functional
+//! [`StuckAtCodec`](crate::codec::StuckAtCodec) implementation, so the fast
+//! path provably matches the slow one.
+
+use crate::fault::{sample_split, Fault};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Fast recoverability predicate for one scheme configuration.
+///
+/// Implementations must be immutable/stateless: feasibility may depend only
+/// on the fault population and the split, never on write history. (This
+/// holds for every scheme in the paper — e.g. Aegis's slope counter can
+/// reach any slope by repeated increments, so history never forecloses a
+/// configuration.)
+pub trait RecoveryPolicy: Sync {
+    /// Scheme name as used in the paper's figures (e.g. `"Aegis 17x31"`).
+    fn name(&self) -> String;
+
+    /// Metadata bits per protected block (Table 1 cost).
+    fn overhead_bits(&self) -> usize;
+
+    /// Width of the protected data block in bits.
+    fn block_bits(&self) -> usize;
+
+    /// Whether a block holding `faults` can absorb a write whose W/R split
+    /// is `wrong` (`wrong[i]` ⇔ `faults[i]` is stuck-at-Wrong for the data).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `faults.len() != wrong.len()`.
+    fn recoverable(&self, faults: &[Fault], wrong: &[bool]) -> bool;
+
+    /// Whether the fault population is recoverable for *every* data word
+    /// (the strict, data-independent criterion).
+    ///
+    /// The default implementation enumerates all `2^f` splits for up to
+    /// [`EXHAUSTIVE_SPLIT_LIMIT`] faults and falls back to testing
+    /// [`SAMPLED_GUARANTEE_SPLITS`] pseudo-random splits beyond that (a
+    /// documented approximation; schemes with a closed-form guarantee —
+    /// ECP, base Aegis, SAFER — override this with an exact test).
+    fn guaranteed(&self, faults: &[Fault]) -> bool {
+        let f = faults.len();
+        if f <= EXHAUSTIVE_SPLIT_LIMIT {
+            let mut wrong = vec![false; f];
+            (0u64..(1 << f)).all(|pattern| {
+                for (i, w) in wrong.iter_mut().enumerate() {
+                    *w = (pattern >> i) & 1 == 1;
+                }
+                self.recoverable(faults, &wrong)
+            })
+        } else {
+            // Deterministic sampled approximation, seeded by the fault set
+            // so repeated queries agree.
+            let seed = faults
+                .iter()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, fa| {
+                    (h ^ (fa.offset as u64) ^ ((fa.stuck as u64) << 32))
+                        .wrapping_mul(0x1000_0000_01b3)
+                });
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..SAMPLED_GUARANTEE_SPLITS).all(|_| {
+                let wrong = sample_split(&mut rng, f);
+                self.recoverable(faults, &wrong)
+            })
+        }
+    }
+}
+
+/// Largest fault count for which the default [`RecoveryPolicy::guaranteed`]
+/// enumerates every split exactly.
+pub const EXHAUSTIVE_SPLIT_LIMIT: usize = 14;
+
+/// Number of sampled splits used by the default
+/// [`RecoveryPolicy::guaranteed`] beyond the exhaustive limit.
+pub const SAMPLED_GUARANTEE_SPLITS: usize = 512;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy policy that tolerates at most `cap` stuck-at-Wrong faults.
+    struct AtMostWrong {
+        cap: usize,
+    }
+
+    impl RecoveryPolicy for AtMostWrong {
+        fn name(&self) -> String {
+            format!("at-most-{}-wrong", self.cap)
+        }
+        fn overhead_bits(&self) -> usize {
+            0
+        }
+        fn block_bits(&self) -> usize {
+            512
+        }
+        fn recoverable(&self, _faults: &[Fault], wrong: &[bool]) -> bool {
+            wrong.iter().filter(|&&w| w).count() <= self.cap
+        }
+    }
+
+    fn faults(n: usize) -> Vec<Fault> {
+        (0..n).map(|i| Fault::new(i, false)).collect()
+    }
+
+    #[test]
+    fn default_guaranteed_enumerates_small_sets() {
+        let p = AtMostWrong { cap: 2 };
+        // 2 faults: worst split has 2 wrong => fine.
+        assert!(p.guaranteed(&faults(2)));
+        // 3 faults: the all-wrong split exceeds the cap.
+        assert!(!p.guaranteed(&faults(3)));
+    }
+
+    #[test]
+    fn default_guaranteed_sampling_catches_common_failures() {
+        // 20 faults with cap 5: a random split has ~10 wrong, far above the
+        // cap, so sampling must detect the failure.
+        let p = AtMostWrong { cap: 5 };
+        assert!(!p.guaranteed(&faults(20)));
+    }
+
+    #[test]
+    fn sampled_guarantee_is_deterministic() {
+        let p = AtMostWrong { cap: 9 };
+        let fs = faults(18);
+        assert_eq!(p.guaranteed(&fs), p.guaranteed(&fs));
+    }
+
+    #[test]
+    fn policy_is_object_safe() {
+        fn _takes(_: &dyn RecoveryPolicy) {}
+    }
+}

@@ -1,0 +1,224 @@
+//! Security Refresh (Seong et al., ISCA 2010) — the second wear-leveling
+//! technique the paper's §3.1 cites for its uniform-writes assumption.
+//!
+//! Where Start-Gap rotates the address space through a moving spare,
+//! Security Refresh XOR-remaps every line with a random key and migrates
+//! to a fresh key incrementally — an algebraic, spare-less scheme designed
+//! to also resist intentional wear-out attacks (the remapping is keyed,
+//! not predictable).
+//!
+//! Migration works in *pair swaps*: with current key `k0` and next key
+//! `k1`, lines `l` and `l ⊕ k0 ⊕ k1` exchange physical slots (each ends up
+//! where the new key sends it), so the mapping stays a bijection at every
+//! intermediate step. One pair is swapped every `interval` writes; after
+//! `n/2` swaps the round completes, `k1` becomes current, and a fresh key
+//! is drawn.
+
+use crate::wearlevel::WearLeveler;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Single-region Security Refresh remapper.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_sim::securerefresh::SecurityRefresh;
+/// use pcm_sim::wearlevel::WearLeveler;
+///
+/// let mut sr = SecurityRefresh::new(64, 4, 7);
+/// let before = sr.physical_of(9);
+/// for _ in 0..64 * 8 {
+///     sr.on_write(9);
+/// }
+/// assert_ne!(sr.physical_of(9), before); // the hot line has moved
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecurityRefresh {
+    lines: usize,
+    current_key: usize,
+    next_key: usize,
+    /// Pairs already swapped this round (round length = `lines / 2`).
+    swapped_pairs: usize,
+    interval: u64,
+    writes_since_refresh: u64,
+    overhead_writes: u64,
+    rng: SmallRng,
+}
+
+impl SecurityRefresh {
+    /// Creates a remapper over `lines` (a power of two, at least 2)
+    /// swapping one pair every `interval` writes; `seed` drives the key
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lines` is a power of two `>= 2` and `interval > 0`.
+    #[must_use]
+    pub fn new(lines: usize, interval: u64, seed: u64) -> Self {
+        assert!(
+            lines.is_power_of_two() && lines >= 2,
+            "region must be a power of two >= 2"
+        );
+        assert!(interval > 0, "refresh interval must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let current_key = rng.random_range(0..lines);
+        let next_key = Self::fresh_key(&mut rng, lines, current_key);
+        Self {
+            lines,
+            current_key,
+            next_key,
+            swapped_pairs: 0,
+            interval,
+            writes_since_refresh: 0,
+            overhead_writes: 0,
+            rng,
+        }
+    }
+
+    /// A random key different from `avoid` (a zero key delta would make a
+    /// round a no-op).
+    fn fresh_key(rng: &mut SmallRng, lines: usize, avoid: usize) -> usize {
+        loop {
+            let key = rng.random_range(0..lines);
+            if key != avoid {
+                return key;
+            }
+        }
+    }
+
+    /// The key currently being migrated *to* (for tests).
+    #[must_use]
+    pub fn next_key(&self) -> usize {
+        self.next_key
+    }
+
+    /// Whether line `l` has been re-keyed this round. Pairs `{l, l ⊕ d}`
+    /// (with `d = k0 ⊕ k1`) are processed in order of their smaller
+    /// member; since `d ≠ 0`, the smaller member is the one with the
+    /// highest bit of `d` clear, and its rank among all pair leaders is
+    /// its value with that bit compressed out.
+    fn is_migrated(&self, logical: usize) -> bool {
+        let delta = self.current_key ^ self.next_key;
+        let high = usize::BITS as usize - 1 - delta.leading_zeros() as usize;
+        let leader = logical.min(logical ^ delta);
+        let low_mask = (1usize << high) - 1;
+        let rank = (leader & low_mask) | ((leader >> (high + 1)) << high);
+        rank < self.swapped_pairs
+    }
+
+    fn refresh_step(&mut self) {
+        self.overhead_writes += 2; // a swap rewrites both lines
+        self.swapped_pairs += 1;
+        if self.swapped_pairs == self.lines / 2 {
+            self.current_key = self.next_key;
+            self.next_key = Self::fresh_key(&mut self.rng, self.lines, self.current_key);
+            self.swapped_pairs = 0;
+        }
+    }
+}
+
+impl WearLeveler for SecurityRefresh {
+    fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Algebraic remapping: no spare slot.
+    fn physical_slots(&self) -> usize {
+        self.lines
+    }
+
+    fn physical_of(&mut self, logical: usize) -> usize {
+        assert!(logical < self.lines, "logical line {logical} out of range");
+        if self.is_migrated(logical) {
+            logical ^ self.next_key
+        } else {
+            logical ^ self.current_key
+        }
+    }
+
+    fn on_write(&mut self, logical: usize) -> usize {
+        let slot = self.physical_of(logical);
+        self.writes_since_refresh += 1;
+        if self.writes_since_refresh == self.interval {
+            self.writes_since_refresh = 0;
+            self.refresh_step();
+        }
+        slot
+    }
+
+    fn overhead_writes(&self) -> u64 {
+        self.overhead_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wearlevel::{skewed_stream, wear_cv, wear_histogram};
+
+    #[test]
+    fn mapping_is_a_bijection_at_all_times() {
+        let mut sr = SecurityRefresh::new(32, 3, 1);
+        for step in 0..2_000 {
+            let mut seen = [false; 32];
+            for logical in 0..32 {
+                let slot = sr.physical_of(logical);
+                assert!(slot < 32);
+                assert!(!seen[slot], "slot {slot} duplicated at step {step}");
+                seen[slot] = true;
+            }
+            sr.on_write(step % 32);
+        }
+    }
+
+    #[test]
+    fn pairs_swap_atomically() {
+        let mut sr = SecurityRefresh::new(16, 1, 2);
+        let delta = sr.current_key ^ sr.next_key();
+        // After one refresh step exactly one pair moved — and both of its
+        // members see the new key.
+        let pair_leader = (0..16).find(|&l| l < l ^ delta).unwrap();
+        sr.on_write(0);
+        assert!(sr.is_migrated(pair_leader));
+        assert!(sr.is_migrated(pair_leader ^ delta));
+        assert_eq!(sr.physical_of(pair_leader), pair_leader ^ sr.next_key());
+    }
+
+    #[test]
+    fn keys_rotate_over_rounds() {
+        let mut sr = SecurityRefresh::new(16, 1, 2);
+        let first_next = sr.next_key();
+        for _ in 0..8 {
+            sr.on_write(0); // 8 swaps = a full round for 16 lines
+        }
+        assert_eq!(sr.physical_of(0), first_next); // 0 ^ new current key
+    }
+
+    #[test]
+    fn levels_a_skewed_stream() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let lines = 64;
+        let stream = skewed_stream(&mut rng, lines, 400_000, 0.05);
+        let mut sr = SecurityRefresh::new(lines, 4, 9);
+        let cv = wear_cv(&wear_histogram(&mut sr, stream));
+        assert!(cv < 0.35, "Security Refresh spread too wide: {cv}");
+    }
+
+    #[test]
+    fn overhead_counts_swap_writes() {
+        let mut sr = SecurityRefresh::new(8, 10, 4);
+        for _ in 0..100 {
+            sr.on_write(0);
+        }
+        assert_eq!(sr.overhead_writes(), 20); // 10 swaps × 2 writes
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_region_panics() {
+        let _ = SecurityRefresh::new(20, 4, 0);
+    }
+}

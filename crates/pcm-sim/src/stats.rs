@@ -1,0 +1,84 @@
+//! Small statistics helpers for experiment reporting.
+
+/// Arithmetic mean of a slice of `f64`; `NaN` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Arithmetic mean of a slice of counts; `NaN` for an empty slice.
+#[must_use]
+pub fn mean_usize(values: &[usize]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<usize>() as f64 / values.len() as f64
+}
+
+/// Sample standard deviation (n − 1 denominator); `NaN` for fewer than two
+/// samples.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+/// Value at quantile `q ∈ [0, 1]` by nearest-rank on a sorted copy.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank]
+}
+
+/// Standard error of the mean.
+#[must_use]
+pub fn std_error(values: &[f64]) -> f64 {
+    std_dev(values) / (values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(mean(&[]).is_nan());
+        assert_eq!(mean_usize(&[2, 4]), 3.0);
+    }
+
+    #[test]
+    fn std_dev_of_known_values() {
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.138).abs() < 0.01, "{s}");
+        assert!(std_dev(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 0.5);
+    }
+}

@@ -1,0 +1,304 @@
+//! Fault timelines: when each cell of a block/page fails, in write-count
+//! time.
+//!
+//! A *timeline* is the complete randomness of one simulated page: every
+//! cell's fault-arrival time (derived from its sampled lifetime and the
+//! differential-write wear model), the value it sticks at, and one RNG seed
+//! per fault event from which the per-write W/R splits are drawn. Policies
+//! are evaluated *against* timelines, so every scheme sees exactly the same
+//! random world (common random numbers).
+
+use crate::{Fault, LifetimeModel, WearModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// One fault arrival within a block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Arrival time, in block writes since the beginning of the block's
+    /// life.
+    pub time: f64,
+    /// The fault that appears at that time.
+    pub fault: Fault,
+    /// Seed for the W/R split(s) of the write that reveals this fault.
+    pub split_seed: u64,
+}
+
+/// Fault arrivals of one data block, ascending in time, truncated to the
+/// first `max_events` (a block is long dead before most cells fail).
+#[derive(Debug, Clone, Default)]
+pub struct BlockTimeline {
+    /// Events in ascending time order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl BlockTimeline {
+    /// Time of the first cell failure, or `None` for an empty timeline.
+    #[must_use]
+    pub fn first_fault_time(&self) -> Option<f64> {
+        self.events.first().map(|e| e.time)
+    }
+}
+
+/// Fault arrivals of one memory page (an OS page / "memory block" in the
+/// paper): one [`BlockTimeline`] per data block.
+#[derive(Debug, Clone, Default)]
+pub struct PageTimeline {
+    /// Per-data-block timelines.
+    pub blocks: Vec<BlockTimeline>,
+}
+
+impl PageTimeline {
+    /// Time of the very first cell failure anywhere in the page — the death
+    /// time of an *unprotected* page.
+    #[must_use]
+    pub fn first_cell_death(&self) -> f64 {
+        self.blocks
+            .iter()
+            .filter_map(BlockTimeline::first_fault_time)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total fault events recorded across all blocks.
+    #[must_use]
+    pub fn total_events(&self) -> usize {
+        self.blocks.iter().map(|b| b.events.len()).sum()
+    }
+}
+
+/// Sampler for block and page timelines.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_sim::timeline::TimelineSampler;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let sampler = TimelineSampler::paper_default(512);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let tl = sampler.sample_block(&mut rng);
+/// assert!(!tl.events.is_empty());
+/// // Events are sorted in time.
+/// assert!(tl.events.windows(2).all(|w| w[0].time <= w[1].time));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineSampler {
+    block_bits: usize,
+    lifetime: LifetimeModel,
+    wear: WearModel,
+    max_events: usize,
+    /// Probability that a dying cell sticks at `1`. Under random write
+    /// data this is ½ (the default); real devices can be asymmetric (SET
+    /// vs RESET failure modes), which the bias ablation explores.
+    stuck_one_probability: f64,
+}
+
+/// Default cap on tracked fault events per block. No scheme in the paper
+/// survives anywhere near this many faults in one 512-bit block (the best
+/// reach the low thirties), so the truncation is invisible; the Monte Carlo
+/// engine still counts any block that outlives its timeline as `capped` so
+/// a mis-set cap is loud, not silent.
+pub const DEFAULT_MAX_EVENTS_PER_BLOCK: usize = 96;
+
+impl TimelineSampler {
+    /// Creates a sampler with explicit models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bits` or `max_events` is zero.
+    #[must_use]
+    pub fn new(
+        block_bits: usize,
+        lifetime: LifetimeModel,
+        wear: WearModel,
+        max_events: usize,
+    ) -> Self {
+        assert!(block_bits > 0, "block must have at least one bit");
+        assert!(max_events > 0, "must track at least one event");
+        Self {
+            block_bits,
+            lifetime,
+            wear,
+            max_events: max_events.min(block_bits),
+            stuck_one_probability: 0.5,
+        }
+    }
+
+    /// Sets the probability that a dying cell sticks at `1` (default ½).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[must_use]
+    pub fn with_stuck_bias(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.stuck_one_probability = p;
+        self
+    }
+
+    /// The paper's §3.1 configuration for the given block width.
+    #[must_use]
+    pub fn paper_default(block_bits: usize) -> Self {
+        Self::new(
+            block_bits,
+            LifetimeModel::paper_default(),
+            WearModel::paper_default(),
+            DEFAULT_MAX_EVENTS_PER_BLOCK,
+        )
+    }
+
+    /// Block width this sampler generates timelines for.
+    #[must_use]
+    pub fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    /// Maximum events kept per block timeline.
+    #[must_use]
+    pub fn max_events(&self) -> usize {
+        self.max_events
+    }
+
+    /// Samples the fault timeline of one data block.
+    pub fn sample_block<R: Rng + ?Sized>(&self, rng: &mut R) -> BlockTimeline {
+        let mut cells: Vec<(f64, usize)> = (0..self.block_bits)
+            .map(|offset| (self.wear.fault_time(self.lifetime.sample(rng)), offset))
+            .collect();
+        // Only the earliest `max_events` failures can matter.
+        cells.sort_by(|a, b| a.0.total_cmp(&b.0));
+        cells.truncate(self.max_events);
+        let events = cells
+            .into_iter()
+            .map(|(time, offset)| FaultEvent {
+                time,
+                // A cell sticks at whatever it held when it died; under
+                // random write data that is a fair coin (bias configurable
+                // via `with_stuck_bias`).
+                fault: Fault::new(offset, rng.random_bool(self.stuck_one_probability)),
+                split_seed: rng.random(),
+            })
+            .collect();
+        BlockTimeline { events }
+    }
+
+    /// Samples the fault timeline of a page of `blocks_per_page` data
+    /// blocks.
+    pub fn sample_page<R: Rng + ?Sized>(&self, rng: &mut R, blocks_per_page: usize) -> PageTimeline {
+        PageTimeline {
+            blocks: (0..blocks_per_page).map(|_| self.sample_block(rng)).collect(),
+        }
+    }
+
+    /// Deterministic per-page RNG: every policy evaluated on page `index`
+    /// of a run seeded with `master_seed` sees the identical timeline.
+    #[must_use]
+    pub fn page_rng(master_seed: u64, index: u64) -> SmallRng {
+        SmallRng::seed_from_u64(
+            master_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_timeline_is_sorted_and_capped() {
+        let sampler = TimelineSampler::new(
+            512,
+            LifetimeModel::new(1000.0, 0.25),
+            WearModel::paper_default(),
+            10,
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        let tl = sampler.sample_block(&mut rng);
+        assert_eq!(tl.events.len(), 10);
+        assert!(tl.events.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn offsets_are_unique_within_block() {
+        let sampler = TimelineSampler::paper_default(256);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let tl = sampler.sample_block(&mut rng);
+        let mut offsets: Vec<usize> = tl.events.iter().map(|e| e.fault.offset).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        assert_eq!(offsets.len(), tl.events.len());
+    }
+
+    #[test]
+    fn wear_model_doubles_fault_times() {
+        let fast = TimelineSampler::new(
+            64,
+            LifetimeModel::new(1000.0, 0.0),
+            WearModel::new(1.0),
+            1,
+        );
+        let slow = TimelineSampler::new(
+            64,
+            LifetimeModel::new(1000.0, 0.0),
+            WearModel::new(0.5),
+            1,
+        );
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = fast.sample_block(&mut rng).events[0].time;
+        let b = slow.sample_block(&mut rng).events[0].time;
+        assert_eq!(a, 1000.0);
+        assert_eq!(b, 2000.0);
+    }
+
+    #[test]
+    fn page_first_cell_death_is_min_over_blocks() {
+        let sampler = TimelineSampler::paper_default(128);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let page = sampler.sample_page(&mut rng, 8);
+        let manual = page
+            .blocks
+            .iter()
+            .map(|b| b.events[0].time)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(page.first_cell_death(), manual);
+        assert_eq!(page.total_events(), 8 * sampler.max_events());
+    }
+
+    #[test]
+    fn page_rng_is_deterministic_per_index() {
+        use rand::RngExt;
+        let mut a = TimelineSampler::page_rng(7, 3);
+        let mut b = TimelineSampler::page_rng(7, 3);
+        let mut c = TimelineSampler::page_rng(7, 4);
+        let (x, y, z): (u64, u64, u64) = (a.random(), b.random(), c.random());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_block_bits_panics() {
+        let _ = TimelineSampler::new(0, LifetimeModel::paper_default(), WearModel::paper_default(), 1);
+    }
+
+    #[test]
+    fn stuck_bias_shifts_the_value_distribution() {
+        let biased = TimelineSampler::paper_default(512).with_stuck_bias(0.9);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut ones = 0usize;
+        let mut total = 0usize;
+        for _ in 0..30 {
+            for event in biased.sample_block(&mut rng).events {
+                ones += usize::from(event.fault.stuck);
+                total += 1;
+            }
+        }
+        let fraction = ones as f64 / total as f64;
+        assert!((0.85..0.95).contains(&fraction), "{fraction}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_bias_panics() {
+        let _ = TimelineSampler::paper_default(64).with_stuck_bias(1.5);
+    }
+}

@@ -1,0 +1,182 @@
+//! Synthetic write-address workloads for wear-leveling studies.
+//!
+//! The paper assumes away workload structure (perfect wear leveling); the
+//! levelers in [`crate::wearlevel`] and [`crate::securerefresh`] earn that
+//! assumption only if they flatten realistic access patterns. This module
+//! provides the classic adversaries: uniform traffic (the baseline),
+//! hotspots, Zipf-distributed popularity, and pure sequential streaming.
+
+use rand::{Rng, RngExt};
+
+/// Address-stream shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceKind {
+    /// Uniformly random line per write.
+    Uniform,
+    /// A fraction of "hot" lines absorbs most writes.
+    Hotspot {
+        /// Fraction of the address space that is hot.
+        hot_fraction: f64,
+        /// Probability a write lands in the hot set.
+        hot_probability: f64,
+    },
+    /// Zipf-distributed line popularity (rank 1 most popular).
+    Zipf {
+        /// Skew exponent (≈1.0 for classic web-like skew).
+        alpha: f64,
+    },
+    /// Round-robin sequential sweep (streaming writes).
+    Sequential,
+}
+
+/// Generates write-address streams over `lines` lines.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    kind: TraceKind,
+    lines: usize,
+    /// Zipf cumulative distribution (empty for other kinds).
+    zipf_cdf: Vec<f64>,
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines == 0`, or on out-of-range hotspot/Zipf parameters.
+    #[must_use]
+    pub fn new(kind: TraceKind, lines: usize) -> Self {
+        assert!(lines > 0, "need at least one line");
+        let zipf_cdf = match kind {
+            TraceKind::Zipf { alpha } => {
+                assert!(alpha > 0.0, "Zipf exponent must be positive");
+                let mut acc = 0.0;
+                let mut cdf: Vec<f64> = (1..=lines)
+                    .map(|rank| {
+                        acc += 1.0 / (rank as f64).powf(alpha);
+                        acc
+                    })
+                    .collect();
+                let total = *cdf.last().expect("non-empty");
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                cdf
+            }
+            TraceKind::Hotspot {
+                hot_fraction,
+                hot_probability,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&hot_fraction) && (0.0..=1.0).contains(&hot_probability),
+                    "hotspot parameters out of [0, 1]"
+                );
+                Vec::new()
+            }
+            _ => Vec::new(),
+        };
+        Self {
+            kind,
+            lines,
+            zipf_cdf,
+        }
+    }
+
+    /// The shape being generated.
+    #[must_use]
+    pub fn kind(&self) -> TraceKind {
+        self.kind
+    }
+
+    /// One write address (`step` is the global write index, used by the
+    /// sequential shape).
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R, step: usize) -> usize {
+        match self.kind {
+            TraceKind::Uniform => rng.random_range(0..self.lines),
+            TraceKind::Hotspot {
+                hot_fraction,
+                hot_probability,
+            } => {
+                let hot = ((self.lines as f64 * hot_fraction).ceil() as usize).clamp(1, self.lines);
+                if rng.random_bool(hot_probability) {
+                    rng.random_range(0..hot)
+                } else {
+                    rng.random_range(0..self.lines)
+                }
+            }
+            TraceKind::Zipf { .. } => {
+                let u: f64 = rng.random();
+                self.zipf_cdf.partition_point(|&c| c < u).min(self.lines - 1)
+            }
+            TraceKind::Sequential => step % self.lines,
+        }
+    }
+
+    /// A full stream of `length` addresses.
+    pub fn stream<R: Rng + ?Sized>(&self, rng: &mut R, length: usize) -> Vec<usize> {
+        (0..length).map(|step| self.next(rng, step)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn counts(kind: TraceKind, lines: usize, n: usize) -> Vec<usize> {
+        let generator = TraceGenerator::new(kind, lines);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = vec![0usize; lines];
+        for addr in generator.stream(&mut rng, n) {
+            counts[addr] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let c = counts(TraceKind::Uniform, 16, 160_000);
+        for &count in &c {
+            assert!((8_000..12_000).contains(&count), "{count}");
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_writes() {
+        let c = counts(
+            TraceKind::Hotspot {
+                hot_fraction: 0.1,
+                hot_probability: 0.9,
+            },
+            100,
+            100_000,
+        );
+        let hot: usize = c[..10].iter().sum();
+        assert!(hot > 85_000, "hot set got only {hot}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates_and_tail_decays() {
+        let c = counts(TraceKind::Zipf { alpha: 1.0 }, 64, 200_000);
+        assert!(c[0] > c[1], "rank 1 must beat rank 2");
+        assert!(c[0] > 10 * c[63], "head/tail ratio too small: {} vs {}", c[0], c[63]);
+        // Roughly harmonic: c[0]/c[9] ≈ 10 for alpha = 1.
+        let ratio = c[0] as f64 / c[9] as f64;
+        assert!((5.0..20.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn sequential_cycles() {
+        let generator = TraceGenerator::new(TraceKind::Sequential, 4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let stream = generator.stream(&mut rng, 8);
+        assert_eq!(stream, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_lines_panics() {
+        let _ = TraceGenerator::new(TraceKind::Uniform, 0);
+    }
+}

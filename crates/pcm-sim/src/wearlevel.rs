@@ -1,0 +1,367 @@
+//! Wear-leveling substrates: Start-Gap and its randomized variant.
+//!
+//! The paper's evaluation (§3.1) *assumes* perfect wear leveling — "writes
+//! are uniformly distributed over the live memory blocks" — justified by
+//! citing Randomized Region-based Start-Gap (Qureshi et al., MICRO 2009)
+//! and Security Refresh. This module implements Start-Gap so the
+//! assumption can be validated instead of taken on faith: feed any skewed
+//! write stream through [`StartGap`] / [`RandomizedStartGap`] and measure
+//! the per-line write spread (see `tests/wear_leveling.rs` and the
+//! `wear_leveling` ablation).
+//!
+//! ## Start-Gap in brief
+//!
+//! For `N` logical lines the device provisions `N + 1` physical lines; the
+//! spare is the *gap*. Every `ψ` writes the gap moves down by one slot
+//! (copying one line), and when it wraps, a *start* register advances —
+//! over time every logical line visits every physical slot, spreading hot
+//! addresses across the device. The randomized variant first scrambles the
+//! logical address with a fixed random bijection so that spatially
+//! correlated hot regions do not march through physical space together.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Remaps logical line addresses to physical slots, leveling wear.
+pub trait WearLeveler {
+    /// Number of logical lines managed.
+    fn lines(&self) -> usize;
+
+    /// Number of physical slots the leveler maps onto. Start-Gap needs one
+    /// spare beyond the logical lines (the default); algebraic schemes
+    /// like Security Refresh use exactly `lines()`.
+    fn physical_slots(&self) -> usize {
+        self.lines() + 1
+    }
+
+    /// Physical slot (in `0..=lines()`, the extra slot being the gap space)
+    /// currently backing a logical line.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `logical >= lines()`.
+    fn physical_of(&mut self, logical: usize) -> usize;
+
+    /// Accounts one write to a logical line and returns the physical slot
+    /// it lands in (remap bookkeeping may advance internally).
+    fn on_write(&mut self, logical: usize) -> usize;
+
+    /// Extra device writes performed so far by the leveler itself (gap
+    /// copies) — its write-amplification cost.
+    fn overhead_writes(&self) -> u64;
+}
+
+/// The Start-Gap algebraic wear leveler (Qureshi et al., MICRO 2009).
+///
+/// # Examples
+///
+/// ```
+/// use pcm_sim::wearlevel::{StartGap, WearLeveler};
+///
+/// let mut wl = StartGap::new(8, 4); // 8 lines, gap moves every 4 writes
+/// let before = wl.physical_of(3);
+/// for _ in 0..64 {
+///     wl.on_write(3); // hammer one logical line
+/// }
+/// // The hot line no longer sits where it started.
+/// assert_ne!(wl.physical_of(3), before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StartGap {
+    lines: usize,
+    /// Physical index of the gap (the unused spare slot), in `0..=lines`.
+    gap: usize,
+    /// Rotation of the logical space, advanced on each gap wrap.
+    start: usize,
+    /// Gap moves after every `interval` data writes.
+    interval: u64,
+    writes_since_move: u64,
+    overhead_writes: u64,
+}
+
+impl StartGap {
+    /// Creates a leveler for `lines` logical lines whose gap moves every
+    /// `interval` writes (the paper behind Start-Gap uses ψ = 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines == 0` or `interval == 0`.
+    #[must_use]
+    pub fn new(lines: usize, interval: u64) -> Self {
+        assert!(lines > 0, "need at least one line");
+        assert!(interval > 0, "gap interval must be positive");
+        Self {
+            lines,
+            gap: lines, // gap starts at the spare slot past the end
+            start: 0,
+            interval,
+            writes_since_move: 0,
+            overhead_writes: 0,
+        }
+    }
+
+    /// Current gap slot (for tests/diagnostics).
+    #[must_use]
+    pub fn gap(&self) -> usize {
+        self.gap
+    }
+
+    /// Current start rotation (for tests/diagnostics).
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    fn mapping(&self, logical: usize) -> usize {
+        assert!(logical < self.lines, "logical line {logical} out of range");
+        let rotated = (logical + self.start) % self.lines;
+        // Slots at or past the gap are shifted by one to skip it.
+        if rotated >= self.gap {
+            rotated + 1
+        } else {
+            rotated
+        }
+    }
+
+    fn move_gap(&mut self) {
+        // Copy the line just below the gap into the gap slot: one device
+        // write of overhead.
+        self.overhead_writes += 1;
+        if self.gap == 0 {
+            // Wrap: the gap returns to the top and the start advances,
+            // rotating the whole logical space by one.
+            self.gap = self.lines;
+            self.start = (self.start + 1) % self.lines;
+        } else {
+            self.gap -= 1;
+        }
+    }
+}
+
+impl WearLeveler for StartGap {
+    fn lines(&self) -> usize {
+        self.lines
+    }
+
+    fn physical_of(&mut self, logical: usize) -> usize {
+        self.mapping(logical)
+    }
+
+    fn on_write(&mut self, logical: usize) -> usize {
+        let slot = self.mapping(logical);
+        self.writes_since_move += 1;
+        if self.writes_since_move == self.interval {
+            self.writes_since_move = 0;
+            self.move_gap();
+        }
+        slot
+    }
+
+    fn overhead_writes(&self) -> u64 {
+        self.overhead_writes
+    }
+}
+
+/// Start-Gap behind a fixed random bijection of the logical space
+/// (the "randomized" part of Randomized Region-based Start-Gap): spatially
+/// adjacent hot lines scatter before the rotation spreads them further.
+#[derive(Debug, Clone)]
+pub struct RandomizedStartGap {
+    scramble: Vec<usize>,
+    inner: StartGap,
+}
+
+impl RandomizedStartGap {
+    /// Creates the randomized leveler; `seed` fixes the static address
+    /// scramble (burned in at manufacturing time in the real design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines == 0` or `interval == 0`.
+    #[must_use]
+    pub fn new(lines: usize, interval: u64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut scramble: Vec<usize> = (0..lines).collect();
+        for i in (1..lines).rev() {
+            scramble.swap(i, rng.random_range(0..=i));
+        }
+        Self {
+            scramble,
+            inner: StartGap::new(lines, interval),
+        }
+    }
+
+    /// The static scramble applied before Start-Gap (for tests).
+    #[must_use]
+    pub fn scrambled(&self, logical: usize) -> usize {
+        self.scramble[logical]
+    }
+}
+
+impl WearLeveler for RandomizedStartGap {
+    fn lines(&self) -> usize {
+        self.inner.lines()
+    }
+
+    fn physical_of(&mut self, logical: usize) -> usize {
+        let scrambled = self.scramble[logical];
+        self.inner.physical_of(scrambled)
+    }
+
+    fn on_write(&mut self, logical: usize) -> usize {
+        let scrambled = self.scramble[logical];
+        self.inner.on_write(scrambled)
+    }
+
+    fn overhead_writes(&self) -> u64 {
+        self.inner.overhead_writes()
+    }
+}
+
+/// Drives a write stream through a leveler and tallies writes per physical
+/// slot — the measurement behind the uniform-wear validation.
+pub fn wear_histogram<W, I>(leveler: &mut W, stream: I) -> Vec<u64>
+where
+    W: WearLeveler + ?Sized,
+    I: IntoIterator<Item = usize>,
+{
+    let mut histogram = vec![0u64; leveler.physical_slots()];
+    for logical in stream {
+        histogram[leveler.on_write(logical)] += 1;
+    }
+    histogram
+}
+
+/// Coefficient of variation of a wear histogram (0 = perfectly level).
+#[must_use]
+pub fn wear_cv(histogram: &[u64]) -> f64 {
+    let n = histogram.len() as f64;
+    let mean = histogram.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = histogram
+        .iter()
+        .map(|&h| (h as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+/// A deliberately skewed write stream: 90% of writes hit the `hot_fraction`
+/// hottest lines (plus a round-robin cold tail) — the adversarial pattern
+/// wear leveling exists for.
+pub fn skewed_stream<R: Rng + ?Sized>(
+    rng: &mut R,
+    lines: usize,
+    length: usize,
+    hot_fraction: f64,
+) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&hot_fraction), "fraction out of range");
+    let hot = ((lines as f64 * hot_fraction).ceil() as usize).clamp(1, lines);
+    (0..length)
+        .map(|i| {
+            if rng.random_bool(0.9) {
+                rng.random_range(0..hot)
+            } else {
+                i % lines
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_a_bijection_at_all_times() {
+        let mut wl = StartGap::new(16, 3);
+        for step in 0..500 {
+            let mut seen = [false; 17];
+            for logical in 0..16 {
+                let slot = wl.physical_of(logical);
+                assert!(slot <= 16, "slot out of range at step {step}");
+                assert!(!seen[slot], "two lines share slot {slot} at step {step}");
+                seen[slot] = true;
+            }
+            // Exactly the gap slot is unused.
+            assert_eq!(seen.iter().filter(|&&s| !s).count(), 1);
+            wl.on_write(step % 16);
+        }
+    }
+
+    #[test]
+    fn gap_wraps_and_start_advances() {
+        let mut wl = StartGap::new(4, 1); // gap moves on every write
+        assert_eq!(wl.gap(), 4);
+        for _ in 0..5 {
+            wl.on_write(0);
+        }
+        // Five moves: gap 4→3→2→1→0→wrap(4, start+1).
+        assert_eq!(wl.gap(), 4);
+        assert_eq!(wl.start(), 1);
+        assert_eq!(wl.overhead_writes(), 5);
+    }
+
+    #[test]
+    fn hot_line_migrates_across_all_slots() {
+        let mut wl = StartGap::new(8, 2);
+        let mut visited = std::collections::BTreeSet::new();
+        for _ in 0..8 * 2 * 20 {
+            visited.insert(wl.on_write(5));
+        }
+        assert_eq!(visited.len(), 9, "hot line must visit every slot: {visited:?}");
+    }
+
+    #[test]
+    fn start_gap_levels_a_skewed_stream() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let lines = 64;
+        let stream = skewed_stream(&mut rng, lines, 400_000, 0.05);
+        // Without leveling: CV is huge.
+        let raw = {
+            let mut h = vec![0u64; lines + 1];
+            for &l in &stream {
+                h[l] += 1;
+            }
+            wear_cv(&h)
+        };
+        let mut wl = StartGap::new(lines, 8);
+        let leveled = wear_cv(&wear_histogram(&mut wl, stream));
+        assert!(raw > 2.0, "stream not skewed enough ({raw})");
+        assert!(
+            leveled < raw / 4.0,
+            "Start-Gap should cut the wear spread ({raw} -> {leveled})"
+        );
+    }
+
+    #[test]
+    fn randomized_variant_also_levels_and_scramble_is_bijection() {
+        let mut wl = RandomizedStartGap::new(64, 8, 9);
+        let mut targets: Vec<usize> = (0..64).map(|l| wl.scrambled(l)).collect();
+        targets.sort_unstable();
+        assert_eq!(targets, (0..64).collect::<Vec<_>>());
+
+        let mut rng = SmallRng::seed_from_u64(2);
+        let stream = skewed_stream(&mut rng, 64, 400_000, 0.05);
+        let leveled = wear_cv(&wear_histogram(&mut wl, stream));
+        assert!(leveled < 0.5, "randomized Start-Gap spread too wide: {leveled}");
+    }
+
+    #[test]
+    fn overhead_is_one_copy_per_interval() {
+        let mut wl = StartGap::new(32, 10);
+        for _ in 0..1000 {
+            wl.on_write(0);
+        }
+        assert_eq!(wl.overhead_writes(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_logical_panics() {
+        let mut wl = StartGap::new(4, 1);
+        let _ = wl.physical_of(4);
+    }
+}

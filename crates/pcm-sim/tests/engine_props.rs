@@ -1,0 +1,152 @@
+//! Property tests of the Monte Carlo engine itself: conservation laws of
+//! the wear-leveling integration, criterion monotonicity, and the
+//! statistics of sampled timelines.
+
+use pcm_sim::montecarlo::{
+    evaluate_block, half_lifetime, survival_curve, FailureCriterion,
+};
+use pcm_sim::policy::RecoveryPolicy;
+use pcm_sim::timeline::TimelineSampler;
+use pcm_sim::{Fault, LifetimeModel, WearModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Conservation: under perfect wear leveling the chip absorbs exactly
+    /// the sum of per-page lifetimes — the curve's final global write
+    /// count must equal `Σ Tᵢ` (telescoping of the order-statistics
+    /// integration).
+    #[test]
+    fn survival_curve_conserves_total_writes(
+        lifetimes in proptest::collection::vec(1.0f64..1e6, 1..50)
+    ) {
+        let curve = survival_curve(&lifetimes);
+        let total: f64 = lifetimes.iter().sum();
+        let final_global = curve.last().unwrap().0;
+        prop_assert!((final_global - total).abs() < total * 1e-9);
+        // Alive fraction is non-increasing and global writes non-decreasing.
+        for w in curve.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+            prop_assert!(w[1].1 <= w[0].1);
+        }
+        prop_assert_eq!(curve.last().unwrap().1, 0.0);
+    }
+
+    /// The half-lifetime is bracketed by the weakest and strongest page's
+    /// contribution.
+    #[test]
+    fn half_lifetime_is_bracketed(
+        lifetimes in proptest::collection::vec(1.0f64..1e6, 2..40)
+    ) {
+        let n = lifetimes.len() as f64;
+        let min = lifetimes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let total: f64 = lifetimes.iter().sum();
+        let half = half_lifetime(&lifetimes);
+        prop_assert!(half >= min * n / 2.0 - 1e-9, "{half} vs {min}*{n}/2");
+        prop_assert!(half <= total + 1e-9);
+    }
+}
+
+/// A policy that tolerates `cap` faults (data-independent), for engine
+/// tests.
+struct Cap(usize);
+
+impl RecoveryPolicy for Cap {
+    fn name(&self) -> String {
+        format!("cap{}", self.0)
+    }
+    fn overhead_bits(&self) -> usize {
+        0
+    }
+    fn block_bits(&self) -> usize {
+        512
+    }
+    fn recoverable(&self, faults: &[Fault], _wrong: &[bool]) -> bool {
+        faults.len() <= self.0
+    }
+    fn guaranteed(&self, faults: &[Fault]) -> bool {
+        faults.len() <= self.0
+    }
+}
+
+/// A policy that accepts a split iff at most `cap` faults are
+/// stuck-at-Wrong — data-dependent, for criterion-monotonicity tests.
+struct WrongCap(usize);
+
+impl RecoveryPolicy for WrongCap {
+    fn name(&self) -> String {
+        format!("wrongcap{}", self.0)
+    }
+    fn overhead_bits(&self) -> usize {
+        0
+    }
+    fn block_bits(&self) -> usize {
+        512
+    }
+    fn recoverable(&self, _faults: &[Fault], wrong: &[bool]) -> bool {
+        wrong.iter().filter(|&&w| w).count() <= self.0
+    }
+}
+
+#[test]
+fn stricter_criteria_never_extend_block_life() {
+    let sampler = TimelineSampler::paper_default(512);
+    let policy = WrongCap(6);
+    for seed in 0..40u64 {
+        let mut rng = TimelineSampler::page_rng(3, seed);
+        let timeline = sampler.sample_block(&mut rng);
+        let one = evaluate_block(&policy, &timeline, FailureCriterion::PerEventSplit { samples: 1 });
+        let many =
+            evaluate_block(&policy, &timeline, FailureCriterion::PerEventSplit { samples: 16 });
+        let guaranteed = evaluate_block(&policy, &timeline, FailureCriterion::GuaranteedAllData);
+        assert!(one.events_survived >= many.events_survived, "seed {seed}");
+        assert!(many.events_survived >= guaranteed.events_survived, "seed {seed}");
+        // The data-independent bound: guaranteed accepts exactly cap faults.
+        assert_eq!(guaranteed.events_survived, 6.min(timeline.events.len()));
+    }
+}
+
+#[test]
+fn fault_arrival_times_match_the_lifetime_model() {
+    // The first fault time of a sampled block must track the minimum of
+    // 512 lifetimes drawn straight from the model, scaled by the wear
+    // participation — a wiring check that would catch a wrong wear factor,
+    // a bad sort, or a truncated tail in the sampler.
+    use rand::{rngs::SmallRng, SeedableRng};
+    let lifetime = LifetimeModel::paper_default();
+    let wear = WearModel::paper_default();
+    let sampler = TimelineSampler::new(512, lifetime, wear, 8);
+    let mut sampled = Vec::new();
+    for seed in 0..400u64 {
+        let mut rng = TimelineSampler::page_rng(11, seed);
+        sampled.push(sampler.sample_block(&mut rng).events[0].time);
+    }
+    let mut reference = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(77);
+    for _ in 0..400 {
+        let min = (0..512)
+            .map(|_| lifetime.sample(&mut rng))
+            .fold(f64::INFINITY, f64::min);
+        reference.push(wear.fault_time(min));
+    }
+    let ratio = pcm_sim::stats::mean(&sampled) / pcm_sim::stats::mean(&reference);
+    assert!(
+        (0.95..1.05).contains(&ratio),
+        "sampler {:.3e} vs direct reference {:.3e}",
+        pcm_sim::stats::mean(&sampled),
+        pcm_sim::stats::mean(&reference)
+    );
+}
+
+#[test]
+fn deterministic_block_evaluation_is_pure() {
+    let sampler = TimelineSampler::paper_default(512);
+    let policy = Cap(9);
+    let mut rng_a = TimelineSampler::page_rng(5, 0);
+    let mut rng_b = TimelineSampler::page_rng(5, 0);
+    let tl_a = sampler.sample_block(&mut rng_a);
+    let tl_b = sampler.sample_block(&mut rng_b);
+    let a = evaluate_block(&policy, &tl_a, FailureCriterion::default());
+    let b = evaluate_block(&policy, &tl_b, FailureCriterion::default());
+    assert_eq!(a.events_survived, b.events_survived);
+    assert_eq!(a.death_time, b.death_time);
+}

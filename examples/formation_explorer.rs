@@ -1,0 +1,49 @@
+//! Formation explorer: size an Aegis scheme analytically, then check the
+//! choice against the Monte Carlo — the workflow a memory architect would
+//! actually use this library for.
+//!
+//! Run with: `cargo run --release --example formation_explorer [BITS] [BUDGET_BITS]`
+
+use aegis_pcm::aegis::analysis::{
+    candidate_formations, recommend_formation, simulated_survival_probability,
+    survival_probability,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let bits: usize = args.next().map_or(Ok(512), |s| s.parse())?;
+    let budget: usize = args.next().map_or(Ok(80), |s| s.parse())?;
+
+    println!("Admissible Aegis formations for {bits}-bit blocks within {budget} overhead bits:\n");
+    println!(
+        "{:<10} {:>9} {:>9} {:>11}  survival@f (analytic | simulated)",
+        "formation", "overhead", "hard FTC", "soft knee"
+    );
+    for choice in candidate_formations(bits, budget) {
+        let probe = choice.soft_knee; // evaluate right at the knee
+        let analytic = survival_probability(&choice.rect, probe);
+        let simulated = simulated_survival_probability(&choice.rect, probe, 400, 7);
+        println!(
+            "{:<10} {:>6} b {:>9} {:>11}  @{probe}: {analytic:>5.2} | {simulated:>5.2}",
+            choice.rect.formation(),
+            choice.overhead_bits,
+            choice.hard_ftc,
+            choice.soft_knee,
+        );
+    }
+
+    // A concrete sizing question: "I need blocks to survive 24 faults more
+    // often than not — what is the cheapest formation?"
+    let target = 24usize.min(bits / 8);
+    match recommend_formation(bits, target, budget) {
+        Some(choice) => println!(
+            "\ncheapest formation with soft knee ≥ {target}: Aegis {} \
+             ({} bits, hard FTC {})",
+            choice.rect.formation(),
+            choice.overhead_bits,
+            choice.hard_ftc,
+        ),
+        None => println!("\nno formation reaches a soft knee of {target} within {budget} bits"),
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # aegis-pcm
+//!
+//! Umbrella crate for the reproduction of *Aegis: Partitioning Data Block for
+//! Efficient Recovery of Stuck-at-Faults in Phase Change Memory* (Fan, Jiang,
+//! Shu, Zhang, Zheng — MICRO-46, 2013).
+//!
+//! This crate re-exports the workspace members so downstream users can depend
+//! on a single crate:
+//!
+//! - [`bitblock`] — fixed-width bit vectors (data words, inversion masks).
+//! - [`pcm`] — the PCM device simulator and Monte Carlo lifetime engine.
+//! - [`aegis`] — the paper's contribution: the A×B partition scheme and the
+//!   Aegis / Aegis-rw / Aegis-rw-p codecs.
+//! - [`baselines`] — ECP, SAFER (with/without fail cache), RDIS, Hamming
+//!   SEC-DED and the unprotected baseline the paper compares against.
+//! - [`payg`] — the Pay-As-You-Go global-correction framework the paper's
+//!   related work slots Aegis into.
+//! - [`os_assist`] — the OS layer above in-block recovery: FREE-p block
+//!   remapping and Dynamic Pairing page recycling (§4 of the paper).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aegis_pcm::aegis::{AegisCodec, Rectangle};
+//! use aegis_pcm::pcm::PcmBlock;
+//! use aegis_pcm::bitblock::BitBlock;
+//! use aegis_pcm::codec::StuckAtCodec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 512-bit PCM data block protected by the Aegis 17×31 scheme.
+//! let rect = Rectangle::new(17, 31, 512)?;
+//! let mut codec = AegisCodec::new(rect);
+//! let mut block = PcmBlock::pristine(512);
+//!
+//! // Inject a stuck-at fault, then write and read back through the codec.
+//! block.force_stuck(42, true);
+//! let data = BitBlock::zeros(512);
+//! codec.write(&mut block, &data)?;
+//! assert_eq!(codec.read(&block), data);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use aegis_core as aegis;
+pub use aegis_baselines as baselines;
+pub use aegis_os_assist as os_assist;
+pub use aegis_payg as payg;
+pub use bitblock;
+pub use pcm_sim as pcm;
+
+/// Re-export of the codec abstraction shared by every recovery scheme.
+pub mod codec {
+    pub use pcm_sim::codec::*;
+}

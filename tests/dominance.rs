@@ -1,0 +1,130 @@
+//! Cross-scheme dominance properties: partial orders that must hold
+//! between schemes and their variants on *every* fault population and
+//! split. These pin down the structural relationships the paper argues
+//! informally (a cache never hurts, pointers never hurt, deeper recursion
+//! never hurts, more ECP entries never hurt).
+
+use aegis_pcm::aegis::{AegisPolicy, AegisRwPPolicy, AegisRwPolicy, Rectangle};
+use aegis_pcm::baselines::{EcpPolicy, RdisPolicy, RdisScheme, SaferPolicy};
+use aegis_pcm::pcm::policy::RecoveryPolicy;
+use aegis_pcm::pcm::Fault;
+use proptest::prelude::*;
+
+/// Random fault population + split over a 512-bit block.
+fn population(max_faults: usize) -> impl Strategy<Value = (Vec<Fault>, Vec<bool>)> {
+    proptest::collection::btree_map(0usize..512, (any::<bool>(), any::<bool>()), 0..=max_faults)
+        .prop_map(|map| {
+            let mut faults = Vec::with_capacity(map.len());
+            let mut wrong = Vec::with_capacity(map.len());
+            for (offset, (stuck, w)) in map {
+                faults.push(Fault::new(offset, stuck));
+                wrong.push(w);
+            }
+            (faults, wrong)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Base Aegis acceptance implies Aegis-rw acceptance (the rw variant
+    /// strictly relaxes the per-group condition).
+    #[test]
+    fn rw_dominates_base_aegis((faults, wrong) in population(16)) {
+        let rect = Rectangle::new(17, 31, 512).unwrap();
+        let base = AegisPolicy::new(rect.clone());
+        let rw = AegisRwPolicy::new(rect);
+        if base.recoverable(&faults, &wrong) {
+            prop_assert!(rw.recoverable(&faults, &wrong));
+        }
+    }
+
+    /// More pointers never hurt, and a full pointer budget equals Aegis-rw.
+    #[test]
+    fn rw_p_is_monotone_and_saturates((faults, wrong) in population(14)) {
+        let rect = Rectangle::new(17, 31, 512).unwrap();
+        let rw = AegisRwPolicy::new(rect.clone());
+        let mut previous = false;
+        for pointers in [1usize, 2, 4, 8, 31] {
+            let policy = AegisRwPPolicy::new(rect.clone(), pointers);
+            let now = policy.recoverable(&faults, &wrong);
+            prop_assert!(!previous || now, "losing acceptance when adding pointers");
+            previous = now;
+        }
+        // p = B pointers: some case always fits the budget on a good slope.
+        let saturated = AegisRwPPolicy::new(rect, 31);
+        prop_assert_eq!(
+            saturated.recoverable(&faults, &wrong),
+            rw.recoverable(&faults, &wrong)
+        );
+    }
+
+    /// ECP with more entries accepts a superset.
+    #[test]
+    fn ecp_is_monotone_in_entries((faults, wrong) in population(12)) {
+        let mut previous = false;
+        for n in [2usize, 4, 6, 8, 12] {
+            let now = EcpPolicy::new(n, 512).recoverable(&faults, &wrong);
+            prop_assert!(!previous || now);
+            previous = now;
+        }
+    }
+
+    /// The fail cache strictly relaxes SAFER's per-group condition.
+    #[test]
+    fn safer_cache_dominates_plain((faults, wrong) in population(12)) {
+        for m in [4usize, 6] {
+            let plain = SaferPolicy::new(m, 512, false);
+            let cached = SaferPolicy::new(m, 512, true);
+            if plain.recoverable(&faults, &wrong) {
+                prop_assert!(cached.recoverable(&faults, &wrong), "m={m}");
+            }
+        }
+    }
+
+    /// More SAFER groups (a longer vector) never hurt, under the
+    /// exhaustive search: any m-position partition refines into an
+    /// (m+1)-position one, and refinement preserves group feasibility.
+    #[test]
+    fn safer_is_monotone_in_vector_length((faults, wrong) in population(10)) {
+        let mut previous = false;
+        for m in [3usize, 4, 5, 6] {
+            let now = SaferPolicy::new(m, 512, false).recoverable(&faults, &wrong);
+            prop_assert!(!previous || now, "m={m}");
+            previous = now;
+        }
+    }
+
+    /// Deeper RDIS recursion accepts a superset.
+    #[test]
+    fn rdis_is_monotone_in_depth((faults, wrong) in population(12)) {
+        let mut previous = false;
+        for depth in [1usize, 2, 3, 4] {
+            let scheme = RdisScheme::new(16, 32, depth);
+            let now = RdisPolicy::new(scheme).recoverable(&faults, &wrong);
+            prop_assert!(!previous || now, "depth={depth}");
+            previous = now;
+        }
+    }
+
+    /// `guaranteed` is never more permissive than any single split.
+    #[test]
+    fn guaranteed_implies_every_sampled_split((faults, wrong) in population(10)) {
+        let rect = Rectangle::new(17, 31, 512).unwrap();
+        let policies: Vec<Box<dyn RecoveryPolicy>> = vec![
+            Box::new(AegisPolicy::new(rect.clone())),
+            Box::new(EcpPolicy::new(6, 512)),
+            Box::new(SaferPolicy::new(5, 512, false)),
+            Box::new(RdisPolicy::rdis3(512)),
+        ];
+        for policy in &policies {
+            if policy.guaranteed(&faults) {
+                prop_assert!(
+                    policy.recoverable(&faults, &wrong),
+                    "{} guarantees but rejects a split",
+                    policy.name()
+                );
+            }
+        }
+    }
+}
