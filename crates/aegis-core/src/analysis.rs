@@ -27,8 +27,8 @@
 use crate::{AegisPolicy, Rectangle};
 use pcm_sim::policy::RecoveryPolicy;
 use pcm_sim::Fault;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use sim_rng::SmallRng;
+use sim_rng::{Rng, SeedableRng};
 
 /// Probability that two uniformly random distinct bit offsets of the block
 /// fall in the same rectangle column (and thus never collide on any
@@ -76,7 +76,10 @@ pub fn survival_probability(rect: &Rectangle, faults: usize) -> f64 {
 /// Panics unless `0 < threshold < 1`.
 #[must_use]
 pub fn soft_ftc_knee(rect: &Rectangle, threshold: f64) -> usize {
-    assert!(threshold > 0.0 && threshold < 1.0, "threshold must be in (0,1)");
+    assert!(
+        threshold > 0.0 && threshold < 1.0,
+        "threshold must be in (0,1)"
+    );
     (rect.hard_ftc()..)
         .find(|&f| survival_probability(rect, f) < threshold)
         .expect("survival probability is eventually < any positive threshold")

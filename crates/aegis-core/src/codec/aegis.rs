@@ -175,8 +175,8 @@ impl StuckAtCodec for AegisCodec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use sim_rng::SeedableRng;
+    use sim_rng::SmallRng;
 
     fn small_codec() -> AegisCodec {
         AegisCodec::new(Rectangle::new(5, 7, 32).unwrap())
@@ -232,14 +232,17 @@ mod tests {
         let data = BitBlock::zeros(32); // both W faults
         let report = codec.write(&mut block, &data).unwrap();
         assert_eq!(codec.read(&block), data);
-        assert!(report.repartitions >= 1, "collision must trigger a re-partition");
+        assert!(
+            report.repartitions >= 1,
+            "collision must trigger a re-partition"
+        );
         assert_ne!(codec.slope(), 0);
     }
 
     #[test]
     fn tolerates_hard_ftc_faults_for_any_data() {
         // 5x7 rectangle: hard FTC = 3 (C(3,2)+1 = 4 <= 7).
-        use rand::RngExt;
+        use sim_rng::Rng;
         let rect = Rectangle::new(5, 7, 32).unwrap();
         assert_eq!(rect.hard_ftc(), 4); // C(4,2)+1 = 7 <= B = 7
         let mut rng = SmallRng::seed_from_u64(20);

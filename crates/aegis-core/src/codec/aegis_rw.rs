@@ -204,8 +204,8 @@ impl StuckAtCodec for AegisRwCodec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{RngExt, SeedableRng};
+    use sim_rng::SmallRng;
+    use sim_rng::{Rng, SeedableRng};
 
     fn small() -> AegisRwCodec {
         AegisRwCodec::new(Rectangle::new(5, 7, 32).unwrap())

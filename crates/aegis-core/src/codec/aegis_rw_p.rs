@@ -121,7 +121,11 @@ impl AegisRwPCodec {
             let mut r_groups = Vec::new();
             for (fault, &is_wrong) in faults.iter().zip(wrong) {
                 let g = self.rect.group_of(fault.offset, slope);
-                let set = if is_wrong { &mut w_groups } else { &mut r_groups };
+                let set = if is_wrong {
+                    &mut w_groups
+                } else {
+                    &mut r_groups
+                };
                 if !set.contains(&g) {
                     set.push(g);
                 }
@@ -136,7 +140,13 @@ impl AegisRwPCodec {
         None
     }
 
-    fn physical_target(&self, data: &BitBlock, slope: usize, case: StorageCase, pointed: &[usize]) -> BitBlock {
+    fn physical_target(
+        &self,
+        data: &BitBlock,
+        slope: usize,
+        case: StorageCase,
+        pointed: &[usize],
+    ) -> BitBlock {
         let mut mask = BitBlock::zeros(self.rect.bits());
         for &group in pointed {
             mask |= self.rom.group_mask(slope, group);
@@ -199,10 +209,7 @@ impl AegisRwPCodec {
                     learned = true;
                 }
             }
-            assert!(
-                learned,
-                "verification failed without revealing a new fault"
-            );
+            assert!(learned, "verification failed without revealing a new fault");
         }
         unreachable!("cannot discover more faults than cells")
     }
@@ -252,8 +259,8 @@ impl StuckAtCodec for AegisRwPCodec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{RngExt, SeedableRng};
+    use sim_rng::SmallRng;
+    use sim_rng::{Rng, SeedableRng};
 
     fn small(p: usize) -> AegisRwPCodec {
         AegisRwPCodec::new(Rectangle::new(5, 7, 32).unwrap(), p)

@@ -251,7 +251,10 @@ mod tests {
         let row: Vec<usize> = (1..=10).map(|f| aegis_rw_table1_cost(f, 512)).collect();
         assert_eq!(row, [23, 24, 25, 26, 26, 27, 27, 28, 28, 28]);
         for (model, paper) in row.iter().zip(PAPER_TABLE1_AEGIS_RW) {
-            assert!(paper.abs_diff(*model) <= 1, "model {model} vs paper {paper}");
+            assert!(
+                paper.abs_diff(*model) <= 1,
+                "model {model} vs paper {paper}"
+            );
         }
     }
 

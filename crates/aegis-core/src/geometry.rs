@@ -49,7 +49,9 @@ pub enum GeometryError {
 impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::BadWidth { a, b } => write!(f, "invalid rectangle width A={a}: need 1 <= A <= B={b}"),
+            Self::BadWidth { a, b } => {
+                write!(f, "invalid rectangle width A={a}: need 1 <= A <= B={b}")
+            }
             Self::NotPrime(b) => write!(f, "rectangle height B={b} must be prime"),
             Self::TooSmall { a, b, bits } => {
                 write!(f, "rectangle {a}x{b} cannot hold a {bits}-bit block")
@@ -111,7 +113,12 @@ impl Rectangle {
         let inverse = std::iter::once(0)
             .chain((1..b).map(|x| mod_inverse(x, b)))
             .collect();
-        Ok(Self { a, b, bits, inverse })
+        Ok(Self {
+            a,
+            b,
+            bits,
+            inverse,
+        })
     }
 
     /// The minimal scheme for an `n`-bit block: the smallest prime
@@ -187,7 +194,11 @@ impl Rectangle {
     /// Panics if `offset >= bits`.
     #[must_use]
     pub fn point(&self, offset: usize) -> Point {
-        assert!(offset < self.bits, "offset {offset} out of {}-bit block", self.bits);
+        assert!(
+            offset < self.bits,
+            "offset {offset} out of {}-bit block",
+            self.bits
+        );
         Point {
             a: offset % self.a,
             b: offset / self.a,
@@ -330,7 +341,11 @@ mod tests {
         );
         assert_eq!(
             Rectangle::new(5, 7, 36),
-            Err(GeometryError::TooSmall { a: 5, b: 7, bits: 36 })
+            Err(GeometryError::TooSmall {
+                a: 5,
+                b: 7,
+                bits: 36
+            })
         );
         assert!(Rectangle::new(5, 7, 35).is_ok());
     }
@@ -375,12 +390,18 @@ mod tests {
             let mut seen = vec![false; 32];
             for group in 0..rect.groups() {
                 for offset in rect.group_members(slope, group) {
-                    assert!(!seen[offset], "offset {offset} in two groups at slope {slope}");
+                    assert!(
+                        !seen[offset],
+                        "offset {offset} in two groups at slope {slope}"
+                    );
                     seen[offset] = true;
                     assert_eq!(rect.group_of(offset, slope), group);
                 }
             }
-            assert!(seen.into_iter().all(|s| s), "some bit missing at slope {slope}");
+            assert!(
+                seen.into_iter().all(|s| s),
+                "some bit missing at slope {slope}"
+            );
         }
     }
 

@@ -69,4 +69,4 @@ pub mod rom;
 
 pub use codec::{AegisCodec, AegisRwCodec, AegisRwPCodec};
 pub use geometry::{GeometryError, Point, Rectangle};
-pub use predicate::{AegisPolicy, AegisRwPolicy, AegisRwPPolicy};
+pub use predicate::{AegisPolicy, AegisRwPPolicy, AegisRwPolicy};

@@ -261,7 +261,7 @@ mod tests {
         let r = rect();
         let p = AegisPolicy::new(r.clone());
         assert_eq!(r.hard_ftc(), 4); // C(4,2)+1 = 7 <= B = 7
-        // Exhaustive over all 3-subsets of a sample of offsets.
+                                     // Exhaustive over all 3-subsets of a sample of offsets.
         let sample: Vec<usize> = (0..32).step_by(3).collect();
         for (i, &a) in sample.iter().enumerate() {
             for (j, &b) in sample.iter().enumerate().skip(i + 1) {
@@ -312,8 +312,8 @@ mod tests {
 
     #[test]
     fn rw_p_is_monotone_in_pointers() {
-        use rand::rngs::SmallRng;
-        use rand::{RngExt, SeedableRng};
+        use sim_rng::SmallRng;
+        use sim_rng::{Rng, SeedableRng};
         let r = rect();
         let mut rng = SmallRng::seed_from_u64(31);
         for _ in 0..200 {

@@ -41,7 +41,11 @@ impl GroupRom {
                 table.push(rect.group_of(offset, slope) as u16);
             }
         }
-        Self { table, bits, slopes }
+        Self {
+            table,
+            bits,
+            slopes,
+        }
     }
 
     /// Group of `offset` under `slope`.
@@ -51,7 +55,10 @@ impl GroupRom {
     /// Panics if either input is out of range.
     #[must_use]
     pub fn group_of(&self, offset: usize, slope: usize) -> usize {
-        assert!(offset < self.bits && slope < self.slopes, "GroupRom index out of range");
+        assert!(
+            offset < self.bits && slope < self.slopes,
+            "GroupRom index out of range"
+        );
         self.table[slope * self.bits + offset] as usize
     }
 }
@@ -96,7 +103,10 @@ impl InversionRom {
     /// Panics if either input is out of range.
     #[must_use]
     pub fn group_mask(&self, slope: usize, group: usize) -> &BitBlock {
-        assert!(slope < self.slopes && group < self.groups, "InversionRom index out of range");
+        assert!(
+            slope < self.slopes && group < self.groups,
+            "InversionRom index out of range"
+        );
         &self.masks[slope * self.groups + group]
     }
 
@@ -156,7 +166,10 @@ impl CollisionRom {
     /// Panics if either offset is out of range or they are equal.
     #[must_use]
     pub fn collision_slope(&self, offset1: usize, offset2: usize) -> Option<usize> {
-        assert!(offset1 < self.bits && offset2 < self.bits, "offset out of range");
+        assert!(
+            offset1 < self.bits && offset2 < self.bits,
+            "offset out of range"
+        );
         assert_ne!(offset1, offset2, "a bit always collides with itself");
         let entry = self.table[offset1 * self.bits + offset2];
         (entry != NO_COLLISION).then_some(entry as usize)
@@ -215,7 +228,11 @@ mod tests {
     fn empty_vector_gives_empty_mask() {
         let r = rect();
         let rom = InversionRom::new(&r);
-        assert_eq!(rom.inversion_mask(0, &BitBlock::zeros(r.groups())).count_ones(), 0);
+        assert_eq!(
+            rom.inversion_mask(0, &BitBlock::zeros(r.groups()))
+                .count_ones(),
+            0
+        );
     }
 
     #[test]

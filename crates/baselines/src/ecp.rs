@@ -186,8 +186,8 @@ impl RecoveryPolicy for EcpPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use sim_rng::SeedableRng;
+    use sim_rng::SmallRng;
 
     #[test]
     fn corrects_up_to_capacity() {

@@ -292,8 +292,8 @@ impl RecoveryPolicy for HammingPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{RngExt, SeedableRng};
+    use sim_rng::SmallRng;
+    use sim_rng::{Rng, SeedableRng};
 
     #[test]
     fn encode_decode_roundtrip_clean() {
@@ -353,7 +353,10 @@ mod tests {
                 b2 = rng.random_range(0..64u32);
             }
             let mut received = word ^ (1 << b1) ^ (1 << b2);
-            assert_eq!(decode_word(&mut received, checks), DecodeOutcome::DoubleError);
+            assert_eq!(
+                decode_word(&mut received, checks),
+                DecodeOutcome::DoubleError
+            );
         }
     }
 

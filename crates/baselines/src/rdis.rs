@@ -67,7 +67,10 @@ impl RdisScheme {
     /// Panics unless `block_bits` is a power of two.
     #[must_use]
     pub fn for_block(block_bits: usize, depth: usize) -> Self {
-        assert!(block_bits.is_power_of_two(), "RDIS grid needs a power-of-two block");
+        assert!(
+            block_bits.is_power_of_two(),
+            "RDIS grid needs a power-of-two block"
+        );
         let half = block_bits.trailing_zeros() as usize / 2;
         let rows = 1 << half;
         let cols = block_bits / rows;
@@ -240,7 +243,11 @@ impl StuckAtCodec for RdisCodec {
         data: &BitBlock,
     ) -> Result<WriteReport, UncorrectableError> {
         assert_eq!(data.len(), self.scheme.block_bits(), "data width mismatch");
-        assert_eq!(block.len(), self.scheme.block_bits(), "block width mismatch");
+        assert_eq!(
+            block.len(),
+            self.scheme.block_bits(),
+            "block width mismatch"
+        );
         let mut report = WriteReport::default();
         // Ideal fail cache plus rediscovery of faults born during this very
         // write.
@@ -251,7 +258,10 @@ impl StuckAtCodec for RdisCodec {
                 return Err(UncorrectableError::new(
                     self.name(),
                     faults.len(),
-                    format!("wrong cells survive {} recursion levels", self.scheme.depth()),
+                    format!(
+                        "wrong cells survive {} recursion levels",
+                        self.scheme.depth()
+                    ),
                 ));
             };
             let target = data ^ &self.scheme.parity_mask(&sets.levels);
@@ -333,8 +343,8 @@ impl RecoveryPolicy for RdisPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{RngExt, SeedableRng};
+    use sim_rng::SmallRng;
+    use sim_rng::{Rng, SeedableRng};
 
     #[test]
     fn grid_shapes() {
@@ -368,8 +378,12 @@ mod tests {
     #[test]
     fn w_and_r_faults_at_intersections_need_level_two() {
         let s = RdisScheme::for_block(64, 3); // 8x8
-        // W faults at (0,0) and (1,1); R fault at (0,1) — inside S1.
-        let faults = vec![Fault::new(0, true), Fault::new(9, true), Fault::new(1, false)];
+                                              // W faults at (0,0) and (1,1); R fault at (0,1) — inside S1.
+        let faults = vec![
+            Fault::new(0, true),
+            Fault::new(9, true),
+            Fault::new(1, false),
+        ];
         let wrong = vec![true, true, false];
         let sets = s.build_sets(&faults, &wrong).unwrap();
         assert!(sets.levels.len() >= 2);
@@ -403,7 +417,11 @@ mod tests {
     fn depth_one_fails_on_protected_r_fault() {
         let s = RdisScheme::new(8, 8, 1);
         // W at (0,0),(1,1); R at (0,1) needs level 2.
-        let faults = vec![Fault::new(0, true), Fault::new(9, true), Fault::new(1, false)];
+        let faults = vec![
+            Fault::new(0, true),
+            Fault::new(9, true),
+            Fault::new(1, false),
+        ];
         let wrong = vec![true, true, false];
         assert!(s.build_sets(&faults, &wrong).is_none());
     }
@@ -425,7 +443,10 @@ mod tests {
                 survived += 1;
             }
         }
-        assert!(survived >= 80, "RDIS-3 should absorb most 6-fault sets: {survived}");
+        assert!(
+            survived >= 80,
+            "RDIS-3 should absorb most 6-fault sets: {survived}"
+        );
     }
 
     #[test]

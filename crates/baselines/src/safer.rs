@@ -54,9 +54,15 @@ impl SaferScheme {
     /// `1 ≤ m ≤ log₂ block_bits`.
     #[must_use]
     pub fn new(m: usize, block_bits: usize) -> Self {
-        assert!(block_bits.is_power_of_two(), "SAFER requires a power-of-two block");
+        assert!(
+            block_bits.is_power_of_two(),
+            "SAFER requires a power-of-two block"
+        );
         let addr_bits = block_bits.trailing_zeros() as usize;
-        assert!(m >= 1 && m <= addr_bits, "vector length {m} out of 1..={addr_bits}");
+        assert!(
+            m >= 1 && m <= addr_bits,
+            "vector length {m} out of 1..={addr_bits}"
+        );
         Self {
             m,
             block_bits,
@@ -385,7 +391,10 @@ impl SaferPolicy {
     /// paper's configurations), keeping the Monte Carlo hot path
     /// allocation-free.
     fn partition_ok(&self, positions: &[usize], faults: &[Fault], wrong: &[bool]) -> bool {
-        debug_assert!(positions.len() <= 7, "u128 occupancy supports <= 128 groups");
+        debug_assert!(
+            positions.len() <= 7,
+            "u128 occupancy supports <= 128 groups"
+        );
         let mut has_w = 0u128;
         let mut has_r = 0u128;
         for (fault, &is_wrong) in faults.iter().zip(wrong) {
@@ -417,8 +426,9 @@ impl SaferPolicy {
                 if self.scheme.group_of(fi.offset, &positions)
                     == self.scheme.group_of(fj.offset, &positions)
                 {
-                    if let Some(bit) =
-                        self.scheme.distinguishing_bit(fi.offset, fj.offset, &positions)
+                    if let Some(bit) = self
+                        .scheme
+                        .distinguishing_bit(fi.offset, fj.offset, &positions)
                     {
                         positions.push(bit);
                     }
@@ -483,8 +493,8 @@ impl RecoveryPolicy for SaferPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{RngExt, SeedableRng};
+    use sim_rng::SmallRng;
+    use sim_rng::{Rng, SeedableRng};
 
     #[test]
     fn combinations_count_and_order() {
@@ -579,7 +589,11 @@ mod tests {
         let no_cache = SaferPolicy::new(1, 64, false); // 2 groups only
         let cache = SaferPolicy::new(1, 64, true);
         // Three W faults: with 2 groups some group has >= 2 W.
-        let faults = vec![Fault::new(0, true), Fault::new(1, true), Fault::new(2, true)];
+        let faults = vec![
+            Fault::new(0, true),
+            Fault::new(1, true),
+            Fault::new(2, true),
+        ];
         let wrong = vec![true, true, true];
         assert!(!no_cache.recoverable(&faults, &wrong));
         assert!(cache.recoverable(&faults, &wrong));

@@ -13,18 +13,22 @@
 use aegis_bench::{bench_options, faulty_block, random_data};
 use aegis_core::{AegisRwCodec, Rectangle};
 use aegis_experiments::schemes;
-use criterion::{criterion_group, criterion_main, Criterion};
 use pcm_sim::failcache::{DirectMappedFailCache, FaultOracle, IdealFailCache};
 use pcm_sim::montecarlo::{block_outcomes, FailureCriterion};
+use sim_rng::bench::Bench;
+use sim_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
-fn bench_failure_criterion(c: &mut Criterion) {
+fn bench_failure_criterion(c: &mut Bench) {
     let opts = bench_options();
     let policy = schemes::aegis(9, 61, 512);
     let criteria = [
         ("samples_1", FailureCriterion::PerEventSplit { samples: 1 }),
         ("samples_4", FailureCriterion::PerEventSplit { samples: 4 }),
-        ("samples_16", FailureCriterion::PerEventSplit { samples: 16 }),
+        (
+            "samples_16",
+            FailureCriterion::PerEventSplit { samples: 16 },
+        ),
         ("guaranteed", FailureCriterion::GuaranteedAllData),
     ];
     // Directional check: stricter criteria tolerate fewer faults.
@@ -32,7 +36,11 @@ fn bench_failure_criterion(c: &mut Criterion) {
         .iter()
         .map(|(_, crit)| {
             let outcomes = block_outcomes(policy.as_ref(), *crit, 200, 3);
-            outcomes.iter().map(|o| o.events_survived as f64).sum::<f64>() / 200.0
+            outcomes
+                .iter()
+                .map(|o| o.events_survived as f64)
+                .sum::<f64>()
+                / 200.0
         })
         .collect();
     assert!(
@@ -57,14 +65,18 @@ fn bench_failure_criterion(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_safer_search(c: &mut Criterion) {
+fn bench_safer_search(c: &mut Bench) {
     let opts = bench_options();
     let incremental = schemes::safer(6, 512, false);
     let exhaustive = schemes::safer_exhaustive(6, 512, false);
     // Directional check: the idealized search tolerates strictly more.
     let mean = |policy: &schemes::Policy| {
         let outcomes = block_outcomes(policy.as_ref(), FailureCriterion::default(), 300, 5);
-        outcomes.iter().map(|o| o.events_survived as f64).sum::<f64>() / 300.0
+        outcomes
+            .iter()
+            .map(|o| o.events_survived as f64)
+            .sum::<f64>()
+            / 300.0
     };
     let (incr, exh) = (mean(&incremental), mean(&exhaustive));
     assert!(
@@ -89,7 +101,7 @@ fn bench_safer_search(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_fail_cache_capacity(c: &mut Criterion) {
+fn bench_fail_cache_capacity(c: &mut Bench) {
     // Functional-path ablation (the paper's future work, §2.4): Aegis-rw
     // writes with fault knowledge from caches of varying capacity.
     let rect = Rectangle::new(17, 31, 512).expect("valid formation");
@@ -121,10 +133,7 @@ fn bench_fail_cache_capacity(c: &mut Criterion) {
                 seed = seed.wrapping_add(1);
                 let data = random_data(512, seed);
                 let known = cache.known_faults(0, &block);
-                if codec
-                    .write_with_known(&mut block, &data, &known)
-                    .is_ok()
-                {
+                if codec.write_with_known(&mut block, &data, &known).is_ok() {
                     // Re-record what the verification reads discovered.
                     for f in block.faults() {
                         cache.record(0, f);
@@ -137,7 +146,7 @@ fn bench_fail_cache_capacity(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_payg(c: &mut Criterion) {
+fn bench_payg(c: &mut Bench) {
     // The PAYG extension at bench scale: chip-wide event loop with a
     // shared pool, ECP1 vs Aegis local schemes.
     use aegis_payg::run_payg_chip;
@@ -163,11 +172,11 @@ fn bench_payg(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_failure_criterion,
     bench_safer_search,
     bench_fail_cache_capacity,
     bench_payg
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -1,11 +1,12 @@
 //! Micro-benchmarks of every functional codec: write+read round-trips on
 //! clean and faulty 512-bit blocks, and the cost of a forced re-partition.
 
+use aegis_baselines::{EcpCodec, PartitionSearch, RdisCodec, SaferCodec};
 use aegis_bench::{faulty_block, random_data};
 use aegis_core::{AegisCodec, AegisRwCodec, AegisRwPCodec, Rectangle};
-use aegis_baselines::{EcpCodec, PartitionSearch, RdisCodec, SaferCodec};
-use criterion::{criterion_group, criterion_main, Criterion};
 use pcm_sim::codec::StuckAtCodec;
+use sim_rng::bench::Bench;
+use sim_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
 fn codecs() -> Vec<Box<dyn StuckAtCodec>> {
@@ -20,7 +21,7 @@ fn codecs() -> Vec<Box<dyn StuckAtCodec>> {
     ]
 }
 
-fn bench_clean_roundtrip(c: &mut Criterion) {
+fn bench_clean_roundtrip(c: &mut Bench) {
     let mut group = c.benchmark_group("write_read_clean_512");
     for codec in codecs() {
         let mut codec = codec;
@@ -38,7 +39,7 @@ fn bench_clean_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_faulty_roundtrip(c: &mut Criterion) {
+fn bench_faulty_roundtrip(c: &mut Bench) {
     let mut group = c.benchmark_group("write_read_5_faults_512");
     for codec in codecs() {
         let mut codec = codec;
@@ -58,7 +59,7 @@ fn bench_faulty_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_repartition(c: &mut Criterion) {
+fn bench_repartition(c: &mut Bench) {
     // Two faults that collide at slope 0 force at least one re-partition
     // per fresh codec: measures the §2.2 slope-increment machinery.
     let rect = Rectangle::new(17, 31, 512).expect("valid formation");
@@ -76,7 +77,7 @@ fn bench_repartition(c: &mut Criterion) {
     });
 }
 
-fn bench_rom_construction(c: &mut Criterion) {
+fn bench_rom_construction(c: &mut Bench) {
     let rect = Rectangle::new(9, 61, 512).expect("valid formation");
     c.bench_function("collision_rom_build_9x61", |b| {
         b.iter(|| black_box(aegis_core::rom::CollisionRom::new(black_box(&rect))));
@@ -86,11 +87,11 @@ fn bench_rom_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_clean_roundtrip,
     bench_faulty_roundtrip,
     bench_repartition,
     bench_rom_construction
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -3,18 +3,20 @@
 
 use aegis_bench::bench_options;
 use aegis_experiments::schemes;
-use criterion::{criterion_group, criterion_main, Criterion};
 use pcm_sim::securerefresh::SecurityRefresh;
 use pcm_sim::trace::{TraceGenerator, TraceKind};
 use pcm_sim::wearlevel::{wear_histogram, RandomizedStartGap, StartGap};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use sim_rng::bench::Bench;
+use sim_rng::SeedableRng;
+use sim_rng::SmallRng;
+use sim_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
-fn bench_wear_levelers(c: &mut Criterion) {
+fn bench_wear_levelers(c: &mut Bench) {
     let lines = 256usize;
     let mut rng = SmallRng::seed_from_u64(3);
-    let stream = TraceGenerator::new(TraceKind::Zipf { alpha: 1.0 }, lines).stream(&mut rng, 100_000);
+    let stream =
+        TraceGenerator::new(TraceKind::Zipf { alpha: 1.0 }, lines).stream(&mut rng, 100_000);
     let mut group = c.benchmark_group("wear_leveler_100k_writes");
     group.bench_function("start_gap", |b| {
         b.iter(|| {
@@ -37,7 +39,7 @@ fn bench_wear_levelers(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_os_assist(c: &mut Criterion) {
+fn bench_os_assist(c: &mut Bench) {
     use aegis_os_assist::freep::run_freep;
     use aegis_os_assist::pairing::run_pairing;
     let opts = bench_options();
@@ -54,7 +56,7 @@ fn bench_os_assist(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_trace_generators(c: &mut Criterion) {
+fn bench_trace_generators(c: &mut Bench) {
     let mut group = c.benchmark_group("trace_10k_addresses");
     for (name, kind) in [
         ("uniform", TraceKind::Uniform),
@@ -76,5 +78,10 @@ fn bench_trace_generators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wear_levelers, bench_os_assist, bench_trace_generators);
-criterion_main!(benches);
+bench_group!(
+    benches,
+    bench_wear_levelers,
+    bench_os_assist,
+    bench_trace_generators
+);
+bench_main!(benches);

@@ -3,11 +3,12 @@
 
 use aegis_bench::{bench_options, random_split};
 use aegis_experiments::{fig10, schemes};
-use criterion::{criterion_group, criterion_main, Criterion};
 use pcm_sim::Fault;
+use sim_rng::bench::Bench;
+use sim_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
-fn bench_fig10_pipeline(c: &mut Criterion) {
+fn bench_fig10_pipeline(c: &mut Bench) {
     let opts = bench_options();
     let mut group = c.benchmark_group("fig10_pipeline");
     group.sample_size(10);
@@ -17,8 +18,10 @@ fn bench_fig10_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_rw_p_predicate_by_pointers(c: &mut Criterion) {
-    let faults: Vec<Fault> = (0..16).map(|i| Fault::new(i * 31 % 512, i % 2 == 0)).collect();
+fn bench_rw_p_predicate_by_pointers(c: &mut Bench) {
+    let faults: Vec<Fault> = (0..16)
+        .map(|i| Fault::new(i * 31 % 512, i % 2 == 0))
+        .collect();
     let wrong = random_split(faults.len(), 11);
     let mut group = c.benchmark_group("rw_p_predicate_16_faults");
     for p in [1usize, 3, 6, 9, 12] {
@@ -30,5 +33,9 @@ fn bench_rw_p_predicate_by_pointers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig10_pipeline, bench_rw_p_predicate_by_pointers);
-criterion_main!(benches);
+bench_group!(
+    benches,
+    bench_fig10_pipeline,
+    bench_rw_p_predicate_by_pointers
+);
+bench_main!(benches);

@@ -3,11 +3,12 @@
 
 use aegis_bench::{bench_options, random_split};
 use aegis_experiments::{fig567, schemes};
-use criterion::{criterion_group, criterion_main, Criterion};
 use pcm_sim::Fault;
+use sim_rng::bench::Bench;
+use sim_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
-fn bench_fig567_pipeline(c: &mut Criterion) {
+fn bench_fig567_pipeline(c: &mut Bench) {
     let opts = bench_options();
     let mut group = c.benchmark_group("fig567_pipeline");
     group.sample_size(10);
@@ -17,9 +18,11 @@ fn bench_fig567_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_predicates(c: &mut Criterion) {
+fn bench_predicates(c: &mut Bench) {
     // The Monte Carlo inner loop: recoverability of a 20-fault population.
-    let faults: Vec<Fault> = (0..20).map(|i| Fault::new(i * 23 % 512, i % 3 == 0)).collect();
+    let faults: Vec<Fault> = (0..20)
+        .map(|i| Fault::new(i * 23 % 512, i % 3 == 0))
+        .collect();
     let wrong = random_split(faults.len(), 5);
     let mut group = c.benchmark_group("predicate_20_faults_512");
     for policy in schemes::fig5_schemes(512) {
@@ -30,5 +33,5 @@ fn bench_predicates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig567_pipeline, bench_predicates);
-criterion_main!(benches);
+bench_group!(benches, bench_fig567_pipeline, bench_predicates);
+bench_main!(benches);

@@ -3,11 +3,12 @@
 
 use aegis_bench::bench_options;
 use aegis_experiments::schemes;
-use criterion::{criterion_group, criterion_main, Criterion};
 use pcm_sim::montecarlo::block_failure_cdf;
+use sim_rng::bench::Bench;
+use sim_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
-fn bench_fig8(c: &mut Criterion) {
+fn bench_fig8(c: &mut Bench) {
     let opts = bench_options();
     let mut group = c.benchmark_group("fig8_block_failure_cdf");
     group.sample_size(10);
@@ -26,5 +27,5 @@ fn bench_fig8(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);
+bench_group!(benches, bench_fig8);
+bench_main!(benches);

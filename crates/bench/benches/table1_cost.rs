@@ -2,10 +2,11 @@
 //! regenerates the table's values — asserted against the paper inside).
 
 use aegis_core::cost;
-use criterion::{criterion_group, criterion_main, Criterion};
+use sim_rng::bench::Bench;
+use sim_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(c: &mut Bench) {
     // Correctness gate: the bench refuses to measure a wrong table.
     let rows = cost::table1(10, 512);
     assert_eq!(
@@ -26,5 +27,5 @@ fn bench_table1(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);
+bench_group!(benches, bench_table1);
+bench_main!(benches);

@@ -1,4 +1,4 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures for the wall-clock benchmarks (`sim_rng::bench`).
 //!
 //! Each `benches/*.rs` target corresponds to one artifact of the paper
 //! (Table 1, Figures 5/8/10) or to an ablation DESIGN.md calls out, and
@@ -12,10 +12,10 @@ use aegis_experiments::runner::RunOptions;
 use bitblock::BitBlock;
 use pcm_sim::montecarlo::FailureCriterion;
 use pcm_sim::{Fault, PcmBlock};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use sim_rng::SmallRng;
+use sim_rng::{Rng, SeedableRng};
 
-/// Benchmark-scale run options: small enough for Criterion's repeated
+/// Benchmark-scale run options: small enough for the harness's repeated
 /// sampling, large enough to exercise the full pipeline.
 #[must_use]
 pub fn bench_options() -> RunOptions {

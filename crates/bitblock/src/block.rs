@@ -1,7 +1,7 @@
 //! The [`BitBlock`] type: a fixed-width, heap-backed bit vector.
 
 use crate::iter::{Bits, Ones};
-use rand::{Rng, RngExt};
+use sim_rng::Rng;
 
 const WORD_BITS: usize = 64;
 
@@ -119,7 +119,7 @@ impl BitBlock {
     /// # Examples
     ///
     /// ```
-    /// use rand::{rngs::SmallRng, SeedableRng};
+    /// use sim_rng::{SeedableRng, SmallRng};
     /// let mut rng = SmallRng::seed_from_u64(7);
     /// let b = bitblock::BitBlock::random(&mut rng, 512);
     /// assert_eq!(b.len(), 512);
@@ -145,7 +145,7 @@ impl BitBlock {
     /// # Examples
     ///
     /// ```
-    /// use rand::{rngs::SmallRng, SeedableRng};
+    /// use sim_rng::{SeedableRng, SmallRng};
     /// let mut rng = SmallRng::seed_from_u64(1);
     /// let b = bitblock::BitBlock::random_with_density(&mut rng, 1000, 0.1);
     /// assert!(b.count_ones() < 200);
@@ -175,7 +175,11 @@ impl BitBlock {
     /// Panics if `index >= self.len()`.
     #[must_use]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range 0..{}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range 0..{}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -185,7 +189,11 @@ impl BitBlock {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range 0..{}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range 0..{}",
+            self.len
+        );
         let mask = 1u64 << (index % WORD_BITS);
         if value {
             self.words[index / WORD_BITS] |= mask;
@@ -451,7 +459,7 @@ mod tests {
 
     #[test]
     fn random_is_canonical_and_seed_deterministic() {
-        use rand::{rngs::SmallRng, SeedableRng};
+        use sim_rng::{SeedableRng, SmallRng};
         let a = BitBlock::random(&mut SmallRng::seed_from_u64(9), 130);
         let b = BitBlock::random(&mut SmallRng::seed_from_u64(9), 130);
         assert_eq!(a, b);

@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn bits_iterates_in_order_and_backwards() {
         let b = BitBlock::from_indices(5, [0usize, 4]);
-        assert_eq!(b.iter().collect::<Vec<_>>(), vec![true, false, false, false, true]);
+        assert_eq!(
+            b.iter().collect::<Vec<_>>(),
+            vec![true, false, false, false, true]
+        );
         assert_eq!(
             b.iter().rev().collect::<Vec<_>>(),
             vec![true, false, false, false, true]
@@ -146,7 +149,7 @@ mod tests {
 
     #[test]
     fn ones_matches_naive_scan() {
-        use rand::{rngs::SmallRng, SeedableRng};
+        use sim_rng::{SeedableRng, SmallRng};
         let mut rng = SmallRng::seed_from_u64(3);
         for len in [1usize, 63, 64, 65, 512, 1000] {
             let b = BitBlock::random(&mut rng, len);

@@ -1,73 +1,188 @@
-//! Property-based tests for the `bitblock` substrate.
+//! Property-based tests for the `bitblock` substrate, on the in-tree
+//! `sim_rng::prop` harness (seeded cases, shrinking, failure-seed
+//! reporting).
 
 use bitblock::BitBlock;
-use proptest::prelude::*;
+use sim_rng::prop::{shrink, Runner};
+use sim_rng::{prop_assert, prop_assert_eq, Rng, SeedableRng, SmallRng};
 
-/// Strategy: a block width and a set of valid indices within it.
-fn block_and_indices() -> impl Strategy<Value = (usize, Vec<usize>)> {
-    (1usize..700).prop_flat_map(|len| {
-        (
-            Just(len),
-            proptest::collection::vec(0..len, 0..32),
-        )
-    })
+/// Generator: a block width in `1..700` and up to 32 valid indices
+/// within it.
+fn block_and_indices(rng: &mut SmallRng) -> (usize, Vec<usize>) {
+    let len = rng.random_range(1..700usize);
+    let count = rng.random_range(0..32usize);
+    let idx = (0..count).map(|_| rng.random_range(0..len)).collect();
+    (len, idx)
 }
 
-proptest! {
-    #[test]
-    fn xor_is_involutive((len, idx) in block_and_indices(), seed in any::<u64>()) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let a = BitBlock::random(&mut rng, len);
-        let mask = BitBlock::from_indices(len, idx);
-        let twice = &(&a ^ &mask) ^ &mask;
-        prop_assert_eq!(twice, a);
+/// Shrinker for [`block_and_indices`]: thin the index list, shrink single
+/// indices toward 0, and shrink the width (re-clamping indices so the
+/// `idx < len` invariant survives).
+fn shrink_block_and_indices(input: &(usize, Vec<usize>)) -> Vec<(usize, Vec<usize>)> {
+    let (len, idx) = input;
+    let mut out: Vec<(usize, Vec<usize>)> = shrink::vec(idx, |&i| shrink::usize_toward(i, 0))
+        .into_iter()
+        .map(|smaller| (*len, smaller))
+        .collect();
+    for l in shrink::usize_toward(*len, 1) {
+        out.push((l, idx.iter().map(|&i| i.min(l - 1)).collect()));
     }
+    out
+}
 
-    #[test]
-    fn hamming_is_xor_popcount((len, _) in block_and_indices(), s1 in any::<u64>(), s2 in any::<u64>()) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let a = BitBlock::random(&mut SmallRng::seed_from_u64(s1), len);
-        let b = BitBlock::random(&mut SmallRng::seed_from_u64(s2), len);
-        prop_assert_eq!(a.hamming_distance(&b), (&a ^ &b).count_ones());
-    }
+/// Owned-argument adapter so [`shrink_block_and_indices`] fits
+/// [`shrink::pair`]'s `Fn(A) -> Vec<A>` shape.
+fn shrink_block_and_indices_owned(input: (usize, Vec<usize>)) -> Vec<(usize, Vec<usize>)> {
+    shrink_block_and_indices(&input)
+}
 
-    #[test]
-    fn ones_roundtrips_from_indices((len, mut idx) in block_and_indices()) {
-        idx.sort_unstable();
-        idx.dedup();
-        let b = BitBlock::from_indices(len, idx.clone());
-        prop_assert_eq!(b.ones().collect::<Vec<_>>(), idx);
-    }
+#[test]
+fn xor_is_involutive() {
+    Runner::new("xor_is_involutive").run(
+        |rng| (block_and_indices(rng), rng.random::<u64>()),
+        |(len_idx, seed)| {
+            shrink::pair(
+                len_idx.clone(),
+                *seed,
+                shrink_block_and_indices_owned,
+                shrink::u64_down,
+            )
+        },
+        |&((len, ref idx), seed)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let a = BitBlock::random(&mut rng, len);
+            let mask = BitBlock::from_indices(len, idx.clone());
+            let twice = &(&a ^ &mask) ^ &mask;
+            prop_assert_eq!(twice, a);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn invert_all_complements_popcount((len, idx) in block_and_indices()) {
-        let mut b = BitBlock::from_indices(len, idx);
-        let ones = b.count_ones();
-        b.invert_all();
-        prop_assert_eq!(b.count_ones(), len - ones);
-    }
+#[test]
+fn hamming_is_xor_popcount() {
+    Runner::new("hamming_is_xor_popcount").run(
+        |rng| {
+            let (len, _) = block_and_indices(rng);
+            (len, rng.random::<u64>(), rng.random::<u64>())
+        },
+        |&(len, s1, s2)| {
+            shrink::usize_toward(len, 1)
+                .into_iter()
+                .map(|l| (l, s1, s2))
+                .collect()
+        },
+        |&(len, s1, s2)| {
+            let a = BitBlock::random(&mut SmallRng::seed_from_u64(s1), len);
+            let b = BitBlock::random(&mut SmallRng::seed_from_u64(s2), len);
+            prop_assert_eq!(a.hamming_distance(&b), (&a ^ &b).count_ones());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn iter_agrees_with_get((len, idx) in block_and_indices()) {
-        let b = BitBlock::from_indices(len, idx);
-        let via_iter: Vec<bool> = b.iter().collect();
-        let via_get: Vec<bool> = (0..len).map(|i| b.get(i)).collect();
-        prop_assert_eq!(via_iter, via_get);
-    }
+#[test]
+fn ones_roundtrips_from_indices() {
+    Runner::new("ones_roundtrips_from_indices").run(
+        block_and_indices,
+        shrink_block_and_indices,
+        |(len, idx)| {
+            let mut idx = idx.clone();
+            idx.sort_unstable();
+            idx.dedup();
+            let b = BitBlock::from_indices(*len, idx.clone());
+            prop_assert_eq!(b.ones().collect::<Vec<_>>(), idx);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn from_fn_matches_from_bools(len in 1usize..300, modulus in 1usize..10) {
-        let a = BitBlock::from_fn(len, |i| i % modulus == 0);
-        let b = BitBlock::from_bools((0..len).map(|i| i % modulus == 0));
-        prop_assert_eq!(a, b);
-    }
+#[test]
+fn invert_all_complements_popcount() {
+    Runner::new("invert_all_complements_popcount").run(
+        block_and_indices,
+        shrink_block_and_indices,
+        |(len, idx)| {
+            let mut b = BitBlock::from_indices(*len, idx.clone());
+            let ones = b.count_ones();
+            b.invert_all();
+            prop_assert_eq!(b.count_ones(), len - ones);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn diff_offsets_symmetric((len, idx) in block_and_indices(), seed in any::<u64>()) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let a = BitBlock::random(&mut SmallRng::seed_from_u64(seed), len);
-        let b = BitBlock::from_indices(len, idx);
-        prop_assert_eq!(a.diff_offsets(&b), b.diff_offsets(&a));
-    }
+#[test]
+fn iter_agrees_with_get() {
+    Runner::new("iter_agrees_with_get").run(
+        block_and_indices,
+        shrink_block_and_indices,
+        |(len, idx)| {
+            let b = BitBlock::from_indices(*len, idx.clone());
+            let via_iter: Vec<bool> = b.iter().collect();
+            let via_get: Vec<bool> = (0..*len).map(|i| b.get(i)).collect();
+            prop_assert_eq!(via_iter, via_get);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn from_fn_matches_from_bools() {
+    Runner::new("from_fn_matches_from_bools").run(
+        |rng| (rng.random_range(1..300usize), rng.random_range(1..10usize)),
+        |&(len, modulus)| {
+            shrink::pair(
+                len,
+                modulus,
+                |l| shrink::usize_toward(l, 1),
+                |m| shrink::usize_toward(m, 1),
+            )
+        },
+        |&(len, modulus)| {
+            let a = BitBlock::from_fn(len, |i| i % modulus == 0);
+            let b = BitBlock::from_bools((0..len).map(|i| i % modulus == 0));
+            prop_assert_eq!(a, b);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn diff_offsets_symmetric() {
+    Runner::new("diff_offsets_symmetric").run(
+        |rng| (block_and_indices(rng), rng.random::<u64>()),
+        |(len_idx, seed)| {
+            shrink::pair(
+                len_idx.clone(),
+                *seed,
+                shrink_block_and_indices_owned,
+                shrink::u64_down,
+            )
+        },
+        |&((len, ref idx), seed)| {
+            let a = BitBlock::random(&mut SmallRng::seed_from_u64(seed), len);
+            let b = BitBlock::from_indices(len, idx.clone());
+            prop_assert_eq!(a.diff_offsets(&b), b.diff_offsets(&a));
+            Ok(())
+        },
+    );
+}
+
+/// The shrinker preserves the generator's invariant: every proposed index
+/// stays inside the proposed width. A broken shrinker would make failing
+/// runs panic inside `from_indices` instead of reporting the real bug.
+#[test]
+fn shrinker_preserves_index_invariant() {
+    Runner::new("shrinker_preserves_index_invariant")
+        .cases(64)
+        .run(block_and_indices, shrink::none, |input| {
+            for (len, idx) in shrink_block_and_indices(input) {
+                prop_assert!(len >= 1, "shrunk width {len} below 1");
+                for &i in &idx {
+                    prop_assert!(i < len, "shrunk index {i} outside width {len}");
+                }
+            }
+            Ok(())
+        });
 }

@@ -10,13 +10,13 @@
 //! codecs — a robustness dimension the paper leaves implicit.
 
 use crate::csvout;
-use aegis_core::{AegisCodec, Rectangle};
 use aegis_baselines::{HammingCodec, PartitionSearch, RdisCodec, SaferCodec};
+use aegis_core::{AegisCodec, Rectangle};
 use bitblock::BitBlock;
 use pcm_sim::codec::StuckAtCodec;
 use pcm_sim::PcmBlock;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use sim_rng::SmallRng;
+use sim_rng::{Rng, SeedableRng};
 use std::io;
 use std::path::Path;
 
@@ -141,7 +141,12 @@ pub fn write_csv(points: &[BiasPoint], out_dir: &Path) -> io::Result<()> {
         .collect();
     csvout::write_csv(
         out_dir.join("biasstudy.csv"),
-        &["scheme", "data_ones_prob", "stuck_ones_prob", "success_rate"],
+        &[
+            "scheme",
+            "data_ones_prob",
+            "stuck_ones_prob",
+            "success_rate",
+        ],
         &rows,
     )
 }
@@ -167,7 +172,10 @@ mod tests {
         let opposed = get("Aegis 9x61", 0.1, 0.9);
         assert!(aligned >= uniform, "aligned {aligned} vs uniform {uniform}");
         assert!(uniform >= opposed, "uniform {uniform} vs opposed {opposed}");
-        assert!(aligned > 0.9, "aligned skew should be nearly free: {aligned}");
+        assert!(
+            aligned > 0.9,
+            "aligned skew should be nearly free: {aligned}"
+        );
         // Hamming (one W per 64-bit word) collapses under opposed skew.
         assert!(get("Hamming72_64", 0.1, 0.9) < 0.3);
     }

@@ -13,8 +13,8 @@ use aegis_core::{AegisRwCodec, Rectangle};
 use bitblock::BitBlock;
 use pcm_sim::failcache::{DirectMappedFailCache, FaultOracle, IdealFailCache};
 use pcm_sim::{LifetimeModel, PcmBlock};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use sim_rng::SeedableRng;
+use sim_rng::SmallRng;
 use std::io;
 use std::path::Path;
 
@@ -77,9 +77,8 @@ pub fn run(blocks: usize, seed: u64) -> Vec<CacheRow> {
     for capacity in [4usize, 16, 64, 256] {
         let mut hits = 0u64;
         let mut misses = 0u64;
-        let (writes, verifies, extras) = drive(blocks, seed, || {
-            DirectMappedFailCache::new(capacity)
-        });
+        let (writes, verifies, extras) =
+            drive(blocks, seed, || DirectMappedFailCache::new(capacity));
         // Re-run cheaply for hit statistics (the oracle is consumed per
         // block inside `drive`); a second pass with shared counters would
         // complicate the closure, so sample hit rate on one block.

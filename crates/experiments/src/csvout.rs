@@ -20,11 +20,7 @@ fn quote(field: &str) -> String {
 /// # Errors
 ///
 /// Propagates I/O errors from directory creation or file writing.
-pub fn write_csv<P: AsRef<Path>>(
-    path: P,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
@@ -33,7 +29,11 @@ pub fn write_csv<P: AsRef<Path>>(
     writeln!(
         file,
         "{}",
-        header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
     )?;
     for row in rows {
         writeln!(

@@ -48,9 +48,8 @@ pub fn run(opts: &RunOptions) -> Vec<FormationSweep> {
 /// Renders the sweep as a pointers × formation table.
 #[must_use]
 pub fn report(results: &[FormationSweep]) -> String {
-    let mut out = String::from(
-        "Figure 10: Aegis-rw-p 512-bit block lifetime (writes) vs pointer count\n\n",
-    );
+    let mut out =
+        String::from("Figure 10: Aegis-rw-p 512-bit block lifetime (writes) vs pointer count\n\n");
     out.push_str(&format!("{:<4}", "p"));
     for f in results {
         out.push_str(&format!("{:>14}", f.formation));

@@ -20,7 +20,12 @@ pub struct Fig567 {
 pub fn run(opts: &RunOptions) -> Fig567 {
     let by_block = [256usize, 512]
         .into_iter()
-        .map(|bits| (bits, summarize_schemes(&schemes::fig5_schemes(bits), bits, opts)))
+        .map(|bits| {
+            (
+                bits,
+                summarize_schemes(&schemes::fig5_schemes(bits), bits, opts),
+            )
+        })
         .collect();
     Fig567 { by_block }
 }
@@ -51,9 +56,8 @@ pub fn report_fig5(results: &Fig567) -> String {
 /// Figure 6: page lifetime improvement (×) over the unprotected page.
 #[must_use]
 pub fn report_fig6(results: &Fig567) -> String {
-    let mut out = String::from(
-        "Figure 6: page lifetime improvement over an unprotected 4KB page\n",
-    );
+    let mut out =
+        String::from("Figure 6: page lifetime improvement over an unprotected 4KB page\n");
     for (bits, summaries) in &results.by_block {
         out.push_str(&header(*bits, "lifetime improvement"));
         for s in summaries {
@@ -71,9 +75,7 @@ pub fn report_fig6(results: &Fig567) -> String {
 /// Figure 7: per-overhead-bit contribution to the lifetime improvement.
 #[must_use]
 pub fn report_fig7(results: &Fig567) -> String {
-    let mut out = String::from(
-        "Figure 7: lifetime-improvement contribution per overhead bit\n",
-    );
+    let mut out = String::from("Figure 7: lifetime-improvement contribution per overhead bit\n");
     for (bits, summaries) in &results.by_block {
         out.push_str(&header(*bits, "per-bit contribution"));
         for s in summaries {
@@ -122,7 +124,13 @@ pub fn write_csvs(results: &Fig567, out_dir: &Path) -> io::Result<()> {
             .collect();
         csvout::write_csv(
             out_dir.join(format!("{fig}.csv")),
-            &["block_bits", "scheme", "overhead_bits", "overhead_pct", value],
+            &[
+                "block_bits",
+                "scheme",
+                "overhead_bits",
+                "overhead_pct",
+                value,
+            ],
             &rows,
         )?;
     }

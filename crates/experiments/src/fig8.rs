@@ -49,9 +49,8 @@ fn horizon(results: &[SchemeCdf]) -> usize {
 /// Renders the CDFs as a fault-count × scheme table.
 #[must_use]
 pub fn report(results: &[SchemeCdf]) -> String {
-    let mut out = String::from(
-        "Figure 8: 512-bit block failure probability vs faults in the block\n\n",
-    );
+    let mut out =
+        String::from("Figure 8: 512-bit block failure probability vs faults in the block\n\n");
     out.push_str(&format!("{:<7}", "faults"));
     for s in results {
         out.push_str(&format!("{:>17}", s.name));
@@ -104,7 +103,11 @@ mod tests {
         let results = run(&opts);
         assert_eq!(results.len(), schemes::fig8_schemes().len());
         for s in &results {
-            assert!(s.cdf.windows(2).all(|w| w[0] <= w[1]), "{} not monotone", s.name);
+            assert!(
+                s.cdf.windows(2).all(|w| w[0] <= w[1]),
+                "{} not monotone",
+                s.name
+            );
             // One fault never kills any of these schemes.
             assert_eq!(s.cdf[1], 0.0, "{} dies at one fault", s.name);
         }

@@ -59,13 +59,19 @@ fn parse_args() -> Result<Cli, String> {
         };
         match arg.as_str() {
             "--pages" => {
-                opts.pages = value("--pages")?.parse().map_err(|e| format!("--pages: {e}"))?;
+                opts.pages = value("--pages")?
+                    .parse()
+                    .map_err(|e| format!("--pages: {e}"))?;
             }
             "--trials" => {
-                opts.trials = value("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?;
+                opts.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
             }
             "--seed" => {
-                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--page-bytes" => {
                 opts.page_bytes = value("--page-bytes")?
@@ -73,7 +79,9 @@ fn parse_args() -> Result<Cli, String> {
                     .map_err(|e| format!("--page-bytes: {e}"))?;
             }
             "--samples" => {
-                samples = value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?;
+                samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?;
             }
             "--guaranteed" => guaranteed = true,
             "--full" => {
@@ -135,7 +143,10 @@ fn run_fig9(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
 }
 
 fn run_fig10(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
-    eprintln!("[fig10] sweeping pointer counts over {} blocks…", opts.trials);
+    eprintln!(
+        "[fig10] sweeping pointer counts over {} blocks…",
+        opts.trials
+    );
     let results = fig10::run(opts);
     println!("{}", fig10::report(&results));
     fig10::write_csv(&results, out)
@@ -164,7 +175,10 @@ fn run_wearlevel(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
 }
 
 fn run_payg(opts: &RunOptions, out: &Path) -> std::io::Result<()> {
-    eprintln!("[payg] matched-budget PAYG comparison over {} pages…", opts.pages);
+    eprintln!(
+        "[payg] matched-budget PAYG comparison over {} pages…",
+        opts.pages
+    );
     let results = payg_check::run(opts);
     println!("{}", payg_check::report(&results));
     payg_check::write_csv(&results, out)

@@ -186,6 +186,9 @@ mod tests {
         // §4's claim: the strong scheme redirects (much) later.
         let weak = find("ECP2", "FREE-p 4%").first_redirection;
         let strong = find("Aegis 9x61", "FREE-p 4%").first_redirection;
-        assert!(strong > weak, "Aegis must delay redirection ({strong} vs {weak})");
+        assert!(
+            strong > weak,
+            "Aegis must delay redirection ({strong} vs {weak})"
+        );
     }
 }

@@ -10,8 +10,8 @@
 
 use crate::csvout::{self, fmt_f64};
 use crate::runner::RunOptions;
-use aegis_core::{AegisPolicy, Rectangle};
 use aegis_baselines::EcpPolicy;
+use aegis_core::{AegisPolicy, Rectangle};
 use aegis_payg::overhead::affordable_gec_entries;
 use aegis_payg::run_payg_chip;
 use pcm_sim::montecarlo::run_memory;

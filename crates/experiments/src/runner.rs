@@ -150,7 +150,12 @@ mod tests {
             assert_eq!(x.half_lifetime, y.half_lifetime);
         }
         for s in &a {
-            assert!(s.lifetime_improvement >= 1.0, "{}: {}", s.name, s.lifetime_improvement);
+            assert!(
+                s.lifetime_improvement >= 1.0,
+                "{}: {}",
+                s.name,
+                s.lifetime_improvement
+            );
             assert!(s.mean_faults_recovered > 0.0);
             assert_eq!(s.capped_pages, 0);
         }

@@ -1,8 +1,8 @@
 //! Scheme registry: the exact configurations each figure of the paper
 //! evaluates.
 
-use aegis_core::{AegisPolicy, AegisRwPPolicy, AegisRwPolicy, Rectangle};
 use aegis_baselines::{EcpPolicy, RdisPolicy, SaferPolicy, UnprotectedPolicy};
+use aegis_core::{AegisPolicy, AegisRwPPolicy, AegisRwPolicy, Rectangle};
 use pcm_sim::policy::RecoveryPolicy;
 
 /// A boxed policy, as the harness passes them around.

@@ -1,9 +1,7 @@
 //! Table 1: per-block hardware cost (bits) vs. required hard FTC.
 
 use crate::csvout;
-use aegis_core::cost::{
-    self, PAPER_TABLE1_AEGIS, PAPER_TABLE1_AEGIS_RW, PAPER_TABLE1_AEGIS_RW_P,
-};
+use aegis_core::cost::{self, PAPER_TABLE1_AEGIS, PAPER_TABLE1_AEGIS_RW, PAPER_TABLE1_AEGIS_RW_P};
 use std::io;
 use std::path::Path;
 
@@ -37,12 +35,17 @@ pub fn report(table: &Table1) -> String {
     out.push_str(&format!(
         "{:<22}{}\n",
         "Hard FTC",
-        (1..=table.rows.len()).map(|f| format!("{f:>6}")).collect::<String>()
+        (1..=table.rows.len())
+            .map(|f| format!("{f:>6}"))
+            .collect::<String>()
     ));
     let mut line = |label: &str, values: Vec<String>| {
         out.push_str(&format!(
             "{label:<22}{}\n",
-            values.into_iter().map(|v| format!("{v:>6}")).collect::<String>()
+            values
+                .into_iter()
+                .map(|v| format!("{v:>6}"))
+                .collect::<String>()
         ));
     };
     line(
@@ -55,7 +58,11 @@ pub fn report(table: &Table1) -> String {
     );
     line(
         "N (for SAFER)",
-        table.rows.iter().map(|r| r.safer_groups.to_string()).collect(),
+        table
+            .rows
+            .iter()
+            .map(|r| r.safer_groups.to_string())
+            .collect(),
     );
     line(
         "Aegis",
@@ -68,12 +75,19 @@ pub fn report(table: &Table1) -> String {
     if table.block_bits == 512 {
         line(
             "Aegis-rw (paper)",
-            PAPER_TABLE1_AEGIS_RW.iter().map(ToString::to_string).collect(),
+            PAPER_TABLE1_AEGIS_RW
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
         );
     }
     line(
         "Aegis-rw-p",
-        table.rows.iter().map(|r| r.aegis_rw_p.to_string()).collect(),
+        table
+            .rows
+            .iter()
+            .map(|r| r.aegis_rw_p.to_string())
+            .collect(),
     );
     out
 }
@@ -124,9 +138,11 @@ pub fn diff_against_paper(table: &Table1) -> Vec<String> {
         return notes;
     }
     for (row, (&paper_aegis, (&paper_rw, &paper_rwp))) in table.rows.iter().zip(
-        PAPER_TABLE1_AEGIS
-            .iter()
-            .zip(PAPER_TABLE1_AEGIS_RW.iter().zip(PAPER_TABLE1_AEGIS_RW_P.iter())),
+        PAPER_TABLE1_AEGIS.iter().zip(
+            PAPER_TABLE1_AEGIS_RW
+                .iter()
+                .zip(PAPER_TABLE1_AEGIS_RW_P.iter()),
+        ),
     ) {
         if row.aegis != paper_aegis {
             notes.push(format!(

@@ -43,9 +43,8 @@ pub fn report_fig11(results: &Variants) -> String {
 /// Figure 12: lifetime improvement in percent over the unprotected page.
 #[must_use]
 pub fn report_fig12(results: &Variants) -> String {
-    let mut out = String::from(
-        "Figure 12: page lifetime improvement (%) over an unprotected page\n\n",
-    );
+    let mut out =
+        String::from("Figure 12: page lifetime improvement (%) over an unprotected page\n\n");
     for s in &results.summaries {
         out.push_str(&format!(
             "{:<22} {:>4} bits  {:>9}%\n",
@@ -60,9 +59,8 @@ pub fn report_fig12(results: &Variants) -> String {
 /// Figure 13: per-overhead-bit contribution to the improvement.
 #[must_use]
 pub fn report_fig13(results: &Variants) -> String {
-    let mut out = String::from(
-        "Figure 13: per-overhead-bit contribution to the lifetime improvement\n\n",
-    );
+    let mut out =
+        String::from("Figure 13: per-overhead-bit contribution to the lifetime improvement\n\n");
     for s in &results.summaries {
         out.push_str(&format!(
             "{:<22} {:>4} bits  {:>9}%/bit\n",

@@ -13,8 +13,8 @@ use crate::csvout;
 use pcm_sim::securerefresh::SecurityRefresh;
 use pcm_sim::trace::{TraceGenerator, TraceKind};
 use pcm_sim::wearlevel::{wear_cv, wear_histogram, RandomizedStartGap, StartGap, WearLeveler};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use sim_rng::SeedableRng;
+use sim_rng::SmallRng;
 use std::io;
 use std::path::Path;
 
@@ -133,7 +133,13 @@ pub fn write_csv(results: &[LevelerOutcome], out_dir: &Path) -> io::Result<()> {
         .collect();
     csvout::write_csv(
         out_dir.join("wearlevel.csv"),
-        &["workload", "leveler", "raw_cv", "leveled_cv", "write_amplification"],
+        &[
+            "workload",
+            "leveler",
+            "raw_cv",
+            "leveled_cv",
+            "write_amplification",
+        ],
         &rows,
     )
 }
@@ -159,7 +165,13 @@ mod tests {
                     r.leveled_cv
                 );
             }
-            assert!(r.leveled_cv < 0.6, "{} on {}: {}", r.name, r.workload, r.leveled_cv);
+            assert!(
+                r.leveled_cv < 0.6,
+                "{} on {}: {}",
+                r.name,
+                r.workload,
+                r.leveled_cv
+            );
             assert!(r.write_amplification < 0.6, "{}", r.name);
         }
     }

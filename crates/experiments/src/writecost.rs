@@ -10,13 +10,13 @@
 //! write.
 
 use crate::csvout::{self, fmt_f64};
-use aegis_core::{AegisCodec, AegisRwCodec, AegisRwPCodec, Rectangle};
 use aegis_baselines::{EcpCodec, HammingCodec, PartitionSearch, RdisCodec, SaferCodec};
+use aegis_core::{AegisCodec, AegisRwCodec, AegisRwPCodec, Rectangle};
 use bitblock::BitBlock;
 use pcm_sim::codec::{StuckAtCodec, WriteReport};
 use pcm_sim::PcmBlock;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use sim_rng::SmallRng;
+use sim_rng::{Rng, SeedableRng};
 use std::io;
 use std::path::Path;
 
@@ -127,7 +127,11 @@ pub fn report(points: &[WriteCostPoint]) -> String {
             } else {
                 out.push_str(&format!(
                     "{:>21}",
-                    format!("{} ({:.0}%)", fmt_f64(p.verifies_per_write), p.success_rate * 100.0)
+                    format!(
+                        "{} ({:.0}%)",
+                        fmt_f64(p.verifies_per_write),
+                        p.success_rate * 100.0
+                    )
                 ));
             }
         }
@@ -201,8 +205,6 @@ mod tests {
             );
         }
         // Base Aegis write cost grows with fault count.
-        assert!(
-            get("Aegis 9x61", 16).verifies_per_write > get("Aegis 9x61", 4).verifies_per_write
-        );
+        assert!(get("Aegis 9x61", 16).verifies_per_write > get("Aegis 9x61", 4).verifies_per_write);
     }
 }

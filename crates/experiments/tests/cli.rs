@@ -43,7 +43,11 @@ fn table1_prints_the_paper_rows_and_writes_csv() {
         .arg(&dir)
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
     // Spot-check the printed table against the paper.
     assert!(stdout.contains("ECP"));
@@ -66,7 +70,11 @@ fn fig5_scaled_run_is_deterministic_across_invocations() {
             .arg(dir)
             .output()
             .expect("binary runs");
-        assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
     }
     let a = std::fs::read_to_string(dir_a.join("fig5.csv")).unwrap();
     let b = std::fs::read_to_string(dir_b.join("fig5.csv")).unwrap();

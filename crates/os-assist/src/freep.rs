@@ -45,7 +45,9 @@ impl PartialOrd for Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then(self.page.cmp(&other.page))
+        self.time
+            .total_cmp(&other.time)
+            .then(self.page.cmp(&other.page))
     }
 }
 

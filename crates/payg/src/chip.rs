@@ -5,8 +5,8 @@ use pcm_sim::montecarlo::{FailureCriterion, SimConfig};
 use pcm_sim::policy::RecoveryPolicy;
 use pcm_sim::timeline::TimelineSampler;
 use pcm_sim::{sample_split, Fault};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use sim_rng::SeedableRng;
+use sim_rng::SmallRng;
 
 /// One chip-wide PAYG run.
 #[derive(Debug, Clone, Default)]
@@ -75,11 +75,7 @@ struct ChipEvent {
 ///
 /// Panics if the policy's block width disagrees with the config.
 #[must_use]
-pub fn run_payg_chip(
-    local: &dyn RecoveryPolicy,
-    gec_entries: usize,
-    cfg: &SimConfig,
-) -> PaygRun {
+pub fn run_payg_chip(local: &dyn RecoveryPolicy, gec_entries: usize, cfg: &SimConfig) -> PaygRun {
     assert_eq!(local.block_bits(), cfg.block_bits, "block width mismatch");
     let sampler = TimelineSampler::paper_default(cfg.block_bits);
     let blocks_per_page = cfg.blocks_per_page();

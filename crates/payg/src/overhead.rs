@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        assert_eq!(payg_total_bits(11, 100, 512, 10), 11 * 100 + 10 * (7 + 9 + 1));
+        assert_eq!(
+            payg_total_bits(11, 100, 512, 10),
+            11 * 100 + 10 * (7 + 9 + 1)
+        );
     }
 
     #[test]

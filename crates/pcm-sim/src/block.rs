@@ -204,10 +204,7 @@ mod tests {
         let mut b = PcmBlock::pristine(16);
         b.force_stuck(9, true);
         b.force_stuck(3, false);
-        assert_eq!(
-            b.faults(),
-            vec![Fault::new(3, false), Fault::new(9, true)]
-        );
+        assert_eq!(b.faults(), vec![Fault::new(3, false), Fault::new(9, true)]);
         assert_eq!(b.fault_count(), 2);
     }
 

@@ -23,7 +23,7 @@ use crate::codec::StuckAtCodec;
 use crate::wearlevel::{StartGap, WearLeveler};
 use crate::{LifetimeModel, PcmBlock};
 use bitblock::BitBlock;
-use rand::Rng;
+use sim_rng::Rng;
 use std::error::Error;
 use std::fmt;
 
@@ -57,7 +57,10 @@ impl fmt::Display for ChipError {
             Self::BadPayload {
                 expected_blocks,
                 got_blocks,
-            } => write!(f, "payload has {got_blocks} blocks, page holds {expected_blocks}"),
+            } => write!(
+                f,
+                "payload has {got_blocks} blocks, page holds {expected_blocks}"
+            ),
         }
     }
 }
@@ -148,7 +151,9 @@ impl PcmChip {
                         })
                     })
                     .collect(),
-                codecs: (0..config.blocks_per_page).map(|_| codec_factory()).collect(),
+                codecs: (0..config.blocks_per_page)
+                    .map(|_| codec_factory())
+                    .collect(),
                 dead: false,
             })
             .collect();
@@ -297,8 +302,8 @@ mod tests {
     use super::*;
     use crate::codec::WriteReport;
     use crate::UncorrectableError;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use sim_rng::SeedableRng;
+    use sim_rng::SmallRng;
 
     /// Passthrough codec that fails once any cell reads back wrong.
     struct Raw {
@@ -316,7 +321,11 @@ mod tests {
             if block.verify(data).is_empty() {
                 Ok(report)
             } else {
-                Err(UncorrectableError::new("raw", block.fault_count(), "stuck cell"))
+                Err(UncorrectableError::new(
+                    "raw",
+                    block.fault_count(),
+                    "stuck cell",
+                ))
             }
         }
         fn read(&self, block: &PcmBlock) -> BitBlock {
@@ -399,7 +408,10 @@ mod tests {
         assert_eq!(chip.stats().retired_pages, cfg.pages);
         // Every further access reports retirement.
         for page in 0..cfg.pages {
-            assert!(matches!(chip.read_page(page), Err(ChipError::PageRetired(_))));
+            assert!(matches!(
+                chip.read_page(page),
+                Err(ChipError::PageRetired(_))
+            ));
         }
     }
 
@@ -416,7 +428,9 @@ mod tests {
                 if protected {
                     make_aegis(cfg.block_bits)
                 } else {
-                    Box::new(Raw { bits: cfg.block_bits })
+                    Box::new(Raw {
+                        bits: cfg.block_bits,
+                    })
                 }
             });
             let mut data_rng = SmallRng::seed_from_u64(seed ^ 0xff);
@@ -468,7 +482,11 @@ mod tests {
                         return Ok(report);
                     }
                 }
-                Err(UncorrectableError::new("invert", block.fault_count(), "both polarities fail"))
+                Err(UncorrectableError::new(
+                    "invert",
+                    block.fault_count(),
+                    "both polarities fail",
+                ))
             }
             fn read(&self, block: &PcmBlock) -> BitBlock {
                 let mut data = block.read_raw();

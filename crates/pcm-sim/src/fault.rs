@@ -1,7 +1,7 @@
 //! Stuck-at faults and their per-write W/R classification.
 
 use bitblock::BitBlock;
-use rand::{Rng, RngExt};
+use sim_rng::Rng;
 
 /// A permanent stuck-at fault: the cell at `offset` always reads `stuck`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -67,7 +67,7 @@ pub fn sample_split<R: Rng + ?Sized>(rng: &mut R, fault_count: usize) -> Vec<boo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::SmallRng, SeedableRng};
+    use sim_rng::{SeedableRng, SmallRng};
 
     #[test]
     fn w_r_classification() {

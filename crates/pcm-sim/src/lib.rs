@@ -38,7 +38,7 @@
 //!
 //! ```
 //! use pcm_sim::{PcmBlock, LifetimeModel};
-//! use rand::{rngs::SmallRng, SeedableRng};
+//! use sim_rng::{SeedableRng, SmallRng};
 //!
 //! let mut rng = SmallRng::seed_from_u64(1);
 //! let lifetimes = LifetimeModel::paper_default();

@@ -1,7 +1,7 @@
 //! Cell endurance model: normally distributed lifetimes and the
 //! differential-write wear model.
 
-use rand::{Rng, RngExt};
+use sim_rng::Rng;
 
 /// Per-cell lifetime distribution: `Normal(mean, (cv·mean)²)`, truncated to
 /// positive values by resampling.
@@ -17,7 +17,7 @@ use rand::{Rng, RngExt};
 ///
 /// ```
 /// use pcm_sim::LifetimeModel;
-/// use rand::{rngs::SmallRng, SeedableRng};
+/// use sim_rng::{SeedableRng, SmallRng};
 ///
 /// let model = LifetimeModel::paper_default();
 /// let mut rng = SmallRng::seed_from_u64(42);
@@ -168,7 +168,7 @@ impl Default for WearModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::SmallRng, SeedableRng};
+    use sim_rng::{SeedableRng, SmallRng};
 
     #[test]
     fn sample_mean_and_spread_match_model() {

@@ -17,8 +17,8 @@
 use crate::policy::RecoveryPolicy;
 use crate::timeline::{BlockTimeline, PageTimeline, TimelineSampler};
 use crate::{sample_split, Fault};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use sim_rng::SeedableRng;
+use sim_rng::SmallRng;
 
 /// When is a block considered dead? (See DESIGN.md §3.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,11 +121,10 @@ pub fn evaluate_page(
     // have died before the earliest real death; its last tracked event is a
     // lower bound witness.
     let capped = capped
-        && page.blocks.iter().any(|b| {
-            b.events
-                .last()
-                .is_some_and(|e| e.time < death_time)
-        });
+        && page
+            .blocks
+            .iter()
+            .any(|b| b.events.last().is_some_and(|e| e.time < death_time));
     let faults_recovered = page
         .blocks
         .iter()

@@ -11,8 +11,8 @@
 //! path provably matches the slow one.
 
 use crate::fault::{sample_split, Fault};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use sim_rng::SeedableRng;
+use sim_rng::SmallRng;
 
 /// Fast recoverability predicate for one scheme configuration.
 ///
@@ -60,12 +60,9 @@ pub trait RecoveryPolicy: Sync {
         } else {
             // Deterministic sampled approximation, seeded by the fault set
             // so repeated queries agree.
-            let seed = faults
-                .iter()
-                .fold(0xcbf2_9ce4_8422_2325u64, |h, fa| {
-                    (h ^ (fa.offset as u64) ^ ((fa.stuck as u64) << 32))
-                        .wrapping_mul(0x1000_0000_01b3)
-                });
+            let seed = faults.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, fa| {
+                (h ^ (fa.offset as u64) ^ ((fa.stuck as u64) << 32)).wrapping_mul(0x1000_0000_01b3)
+            });
             let mut rng = SmallRng::seed_from_u64(seed);
             (0..SAMPLED_GUARANTEE_SPLITS).all(|_| {
                 let wrong = sample_split(&mut rng, f);

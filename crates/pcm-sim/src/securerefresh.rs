@@ -15,8 +15,8 @@
 //! is drawn.
 
 use crate::wearlevel::WearLeveler;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use sim_rng::SmallRng;
+use sim_rng::{Rng, SeedableRng};
 
 /// Single-region Security Refresh remapper.
 ///
@@ -197,8 +197,8 @@ mod tests {
 
     #[test]
     fn levels_a_skewed_stream() {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use sim_rng::SeedableRng;
+        use sim_rng::SmallRng;
         let mut rng = SmallRng::seed_from_u64(3);
         let lines = 64;
         let stream = skewed_stream(&mut rng, lines, 400_000, 0.05);

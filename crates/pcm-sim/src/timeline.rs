@@ -9,8 +9,8 @@
 //! random world (common random numbers).
 
 use crate::{Fault, LifetimeModel, WearModel};
-use rand::rngs::SmallRng;
-use rand::{Rng, RngExt, SeedableRng};
+use sim_rng::SmallRng;
+use sim_rng::{Rng, SeedableRng};
 
 /// One fault arrival within a block.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,7 +72,7 @@ impl PageTimeline {
 ///
 /// ```
 /// use pcm_sim::timeline::TimelineSampler;
-/// use rand::{rngs::SmallRng, SeedableRng};
+/// use sim_rng::{SeedableRng, SmallRng};
 ///
 /// let sampler = TimelineSampler::paper_default(512);
 /// let mut rng = SmallRng::seed_from_u64(1);
@@ -183,9 +183,15 @@ impl TimelineSampler {
 
     /// Samples the fault timeline of a page of `blocks_per_page` data
     /// blocks.
-    pub fn sample_page<R: Rng + ?Sized>(&self, rng: &mut R, blocks_per_page: usize) -> PageTimeline {
+    pub fn sample_page<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        blocks_per_page: usize,
+    ) -> PageTimeline {
         PageTimeline {
-            blocks: (0..blocks_per_page).map(|_| self.sample_block(rng)).collect(),
+            blocks: (0..blocks_per_page)
+                .map(|_| self.sample_block(rng))
+                .collect(),
         }
     }
 
@@ -230,18 +236,10 @@ mod tests {
 
     #[test]
     fn wear_model_doubles_fault_times() {
-        let fast = TimelineSampler::new(
-            64,
-            LifetimeModel::new(1000.0, 0.0),
-            WearModel::new(1.0),
-            1,
-        );
-        let slow = TimelineSampler::new(
-            64,
-            LifetimeModel::new(1000.0, 0.0),
-            WearModel::new(0.5),
-            1,
-        );
+        let fast =
+            TimelineSampler::new(64, LifetimeModel::new(1000.0, 0.0), WearModel::new(1.0), 1);
+        let slow =
+            TimelineSampler::new(64, LifetimeModel::new(1000.0, 0.0), WearModel::new(0.5), 1);
         let mut rng = SmallRng::seed_from_u64(5);
         let a = fast.sample_block(&mut rng).events[0].time;
         let b = slow.sample_block(&mut rng).events[0].time;
@@ -265,7 +263,7 @@ mod tests {
 
     #[test]
     fn page_rng_is_deterministic_per_index() {
-        use rand::RngExt;
+        use sim_rng::Rng;
         let mut a = TimelineSampler::page_rng(7, 3);
         let mut b = TimelineSampler::page_rng(7, 3);
         let mut c = TimelineSampler::page_rng(7, 4);
@@ -277,7 +275,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one bit")]
     fn zero_block_bits_panics() {
-        let _ = TimelineSampler::new(0, LifetimeModel::paper_default(), WearModel::paper_default(), 1);
+        let _ = TimelineSampler::new(
+            0,
+            LifetimeModel::paper_default(),
+            WearModel::paper_default(),
+            1,
+        );
     }
 
     #[test]

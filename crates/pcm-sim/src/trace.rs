@@ -6,7 +6,7 @@
 //! provides the classic adversaries: uniform traffic (the baseline),
 //! hotspots, Zipf-distributed popularity, and pure sequential streaming.
 
-use rand::{Rng, RngExt};
+use sim_rng::Rng;
 
 /// Address-stream shapes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,7 +106,9 @@ impl TraceGenerator {
             }
             TraceKind::Zipf { .. } => {
                 let u: f64 = rng.random();
-                self.zipf_cdf.partition_point(|&c| c < u).min(self.lines - 1)
+                self.zipf_cdf
+                    .partition_point(|&c| c < u)
+                    .min(self.lines - 1)
             }
             TraceKind::Sequential => step % self.lines,
         }
@@ -121,8 +123,8 @@ impl TraceGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use sim_rng::SeedableRng;
+    use sim_rng::SmallRng;
 
     fn counts(kind: TraceKind, lines: usize, n: usize) -> Vec<usize> {
         let generator = TraceGenerator::new(kind, lines);
@@ -160,7 +162,12 @@ mod tests {
     fn zipf_rank_one_dominates_and_tail_decays() {
         let c = counts(TraceKind::Zipf { alpha: 1.0 }, 64, 200_000);
         assert!(c[0] > c[1], "rank 1 must beat rank 2");
-        assert!(c[0] > 10 * c[63], "head/tail ratio too small: {} vs {}", c[0], c[63]);
+        assert!(
+            c[0] > 10 * c[63],
+            "head/tail ratio too small: {} vs {}",
+            c[0],
+            c[63]
+        );
         // Roughly harmonic: c[0]/c[9] ≈ 10 for alpha = 1.
         let ratio = c[0] as f64 / c[9] as f64;
         assert!((5.0..20.0).contains(&ratio), "{ratio}");

@@ -19,8 +19,8 @@
 //! logical address with a fixed random bijection so that spatially
 //! correlated hot regions do not march through physical space together.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngExt, SeedableRng};
+use sim_rng::SmallRng;
+use sim_rng::{Rng, SeedableRng};
 
 /// Remaps logical line addresses to physical slots, leveling wear.
 pub trait WearLeveler {
@@ -311,7 +311,11 @@ mod tests {
         for _ in 0..8 * 2 * 20 {
             visited.insert(wl.on_write(5));
         }
-        assert_eq!(visited.len(), 9, "hot line must visit every slot: {visited:?}");
+        assert_eq!(
+            visited.len(),
+            9,
+            "hot line must visit every slot: {visited:?}"
+        );
     }
 
     #[test]
@@ -346,7 +350,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let stream = skewed_stream(&mut rng, 64, 400_000, 0.05);
         let leveled = wear_cv(&wear_histogram(&mut wl, stream));
-        assert!(leveled < 0.5, "randomized Start-Gap spread too wide: {leveled}");
+        assert!(
+            leveled < 0.5,
+            "randomized Start-Gap spread too wide: {leveled}"
+        );
     }
 
     #[test]

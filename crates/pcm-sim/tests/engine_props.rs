@@ -2,48 +2,75 @@
 //! the wear-leveling integration, criterion monotonicity, and the
 //! statistics of sampled timelines.
 
-use pcm_sim::montecarlo::{
-    evaluate_block, half_lifetime, survival_curve, FailureCriterion,
-};
+use pcm_sim::montecarlo::{evaluate_block, half_lifetime, survival_curve, FailureCriterion};
 use pcm_sim::policy::RecoveryPolicy;
 use pcm_sim::timeline::TimelineSampler;
 use pcm_sim::{Fault, LifetimeModel, WearModel};
-use proptest::prelude::*;
+use sim_rng::prop::{shrink, Runner};
+use sim_rng::{prop_assert, prop_assert_eq, Rng, SmallRng};
 
-proptest! {
-    /// Conservation: under perfect wear leveling the chip absorbs exactly
-    /// the sum of per-page lifetimes — the curve's final global write
-    /// count must equal `Σ Tᵢ` (telescoping of the order-statistics
-    /// integration).
-    #[test]
-    fn survival_curve_conserves_total_writes(
-        lifetimes in proptest::collection::vec(1.0f64..1e6, 1..50)
-    ) {
-        let curve = survival_curve(&lifetimes);
-        let total: f64 = lifetimes.iter().sum();
-        let final_global = curve.last().unwrap().0;
-        prop_assert!((final_global - total).abs() < total * 1e-9);
-        // Alive fraction is non-increasing and global writes non-decreasing.
-        for w in curve.windows(2) {
-            prop_assert!(w[1].0 >= w[0].0);
-            prop_assert!(w[1].1 <= w[0].1);
-        }
-        prop_assert_eq!(curve.last().unwrap().1, 0.0);
+/// Generator: a page-lifetime vector with lengths in `lo..hi`, values in
+/// `1.0..1e6` block writes.
+fn lifetimes_vec(lo: usize, hi: usize) -> impl Fn(&mut SmallRng) -> Vec<f64> {
+    move |rng| {
+        let n = rng.random_range(lo..hi);
+        (0..n).map(|_| rng.random_range(1.0f64..1e6)).collect()
     }
+}
 
-    /// The half-lifetime is bracketed by the weakest and strongest page's
-    /// contribution.
-    #[test]
-    fn half_lifetime_is_bracketed(
-        lifetimes in proptest::collection::vec(1.0f64..1e6, 2..40)
-    ) {
-        let n = lifetimes.len() as f64;
-        let min = lifetimes.iter().cloned().fold(f64::INFINITY, f64::min);
-        let total: f64 = lifetimes.iter().sum();
-        let half = half_lifetime(&lifetimes);
-        prop_assert!(half >= min * n / 2.0 - 1e-9, "{half} vs {min}*{n}/2");
-        prop_assert!(half <= total + 1e-9);
+/// Shrinker: thin the vector (respecting the minimum length) and pull
+/// individual lifetimes toward the 1.0 floor.
+fn shrink_lifetimes(min_len: usize) -> impl Fn(&Vec<f64>) -> Vec<Vec<f64>> {
+    move |values| {
+        shrink::vec(values, |&x| shrink::f64_toward(x, 1.0))
+            .into_iter()
+            .filter(|v| v.len() >= min_len)
+            .collect()
     }
+}
+
+/// Conservation: under perfect wear leveling the chip absorbs exactly
+/// the sum of per-page lifetimes — the curve's final global write
+/// count must equal `Σ Tᵢ` (telescoping of the order-statistics
+/// integration).
+#[test]
+fn survival_curve_conserves_total_writes() {
+    Runner::new("survival_curve_conserves_total_writes").run(
+        lifetimes_vec(1, 50),
+        shrink_lifetimes(1),
+        |lifetimes| {
+            let curve = survival_curve(lifetimes);
+            let total: f64 = lifetimes.iter().sum();
+            let final_global = curve.last().unwrap().0;
+            prop_assert!((final_global - total).abs() < total * 1e-9);
+            // Alive fraction is non-increasing and global writes non-decreasing.
+            for w in curve.windows(2) {
+                prop_assert!(w[1].0 >= w[0].0);
+                prop_assert!(w[1].1 <= w[0].1);
+            }
+            prop_assert_eq!(curve.last().unwrap().1, 0.0);
+            Ok(())
+        },
+    );
+}
+
+/// The half-lifetime is bracketed by the weakest and strongest page's
+/// contribution.
+#[test]
+fn half_lifetime_is_bracketed() {
+    Runner::new("half_lifetime_is_bracketed").run(
+        lifetimes_vec(2, 40),
+        shrink_lifetimes(2),
+        |lifetimes| {
+            let n = lifetimes.len() as f64;
+            let min = lifetimes.iter().cloned().fold(f64::INFINITY, f64::min);
+            let total: f64 = lifetimes.iter().sum();
+            let half = half_lifetime(lifetimes);
+            prop_assert!(half >= min * n / 2.0 - 1e-9, "{half} vs {min}*{n}/2");
+            prop_assert!(half <= total + 1e-9);
+            Ok(())
+        },
+    );
 }
 
 /// A policy that tolerates `cap` faults (data-independent), for engine
@@ -94,12 +121,22 @@ fn stricter_criteria_never_extend_block_life() {
     for seed in 0..40u64 {
         let mut rng = TimelineSampler::page_rng(3, seed);
         let timeline = sampler.sample_block(&mut rng);
-        let one = evaluate_block(&policy, &timeline, FailureCriterion::PerEventSplit { samples: 1 });
-        let many =
-            evaluate_block(&policy, &timeline, FailureCriterion::PerEventSplit { samples: 16 });
+        let one = evaluate_block(
+            &policy,
+            &timeline,
+            FailureCriterion::PerEventSplit { samples: 1 },
+        );
+        let many = evaluate_block(
+            &policy,
+            &timeline,
+            FailureCriterion::PerEventSplit { samples: 16 },
+        );
         let guaranteed = evaluate_block(&policy, &timeline, FailureCriterion::GuaranteedAllData);
         assert!(one.events_survived >= many.events_survived, "seed {seed}");
-        assert!(many.events_survived >= guaranteed.events_survived, "seed {seed}");
+        assert!(
+            many.events_survived >= guaranteed.events_survived,
+            "seed {seed}"
+        );
         // The data-independent bound: guaranteed accepts exactly cap faults.
         assert_eq!(guaranteed.events_survived, 6.min(timeline.events.len()));
     }
@@ -111,7 +148,7 @@ fn fault_arrival_times_match_the_lifetime_model() {
     // 512 lifetimes drawn straight from the model, scaled by the wear
     // participation — a wiring check that would catch a wrong wear factor,
     // a bad sort, or a truncated tail in the sampler.
-    use rand::{rngs::SmallRng, SeedableRng};
+    use sim_rng::{SeedableRng, SmallRng};
     let lifetime = LifetimeModel::paper_default();
     let wear = WearModel::paper_default();
     let sampler = TimelineSampler::new(512, lifetime, wear, 8);

@@ -1,0 +1,396 @@
+//! Typed draws on top of [`RngCore`]: the [`Rng`] extension trait,
+//! uniform ranges, and Bernoulli trials.
+//!
+//! The method names (`random`, `random_range`, `random_bool`) match the
+//! surface the workspace already called on `rand`, so porting a call site
+//! is an import change, not a rewrite. Integer ranges use Lemire's
+//! widening-multiply rejection method, which is unbiased and consumes a
+//! deterministic *stream* (not count) of generator words.
+
+use crate::core::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types drawable uniformly from their natural domain: integers over all
+/// bit patterns, `bool` as a fair coin, floats uniformly in `[0, 1)`.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                // Truncation keeps the high→low bit order stable across widths.
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for i128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Highest bit: xoshiro256**'s upper bits are its best-mixed.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform on the 2⁵³ dyadic grid of [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniformly samples a `u64` in `[0, bound)` by Lemire's widening-multiply
+/// method. Unbiased; rejection happens with probability < 2⁻⁶⁴·bound.
+fn u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(bound);
+    if (m as u64) < bound {
+        // Threshold = 2⁶⁴ mod bound: reject the low fringe that would
+        // otherwise over-weight small results.
+        let threshold = bound.wrapping_neg() % bound;
+        while (m as u64) < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(bound);
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + u64_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + u64_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "cannot sample from empty or non-finite float range"
+        );
+        let u = f64::sample_standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Rounding can land exactly on `end`; fold it back into range.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "cannot sample from empty or non-finite float range"
+        );
+        let u = f32::sample_standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+/// A Bernoulli trial with fixed success probability.
+///
+/// The probability is pre-quantized to a 64-bit threshold, so sampling is
+/// one generator word and one compare — the shape the fault injector's
+/// per-cell stuck-at draws want.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    /// `p` scaled to [0, 2⁶⁴]; `None` marks "always true" (p == 1).
+    threshold: Option<u64>,
+}
+
+impl Bernoulli {
+    /// Creates a trial that succeeds with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        if p >= 1.0 {
+            return Self { threshold: None };
+        }
+        // p·2⁶⁴, computed in f64 then truncated; exact for the dyadic
+        // probabilities the simulator uses (0.5, 0.25, …).
+        let scaled = (p * 2.0f64.powi(64)) as u128;
+        Self {
+            threshold: Some(scaled.min(u128::from(u64::MAX)) as u64),
+        }
+    }
+
+    /// Runs one trial.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        match self.threshold {
+            None => {
+                // Consume a word anyway so p = 1 keeps the stream aligned
+                // with every other probability.
+                let _ = rng.next_u64();
+                true
+            }
+            Some(t) => rng.next_u64() < t,
+        }
+    }
+}
+
+/// Typed draws, ranges, trials, and shuffles for any [`RngCore`].
+///
+/// Blanket-implemented; import the trait and every generator — including
+/// `&mut R` and trait objects — gains these methods.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `T`'s natural domain (see [`Standard`]).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_in(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        Bernoulli::new(p).sample(self)
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero or `numerator > denominator`.
+    fn random_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "zero denominator");
+        assert!(
+            numerator <= denominator,
+            "ratio {numerator}/{denominator} exceeds 1"
+        );
+        u64_below(self, u64::from(denominator)) < u64::from(numerator)
+    }
+
+    /// `rand 0.8`-style alias for [`random_range`](Self::random_range).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.random_range(range)
+    }
+
+    /// `rand 0.8`-style alias for [`random_bool`](Self::random_bool).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.random_bool(p)
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+
+    /// Shuffles `slice` in place (Fisher–Yates, back to front).
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = u64_below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Returns a uniformly chosen element, or `None` if `slice` is empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[u64_below(self, slice.len() as u64) as usize])
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, SmallRng};
+
+    #[test]
+    fn range_draws_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0..=5u32);
+            assert!(y <= 5);
+            let z = rng.random_range(-8..8i64);
+            assert!((-8..8).contains(&z));
+            let f = rng.random_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_draws_hit_every_value() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..=5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "missed values: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = SmallRng::seed_from_u64(0).random_range(5..5usize);
+    }
+
+    #[test]
+    fn float_unit_interval_and_fairness() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((0.48..0.52).contains(&mean), "biased unit draw: {mean}");
+        let heads = (0..n).filter(|_| rng.random::<bool>()).count();
+        assert!((9_500..10_500).contains(&heads), "biased coin: {heads}/{n}");
+    }
+
+    #[test]
+    fn bernoulli_tracks_probability_and_edges() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.1)).count();
+        assert!((1_700..2_300).contains(&hits), "p=0.1 gave {hits}/20000");
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        assert!((0..100).all(|_| rng.random_ratio(1, 1)));
+        assert!(!(0..100).any(|_| rng.random_ratio(0, 7)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b = a.clone();
+        SmallRng::seed_from_u64(5).shuffle(&mut a);
+        SmallRng::seed_from_u64(5).shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "50-element shuffle left slice sorted");
+    }
+
+    #[test]
+    fn works_through_unsized_and_reborrowed_receivers() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> (bool, usize) {
+            (rng.random(), rng.random_range(0..10))
+        }
+        let mut rng = SmallRng::seed_from_u64(6);
+        let via_ref = draw(&mut rng);
+        let dyn_rng: &mut dyn RngCore = &mut SmallRng::seed_from_u64(6);
+        assert_eq!(draw(dyn_rng), via_ref);
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        let items = [1u8, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(*rng.choose(&items).unwrap() - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

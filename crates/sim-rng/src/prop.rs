@@ -1,0 +1,412 @@
+//! A minimal seeded property-test harness: the in-tree replacement for
+//! `proptest`.
+//!
+//! Design: a *generator* closure draws a random input from a seeded
+//! [`SmallRng`]; a *shrinker* closure proposes strictly simpler variants
+//! of a failing input; the runner drives N seeded cases, and on failure
+//! greedily shrinks before reporting. Every case derives its RNG from
+//! `(run_seed, case_index)`, so a failure report's seed pair replays the
+//! exact failing input — no state accumulates across cases.
+//!
+//! Environment knobs:
+//!
+//! * `SIM_PROP_CASES` — cases per property (default 256).
+//! * `SIM_PROP_SEED` — run seed (default 0); printed on failure so a red
+//!   CI run can be reproduced locally with the same inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_rng::prop::{self, Runner};
+//! use sim_rng::Rng;
+//!
+//! Runner::new("addition_commutes").run(
+//!     |rng| (rng.random_range(0..1000u64), rng.random_range(0..1000u64)),
+//!     |&(a, b)| prop::shrink::pair(a, b, prop::shrink::u64_down, prop::shrink::u64_down),
+//!     |&(a, b)| {
+//!         sim_rng::prop_assert_eq!(a + b, b + a);
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use crate::{RngCore, SeedableRng, SmallRng, SplitMix64};
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Outcome of one property evaluation: `Ok(())` passed, `Err(msg)` failed.
+pub type CaseResult = Result<(), String>;
+
+/// Configures and runs one property.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    name: &'static str,
+    cases: u32,
+    seed: u64,
+    max_shrink_steps: u32,
+}
+
+impl Runner {
+    /// Creates a runner for the named property, honoring the
+    /// `SIM_PROP_CASES` / `SIM_PROP_SEED` environment overrides.
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cases: env_u64("SIM_PROP_CASES", 256) as u32,
+            seed: env_u64("SIM_PROP_SEED", 0),
+            max_shrink_steps: 2_000,
+        }
+    }
+
+    /// Overrides the number of cases (environment still wins if set).
+    #[must_use]
+    pub fn cases(mut self, cases: u32) -> Self {
+        if std::env::var_os("SIM_PROP_CASES").is_none() {
+            self.cases = cases;
+        }
+        self
+    }
+
+    /// Overrides the run seed (environment still wins if set).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        if std::env::var_os("SIM_PROP_SEED").is_none() {
+            self.seed = seed;
+        }
+        self
+    }
+
+    /// Runs the property over `cases` seeded inputs.
+    ///
+    /// `generate` draws an input from the per-case RNG; `shrink` proposes
+    /// simpler variants of a failing input (return an empty `Vec` for "no
+    /// simpler"); `property` returns `Err`/panics to fail a case — use
+    /// [`prop_assert!`](crate::prop_assert) and
+    /// [`prop_assert_eq!`](crate::prop_assert_eq) inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a shrunk-input report (including the reproduction
+    /// seed) if any case fails.
+    pub fn run<T, G, S, P>(&self, generate: G, shrink: S, property: P)
+    where
+        T: Debug + Clone,
+        G: Fn(&mut SmallRng) -> T,
+        S: Fn(&T) -> Vec<T>,
+        P: Fn(&T) -> CaseResult,
+    {
+        for case in 0..self.cases {
+            let input = generate(&mut self.case_rng(case));
+            if let Err(message) = eval(&property, &input) {
+                let (minimal, final_message, steps) =
+                    self.shrink_failure(input.clone(), message, &shrink, &property);
+                panic!(
+                    "property `{}` failed (case {case} of {}, run seed {}).\n\
+                     minimal input (after {steps} shrink steps): {minimal:?}\n\
+                     original input: {input:?}\n\
+                     failure: {final_message}\n\
+                     reproduce with: SIM_PROP_SEED={} cargo test {}",
+                    self.name, self.cases, self.seed, self.seed, self.name,
+                );
+            }
+        }
+    }
+
+    /// The RNG for one case: independent of every other case, stable
+    /// under changes to the case count.
+    fn case_rng(&self, case: u32) -> SmallRng {
+        let mut mix = SplitMix64::new(self.seed ^ 0x9E6A_5CE1_7B1D_2026);
+        let a = mix.next_u64();
+        SmallRng::seed_from_u64(a ^ (u64::from(case)).wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Greedy first-improvement shrinking: repeatedly replace the failing
+    /// input with the first proposed variant that still fails.
+    fn shrink_failure<T, S, P>(
+        &self,
+        mut current: T,
+        mut message: String,
+        shrink: &S,
+        property: &P,
+    ) -> (T, String, u32)
+    where
+        T: Debug + Clone,
+        S: Fn(&T) -> Vec<T>,
+        P: Fn(&T) -> CaseResult,
+    {
+        let mut steps = 0;
+        'outer: while steps < self.max_shrink_steps {
+            for candidate in shrink(&current) {
+                steps += 1;
+                if let Err(msg) = eval(property, &candidate) {
+                    current = candidate;
+                    message = msg;
+                    continue 'outer;
+                }
+                if steps >= self.max_shrink_steps {
+                    break;
+                }
+            }
+            break;
+        }
+        (current, message, steps)
+    }
+}
+
+/// Evaluates a property, converting panics into `Err` so the shrinker can
+/// keep probing after an assertion failure inside library code.
+fn eval<T, P: Fn(&T) -> CaseResult>(property: &P, input: &T) -> CaseResult {
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {})); // silence expected panics while probing
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| property(input)));
+    panic::set_hook(prev_hook);
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "panicked with non-string payload".to_string())),
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+///
+/// Expands to an early `return Err(..)`, so it may only be used inside a
+/// closure returning [`CaseResult`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "{} at {}:{}",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless the two sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Stock shrinkers for common input shapes.
+///
+/// Shrinkers return *candidate* simpler inputs, tried in order; returning
+/// an empty `Vec` ends shrinking. All of them move values toward a
+/// designated floor (0, the range minimum, an empty `Vec`), halving first
+/// so minimization takes O(log n) accepted steps.
+pub mod shrink {
+    /// No shrinking — for inputs that are already atomic (e.g. a seed).
+    #[must_use]
+    pub fn none<T>(_: &T) -> Vec<T> {
+        Vec::new()
+    }
+
+    /// Candidates for a `usize` moving down toward `floor`.
+    #[must_use]
+    pub fn usize_toward(value: usize, floor: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if value > floor {
+            out.push(floor);
+            let half = floor + (value - floor) / 2;
+            if half != floor && half != value {
+                out.push(half);
+            }
+            out.push(value - 1);
+        }
+        out.dedup();
+        out
+    }
+
+    /// Candidates for a `u64` moving down toward zero.
+    #[must_use]
+    pub fn u64_down(value: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if value > 0 {
+            out.push(0);
+            if value > 1 {
+                out.push(value / 2);
+            }
+            out.push(value - 1);
+        }
+        out.dedup();
+        out
+    }
+
+    /// Candidates for an `f64` moving down toward `floor`.
+    #[must_use]
+    pub fn f64_toward(value: f64, floor: f64) -> Vec<f64> {
+        if value <= floor {
+            return Vec::new();
+        }
+        let mut out = vec![floor, floor + (value - floor) / 2.0];
+        if value - 1.0 > floor {
+            out.push(value - 1.0);
+        }
+        out.retain(|&c| c < value);
+        out
+    }
+
+    /// Candidates for a `Vec`: drop the front/back half, drop single
+    /// elements, then shrink elements in place with `element`.
+    #[must_use]
+    pub fn vec<T: Clone>(values: &[T], element: impl Fn(&T) -> Vec<T>) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        let n = values.len();
+        if n > 0 {
+            out.push(Vec::new());
+        }
+        if n > 1 {
+            out.push(values[n / 2..].to_vec());
+            out.push(values[..n / 2].to_vec());
+        }
+        for i in 0..n {
+            let mut dropped = values.to_vec();
+            dropped.remove(i);
+            out.push(dropped);
+        }
+        for (i, v) in values.iter().enumerate() {
+            for candidate in element(v) {
+                let mut replaced = values.to_vec();
+                replaced[i] = candidate;
+                out.push(replaced);
+            }
+        }
+        out
+    }
+
+    /// Candidates for a pair: shrink each side independently.
+    #[must_use]
+    pub fn pair<A: Clone, B: Clone>(
+        a: A,
+        b: B,
+        shrink_a: impl Fn(A) -> Vec<A>,
+        shrink_b: impl Fn(B) -> Vec<B>,
+    ) -> Vec<(A, B)> {
+        let mut out: Vec<(A, B)> = shrink_a(a.clone())
+            .into_iter()
+            .map(|sa| (sa, b.clone()))
+            .collect();
+        out.extend(shrink_b(b).into_iter().map(|sb| (a.clone(), sb)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let count = AtomicU32::new(0);
+        Runner::new("count_cases").cases(64).run(
+            |rng| rng.random::<u64>(),
+            shrink::none,
+            |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+        );
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        // Property "x < 50" fails for x >= 50; the minimal counterexample
+        // under usize_toward(_, 0) is exactly 50.
+        let result = panic::catch_unwind(|| {
+            Runner::new("lt_50").cases(256).run(
+                |rng| rng.random_range(0..1000usize),
+                |&x| shrink::usize_toward(x, 0),
+                |&x| {
+                    crate::prop_assert!(x < 50);
+                    Ok(())
+                },
+            );
+        });
+        let message = match result {
+            Ok(()) => panic!("property unexpectedly passed"),
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+        };
+        assert!(
+            message.contains("minimal input") && message.contains(": 50"),
+            "did not shrink to 50:\n{message}"
+        );
+        assert!(
+            message.contains("SIM_PROP_SEED=0"),
+            "no repro seed:\n{message}"
+        );
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_reported() {
+        let result = panic::catch_unwind(|| {
+            Runner::new("panics").cases(8).run(
+                |rng| rng.random::<u64>(),
+                shrink::none,
+                |_| panic!("boom inside property"),
+            );
+        });
+        let message = match result {
+            Ok(()) => panic!("property unexpectedly passed"),
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+        };
+        assert!(message.contains("boom inside property"), "{message}");
+    }
+
+    #[test]
+    fn vec_shrinker_reaches_empty_and_shrinks_elements() {
+        let candidates = shrink::vec(&[3usize, 7], |&x| shrink::usize_toward(x, 0));
+        assert!(candidates.contains(&Vec::new()));
+        assert!(candidates.iter().any(|c| c == &vec![3]));
+        assert!(candidates.iter().any(|c| c == &vec![0, 7]));
+    }
+
+    #[test]
+    fn case_rng_is_stable_per_case() {
+        let runner = Runner::new("stable");
+        let a: u64 = runner.case_rng(5).random();
+        let b: u64 = runner.case_rng(5).random();
+        let c: u64 = runner.case_rng(6).random();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

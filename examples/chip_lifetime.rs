@@ -43,8 +43,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let aegis = policies.last().expect("non-empty");
     let run = run_memory(aegis.as_ref(), &cfg);
     let curve = survival_curve(&run.page_lifetimes);
-    println!("\nsurvival curve of {} (global page writes → alive):", aegis.name());
-    for idx in [0, curve.len() / 4, curve.len() / 2, 3 * curve.len() / 4, curve.len() - 1] {
+    println!(
+        "\nsurvival curve of {} (global page writes → alive):",
+        aegis.name()
+    );
+    for idx in [
+        0,
+        curve.len() / 4,
+        curve.len() / 2,
+        3 * curve.len() / 4,
+        curve.len() - 1,
+    ] {
         let (writes, alive) = curve[idx];
         println!("  {writes:>12.3e} → {:>5.1}%", alive * 100.0);
     }

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example formation_explorer [BITS] [BUDGET_BITS]`
 
 use aegis_pcm::aegis::analysis::{
-    candidate_formations, recommend_formation, simulated_survival_probability,
-    survival_probability,
+    candidate_formations, recommend_formation, simulated_survival_probability, survival_probability,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

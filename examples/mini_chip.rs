@@ -13,8 +13,8 @@ use aegis_pcm::aegis::{AegisCodec, Rectangle};
 use aegis_pcm::bitblock::BitBlock;
 use aegis_pcm::pcm::chip::{ChipConfig, PcmChip};
 use aegis_pcm::pcm::LifetimeModel;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use sim_rng::SeedableRng;
+use sim_rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = std::env::args().nth(1).map_or(Ok(42), |s| s.parse())?;
@@ -28,9 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rect = Rectangle::new(8, 13, config.block_bits)?;
 
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut chip = PcmChip::new(config, &mut rng, || {
-        Box::new(AegisCodec::new(rect.clone()))
-    });
+    let mut chip = PcmChip::new(config, &mut rng, || Box::new(AegisCodec::new(rect.clone())));
 
     println!(
         "chip: {} pages × {} blocks × {} bits, Aegis {} per block, Start-Gap ψ = {}\n",

@@ -7,8 +7,8 @@ use aegis_pcm::aegis::{AegisCodec, Rectangle};
 use aegis_pcm::bitblock::BitBlock;
 use aegis_pcm::codec::StuckAtCodec;
 use aegis_pcm::pcm::PcmBlock;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use sim_rng::SmallRng;
+use sim_rng::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(2013);

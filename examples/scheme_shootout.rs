@@ -13,16 +13,12 @@ use aegis_pcm::baselines::{EcpCodec, HammingCodec, PartitionSearch, RdisCodec, S
 use aegis_pcm::bitblock::BitBlock;
 use aegis_pcm::codec::StuckAtCodec;
 use aegis_pcm::pcm::PcmBlock;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use sim_rng::SmallRng;
+use sim_rng::{Rng, SeedableRng};
 
 /// Drives one codec over a block accumulating the given fault sequence,
 /// returning the number of faults absorbed before the first failed write.
-fn drive(
-    codec: &mut dyn StuckAtCodec,
-    faults: &[(usize, bool)],
-    seed: u64,
-) -> (usize, usize) {
+fn drive(codec: &mut dyn StuckAtCodec, faults: &[(usize, bool)], seed: u64) -> (usize, usize) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut block = PcmBlock::pristine(512);
     let mut pulses = 0;
@@ -44,9 +40,7 @@ fn drive(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map_or(Ok(7), |s| s.parse())?;
+    let seed: u64 = std::env::args().nth(1).map_or(Ok(7), |s| s.parse())?;
     let mut rng = SmallRng::seed_from_u64(seed);
 
     // One shared fault arrival sequence: every scheme faces the same wear.

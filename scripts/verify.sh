@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full verification gate for the hermetic workspace. Everything runs with
+# --offline: a clean checkout must build with no network and no registry
+# cache, or the hermetic-build guarantee is broken.
+#
+# Usage: scripts/verify.sh [--fast]
+#   --fast   smoke-run the bench targets too (SIM_BENCH_FAST=1); skipped
+#            entirely by default because full benches take minutes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+# Tier-1 gate: release build + the whole test suite, fully offline.
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+
+# Style and lint gates.
+run cargo fmt --all --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Optional: compile + smoke-run every bench target.
+if [[ "${1:-}" == "--fast" ]]; then
+    SIM_BENCH_FAST=1 run cargo bench --offline --workspace
+fi
+
+echo "==> verify OK"

@@ -41,8 +41,8 @@
 //! # }
 //! ```
 
-pub use aegis_core as aegis;
 pub use aegis_baselines as baselines;
+pub use aegis_core as aegis;
 pub use aegis_os_assist as os_assist;
 pub use aegis_payg as payg;
 pub use bitblock;

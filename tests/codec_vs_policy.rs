@@ -10,8 +10,7 @@
 //! thousands of random fault populations and data words.
 
 use aegis_pcm::aegis::{
-    AegisCodec, AegisPolicy, AegisRwCodec, AegisRwPCodec, AegisRwPPolicy, AegisRwPolicy,
-    Rectangle,
+    AegisCodec, AegisPolicy, AegisRwCodec, AegisRwPCodec, AegisRwPPolicy, AegisRwPolicy, Rectangle,
 };
 use aegis_pcm::baselines::{
     EcpCodec, EcpPolicy, PartitionSearch, RdisCodec, RdisPolicy, SaferCodec, SaferPolicy,
@@ -20,12 +19,35 @@ use aegis_pcm::bitblock::BitBlock;
 use aegis_pcm::codec::StuckAtCodec;
 use aegis_pcm::pcm::policy::RecoveryPolicy;
 use aegis_pcm::pcm::{classify_split, Fault, PcmBlock};
-use proptest::prelude::*;
+use sim_rng::prop::{shrink, CaseResult, Runner};
+use sim_rng::{prop_assert, prop_assert_eq, Rng, SeedableRng, SmallRng};
+use std::collections::BTreeMap;
 
-/// A random fault population: distinct offsets with random stuck values.
-fn fault_set(block_bits: usize, max_faults: usize) -> impl Strategy<Value = Vec<Fault>> {
-    proptest::collection::btree_map(0..block_bits, any::<bool>(), 0..=max_faults)
-        .prop_map(|map| map.into_iter().map(|(o, s)| Fault::new(o, s)).collect())
+/// Generator: a random fault population — up to `max_faults` distinct
+/// offsets with random stuck values — plus a data-word seed.
+fn faults_and_seed(
+    block_bits: usize,
+    max_faults: usize,
+) -> impl Fn(&mut SmallRng) -> (Vec<Fault>, u64) {
+    move |rng| {
+        let count = rng.random_range(0..=max_faults);
+        let mut map = BTreeMap::new();
+        while map.len() < count {
+            map.insert(rng.random_range(0..block_bits), rng.random::<bool>());
+        }
+        let faults = map.into_iter().map(|(o, s)| Fault::new(o, s)).collect();
+        (faults, rng.random())
+    }
+}
+
+/// Shrinker: thin the fault population (offsets stay distinct and
+/// sorted); the data seed is left alone — any seed is a valid input.
+fn shrink_faults(input: &(Vec<Fault>, u64)) -> Vec<(Vec<Fault>, u64)> {
+    let (faults, seed) = input;
+    shrink::vec(faults, |_| Vec::new())
+        .into_iter()
+        .map(|f| (f, *seed))
+        .collect()
 }
 
 /// Builds the faulty block for a population.
@@ -44,7 +66,7 @@ fn check_equivalence(
     policy: &dyn RecoveryPolicy,
     faults: &[Fault],
     data: &BitBlock,
-) -> Result<(), TestCaseError> {
+) -> CaseResult {
     let mut block = block_with(faults, policy.block_bits());
     let wrong = classify_split(faults, data);
     let predicted = policy.recoverable(faults, &wrong);
@@ -64,142 +86,157 @@ fn check_equivalence(
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+#[test]
+fn aegis_codec_matches_policy() {
+    Runner::new("aegis_codec_matches_policy").cases(192).run(
+        faults_and_seed(96, 12),
+        shrink_faults,
+        |(faults, seed)| {
+            let rect = Rectangle::new(8, 13, 96).unwrap();
+            let data = BitBlock::random(&mut SmallRng::seed_from_u64(*seed), 96);
+            check_equivalence(
+                Box::new(AegisCodec::new(rect.clone())),
+                &AegisPolicy::new(rect),
+                faults,
+                &data,
+            )
+        },
+    );
+}
 
-    #[test]
-    fn aegis_codec_matches_policy(
-        faults in fault_set(96, 12),
-        seed in any::<u64>(),
-    ) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let rect = Rectangle::new(8, 13, 96).unwrap();
-        let data = BitBlock::random(&mut SmallRng::seed_from_u64(seed), 96);
-        check_equivalence(
-            Box::new(AegisCodec::new(rect.clone())),
-            &AegisPolicy::new(rect),
-            &faults,
-            &data,
-        )?;
-    }
+#[test]
+fn aegis_rw_codec_matches_policy() {
+    Runner::new("aegis_rw_codec_matches_policy").cases(192).run(
+        faults_and_seed(96, 14),
+        shrink_faults,
+        |(faults, seed)| {
+            let rect = Rectangle::new(8, 13, 96).unwrap();
+            let data = BitBlock::random(&mut SmallRng::seed_from_u64(*seed), 96);
+            check_equivalence(
+                Box::new(AegisRwCodec::new(rect.clone())),
+                &AegisRwPolicy::new(rect),
+                faults,
+                &data,
+            )
+        },
+    );
+}
 
-    #[test]
-    fn aegis_rw_codec_matches_policy(
-        faults in fault_set(96, 14),
-        seed in any::<u64>(),
-    ) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let rect = Rectangle::new(8, 13, 96).unwrap();
-        let data = BitBlock::random(&mut SmallRng::seed_from_u64(seed), 96);
-        check_equivalence(
-            Box::new(AegisRwCodec::new(rect.clone())),
-            &AegisRwPolicy::new(rect),
-            &faults,
-            &data,
-        )?;
-    }
+#[test]
+fn aegis_rw_p_codec_matches_policy() {
+    Runner::new("aegis_rw_p_codec_matches_policy")
+        .cases(192)
+        .run(
+            |rng| {
+                let input = faults_and_seed(96, 12)(rng);
+                (input, rng.random_range(1..6usize))
+            },
+            |(input, pointers)| {
+                shrink_faults(input)
+                    .into_iter()
+                    .map(|i| (i, *pointers))
+                    .collect()
+            },
+            |((faults, seed), pointers)| {
+                let rect = Rectangle::new(8, 13, 96).unwrap();
+                let data = BitBlock::random(&mut SmallRng::seed_from_u64(*seed), 96);
+                check_equivalence(
+                    Box::new(AegisRwPCodec::new(rect.clone(), *pointers)),
+                    &AegisRwPPolicy::new(rect, *pointers),
+                    faults,
+                    &data,
+                )
+            },
+        );
+}
 
-    #[test]
-    fn aegis_rw_p_codec_matches_policy(
-        faults in fault_set(96, 12),
-        pointers in 1usize..6,
-        seed in any::<u64>(),
-    ) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let rect = Rectangle::new(8, 13, 96).unwrap();
-        let data = BitBlock::random(&mut SmallRng::seed_from_u64(seed), 96);
-        check_equivalence(
-            Box::new(AegisRwPCodec::new(rect.clone(), pointers)),
-            &AegisRwPPolicy::new(rect, pointers),
-            &faults,
-            &data,
-        )?;
-    }
+#[test]
+fn safer_exhaustive_codec_matches_policy() {
+    Runner::new("safer_exhaustive_codec_matches_policy")
+        .cases(192)
+        .run(faults_and_seed(64, 8), shrink_faults, |(faults, seed)| {
+            let data = BitBlock::random(&mut SmallRng::seed_from_u64(*seed), 64);
+            check_equivalence(
+                Box::new(SaferCodec::new(3, 64, PartitionSearch::Exhaustive)),
+                &SaferPolicy::new(3, 64, false),
+                faults,
+                &data,
+            )
+        });
+}
 
-    #[test]
-    fn safer_exhaustive_codec_matches_policy(
-        faults in fault_set(64, 8),
-        seed in any::<u64>(),
-    ) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let data = BitBlock::random(&mut SmallRng::seed_from_u64(seed), 64);
-        check_equivalence(
-            Box::new(SaferCodec::new(3, 64, PartitionSearch::Exhaustive)),
-            &SaferPolicy::new(3, 64, false),
-            &faults,
-            &data,
-        )?;
-    }
+#[test]
+fn rdis_codec_matches_policy() {
+    Runner::new("rdis_codec_matches_policy").cases(192).run(
+        faults_and_seed(64, 10),
+        shrink_faults,
+        |(faults, seed)| {
+            let data = BitBlock::random(&mut SmallRng::seed_from_u64(*seed), 64);
+            check_equivalence(
+                Box::new(RdisCodec::rdis3(64)),
+                &RdisPolicy::rdis3(64),
+                faults,
+                &data,
+            )
+        },
+    );
+}
 
-    #[test]
-    fn rdis_codec_matches_policy(
-        faults in fault_set(64, 10),
-        seed in any::<u64>(),
-    ) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let data = BitBlock::random(&mut SmallRng::seed_from_u64(seed), 64);
-        check_equivalence(
-            Box::new(RdisCodec::rdis3(64)),
-            &RdisPolicy::rdis3(64),
-            &faults,
-            &data,
-        )?;
-    }
-
-    /// ECP allocates entries lazily (only faults that have manifested as
-    /// stuck-at-Wrong), so per-write equivalence needs a burn-in: after
-    /// enough random writes, the codec survives exactly the populations the
-    /// policy accepts.
-    #[test]
-    fn ecp_codec_matches_policy_after_burn_in(
-        faults in fault_set(64, 9),
-        seed in any::<u64>(),
-    ) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let policy = EcpPolicy::new(6, 64);
-        let mut codec = EcpCodec::new(6, 64);
-        let mut block = block_with(&faults, 64);
-        let mut survived_all = true;
-        for _ in 0..40 {
-            let data = BitBlock::random(&mut rng, 64);
-            match codec.write(&mut block, &data) {
-                Ok(_) => prop_assert_eq!(codec.read(&block), data),
-                Err(_) => {
-                    survived_all = false;
-                    break;
+/// ECP allocates entries lazily (only faults that have manifested as
+/// stuck-at-Wrong), so per-write equivalence needs a burn-in: after
+/// enough random writes, the codec survives exactly the populations the
+/// policy accepts.
+#[test]
+fn ecp_codec_matches_policy_after_burn_in() {
+    Runner::new("ecp_codec_matches_policy_after_burn_in")
+        .cases(192)
+        .run(faults_and_seed(64, 9), shrink_faults, |(faults, seed)| {
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            let policy = EcpPolicy::new(6, 64);
+            let mut codec = EcpCodec::new(6, 64);
+            let mut block = block_with(faults, 64);
+            let mut survived_all = true;
+            for _ in 0..40 {
+                let data = BitBlock::random(&mut rng, 64);
+                match codec.write(&mut block, &data) {
+                    Ok(_) => prop_assert_eq!(codec.read(&block), data),
+                    Err(_) => {
+                        survived_all = false;
+                        break;
+                    }
                 }
             }
-        }
-        // The policy is data-independent; 40 random words make each fault
-        // manifest as W at least once with probability 1 - 2^-40.
-        prop_assert_eq!(survived_all, policy.guaranteed(&faults));
-    }
+            // The policy is data-independent; 40 random words make each fault
+            // manifest as W at least once with probability 1 - 2^-40.
+            prop_assert_eq!(survived_all, policy.guaranteed(faults));
+            Ok(())
+        });
+}
 
-    /// The incremental SAFER codec is history-dependent, so no pointwise
-    /// equivalence — but it must never beat the exhaustive search, and the
-    /// greedy policy must never beat the exhaustive policy.
-    #[test]
-    fn safer_incremental_is_bounded_by_exhaustive(
-        faults in fault_set(64, 8),
-        seed in any::<u64>(),
-    ) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let data = BitBlock::random(&mut SmallRng::seed_from_u64(seed), 64);
-        let wrong = classify_split(&faults, &data);
-        let incr = SaferPolicy::with_search(3, 64, false, PartitionSearch::Incremental);
-        let exh = SaferPolicy::new(3, 64, false);
-        if incr.recoverable(&faults, &wrong) {
-            prop_assert!(exh.recoverable(&faults, &wrong));
-        }
-        let mut codec = SaferCodec::new(3, 64, PartitionSearch::Incremental);
-        let mut block = block_with(&faults, 64);
-        if codec.write(&mut block, &data).is_ok() {
-            prop_assert_eq!(codec.read(&block), data.clone());
-            prop_assert!(
-                exh.recoverable(&faults, &wrong),
-                "incremental codec succeeded where the exhaustive ideal cannot"
-            );
-        }
-    }
+/// The incremental SAFER codec is history-dependent, so no pointwise
+/// equivalence — but it must never beat the exhaustive search, and the
+/// greedy policy must never beat the exhaustive policy.
+#[test]
+fn safer_incremental_is_bounded_by_exhaustive() {
+    Runner::new("safer_incremental_is_bounded_by_exhaustive")
+        .cases(192)
+        .run(faults_and_seed(64, 8), shrink_faults, |(faults, seed)| {
+            let data = BitBlock::random(&mut SmallRng::seed_from_u64(*seed), 64);
+            let wrong = classify_split(faults, &data);
+            let incr = SaferPolicy::with_search(3, 64, false, PartitionSearch::Incremental);
+            let exh = SaferPolicy::new(3, 64, false);
+            if incr.recoverable(faults, &wrong) {
+                prop_assert!(exh.recoverable(faults, &wrong));
+            }
+            let mut codec = SaferCodec::new(3, 64, PartitionSearch::Incremental);
+            let mut block = block_with(faults, 64);
+            if codec.write(&mut block, &data).is_ok() {
+                prop_assert_eq!(codec.read(&block), data.clone());
+                prop_assert!(
+                    exh.recoverable(faults, &wrong),
+                    "incremental codec succeeded where the exhaustive ideal cannot"
+                );
+            }
+            Ok(())
+        });
 }

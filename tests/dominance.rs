@@ -8,123 +8,188 @@ use aegis_pcm::aegis::{AegisPolicy, AegisRwPPolicy, AegisRwPolicy, Rectangle};
 use aegis_pcm::baselines::{EcpPolicy, RdisPolicy, RdisScheme, SaferPolicy};
 use aegis_pcm::pcm::policy::RecoveryPolicy;
 use aegis_pcm::pcm::Fault;
-use proptest::prelude::*;
+use sim_rng::prop::{shrink, Runner};
+use sim_rng::{prop_assert, prop_assert_eq, Rng, SmallRng};
+use std::collections::BTreeMap;
 
-/// Random fault population + split over a 512-bit block.
-fn population(max_faults: usize) -> impl Strategy<Value = (Vec<Fault>, Vec<bool>)> {
-    proptest::collection::btree_map(0usize..512, (any::<bool>(), any::<bool>()), 0..=max_faults)
-        .prop_map(|map| {
-            let mut faults = Vec::with_capacity(map.len());
-            let mut wrong = Vec::with_capacity(map.len());
-            for (offset, (stuck, w)) in map {
-                faults.push(Fault::new(offset, stuck));
-                wrong.push(w);
-            }
-            (faults, wrong)
-        })
+/// Generator: a random fault population + split over a 512-bit block —
+/// up to `max_faults` distinct offsets with random stuck values and W/R
+/// classifications, offset-sorted like the arrival bookkeeping produces.
+fn population(max_faults: usize) -> impl Fn(&mut SmallRng) -> (Vec<Fault>, Vec<bool>) {
+    move |rng| {
+        let count = rng.random_range(0..=max_faults);
+        let mut map = BTreeMap::new();
+        while map.len() < count {
+            map.insert(
+                rng.random_range(0..512usize),
+                (rng.random::<bool>(), rng.random::<bool>()),
+            );
+        }
+        let mut faults = Vec::with_capacity(map.len());
+        let mut wrong = Vec::with_capacity(map.len());
+        for (offset, (stuck, w)) in map {
+            faults.push(Fault::new(offset, stuck));
+            wrong.push(w);
+        }
+        (faults, wrong)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Shrinker: drop (fault, wrong) pairs in tandem — offsets stay distinct
+/// and sorted, so every candidate is a valid smaller population.
+fn shrink_population(input: &(Vec<Fault>, Vec<bool>)) -> Vec<(Vec<Fault>, Vec<bool>)> {
+    let pairs: Vec<(Fault, bool)> = input
+        .0
+        .iter()
+        .copied()
+        .zip(input.1.iter().copied())
+        .collect();
+    shrink::vec(&pairs, |_| Vec::new())
+        .into_iter()
+        .map(|p| p.into_iter().unzip())
+        .collect()
+}
 
-    /// Base Aegis acceptance implies Aegis-rw acceptance (the rw variant
-    /// strictly relaxes the per-group condition).
-    #[test]
-    fn rw_dominates_base_aegis((faults, wrong) in population(16)) {
-        let rect = Rectangle::new(17, 31, 512).unwrap();
-        let base = AegisPolicy::new(rect.clone());
-        let rw = AegisRwPolicy::new(rect);
-        if base.recoverable(&faults, &wrong) {
-            prop_assert!(rw.recoverable(&faults, &wrong));
-        }
-    }
-
-    /// More pointers never hurt, and a full pointer budget equals Aegis-rw.
-    #[test]
-    fn rw_p_is_monotone_and_saturates((faults, wrong) in population(14)) {
-        let rect = Rectangle::new(17, 31, 512).unwrap();
-        let rw = AegisRwPolicy::new(rect.clone());
-        let mut previous = false;
-        for pointers in [1usize, 2, 4, 8, 31] {
-            let policy = AegisRwPPolicy::new(rect.clone(), pointers);
-            let now = policy.recoverable(&faults, &wrong);
-            prop_assert!(!previous || now, "losing acceptance when adding pointers");
-            previous = now;
-        }
-        // p = B pointers: some case always fits the budget on a good slope.
-        let saturated = AegisRwPPolicy::new(rect, 31);
-        prop_assert_eq!(
-            saturated.recoverable(&faults, &wrong),
-            rw.recoverable(&faults, &wrong)
-        );
-    }
-
-    /// ECP with more entries accepts a superset.
-    #[test]
-    fn ecp_is_monotone_in_entries((faults, wrong) in population(12)) {
-        let mut previous = false;
-        for n in [2usize, 4, 6, 8, 12] {
-            let now = EcpPolicy::new(n, 512).recoverable(&faults, &wrong);
-            prop_assert!(!previous || now);
-            previous = now;
-        }
-    }
-
-    /// The fail cache strictly relaxes SAFER's per-group condition.
-    #[test]
-    fn safer_cache_dominates_plain((faults, wrong) in population(12)) {
-        for m in [4usize, 6] {
-            let plain = SaferPolicy::new(m, 512, false);
-            let cached = SaferPolicy::new(m, 512, true);
-            if plain.recoverable(&faults, &wrong) {
-                prop_assert!(cached.recoverable(&faults, &wrong), "m={m}");
+/// Base Aegis acceptance implies Aegis-rw acceptance (the rw variant
+/// strictly relaxes the per-group condition).
+#[test]
+fn rw_dominates_base_aegis() {
+    Runner::new("rw_dominates_base_aegis").cases(256).run(
+        population(16),
+        shrink_population,
+        |(faults, wrong)| {
+            let rect = Rectangle::new(17, 31, 512).unwrap();
+            let base = AegisPolicy::new(rect.clone());
+            let rw = AegisRwPolicy::new(rect);
+            if base.recoverable(faults, wrong) {
+                prop_assert!(rw.recoverable(faults, wrong));
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// More SAFER groups (a longer vector) never hurt, under the
-    /// exhaustive search: any m-position partition refines into an
-    /// (m+1)-position one, and refinement preserves group feasibility.
-    #[test]
-    fn safer_is_monotone_in_vector_length((faults, wrong) in population(10)) {
-        let mut previous = false;
-        for m in [3usize, 4, 5, 6] {
-            let now = SaferPolicy::new(m, 512, false).recoverable(&faults, &wrong);
-            prop_assert!(!previous || now, "m={m}");
-            previous = now;
-        }
-    }
-
-    /// Deeper RDIS recursion accepts a superset.
-    #[test]
-    fn rdis_is_monotone_in_depth((faults, wrong) in population(12)) {
-        let mut previous = false;
-        for depth in [1usize, 2, 3, 4] {
-            let scheme = RdisScheme::new(16, 32, depth);
-            let now = RdisPolicy::new(scheme).recoverable(&faults, &wrong);
-            prop_assert!(!previous || now, "depth={depth}");
-            previous = now;
-        }
-    }
-
-    /// `guaranteed` is never more permissive than any single split.
-    #[test]
-    fn guaranteed_implies_every_sampled_split((faults, wrong) in population(10)) {
-        let rect = Rectangle::new(17, 31, 512).unwrap();
-        let policies: Vec<Box<dyn RecoveryPolicy>> = vec![
-            Box::new(AegisPolicy::new(rect.clone())),
-            Box::new(EcpPolicy::new(6, 512)),
-            Box::new(SaferPolicy::new(5, 512, false)),
-            Box::new(RdisPolicy::rdis3(512)),
-        ];
-        for policy in &policies {
-            if policy.guaranteed(&faults) {
-                prop_assert!(
-                    policy.recoverable(&faults, &wrong),
-                    "{} guarantees but rejects a split",
-                    policy.name()
-                );
+/// More pointers never hurt, and a full pointer budget equals Aegis-rw.
+#[test]
+fn rw_p_is_monotone_and_saturates() {
+    Runner::new("rw_p_is_monotone_and_saturates")
+        .cases(256)
+        .run(population(14), shrink_population, |(faults, wrong)| {
+            let rect = Rectangle::new(17, 31, 512).unwrap();
+            let rw = AegisRwPolicy::new(rect.clone());
+            let mut previous = false;
+            for pointers in [1usize, 2, 4, 8, 31] {
+                let policy = AegisRwPPolicy::new(rect.clone(), pointers);
+                let now = policy.recoverable(faults, wrong);
+                prop_assert!(!previous || now, "losing acceptance when adding pointers");
+                previous = now;
             }
-        }
-    }
+            // p = B pointers: some case always fits the budget on a good slope.
+            let saturated = AegisRwPPolicy::new(rect, 31);
+            prop_assert_eq!(
+                saturated.recoverable(faults, wrong),
+                rw.recoverable(faults, wrong)
+            );
+            Ok(())
+        });
+}
+
+/// ECP with more entries accepts a superset.
+#[test]
+fn ecp_is_monotone_in_entries() {
+    Runner::new("ecp_is_monotone_in_entries").cases(256).run(
+        population(12),
+        shrink_population,
+        |(faults, wrong)| {
+            let mut previous = false;
+            for n in [2usize, 4, 6, 8, 12] {
+                let now = EcpPolicy::new(n, 512).recoverable(faults, wrong);
+                prop_assert!(!previous || now);
+                previous = now;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The fail cache strictly relaxes SAFER's per-group condition.
+#[test]
+fn safer_cache_dominates_plain() {
+    Runner::new("safer_cache_dominates_plain").cases(256).run(
+        population(12),
+        shrink_population,
+        |(faults, wrong)| {
+            for m in [4usize, 6] {
+                let plain = SaferPolicy::new(m, 512, false);
+                let cached = SaferPolicy::new(m, 512, true);
+                if plain.recoverable(faults, wrong) {
+                    prop_assert!(cached.recoverable(faults, wrong), "m={m}");
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// More SAFER groups (a longer vector) never hurt, under the
+/// exhaustive search: any m-position partition refines into an
+/// (m+1)-position one, and refinement preserves group feasibility.
+#[test]
+fn safer_is_monotone_in_vector_length() {
+    Runner::new("safer_is_monotone_in_vector_length")
+        .cases(256)
+        .run(population(10), shrink_population, |(faults, wrong)| {
+            let mut previous = false;
+            for m in [3usize, 4, 5, 6] {
+                let now = SaferPolicy::new(m, 512, false).recoverable(faults, wrong);
+                prop_assert!(!previous || now, "m={m}");
+                previous = now;
+            }
+            Ok(())
+        });
+}
+
+/// Deeper RDIS recursion accepts a superset.
+#[test]
+fn rdis_is_monotone_in_depth() {
+    Runner::new("rdis_is_monotone_in_depth").cases(256).run(
+        population(12),
+        shrink_population,
+        |(faults, wrong)| {
+            let mut previous = false;
+            for depth in [1usize, 2, 3, 4] {
+                let scheme = RdisScheme::new(16, 32, depth);
+                let now = RdisPolicy::new(scheme).recoverable(faults, wrong);
+                prop_assert!(!previous || now, "depth={depth}");
+                previous = now;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `guaranteed` is never more permissive than any single split.
+#[test]
+fn guaranteed_implies_every_sampled_split() {
+    Runner::new("guaranteed_implies_every_sampled_split")
+        .cases(256)
+        .run(population(10), shrink_population, |(faults, wrong)| {
+            let rect = Rectangle::new(17, 31, 512).unwrap();
+            let policies: Vec<Box<dyn RecoveryPolicy>> = vec![
+                Box::new(AegisPolicy::new(rect.clone())),
+                Box::new(EcpPolicy::new(6, 512)),
+                Box::new(SaferPolicy::new(5, 512, false)),
+                Box::new(RdisPolicy::rdis3(512)),
+            ];
+            for policy in &policies {
+                if policy.guaranteed(faults) {
+                    prop_assert!(
+                        policy.recoverable(faults, wrong),
+                        "{} guarantees but rejects a split",
+                        policy.name()
+                    );
+                }
+            }
+            Ok(())
+        });
 }

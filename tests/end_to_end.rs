@@ -10,8 +10,8 @@ use aegis_pcm::pcm::failcache::{DirectMappedFailCache, FaultOracle, IdealFailCac
 use aegis_pcm::pcm::montecarlo::{evaluate_block, FailureCriterion};
 use aegis_pcm::pcm::timeline::TimelineSampler;
 use aegis_pcm::pcm::{LifetimeModel, PcmBlock, WearModel};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use sim_rng::SmallRng;
+use sim_rng::{Rng, SeedableRng};
 
 /// Writes random pages into a small "page" of codec-protected blocks until
 /// the first uncorrectable write; returns total faults accumulated at
@@ -62,7 +62,10 @@ fn protected_pages_die_with_more_faults_than_unprotected() {
     );
     assert!(unprotected <= 1, "unprotected dies at its first fault");
     assert!(ecp > unprotected, "ECP4 must absorb faults ({ecp})");
-    assert!(aegis > ecp, "Aegis should beat ECP4 here ({aegis} vs {ecp})");
+    assert!(
+        aegis > ecp,
+        "Aegis should beat ECP4 here ({aegis} vs {ecp})"
+    );
     assert!(
         aegis_rw >= aegis,
         "the cache-assisted variant cannot do worse ({aegis_rw} vs {aegis})"

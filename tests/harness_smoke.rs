@@ -47,12 +47,8 @@ fn fig5_headline_orderings_hold_even_at_tiny_scale() {
         );
     }
     // Within Aegis, more slopes means more tolerated faults.
-    assert!(
-        get("Aegis 9x61").mean_faults_recovered > get("Aegis 17x31").mean_faults_recovered
-    );
-    assert!(
-        get("Aegis 17x31").mean_faults_recovered > get("Aegis 23x23").mean_faults_recovered
-    );
+    assert!(get("Aegis 9x61").mean_faults_recovered > get("Aegis 17x31").mean_faults_recovered);
+    assert!(get("Aegis 17x31").mean_faults_recovered > get("Aegis 23x23").mean_faults_recovered);
 }
 
 #[test]
@@ -66,7 +62,10 @@ fn fig8_hard_ftc_boundaries_are_exact() {
     // Aegis 9x61 guarantees 11 faults (C(11,2)+1 = 56 <= 61).
     let aegis = get("Aegis 9x61").cdf.clone();
     assert_eq!(aegis[11], 0.0, "hard FTC violated");
-    assert!(aegis[40] > 0.9, "soft capability should be exhausted by 40 faults");
+    assert!(
+        aegis[40] > 0.9,
+        "soft capability should be exhausted by 40 faults"
+    );
     // The cache makes SAFER strictly better, pointwise.
     let plain = get("SAFER64").cdf.clone();
     let cached = get("SAFER64-cache").cdf.clone();
@@ -78,7 +77,13 @@ fn fig8_hard_ftc_boundaries_are_exact() {
 #[test]
 fn fig9_half_lifetimes_follow_fault_tolerance() {
     let results = fig9::run(&tiny());
-    let get = |name: &str| results.iter().find(|s| s.name == name).unwrap().half_lifetime;
+    let get = |name: &str| {
+        results
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap()
+            .half_lifetime
+    };
     assert!(get("Aegis 9x61") > get("ECP6"));
     assert!(get("ECP6") > get("unprotected"));
 }
@@ -94,7 +99,11 @@ fn fig10_pointer_sweep_shapes() {
         // The plateau equals the Aegis-rw capability: the final two points
         // should be close (within 5%).
         let prev = sweep.series[sweep.series.len() - 2].1;
-        assert!((last - prev).abs() / last < 0.05, "{} has no plateau", sweep.formation);
+        assert!(
+            (last - prev).abs() / last < 0.05,
+            "{} has no plateau",
+            sweep.formation
+        );
     }
 }
 
@@ -142,10 +151,17 @@ fn csv_files_are_written() {
     fig567::write_csvs(&f, &dir).unwrap();
     let v = variants::run(&opts);
     variants::write_csvs(&v, &dir).unwrap();
-    for file in ["table1.csv", "fig5.csv", "fig6.csv", "fig7.csv", "fig11.csv", "fig13.csv"] {
+    for file in [
+        "table1.csv",
+        "fig5.csv",
+        "fig6.csv",
+        "fig7.csv",
+        "fig11.csv",
+        "fig13.csv",
+    ] {
         let path = dir.join(file);
-        let content = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("{file} missing: {e}"));
+        let content =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{file} missing: {e}"));
         assert!(content.lines().count() > 1, "{file} has no data rows");
     }
     let _ = std::fs::remove_dir_all(dir);

@@ -9,141 +9,181 @@ use aegis_pcm::bitblock::BitBlock;
 use aegis_pcm::codec::StuckAtCodec;
 use aegis_pcm::pcm::policy::RecoveryPolicy;
 use aegis_pcm::pcm::{Fault, PcmBlock};
-use proptest::prelude::*;
+use sim_rng::prop::{shrink, Runner};
+use sim_rng::{prop_assert, prop_assert_eq, Rng, SeedableRng, SmallRng};
 
-/// A random valid rectangle: prime B in [5, 61], A in [2, B], bits filling
-/// most of it.
-fn rectangle() -> impl Strategy<Value = Rectangle> {
-    (5usize..62, 2usize..62, 1usize..30).prop_filter_map(
-        "constructible rectangle",
-        |(b_seed, a_seed, slack)| {
-            let b = next_prime_at_least(b_seed);
-            let a = 2 + a_seed % (b - 1);
-            let bits = (a * b).saturating_sub(slack % (a * b / 2 + 1)).max(a + 1);
-            Rectangle::new(a, b, bits).ok()
-        },
-    )
+/// Generator: a random valid rectangle — prime B in [5, 61], A in [2, B],
+/// bits filling most of it — retrying draws the constructor rejects
+/// (mirrors the old `prop_filter_map`).
+fn rectangle(rng: &mut SmallRng) -> Rectangle {
+    loop {
+        let b = next_prime_at_least(rng.random_range(5..62usize));
+        let a = 2 + rng.random_range(2..62usize) % (b - 1);
+        let slack = rng.random_range(1..30usize);
+        let bits = (a * b).saturating_sub(slack % (a * b / 2 + 1)).max(a + 1);
+        if let Ok(rect) = Rectangle::new(a, b, bits) {
+            return rect;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Generator: a rectangle plus a data/fault seed for the tests that also
+/// draw random offsets and words.
+fn rectangle_and_seed(rng: &mut SmallRng) -> (Rectangle, u64) {
+    (rectangle(rng), rng.random())
+}
 
-    /// Theorem 1: under every slope, every bit belongs to exactly one
-    /// group, and `group_of` agrees with `group_members`.
-    #[test]
-    fn theorem1_partition_is_total_and_disjoint(rect in rectangle()) {
-        for slope in 0..rect.slopes() {
-            let mut seen = vec![false; rect.bits()];
-            for group in 0..rect.groups() {
-                for offset in rect.group_members(slope, group) {
-                    prop_assert!(!seen[offset]);
-                    seen[offset] = true;
-                    prop_assert_eq!(rect.group_of(offset, slope), group);
+/// Theorem 1: under every slope, every bit belongs to exactly one
+/// group, and `group_of` agrees with `group_members`.
+#[test]
+fn theorem1_partition_is_total_and_disjoint() {
+    Runner::new("theorem1_partition_is_total_and_disjoint")
+        .cases(64)
+        .run(rectangle, shrink::none, |rect| {
+            for slope in 0..rect.slopes() {
+                let mut seen = vec![false; rect.bits()];
+                for group in 0..rect.groups() {
+                    for offset in rect.group_members(slope, group) {
+                        prop_assert!(!seen[offset]);
+                        seen[offset] = true;
+                        prop_assert_eq!(rect.group_of(offset, slope), group);
+                    }
+                }
+                prop_assert!(seen.into_iter().all(|s| s));
+            }
+            Ok(())
+        });
+}
+
+/// Theorem 2: any two bits share a group under at most one slope, and
+/// `collision_slope` names exactly that slope.
+#[test]
+fn theorem2_at_most_one_shared_slope() {
+    Runner::new("theorem2_at_most_one_shared_slope")
+        .cases(64)
+        .run(rectangle_and_seed, shrink::none, |(rect, seed)| {
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            for _ in 0..64 {
+                let o1 = rng.random_range(0..rect.bits());
+                let o2 = rng.random_range(0..rect.bits());
+                if o1 == o2 {
+                    continue;
+                }
+                let shared: Vec<usize> = (0..rect.slopes())
+                    .filter(|&k| rect.group_of(o1, k) == rect.group_of(o2, k))
+                    .collect();
+                prop_assert!(shared.len() <= 1);
+                prop_assert_eq!(rect.collision_slope(o1, o2), shared.first().copied());
+            }
+            Ok(())
+        });
+}
+
+/// §2.2: with `f ≤ hard FTC` faults, at most `C(f,2)` slopes can be
+/// poisoned, so a collision-free configuration always exists and the
+/// codec must accept *any* data word.
+#[test]
+fn hard_ftc_writes_never_fail() {
+    Runner::new("hard_ftc_writes_never_fail").cases(64).run(
+        rectangle_and_seed,
+        shrink::none,
+        |(rect, seed)| {
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            let f = rect.hard_ftc().min(rect.bits() / 2);
+            let mut block = PcmBlock::pristine(rect.bits());
+            let mut placed = Vec::new();
+            while placed.len() < f {
+                let o = rng.random_range(0..rect.bits());
+                if !placed.contains(&o) {
+                    placed.push(o);
+                    block.force_stuck(o, rng.random());
                 }
             }
-            prop_assert!(seen.into_iter().all(|s| s));
-        }
-    }
+            let mut codec = AegisCodec::new(rect.clone());
+            for _ in 0..4 {
+                let data = BitBlock::random(&mut rng, rect.bits());
+                let report = codec.write(&mut block, &data);
+                prop_assert!(
+                    report.is_ok(),
+                    "hard FTC violated: {f} faults on {}",
+                    rect.formation()
+                );
+                prop_assert_eq!(codec.read(&block), data);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Theorem 2: any two bits share a group under at most one slope, and
-    /// `collision_slope` names exactly that slope.
-    #[test]
-    fn theorem2_at_most_one_shared_slope(rect in rectangle(), seed in any::<u64>()) {
-        use rand::{rngs::SmallRng, SeedableRng, RngExt};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        for _ in 0..64 {
-            let o1 = rng.random_range(0..rect.bits());
-            let o2 = rng.random_range(0..rect.bits());
-            if o1 == o2 {
-                continue;
-            }
-            let shared: Vec<usize> = (0..rect.slopes())
-                .filter(|&k| rect.group_of(o1, k) == rect.group_of(o2, k))
-                .collect();
-            prop_assert!(shared.len() <= 1);
-            prop_assert_eq!(rect.collision_slope(o1, o2), shared.first().copied());
-        }
-    }
-
-    /// §2.2: with `f ≤ hard FTC` faults, at most `C(f,2)` slopes can be
-    /// poisoned, so a collision-free configuration always exists and the
-    /// codec must accept *any* data word.
-    #[test]
-    fn hard_ftc_writes_never_fail(rect in rectangle(), seed in any::<u64>()) {
-        use rand::{rngs::SmallRng, SeedableRng, RngExt};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let f = rect.hard_ftc().min(rect.bits() / 2);
-        let mut block = PcmBlock::pristine(rect.bits());
-        let mut placed = Vec::new();
-        while placed.len() < f {
-            let o = rng.random_range(0..rect.bits());
-            if !placed.contains(&o) {
-                placed.push(o);
-                block.force_stuck(o, rng.random());
-            }
-        }
-        let mut codec = AegisCodec::new(rect.clone());
-        for _ in 0..4 {
-            let data = BitBlock::random(&mut rng, rect.bits());
-            let report = codec.write(&mut block, &data);
-            prop_assert!(report.is_ok(), "hard FTC violated: {f} faults on {}", rect.formation());
-            prop_assert_eq!(codec.read(&block), data);
-        }
-    }
-
-    /// §2.4: Aegis-rw needs at most `f_W·f_R + 1` candidate slopes, so any
-    /// split with `f_W·f_R < B` is recoverable.
-    #[test]
-    fn rw_slope_budget_guarantee(rect in rectangle(), seed in any::<u64>()) {
-        use rand::{rngs::SmallRng, SeedableRng, RngExt};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let policy = AegisRwPolicy::new(rect.clone());
-        // Pick f_W and f_R with product < B.
-        let fw = 1 + rng.random_range(0..3usize);
-        let max_fr = (rect.b() - 1) / fw;
-        let fr = 1 + rng.random_range(0..max_fr.min(4));
-        let total = (fw + fr).min(rect.bits());
-        let mut offsets = Vec::new();
-        while offsets.len() < total {
-            let o = rng.random_range(0..rect.bits());
-            if !offsets.contains(&o) {
-                offsets.push(o);
-            }
-        }
-        let faults: Vec<Fault> = offsets.iter().map(|&o| Fault::new(o, false)).collect();
-        let wrong: Vec<bool> = (0..total).map(|i| i < fw.min(total)).collect();
-        prop_assert!(
-            policy.recoverable(&faults, &wrong),
-            "fw={fw} fr={fr} must be within {}'s rw budget",
-            rect.formation()
-        );
-    }
-
-    /// The ROM structures are pure tabulations of the geometry.
-    #[test]
-    fn roms_agree_with_geometry(rect in rectangle()) {
-        let group_rom = GroupRom::new(&rect);
-        let inv_rom = InversionRom::new(&rect);
-        let coll_rom = CollisionRom::new(&rect);
-        for slope in 0..rect.slopes() {
-            for offset in (0..rect.bits()).step_by(7) {
-                prop_assert_eq!(group_rom.group_of(offset, slope), rect.group_of(offset, slope));
-            }
-            // Masks must partition the block.
-            let mut union = BitBlock::zeros(rect.bits());
-            for group in 0..rect.groups() {
-                union |= inv_rom.group_mask(slope, group);
-            }
-            prop_assert_eq!(union.count_ones(), rect.bits());
-        }
-        for o1 in (0..rect.bits()).step_by(5) {
-            for o2 in (1..rect.bits()).step_by(11) {
-                if o1 != o2 {
-                    prop_assert_eq!(coll_rom.collision_slope(o1, o2), rect.collision_slope(o1, o2));
+/// §2.4: Aegis-rw needs at most `f_W·f_R + 1` candidate slopes, so any
+/// split with `f_W·f_R < B` is recoverable.
+#[test]
+fn rw_slope_budget_guarantee() {
+    Runner::new("rw_slope_budget_guarantee").cases(64).run(
+        rectangle_and_seed,
+        shrink::none,
+        |(rect, seed)| {
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            let policy = AegisRwPolicy::new(rect.clone());
+            // Pick f_W and f_R with product < B.
+            let fw = 1 + rng.random_range(0..3usize);
+            let max_fr = (rect.b() - 1) / fw;
+            let fr = 1 + rng.random_range(0..max_fr.min(4));
+            let total = (fw + fr).min(rect.bits());
+            let mut offsets = Vec::new();
+            while offsets.len() < total {
+                let o = rng.random_range(0..rect.bits());
+                if !offsets.contains(&o) {
+                    offsets.push(o);
                 }
             }
-        }
-    }
+            let faults: Vec<Fault> = offsets.iter().map(|&o| Fault::new(o, false)).collect();
+            let wrong: Vec<bool> = (0..total).map(|i| i < fw.min(total)).collect();
+            prop_assert!(
+                policy.recoverable(&faults, &wrong),
+                "fw={fw} fr={fr} must be within {}'s rw budget",
+                rect.formation()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The ROM structures are pure tabulations of the geometry.
+#[test]
+fn roms_agree_with_geometry() {
+    Runner::new("roms_agree_with_geometry")
+        .cases(64)
+        .run(rectangle, shrink::none, |rect| {
+            let group_rom = GroupRom::new(rect);
+            let inv_rom = InversionRom::new(rect);
+            let coll_rom = CollisionRom::new(rect);
+            for slope in 0..rect.slopes() {
+                for offset in (0..rect.bits()).step_by(7) {
+                    prop_assert_eq!(
+                        group_rom.group_of(offset, slope),
+                        rect.group_of(offset, slope)
+                    );
+                }
+                // Masks must partition the block.
+                let mut union = BitBlock::zeros(rect.bits());
+                for group in 0..rect.groups() {
+                    union |= inv_rom.group_mask(slope, group);
+                }
+                prop_assert_eq!(union.count_ones(), rect.bits());
+            }
+            for o1 in (0..rect.bits()).step_by(5) {
+                for o2 in (1..rect.bits()).step_by(11) {
+                    if o1 != o2 {
+                        prop_assert_eq!(
+                            coll_rom.collision_slope(o1, o2),
+                            rect.collision_slope(o1, o2)
+                        );
+                    }
+                }
+            }
+            Ok(())
+        });
 }
 
 #[test]
