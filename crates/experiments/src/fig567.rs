@@ -3,7 +3,7 @@
 //! three, for both block sizes.
 
 use crate::csvout::{self, fmt_f64};
-use crate::runner::{summarize_schemes, RunOptions, SchemeSummary};
+use crate::runner::{summarize_schemes_with, RunObserver, RunOptions, SchemeSummary};
 use crate::schemes;
 use std::io;
 use std::path::Path;
@@ -18,12 +18,18 @@ pub struct Fig567 {
 /// Runs the Figure 5/6/7 scheme sets over simulated chips.
 #[must_use]
 pub fn run(opts: &RunOptions) -> Fig567 {
+    run_with(opts, &RunObserver::default())
+}
+
+/// [`run`] with telemetry/progress observation.
+#[must_use]
+pub fn run_with(opts: &RunOptions, observer: &RunObserver<'_>) -> Fig567 {
     let by_block = [256usize, 512]
         .into_iter()
         .map(|bits| {
             (
                 bits,
-                summarize_schemes(&schemes::fig5_schemes(bits), bits, opts),
+                summarize_schemes_with(&schemes::fig5_schemes(bits), bits, opts, observer),
             )
         })
         .collect();

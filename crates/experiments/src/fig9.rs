@@ -2,7 +2,7 @@
 //! half-lifetime metric.
 
 use crate::csvout;
-use crate::runner::{run_chip, RunOptions};
+use crate::runner::{run_chip_with, RunObserver, RunOptions};
 use crate::schemes;
 use pcm_sim::montecarlo::{half_lifetime, survival_curve};
 use std::io;
@@ -23,12 +23,18 @@ pub struct SchemeSurvival {
 /// plus the unprotected baseline).
 #[must_use]
 pub fn run(opts: &RunOptions) -> Vec<SchemeSurvival> {
+    run_with(opts, &RunObserver::default())
+}
+
+/// [`run`] with telemetry/progress observation.
+#[must_use]
+pub fn run_with(opts: &RunOptions, observer: &RunObserver<'_>) -> Vec<SchemeSurvival> {
     let mut policies = schemes::fig8_schemes();
     policies.push(schemes::unprotected(512));
     policies
         .iter()
         .map(|policy| {
-            let run = run_chip(policy, 512, opts);
+            let run = run_chip_with(policy, 512, opts, observer);
             SchemeSurvival {
                 name: policy.name(),
                 curve: survival_curve(&run.page_lifetimes),

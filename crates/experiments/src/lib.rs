@@ -38,6 +38,7 @@ pub mod payg_check;
 pub mod runner;
 pub mod schemes;
 pub mod table1;
+pub mod telemetry;
 pub mod variants;
 pub mod wearlevel_check;
 pub mod writecost;

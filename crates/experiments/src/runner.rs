@@ -2,7 +2,8 @@
 //! summarize the metrics the figures report.
 
 use crate::schemes::Policy;
-use pcm_sim::montecarlo::{self, FailureCriterion, MemoryRun, SimConfig};
+use pcm_sim::montecarlo::{self, FailureCriterion, McTelemetry, MemoryRun, RunHooks, SimConfig};
+use sim_telemetry::Registry;
 
 /// Knobs shared by every experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +104,32 @@ impl SchemeSummary {
     }
 }
 
+/// Per-scheme progress callback: `(scheme_name, pages_done, pages_total)`.
+/// Called from simulation worker threads.
+pub type SchemeProgressFn<'a> = dyn Fn(&str, usize, usize) + Sync + 'a;
+
+/// Observation hooks threaded through every experiment module. The default
+/// observes nothing; `run_*_with` entry points accept one of these so the
+/// CLI's `--telemetry`/`--progress` flags reach the Monte Carlo engine.
+#[derive(Default, Clone, Copy)]
+pub struct RunObserver<'a> {
+    /// Registry receiving `mc.<scheme>.*` (and codec-probe) metrics.
+    pub registry: Option<&'a Registry>,
+    /// Per-scheme page-completion callback.
+    pub progress: Option<&'a SchemeProgressFn<'a>>,
+}
+
+impl<'a> RunObserver<'a> {
+    /// An observer feeding `registry` with no progress reporting.
+    #[must_use]
+    pub fn with_registry(registry: &'a Registry) -> Self {
+        Self {
+            registry: Some(registry),
+            progress: None,
+        }
+    }
+}
+
 /// Runs every policy over the same simulated chip (identical timelines) and
 /// summarizes each.
 #[must_use]
@@ -111,20 +138,70 @@ pub fn summarize_schemes(
     block_bits: usize,
     opts: &RunOptions,
 ) -> Vec<SchemeSummary> {
+    summarize_schemes_with(policies, block_bits, opts, &RunObserver::default())
+}
+
+/// [`summarize_schemes`] with telemetry/progress observation.
+#[must_use]
+pub fn summarize_schemes_with(
+    policies: &[Policy],
+    block_bits: usize,
+    opts: &RunOptions,
+    observer: &RunObserver<'_>,
+) -> Vec<SchemeSummary> {
     let cfg = opts.sim_config(block_bits);
     policies
         .iter()
         .map(|policy| {
-            let run = montecarlo::run_memory(policy.as_ref(), &cfg);
+            let run = run_observed(policy.as_ref(), &cfg, observer);
             SchemeSummary::from_run(policy.as_ref(), &run)
         })
         .collect()
 }
 
+fn run_observed(
+    policy: &dyn pcm_sim::policy::RecoveryPolicy,
+    cfg: &SimConfig,
+    observer: &RunObserver<'_>,
+) -> MemoryRun {
+    let name = policy.name();
+    let telemetry = observer
+        .registry
+        .map(|registry| McTelemetry::for_scheme(registry, &name));
+    match observer.progress {
+        Some(report) => {
+            let forward = |done: usize, total: usize| report(&name, done, total);
+            let hooks = RunHooks {
+                telemetry,
+                progress: Some(&forward),
+            };
+            montecarlo::run_memory_with(policy, cfg, &hooks)
+        }
+        None => {
+            let hooks = RunHooks {
+                telemetry,
+                progress: None,
+            };
+            montecarlo::run_memory_with(policy, cfg, &hooks)
+        }
+    }
+}
+
 /// Runs one policy and returns the raw chip run (for survival curves).
 #[must_use]
 pub fn run_chip(policy: &Policy, block_bits: usize, opts: &RunOptions) -> MemoryRun {
-    montecarlo::run_memory(policy.as_ref(), &opts.sim_config(block_bits))
+    run_chip_with(policy, block_bits, opts, &RunObserver::default())
+}
+
+/// [`run_chip`] with telemetry/progress observation.
+#[must_use]
+pub fn run_chip_with(
+    policy: &Policy,
+    block_bits: usize,
+    opts: &RunOptions,
+    observer: &RunObserver<'_>,
+) -> MemoryRun {
+    run_observed(policy.as_ref(), &opts.sim_config(block_bits), observer)
 }
 
 #[cfg(test)]

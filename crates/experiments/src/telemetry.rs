@@ -1,0 +1,228 @@
+//! Run-level telemetry plumbing for the CLI: run-id defaults, the
+//! codec-probe phase, and the `telemetry-report` renderer.
+//!
+//! The figure experiments evaluate *analytic* recovery policies, which
+//! never issue physical writes — so when telemetry is enabled we also run
+//! a small codec probe (the [`crate::writecost`] sweep at reduced scale)
+//! through the shared `WriteTelemetry` path. That is what populates the
+//! `codec.<scheme>.*` counters (verify reads, re-partitions, inversion
+//! writes) alongside the Monte Carlo engine's `mc.<scheme>.*` metrics.
+
+use sim_telemetry::{split_metric, Event, Registry, RunManifest};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The telemetry directory under an experiment output directory.
+#[must_use]
+pub fn dir(out_dir: &Path) -> PathBuf {
+    out_dir.join("telemetry")
+}
+
+/// Default run id when `--run-id` is not given: `<command>-s<seed>`.
+#[must_use]
+pub fn default_run_id(command: &str, seed: u64) -> String {
+    format!("{command}-s{seed}")
+}
+
+/// Trials/writes used by the codec probe; small enough to be invisible in
+/// wall-clock but large enough that every scheme's counters are non-zero.
+pub const PROBE_TRIALS: usize = 3;
+/// Writes per probe trial.
+pub const PROBE_WRITES: usize = 4;
+
+/// Runs the functional codecs at reduced scale through the shared
+/// `WriteTelemetry` path, folding `codec.<scheme>.*` totals into
+/// `registry`.
+pub fn codec_probe(registry: &Registry, seed: u64) {
+    let _ = crate::writecost::run_with(PROBE_TRIALS, PROBE_WRITES, seed, Some(registry));
+}
+
+fn read_run(run_id: &str, telemetry_dir: &Path) -> io::Result<(RunManifest, Vec<Event>)> {
+    let manifest_path = telemetry_dir.join(format!("{run_id}.manifest.json"));
+    let manifest = RunManifest::parse(&fs::read_to_string(&manifest_path)?)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let stream_path = telemetry_dir.join(format!("{run_id}.jsonl"));
+    let events = Event::parse_stream(&fs::read_to_string(&stream_path)?)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((manifest, events))
+}
+
+fn fmt_duration(nanos: u64) -> String {
+    let ms = nanos as f64 / 1e6;
+    if ms >= 1000.0 {
+        format!("{:.2} s", ms / 1000.0)
+    } else {
+        format!("{ms:.2} ms")
+    }
+}
+
+/// Pretty-prints a finished run: manifest header, phase timings, counters
+/// grouped `layer → scheme → metric`, and histogram summaries.
+///
+/// # Errors
+///
+/// Fails when the run's manifest or event stream is missing or malformed.
+pub fn report(run_id: &str, telemetry_dir: &Path) -> io::Result<String> {
+    let (manifest, events) = read_run(run_id, telemetry_dir)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "Telemetry report: run '{}'", manifest.run_id);
+    let _ = writeln!(
+        out,
+        "  git {}, created {} (unix ms), {} events",
+        manifest.git, manifest.created_unix_ms, manifest.events
+    );
+    if !manifest.options.is_empty() {
+        let opts: Vec<String> = manifest
+            .options
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let _ = writeln!(out, "  options: {}", opts.join(" "));
+    }
+
+    let _ = writeln!(out, "\nPhase timings:");
+    if manifest.phases.is_empty() {
+        let _ = writeln!(out, "  (none recorded)");
+    }
+    for (name, nanos) in &manifest.phases {
+        let _ = writeln!(out, "  {name:<28} {:>12}", fmt_duration(*nanos));
+    }
+
+    // layer → scheme → (metric, value), preserving sorted stream order.
+    type SchemeGroup = (String, String, Vec<(String, u64)>);
+    let mut groups: Vec<SchemeGroup> = Vec::new();
+    for event in &events {
+        if let Event::Counter { name, value } = event {
+            let (layer, scheme, metric) = match split_metric(name) {
+                Some(parts) => parts,
+                None => (name.as_str(), "", ""),
+            };
+            match groups
+                .iter_mut()
+                .find(|(l, s, _)| l == layer && s == scheme)
+            {
+                Some((_, _, metrics)) => metrics.push((metric.to_owned(), *value)),
+                None => groups.push((
+                    layer.to_owned(),
+                    scheme.to_owned(),
+                    vec![(metric.to_owned(), *value)],
+                )),
+            }
+        }
+    }
+    let _ = writeln!(out, "\nCounters (layer.scheme.metric):");
+    if groups.is_empty() {
+        let _ = writeln!(out, "  (none recorded)");
+    }
+    let mut last_layer = String::new();
+    for (layer, scheme, metrics) in &groups {
+        if *layer != last_layer {
+            let _ = writeln!(out, "  [{layer}]");
+            last_layer.clone_from(layer);
+        }
+        let cells: Vec<String> = metrics
+            .iter()
+            .map(|(metric, value)| format!("{metric}={value}"))
+            .collect();
+        let _ = writeln!(out, "    {scheme:<20} {}", cells.join(" "));
+    }
+
+    let histograms: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Histogram {
+                name,
+                count,
+                sum,
+                buckets,
+            } => Some((name, count, sum, buckets)),
+            _ => None,
+        })
+        .collect();
+    let _ = writeln!(out, "\nHistograms (log2 buckets):");
+    if histograms.is_empty() {
+        let _ = writeln!(out, "  (none recorded)");
+    }
+    for (name, count, sum, buckets) in histograms {
+        let mean = if *count == 0 {
+            0.0
+        } else {
+            *sum as f64 / *count as f64
+        };
+        let max_bucket = buckets.iter().map(|&(i, _)| i).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {name:<40} n={count} mean={mean:.2} max_bucket=2^{max_bucket}"
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_telemetry::RunTelemetry;
+
+    #[test]
+    fn probe_populates_every_codec_scheme() {
+        let registry = Registry::new();
+        codec_probe(&registry, 11);
+        let counters = registry.counters();
+        for scheme in ["Aegis 9x61", "Aegis-rw 9x61", "ECP6", "RDIS-3"] {
+            assert!(
+                counters
+                    .iter()
+                    .any(|(name, v)| name == &format!("codec.{scheme}.verify_reads") && *v > 0),
+                "probe left codec.{scheme}.verify_reads empty"
+            );
+        }
+        assert!(counters
+            .iter()
+            .any(|(name, _)| name == "codec.Aegis 9x61.repartitions"));
+    }
+
+    #[test]
+    fn report_round_trips_a_finished_run() {
+        let dir = std::env::temp_dir().join(format!(
+            "aegis-telemetry-report-test-{}",
+            std::process::id()
+        ));
+        let run = RunTelemetry::create("unit-report", &dir).unwrap();
+        run.set_meta("seed", "42");
+        run.registry().counter("mc.Aegis 9x61.pages").add(4);
+        run.registry()
+            .counter("codec.Aegis 9x61.verify_reads")
+            .add(17);
+        run.registry()
+            .counter("codec.Aegis 9x61.repartitions")
+            .add(3);
+        run.registry()
+            .histogram("codec.Aegis 9x61.slope_trials")
+            .record(2);
+        {
+            let _span = run.span("unit.phase").unwrap();
+        }
+        run.finish().unwrap();
+
+        let text = report("unit-report", &dir).unwrap();
+        assert!(text.contains("run 'unit-report'"));
+        assert!(text.contains("unit.phase"));
+        assert!(text.contains("verify_reads=17"));
+        assert!(text.contains("repartitions=3"));
+        assert!(text.contains("seed=42"));
+        assert!(text.contains("slope_trials"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_fails_cleanly_when_run_is_missing() {
+        assert!(report("no-such-run", Path::new("/nonexistent-dir")).is_err());
+    }
+
+    #[test]
+    fn run_id_default_includes_command_and_seed() {
+        assert_eq!(default_run_id("fig5", 42), "fig5-s42");
+    }
+}

@@ -3,7 +3,7 @@
 //! figures.
 
 use crate::csvout::{self, fmt_f64};
-use crate::runner::{summarize_schemes, RunOptions, SchemeSummary};
+use crate::runner::{summarize_schemes_with, RunObserver, RunOptions, SchemeSummary};
 use crate::schemes;
 use std::io;
 use std::path::Path;
@@ -18,8 +18,14 @@ pub struct Variants {
 /// Runs the Figure 11/12/13 scheme set.
 #[must_use]
 pub fn run(opts: &RunOptions) -> Variants {
+    run_with(opts, &RunObserver::default())
+}
+
+/// [`run`] with telemetry/progress observation.
+#[must_use]
+pub fn run_with(opts: &RunOptions, observer: &RunObserver<'_>) -> Variants {
     Variants {
-        summaries: summarize_schemes(&schemes::variant_schemes(), 512, opts),
+        summaries: summarize_schemes_with(&schemes::variant_schemes(), 512, opts, observer),
     }
 }
 

@@ -13,10 +13,11 @@ use crate::csvout::{self, fmt_f64};
 use aegis_baselines::{EcpCodec, HammingCodec, PartitionSearch, RdisCodec, SaferCodec};
 use aegis_core::{AegisCodec, AegisRwCodec, AegisRwPCodec, Rectangle};
 use bitblock::BitBlock;
-use pcm_sim::codec::{StuckAtCodec, WriteReport};
+use pcm_sim::codec::{Instrumented, StuckAtCodec};
 use pcm_sim::PcmBlock;
 use sim_rng::SmallRng;
 use sim_rng::{Rng, SeedableRng};
+use sim_telemetry::Registry;
 use std::io;
 use std::path::Path;
 
@@ -54,17 +55,30 @@ fn codecs() -> Vec<Box<dyn StuckAtCodec>> {
 /// placements each, `writes_per_trial` random data words per placement.
 #[must_use]
 pub fn run(trials: usize, writes_per_trial: usize, seed: u64) -> Vec<WriteCostPoint> {
+    run_with(trials, writes_per_trial, seed, None)
+}
+
+/// [`run`], optionally folding every cell's counters into `shared`
+/// (run-level telemetry). Each (scheme, fault count) cell accumulates
+/// into its own local [`Registry`] through the shared `WriteTelemetry`
+/// codec path; the returned averages are snapshots of those counters.
+#[must_use]
+pub fn run_with(
+    trials: usize,
+    writes_per_trial: usize,
+    seed: u64,
+    shared: Option<&Registry>,
+) -> Vec<WriteCostPoint> {
     let mut out = Vec::new();
     for fault_count in (0..=24).step_by(4) {
         for make in 0..codecs().len() {
-            let mut attempted = 0u64;
-            let mut succeeded = 0u64;
-            let mut totals = WriteReport::default();
+            let local = Registry::new();
+            let scheme = codecs()[make].name();
             for trial in 0..trials {
                 let mut rng = SmallRng::seed_from_u64(
                     seed ^ (trial as u64) << 32 ^ (fault_count as u64) << 8,
                 );
-                let mut codec = codecs().swap_remove(make);
+                let mut codec = Instrumented::new(codecs().swap_remove(make), &local);
                 let mut block = PcmBlock::pristine(512);
                 let mut placed = 0;
                 while placed < fault_count {
@@ -76,22 +90,31 @@ pub fn run(trials: usize, writes_per_trial: usize, seed: u64) -> Vec<WriteCostPo
                 }
                 for _ in 0..writes_per_trial {
                     let data = BitBlock::random(&mut rng, 512);
-                    attempted += 1;
-                    if let Ok(report) = codec.write(&mut block, &data) {
-                        succeeded += 1;
-                        totals.absorb(report);
-                    }
+                    let _ = codec.write(&mut block, &data);
                 }
             }
+            let counter = |metric: &str| {
+                local
+                    .counter(&sim_telemetry::metric_name("codec", &scheme, metric))
+                    .get()
+            };
+            let attempted = counter("writes");
+            let succeeded = attempted - counter("write_errors");
             let denom = succeeded.max(1) as f64;
+            let pulses = counter("cell_pulses");
+            let verifies = counter("verify_reads");
+            let inversions = counter("inversion_writes");
             out.push(WriteCostPoint {
-                scheme: codecs()[make].name(),
+                scheme,
                 faults: fault_count,
-                success_rate: succeeded as f64 / attempted as f64,
-                pulses_per_write: totals.cell_pulses as f64 / denom,
-                verifies_per_write: totals.verify_reads as f64 / denom,
-                inversions_per_write: totals.inversion_writes as f64 / denom,
+                success_rate: succeeded as f64 / attempted.max(1) as f64,
+                pulses_per_write: pulses as f64 / denom,
+                verifies_per_write: verifies as f64 / denom,
+                inversions_per_write: inversions as f64 / denom,
             });
+            if let Some(shared) = shared {
+                shared.absorb(&local);
+            }
         }
     }
     out

@@ -19,9 +19,10 @@ fn no_arguments_prints_usage_and_fails() {
 #[test]
 fn unknown_command_is_rejected() {
     let output = experiments().arg("fig99").output().expect("binary runs");
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2), "usage errors must exit 2");
     let stderr = String::from_utf8_lossy(&output.stderr);
-    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("unknown command 'fig99'"), "{stderr}");
+    assert!(stderr.contains("Usage:"), "{stderr}");
 }
 
 #[test]
@@ -30,8 +31,51 @@ fn bad_option_value_is_rejected() {
         .args(["table1", "--pages", "many"])
         .output()
         .expect("binary runs");
-    assert!(!output.status.success());
-    assert!(String::from_utf8_lossy(&output.stderr).contains("--pages"));
+    assert_eq!(output.status.code(), Some(2), "usage errors must exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    // The offending token is echoed, not just the parse error.
+    assert!(stderr.contains("--pages: invalid value 'many'"), "{stderr}");
+    assert!(stderr.contains("Usage:"), "{stderr}");
+}
+
+#[test]
+fn bad_samples_value_is_rejected_with_the_offending_token() {
+    let output = experiments()
+        .args(["fig5", "--samples", "-3"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--samples: invalid value '-3'"), "{stderr}");
+}
+
+#[test]
+fn unknown_option_is_rejected() {
+    let output = experiments()
+        .args(["fig5", "--verbose"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown option '--verbose'"));
+}
+
+#[test]
+fn quiet_suppresses_status_output_but_not_reports() {
+    let dir = std::env::temp_dir().join("aegis-cli-quiet");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = experiments()
+        .args(["table1", "--quiet", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(0));
+    assert!(
+        output.stderr.is_empty(),
+        "--quiet must silence stderr, got: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(String::from_utf8_lossy(&output.stdout).contains("ECP"));
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 #[test]
@@ -80,6 +124,115 @@ fn fig5_scaled_run_is_deterministic_across_invocations() {
     let b = std::fs::read_to_string(dir_b.join("fig5.csv")).unwrap();
     assert_eq!(a, b, "same seed must give identical CSV");
     assert!(a.contains("Aegis 9x61"));
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+}
+
+#[test]
+fn telemetry_run_emits_stream_manifest_and_report() {
+    let dir = std::env::temp_dir().join("aegis-cli-telemetry");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = experiments()
+        .args([
+            "fig5",
+            "--pages",
+            "2",
+            "--seed",
+            "9",
+            "--telemetry",
+            "--run-id",
+            "cli-smoke",
+            "--quiet",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let tel = dir.join("telemetry");
+    let stream = std::fs::read_to_string(tel.join("cli-smoke.jsonl")).expect("jsonl written");
+    let events = sim_telemetry::Event::parse_stream(&stream).expect("stream parses");
+    assert!(matches!(
+        &events[0],
+        sim_telemetry::Event::RunStart { run_id } if run_id == "cli-smoke"
+    ));
+    let manifest_text =
+        std::fs::read_to_string(tel.join("cli-smoke.manifest.json")).expect("manifest written");
+    let manifest = sim_telemetry::RunManifest::parse(&manifest_text).expect("manifest parses");
+    assert_eq!(manifest.run_id, "cli-smoke");
+    assert_eq!(manifest.options.get("seed").map(String::as_str), Some("9"));
+    assert!(manifest
+        .phases
+        .iter()
+        .any(|(n, _)| n == "fig567.montecarlo"));
+
+    let report = experiments()
+        .args(["telemetry-report", "cli-smoke", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        report.status.success(),
+        "{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    assert!(stdout.contains("verify_reads"), "{stdout}");
+    assert!(stdout.contains("fig567.montecarlo"), "{stdout}");
+    assert!(stdout.contains("Aegis 9x61"), "{stdout}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn telemetry_report_for_a_missing_run_fails_cleanly() {
+    let dir = std::env::temp_dir().join("aegis-cli-telemetry-missing");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = experiments()
+        .args(["telemetry-report", "no-such-run", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1), "I/O failures must exit 1");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("telemetry-report"));
+
+    let noid = experiments()
+        .arg("telemetry-report")
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        noid.status.code(),
+        Some(2),
+        "missing RUN_ID is a usage error"
+    );
+}
+
+#[test]
+fn telemetry_streams_are_byte_identical_across_processes() {
+    let dir_a = std::env::temp_dir().join("aegis-cli-telemetry-a");
+    let dir_b = std::env::temp_dir().join("aegis-cli-telemetry-b");
+    for dir in [&dir_a, &dir_b] {
+        let _ = std::fs::remove_dir_all(dir);
+        let output = experiments()
+            .args([
+                "fig5", "--pages", "2", "--seed", "9", "--run-id", "rep", "--quiet", "--out",
+            ])
+            .arg(dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    let a = std::fs::read(dir_a.join("telemetry/rep.jsonl")).unwrap();
+    let b = std::fs::read(dir_b.join("telemetry/rep.jsonl")).unwrap();
+    assert_eq!(a, b, "same seed must serialize an identical event stream");
     let _ = std::fs::remove_dir_all(dir_a);
     let _ = std::fs::remove_dir_all(dir_b);
 }

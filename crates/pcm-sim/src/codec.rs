@@ -1,7 +1,10 @@
-//! The interface every stuck-at-fault recovery scheme implements.
+//! The interface every stuck-at-fault recovery scheme implements, plus
+//! the shared [`WriteTelemetry`] path that routes every codec's
+//! [`WriteReport`] counters into a telemetry [`Registry`].
 
 use crate::{PcmBlock, UncorrectableError};
 use bitblock::BitBlock;
+use sim_telemetry::{metric_name, Counter, Histogram, Registry};
 
 /// Statistics of one logical write through a codec.
 ///
@@ -78,6 +81,138 @@ pub trait StuckAtCodec {
     fn name(&self) -> String;
 }
 
+impl<C: StuckAtCodec + ?Sized> StuckAtCodec for Box<C> {
+    fn write(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError> {
+        (**self).write(block, data)
+    }
+
+    fn read(&self, block: &PcmBlock) -> BitBlock {
+        (**self).read(block)
+    }
+
+    fn overhead_bits(&self) -> usize {
+        (**self).overhead_bits()
+    }
+
+    fn block_bits(&self) -> usize {
+        (**self).block_bits()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// The shared telemetry path for codec writes: one set of counter handles
+/// per scheme, fed from [`WriteReport`]s. Every scheme — Aegis, Aegis-rw,
+/// Aegis-rw-p, and the baselines — flows through this instead of keeping
+/// its own ad-hoc tallies.
+///
+/// Metric names are `codec.<scheme>.<metric>`:
+/// `writes`, `write_errors`, `cell_pulses`, `verify_reads`,
+/// `inversion_writes`, `repartitions` (counters) and `slope_trials`
+/// (histogram of partition attempts per write, `repartitions + 1`).
+#[derive(Clone, Default)]
+pub struct WriteTelemetry {
+    writes: Counter,
+    write_errors: Counter,
+    cell_pulses: Counter,
+    verify_reads: Counter,
+    inversion_writes: Counter,
+    repartitions: Counter,
+    slope_trials: Histogram,
+}
+
+impl WriteTelemetry {
+    /// Handles for `scheme` in `registry` (no-ops when it is disabled).
+    #[must_use]
+    pub fn for_scheme(registry: &Registry, scheme: &str) -> WriteTelemetry {
+        let counter = |metric: &str| registry.counter(&metric_name("codec", scheme, metric));
+        WriteTelemetry {
+            writes: counter("writes"),
+            write_errors: counter("write_errors"),
+            cell_pulses: counter("cell_pulses"),
+            verify_reads: counter("verify_reads"),
+            inversion_writes: counter("inversion_writes"),
+            repartitions: counter("repartitions"),
+            slope_trials: registry.histogram(&metric_name("codec", scheme, "slope_trials")),
+        }
+    }
+
+    /// Records the outcome of one logical write.
+    pub fn record(&self, outcome: &Result<WriteReport, UncorrectableError>) {
+        self.writes.incr();
+        match outcome {
+            Ok(report) => {
+                self.cell_pulses.add(report.cell_pulses as u64);
+                self.verify_reads.add(report.verify_reads as u64);
+                self.inversion_writes.add(report.inversion_writes as u64);
+                self.repartitions.add(report.repartitions as u64);
+                self.slope_trials.record(report.repartitions as u64 + 1);
+            }
+            Err(_) => self.write_errors.incr(),
+        }
+    }
+}
+
+/// Wraps any codec so its write outcomes flow into a [`WriteTelemetry`],
+/// without touching the codec's own state or trait surface.
+pub struct Instrumented<C> {
+    inner: C,
+    telemetry: WriteTelemetry,
+}
+
+impl<C: StuckAtCodec> Instrumented<C> {
+    /// Instruments `codec`, registering its metrics under the codec's own
+    /// [`StuckAtCodec::name`].
+    #[must_use]
+    pub fn new(codec: C, registry: &Registry) -> Instrumented<C> {
+        let telemetry = WriteTelemetry::for_scheme(registry, &codec.name());
+        Instrumented {
+            inner: codec,
+            telemetry,
+        }
+    }
+
+    /// The wrapped codec.
+    #[must_use]
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: StuckAtCodec> StuckAtCodec for Instrumented<C> {
+    fn write(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError> {
+        let outcome = self.inner.write(block, data);
+        self.telemetry.record(&outcome);
+        outcome
+    }
+
+    fn read(&self, block: &PcmBlock) -> BitBlock {
+        self.inner.read(block)
+    }
+
+    fn overhead_bits(&self) -> usize {
+        self.inner.overhead_bits()
+    }
+
+    fn block_bits(&self) -> usize {
+        self.inner.block_bits()
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +245,88 @@ mod tests {
     #[test]
     fn codec_trait_is_object_safe() {
         fn _takes_dyn(_: &mut dyn StuckAtCodec) {}
+    }
+
+    /// Fixed-behavior codec: succeeds with a canned report until told to
+    /// fail, so telemetry totals are exactly predictable.
+    struct ScriptedCodec {
+        fail: bool,
+    }
+
+    impl StuckAtCodec for ScriptedCodec {
+        fn write(
+            &mut self,
+            _block: &mut PcmBlock,
+            _data: &BitBlock,
+        ) -> Result<WriteReport, UncorrectableError> {
+            if self.fail {
+                Err(UncorrectableError::new("scripted", 1, "told to fail"))
+            } else {
+                Ok(WriteReport {
+                    cell_pulses: 10,
+                    verify_reads: 2,
+                    inversion_writes: 1,
+                    repartitions: 3,
+                })
+            }
+        }
+        fn read(&self, _block: &PcmBlock) -> BitBlock {
+            BitBlock::zeros(8)
+        }
+        fn overhead_bits(&self) -> usize {
+            0
+        }
+        fn block_bits(&self) -> usize {
+            8
+        }
+        fn name(&self) -> String {
+            "scripted".to_owned()
+        }
+    }
+
+    #[test]
+    fn instrumented_codec_routes_reports_into_registry() {
+        let registry = sim_telemetry::Registry::new();
+        let mut codec = Instrumented::new(ScriptedCodec { fail: false }, &registry);
+        let mut block = PcmBlock::pristine(8);
+        let data = BitBlock::zeros(8);
+        codec.write(&mut block, &data).unwrap();
+        codec.write(&mut block, &data).unwrap();
+        let mut failing = Instrumented::new(ScriptedCodec { fail: true }, &registry);
+        assert!(failing.write(&mut block, &data).is_err());
+
+        let counters: std::collections::BTreeMap<String, u64> =
+            registry.counters().into_iter().collect();
+        assert_eq!(counters["codec.scripted.writes"], 3);
+        assert_eq!(counters["codec.scripted.write_errors"], 1);
+        assert_eq!(counters["codec.scripted.cell_pulses"], 20);
+        assert_eq!(counters["codec.scripted.verify_reads"], 4);
+        assert_eq!(counters["codec.scripted.inversion_writes"], 2);
+        assert_eq!(counters["codec.scripted.repartitions"], 6);
+        // Each successful write tried repartitions + 1 = 4 partitions.
+        let (name, slope) = &registry.histograms()[0];
+        assert_eq!(name, "codec.scripted.slope_trials");
+        assert_eq!(slope.count, 2);
+        assert_eq!(slope.sum, 8);
+    }
+
+    #[test]
+    fn instrumented_with_disabled_registry_is_transparent() {
+        let registry = sim_telemetry::Registry::disabled();
+        let mut codec = Instrumented::new(ScriptedCodec { fail: false }, &registry);
+        let mut block = PcmBlock::pristine(8);
+        let report = codec.write(&mut block, &BitBlock::zeros(8)).unwrap();
+        assert_eq!(report.verify_reads, 2);
+        assert!(registry.counters().is_empty());
+        assert_eq!(codec.name(), "scripted");
+        assert_eq!(codec.into_inner().name(), "scripted");
+    }
+
+    #[test]
+    fn boxed_codecs_still_implement_the_trait() {
+        let mut boxed: Box<dyn StuckAtCodec> = Box::new(ScriptedCodec { fail: false });
+        let mut block = PcmBlock::pristine(8);
+        assert!(boxed.write(&mut block, &BitBlock::zeros(8)).is_ok());
+        assert_eq!(boxed.block_bits(), 8);
     }
 }

@@ -19,6 +19,8 @@ use crate::timeline::{BlockTimeline, PageTimeline, TimelineSampler};
 use crate::{sample_split, Fault};
 use sim_rng::SeedableRng;
 use sim_rng::SmallRng;
+use sim_telemetry::{metric_name, Counter, Histogram, Registry};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// When is a block considered dead? (See DESIGN.md §3.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +46,55 @@ impl Default for FailureCriterion {
     }
 }
 
+/// Progress callback: `(pages_done, pages_total)`. Called from worker
+/// threads, so implementations must be `Sync`; page completion order is
+/// nondeterministic but the final call always reports `(total, total)`.
+pub type ProgressFn<'a> = dyn Fn(usize, usize) + Sync + 'a;
+
+/// Telemetry handles for the Monte Carlo layer, named
+/// `mc.<scheme>.<metric>`. All handles are no-ops when built from a
+/// disabled registry, so the engine's hot path stays unchanged.
+#[derive(Clone, Default)]
+pub struct McTelemetry {
+    pages: Counter,
+    fault_events: Counter,
+    policy_decisions: Counter,
+    block_deaths_split: Counter,
+    block_deaths_guarantee: Counter,
+    blocks_outlived: Counter,
+    page_fault_arrivals: Histogram,
+    page_lifetime_writes: Histogram,
+}
+
+impl McTelemetry {
+    /// Handles for `scheme` in `registry`.
+    #[must_use]
+    pub fn for_scheme(registry: &Registry, scheme: &str) -> McTelemetry {
+        let counter = |metric: &str| registry.counter(&metric_name("mc", scheme, metric));
+        let histogram = |metric: &str| registry.histogram(&metric_name("mc", scheme, metric));
+        McTelemetry {
+            pages: counter("pages"),
+            fault_events: counter("fault_events"),
+            policy_decisions: counter("policy_decisions"),
+            block_deaths_split: counter("block_deaths_split"),
+            block_deaths_guarantee: counter("block_deaths_guarantee"),
+            blocks_outlived: counter("blocks_outlived"),
+            page_fault_arrivals: histogram("page_fault_arrivals"),
+            page_lifetime_writes: histogram("page_lifetime_writes"),
+        }
+    }
+}
+
+/// Optional observation hooks for a chip run; the default observes
+/// nothing and adds no work.
+#[derive(Default)]
+pub struct RunHooks<'a> {
+    /// Metric handles to feed (usually [`McTelemetry::for_scheme`]).
+    pub telemetry: Option<McTelemetry>,
+    /// Called after each page completes.
+    pub progress: Option<&'a ProgressFn<'a>>,
+}
+
 /// Outcome of running one policy over one block timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockOutcome {
@@ -61,30 +112,59 @@ pub fn evaluate_block(
     timeline: &BlockTimeline,
     criterion: FailureCriterion,
 ) -> BlockOutcome {
+    evaluate_block_with(policy, timeline, criterion, None)
+}
+
+/// [`evaluate_block`] with optional telemetry: counts fault events seen,
+/// every policy-predicate invocation, and the block's fate (death under
+/// which criterion, or outliving its timeline).
+pub fn evaluate_block_with(
+    policy: &dyn RecoveryPolicy,
+    timeline: &BlockTimeline,
+    criterion: FailureCriterion,
+    telemetry: Option<&McTelemetry>,
+) -> BlockOutcome {
     let mut faults: Vec<Fault> = Vec::with_capacity(timeline.events.len());
-    for (i, event) in timeline.events.iter().enumerate() {
-        faults.push(event.fault);
-        let survivable = match criterion {
-            FailureCriterion::PerEventSplit { samples } => {
-                let mut rng = SmallRng::seed_from_u64(event.split_seed);
-                (0..samples).all(|_| {
-                    let wrong = sample_split(&mut rng, faults.len());
-                    policy.recoverable(&faults, &wrong)
-                })
-            }
-            FailureCriterion::GuaranteedAllData => policy.guaranteed(&faults),
-        };
-        if !survivable {
-            return BlockOutcome {
-                events_survived: i,
-                death_time: Some(event.time),
+    let mut decisions = 0u64;
+    let outcome = 'outcome: {
+        for (i, event) in timeline.events.iter().enumerate() {
+            faults.push(event.fault);
+            let survivable = match criterion {
+                FailureCriterion::PerEventSplit { samples } => {
+                    let mut rng = SmallRng::seed_from_u64(event.split_seed);
+                    (0..samples).all(|_| {
+                        decisions += 1;
+                        let wrong = sample_split(&mut rng, faults.len());
+                        policy.recoverable(&faults, &wrong)
+                    })
+                }
+                FailureCriterion::GuaranteedAllData => {
+                    decisions += 1;
+                    policy.guaranteed(&faults)
+                }
             };
+            if !survivable {
+                break 'outcome BlockOutcome {
+                    events_survived: i,
+                    death_time: Some(event.time),
+                };
+            }
+        }
+        BlockOutcome {
+            events_survived: timeline.events.len(),
+            death_time: None,
+        }
+    };
+    if let Some(t) = telemetry {
+        t.fault_events.add(faults.len() as u64);
+        t.policy_decisions.add(decisions);
+        match (outcome.death_time, criterion) {
+            (None, _) => t.blocks_outlived.incr(),
+            (Some(_), FailureCriterion::PerEventSplit { .. }) => t.block_deaths_split.incr(),
+            (Some(_), FailureCriterion::GuaranteedAllData) => t.block_deaths_guarantee.incr(),
         }
     }
-    BlockOutcome {
-        events_survived: timeline.events.len(),
-        death_time: None,
-    }
+    outcome
 }
 
 /// Outcome of one policy over one page timeline.
@@ -108,10 +188,22 @@ pub fn evaluate_page(
     page: &PageTimeline,
     criterion: FailureCriterion,
 ) -> PageOutcome {
+    evaluate_page_with(policy, page, criterion, None)
+}
+
+/// [`evaluate_page`] with optional telemetry: additionally records the
+/// page count, the page's total fault arrivals, and its lifetime (in
+/// whole page writes) into the `mc.<scheme>.*` histograms.
+pub fn evaluate_page_with(
+    policy: &dyn RecoveryPolicy,
+    page: &PageTimeline,
+    criterion: FailureCriterion,
+    telemetry: Option<&McTelemetry>,
+) -> PageOutcome {
     let mut death_time = f64::INFINITY;
     let mut capped = false;
     for block in &page.blocks {
-        let outcome = evaluate_block(policy, block, criterion);
+        let outcome = evaluate_block_with(policy, block, criterion, telemetry);
         match outcome.death_time {
             Some(t) => death_time = death_time.min(t),
             None => capped = true,
@@ -131,6 +223,15 @@ pub fn evaluate_page(
         .flat_map(|b| &b.events)
         .filter(|e| e.time < death_time)
         .count();
+    if let Some(t) = telemetry {
+        t.pages.incr();
+        let arrivals = page.blocks.iter().map(|b| b.events.len()).sum::<usize>();
+        t.page_fault_arrivals.record(arrivals as u64);
+        if death_time.is_finite() && death_time >= 0.0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            t.page_lifetime_writes.record(death_time as u64);
+        }
+    }
     PageOutcome {
         death_time,
         faults_recovered,
@@ -242,6 +343,19 @@ impl MemoryRun {
 /// index, so runs with different policies (or thread counts) see identical
 /// randomness.
 pub fn run_memory(policy: &dyn RecoveryPolicy, cfg: &SimConfig) -> MemoryRun {
+    run_memory_with(policy, cfg, &RunHooks::default())
+}
+
+/// [`run_memory`] with observation [`RunHooks`]: telemetry counters flow
+/// into `hooks.telemetry` and `hooks.progress` is called as pages finish.
+///
+/// The hooks never influence the simulation — results are byte-identical
+/// with hooks on or off (telemetry totals are order-independent sums).
+pub fn run_memory_with(
+    policy: &dyn RecoveryPolicy,
+    cfg: &SimConfig,
+    hooks: &RunHooks<'_>,
+) -> MemoryRun {
     assert_eq!(
         policy.block_bits(),
         cfg.block_bits,
@@ -253,6 +367,7 @@ pub fn run_memory(policy: &dyn RecoveryPolicy, cfg: &SimConfig) -> MemoryRun {
     let blocks_per_page = cfg.blocks_per_page();
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let chunk = cfg.pages.div_ceil(threads).max(1);
+    let done = AtomicUsize::new(0);
 
     let mut results: Vec<(f64, f64, usize, bool)> = Vec::with_capacity(cfg.pages);
     std::thread::scope(|scope| {
@@ -261,13 +376,25 @@ pub fn run_memory(policy: &dyn RecoveryPolicy, cfg: &SimConfig) -> MemoryRun {
             .chunks(chunk)
             .map(|pages| {
                 let pages = pages.to_vec();
+                let telemetry = hooks.telemetry.clone();
+                let progress = hooks.progress;
+                let done = &done;
                 scope.spawn(move || {
                     pages
                         .into_iter()
                         .map(|page_idx| {
                             let mut rng = TimelineSampler::page_rng(cfg.seed, page_idx as u64);
                             let page = sampler.sample_page(&mut rng, blocks_per_page);
-                            let outcome = evaluate_page(policy, &page, cfg.criterion);
+                            let outcome = evaluate_page_with(
+                                policy,
+                                &page,
+                                cfg.criterion,
+                                telemetry.as_ref(),
+                            );
+                            if let Some(report) = progress {
+                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                report(finished, cfg.pages);
+                            }
                             (
                                 outcome.death_time,
                                 page.first_cell_death(),
@@ -525,6 +652,65 @@ mod tests {
         assert_eq!(cdf[3], 0.0);
         // Everything is dead by fault 4.
         assert_eq!(cdf[4], 1.0);
+    }
+
+    #[test]
+    fn hooks_observe_without_perturbing_results() {
+        let policy = CapPolicy { cap: 4, bits: 512 };
+        let cfg = SimConfig {
+            pages: 6,
+            page_bits: 4096,
+            block_bits: 512,
+            criterion: FailureCriterion::default(),
+            seed: 77,
+        };
+        let plain = run_memory(&policy, &cfg);
+
+        let registry = Registry::new();
+        let progress = std::sync::Mutex::new(Vec::new());
+        let record = |done: usize, total: usize| {
+            progress.lock().unwrap().push((done, total));
+        };
+        let hooks = RunHooks {
+            telemetry: Some(McTelemetry::for_scheme(&registry, &policy.name())),
+            progress: Some(&record),
+        };
+        let observed = run_memory_with(&policy, &cfg, &hooks);
+
+        assert_eq!(plain.page_lifetimes, observed.page_lifetimes);
+        assert_eq!(plain.faults_recovered, observed.faults_recovered);
+
+        let counters: std::collections::BTreeMap<String, u64> =
+            registry.counters().into_iter().collect();
+        assert_eq!(counters["mc.cap4.pages"], 6);
+        assert!(counters["mc.cap4.policy_decisions"] > 0);
+        assert!(counters["mc.cap4.fault_events"] >= counters["mc.cap4.block_deaths_split"]);
+        assert_eq!(counters["mc.cap4.block_deaths_guarantee"], 0);
+
+        let mut calls = progress.into_inner().unwrap();
+        calls.sort_unstable();
+        assert_eq!(calls.len(), 6, "one progress call per page");
+        assert_eq!(calls.last(), Some(&(6, 6)));
+        assert!(calls.iter().all(|&(_, total)| total == 6));
+    }
+
+    #[test]
+    fn guaranteed_criterion_attributes_deaths_correctly() {
+        let policy = CapPolicy { cap: 1, bits: 512 };
+        let registry = Registry::new();
+        let telemetry = McTelemetry::for_scheme(&registry, "cap1");
+        let outcome = evaluate_block_with(
+            &policy,
+            &timeline(&[1.0, 2.0, 3.0]),
+            FailureCriterion::GuaranteedAllData,
+            Some(&telemetry),
+        );
+        assert_eq!(outcome.death_time, Some(2.0));
+        let counters: std::collections::BTreeMap<String, u64> =
+            registry.counters().into_iter().collect();
+        assert_eq!(counters["mc.cap1.block_deaths_guarantee"], 1);
+        assert_eq!(counters["mc.cap1.block_deaths_split"], 0);
+        assert_eq!(counters["mc.cap1.policy_decisions"], 2);
     }
 
     #[test]

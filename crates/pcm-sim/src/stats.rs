@@ -29,19 +29,24 @@ pub fn std_dev(values: &[f64]) -> f64 {
     (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
 }
 
-/// Value at quantile `q ∈ [0, 1]` by nearest-rank on a sorted copy.
+/// Value at quantile `q ∈ [0, 1]` by the nearest-rank method on a sorted
+/// copy: the smallest value whose rank is at least `⌈q·n⌉` (with `q = 0`
+/// mapping to the minimum). `NaN` for an empty slice, matching
+/// [`mean`]/[`std_dev`].
 ///
 /// # Panics
 ///
-/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+/// Panics if `q` is outside `[0, 1]`.
 #[must_use]
 pub fn percentile(values: &[f64], q: f64) -> f64 {
-    assert!(!values.is_empty(), "percentile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if values.is_empty() {
+        return f64::NAN;
+    }
     let mut sorted = values.to_vec();
     sorted.sort_by(f64::total_cmp);
-    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[rank]
+    let rank = (values.len() as f64 * q).ceil().max(1.0) as usize;
+    sorted[rank - 1]
 }
 
 /// Standard error of the mean.
@@ -74,11 +79,19 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 0.5), 3.0);
         assert_eq!(percentile(&v, 1.0), 5.0);
+        // Nearest-rank on an even count: p50 of 4 values is rank ⌈0.5·4⌉ = 2
+        // (the second-smallest), not the midpoint-rounded third.
+        let w = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&w, 0.5), 2.0);
+        assert_eq!(percentile(&w, 0.25), 1.0);
+        assert_eq!(percentile(&w, 0.75), 3.0);
+        // p90 of 10 values is rank 9, not the maximum.
+        let ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&ten, 0.9), 9.0);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn percentile_empty_panics() {
-        let _ = percentile(&[], 0.5);
+    fn percentile_empty_is_nan() {
+        assert!(percentile(&[], 0.5).is_nan());
     }
 }

@@ -12,6 +12,13 @@
 //!
 //! * `SIM_BENCH_FAST=1` — 3 samples, short warmup (for smoke runs/CI).
 //! * `SIM_BENCH_OUT=<dir>` — override the JSON output directory.
+//! * `SIM_RUN_ID=<id>` — run id stamped into the record manifest
+//!   (default `bench-<target>`), tying bench JSON to the telemetry runs
+//!   in `results/telemetry/`.
+//!
+//! Every JSON document carries a `manifest` object (run id, git
+//! describe, creation time, fast flag) so a bench record is attributable
+//! to the exact tree and run that produced it.
 //!
 //! The API mirrors the slice of `criterion` the bench targets used:
 //!
@@ -210,10 +217,25 @@ impl Bench {
     }
 
     /// Renders the records as a JSON document (stable key order).
+    ///
+    /// The leading `manifest` object stamps the document with the run id
+    /// (`SIM_RUN_ID`, default `bench-<target>`), the git description of
+    /// the tree, the creation time and the fast-mode flag, so a bench
+    /// record is attributable to the exact run that produced it.
     #[must_use]
     pub fn to_json(&self, target: &str) -> String {
+        let run_id = std::env::var("SIM_RUN_ID").unwrap_or_else(|_| format!("bench-{target}"));
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"target\": {},", json_string(target));
+        let _ = writeln!(
+            out,
+            "  \"manifest\": {{\"run_id\": {}, \"git\": {}, \"created_unix_ms\": {}, \
+             \"fast\": {}}},",
+            json_string(&run_id),
+            json_string(&sim_telemetry::git_describe()),
+            sim_telemetry::unix_millis(),
+            self.fast,
+        );
         out.push_str("  \"benchmarks\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             let _ = write!(
@@ -413,6 +435,25 @@ mod tests {
         assert!(json.contains("\"target\": \"unit_test\""));
         assert!(json.contains("a\\\"quote"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_output_carries_the_run_manifest() {
+        let mut bench = Bench::new();
+        bench.fast = true;
+        bench.bench_function("noop", |b| b.iter(|| 0u8));
+        let json = bench.to_json("unit_test");
+        let doc = sim_telemetry::Json::parse(&json).expect("bench JSON parses");
+        let manifest = doc.get("manifest").expect("manifest object present");
+        let run_id = manifest.str_field("run_id").expect("run_id");
+        // Either the SIM_RUN_ID override or the target-derived default.
+        assert!(!run_id.is_empty());
+        assert!(!manifest.str_field("git").expect("git").is_empty());
+        assert!(manifest.u64_field("created_unix_ms").expect("created") > 0);
+        assert_eq!(
+            manifest.get("fast").and_then(sim_telemetry::Json::as_bool),
+            Some(true)
+        );
     }
 
     #[test]

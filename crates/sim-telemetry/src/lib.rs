@@ -1,0 +1,37 @@
+//! Hermetic observability substrate for the Aegis simulator stack.
+//!
+//! Zero external dependencies (the workspace builds `--offline`); four
+//! small pieces that compose into per-run telemetry:
+//!
+//! - [`Registry`] — named atomic [`Counter`]s and log₂-scale
+//!   [`Histogram`]s, ~free when disabled (handles become no-ops and no
+//!   per-metric state is ever allocated);
+//! - [`Event`] — a JSONL event stream in the same hand-rolled JSON style
+//!   as `sim_rng::bench`, deterministic by construction (no wall-clock
+//!   data), plus a parser for reports and round-trip tests;
+//! - [`RunManifest`] — the reproducibility sidecar (seed and run options,
+//!   git describe, per-phase wall-clock durations);
+//! - [`RunTelemetry`] — the per-run front door: create, hand
+//!   [`RunTelemetry::registry`] down the stack, wrap phases in
+//!   [`RunTelemetry::span`], then [`RunTelemetry::finish`].
+//!
+//! Metric names follow `layer.scheme.metric` (see [`metric_name`] /
+//! [`split_metric`] and DESIGN.md § Observability).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod manifest;
+pub mod registry;
+pub mod run;
+pub mod sink;
+
+pub use json::{escape, Json, JsonError};
+pub use manifest::{git_describe, unix_millis, RunManifest};
+pub use registry::{
+    bucket_index, metric_name, split_metric, Counter, Histogram, HistogramSnapshot, Registry,
+    HISTOGRAM_BUCKETS,
+};
+pub use run::{RunTelemetry, Span};
+pub use sink::{Event, SharedBuf};

@@ -1,0 +1,205 @@
+//! Run manifests: the reproducibility sidecar written next to each
+//! telemetry event stream as `<run-id>.manifest.json`.
+//!
+//! The manifest is the one place wall-clock data is allowed to live
+//! (creation timestamp, git describe, per-phase durations); keeping it
+//! out of the JSONL stream is what lets same-seed event streams be
+//! byte-identical. The `options` map records everything needed to replay
+//! the run — seed, pages, trials, failure criterion — so every CSV in
+//! `results/` is reproducible from its manifest alone.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{escape, Json, JsonError};
+
+/// Metadata for one finished run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// The run identifier (also the event stream's file stem).
+    pub run_id: String,
+    /// Unix milliseconds when the run started.
+    pub created_unix_ms: u64,
+    /// `git describe --always --dirty` output, or `"unknown"`.
+    pub git: String,
+    /// Replay inputs (seed, pages, trials, ...), sorted by key.
+    pub options: BTreeMap<String, String>,
+    /// `(span name, duration in nanoseconds)` in completion order.
+    pub phases: Vec<(String, u64)>,
+    /// Number of events in the JSONL stream, `run_start`/`run_end` included.
+    pub events: u64,
+    /// File name of the event stream, when one was written to disk.
+    pub events_file: Option<String>,
+}
+
+impl RunManifest {
+    /// Renders the manifest as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"run_id\": {},", escape(&self.run_id));
+        let _ = writeln!(out, "  \"created_unix_ms\": {},", self.created_unix_ms);
+        let _ = writeln!(out, "  \"git\": {},", escape(&self.git));
+        let _ = writeln!(out, "  \"options\": {{");
+        let n_options = self.options.len();
+        for (i, (key, value)) in self.options.iter().enumerate() {
+            let comma = if i + 1 < n_options { "," } else { "" };
+            let _ = writeln!(out, "    {}: {}{comma}", escape(key), escape(value));
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"phases\": [");
+        let n_phases = self.phases.len();
+        for (i, (name, nanos)) in self.phases.iter().enumerate() {
+            let comma = if i + 1 < n_phases { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"nanos\": {nanos}}}{comma}",
+                escape(name)
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        match &self.events_file {
+            Some(file) => {
+                let _ = writeln!(out, "  \"events_file\": {}", escape(file));
+            }
+            None => {
+                let _ = writeln!(out, "  \"events_file\": null");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a manifest back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed JSON or missing required fields.
+    pub fn parse(text: &str) -> Result<RunManifest, JsonError> {
+        let value = Json::parse(text)?;
+        let fail = |message: &str| JsonError {
+            pos: 0,
+            message: message.to_owned(),
+        };
+        let mut options = BTreeMap::new();
+        if let Some(Json::Obj(fields)) = value.get("options") {
+            for (key, field) in fields {
+                options.insert(
+                    key.clone(),
+                    field
+                        .as_str()
+                        .ok_or_else(|| fail("option values must be strings"))?
+                        .to_owned(),
+                );
+            }
+        }
+        let mut phases = Vec::new();
+        if let Some(list) = value.get("phases").and_then(Json::as_arr) {
+            for phase in list {
+                phases.push((
+                    phase
+                        .str_field("name")
+                        .ok_or_else(|| fail("phase missing name"))?
+                        .to_owned(),
+                    phase
+                        .u64_field("nanos")
+                        .ok_or_else(|| fail("phase missing nanos"))?,
+                ));
+            }
+        }
+        Ok(RunManifest {
+            run_id: value
+                .str_field("run_id")
+                .ok_or_else(|| fail("missing run_id"))?
+                .to_owned(),
+            created_unix_ms: value
+                .u64_field("created_unix_ms")
+                .ok_or_else(|| fail("missing created_unix_ms"))?,
+            git: value.str_field("git").unwrap_or("unknown").to_owned(),
+            options,
+            phases,
+            events: value.u64_field("events").unwrap_or(0),
+            events_file: value.str_field("events_file").map(str::to_owned),
+        })
+    }
+}
+
+/// Current wall clock as Unix milliseconds (0 if the clock is broken).
+#[must_use]
+pub fn unix_millis() -> u64 {
+    #[allow(clippy::cast_possible_truncation)]
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+/// Best-effort `git describe --always --dirty`; `"unknown"` when git is
+/// unavailable or the working directory is not a repository.
+#[must_use]
+pub fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let mut options = BTreeMap::new();
+        options.insert("seed".to_owned(), "42".to_owned());
+        options.insert("pages".to_owned(), "256".to_owned());
+        let manifest = RunManifest {
+            run_id: "fig5-s42".to_owned(),
+            created_unix_ms: 1_722_000_000_123,
+            git: "3116881-dirty".to_owned(),
+            options,
+            phases: vec![
+                ("fig5.montecarlo".to_owned(), 1_234_567),
+                ("fig5.codec-probe".to_owned(), 89),
+            ],
+            events: 17,
+            events_file: Some("fig5-s42.jsonl".to_owned()),
+        };
+        let parsed = RunManifest::parse(&manifest.to_json()).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn manifest_tolerates_null_events_file() {
+        let manifest = RunManifest {
+            run_id: "x".to_owned(),
+            created_unix_ms: 5,
+            git: "unknown".to_owned(),
+            options: BTreeMap::new(),
+            phases: Vec::new(),
+            events: 0,
+            events_file: None,
+        };
+        let parsed = RunManifest::parse(&manifest.to_json()).unwrap();
+        assert_eq!(parsed.events_file, None);
+    }
+
+    #[test]
+    fn manifest_rejects_missing_run_id() {
+        assert!(RunManifest::parse("{\"events\": 3}").is_err());
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let described = git_describe();
+        assert!(!described.is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! Named atomic counters and log-scale histograms.
+//!
+//! A [`Registry`] is the shared accumulation point for one run. Handles
+//! ([`Counter`], [`Histogram`]) are cheap to clone and safe to use from
+//! worker threads; a *disabled* registry hands out no-op handles so
+//! instrumented code pays only an `Option` check on the hot path and the
+//! registry itself never allocates per-metric state.
+//!
+//! Metric names follow the `layer.scheme.metric` convention documented in
+//! DESIGN.md § Observability — e.g. `codec.Aegis 9x61.verify_reads` or
+//! `mc.SAFER64-cache.policy_decisions`. Because scheme names may contain
+//! dots-free arbitrary text but layers and metrics never contain dots,
+//! [`split_metric`] splits on the *first* and *last* dot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: value 0, plus one bucket per power of two
+/// up to `u64::MAX` (bucket `b` holds values in `[2^(b-1), 2^b)`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Returns the bucket index for a sample value.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Builds a `layer.scheme.metric` metric name.
+#[must_use]
+pub fn metric_name(layer: &str, scheme: &str, metric: &str) -> String {
+    format!("{layer}.{scheme}.{metric}")
+}
+
+/// Splits a `layer.scheme.metric` name into its three components.
+///
+/// The layer is everything before the first dot and the metric everything
+/// after the last dot, so scheme names containing spaces or `x` (like
+/// `Aegis 9x61`) survive the round trip. Names with fewer than two dots
+/// return `None`.
+#[must_use]
+pub fn split_metric(name: &str) -> Option<(&str, &str, &str)> {
+    let first = name.find('.')?;
+    let last = name.rfind('.')?;
+    if first >= last {
+        return None;
+    }
+    Some((&name[..first], &name[first + 1..last], &name[last + 1..]))
+}
+
+struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+    /// Per-bucket sample counts; see [`bucket_index`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        match self.count {
+            0 => None,
+            n => Some(self.sum as f64 / n as f64),
+        }
+    }
+
+    /// Largest non-empty bucket index, or `None` when empty.
+    #[must_use]
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+/// Handle to a named counter. No-op when obtained from a disabled
+/// registry. Counters are monotone: the only mutation is [`Counter::add`].
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a disabled handle).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to a named log₂-scale histogram. No-op when obtained from a
+/// disabled registry.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.0 {
+            core.count.fetch_add(1, Ordering::Relaxed);
+            core.sum.fetch_add(value, Ordering::Relaxed);
+            core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(core: &HistogramCore) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: core.count.load(Ordering::Relaxed),
+            sum: core.sum.load(Ordering::Relaxed),
+            buckets: core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A named collection of counters and histograms for one run.
+///
+/// `Registry::new()` is enabled; `Registry::disabled()` hands out no-op
+/// handles and its snapshot maps stay empty forever, which is what the
+/// "zero overhead-visible state" telemetry invariant tests assert.
+pub struct Registry {
+    enabled: bool,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            enabled: true,
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A registry whose handles are all no-ops and which records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Registry {
+            enabled: false,
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether this registry records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Returns (registering on first use) the counter handle for `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.enabled {
+            return Counter(None);
+        }
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        let cell = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(Arc::clone(cell)))
+    }
+
+    /// Returns (registering on first use) the histogram handle for `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if !self.enabled {
+            return Histogram(None);
+        }
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        let core = map.entry(name.to_owned()).or_default();
+        Histogram(Some(Arc::clone(core)))
+    }
+
+    /// Sorted snapshot of every counter. Empty for a disabled registry.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Sorted snapshot of every histogram. Empty for a disabled registry.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(name, core)| (name.clone(), Histogram::snapshot(core)))
+            .collect()
+    }
+
+    /// Merges every metric from `other` into `self` (adding counters,
+    /// summing histogram buckets). Disabled registries absorb nothing.
+    pub fn absorb(&self, other: &Registry) {
+        if !self.enabled {
+            return;
+        }
+        for (name, value) in other.counters() {
+            self.counter(&name).add(value);
+        }
+        for (name, snap) in other.histograms() {
+            let handle = self.histogram(&name);
+            if let Some(core) = &handle.0 {
+                core.count.fetch_add(snap.count, Ordering::Relaxed);
+                core.sum.fetch_add(snap.sum, Ordering::Relaxed);
+                for (bucket, add) in core.buckets.iter().zip(&snap.buckets) {
+                    bucket.fetch_add(*add, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone_and_shared_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("codec.Aegis 9x61.verify_reads");
+        let b = reg.counter("codec.Aegis 9x61.verify_reads");
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get(), 4, "handles to the same name share one cell");
+        let before = a.get();
+        a.add(0);
+        assert!(a.get() >= before, "counters never decrease");
+        assert_eq!(
+            reg.counters(),
+            vec![("codec.Aegis 9x61.verify_reads".to_owned(), 4)]
+        );
+    }
+
+    #[test]
+    fn disabled_registry_has_zero_visible_state() {
+        let reg = Registry::disabled();
+        let c = reg.counter("mc.X.pages");
+        let h = reg.histogram("mc.X.page_fault_arrivals");
+        c.add(100);
+        h.record(7);
+        assert_eq!(c.get(), 0);
+        assert!(reg.counters().is_empty());
+        assert!(reg.histograms().is_empty());
+        assert!(!reg.is_enabled());
+    }
+
+    #[test]
+    fn histogram_buckets_follow_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+
+        let reg = Registry::new();
+        let h = reg.histogram("codec.Aegis 9x61.slope_trials");
+        for v in [0, 1, 2, 3, 4] {
+            h.record(v);
+        }
+        let snap = &reg.histograms()[0].1;
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 10);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 2);
+        assert_eq!(snap.buckets[3], 1);
+        assert_eq!(snap.mean(), Some(2.0));
+        assert_eq!(snap.max_bucket(), Some(3));
+    }
+
+    #[test]
+    fn metric_names_split_on_first_and_last_dot() {
+        let name = metric_name("codec", "Aegis 9x61", "verify_reads");
+        assert_eq!(
+            split_metric(&name),
+            Some(("codec", "Aegis 9x61", "verify_reads"))
+        );
+        // Scheme names may themselves contain dots.
+        assert_eq!(
+            split_metric("mc.v1.5-exp.pages"),
+            Some(("mc", "v1.5-exp", "pages"))
+        );
+        assert_eq!(split_metric("nodots"), None);
+        assert_eq!(split_metric("one.dot"), None);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_histograms() {
+        let shared = Registry::new();
+        shared.counter("codec.A.writes").add(1);
+        let local = Registry::new();
+        local.counter("codec.A.writes").add(2);
+        local.counter("codec.B.writes").add(5);
+        local.histogram("codec.A.slope_trials").record(4);
+        shared.absorb(&local);
+        assert_eq!(
+            shared.counters(),
+            vec![
+                ("codec.A.writes".to_owned(), 3),
+                ("codec.B.writes".to_owned(), 5)
+            ]
+        );
+        assert_eq!(shared.histograms()[0].1.count, 1);
+
+        let off = Registry::disabled();
+        off.absorb(&local);
+        assert!(off.counters().is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! [`RunTelemetry`]: the per-run front door tying the registry, the
+//! JSONL event sink, spans, and the manifest together.
+//!
+//! Lifecycle: create (disabled, or writing to a directory/`Write` sink),
+//! hand `registry()` down the stack, open [`Span`]s around phases, then
+//! [`RunTelemetry::finish`] — which flushes the sorted final metric
+//! snapshot to the stream, writes `<run-id>.manifest.json` when a
+//! directory sink is in use, and returns the manifest.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::manifest::{git_describe, unix_millis, RunManifest};
+use crate::registry::Registry;
+use crate::sink::{Event, SharedBuf};
+
+struct SinkState {
+    writer: Option<Box<dyn Write + Send>>,
+    seq: u64,
+    phases: Vec<(String, u64)>,
+    meta: Vec<(String, String)>,
+}
+
+/// Telemetry for one run: registry + event stream + manifest.
+pub struct RunTelemetry {
+    run_id: String,
+    registry: Registry,
+    created_unix_ms: u64,
+    dir: Option<PathBuf>,
+    state: Mutex<SinkState>,
+}
+
+impl RunTelemetry {
+    fn with_sink(
+        run_id: &str,
+        registry: Registry,
+        dir: Option<PathBuf>,
+        writer: Option<Box<dyn Write + Send>>,
+    ) -> io::Result<RunTelemetry> {
+        let run = RunTelemetry {
+            run_id: run_id.to_owned(),
+            registry,
+            created_unix_ms: unix_millis(),
+            dir,
+            state: Mutex::new(SinkState {
+                writer,
+                seq: 0,
+                phases: Vec::new(),
+                meta: Vec::new(),
+            }),
+        };
+        run.emit(&Event::RunStart {
+            run_id: run_id.to_owned(),
+        })?;
+        Ok(run)
+    }
+
+    /// A disabled run: no-op registry, no stream, no manifest file.
+    #[must_use]
+    pub fn disabled() -> RunTelemetry {
+        RunTelemetry {
+            run_id: String::new(),
+            registry: Registry::disabled(),
+            created_unix_ms: 0,
+            dir: None,
+            state: Mutex::new(SinkState {
+                writer: None,
+                seq: 0,
+                phases: Vec::new(),
+                meta: Vec::new(),
+            }),
+        }
+    }
+
+    /// Creates `dir` and opens `<dir>/<run-id>.jsonl` for the event
+    /// stream; [`RunTelemetry::finish`] will write the manifest alongside.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory or stream file cannot be created/written.
+    pub fn create(run_id: &str, dir: &Path) -> io::Result<RunTelemetry> {
+        fs::create_dir_all(dir)?;
+        let file = fs::File::create(dir.join(format!("{run_id}.jsonl")))?;
+        Self::with_sink(
+            run_id,
+            Registry::new(),
+            Some(dir.to_owned()),
+            Some(Box::new(io::BufWriter::new(file))),
+        )
+    }
+
+    /// Streams events into an arbitrary writer (no manifest file).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the initial `run_start` event cannot be written.
+    pub fn with_writer(run_id: &str, writer: Box<dyn Write + Send>) -> io::Result<RunTelemetry> {
+        Self::with_sink(run_id, Registry::new(), None, Some(writer))
+    }
+
+    /// Streams events into a [`SharedBuf`] (for in-process tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the initial `run_start` event cannot be written.
+    pub fn with_buffer(run_id: &str, buffer: SharedBuf) -> io::Result<RunTelemetry> {
+        Self::with_writer(run_id, Box::new(buffer))
+    }
+
+    /// Whether this run records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// The run identifier.
+    #[must_use]
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// The registry to hand down the stack.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Records a replay input (seed, pages, ...) for the manifest.
+    pub fn set_meta(&self, key: &str, value: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        state.meta.push((key.to_owned(), value.to_owned()));
+    }
+
+    fn emit(&self, event: &Event) -> io::Result<()> {
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        let seq = state.seq;
+        if let Some(writer) = state.writer.as_mut() {
+            let line = event.to_json(seq);
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+            state.seq = seq + 1;
+        }
+        Ok(())
+    }
+
+    /// Opens a span. Its wall-clock duration is recorded into the
+    /// manifest's phase list when the returned guard drops; the event
+    /// stream sees only the (deterministic) begin/end markers.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the `span_begin` event cannot be written.
+    pub fn span(&self, name: &str) -> io::Result<Span<'_>> {
+        if self.is_enabled() {
+            self.emit(&Event::SpanBegin {
+                name: name.to_owned(),
+            })?;
+        }
+        Ok(Span {
+            run: self,
+            name: name.to_owned(),
+            started: Instant::now(),
+        })
+    }
+
+    fn close_span(&self, name: &str, nanos: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        {
+            let mut state = self.state.lock().expect("telemetry state poisoned");
+            state.phases.push((name.to_owned(), nanos));
+        }
+        // Span-close during teardown must not panic; drop the error.
+        let _ = self.emit(&Event::SpanEnd {
+            name: name.to_owned(),
+        });
+    }
+
+    /// Flushes the final sorted metric snapshot and the `run_end` line to
+    /// the stream, writes `<run-id>.manifest.json` when a directory sink
+    /// is in use, and returns the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the stream or manifest file cannot be written.
+    pub fn finish(self) -> io::Result<RunManifest> {
+        if self.is_enabled() {
+            for (name, value) in self.registry.counters() {
+                self.emit(&Event::Counter { name, value })?;
+            }
+            for (name, snap) in self.registry.histograms() {
+                self.emit(&Event::from_snapshot(&name, &snap))?;
+            }
+            let events = {
+                let state = self.state.lock().expect("telemetry state poisoned");
+                state.seq + 1
+            };
+            self.emit(&Event::RunEnd { events })?;
+        }
+        let mut state = self.state.into_inner().expect("telemetry state poisoned");
+        if let Some(writer) = state.writer.as_mut() {
+            writer.flush()?;
+        }
+        let manifest = RunManifest {
+            run_id: self.run_id.clone(),
+            created_unix_ms: self.created_unix_ms,
+            git: if self.registry.is_enabled() {
+                git_describe()
+            } else {
+                "unknown".to_owned()
+            },
+            options: state.meta.into_iter().collect(),
+            phases: state.phases,
+            events: state.seq,
+            events_file: self.dir.as_ref().map(|_| format!("{}.jsonl", self.run_id)),
+        };
+        if let Some(dir) = &self.dir {
+            fs::write(
+                dir.join(format!("{}.manifest.json", self.run_id)),
+                manifest.to_json(),
+            )?;
+        }
+        Ok(manifest)
+    }
+}
+
+/// Guard for one timed phase; see [`RunTelemetry::span`].
+pub struct Span<'a> {
+    run: &'a RunTelemetry,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        #[allow(clippy::cast_possible_truncation)]
+        let nanos = self.started.elapsed().as_nanos() as u64;
+        self.run.close_span(&self.name, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_emits_sorted_snapshot_and_manifest() {
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("t1", buf.clone()).unwrap();
+        run.set_meta("seed", "42");
+        run.registry().counter("mc.B.pages").add(2);
+        run.registry().counter("mc.A.pages").add(1);
+        run.registry()
+            .histogram("mc.A.page_fault_arrivals")
+            .record(3);
+        {
+            let _span = run.span("phase-one").unwrap();
+        }
+        let manifest = run.finish().unwrap();
+
+        assert_eq!(manifest.run_id, "t1");
+        assert_eq!(manifest.options.get("seed").map(String::as_str), Some("42"));
+        assert_eq!(manifest.phases.len(), 1);
+        assert_eq!(manifest.phases[0].0, "phase-one");
+        assert_eq!(manifest.events_file, None);
+
+        let events = Event::parse_stream(&buf.text()).unwrap();
+        assert_eq!(manifest.events, events.len() as u64);
+        assert!(matches!(&events[0], Event::RunStart { run_id } if run_id == "t1"));
+        // Counters arrive sorted by name, before histograms.
+        let counters: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counters, vec!["mc.A.pages", "mc.B.pages"]);
+        assert!(matches!(events.last(), Some(Event::RunEnd { .. })));
+    }
+
+    #[test]
+    fn disabled_run_emits_nothing() {
+        let run = RunTelemetry::disabled();
+        run.set_meta("seed", "1");
+        run.registry().counter("mc.A.pages").add(9);
+        {
+            let _span = run.span("ignored").unwrap();
+        }
+        let manifest = run.finish().unwrap();
+        assert_eq!(manifest.events, 0);
+        assert!(manifest.phases.is_empty());
+        assert!(manifest.options.is_empty());
+    }
+
+    #[test]
+    fn directory_sink_writes_stream_and_manifest() {
+        let dir = std::env::temp_dir().join(format!(
+            "sim-telemetry-test-{}-{}",
+            std::process::id(),
+            unix_millis()
+        ));
+        let run = RunTelemetry::create("unit", &dir).unwrap();
+        run.registry().counter("codec.A.writes").incr();
+        let manifest = run.finish().unwrap();
+        assert_eq!(manifest.events_file.as_deref(), Some("unit.jsonl"));
+
+        let stream = fs::read_to_string(dir.join("unit.jsonl")).unwrap();
+        assert!(Event::parse_stream(&stream).is_ok());
+        let sidecar = fs::read_to_string(dir.join("unit.manifest.json")).unwrap();
+        assert_eq!(RunManifest::parse(&sidecar).unwrap().run_id, "unit");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

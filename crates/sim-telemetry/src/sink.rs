@@ -1,0 +1,323 @@
+//! JSONL event stream: one JSON object per line, written through any
+//! `Write` sink (a file under `results/telemetry/` in production, an
+//! in-memory [`SharedBuf`] in tests).
+//!
+//! The stream is *deterministic by construction*: events carry a
+//! sequence number and metric snapshots but never wall-clock data —
+//! span timing lives only in the run manifest — so two same-seed runs
+//! produce byte-identical `.jsonl` files (asserted by
+//! `tests/determinism.rs`).
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::json::{escape, Json, JsonError};
+use crate::registry::HistogramSnapshot;
+
+/// One line of the telemetry event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// First line of every stream.
+    RunStart {
+        /// The run this stream belongs to.
+        run_id: String,
+    },
+    /// A span opened.
+    SpanBegin {
+        /// Span name (e.g. `fig5.montecarlo`).
+        name: String,
+    },
+    /// A span closed. Durations are manifest-only, so this carries no time.
+    SpanEnd {
+        /// Span name.
+        name: String,
+    },
+    /// Final value of one counter.
+    Counter {
+        /// Metric name (`layer.scheme.metric`).
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// Final state of one histogram. `buckets` is a sparse
+    /// `[index, count]` list to keep lines short.
+    Histogram {
+        /// Metric name (`layer.scheme.metric`).
+        name: String,
+        /// Sample count.
+        count: u64,
+        /// Sample sum.
+        sum: u64,
+        /// Non-empty buckets as `(index, count)` pairs, ascending.
+        buckets: Vec<(usize, u64)>,
+    },
+    /// Last line of every stream.
+    RunEnd {
+        /// Total number of events in the stream, this line included.
+        events: u64,
+    },
+}
+
+impl Event {
+    /// Builds a histogram event from a registry snapshot.
+    #[must_use]
+    pub fn from_snapshot(name: &str, snap: &HistogramSnapshot) -> Event {
+        Event::Histogram {
+            name: name.to_owned(),
+            count: snap.count,
+            sum: snap.sum,
+            buckets: snap
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (i, c))
+                .collect(),
+        }
+    }
+
+    /// Renders the event as one JSON line (no trailing newline). `seq` is
+    /// the 0-based position of this event in the stream.
+    #[must_use]
+    pub fn to_json(&self, seq: u64) -> String {
+        match self {
+            Event::RunStart { run_id } => format!(
+                "{{\"seq\": {seq}, \"event\": \"run_start\", \"run_id\": {}}}",
+                escape(run_id)
+            ),
+            Event::SpanBegin { name } => format!(
+                "{{\"seq\": {seq}, \"event\": \"span_begin\", \"name\": {}}}",
+                escape(name)
+            ),
+            Event::SpanEnd { name } => format!(
+                "{{\"seq\": {seq}, \"event\": \"span_end\", \"name\": {}}}",
+                escape(name)
+            ),
+            Event::Counter { name, value } => format!(
+                "{{\"seq\": {seq}, \"event\": \"counter\", \"name\": {}, \"value\": {value}}}",
+                escape(name)
+            ),
+            Event::Histogram {
+                name,
+                count,
+                sum,
+                buckets,
+            } => {
+                let cells: Vec<String> = buckets
+                    .iter()
+                    .map(|(index, count)| format!("[{index}, {count}]"))
+                    .collect();
+                format!(
+                    "{{\"seq\": {seq}, \"event\": \"histogram\", \"name\": {}, \
+                     \"count\": {count}, \"sum\": {sum}, \"buckets\": [{}]}}",
+                    escape(name),
+                    cells.join(", ")
+                )
+            }
+            Event::RunEnd { events } => {
+                format!("{{\"seq\": {seq}, \"event\": \"run_end\", \"events\": {events}}}")
+            }
+        }
+    }
+
+    /// Parses one JSONL line back into `(seq, Event)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the line is not valid JSON or lacks the
+    /// fields its `event` tag requires.
+    pub fn parse_line(line: &str) -> Result<(u64, Event), JsonError> {
+        let value = Json::parse(line)?;
+        let fail = |message: &str| JsonError {
+            pos: 0,
+            message: message.to_owned(),
+        };
+        let seq = value.u64_field("seq").ok_or_else(|| fail("missing seq"))?;
+        let kind = value
+            .str_field("event")
+            .ok_or_else(|| fail("missing event tag"))?;
+        let name = |value: &Json| -> Result<String, JsonError> {
+            value
+                .str_field("name")
+                .map(str::to_owned)
+                .ok_or_else(|| fail("missing name"))
+        };
+        let event = match kind {
+            "run_start" => Event::RunStart {
+                run_id: value
+                    .str_field("run_id")
+                    .ok_or_else(|| fail("missing run_id"))?
+                    .to_owned(),
+            },
+            "span_begin" => Event::SpanBegin {
+                name: name(&value)?,
+            },
+            "span_end" => Event::SpanEnd {
+                name: name(&value)?,
+            },
+            "counter" => Event::Counter {
+                name: name(&value)?,
+                value: value
+                    .u64_field("value")
+                    .ok_or_else(|| fail("missing value"))?,
+            },
+            "histogram" => {
+                let buckets = value
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| fail("missing buckets"))?
+                    .iter()
+                    .map(|cell| {
+                        let pair = cell.as_arr().filter(|p| p.len() == 2);
+                        match pair {
+                            Some(p) => match (p[0].as_u64(), p[1].as_u64()) {
+                                (Some(index), Some(count)) =>
+                                {
+                                    #[allow(clippy::cast_possible_truncation)]
+                                    Ok((index as usize, count))
+                                }
+                                _ => Err(fail("bucket cell must be [index, count]")),
+                            },
+                            None => Err(fail("bucket cell must be [index, count]")),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Event::Histogram {
+                    name: name(&value)?,
+                    count: value
+                        .u64_field("count")
+                        .ok_or_else(|| fail("missing count"))?,
+                    sum: value.u64_field("sum").ok_or_else(|| fail("missing sum"))?,
+                    buckets,
+                }
+            }
+            "run_end" => Event::RunEnd {
+                events: value
+                    .u64_field("events")
+                    .ok_or_else(|| fail("missing events"))?,
+            },
+            other => return Err(fail(&format!("unknown event tag '{other}'"))),
+        };
+        Ok((seq, event))
+    }
+
+    /// Parses a full JSONL stream (blank lines skipped), checking that
+    /// sequence numbers are contiguous from zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on any malformed line or a seq gap.
+    pub fn parse_stream(text: &str) -> Result<Vec<Event>, JsonError> {
+        let mut events = Vec::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let (seq, event) = Event::parse_line(line)?;
+            if seq != events.len() as u64 {
+                return Err(JsonError {
+                    pos: 0,
+                    message: format!("seq gap: expected {}, got {seq}", events.len()),
+                });
+            }
+            events.push(event);
+        }
+        Ok(events)
+    }
+}
+
+/// A clonable, thread-safe in-memory `Write` sink for tests: every clone
+/// appends to the same buffer.
+#[derive(Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated bytes.
+    #[must_use]
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.lock().expect("shared buffer poisoned").clone()
+    }
+
+    /// The accumulated bytes as UTF-8 text.
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8(self.contents()).expect("telemetry output is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("shared buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn events_round_trip_through_the_parser() {
+        let reg = Registry::new();
+        let h = reg.histogram("codec.Aegis 9x61.slope_trials");
+        h.record(1);
+        h.record(5);
+        let snap = &reg.histograms()[0].1;
+
+        let events = vec![
+            Event::RunStart {
+                run_id: "ci-smoke".to_owned(),
+            },
+            Event::SpanBegin {
+                name: "fig5.montecarlo".to_owned(),
+            },
+            Event::SpanEnd {
+                name: "fig5.montecarlo".to_owned(),
+            },
+            Event::Counter {
+                name: "codec.Aegis 9x61.verify_reads".to_owned(),
+                value: 42,
+            },
+            Event::from_snapshot("codec.Aegis 9x61.slope_trials", snap),
+            Event::RunEnd { events: 6 },
+        ];
+        let stream: String = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.to_json(i as u64) + "\n")
+            .collect();
+        let parsed = Event::parse_stream(&stream).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn stream_parser_rejects_seq_gaps_and_garbage() {
+        let good = Event::RunStart {
+            run_id: "x".to_owned(),
+        }
+        .to_json(0);
+        let gap = Event::RunEnd { events: 2 }.to_json(5);
+        assert!(Event::parse_stream(&format!("{good}\n{gap}\n")).is_err());
+        assert!(Event::parse_stream("not json\n").is_err());
+        assert!(Event::parse_line("{\"seq\": 0, \"event\": \"mystery\"}").is_err());
+    }
+
+    #[test]
+    fn shared_buf_clones_share_storage() {
+        let buf = SharedBuf::new();
+        let mut clone = buf.clone();
+        clone.write_all(b"hello").unwrap();
+        assert_eq!(buf.text(), "hello");
+    }
+}

@@ -22,6 +22,23 @@ run cargo test -q --offline --workspace
 run cargo fmt --all --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Telemetry smoke: a tiny instrumented fig5 run must emit a parseable
+# event stream plus a manifest sidecar, and the report must read them
+# back. Uses a scratch directory so the tracked CSVs in results/ are not
+# overwritten with reduced-scale data.
+smoke_out="${TMPDIR:-/tmp}/aegis-verify-smoke"
+rm -rf "$smoke_out"
+run cargo run --release --offline -p aegis-experiments -- \
+    fig5 --pages 2 --telemetry --run-id verify-smoke --quiet --out "$smoke_out"
+for f in "$smoke_out"/telemetry/verify-smoke.jsonl \
+         "$smoke_out"/telemetry/verify-smoke.manifest.json; do
+    [[ -s "$f" ]] || { echo "missing telemetry output: $f" >&2; exit 1; }
+done
+echo "==> experiments telemetry-report verify-smoke"
+cargo run --release --offline -p aegis-experiments -- \
+    telemetry-report verify-smoke --out "$smoke_out" >/dev/null
+rm -rf "$smoke_out"
+
 # Optional: compile + smoke-run every bench target.
 if [[ "${1:-}" == "--fast" ]]; then
     SIM_BENCH_FAST=1 run cargo bench --offline --workspace

@@ -17,6 +17,9 @@
 //!   related work slots Aegis into.
 //! - [`os_assist`] — the OS layer above in-block recovery: FREE-p block
 //!   remapping and Dynamic Pairing page recycling (§4 of the paper).
+//! - [`telemetry`] — hermetic observability: named counters/histograms,
+//!   spans, JSONL event sinks and run manifests (see DESIGN.md
+//!   § Observability).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@ pub use aegis_os_assist as os_assist;
 pub use aegis_payg as payg;
 pub use bitblock;
 pub use pcm_sim as pcm;
+pub use sim_telemetry as telemetry;
 
 /// Re-export of the codec abstraction shared by every recovery scheme.
 pub mod codec {

@@ -8,9 +8,12 @@
 //! in-tree `sim-rng` substrate was built to pin down (no platform RNG, no
 //! external crate whose algorithm may change under us).
 
+use aegis_experiments::runner::{summarize_schemes_with, RunObserver, RunOptions};
+use aegis_experiments::schemes;
 use aegis_pcm::aegis::{AegisPolicy, Rectangle};
 use aegis_pcm::pcm::montecarlo::{run_memory, SimConfig};
 use aegis_pcm::pcm::timeline::TimelineSampler;
+use aegis_pcm::telemetry::{Event, RunTelemetry, SharedBuf};
 use sim_rng::{Rng, RngCore, SeedableRng, SmallRng};
 
 /// The raw generator is reproducible from a seed and sensitive to it.
@@ -112,6 +115,59 @@ fn monte_carlo_runs_replay_byte_identically() {
         bits(&first.page_lifetimes),
         bits(&reseeded.page_lifetimes),
         "a different master seed must produce different lifetimes"
+    );
+}
+
+/// Runs fig5's 512-bit scheme sweep with telemetry attached and returns
+/// the raw JSONL event stream.
+fn telemetry_stream(seed: u64) -> String {
+    let buf = SharedBuf::new();
+    let run = RunTelemetry::with_buffer("det-check", buf.clone()).expect("buffer sink");
+    let opts = RunOptions {
+        pages: 3,
+        seed,
+        ..RunOptions::default()
+    };
+    let observer = RunObserver::with_registry(run.registry());
+    let _ = summarize_schemes_with(&schemes::fig5_schemes(512), 512, &opts, &observer);
+    run.finish().expect("finish");
+    buf.text()
+}
+
+/// The telemetry event stream is part of the determinism contract: it
+/// carries no wall-clock data, so two same-seed runs — including the
+/// parallel Monte Carlo page loop feeding counters from worker threads —
+/// must serialize byte-identical JSONL. Different seeds must not.
+#[test]
+fn telemetry_event_streams_are_byte_identical_under_a_repeated_seed() {
+    let first = telemetry_stream(11);
+    let second = telemetry_stream(11);
+    let other = telemetry_stream(12);
+    assert_eq!(first, second, "same seed must replay the identical stream");
+    assert_ne!(first, other, "different seeds must change observed metrics");
+}
+
+/// The stream round-trips through the parser that `telemetry-report`
+/// uses, and the final snapshot reflects what the run actually did.
+#[test]
+fn telemetry_streams_round_trip_through_the_report_parser() {
+    let stream = telemetry_stream(11);
+    let events = Event::parse_stream(&stream).expect("stream parses with contiguous seq");
+    assert!(matches!(&events[0], Event::RunStart { run_id } if run_id == "det-check"));
+    assert!(matches!(events.last(), Some(Event::RunEnd { .. })));
+    let pages = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Counter { name, value } if name == "mc.Aegis 9x61.pages" => Some(*value),
+            _ => None,
+        })
+        .expect("per-scheme page counter present");
+    assert_eq!(pages, 3, "counter snapshot must equal the simulated pages");
+    assert!(
+        events.iter().any(
+            |e| matches!(e, Event::Histogram { name, .. } if name.ends_with(".page_fault_arrivals"))
+        ),
+        "fault-arrival histograms must be in the stream"
     );
 }
 
