@@ -1,11 +1,36 @@
 //! The base Aegis error-recovery scheme (paper §2.2).
 
 use crate::cost::ceil_log2;
-use crate::rom::InversionRom;
+use crate::rom::{GroupRom, InversionRom, ShiftRom};
 use crate::Rectangle;
 use bitblock::BitBlock;
 use pcm_sim::codec::{StuckAtCodec, WriteReport};
 use pcm_sim::{PcmBlock, UncorrectableError};
+
+/// Reusable buffers for the word-level write path: sized once at codec
+/// construction, so steady-state writes allocate nothing.
+#[derive(Debug, Clone)]
+struct Scratch {
+    /// Physical target being assembled (block width).
+    target: BitBlock,
+    /// Mismatch mask from the verification read (block width).
+    wrong: BitBlock,
+    /// Candidate inversion vector under the slope being tried (group width).
+    inversion: BitBlock,
+    /// Groups newly flagged within one write round (group width).
+    round: BitBlock,
+}
+
+impl Scratch {
+    fn new(rect: &Rectangle) -> Self {
+        Self {
+            target: BitBlock::zeros(rect.bits()),
+            wrong: BitBlock::zeros(rect.bits()),
+            inversion: BitBlock::zeros(rect.groups()),
+            round: BitBlock::zeros(rect.groups()),
+        }
+    }
+}
 
 /// The base Aegis codec: slope counter + `B`-bit inversion vector, no fault
 /// knowledge.
@@ -41,8 +66,11 @@ use pcm_sim::{PcmBlock, UncorrectableError};
 pub struct AegisCodec {
     rect: Rectangle,
     rom: InversionRom,
+    shift: ShiftRom,
+    groups: GroupRom,
     slope: usize,
     inversion: BitBlock,
+    scratch: Scratch,
 }
 
 impl AegisCodec {
@@ -50,12 +78,18 @@ impl AegisCodec {
     #[must_use]
     pub fn new(rect: Rectangle) -> Self {
         let rom = InversionRom::new(&rect);
+        let shift = ShiftRom::new(&rect);
+        let groups = GroupRom::new(&rect);
         let inversion = BitBlock::zeros(rect.groups());
+        let scratch = Scratch::new(&rect);
         Self {
             rect,
             rom,
+            shift,
+            groups,
             slope: 0,
             inversion,
+            scratch,
         }
     }
 
@@ -78,9 +112,73 @@ impl AegisCodec {
     }
 
     /// One write attempt at a fixed slope: iteratively discovers wrong
-    /// groups and inverts them. Returns the final inversion vector on
-    /// success, or `None` upon a collision (caller advances the slope).
+    /// groups and inverts them, leaving the final inversion vector in
+    /// `scratch.inversion` on success. Returns `false` upon a collision
+    /// (caller advances the slope).
+    ///
+    /// This is the word-level kernel: the target is assembled by XOR-ing
+    /// whole [`ShiftRom`] mask rows into a reusable buffer (group masks are
+    /// disjoint, so XOR-accumulation equals XOR with their union), the
+    /// verification read lands in a reusable mismatch mask, and groups are
+    /// resolved through the [`GroupRom`] table instead of per-point modular
+    /// arithmetic. [`try_slope_scalar`](Self::try_slope_scalar) is the
+    /// retained per-point reference.
     fn try_slope(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+        slope: usize,
+        report: &mut WriteReport,
+    ) -> bool {
+        let Self {
+            rect,
+            shift,
+            groups: group_rom,
+            scratch,
+            ..
+        } = self;
+        let Scratch {
+            target,
+            wrong,
+            inversion,
+            round: round_groups,
+        } = scratch;
+        let groups = rect.groups();
+        inversion.clear();
+        for round in 0..=groups {
+            target.copy_from(data);
+            for group in inversion.ones() {
+                target.xor_words(shift.mask_words(slope, group));
+            }
+            report.cell_pulses += block.write_raw(target);
+            if round > 0 {
+                report.inversion_writes += 1;
+            }
+            report.verify_reads += 1;
+            block.verify_into(target, wrong);
+            if !wrong.any() {
+                return true;
+            }
+            round_groups.clear();
+            for offset in wrong.ones() {
+                let group = group_rom.group_of(offset, slope);
+                if inversion.get(group) || round_groups.get(group) {
+                    // Two faults of this write collide in one group.
+                    return false;
+                }
+                round_groups.set(group, true);
+            }
+            *inversion |= &*round_groups;
+        }
+        // Unreachable: each round sets at least one of B inversion bits.
+        false
+    }
+
+    /// The retained scalar reference for [`try_slope`](Self::try_slope):
+    /// allocates per round and resolves groups point-by-point through
+    /// [`Rectangle::group_of`]. The differential suite pins the kernel
+    /// against this implementation.
+    fn try_slope_scalar(
         &self,
         block: &mut PcmBlock,
         data: &BitBlock,
@@ -116,6 +214,44 @@ impl AegisCodec {
         // Unreachable: each round sets at least one of B inversion bits.
         None
     }
+
+    /// [`StuckAtCodec::write`] through the scalar reference path — same
+    /// contract and state updates as `write`, kept for differential testing
+    /// and as the baseline leg of the kernel benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// As [`StuckAtCodec::write`].
+    ///
+    /// # Panics
+    ///
+    /// As [`StuckAtCodec::write`].
+    pub fn write_scalar(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError> {
+        assert_eq!(data.len(), self.rect.bits(), "data width mismatch");
+        assert_eq!(block.len(), self.rect.bits(), "block width mismatch");
+        let slopes = self.rect.slopes();
+        let mut report = WriteReport::default();
+        for attempt in 0..slopes {
+            let slope = (self.slope + attempt) % slopes;
+            if attempt > 0 {
+                report.repartitions += 1;
+            }
+            if let Some(inversion) = self.try_slope_scalar(block, data, slope, &mut report) {
+                self.slope = slope;
+                self.inversion = inversion;
+                return Ok(report);
+            }
+        }
+        Err(UncorrectableError::new(
+            self.name(),
+            block.fault_count(),
+            "every slope has a fault collision for this data",
+        ))
+    }
 }
 
 impl StuckAtCodec for AegisCodec {
@@ -142,9 +278,9 @@ impl StuckAtCodec for AegisCodec {
             if attempt > 0 {
                 report.repartitions += 1;
             }
-            if let Some(inversion) = self.try_slope(block, data, slope, &mut report) {
+            if self.try_slope(block, data, slope, &mut report) {
                 self.slope = slope;
-                self.inversion = inversion;
+                self.inversion.copy_from(&self.scratch.inversion);
                 return Ok(report);
             }
         }
@@ -312,5 +448,36 @@ mod tests {
     #[test]
     fn name_reports_formation() {
         assert_eq!(small_codec().name(), "Aegis 5x7");
+    }
+
+    #[test]
+    fn kernel_write_matches_the_scalar_reference() {
+        use sim_rng::Rng;
+        let mut rng = SmallRng::seed_from_u64(77);
+        for trial in 0..64 {
+            let mut kernel = small_codec();
+            let mut scalar = small_codec();
+            let mut block_k = PcmBlock::pristine(32);
+            let mut block_s = PcmBlock::pristine(32);
+            for _ in 0..rng.random_range(0..5usize) {
+                let offset = rng.random_range(0..32usize);
+                let stuck: bool = rng.random();
+                block_k.force_stuck(offset, stuck);
+                block_s.force_stuck(offset, stuck);
+            }
+            for write in 0..4 {
+                let data = BitBlock::random(&mut rng, 32);
+                let k = kernel.write(&mut block_k, &data);
+                let s = scalar.write_scalar(&mut block_s, &data);
+                assert_eq!(k.is_ok(), s.is_ok(), "trial {trial} write {write}");
+                if let (Ok(k), Ok(s)) = (k, s) {
+                    assert_eq!(k, s, "trial {trial} write {write}: reports diverge");
+                    assert_eq!(kernel.slope(), scalar.slope());
+                    assert_eq!(kernel.inversion_vector(), scalar.inversion_vector());
+                    assert_eq!(kernel.read(&block_k), data);
+                    assert_eq!(block_k.read_raw(), block_s.read_raw());
+                }
+            }
+        }
     }
 }

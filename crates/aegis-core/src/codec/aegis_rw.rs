@@ -2,11 +2,42 @@
 //! from stuck-at-Right faults (paper §2.4).
 
 use crate::cost::ceil_log2;
-use crate::rom::{CollisionRom, InversionRom};
+use crate::rom::{CollisionRom, GroupRom, InversionRom, ShiftRom};
 use crate::Rectangle;
 use bitblock::BitBlock;
 use pcm_sim::codec::{StuckAtCodec, WriteReport};
 use pcm_sim::{classify_split, Fault, PcmBlock, UncorrectableError};
+
+/// Reusable buffers for the word-level write path, sized once at
+/// construction so steady-state writes allocate nothing.
+#[derive(Debug, Clone)]
+struct RwScratch {
+    /// Physical target being assembled (block width).
+    target: BitBlock,
+    /// Mismatch mask from the verification read (block width).
+    wrong: BitBlock,
+    /// Inversion vector for the current round (group width).
+    inversion: BitBlock,
+    /// Slopes ruled out by W–R collision pairs (slope width).
+    bad: BitBlock,
+    /// Working copy of the known-fault list (grows as faults are learned).
+    known: Vec<Fault>,
+    /// W/R classification of `known` against the current data.
+    split: Vec<bool>,
+}
+
+impl RwScratch {
+    fn new(rect: &Rectangle) -> Self {
+        Self {
+            target: BitBlock::zeros(rect.bits()),
+            wrong: BitBlock::zeros(rect.bits()),
+            inversion: BitBlock::zeros(rect.groups()),
+            bad: BitBlock::zeros(rect.slopes()),
+            known: Vec::new(),
+            split: Vec::new(),
+        }
+    }
+}
 
 /// The Aegis-rw codec: with fault positions and stuck values known before a
 /// write, a group may hold arbitrarily many faults of the *same* type, and
@@ -47,9 +78,12 @@ use pcm_sim::{classify_split, Fault, PcmBlock, UncorrectableError};
 pub struct AegisRwCodec {
     rect: Rectangle,
     rom: InversionRom,
+    shift: ShiftRom,
+    groups: GroupRom,
     collisions: CollisionRom,
     slope: usize,
     inversion: BitBlock,
+    scratch: RwScratch,
 }
 
 impl AegisRwCodec {
@@ -57,14 +91,20 @@ impl AegisRwCodec {
     #[must_use]
     pub fn new(rect: Rectangle) -> Self {
         let rom = InversionRom::new(&rect);
+        let shift = ShiftRom::new(&rect);
+        let groups = GroupRom::new(&rect);
         let collisions = CollisionRom::new(&rect);
         let inversion = BitBlock::zeros(rect.groups());
+        let scratch = RwScratch::new(&rect);
         Self {
             rect,
             rom,
+            shift,
+            groups,
             collisions,
             slope: 0,
             inversion,
+            scratch,
         }
     }
 
@@ -82,6 +122,8 @@ impl AegisRwCodec {
 
     /// Smallest slope on which no W fault shares a group with an R fault,
     /// or `None` if the W–R collision slopes cover every configuration.
+    /// Scalar reference; the kernel path marks bad slopes in a reusable
+    /// bit mask instead of a fresh `Vec`.
     fn choose_slope(&self, faults: &[Fault], wrong: &[bool]) -> Option<usize> {
         let slopes = self.rect.slopes();
         let mut bad = vec![false; slopes];
@@ -102,6 +144,12 @@ impl AegisRwCodec {
     /// the verification read and handled with extra write rounds, exactly
     /// as a real controller would.
     ///
+    /// This is the word-level kernel: slope elimination, the inversion
+    /// vector, the physical target and the verification mismatch mask all
+    /// land in buffers owned by the codec, so a steady-state write performs
+    /// no heap allocation. [`write_with_known_scalar`](Self::write_with_known_scalar)
+    /// is the retained per-point reference.
+    ///
     /// # Errors
     ///
     /// [`UncorrectableError`] when no slope separates the W faults from the
@@ -111,6 +159,108 @@ impl AegisRwCodec {
     ///
     /// Panics on width mismatches.
     pub fn write_with_known(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+        known: &[Fault],
+    ) -> Result<WriteReport, UncorrectableError> {
+        assert_eq!(data.len(), self.rect.bits(), "data width mismatch");
+        assert_eq!(block.len(), self.rect.bits(), "block width mismatch");
+        let Self {
+            rect,
+            shift,
+            groups: group_rom,
+            collisions,
+            slope: slope_state,
+            inversion: inversion_state,
+            scratch,
+            ..
+        } = self;
+        let RwScratch {
+            target,
+            wrong: wrong_mask,
+            inversion,
+            bad,
+            known: known_buf,
+            split,
+        } = scratch;
+        known_buf.clear();
+        known_buf.extend_from_slice(known);
+        let mut report = WriteReport::default();
+        // Each retry learns at least one new fault; the block width bounds
+        // the loop.
+        for round in 0..=rect.bits() {
+            split.clear();
+            split.extend(known_buf.iter().map(|f| f.is_wrong_for(data)));
+            bad.clear();
+            for (i, fi) in known_buf.iter().enumerate() {
+                for (j, fj) in known_buf.iter().enumerate().skip(i + 1) {
+                    if split[i] != split[j] {
+                        if let Some(k) = collisions.collision_slope(fi.offset, fj.offset) {
+                            bad.set(k, true);
+                        }
+                    }
+                }
+            }
+            let Some(slope) = (0..rect.slopes()).find(|&s| !bad.get(s)) else {
+                return Err(UncorrectableError::new(
+                    format!("Aegis-rw {}", rect.formation()),
+                    known_buf.len(),
+                    "W-R collision slopes cover every configuration",
+                ));
+            };
+            inversion.clear();
+            for (fault, &is_wrong) in known_buf.iter().zip(&*split) {
+                if is_wrong {
+                    inversion.set(group_rom.group_of(fault.offset, slope), true);
+                }
+            }
+            target.copy_from(data);
+            for group in inversion.ones() {
+                target.xor_words(shift.mask_words(slope, group));
+            }
+            report.cell_pulses += block.write_raw(target);
+            if round > 0 {
+                report.inversion_writes += 1;
+            }
+            report.verify_reads += 1;
+            block.verify_into(target, wrong_mask);
+            if !wrong_mask.any() {
+                *slope_state = slope;
+                inversion_state.copy_from(inversion);
+                return Ok(report);
+            }
+            // Newly discovered faults: remember their stuck values and retry.
+            let mut learned = false;
+            for offset in wrong_mask.ones() {
+                if !known_buf.iter().any(|f| f.offset == offset) {
+                    known_buf.push(Fault::new(offset, block.cell(offset).read()));
+                    learned = true;
+                }
+            }
+            assert!(
+                learned,
+                "verification failed without revealing a new fault; \
+                 the chosen slope should have masked all known faults"
+            );
+        }
+        unreachable!("cannot discover more faults than cells")
+    }
+
+    /// The retained scalar reference for
+    /// [`write_with_known`](Self::write_with_known): allocates its working
+    /// vectors per call and resolves groups through
+    /// [`Rectangle::group_of`]. The differential suite pins the kernel
+    /// against this implementation.
+    ///
+    /// # Errors
+    ///
+    /// As [`write_with_known`](Self::write_with_known).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn write_with_known_scalar(
         &mut self,
         block: &mut PcmBlock,
         data: &BitBlock,
@@ -164,6 +314,21 @@ impl AegisRwCodec {
             );
         }
         unreachable!("cannot discover more faults than cells")
+    }
+
+    /// [`StuckAtCodec::write`] through the scalar reference path (ideal
+    /// fail cache), kept for differential testing and benchmarking.
+    ///
+    /// # Errors
+    ///
+    /// As [`StuckAtCodec::write`].
+    pub fn write_scalar(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError> {
+        let known = block.faults();
+        self.write_with_known_scalar(block, data, &known)
     }
 }
 
@@ -312,5 +477,42 @@ mod tests {
         let codec = AegisRwCodec::new(Rectangle::new(9, 61, 512).unwrap());
         assert_eq!(codec.name(), "Aegis-rw 9x61");
         assert_eq!(codec.overhead_bits(), 67);
+    }
+
+    #[test]
+    fn kernel_write_matches_the_scalar_reference() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        for trial in 0..64 {
+            let mut kernel = small();
+            let mut scalar = small();
+            let mut block_k = PcmBlock::pristine(32);
+            let mut block_s = PcmBlock::pristine(32);
+            for _ in 0..rng.random_range(0..6usize) {
+                let offset = rng.random_range(0..32usize);
+                let stuck: bool = rng.random();
+                block_k.force_stuck(offset, stuck);
+                block_s.force_stuck(offset, stuck);
+            }
+            for write in 0..4 {
+                let data = BitBlock::random(&mut rng, 32);
+                // Half the writes go through a truncated cache so the
+                // fault-learning retry loop is exercised on both paths.
+                let known = block_k.faults();
+                let cut = if write % 2 == 0 {
+                    known.len()
+                } else {
+                    known.len() / 2
+                };
+                let k = kernel.write_with_known(&mut block_k, &data, &known[..cut]);
+                let s = scalar.write_with_known_scalar(&mut block_s, &data, &known[..cut]);
+                assert_eq!(k.is_ok(), s.is_ok(), "trial {trial} write {write}");
+                if let (Ok(k), Ok(s)) = (k, s) {
+                    assert_eq!(k, s, "trial {trial} write {write}: reports diverge");
+                    assert_eq!(kernel.slope(), scalar.slope());
+                    assert_eq!(kernel.read(&block_k), data);
+                    assert_eq!(block_k.read_raw(), block_s.read_raw());
+                }
+            }
+        }
     }
 }

@@ -1,11 +1,51 @@
 //! Aegis-rw-p: the pointer-based variant of Aegis-rw (paper §2.4).
 
 use crate::cost::ceil_log2;
-use crate::rom::{CollisionRom, InversionRom};
+use crate::rom::{CollisionRom, GroupRom, InversionRom, ShiftRom};
 use crate::Rectangle;
 use bitblock::BitBlock;
 use pcm_sim::codec::{StuckAtCodec, WriteReport};
 use pcm_sim::{classify_split, Fault, PcmBlock, UncorrectableError};
+
+/// Reusable buffers for the word-level write path, sized once at
+/// construction so steady-state writes allocate nothing.
+#[derive(Debug, Clone)]
+struct RwPScratch {
+    /// Physical target being assembled (block width).
+    target: BitBlock,
+    /// Mismatch mask from the verification read (block width).
+    wrong: BitBlock,
+    /// Slopes ruled out by W–R collision pairs (slope width).
+    bad: BitBlock,
+    /// Groups holding W faults under the slope being tried, insertion order.
+    w_groups: Vec<usize>,
+    /// Groups holding R faults under the slope being tried, insertion order.
+    r_groups: Vec<usize>,
+    /// Membership marker for `w_groups` (group width).
+    seen_w: BitBlock,
+    /// Membership marker for `r_groups` (group width).
+    seen_r: BitBlock,
+    /// Working copy of the known-fault list (grows as faults are learned).
+    known: Vec<Fault>,
+    /// W/R classification of `known` against the current data.
+    split: Vec<bool>,
+}
+
+impl RwPScratch {
+    fn new(rect: &Rectangle) -> Self {
+        Self {
+            target: BitBlock::zeros(rect.bits()),
+            wrong: BitBlock::zeros(rect.bits()),
+            bad: BitBlock::zeros(rect.slopes()),
+            w_groups: Vec::new(),
+            r_groups: Vec::new(),
+            seen_w: BitBlock::zeros(rect.groups()),
+            seen_r: BitBlock::zeros(rect.groups()),
+            known: Vec::new(),
+            split: Vec::new(),
+        }
+    }
+}
 
 /// How the pointers of one stored word are to be interpreted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,11 +91,14 @@ enum StorageCase {
 pub struct AegisRwPCodec {
     rect: Rectangle,
     rom: InversionRom,
+    shift: ShiftRom,
+    groups: GroupRom,
     collisions: CollisionRom,
     pointers: usize,
     slope: usize,
     case: StorageCase,
     pointed: Vec<usize>,
+    scratch: RwPScratch,
 }
 
 impl AegisRwPCodec {
@@ -68,15 +111,21 @@ impl AegisRwPCodec {
     pub fn new(rect: Rectangle, pointers: usize) -> Self {
         assert!(pointers > 0, "need at least one group pointer");
         let rom = InversionRom::new(&rect);
+        let shift = ShiftRom::new(&rect);
+        let groups = GroupRom::new(&rect);
         let collisions = CollisionRom::new(&rect);
+        let scratch = RwPScratch::new(&rect);
         Self {
             rect,
             rom,
+            shift,
+            groups,
             collisions,
             pointers,
             slope: 0,
             case: StorageCase::InvertPointed,
             pointed: Vec::new(),
+            scratch,
         }
     }
 
@@ -99,7 +148,9 @@ impl AegisRwPCodec {
     }
 
     /// Finds a slope with no W–R mixed group whose W-groups or R-groups fit
-    /// in the pointer budget.
+    /// in the pointer budget. Scalar reference; the kernel path runs the
+    /// same search over reusable buffers inside
+    /// [`write_with_known`](Self::write_with_known).
     fn choose_config(
         &self,
         faults: &[Fault],
@@ -162,6 +213,13 @@ impl AegisRwPCodec {
     /// [`AegisRwCodec::write_with_known`](crate::AegisRwCodec::write_with_known)
     /// for the bounded-cache rationale).
     ///
+    /// This is the word-level kernel: slope elimination, the per-slope
+    /// W/R group census, the physical target and the verification mismatch
+    /// mask all land in buffers owned by the codec, so a steady-state write
+    /// performs no heap allocation.
+    /// [`write_with_known_scalar`](Self::write_with_known_scalar) is the
+    /// retained per-point reference.
+    ///
     /// # Errors
     ///
     /// [`UncorrectableError`] when no slope both separates W from R faults
@@ -171,6 +229,141 @@ impl AegisRwPCodec {
     ///
     /// Panics on width mismatches.
     pub fn write_with_known(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+        known: &[Fault],
+    ) -> Result<WriteReport, UncorrectableError> {
+        assert_eq!(data.len(), self.rect.bits(), "data width mismatch");
+        assert_eq!(block.len(), self.rect.bits(), "block width mismatch");
+        let Self {
+            rect,
+            shift,
+            groups: group_rom,
+            collisions,
+            pointers,
+            slope: slope_state,
+            case: case_state,
+            pointed: pointed_state,
+            scratch,
+            ..
+        } = self;
+        let pointers = *pointers;
+        let RwPScratch {
+            target,
+            wrong: wrong_mask,
+            bad,
+            w_groups,
+            r_groups,
+            seen_w,
+            seen_r,
+            known: known_buf,
+            split,
+        } = scratch;
+        known_buf.clear();
+        known_buf.extend_from_slice(known);
+        let mut report = WriteReport::default();
+        for round in 0..=rect.bits() {
+            split.clear();
+            split.extend(known_buf.iter().map(|f| f.is_wrong_for(data)));
+            bad.clear();
+            for (i, fi) in known_buf.iter().enumerate() {
+                for (j, fj) in known_buf.iter().enumerate().skip(i + 1) {
+                    if split[i] != split[j] {
+                        if let Some(k) = collisions.collision_slope(fi.offset, fj.offset) {
+                            bad.set(k, true);
+                        }
+                    }
+                }
+            }
+            let mut found = None;
+            for slope in 0..rect.slopes() {
+                if bad.get(slope) {
+                    continue;
+                }
+                w_groups.clear();
+                r_groups.clear();
+                seen_w.clear();
+                seen_r.clear();
+                for (fault, &is_wrong) in known_buf.iter().zip(&*split) {
+                    let g = group_rom.group_of(fault.offset, slope);
+                    let (seen, set) = if is_wrong {
+                        (&mut *seen_w, &mut *w_groups)
+                    } else {
+                        (&mut *seen_r, &mut *r_groups)
+                    };
+                    if !seen.get(g) {
+                        seen.set(g, true);
+                        set.push(g);
+                    }
+                }
+                if w_groups.len() <= pointers {
+                    found = Some((slope, StorageCase::InvertPointed));
+                    break;
+                }
+                if r_groups.len() <= pointers {
+                    found = Some((slope, StorageCase::InvertAllButPointed));
+                    break;
+                }
+            }
+            let Some((slope, case)) = found else {
+                return Err(UncorrectableError::new(
+                    format!("Aegis-rw-p {} p={pointers}", rect.formation()),
+                    known_buf.len(),
+                    "no slope separates W from R faults within the pointer budget",
+                ));
+            };
+            let pointed: &[usize] = if case == StorageCase::InvertPointed {
+                w_groups
+            } else {
+                r_groups
+            };
+            target.copy_from(data);
+            for &group in pointed {
+                target.xor_words(shift.mask_words(slope, group));
+            }
+            if case == StorageCase::InvertAllButPointed {
+                target.invert_all();
+            }
+            report.cell_pulses += block.write_raw(target);
+            if round > 0 {
+                report.inversion_writes += 1;
+            }
+            report.verify_reads += 1;
+            block.verify_into(target, wrong_mask);
+            if !wrong_mask.any() {
+                *slope_state = slope;
+                *case_state = case;
+                pointed_state.clear();
+                pointed_state.extend_from_slice(pointed);
+                return Ok(report);
+            }
+            let mut learned = false;
+            for offset in wrong_mask.ones() {
+                if !known_buf.iter().any(|f| f.offset == offset) {
+                    known_buf.push(Fault::new(offset, block.cell(offset).read()));
+                    learned = true;
+                }
+            }
+            assert!(learned, "verification failed without revealing a new fault");
+        }
+        unreachable!("cannot discover more faults than cells")
+    }
+
+    /// The retained scalar reference for
+    /// [`write_with_known`](Self::write_with_known): allocates its working
+    /// vectors per call and resolves groups through
+    /// [`Rectangle::group_of`]. The differential suite pins the kernel
+    /// against this implementation.
+    ///
+    /// # Errors
+    ///
+    /// As [`write_with_known`](Self::write_with_known).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn write_with_known_scalar(
         &mut self,
         block: &mut PcmBlock,
         data: &BitBlock,
@@ -212,6 +405,21 @@ impl AegisRwPCodec {
             assert!(learned, "verification failed without revealing a new fault");
         }
         unreachable!("cannot discover more faults than cells")
+    }
+
+    /// [`StuckAtCodec::write`] through the scalar reference path (ideal
+    /// fail cache), kept for differential testing and benchmarking.
+    ///
+    /// # Errors
+    ///
+    /// As [`StuckAtCodec::write`].
+    pub fn write_scalar(
+        &mut self,
+        block: &mut PcmBlock,
+        data: &BitBlock,
+    ) -> Result<WriteReport, UncorrectableError> {
+        let known = block.faults();
+        self.write_with_known_scalar(block, data, &known)
     }
 }
 
@@ -356,5 +564,43 @@ mod tests {
     #[should_panic(expected = "at least one group pointer")]
     fn zero_pointers_panics() {
         let _ = AegisRwPCodec::new(Rectangle::new(5, 7, 32).unwrap(), 0);
+    }
+
+    #[test]
+    fn kernel_write_matches_the_scalar_reference() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        for trial in 0..64 {
+            let p = rng.random_range(1..4usize);
+            let mut kernel = small(p);
+            let mut scalar = small(p);
+            let mut block_k = PcmBlock::pristine(32);
+            let mut block_s = PcmBlock::pristine(32);
+            for _ in 0..rng.random_range(0..6usize) {
+                let offset = rng.random_range(0..32usize);
+                let stuck: bool = rng.random();
+                block_k.force_stuck(offset, stuck);
+                block_s.force_stuck(offset, stuck);
+            }
+            for write in 0..4 {
+                let data = BitBlock::random(&mut rng, 32);
+                let known = block_k.faults();
+                let cut = if write % 2 == 0 {
+                    known.len()
+                } else {
+                    known.len() / 2
+                };
+                let k = kernel.write_with_known(&mut block_k, &data, &known[..cut]);
+                let s = scalar.write_with_known_scalar(&mut block_s, &data, &known[..cut]);
+                assert_eq!(k.is_ok(), s.is_ok(), "trial {trial} write {write}");
+                if let (Ok(k), Ok(s)) = (k, s) {
+                    assert_eq!(k, s, "trial {trial} write {write}: reports diverge");
+                    assert_eq!(kernel.slope(), scalar.slope());
+                    assert_eq!(kernel.case, scalar.case);
+                    assert_eq!(kernel.pointed, scalar.pointed);
+                    assert_eq!(kernel.read(&block_k), data);
+                    assert_eq!(block_k.read_raw(), block_s.read_raw());
+                }
+            }
+        }
     }
 }

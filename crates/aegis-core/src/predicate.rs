@@ -21,9 +21,32 @@
 //!   `min(#W-groups, #R-groups) ≤ p`.
 
 use crate::cost::ceil_log2;
+use crate::rom::{CollisionRom, GroupRom};
 use crate::Rectangle;
-use pcm_sim::policy::RecoveryPolicy;
+use pcm_sim::policy::{PolicyScratch, RecoveryPolicy};
 use pcm_sim::Fault;
+
+/// Precomputed lookup tables shared by the kernel-mode predicates: the
+/// pairwise collision-slope ROM and the (offset, slope) → group ROM.
+///
+/// Built once per policy; replaces the arithmetic `Rectangle` queries on
+/// the Monte Carlo hot path with O(1) table reads. The scalar constructors
+/// omit them, keeping the original arithmetic path alive as the reference
+/// implementation.
+#[derive(Debug, Clone)]
+struct PolicyRoms {
+    collisions: CollisionRom,
+    groups: GroupRom,
+}
+
+impl PolicyRoms {
+    fn new(rect: &Rectangle) -> Self {
+        Self {
+            collisions: CollisionRom::new(rect),
+            groups: GroupRom::new(rect),
+        }
+    }
+}
 
 /// Marks every slope on which a pair selected by `matters` collides and
 /// returns the flags (`true` = bad) plus the count of bad slopes.
@@ -54,17 +77,60 @@ fn bad_slopes<F: Fn(bool, bool) -> bool>(
     (bad, count)
 }
 
+/// [`bad_slopes`], but reading collision slopes from the precomputed ROM
+/// and marking bad slopes in a caller-provided buffer (no allocation).
+///
+/// Iterates fault pairs in exactly the same order as [`bad_slopes`] with
+/// the same early exit, so the two agree bit-for-bit on every input.
+fn bad_slopes_into<F: Fn(bool, bool) -> bool>(
+    slopes: usize,
+    roms: &PolicyRoms,
+    faults: &[Fault],
+    wrong: &[bool],
+    matters: F,
+    bad: &mut [bool],
+) -> usize {
+    let mut count = 0;
+    for (i, fi) in faults.iter().enumerate() {
+        for (j, fj) in faults.iter().enumerate().skip(i + 1) {
+            if matters(wrong[i], wrong[j]) {
+                if let Some(k) = roms.collisions.collision_slope(fi.offset, fj.offset) {
+                    if !bad[k] {
+                        bad[k] = true;
+                        count += 1;
+                        if count == slopes {
+                            return count;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
 /// Monte Carlo predicate for base Aegis (§2.2 semantics).
 #[derive(Debug, Clone)]
 pub struct AegisPolicy {
     rect: Rectangle,
+    roms: Option<PolicyRoms>,
 }
 
 impl AegisPolicy {
-    /// Creates the policy for an `A×B` scheme.
+    /// Creates the policy for an `A×B` scheme with the kernel-mode lookup
+    /// ROMs built.
     #[must_use]
     pub fn new(rect: Rectangle) -> Self {
-        Self { rect }
+        let roms = Some(PolicyRoms::new(&rect));
+        Self { rect, roms }
+    }
+
+    /// Creates the reference-mode policy: decisions are computed with the
+    /// original per-pair `Rectangle` arithmetic even under
+    /// [`RecoveryPolicy::recoverable_with`].
+    #[must_use]
+    pub fn scalar(rect: Rectangle) -> Self {
+        Self { rect, roms: None }
     }
 
     /// The partition scheme.
@@ -94,6 +160,22 @@ impl RecoveryPolicy for AegisPolicy {
         count < self.rect.slopes()
     }
 
+    fn recoverable_with(
+        &self,
+        faults: &[Fault],
+        wrong: &[bool],
+        scratch: &mut PolicyScratch,
+    ) -> bool {
+        let Some(roms) = &self.roms else {
+            return self.recoverable(faults, wrong);
+        };
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        let slopes = self.rect.slopes();
+        let bad = scratch.flags(slopes);
+        let count = bad_slopes_into(slopes, roms, faults, wrong, |wi, wj| wi || wj, bad);
+        count < slopes
+    }
+
     /// Exact data-independent guarantee: some slope puts every fault in its
     /// own group (then any data word is writable).
     fn guaranteed(&self, faults: &[Fault]) -> bool {
@@ -107,13 +189,22 @@ impl RecoveryPolicy for AegisPolicy {
 #[derive(Debug, Clone)]
 pub struct AegisRwPolicy {
     rect: Rectangle,
+    roms: Option<PolicyRoms>,
 }
 
 impl AegisRwPolicy {
-    /// Creates the policy for an `A×B` scheme.
+    /// Creates the policy for an `A×B` scheme with the kernel-mode lookup
+    /// ROMs built.
     #[must_use]
     pub fn new(rect: Rectangle) -> Self {
-        Self { rect }
+        let roms = Some(PolicyRoms::new(&rect));
+        Self { rect, roms }
+    }
+
+    /// Creates the reference-mode policy (see [`AegisPolicy::scalar`]).
+    #[must_use]
+    pub fn scalar(rect: Rectangle) -> Self {
+        Self { rect, roms: None }
     }
 
     /// The partition scheme.
@@ -141,6 +232,22 @@ impl RecoveryPolicy for AegisRwPolicy {
         let (_, count) = bad_slopes(&self.rect, faults, wrong, |wi, wj| wi != wj);
         count < self.rect.slopes()
     }
+
+    fn recoverable_with(
+        &self,
+        faults: &[Fault],
+        wrong: &[bool],
+        scratch: &mut PolicyScratch,
+    ) -> bool {
+        let Some(roms) = &self.roms else {
+            return self.recoverable(faults, wrong);
+        };
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        let slopes = self.rect.slopes();
+        let bad = scratch.flags(slopes);
+        let count = bad_slopes_into(slopes, roms, faults, wrong, |wi, wj| wi != wj, bad);
+        count < slopes
+    }
 }
 
 /// Monte Carlo predicate for Aegis-rw-p (§2.4, `p` group pointers).
@@ -148,10 +255,12 @@ impl RecoveryPolicy for AegisRwPolicy {
 pub struct AegisRwPPolicy {
     rect: Rectangle,
     pointers: usize,
+    roms: Option<PolicyRoms>,
 }
 
 impl AegisRwPPolicy {
-    /// Creates the policy with `pointers` group pointers.
+    /// Creates the policy with `pointers` group pointers and the
+    /// kernel-mode lookup ROMs built.
     ///
     /// # Panics
     ///
@@ -159,7 +268,27 @@ impl AegisRwPPolicy {
     #[must_use]
     pub fn new(rect: Rectangle, pointers: usize) -> Self {
         assert!(pointers > 0, "need at least one group pointer");
-        Self { rect, pointers }
+        let roms = Some(PolicyRoms::new(&rect));
+        Self {
+            rect,
+            pointers,
+            roms,
+        }
+    }
+
+    /// Creates the reference-mode policy (see [`AegisPolicy::scalar`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pointers == 0`.
+    #[must_use]
+    pub fn scalar(rect: Rectangle, pointers: usize) -> Self {
+        assert!(pointers > 0, "need at least one group pointer");
+        Self {
+            rect,
+            pointers,
+            roms: None,
+        }
     }
 
     /// The partition scheme.
@@ -206,6 +335,56 @@ impl RecoveryPolicy for AegisRwPPolicy {
             let (mut w_groups, mut r_groups) = (0usize, 0usize);
             for (fault, &is_wrong) in faults.iter().zip(wrong) {
                 let g = self.rect.group_of(fault.offset, slope);
+                let flag = if is_wrong { 1 } else { 2 };
+                if occupancy[g] & flag == 0 {
+                    occupancy[g] |= flag;
+                    if is_wrong {
+                        w_groups += 1;
+                    } else {
+                        r_groups += 1;
+                    }
+                }
+            }
+            if w_groups.min(r_groups) <= self.pointers {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn recoverable_with(
+        &self,
+        faults: &[Fault],
+        wrong: &[bool],
+        scratch: &mut PolicyScratch,
+    ) -> bool {
+        let Some(roms) = &self.roms else {
+            return self.recoverable(faults, wrong);
+        };
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        let slopes = self.rect.slopes();
+        let groups = self.rect.groups();
+        scratch.flags.clear();
+        scratch.flags.resize(slopes, false);
+        scratch.bytes.clear();
+        scratch.bytes.resize(groups, 0);
+        let PolicyScratch {
+            flags: bad,
+            bytes: occupancy,
+            ..
+        } = scratch;
+        let count = bad_slopes_into(slopes, roms, faults, wrong, |wi, wj| wi != wj, bad);
+        if count == slopes {
+            return false;
+        }
+        for (slope, &is_bad) in bad.iter().enumerate() {
+            if is_bad {
+                continue;
+            }
+            occupancy.fill(0);
+            let (mut w_groups, mut r_groups) = (0usize, 0usize);
+            for (fault, &is_wrong) in faults.iter().zip(wrong) {
+                let g = roms.groups.group_of(fault.offset, slope);
                 let flag = if is_wrong { 1 } else { 2 };
                 if occupancy[g] & flag == 0 {
                     occupancy[g] |= flag;
@@ -333,6 +512,56 @@ mod tests {
                 let now = policy.recoverable(&fs, &wrong);
                 assert!(!prev || now, "more pointers must not hurt");
                 prev = now;
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_predicates_match_the_scalar_reference() {
+        use pcm_sim::policy::PolicyScratch;
+        use sim_rng::{Rng, SeedableRng, SmallRng};
+        let r = rect();
+        let kernel: Vec<Box<dyn RecoveryPolicy>> = vec![
+            Box::new(AegisPolicy::new(r.clone())),
+            Box::new(AegisRwPolicy::new(r.clone())),
+            Box::new(AegisRwPPolicy::new(r.clone(), 2)),
+        ];
+        let scalar: Vec<Box<dyn RecoveryPolicy>> = vec![
+            Box::new(AegisPolicy::scalar(r.clone())),
+            Box::new(AegisRwPolicy::scalar(r.clone())),
+            Box::new(AegisRwPPolicy::scalar(r.clone(), 2)),
+        ];
+        let mut rng = SmallRng::seed_from_u64(97);
+        let mut scratch = PolicyScratch::new();
+        for _ in 0..300 {
+            let f: usize = rng.random_range(1..12);
+            let mut offsets: Vec<usize> = Vec::new();
+            while offsets.len() < f {
+                let o: usize = rng.random_range(0..r.bits());
+                if !offsets.contains(&o) {
+                    offsets.push(o);
+                }
+            }
+            let fs: Vec<Fault> = offsets
+                .iter()
+                .map(|&o| Fault::new(o, rng.random()))
+                .collect();
+            let wrong: Vec<bool> = (0..f).map(|_| rng.random()).collect();
+            for (k, s) in kernel.iter().zip(&scalar) {
+                let want = s.recoverable(&fs, &wrong);
+                assert_eq!(k.recoverable(&fs, &wrong), want, "{}", k.name());
+                assert_eq!(
+                    k.recoverable_with(&fs, &wrong, &mut scratch),
+                    want,
+                    "{} (kernel)",
+                    k.name()
+                );
+                assert_eq!(
+                    s.recoverable_with(&fs, &wrong, &mut scratch),
+                    want,
+                    "{} (scalar recoverable_with)",
+                    s.name()
+                );
             }
         }
     }

@@ -10,6 +10,12 @@
 //!
 //! A software table computed once at construction has the same
 //! input→output behaviour as the combinational circuits in the figures.
+//!
+//! [`ShiftRom`] is the word-packed twin of [`InversionRom`]: the same
+//! `(slope, group) → member mask` relation, laid out as one flat `u64`
+//! array so the encode/verify hot path can OR or XOR a whole mask into a
+//! codeword as contiguous words instead of walking bit offsets. It backs
+//! the kernel paths in `codec/` (see DESIGN.md, "Hot-path kernels").
 
 use crate::Rectangle;
 use bitblock::BitBlock;
@@ -132,6 +138,116 @@ impl InversionRom {
     }
 }
 
+/// Word-packed `(slope, group) → member-bit mask` store for the kernel
+/// encode path.
+///
+/// Every mask occupies exactly [`ShiftRom::words_per_mask`] consecutive
+/// `u64` words of one flat allocation (row order `slope * groups + group`),
+/// with tail bits beyond the block width held at zero — the canonical form
+/// [`bitblock::BitBlock`] word kernels expect. The name follows the
+/// hardware view: under a fixed slope, each group's diagonal is a barrel
+/// shift of the slope's anchor line, so the whole table is what a shifter
+/// network would materialise.
+#[derive(Debug, Clone)]
+pub struct ShiftRom {
+    /// `words[(slope * groups + group) * words_per_mask ..][..words_per_mask]`.
+    words: Vec<u64>,
+    words_per_mask: usize,
+    groups: usize,
+    slopes: usize,
+    bits: usize,
+}
+
+impl ShiftRom {
+    /// Builds the packed mask table for a rectangle.
+    #[must_use]
+    pub fn new(rect: &Rectangle) -> Self {
+        let groups = rect.groups();
+        let slopes = rect.slopes();
+        let words_per_mask = rect.bits().div_ceil(64);
+        let mut words = Vec::with_capacity(groups * slopes * words_per_mask);
+        for slope in 0..slopes {
+            for group in 0..groups {
+                let mask = BitBlock::from_indices(rect.bits(), rect.group_members(slope, group));
+                words.extend_from_slice(mask.as_words());
+            }
+        }
+        Self {
+            words,
+            words_per_mask,
+            groups,
+            slopes,
+            bits: rect.bits(),
+        }
+    }
+
+    /// Block width in bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Words per stored mask (`bits.div_ceil(64)`).
+    #[must_use]
+    pub fn words_per_mask(&self) -> usize {
+        self.words_per_mask
+    }
+
+    /// Member mask of one group under one slope, as raw words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input is out of range.
+    #[must_use]
+    pub fn mask_words(&self, slope: usize, group: usize) -> &[u64] {
+        assert!(
+            slope < self.slopes && group < self.groups,
+            "ShiftRom index out of range"
+        );
+        let start = (slope * self.groups + group) * self.words_per_mask;
+        &self.words[start..start + self.words_per_mask]
+    }
+
+    /// Fills `out` with the union of every group mask selected by
+    /// `inversion_vector`, reusing `out`'s allocation — the allocation-free
+    /// twin of [`InversionRom::inversion_mask`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slope` is out of range, the vector width differs from the
+    /// group count, or `out` is not `bits` wide.
+    pub fn inversion_mask_into(
+        &self,
+        slope: usize,
+        inversion_vector: &BitBlock,
+        out: &mut BitBlock,
+    ) {
+        assert_eq!(
+            inversion_vector.len(),
+            self.groups,
+            "inversion vector width must equal the group count"
+        );
+        assert_eq!(out.len(), self.bits, "output mask width must equal bits");
+        out.clear();
+        for group in inversion_vector.ones() {
+            out.or_words(self.mask_words(slope, group));
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`ShiftRom::inversion_mask_into`].
+    ///
+    /// # Panics
+    ///
+    /// As [`ShiftRom::inversion_mask_into`].
+    #[must_use]
+    pub fn inversion_mask(&self, slope: usize, inversion_vector: &BitBlock) -> BitBlock {
+        let mut out = BitBlock::zeros(self.bits);
+        self.inversion_mask_into(slope, inversion_vector, &mut out);
+        out
+    }
+}
+
 /// The §2.4 ROM: for every pair of bit offsets, the unique slope on which
 /// they collide (`u16::MAX` encodes "never collide" — same-column pairs).
 #[derive(Debug, Clone)]
@@ -233,6 +349,42 @@ mod tests {
                 .count_ones(),
             0
         );
+    }
+
+    #[test]
+    fn shift_rom_words_mirror_the_inversion_rom() {
+        let r = rect();
+        let packed = ShiftRom::new(&r);
+        let rom = InversionRom::new(&r);
+        assert_eq!(packed.words_per_mask(), r.bits().div_ceil(64));
+        for slope in 0..r.slopes() {
+            for group in 0..r.groups() {
+                assert_eq!(
+                    packed.mask_words(slope, group),
+                    rom.group_mask(slope, group).as_words()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shift_rom_inversion_mask_agrees_with_the_block_level_rom() {
+        let r = rect();
+        let packed = ShiftRom::new(&r);
+        let rom = InversionRom::new(&r);
+        let mut vector = BitBlock::zeros(r.groups());
+        vector.set(1, true);
+        vector.set(4, true);
+        vector.set(6, true);
+        for slope in 0..r.slopes() {
+            assert_eq!(
+                packed.inversion_mask(slope, &vector),
+                rom.inversion_mask(slope, &vector)
+            );
+        }
+        let mut out = BitBlock::ones_block(r.bits());
+        packed.inversion_mask_into(2, &BitBlock::zeros(r.groups()), &mut out);
+        assert_eq!(out.count_ones(), 0, "the into-variant must clear first");
     }
 
     #[test]

@@ -53,6 +53,6 @@ pub mod hamming;
 
 pub use ecp::{EcpCodec, EcpPolicy};
 pub use hamming::{HammingCodec, HammingPolicy};
-pub use rdis::{InvertibleSets, RdisCodec, RdisPolicy, RdisScheme};
+pub use rdis::{InvertibleSets, RdisCodec, RdisPolicy, RdisRom, RdisScheme};
 pub use safer::{combinations, PartitionSearch, SaferCodec, SaferPolicy, SaferScheme};
 pub use unprotected::{UnprotectedCodec, UnprotectedPolicy};

@@ -166,11 +166,73 @@ impl RdisScheme {
     }
 
     /// The block-wide inversion parity mask implied by a set of levels.
+    ///
+    /// Per-point reference implementation; the codec uses the word-level
+    /// [`RdisRom::parity_mask`] kernel, which is tested against this.
     #[must_use]
     pub fn parity_mask(&self, levels: &[(BitBlock, BitBlock)]) -> BitBlock {
         BitBlock::from_fn(self.block_bits(), |offset| {
             self.membership_depth(levels, offset) % 2 == 1
         })
+    }
+}
+
+/// Word-packed row and column membership masks for an [`RdisScheme`]: the
+/// building blocks of the parity-mask kernel.
+///
+/// `row_masks[r]` marks every offset in grid row `r` and `col_masks[c]`
+/// every offset in grid column `c`, so a level's set mask is the OR of its
+/// marked rows ANDed with the OR of its marked columns — whole `u64` lanes
+/// instead of a per-point membership walk.
+#[derive(Debug, Clone)]
+pub struct RdisRom {
+    row_masks: Vec<BitBlock>,
+    col_masks: Vec<BitBlock>,
+    bits: usize,
+}
+
+impl RdisRom {
+    /// Builds the masks for `scheme`.
+    #[must_use]
+    pub fn new(scheme: &RdisScheme) -> Self {
+        let bits = scheme.block_bits();
+        let cols = scheme.cols();
+        Self {
+            row_masks: (0..scheme.rows())
+                .map(|r| BitBlock::from_fn(bits, |o| o / cols == r))
+                .collect(),
+            col_masks: (0..cols)
+                .map(|c| BitBlock::from_fn(bits, |o| o % cols == c))
+                .collect(),
+            bits,
+        }
+    }
+
+    /// Word-level equivalent of [`RdisScheme::parity_mask`].
+    ///
+    /// A cell's membership depth is the length of the prefix of levels
+    /// containing it, so XOR-accumulating the running prefix intersection
+    /// of the per-level set masks yields exactly the depth-parity bit.
+    #[must_use]
+    pub fn parity_mask(&self, levels: &[(BitBlock, BitBlock)]) -> BitBlock {
+        let mut out = BitBlock::zeros(self.bits);
+        let mut prefix = BitBlock::ones_block(self.bits);
+        let mut level = BitBlock::zeros(self.bits);
+        let mut cols_union = BitBlock::zeros(self.bits);
+        for (rows, cols) in levels {
+            level.clear();
+            for r in rows.ones() {
+                level.or_words(self.row_masks[r].as_words());
+            }
+            cols_union.clear();
+            for c in cols.ones() {
+                cols_union.or_words(self.col_masks[c].as_words());
+            }
+            level &= &cols_union;
+            prefix &= &level;
+            out ^= &prefix;
+        }
+        out
     }
 }
 
@@ -198,6 +260,7 @@ impl RdisScheme {
 #[derive(Debug, Clone)]
 pub struct RdisCodec {
     scheme: RdisScheme,
+    rom: RdisRom,
     levels: Vec<(BitBlock, BitBlock)>,
 }
 
@@ -205,8 +268,10 @@ impl RdisCodec {
     /// Creates a codec for the given scheme.
     #[must_use]
     pub fn new(scheme: RdisScheme) -> Self {
+        let rom = RdisRom::new(&scheme);
         Self {
             scheme,
+            rom,
             levels: Vec::new(),
         }
     }
@@ -264,7 +329,7 @@ impl StuckAtCodec for RdisCodec {
                     ),
                 ));
             };
-            let target = data ^ &self.scheme.parity_mask(&sets.levels);
+            let target = data ^ &self.rom.parity_mask(&sets.levels);
             report.cell_pulses += block.write_raw(&target);
             report.verify_reads += 1;
             if block.verify(&target).is_empty() {
@@ -278,7 +343,7 @@ impl StuckAtCodec for RdisCodec {
     }
 
     fn read(&self, block: &PcmBlock) -> BitBlock {
-        block.read_raw() ^ self.scheme.parity_mask(&self.levels)
+        block.read_raw() ^ self.rom.parity_mask(&self.levels)
     }
 
     fn overhead_bits(&self) -> usize {
@@ -471,6 +536,33 @@ mod tests {
             assert_eq!(codec_ok, policy.recoverable(&faults, &wrong));
             if codec_ok {
                 assert_eq!(codec.read(&block), data);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_parity_mask_matches_the_scalar_reference() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        for &bits in &[64usize, 256, 512] {
+            let scheme = RdisScheme::for_block(bits, 3);
+            let rom = RdisRom::new(&scheme);
+            for _ in 0..60 {
+                // Random (not necessarily nested) levels: the kernel must
+                // agree with the take_while semantics regardless.
+                let depth = rng.random_range(0..=3);
+                let levels: Vec<(BitBlock, BitBlock)> = (0..depth)
+                    .map(|_| {
+                        (
+                            BitBlock::random(&mut rng, scheme.rows()),
+                            BitBlock::random(&mut rng, scheme.cols()),
+                        )
+                    })
+                    .collect();
+                assert_eq!(
+                    rom.parity_mask(&levels),
+                    scheme.parity_mask(&levels),
+                    "bits={bits} levels={levels:?}"
+                );
             }
         }
     }

@@ -172,6 +172,9 @@ pub struct SaferCodec {
     search: PartitionSearch,
     positions: Vec<usize>,
     inversion: BitBlock,
+    /// `addr_masks[p]` marks every offset whose address bit `p` is 1 —
+    /// the word-packed building blocks of the inversion-mask kernel.
+    addr_masks: Vec<BitBlock>,
 }
 
 impl SaferCodec {
@@ -184,11 +187,15 @@ impl SaferCodec {
     pub fn new(m: usize, block_bits: usize, search: PartitionSearch) -> Self {
         let scheme = SaferScheme::new(m, block_bits);
         let inversion = BitBlock::zeros(scheme.groups());
+        let addr_masks = (0..scheme.addr_bits())
+            .map(|p| BitBlock::from_fn(block_bits, |offset| (offset >> p) & 1 == 1))
+            .collect();
         Self {
             scheme,
             search,
             positions: Vec::new(),
             inversion,
+            addr_masks,
         }
     }
 
@@ -204,7 +211,38 @@ impl SaferCodec {
         &self.scheme
     }
 
+    /// Block-wide mask of cells whose group is marked for inversion.
+    ///
+    /// Word-level kernel: each inverted group contributes the AND of its
+    /// matching address-bit masks (or their complements), OR-accumulated a
+    /// `u64` lane at a time. [`Self::inversion_mask_scalar`] is the
+    /// per-point reference it is tested against.
     fn inversion_mask(&self, positions: &[usize], inversion: &BitBlock) -> BitBlock {
+        let bits = self.scheme.block_bits;
+        let mut out = BitBlock::zeros(bits);
+        for wi in 0..out.as_words().len() {
+            let mut acc = 0u64;
+            for group in inversion.ones() {
+                if group >> positions.len() != 0 {
+                    // Unreachable under `positions`: no cell maps there.
+                    continue;
+                }
+                let mut term = !0u64;
+                for (i, &p) in positions.iter().enumerate() {
+                    let mask = self.addr_masks[p].as_words()[wi];
+                    term &= if (group >> i) & 1 == 1 { mask } else { !mask };
+                }
+                acc |= term;
+            }
+            out.set_word(wi, acc);
+        }
+        out
+    }
+
+    /// Per-point reference implementation of [`Self::inversion_mask`],
+    /// retained for the differential test below.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn inversion_mask_scalar(&self, positions: &[usize], inversion: &BitBlock) -> BitBlock {
         BitBlock::from_fn(self.scheme.block_bits, |offset| {
             inversion.get(self.scheme.group_of(offset, positions))
         })
@@ -642,5 +680,36 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn non_power_of_two_block_panics() {
         let _ = SaferScheme::new(3, 500);
+    }
+
+    #[test]
+    fn kernel_inversion_mask_matches_the_scalar_reference() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for &(m, bits) in &[(1usize, 64usize), (3, 64), (5, 512), (7, 128)] {
+            let codec = SaferCodec::new(m, bits, PartitionSearch::Exhaustive);
+            for trial in 0..40 {
+                // Random partial vectors exercise the incremental path too.
+                let len = rng.random_range(0..=m);
+                let mut positions: Vec<usize> = Vec::new();
+                while positions.len() < len {
+                    let p: usize = rng.random_range(0..codec.scheme().addr_bits());
+                    if !positions.contains(&p) {
+                        positions.push(p);
+                    }
+                }
+                let inversion = if trial % 2 == 0 {
+                    BitBlock::random(&mut rng, codec.scheme().groups())
+                } else {
+                    BitBlock::from_fn(codec.scheme().groups(), |g| {
+                        g >> positions.len() == 0 && g % 3 == 0
+                    })
+                };
+                assert_eq!(
+                    codec.inversion_mask(&positions, &inversion),
+                    codec.inversion_mask_scalar(&positions, &inversion),
+                    "m={m} bits={bits} positions={positions:?}"
+                );
+            }
+        }
     }
 }

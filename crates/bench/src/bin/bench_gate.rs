@@ -1,0 +1,211 @@
+//! PR 3 bench gate: reads `BENCH_pr3.json` (the `kernels` bench target's
+//! output) and fails — exit code 1 — unless the kernel rewrite holds its
+//! promises:
+//!
+//! 1. **Kernel speedup.** The `encode_512_9x61` and `predicate_512_9x61`
+//!    groups must show the `kernel` leg at least 2× faster (median) than
+//!    the `scalar` leg; `repartition_512_9x61` and `fig5_page_512_9x61`
+//!    must show the kernel no slower than 1.1× scalar. These are
+//!    same-process ratios, so they are machine-independent.
+//! 2. **No wall-clock regression.** When a baseline document is supplied
+//!    (second argument, or `BENCH_pr3.baseline.json` next to the current
+//!    file), every benchmark present in both must not have regressed by
+//!    more than 20% (median), and a recorded fig5 `--full` post-change
+//!    wall clock must beat the pre-change measurement.
+//!
+//! Usage: `bench-gate [CURRENT_JSON [BASELINE_JSON]]` — defaults to
+//! `results/bench/BENCH_pr3.json` under the workspace root. Exit code 2
+//! on unreadable/malformed input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sim_telemetry::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Minimum kernel-over-scalar median speedup for the encode and predicate
+/// groups (the PR 3 acceptance bar).
+const REQUIRED_SPEEDUP: f64 = 2.0;
+/// Noise allowance for the groups only required not to regress.
+const PARITY_TOLERANCE: f64 = 1.25;
+/// Maximum tolerated median regression versus the recorded baseline.
+const REGRESSION_TOLERANCE: f64 = 1.2;
+
+/// `(group, name) -> median_ns` for one bench document.
+fn medians(doc: &Json) -> Option<BTreeMap<(String, String), f64>> {
+    let mut out = BTreeMap::new();
+    for bench in doc.get("benchmarks")?.as_arr()? {
+        out.insert(
+            (
+                bench.str_field("group")?.to_string(),
+                bench.str_field("name")?.to_string(),
+            ),
+            bench.get("median_ns")?.as_f64()?,
+        );
+    }
+    Some(out)
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {}: {e:?}", path.display()))
+}
+
+fn workspace_default() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    while !dir.join("Cargo.lock").exists() {
+        if !dir.pop() {
+            return PathBuf::from("results/bench/BENCH_pr3.json");
+        }
+    }
+    dir.join("results/bench/BENCH_pr3.json")
+}
+
+/// Ratio checks within the current document. Returns failure messages.
+fn check_speedups(current: &BTreeMap<(String, String), f64>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let groups = [
+        ("encode_512_9x61", REQUIRED_SPEEDUP),
+        ("predicate_512_9x61", REQUIRED_SPEEDUP),
+        ("repartition_512_9x61", 1.0 / PARITY_TOLERANCE),
+        ("fig5_page_512_9x61", 1.0 / PARITY_TOLERANCE),
+    ];
+    for (group, required) in groups {
+        let kernel = current.get(&(group.to_string(), "kernel".to_string()));
+        let scalar = current.get(&(group.to_string(), "scalar".to_string()));
+        match (kernel, scalar) {
+            (Some(&k), Some(&s)) if k > 0.0 => {
+                let speedup = s / k;
+                let verdict = if speedup >= required { "ok" } else { "FAIL" };
+                println!(
+                    "{group}: kernel {k:.0} ns, scalar {s:.0} ns, speedup {speedup:.2}x \
+                     (need >= {required:.2}x) .. {verdict}"
+                );
+                if speedup < required {
+                    failures.push(format!(
+                        "{group}: kernel speedup {speedup:.2}x below the required {required:.2}x"
+                    ));
+                }
+            }
+            _ => failures.push(format!(
+                "{group}: missing kernel/scalar pair in bench document"
+            )),
+        }
+    }
+    failures
+}
+
+/// Median-vs-baseline regression checks. Returns failure messages.
+fn check_baseline(
+    current: &BTreeMap<(String, String), f64>,
+    baseline: &BTreeMap<(String, String), f64>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for ((group, name), &base) in baseline {
+        let Some(&now) = current.get(&(group.clone(), name.clone())) else {
+            failures.push(format!("{group}/{name}: present in baseline, missing now"));
+            continue;
+        };
+        if base > 0.0 && now > base * REGRESSION_TOLERANCE {
+            failures.push(format!(
+                "{group}/{name}: {now:.0} ns regressed more than 20% over baseline {base:.0} ns"
+            ));
+        }
+    }
+    failures
+}
+
+/// The end-to-end fig5 `--full` wall-clock check, when the document
+/// carries a post-change measurement.
+fn check_fig5_wall_clock(doc: &Json) -> Vec<String> {
+    let Some(record) = doc.get("fig5_full_wall_clock") else {
+        return vec!["fig5_full_wall_clock record missing from bench document".to_string()];
+    };
+    let Some(pre) = record.get("pre_change_s").and_then(Json::as_f64) else {
+        return vec!["fig5_full_wall_clock.pre_change_s missing".to_string()];
+    };
+    match record.get("post_change_s").and_then(Json::as_f64) {
+        Some(post) => {
+            let verdict = if post < pre { "ok" } else { "FAIL" };
+            println!("fig5 --full wall clock: pre {pre:.3}s, post {post:.3}s .. {verdict}");
+            if post < pre {
+                Vec::new()
+            } else {
+                vec![format!(
+                    "fig5 --full wall clock {post:.3}s did not beat the pre-change {pre:.3}s"
+                )]
+            }
+        }
+        None => {
+            println!("fig5 --full wall clock: pre {pre:.3}s, post not recorded .. skipped");
+            Vec::new()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current_path = args.first().map_or_else(workspace_default, PathBuf::from);
+    let baseline_path = args
+        .get(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| current_path.with_file_name("BENCH_pr3.baseline.json"));
+
+    let doc = match load(&current_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(current) = medians(&doc) else {
+        eprintln!(
+            "bench-gate: {} is not a bench document",
+            current_path.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let mut failures = check_speedups(&current);
+    failures.extend(check_fig5_wall_clock(&doc));
+
+    let fast_mode = doc
+        .get("manifest")
+        .and_then(|m| m.get("fast"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if fast_mode {
+        // SIM_BENCH_FAST shrinks sampling below what absolute-time
+        // comparisons tolerate; the in-process ratios above still hold.
+        println!("fast-mode bench document — skipping baseline regression check");
+    } else if baseline_path.exists() {
+        match load(&baseline_path).map(|doc| medians(&doc)) {
+            Ok(Some(baseline)) => {
+                println!("baseline: {}", baseline_path.display());
+                failures.extend(check_baseline(&current, &baseline));
+            }
+            _ => failures.push(format!(
+                "baseline {} is unreadable or malformed",
+                baseline_path.display()
+            )),
+        }
+    } else {
+        println!(
+            "no baseline at {} — skipping regression check",
+            baseline_path.display()
+        );
+    }
+
+    if failures.is_empty() {
+        println!("bench-gate: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("bench-gate: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -30,8 +30,17 @@ pub fn bench_options() -> RunOptions {
 
 /// A block with `f` random stuck-at faults, plus the fault list (arrival
 /// order).
+///
+/// # Panics
+///
+/// Panics if `f > bits`: a `bits`-cell block cannot hold more distinct
+/// faults than cells (the rejection loop would otherwise never terminate).
 #[must_use]
 pub fn faulty_block(bits: usize, f: usize, seed: u64) -> (PcmBlock, Vec<Fault>) {
+    assert!(
+        f <= bits,
+        "cannot place {f} distinct faults in a {bits}-bit block"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut block = PcmBlock::pristine(bits);
     let mut faults = Vec::with_capacity(f);
@@ -57,4 +66,24 @@ pub fn random_data(bits: usize, seed: u64) -> BitBlock {
 pub fn random_split(f: usize, seed: u64) -> Vec<bool> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..f).map(|_| rng.random()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulty_block_places_exactly_f_distinct_faults() {
+        let (block, faults) = faulty_block(64, 64, 3);
+        assert_eq!(faults.len(), 64);
+        assert_eq!(block.fault_count(), 64);
+        let (_, faults) = faulty_block(512, 9, 5);
+        assert_eq!(faults.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place 65 distinct faults in a 64-bit block")]
+    fn faulty_block_rejects_more_faults_than_cells() {
+        let _ = faulty_block(64, 65, 3);
+    }
 }

@@ -327,11 +327,107 @@ impl BitBlock {
         &self.words
     }
 
+    /// Zeroes every bit, keeping the width.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Overwrites backing word `word_index` wholesale; bits beyond the
+    /// block width are masked off. Lets callers assemble a block 64 bits at
+    /// a time without going through per-bit [`BitBlock::set`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_index` is out of range.
+    pub fn set_word(&mut self, word_index: usize, value: u64) {
+        self.words[word_index] = value;
+        if word_index + 1 == self.words.len() {
+            self.clear_tail();
+        }
+    }
+
+    /// Makes `self` a copy of `other` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.assert_same_len(other);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// ORs a raw word slice into the block.
+    ///
+    /// The slice is interpreted exactly like the block's own backing words
+    /// (bit `i` of the block lives at `words[i / 64] >> (i % 64)`), and any
+    /// bits beyond the block width must be zero — the canonical form every
+    /// mask ROM in this workspace stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the block's word count.
+    pub fn or_words(&mut self, words: &[u64]) {
+        self.assert_same_words(words);
+        for (dst, src) in self.words.iter_mut().zip(words) {
+            *dst |= src;
+        }
+    }
+
+    /// XORs a raw word slice into the block (same layout contract as
+    /// [`BitBlock::or_words`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the block's word count.
+    pub fn xor_words(&mut self, words: &[u64]) {
+        self.assert_same_words(words);
+        for (dst, src) in self.words.iter_mut().zip(words) {
+            *dst ^= src;
+        }
+    }
+
+    /// Popcount of the intersection with a raw word slice — `|self ∧ mask|`
+    /// without materialising the AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the block's word count.
+    #[must_use]
+    pub fn and_count_ones(&self, words: &[u64]) -> usize {
+        self.assert_same_words(words);
+        self.words
+            .iter()
+            .zip(words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether the block shares at least one set bit with a raw word slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the block's word count.
+    #[must_use]
+    pub fn intersects(&self, words: &[u64]) -> bool {
+        self.assert_same_words(words);
+        self.words.iter().zip(words).any(|(a, b)| a & b != 0)
+    }
+
     fn assert_same_len(&self, other: &Self) {
         assert_eq!(
             self.len, other.len,
             "bit blocks differ in width ({} vs {})",
             self.len, other.len
+        );
+    }
+
+    fn assert_same_words(&self, words: &[u64]) {
+        assert_eq!(
+            self.words.len(),
+            words.len(),
+            "word slice length {} does not match block word count {}",
+            words.len(),
+            self.words.len()
         );
     }
 
@@ -471,5 +567,49 @@ mod tests {
         let b = BitBlock::default();
         assert!(b.is_empty());
         assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn word_slice_ops_match_their_bit_level_equivalents() {
+        let a = BitBlock::from_indices(130, [0usize, 63, 64, 129]);
+        let b = BitBlock::from_indices(130, [63usize, 64, 100]);
+
+        let mut or = a.clone();
+        or.or_words(b.as_words());
+        assert_eq!(or, &a | &b);
+
+        let mut xor = a.clone();
+        xor.xor_words(b.as_words());
+        assert_eq!(xor, &a ^ &b);
+
+        assert_eq!(a.and_count_ones(b.as_words()), (&a & &b).count_ones());
+        assert!(a.intersects(b.as_words()));
+        assert!(!a.intersects(BitBlock::from_indices(130, [1usize]).as_words()));
+    }
+
+    #[test]
+    fn clear_and_copy_from_reuse_the_allocation() {
+        let src = BitBlock::from_indices(512, [5usize, 500]);
+        let mut dst = BitBlock::zeros(512);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.clear();
+        assert_eq!(dst.count_ones(), 0);
+        assert_eq!(dst.len(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match block word count")]
+    fn word_slice_width_mismatch_panics() {
+        BitBlock::zeros(64).or_words(&[0, 0]);
+    }
+
+    #[test]
+    fn set_word_masks_the_tail() {
+        let mut b = BitBlock::zeros(70);
+        b.set_word(0, u64::MAX);
+        b.set_word(1, u64::MAX);
+        assert_eq!(b.count_ones(), 70);
+        assert_eq!(b, BitBlock::ones_block(70));
     }
 }

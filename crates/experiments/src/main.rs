@@ -43,6 +43,10 @@ Options:
                   reports 256-byte memory blocks show the same trend)
   --samples N     W/R splits tested per fault event (default 1)
   --guaranteed    Use the strict all-data failure criterion
+  --scalar        fig5/6/7 only: evaluate the Aegis bars with the scalar
+                  reference predicates instead of the ROM kernels (results
+                  and telemetry must be identical; used by the differential
+                  determinism checks)
   --full          Paper scale: --pages 2048 --trials 20000
   --out DIR       CSV output directory (default results/)
   --telemetry     Record counters/histograms/spans to OUT/telemetry/<run-id>.jsonl
@@ -61,6 +65,7 @@ struct Cli {
     run_id: Option<String>,
     progress: bool,
     quiet: bool,
+    scalar: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -75,6 +80,7 @@ fn parse_args() -> Result<Cli, String> {
         run_id: None,
         progress: false,
         quiet: false,
+        scalar: false,
     };
     let mut samples = 1u32;
     let mut guaranteed = false;
@@ -111,6 +117,7 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--progress" => cli.progress = true,
             "--quiet" => cli.quiet = true,
+            "--scalar" => cli.scalar = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option '{other}'\n\n{USAGE}"))
             }
@@ -134,6 +141,7 @@ struct Ctx<'a> {
     quiet: bool,
     tel: &'a RunTelemetry,
     progress_fn: Option<&'a runner::SchemeProgressFn<'a>>,
+    scalar: bool,
 }
 
 impl Ctx<'_> {
@@ -174,7 +182,7 @@ fn run_fig567(command: &str, ctx: &Ctx) -> std::io::Result<()> {
     ));
     let results = {
         let _span = ctx.span("fig567.montecarlo")?;
-        fig567::run_with(ctx.opts, &ctx.observer())
+        fig567::run_with_mode(ctx.opts, &ctx.observer(), ctx.scalar)
     };
     if matches!(command, "fig5" | "all") {
         println!("{}", fig567::report_fig5(&results));
@@ -429,6 +437,10 @@ fn main() -> ExitCode {
     tel.set_meta("trials", &cli.opts.trials.to_string());
     tel.set_meta("page_bytes", &cli.opts.page_bytes.to_string());
     tel.set_meta("criterion", &criterion_label(cli.opts.criterion));
+    tel.set_meta(
+        "predicate_mode",
+        if cli.scalar { "scalar" } else { "kernel" },
+    );
     tel.set_meta("out_dir", &cli.out_dir.display().to_string());
 
     let report_progress = |scheme: &str, done: usize, total: usize| {
@@ -443,6 +455,7 @@ fn main() -> ExitCode {
         quiet: cli.quiet,
         tel: &tel,
         progress_fn: (cli.progress && !cli.quiet).then_some(&report_progress),
+        scalar: cli.scalar,
     };
 
     let outcome = dispatch(&cli.command, &ctx);

@@ -238,6 +238,42 @@ fn telemetry_streams_are_byte_identical_across_processes() {
 }
 
 #[test]
+fn scalar_mode_telemetry_is_byte_identical_to_kernel_mode() {
+    let dir_kernel = std::env::temp_dir().join("aegis-cli-scalar-kernel");
+    let dir_scalar = std::env::temp_dir().join("aegis-cli-scalar-scalar");
+    for (dir, extra) in [(&dir_kernel, None), (&dir_scalar, Some("--scalar"))] {
+        let _ = std::fs::remove_dir_all(dir);
+        let mut cmd = experiments();
+        cmd.args([
+            "fig5", "--pages", "2", "--seed", "9", "--run-id", "mode", "--quiet",
+        ]);
+        if let Some(flag) = extra {
+            cmd.arg(flag);
+        }
+        let output = cmd.arg("--out").arg(dir).output().expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    let kernel = std::fs::read(dir_kernel.join("telemetry/mode.jsonl")).unwrap();
+    let scalar = std::fs::read(dir_scalar.join("telemetry/mode.jsonl")).unwrap();
+    assert_eq!(
+        kernel, scalar,
+        "--scalar must replay the kernel path's event stream byte for byte"
+    );
+    let kernel_csv = std::fs::read(dir_kernel.join("fig5.csv")).unwrap();
+    let scalar_csv = std::fs::read(dir_scalar.join("fig5.csv")).unwrap();
+    assert_eq!(
+        kernel_csv, scalar_csv,
+        "fig5.csv must not depend on the mode"
+    );
+    let _ = std::fs::remove_dir_all(dir_kernel);
+    let _ = std::fs::remove_dir_all(dir_scalar);
+}
+
+#[test]
 fn wearlevel_extension_runs_standalone() {
     let dir = std::env::temp_dir().join("aegis-cli-wearlevel");
     let _ = std::fs::remove_dir_all(&dir);

@@ -20,6 +20,13 @@ use bitblock::BitBlock;
 /// is simulation-side instrumentation: the base Aegis and SAFER codecs never
 /// consult it, while the `-rw` variants access it through a fail-cache model.
 ///
+/// Internally the block is stored structure-of-arrays: one [`BitBlock`] of
+/// stored values, one of stuck cells, and a per-cell endurance vector.
+/// The hot operations — differential write, read, verification — work on
+/// whole `u64` lanes, touching per-cell state only for the cells a write
+/// actually programs; [`cell`](Self::cell) materializes a [`Cell`]
+/// snapshot on demand for the slow paths.
+///
 /// # Examples
 ///
 /// ```
@@ -34,7 +41,12 @@ use bitblock::BitBlock;
 /// ```
 #[derive(Debug, Clone)]
 pub struct PcmBlock {
-    cells: Vec<Cell>,
+    /// Stored value of every cell (stuck cells hold their stuck-at value).
+    values: BitBlock,
+    /// Mask of cells whose endurance is exhausted.
+    stuck: BitBlock,
+    /// Remaining programming pulses per cell.
+    writes_left: Vec<u64>,
     writes: u64,
 }
 
@@ -44,7 +56,9 @@ impl PcmBlock {
     #[must_use]
     pub fn pristine(len: usize) -> Self {
         Self {
-            cells: vec![Cell::default(); len],
+            values: BitBlock::zeros(len),
+            stuck: BitBlock::zeros(len),
+            writes_left: vec![u64::MAX; len],
             writes: 0,
         }
     }
@@ -61,8 +75,11 @@ impl PcmBlock {
     /// ```
     #[must_use]
     pub fn with_lifetimes<F: FnMut(usize) -> u64>(len: usize, mut lifetime: F) -> Self {
+        let writes_left: Vec<u64> = (0..len).map(&mut lifetime).collect();
         Self {
-            cells: (0..len).map(|i| Cell::new(false, lifetime(i))).collect(),
+            values: BitBlock::zeros(len),
+            stuck: BitBlock::from_fn(len, |i| writes_left[i] == 0),
+            writes_left,
             writes: 0,
         }
     }
@@ -70,13 +87,13 @@ impl PcmBlock {
     /// Number of cells.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.writes_left.len()
     }
 
     /// Whether the block has zero width.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.writes_left.is_empty()
     }
 
     /// Programs the block toward `target` with a differential write and
@@ -92,9 +109,27 @@ impl PcmBlock {
         assert_eq!(target.len(), self.len(), "write width mismatch");
         self.writes += 1;
         let mut pulses = 0;
-        for (i, cell) in self.cells.iter_mut().enumerate() {
-            if cell.write(target.get(i)) {
-                pulses += 1;
+        for word_index in 0..self.values.as_words().len() {
+            // Cells to pulse: value differs from target and not stuck.
+            let diff = (self.values.as_words()[word_index] ^ target.as_words()[word_index])
+                & !self.stuck.as_words()[word_index];
+            if diff == 0 {
+                continue;
+            }
+            pulses += diff.count_ones() as usize;
+            let flipped = self.values.as_words()[word_index] ^ diff;
+            self.values.set_word(word_index, flipped);
+            let mut rest = diff;
+            while rest != 0 {
+                let offset = word_index * 64 + rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let left = &mut self.writes_left[offset];
+                *left -= 1;
+                if *left == 0 {
+                    // The cell dies holding the value it was just
+                    // programmed to — the paper's stuck-at model.
+                    self.stuck.set(offset, true);
+                }
             }
         }
         pulses
@@ -103,7 +138,19 @@ impl PcmBlock {
     /// Reads every cell.
     #[must_use]
     pub fn read_raw(&self) -> BitBlock {
-        self.cells.iter().map(Cell::read).collect()
+        self.values.clone()
+    }
+
+    /// Reads every cell into `out`, reusing its allocation — the kernel
+    /// paths' replacement for [`read_raw`](Self::read_raw), copying 64
+    /// cells per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn read_into(&self, out: &mut BitBlock) {
+        assert_eq!(out.len(), self.len(), "read width mismatch");
+        out.copy_from(&self.values);
     }
 
     /// Verification read: offsets whose stored value differs from `expected`,
@@ -118,23 +165,35 @@ impl PcmBlock {
         self.read_raw().diff_offsets(expected)
     }
 
+    /// Verification read into a reusable mismatch mask: after the call,
+    /// `wrong` has a one exactly at each offset whose stored value differs
+    /// from `expected`. Allocation-free twin of [`verify`](Self::verify).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn verify_into(&self, expected: &BitBlock, wrong: &mut BitBlock) {
+        assert_eq!(expected.len(), self.len(), "verify width mismatch");
+        self.read_into(wrong);
+        *wrong ^= expected;
+    }
+
     /// All stuck-at faults currently present, by ascending offset.
     ///
     /// Simulation-side oracle; schemes without a fail cache must not call
     /// this (they learn about faults through [`verify`](Self::verify) only).
     #[must_use]
     pub fn faults(&self) -> Vec<Fault> {
-        self.cells
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.stuck_value().map(|v| Fault::new(i, v)))
+        self.stuck
+            .ones()
+            .map(|offset| Fault::new(offset, self.values.get(offset)))
             .collect()
     }
 
     /// Number of stuck cells.
     #[must_use]
     pub fn fault_count(&self) -> usize {
-        self.cells.iter().filter(|c| c.is_stuck()).count()
+        self.stuck.count_ones()
     }
 
     /// Fault-injection hook: forces the cell at `offset` to be stuck at
@@ -144,17 +203,20 @@ impl PcmBlock {
     ///
     /// Panics if `offset` is out of range.
     pub fn force_stuck(&mut self, offset: usize, value: bool) {
-        self.cells[offset].force_stuck(value);
+        assert!(offset < self.len(), "offset out of range");
+        self.values.set(offset, value);
+        self.stuck.set(offset, true);
+        self.writes_left[offset] = 0;
     }
 
-    /// Immutable access to a cell.
+    /// Snapshot of a cell (value + remaining endurance).
     ///
     /// # Panics
     ///
     /// Panics if `offset` is out of range.
     #[must_use]
-    pub fn cell(&self, offset: usize) -> &Cell {
-        &self.cells[offset]
+    pub fn cell(&self, offset: usize) -> Cell {
+        Cell::new(self.values.get(offset), self.writes_left[offset])
     }
 
     /// How many block-level writes have been issued so far.
@@ -168,11 +230,13 @@ impl PcmBlock {
     #[must_use]
     pub fn pending_pulses(&self, target: &BitBlock) -> usize {
         assert_eq!(target.len(), self.len(), "width mismatch");
-        self.cells
+        self.values
+            .as_words()
             .iter()
-            .enumerate()
-            .filter(|(i, c)| !c.is_stuck() && c.read() != target.get(*i))
-            .count()
+            .zip(target.as_words())
+            .zip(self.stuck.as_words())
+            .map(|((&value, &want), &stuck)| ((value ^ want) & !stuck).count_ones() as usize)
+            .sum()
     }
 }
 
@@ -197,6 +261,23 @@ mod tests {
         let data = BitBlock::zeros(8); // wants all 0
         b.write_raw(&data);
         assert_eq!(b.verify(&data), vec![2]); // only offset 2 disagrees
+    }
+
+    #[test]
+    fn read_into_and_verify_into_match_the_allocating_paths() {
+        let mut b = PcmBlock::pristine(130);
+        b.force_stuck(2, true);
+        b.force_stuck(129, false);
+        let data = BitBlock::from_indices(130, [5usize, 64, 129]);
+        b.write_raw(&data);
+
+        let mut read = BitBlock::ones_block(130);
+        b.read_into(&mut read);
+        assert_eq!(read, b.read_raw());
+
+        let mut wrong = BitBlock::zeros(130);
+        b.verify_into(&data, &mut wrong);
+        assert_eq!(wrong.ones().collect::<Vec<_>>(), b.verify(&data));
     }
 
     #[test]

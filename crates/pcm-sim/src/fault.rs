@@ -61,7 +61,17 @@ pub fn classify_split(faults: &[Fault], data: &BitBlock) -> Vec<bool> {
 /// the whole word, because only the bits at fault offsets matter.
 #[must_use]
 pub fn sample_split<R: Rng + ?Sized>(rng: &mut R, fault_count: usize) -> Vec<bool> {
-    (0..fault_count).map(|_| rng.random()).collect()
+    let mut out = Vec::new();
+    sample_split_into(rng, fault_count, &mut out);
+    out
+}
+
+/// [`sample_split`] into a caller-provided buffer, reusing its allocation.
+/// Consumes exactly the same entropy, so the two forms are interchangeable
+/// under a fixed seed.
+pub fn sample_split_into<R: Rng + ?Sized>(rng: &mut R, fault_count: usize, out: &mut Vec<bool>) {
+    out.clear();
+    out.extend((0..fault_count).map(|_| rng.random::<bool>()));
 }
 
 #[cfg(test)]

@@ -70,5 +70,5 @@ pub mod wearlevel;
 pub use block::PcmBlock;
 pub use cell::Cell;
 pub use error::UncorrectableError;
-pub use fault::{classify_split, sample_split, Fault};
+pub use fault::{classify_split, sample_split, sample_split_into, Fault};
 pub use lifetime::{LifetimeModel, WearModel};

@@ -14,9 +14,10 @@
 //! - [`block_failure_cdf`] → Figure 8 curves;
 //! - [`survival_curve`] / [`half_lifetime`] → Figure 9 curves.
 
-use crate::policy::RecoveryPolicy;
+use crate::fault::sample_split_into;
+use crate::policy::{PolicyScratch, RecoveryPolicy};
 use crate::timeline::{BlockTimeline, PageTimeline, TimelineSampler};
-use crate::{sample_split, Fault};
+use crate::Fault;
 use sim_rng::SeedableRng;
 use sim_rng::SmallRng;
 use sim_telemetry::{metric_name, Counter, Histogram, Registry};
@@ -124,7 +125,34 @@ pub fn evaluate_block_with(
     criterion: FailureCriterion,
     telemetry: Option<&McTelemetry>,
 ) -> BlockOutcome {
-    let mut faults: Vec<Fault> = Vec::with_capacity(timeline.events.len());
+    evaluate_block_with_scratch(
+        policy,
+        timeline,
+        criterion,
+        telemetry,
+        &mut PolicyScratch::new(),
+    )
+}
+
+/// [`evaluate_block_with`] reusing a caller-provided [`PolicyScratch`].
+///
+/// This is the engine's steady-state form: the fault population, the W/R
+/// split, and the policy's working buffers all live in the arena, so
+/// evaluating a block allocates nothing after the arena warms up. Results
+/// are identical to the allocating form — split sampling consumes the same
+/// entropy and policies must decide identically with or without scratch.
+pub fn evaluate_block_with_scratch(
+    policy: &dyn RecoveryPolicy,
+    timeline: &BlockTimeline,
+    criterion: FailureCriterion,
+    telemetry: Option<&McTelemetry>,
+    scratch: &mut PolicyScratch,
+) -> BlockOutcome {
+    // Detach the driver-owned buffers so the policy can borrow the arena's
+    // own fields (`flags`, `bytes`, `counts`) mutably during the decision.
+    let mut faults: Vec<Fault> = std::mem::take(&mut scratch.faults);
+    let mut wrong: Vec<bool> = std::mem::take(&mut scratch.split);
+    faults.clear();
     let mut decisions = 0u64;
     let outcome = 'outcome: {
         for (i, event) in timeline.events.iter().enumerate() {
@@ -134,8 +162,8 @@ pub fn evaluate_block_with(
                     let mut rng = SmallRng::seed_from_u64(event.split_seed);
                     (0..samples).all(|_| {
                         decisions += 1;
-                        let wrong = sample_split(&mut rng, faults.len());
-                        policy.recoverable(&faults, &wrong)
+                        sample_split_into(&mut rng, faults.len(), &mut wrong);
+                        policy.recoverable_with(&faults, &wrong, scratch)
                     })
                 }
                 FailureCriterion::GuaranteedAllData => {
@@ -155,8 +183,11 @@ pub fn evaluate_block_with(
             death_time: None,
         }
     };
+    let fault_events = faults.len() as u64;
+    scratch.faults = faults;
+    scratch.split = wrong;
     if let Some(t) = telemetry {
-        t.fault_events.add(faults.len() as u64);
+        t.fault_events.add(fault_events);
         t.policy_decisions.add(decisions);
         match (outcome.death_time, criterion) {
             (None, _) => t.blocks_outlived.incr(),
@@ -200,10 +231,29 @@ pub fn evaluate_page_with(
     criterion: FailureCriterion,
     telemetry: Option<&McTelemetry>,
 ) -> PageOutcome {
+    evaluate_page_with_scratch(
+        policy,
+        page,
+        criterion,
+        telemetry,
+        &mut PolicyScratch::new(),
+    )
+}
+
+/// [`evaluate_page_with`] reusing a caller-provided [`PolicyScratch`]
+/// across all of the page's blocks (see
+/// [`evaluate_block_with_scratch`]).
+pub fn evaluate_page_with_scratch(
+    policy: &dyn RecoveryPolicy,
+    page: &PageTimeline,
+    criterion: FailureCriterion,
+    telemetry: Option<&McTelemetry>,
+    scratch: &mut PolicyScratch,
+) -> PageOutcome {
     let mut death_time = f64::INFINITY;
     let mut capped = false;
     for block in &page.blocks {
-        let outcome = evaluate_block_with(policy, block, criterion, telemetry);
+        let outcome = evaluate_block_with_scratch(policy, block, criterion, telemetry, scratch);
         match outcome.death_time {
             Some(t) => death_time = death_time.min(t),
             None => capped = true,
@@ -380,16 +430,18 @@ pub fn run_memory_with(
                 let progress = hooks.progress;
                 let done = &done;
                 scope.spawn(move || {
+                    let mut scratch = PolicyScratch::new();
                     pages
                         .into_iter()
                         .map(|page_idx| {
                             let mut rng = TimelineSampler::page_rng(cfg.seed, page_idx as u64);
                             let page = sampler.sample_page(&mut rng, blocks_per_page);
-                            let outcome = evaluate_page_with(
+                            let outcome = evaluate_page_with_scratch(
                                 policy,
                                 &page,
                                 cfg.criterion,
                                 telemetry.as_ref(),
+                                &mut scratch,
                             );
                             if let Some(report) = progress {
                                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -511,11 +563,12 @@ pub fn block_outcomes(
             .map(|idxs| {
                 let idxs = idxs.to_vec();
                 scope.spawn(move || {
+                    let mut scratch = PolicyScratch::new();
                     idxs.into_iter()
                         .map(|i| {
                             let mut rng = TimelineSampler::page_rng(seed, i as u64);
                             let tl = sampler.sample_block(&mut rng);
-                            evaluate_block(policy, &tl, criterion)
+                            evaluate_block_with_scratch(policy, &tl, criterion, None, &mut scratch)
                         })
                         .collect::<Vec<_>>()
                 })

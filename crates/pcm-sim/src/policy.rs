@@ -14,6 +14,51 @@ use crate::fault::{sample_split, Fault};
 use sim_rng::SeedableRng;
 use sim_rng::SmallRng;
 
+/// Reusable working memory for [`RecoveryPolicy::recoverable_with`].
+///
+/// The Monte Carlo engine creates one scratch arena per worker and hands it
+/// to every policy decision, so steady-state evaluation allocates nothing:
+/// a policy's first call sizes the buffers and every later call reuses
+/// them. The fields are deliberately generic (`flags`, `bytes`, `counts`)
+/// rather than scheme-specific so one arena serves every policy in a mixed
+/// scheme sweep.
+#[derive(Debug, Default)]
+pub struct PolicyScratch {
+    /// Boolean flags, e.g. per-slope "bad" marks.
+    pub flags: Vec<bool>,
+    /// Byte-wide tallies, e.g. per-group W/R occupancy.
+    pub bytes: Vec<u8>,
+    /// Word-wide tallies for policies that count rather than flag.
+    pub counts: Vec<u32>,
+    /// W/R split buffer owned by the Monte Carlo driver.
+    pub(crate) split: Vec<bool>,
+    /// Fault-population buffer owned by the Monte Carlo driver.
+    pub(crate) faults: Vec<Fault>,
+}
+
+impl PolicyScratch {
+    /// Creates an empty arena; buffers grow on first use and are then
+    /// reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears `flags` to `len` `false` entries and returns it.
+    pub fn flags(&mut self, len: usize) -> &mut Vec<bool> {
+        self.flags.clear();
+        self.flags.resize(len, false);
+        &mut self.flags
+    }
+
+    /// Clears `bytes` to `len` zero entries and returns it.
+    pub fn bytes(&mut self, len: usize) -> &mut Vec<u8> {
+        self.bytes.clear();
+        self.bytes.resize(len, 0);
+        &mut self.bytes
+    }
+}
+
 /// Fast recoverability predicate for one scheme configuration.
 ///
 /// Implementations must be immutable/stateless: feasibility may depend only
@@ -38,6 +83,29 @@ pub trait RecoveryPolicy: Sync {
     ///
     /// Implementations may panic if `faults.len() != wrong.len()`.
     fn recoverable(&self, faults: &[Fault], wrong: &[bool]) -> bool;
+
+    /// [`recoverable`](Self::recoverable) with caller-provided working
+    /// memory.
+    ///
+    /// The Monte Carlo engine always calls this form, passing a per-worker
+    /// [`PolicyScratch`]; policies whose decision needs temporary buffers
+    /// override it to borrow them from the arena instead of allocating.
+    /// The default ignores the arena and delegates, so allocation-free
+    /// operation is an opt-in refinement — the two forms must decide
+    /// identically.
+    ///
+    /// # Panics
+    ///
+    /// As [`recoverable`](Self::recoverable).
+    fn recoverable_with(
+        &self,
+        faults: &[Fault],
+        wrong: &[bool],
+        scratch: &mut PolicyScratch,
+    ) -> bool {
+        let _ = scratch;
+        self.recoverable(faults, wrong)
+    }
 
     /// Whether the fault population is recoverable for *every* data word
     /// (the strict, data-independent criterion).
@@ -135,5 +203,28 @@ mod tests {
     #[test]
     fn policy_is_object_safe() {
         fn _takes(_: &dyn RecoveryPolicy) {}
+    }
+
+    #[test]
+    fn recoverable_with_defaults_to_recoverable() {
+        let p = AtMostWrong { cap: 1 };
+        let fs = faults(3);
+        let mut scratch = PolicyScratch::new();
+        for pattern in 0u8..8 {
+            let wrong: Vec<bool> = (0..3).map(|i| (pattern >> i) & 1 == 1).collect();
+            assert_eq!(
+                p.recoverable(&fs, &wrong),
+                p.recoverable_with(&fs, &wrong, &mut scratch)
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_reset_between_uses() {
+        let mut scratch = PolicyScratch::new();
+        scratch.flags(4)[2] = true;
+        assert_eq!(scratch.flags(4), &vec![false; 4]);
+        scratch.bytes(3)[0] = 7;
+        assert_eq!(scratch.bytes(5), &vec![0u8; 5]);
     }
 }

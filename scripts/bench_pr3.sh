@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates the PR 3 kernel-bench record results/bench/BENCH_pr3.json
+# (and, with --baseline, the regression baseline next to it): times a full
+# `experiments fig5 --full` run, then runs the `kernels` bench target with
+# the measured wall clock spliced into the document, then runs the gate.
+#
+# Usage: scripts/bench_pr3.sh [--baseline]
+#   --baseline   also copy the fresh record over BENCH_pr3.baseline.json
+#                (do this when re-recording on a new reference machine).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline -p aegis-experiments -p aegis-bench
+
+out="${TMPDIR:-/tmp}/aegis-bench-pr3-fig5"
+rm -rf "$out"
+echo "==> timing experiments fig5 --full (this takes minutes)"
+TIMEFORMAT='%R'
+seconds=$( { time ./target/release/experiments fig5 --full --quiet --out "$out" >/dev/null; } 2>&1 )
+rm -rf "$out"
+echo "==> fig5 --full wall clock: ${seconds}s"
+
+echo "==> cargo bench -p aegis-bench --bench kernels"
+SIM_FIG5_FULL_SECONDS="$seconds" cargo bench --offline -p aegis-bench --bench kernels
+
+if [[ "${1:-}" == "--baseline" ]]; then
+    cp results/bench/BENCH_pr3.json results/bench/BENCH_pr3.baseline.json
+    echo "==> baseline re-recorded"
+fi
+
+echo "==> bench-gate"
+cargo run -q --release --offline -p aegis-bench --bin bench-gate

@@ -39,6 +39,23 @@ cargo run --release --offline -p aegis-experiments -- \
     telemetry-report verify-smoke --out "$smoke_out" >/dev/null
 rm -rf "$smoke_out"
 
+# Differential kernel suite at CI depth: 10^4 random cases per codec
+# variant, word-level kernels vs the retained scalar references (see
+# tests/differential_kernels.rs). The default `cargo test` above already
+# ran it at reduced depth; this is the zero-divergence gate.
+SIM_PROP_CASES=10000 run cargo test -q --offline --release --test differential_kernels
+
+# PR 3 bench gate: run the kernel benchmarks into a scratch directory (so
+# the tracked results/bench/BENCH_pr3.json is not clobbered) and check the
+# kernel/scalar speedup ratios plus the recorded baseline (see
+# EXPERIMENTS.md for regeneration).
+bench_out="${TMPDIR:-/tmp}/aegis-verify-bench"
+rm -rf "$bench_out"
+SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench kernels
+run cargo run -q --release --offline -p aegis-bench --bin bench-gate \
+    "$bench_out/BENCH_pr3.json" results/bench/BENCH_pr3.baseline.json
+rm -rf "$bench_out"
+
 # Optional: compile + smoke-run every bench target.
 if [[ "${1:-}" == "--fast" ]]; then
     SIM_BENCH_FAST=1 run cargo bench --offline --workspace

@@ -121,6 +121,12 @@ fn monte_carlo_runs_replay_byte_identically() {
 /// Runs fig5's 512-bit scheme sweep with telemetry attached and returns
 /// the raw JSONL event stream.
 fn telemetry_stream(seed: u64) -> String {
+    telemetry_stream_mode(seed, false)
+}
+
+/// [`telemetry_stream`] selecting the kernel (default) or scalar scheme
+/// set.
+fn telemetry_stream_mode(seed: u64, scalar: bool) -> String {
     let buf = SharedBuf::new();
     let run = RunTelemetry::with_buffer("det-check", buf.clone()).expect("buffer sink");
     let opts = RunOptions {
@@ -129,9 +135,29 @@ fn telemetry_stream(seed: u64) -> String {
         ..RunOptions::default()
     };
     let observer = RunObserver::with_registry(run.registry());
-    let _ = summarize_schemes_with(&schemes::fig5_schemes(512), 512, &opts, &observer);
+    let set = if scalar {
+        schemes::fig5_schemes_scalar(512)
+    } else {
+        schemes::fig5_schemes(512)
+    };
+    let _ = summarize_schemes_with(&set, 512, &opts, &observer);
     run.finish().expect("finish");
     buf.text()
+}
+
+/// The ROM-kernel predicates and their scalar references are one
+/// implementation as far as the determinism contract is concerned: the
+/// whole fig5 sweep run through both must serialize byte-identical
+/// telemetry (the cross-process twin of this check lives in the
+/// experiments crate's CLI tests, driven by `--scalar`).
+#[test]
+fn kernel_and_scalar_paths_serialize_identical_telemetry() {
+    let kernel = telemetry_stream_mode(11, false);
+    let scalar = telemetry_stream_mode(11, true);
+    assert_eq!(
+        kernel, scalar,
+        "scalar reference must replay the kernel path's stream byte for byte"
+    );
 }
 
 /// The telemetry event stream is part of the determinism contract: it

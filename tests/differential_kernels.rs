@@ -1,0 +1,314 @@
+//! Differential property suite for the PR 3 hot-path kernels: on random
+//! geometries, data words, fault populations and known-fault truncations,
+//! the word-level (ROM + mask) write paths must be observably identical to
+//! the retained scalar references — same `Result`, same [`WriteReport`]
+//! pulse/verify/inversion/re-partition counts, same slope evolution, same
+//! physical codeword, same decode.
+//!
+//! Every case drives a *sequence* of writes through one codec pair so the
+//! comparison covers state carried between writes (the sticky slope
+//! counter, the stored inversion vector / pointer set), not just a single
+//! encode. Failures shrink toward fewer faults and fewer/simpler writes
+//! via the in-tree `sim_rng::prop` harness; CI runs the suite with
+//! `SIM_PROP_CASES=10000` per codec variant (see `scripts/verify.sh`).
+
+use aegis_pcm::aegis::{
+    AegisCodec, AegisPolicy, AegisRwCodec, AegisRwPCodec, AegisRwPPolicy, AegisRwPolicy, Rectangle,
+};
+use aegis_pcm::bitblock::BitBlock;
+use aegis_pcm::codec::StuckAtCodec;
+use aegis_pcm::pcm::policy::{PolicyScratch, RecoveryPolicy};
+use aegis_pcm::pcm::{Fault, PcmBlock};
+use sim_rng::prop::{shrink, Runner};
+use sim_rng::{prop_assert, prop_assert_eq, Rng, SeedableRng, SmallRng};
+
+/// Valid `(A, B, bits)` formations the generator draws from: `B` prime,
+/// `A ≤ B`, `bits ≤ A·B`, spanning full and ragged rectangles from the
+/// trivial 1×3 up through a 512-bit paper formation.
+const GEOMETRIES: &[(usize, usize, usize)] = &[
+    (1, 3, 3),
+    (2, 3, 5),
+    (2, 3, 6),
+    (3, 5, 13),
+    (3, 5, 15),
+    (4, 5, 17),
+    (5, 7, 32),
+    (5, 7, 35),
+    (4, 7, 26),
+    (7, 11, 71),
+    (9, 13, 112),
+    (9, 61, 512),
+];
+
+/// One differential trial: a formation, a fault population to install
+/// before any write, a sequence of data seeds (one write each), and how
+/// many of the faults the controller is told about up front (rw/rw-p).
+#[derive(Debug, Clone)]
+struct Case {
+    geometry: usize,
+    faults: Vec<Fault>,
+    writes: Vec<u64>,
+    known: usize,
+    pointers: usize,
+}
+
+impl Case {
+    fn rect(&self) -> Rectangle {
+        let (a, b, bits) = GEOMETRIES[self.geometry];
+        Rectangle::new(a, b, bits).expect("generator only draws valid formations")
+    }
+
+    /// The known-fault prefix handed to `write_with_known`, clamped so
+    /// shrinking the fault list can never desynchronize the two fields.
+    fn known_faults(&self) -> &[Fault] {
+        &self.faults[..self.known.min(self.faults.len())]
+    }
+}
+
+/// Generator: geometry index, up to six distinct stuck cells, one to four
+/// writes, a random known-prefix length, and a 1–4 pointer budget.
+fn gen_case(rng: &mut SmallRng) -> Case {
+    let geometry = rng.random_range(0..GEOMETRIES.len());
+    let bits = GEOMETRIES[geometry].2;
+    let n = rng.random_range(0..=6usize.min(bits));
+    let mut offsets: Vec<usize> = Vec::with_capacity(n);
+    while offsets.len() < n {
+        let offset = rng.random_range(0..bits);
+        if !offsets.contains(&offset) {
+            offsets.push(offset);
+        }
+    }
+    let faults = offsets
+        .into_iter()
+        .map(|offset| Fault::new(offset, rng.random_bool(0.5)))
+        .collect::<Vec<_>>();
+    let writes = (0..rng.random_range(1..=4usize))
+        .map(|_| rng.random::<u64>())
+        .collect();
+    let known = rng.random_range(0..=faults.len());
+    let pointers = rng.random_range(1..=4usize);
+    Case {
+        geometry,
+        faults,
+        writes,
+        known,
+        pointers,
+    }
+}
+
+/// Shrinker: drop faults, then drop/simplify writes (keeping at least
+/// one), then pull the pointer budget down.
+fn shrink_case(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    for faults in shrink::vec(&case.faults, shrink::none) {
+        out.push(Case {
+            faults,
+            ..case.clone()
+        });
+    }
+    for writes in shrink::vec(&case.writes, |&s| shrink::u64_down(s)) {
+        if !writes.is_empty() {
+            out.push(Case {
+                writes,
+                ..case.clone()
+            });
+        }
+    }
+    for pointers in shrink::usize_toward(case.pointers, 1) {
+        out.push(Case {
+            pointers,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+/// Builds the twin fault-identical blocks for one case.
+fn twin_blocks(case: &Case, bits: usize) -> (PcmBlock, PcmBlock) {
+    let mut kernel = PcmBlock::pristine(bits);
+    let mut scalar = PcmBlock::pristine(bits);
+    for fault in &case.faults {
+        kernel.force_stuck(fault.offset, fault.stuck);
+        scalar.force_stuck(fault.offset, fault.stuck);
+    }
+    (kernel, scalar)
+}
+
+fn data_word(seed: u64, bits: usize) -> BitBlock {
+    BitBlock::random(&mut SmallRng::seed_from_u64(seed), bits)
+}
+
+#[test]
+fn aegis_kernel_write_is_bit_identical_to_the_scalar_reference() {
+    Runner::new("aegis_kernel_write_is_bit_identical_to_the_scalar_reference")
+        .cases(2_000)
+        .run(gen_case, shrink_case, |case| {
+            let rect = case.rect();
+            let bits = rect.bits();
+            let mut kernel = AegisCodec::new(rect.clone());
+            let mut scalar = AegisCodec::new(rect);
+            let (mut kb, mut sb) = twin_blocks(case, bits);
+            for &seed in &case.writes {
+                let data = data_word(seed, bits);
+                let kr = kernel.write(&mut kb, &data);
+                let sr = scalar.write_scalar(&mut sb, &data);
+                prop_assert_eq!(&kr, &sr);
+                prop_assert_eq!(kernel.slope(), scalar.slope());
+                prop_assert_eq!(kernel.inversion_vector(), scalar.inversion_vector());
+                prop_assert_eq!(kb.read_raw(), sb.read_raw());
+                prop_assert_eq!(kernel.read(&kb), scalar.read(&sb));
+                if kr.is_ok() {
+                    prop_assert_eq!(kernel.read(&kb), data.clone());
+                }
+            }
+            Ok(())
+        });
+}
+
+#[test]
+fn aegis_rw_kernel_write_is_bit_identical_to_the_scalar_reference() {
+    Runner::new("aegis_rw_kernel_write_is_bit_identical_to_the_scalar_reference")
+        .cases(2_000)
+        .run(gen_case, shrink_case, |case| {
+            let rect = case.rect();
+            let bits = rect.bits();
+            let mut kernel = AegisRwCodec::new(rect.clone());
+            let mut scalar = AegisRwCodec::new(rect);
+            let (mut kb, mut sb) = twin_blocks(case, bits);
+            let known = case.known_faults();
+            for &seed in &case.writes {
+                let data = data_word(seed, bits);
+                let kr = kernel.write_with_known(&mut kb, &data, known);
+                let sr = scalar.write_with_known_scalar(&mut sb, &data, known);
+                prop_assert_eq!(&kr, &sr);
+                prop_assert_eq!(kernel.slope(), scalar.slope());
+                prop_assert_eq!(kb.read_raw(), sb.read_raw());
+                prop_assert_eq!(kernel.read(&kb), scalar.read(&sb));
+                if kr.is_ok() {
+                    prop_assert_eq!(kernel.read(&kb), data.clone());
+                }
+            }
+            Ok(())
+        });
+}
+
+#[test]
+fn aegis_rw_p_kernel_write_is_bit_identical_to_the_scalar_reference() {
+    Runner::new("aegis_rw_p_kernel_write_is_bit_identical_to_the_scalar_reference")
+        .cases(2_000)
+        .run(gen_case, shrink_case, |case| {
+            let rect = case.rect();
+            let bits = rect.bits();
+            let mut kernel = AegisRwPCodec::new(rect.clone(), case.pointers);
+            let mut scalar = AegisRwPCodec::new(rect, case.pointers);
+            prop_assert_eq!(kernel.pointers(), scalar.pointers());
+            let (mut kb, mut sb) = twin_blocks(case, bits);
+            let known = case.known_faults();
+            for &seed in &case.writes {
+                let data = data_word(seed, bits);
+                let kr = kernel.write_with_known(&mut kb, &data, known);
+                let sr = scalar.write_with_known_scalar(&mut sb, &data, known);
+                prop_assert_eq!(&kr, &sr);
+                prop_assert_eq!(kernel.slope(), scalar.slope());
+                prop_assert_eq!(kb.read_raw(), sb.read_raw());
+                prop_assert_eq!(kernel.read(&kb), scalar.read(&sb));
+                if kr.is_ok() {
+                    prop_assert_eq!(kernel.read(&kb), data.clone());
+                }
+            }
+            Ok(())
+        });
+}
+
+/// The full-cache entry points (`write`/`write_scalar`, which look the
+/// block's entire fault population up themselves) agree too — this is the
+/// path the Monte Carlo engine's codec-level experiments exercise.
+#[test]
+fn full_cache_write_paths_agree_for_the_rw_variants() {
+    Runner::new("full_cache_write_paths_agree_for_the_rw_variants")
+        .cases(1_000)
+        .run(gen_case, shrink_case, |case| {
+            let rect = case.rect();
+            let bits = rect.bits();
+
+            let mut kernel = AegisRwCodec::new(rect.clone());
+            let mut scalar = AegisRwCodec::new(rect.clone());
+            let (mut kb, mut sb) = twin_blocks(case, bits);
+            for &seed in &case.writes {
+                let data = data_word(seed, bits);
+                prop_assert_eq!(
+                    &kernel.write(&mut kb, &data),
+                    &scalar.write_scalar(&mut sb, &data)
+                );
+                prop_assert_eq!(kb.read_raw(), sb.read_raw());
+            }
+
+            let mut kernel = AegisRwPCodec::new(rect.clone(), case.pointers);
+            let mut scalar = AegisRwPCodec::new(rect, case.pointers);
+            let (mut kb, mut sb) = twin_blocks(case, bits);
+            for &seed in &case.writes {
+                let data = data_word(seed, bits);
+                prop_assert_eq!(
+                    &kernel.write(&mut kb, &data),
+                    &scalar.write_scalar(&mut sb, &data)
+                );
+                prop_assert_eq!(kb.read_raw(), sb.read_raw());
+            }
+            Ok(())
+        });
+}
+
+/// The Monte Carlo predicates agree too: on random fault populations and
+/// W/R splits (one split per write seed), the ROM-backed `recoverable` /
+/// `recoverable_with` verdicts of all three Aegis policies equal the
+/// scalar-mode policies' verdicts — the block-lifetime decision the fig5–7
+/// sweeps are built on.
+#[test]
+fn policy_verdicts_agree_between_kernel_and_scalar_modes() {
+    Runner::new("policy_verdicts_agree_between_kernel_and_scalar_modes")
+        .cases(1_000)
+        .run(gen_case, shrink_case, |case| {
+            let rect = case.rect();
+            let kernel: Vec<Box<dyn RecoveryPolicy>> = vec![
+                Box::new(AegisPolicy::new(rect.clone())),
+                Box::new(AegisRwPolicy::new(rect.clone())),
+                Box::new(AegisRwPPolicy::new(rect.clone(), case.pointers)),
+            ];
+            let scalar: Vec<Box<dyn RecoveryPolicy>> = vec![
+                Box::new(AegisPolicy::scalar(rect.clone())),
+                Box::new(AegisRwPolicy::scalar(rect.clone())),
+                Box::new(AegisRwPPolicy::scalar(rect, case.pointers)),
+            ];
+            let mut scratch = PolicyScratch::new();
+            for &seed in &case.writes {
+                let mut split_rng = SmallRng::seed_from_u64(seed);
+                let wrong: Vec<bool> = case
+                    .faults
+                    .iter()
+                    .map(|_| split_rng.random_bool(0.5))
+                    .collect();
+                for (k, s) in kernel.iter().zip(&scalar) {
+                    let want = s.recoverable(&case.faults, &wrong);
+                    prop_assert_eq!(k.recoverable(&case.faults, &wrong), want);
+                    prop_assert_eq!(k.recoverable_with(&case.faults, &wrong, &mut scratch), want);
+                    prop_assert_eq!(s.recoverable_with(&case.faults, &wrong, &mut scratch), want);
+                }
+            }
+            Ok(())
+        });
+}
+
+/// Fault-identical twins stay fault-identical: a sanity pin that the
+/// differential harness itself cannot diverge through block state.
+#[test]
+fn twin_blocks_report_identical_fault_populations() {
+    Runner::new("twin_blocks_report_identical_fault_populations")
+        .cases(200)
+        .run(gen_case, shrink_case, |case| {
+            let bits = case.rect().bits();
+            let (kb, sb) = twin_blocks(case, bits);
+            prop_assert_eq!(kb.faults(), sb.faults());
+            prop_assert!(kb.fault_count() <= case.faults.len());
+            Ok(())
+        });
+}

@@ -190,3 +190,116 @@ fn codecs_match_predicates_exhaustively_on_one_geometry() {
         }
     });
 }
+
+/// Every valid formation whose block fits in one machine word, full and
+/// ragged: for each prime `B ≤ 61` and each `A ≤ B`, the complete
+/// `A·B`-bit block, the one-bit-ragged block, and — when `A·B > 64` — the
+/// 64-bit block (the paper-style truncated rectangle, e.g. 9×61/512's
+/// word-sized cousin).
+fn single_word_rectangles() -> Vec<Rectangle> {
+    let primes = [
+        3usize, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    ];
+    let mut out = Vec::new();
+    for b in primes {
+        for a in 1..=b {
+            let mut sizes = vec![64];
+            if a * b >= 1 {
+                sizes.push(a * b);
+                sizes.push(a * b - 1);
+            }
+            sizes.retain(|&bits| (1..=64).contains(&bits) && bits <= a * b);
+            sizes.sort_unstable();
+            sizes.dedup();
+            for bits in sizes {
+                if let Ok(rect) = Rectangle::new(a, b, bits) {
+                    out.push(rect);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The precomputed mask ROMs agree with [`Rectangle::group_members`] on
+/// every `(slope, group)` of every single-word geometry — the word-level
+/// kernels' entire view of the partition, checked against the arithmetic
+/// definition with no sampling.
+#[test]
+fn shift_rom_masks_equal_group_members_on_every_single_word_geometry() {
+    use aegis_pcm::aegis::rom::{InversionRom, ShiftRom};
+    let rects = single_word_rectangles();
+    assert!(rects.len() > 500, "enumeration collapsed: {}", rects.len());
+    for rect in &rects {
+        let shift = ShiftRom::new(rect);
+        let inv_rom = InversionRom::new(rect);
+        assert_eq!(shift.bits(), rect.bits());
+        assert_eq!(shift.words_per_mask(), 1, "{rect:?} fits one word");
+        for slope in 0..rect.slopes() {
+            for group in 0..rect.groups() {
+                let expect = BitBlock::from_indices(rect.bits(), rect.group_members(slope, group));
+                assert_eq!(
+                    shift.mask_words(slope, group),
+                    expect.as_words(),
+                    "ShiftRom mask {}x{}/{} slope {slope} group {group}",
+                    rect.a(),
+                    rect.b(),
+                    rect.bits()
+                );
+                assert_eq!(
+                    inv_rom.group_mask(slope, group),
+                    &expect,
+                    "InversionRom mask {}x{}/{} slope {slope} group {group}",
+                    rect.a(),
+                    rect.b(),
+                    rect.bits()
+                );
+            }
+        }
+    }
+}
+
+/// [`ShiftRom::inversion_mask`] round-trips against per-point
+/// [`Rectangle::group_of`]: for a set of structured inversion vectors on
+/// every single-word geometry (and *all* `2^B` vectors when `B ≤ 7`), the
+/// expanded mask selects exactly the offsets whose group bit is set, and
+/// the `GroupRom` table agrees with the arithmetic at every offset.
+#[test]
+fn shift_rom_inversion_masks_round_trip_through_group_of() {
+    use aegis_pcm::aegis::rom::{GroupRom, ShiftRom};
+    for rect in single_word_rectangles() {
+        let shift = ShiftRom::new(&rect);
+        let groups_rom = GroupRom::new(&rect);
+        let groups = rect.groups();
+        let mut vectors: Vec<BitBlock> = vec![
+            BitBlock::zeros(groups),
+            BitBlock::ones_block(groups),
+            BitBlock::from_fn(groups, |g| g % 2 == 0),
+            BitBlock::from_fn(groups, |g| g % 3 == 1),
+        ];
+        if groups <= 7 {
+            vectors = (0..1u32 << groups)
+                .map(|v| BitBlock::from_fn(groups, |g| (v >> g) & 1 == 1))
+                .collect();
+        }
+        let mut out = BitBlock::zeros(rect.bits());
+        for slope in 0..rect.slopes() {
+            for inversion in &vectors {
+                shift.inversion_mask_into(slope, inversion, &mut out);
+                for offset in 0..rect.bits() {
+                    let group = rect.group_of(offset, slope);
+                    assert_eq!(groups_rom.group_of(offset, slope), group);
+                    assert_eq!(
+                        out.get(offset),
+                        inversion.get(group),
+                        "{}x{}/{} slope {slope} offset {offset}",
+                        rect.a(),
+                        rect.b(),
+                        rect.bits()
+                    );
+                }
+                assert_eq!(&shift.inversion_mask(slope, inversion), &out);
+            }
+        }
+    }
+}
