@@ -23,7 +23,7 @@
 use crate::cost::ceil_log2;
 use crate::rom::{CollisionRom, GroupRom};
 use crate::Rectangle;
-use pcm_sim::policy::{PolicyScratch, RecoveryPolicy};
+use pcm_sim::policy::{cache_key, CachedPair, PairCache, PolicyScratch, RecoveryPolicy};
 use pcm_sim::Fault;
 
 /// Precomputed lookup tables shared by the kernel-mode predicates: the
@@ -46,6 +46,92 @@ impl PolicyRoms {
             groups: GroupRom::new(rect),
         }
     }
+}
+
+/// [`PairCache`] owner key for an Aegis rectangle.
+///
+/// The cached content — every colliding pair with its collision slope,
+/// plus per-slope pair counts — is a pure function of the rectangle
+/// geometry and is *split-independent*, so all three Aegis variants over
+/// the same rectangle share one owner key (the `matters` filter is applied
+/// at check time, against the cached pairs).
+fn aegis_cache_key(rect: &Rectangle) -> u64 {
+    cache_key(&[
+        0xA1,
+        rect.slopes() as u64,
+        rect.groups() as u64,
+        rect.bits() as u64,
+    ])
+}
+
+/// Extends the Aegis pair cache with every fault the cache has not yet
+/// covered: for the `j`-th new fault only its `j-1` pairs hit the
+/// collision ROM, so a block's whole lifetime derives each pair exactly
+/// once (`O(F²)` total instead of `O(F³)`).
+///
+/// Maintains per-slope colliding-pair counts and the number of *clean*
+/// slopes (no colliding pair at all); a clean slope can never be bad, so
+/// its existence decides the base/rw predicates in O(1).
+fn observe_pairs(
+    owner: u64,
+    slopes: usize,
+    roms: &PolicyRoms,
+    faults: &[Fault],
+    cache: &mut PairCache,
+) {
+    let start = cache.begin(owner, faults);
+    if cache.counts.len() != slopes {
+        cache.counts.clear();
+        cache.counts.resize(slopes, 0);
+        cache.clean = slopes;
+    }
+    for j in start..faults.len() {
+        let fj = faults[j];
+        for (i, fi) in faults[..j].iter().enumerate() {
+            if let Some(k) = roms.collisions.collision_slope(fi.offset, fj.offset) {
+                cache.pairs.push(CachedPair {
+                    a: i as u32,
+                    b: j as u32,
+                    tag: k as u32,
+                });
+                if cache.counts[k] == 0 {
+                    cache.clean -= 1;
+                }
+                cache.counts[k] += 1;
+            }
+        }
+        cache.commit(fj);
+    }
+}
+
+/// Marks every slope holding a cached pair selected by `matters` in `bad`
+/// and returns the bad-slope count (early exit once every slope is bad).
+///
+/// Decision-equivalent to [`bad_slopes_into`] on the same population: the
+/// cached walk visits pairs in arrival order rather than `(i, j)`-lex
+/// order, but the *set* of `(pair, slope)` entries is identical, and both
+/// the bad set and its count are order-independent.
+fn bad_slopes_cached<F: Fn(bool, bool) -> bool>(
+    slopes: usize,
+    cache: &PairCache,
+    wrong: &[bool],
+    matters: F,
+    bad: &mut [bool],
+) -> usize {
+    let mut count = 0;
+    for pair in &cache.pairs {
+        if matters(wrong[pair.a as usize], wrong[pair.b as usize]) {
+            let k = pair.tag as usize;
+            if !bad[k] {
+                bad[k] = true;
+                count += 1;
+                if count == slopes {
+                    return count;
+                }
+            }
+        }
+    }
+    count
 }
 
 /// Marks every slope on which a pair selected by `matters` collides and
@@ -114,6 +200,7 @@ fn bad_slopes_into<F: Fn(bool, bool) -> bool>(
 pub struct AegisPolicy {
     rect: Rectangle,
     roms: Option<PolicyRoms>,
+    key: u64,
 }
 
 impl AegisPolicy {
@@ -122,7 +209,8 @@ impl AegisPolicy {
     #[must_use]
     pub fn new(rect: Rectangle) -> Self {
         let roms = Some(PolicyRoms::new(&rect));
-        Self { rect, roms }
+        let key = aegis_cache_key(&rect);
+        Self { rect, roms, key }
     }
 
     /// Creates the reference-mode policy: decisions are computed with the
@@ -130,7 +218,12 @@ impl AegisPolicy {
     /// [`RecoveryPolicy::recoverable_with`].
     #[must_use]
     pub fn scalar(rect: Rectangle) -> Self {
-        Self { rect, roms: None }
+        let key = aegis_cache_key(&rect);
+        Self {
+            rect,
+            roms: None,
+            key,
+        }
     }
 
     /// The partition scheme.
@@ -171,9 +264,39 @@ impl RecoveryPolicy for AegisPolicy {
         };
         assert_eq!(faults.len(), wrong.len(), "split width mismatch");
         let slopes = self.rect.slopes();
+        if scratch.pair_cache.matches(self.key, faults) {
+            // Incremental path: a slope with zero colliding pairs can never
+            // be bad, so one surviving clean slope decides immediately.
+            if scratch.pair_cache.clean > 0 {
+                return true;
+            }
+            scratch.flags.clear();
+            scratch.flags.resize(slopes, false);
+            let PolicyScratch {
+                flags, pair_cache, ..
+            } = scratch;
+            let count = bad_slopes_cached(slopes, pair_cache, wrong, |wi, wj| wi || wj, flags);
+            return count < slopes;
+        }
         let bad = scratch.flags(slopes);
         let count = bad_slopes_into(slopes, roms, faults, wrong, |wi, wj| wi || wj, bad);
         count < slopes
+    }
+
+    fn observe_fault(&self, faults: &[Fault], scratch: &mut PolicyScratch) {
+        if let Some(roms) = &self.roms {
+            observe_pairs(
+                self.key,
+                self.rect.slopes(),
+                roms,
+                faults,
+                &mut scratch.pair_cache,
+            );
+        }
+    }
+
+    fn forget_block(&self, scratch: &mut PolicyScratch) {
+        scratch.pair_cache.reset();
     }
 
     /// Exact data-independent guarantee: some slope puts every fault in its
@@ -190,6 +313,7 @@ impl RecoveryPolicy for AegisPolicy {
 pub struct AegisRwPolicy {
     rect: Rectangle,
     roms: Option<PolicyRoms>,
+    key: u64,
 }
 
 impl AegisRwPolicy {
@@ -198,13 +322,19 @@ impl AegisRwPolicy {
     #[must_use]
     pub fn new(rect: Rectangle) -> Self {
         let roms = Some(PolicyRoms::new(&rect));
-        Self { rect, roms }
+        let key = aegis_cache_key(&rect);
+        Self { rect, roms, key }
     }
 
     /// Creates the reference-mode policy (see [`AegisPolicy::scalar`]).
     #[must_use]
     pub fn scalar(rect: Rectangle) -> Self {
-        Self { rect, roms: None }
+        let key = aegis_cache_key(&rect);
+        Self {
+            rect,
+            roms: None,
+            key,
+        }
     }
 
     /// The partition scheme.
@@ -244,9 +374,37 @@ impl RecoveryPolicy for AegisRwPolicy {
         };
         assert_eq!(faults.len(), wrong.len(), "split width mismatch");
         let slopes = self.rect.slopes();
+        if scratch.pair_cache.matches(self.key, faults) {
+            if scratch.pair_cache.clean > 0 {
+                return true;
+            }
+            scratch.flags.clear();
+            scratch.flags.resize(slopes, false);
+            let PolicyScratch {
+                flags, pair_cache, ..
+            } = scratch;
+            let count = bad_slopes_cached(slopes, pair_cache, wrong, |wi, wj| wi != wj, flags);
+            return count < slopes;
+        }
         let bad = scratch.flags(slopes);
         let count = bad_slopes_into(slopes, roms, faults, wrong, |wi, wj| wi != wj, bad);
         count < slopes
+    }
+
+    fn observe_fault(&self, faults: &[Fault], scratch: &mut PolicyScratch) {
+        if let Some(roms) = &self.roms {
+            observe_pairs(
+                self.key,
+                self.rect.slopes(),
+                roms,
+                faults,
+                &mut scratch.pair_cache,
+            );
+        }
+    }
+
+    fn forget_block(&self, scratch: &mut PolicyScratch) {
+        scratch.pair_cache.reset();
     }
 }
 
@@ -256,6 +414,7 @@ pub struct AegisRwPPolicy {
     rect: Rectangle,
     pointers: usize,
     roms: Option<PolicyRoms>,
+    key: u64,
 }
 
 impl AegisRwPPolicy {
@@ -269,10 +428,12 @@ impl AegisRwPPolicy {
     pub fn new(rect: Rectangle, pointers: usize) -> Self {
         assert!(pointers > 0, "need at least one group pointer");
         let roms = Some(PolicyRoms::new(&rect));
+        let key = aegis_cache_key(&rect);
         Self {
             rect,
             pointers,
             roms,
+            key,
         }
     }
 
@@ -284,10 +445,12 @@ impl AegisRwPPolicy {
     #[must_use]
     pub fn scalar(rect: Rectangle, pointers: usize) -> Self {
         assert!(pointers > 0, "need at least one group pointer");
+        let key = aegis_cache_key(&rect);
         Self {
             rect,
             pointers,
             roms: None,
+            key,
         }
     }
 
@@ -371,12 +534,19 @@ impl RecoveryPolicy for AegisRwPPolicy {
         let PolicyScratch {
             flags: bad,
             bytes: occupancy,
+            pair_cache,
             ..
         } = scratch;
-        let count = bad_slopes_into(slopes, roms, faults, wrong, |wi, wj| wi != wj, bad);
+        let count = if pair_cache.matches(self.key, faults) {
+            bad_slopes_cached(slopes, pair_cache, wrong, |wi, wj| wi != wj, bad)
+        } else {
+            bad_slopes_into(slopes, roms, faults, wrong, |wi, wj| wi != wj, bad)
+        };
         if count == slopes {
             return false;
         }
+        // The pointer-budget walk over good slopes is identical on both
+        // paths; it dominates once the pair derivations are cached.
         for (slope, &is_bad) in bad.iter().enumerate() {
             if is_bad {
                 continue;
@@ -400,6 +570,22 @@ impl RecoveryPolicy for AegisRwPPolicy {
             }
         }
         false
+    }
+
+    fn observe_fault(&self, faults: &[Fault], scratch: &mut PolicyScratch) {
+        if let Some(roms) = &self.roms {
+            observe_pairs(
+                self.key,
+                self.rect.slopes(),
+                roms,
+                faults,
+                &mut scratch.pair_cache,
+            );
+        }
+    }
+
+    fn forget_block(&self, scratch: &mut PolicyScratch) {
+        scratch.pair_cache.reset();
     }
 }
 
@@ -562,6 +748,50 @@ mod tests {
                     "{} (scalar recoverable_with)",
                     s.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_pair_cache_matches_recompute() {
+        use pcm_sim::policy::PolicyScratch;
+        use sim_rng::{Rng, SeedableRng, SmallRng};
+        let r = rect();
+        let policies: Vec<Box<dyn RecoveryPolicy>> = vec![
+            Box::new(AegisPolicy::new(r.clone())),
+            Box::new(AegisRwPolicy::new(r.clone())),
+            Box::new(AegisRwPPolicy::new(r.clone(), 2)),
+        ];
+        let mut rng = SmallRng::seed_from_u64(4242);
+        for policy in &policies {
+            let mut warm = PolicyScratch::new();
+            for _ in 0..50 {
+                policy.forget_block(&mut warm);
+                let f: usize = rng.random_range(1..12);
+                let mut offsets: Vec<usize> = Vec::new();
+                while offsets.len() < f {
+                    let o: usize = rng.random_range(0..r.bits());
+                    if !offsets.contains(&o) {
+                        offsets.push(o);
+                    }
+                }
+                let mut fs: Vec<Fault> = Vec::new();
+                for &o in &offsets {
+                    // Arrival order: faults accumulate one at a time, as in
+                    // the engine, with observe_fault after each arrival.
+                    fs.push(Fault::new(o, rng.random()));
+                    policy.observe_fault(&fs, &mut warm);
+                    assert!(warm.pair_cache.matches(super::aegis_cache_key(&r), &fs));
+                    for _ in 0..4 {
+                        let wrong: Vec<bool> = (0..fs.len()).map(|_| rng.random()).collect();
+                        let incremental = policy.recoverable_with(&fs, &wrong, &mut warm);
+                        // Fresh scratch => cache miss => PR 3 recompute path.
+                        let recompute =
+                            policy.recoverable_with(&fs, &wrong, &mut PolicyScratch::new());
+                        assert_eq!(incremental, recompute, "{}", policy.name());
+                        assert_eq!(incremental, policy.recoverable(&fs, &wrong));
+                    }
+                }
             }
         }
     }

@@ -25,7 +25,7 @@
 use crate::cost::{rdis_overhead, rdis_paper_overhead};
 use bitblock::BitBlock;
 use pcm_sim::codec::{StuckAtCodec, WriteReport};
-use pcm_sim::policy::RecoveryPolicy;
+use pcm_sim::policy::{cache_key, PolicyScratch, RecoveryPolicy};
 use pcm_sim::{classify_split, Fault, PcmBlock, UncorrectableError};
 
 /// Grid geometry and recursion depth of an RDIS scheme.
@@ -364,13 +364,25 @@ impl StuckAtCodec for RdisCodec {
 #[derive(Debug, Clone, Copy)]
 pub struct RdisPolicy {
     scheme: RdisScheme,
+    /// Owner key for the per-block coordinate cache; shared across depths
+    /// of the same grid (cached coordinates depend only on the geometry).
+    key: u64,
+    /// Whether the allocation-free mask path applies: row/column masks fit
+    /// one `u64` each and the level masks fit the stack arrays.
+    fast: bool,
 }
+
+/// Deepest recursion the stack-array fast path supports (RDIS-3 is the
+/// paper's configuration; 8 leaves generous headroom for ablations).
+const MAX_MASK_DEPTH: usize = 8;
 
 impl RdisPolicy {
     /// Creates the policy for a scheme.
     #[must_use]
     pub fn new(scheme: RdisScheme) -> Self {
-        Self { scheme }
+        let key = cache_key(&[0xD15, scheme.rows() as u64, scheme.cols() as u64]);
+        let fast = scheme.rows() <= 64 && scheme.cols() <= 64 && scheme.depth() <= MAX_MASK_DEPTH;
+        Self { scheme, key, fast }
     }
 
     /// RDIS-3 on the standard grid for `block_bits`.
@@ -402,6 +414,82 @@ impl RecoveryPolicy for RdisPolicy {
 
     fn recoverable(&self, faults: &[Fault], wrong: &[bool]) -> bool {
         self.scheme.build_sets(faults, wrong).is_some()
+    }
+
+    fn observe_fault(&self, faults: &[Fault], scratch: &mut PolicyScratch) {
+        if !self.fast {
+            return;
+        }
+        let cache = &mut scratch.pair_cache;
+        let start = cache.begin(self.key, faults);
+        for &f in &faults[start..] {
+            let (r, c) = self.scheme.coords(f.offset);
+            cache.coords.push((r as u32, c as u32));
+            cache.commit(f);
+        }
+    }
+
+    fn forget_block(&self, scratch: &mut PolicyScratch) {
+        scratch.pair_cache.reset();
+    }
+
+    /// Allocation-free replay of [`RdisScheme::build_sets`]'s fixed point:
+    /// violators as a `u128` bitmask over fault indices, per-level row and
+    /// column masks as single `u64`s in stack arrays. The verdict (but not
+    /// the sets) is all the Monte Carlo loop needs.
+    fn recoverable_with(
+        &self,
+        faults: &[Fault],
+        wrong: &[bool],
+        scratch: &mut PolicyScratch,
+    ) -> bool {
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        let cache = &scratch.pair_cache;
+        if !self.fast || faults.len() > 128 || !cache.matches(self.key, faults) {
+            return self.recoverable(faults, wrong);
+        }
+        let coords = &cache.coords;
+        let mut level_rows = [0u64; MAX_MASK_DEPTH];
+        let mut level_cols = [0u64; MAX_MASK_DEPTH];
+        let mut violators: u128 = 0;
+        for (i, &w) in wrong.iter().enumerate() {
+            if w {
+                violators |= 1u128 << i;
+            }
+        }
+        let mut built = 0usize;
+        for _ in 0..self.scheme.depth() {
+            if violators == 0 {
+                break;
+            }
+            let mut rows = 0u64;
+            let mut cols = 0u64;
+            let mut v = violators;
+            while v != 0 {
+                let (r, c) = coords[v.trailing_zeros() as usize];
+                rows |= 1u64 << r;
+                cols |= 1u64 << c;
+                v &= v - 1;
+            }
+            level_rows[built] = rows;
+            level_cols[built] = cols;
+            built += 1;
+            violators = 0;
+            for (i, &w) in wrong.iter().enumerate() {
+                let (r, c) = coords[i];
+                let mut depth = 0usize;
+                while depth < built
+                    && (level_rows[depth] >> r) & 1 == 1
+                    && (level_cols[depth] >> c) & 1 == 1
+                {
+                    depth += 1;
+                }
+                if w != (depth % 2 == 1) {
+                    violators |= 1u128 << i;
+                }
+            }
+        }
+        violators == 0
     }
 }
 
@@ -563,6 +651,49 @@ mod tests {
                     scheme.parity_mask(&levels),
                     "bits={bits} levels={levels:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_cache_matches_recompute() {
+        let mut rng = SmallRng::seed_from_u64(327);
+        let schemes = [
+            RdisScheme::for_block(64, 3),
+            RdisScheme::for_block(512, 3),
+            RdisScheme::new(8, 8, 1),
+        ];
+        for scheme in schemes {
+            let policy = RdisPolicy::new(scheme);
+            assert!(policy.fast);
+            let mut warm = PolicyScratch::new();
+            for _ in 0..40 {
+                policy.forget_block(&mut warm);
+                let mut faults: Vec<Fault> = Vec::new();
+                while faults.len() < 7 {
+                    let o: usize = rng.random_range(0..scheme.block_bits());
+                    if faults.iter().any(|f| f.offset == o) {
+                        continue;
+                    }
+                    faults.push(Fault::new(o, rng.random()));
+                    policy.observe_fault(&faults, &mut warm);
+                    assert!(warm.pair_cache.matches(policy.key, &faults));
+                    for _ in 0..4 {
+                        let wrong: Vec<bool> = faults.iter().map(|_| rng.random()).collect();
+                        let warm_verdict = policy.recoverable_with(&faults, &wrong, &mut warm);
+                        let cold_verdict =
+                            policy.recoverable_with(&faults, &wrong, &mut PolicyScratch::new());
+                        let plain = policy.recoverable(&faults, &wrong);
+                        assert_eq!(
+                            warm_verdict, plain,
+                            "warm: {scheme:?} faults={faults:?} wrong={wrong:?}"
+                        );
+                        assert_eq!(
+                            cold_verdict, plain,
+                            "cold: {scheme:?} faults={faults:?} wrong={wrong:?}"
+                        );
+                    }
+                }
             }
         }
     }

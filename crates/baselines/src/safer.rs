@@ -22,7 +22,7 @@
 use crate::cost::safer_overhead;
 use bitblock::BitBlock;
 use pcm_sim::codec::{StuckAtCodec, WriteReport};
-use pcm_sim::policy::RecoveryPolicy;
+use pcm_sim::policy::{cache_key, CachedPair, PolicyScratch, RecoveryPolicy};
 use pcm_sim::{Fault, PcmBlock, UncorrectableError};
 
 /// How the codec looks for a collision-free partition vector.
@@ -396,6 +396,17 @@ pub struct SaferPolicy {
     vectors: Vec<Vec<usize>>,
     cache: bool,
     search: PartitionSearch,
+    /// Owner key for the per-block [`pcm_sim::policy::PairCache`]. The
+    /// cached content is geometric (no dependence on the fail-cache flag),
+    /// so both cache modes of a given `(m, block_bits, search)` share it.
+    key: u64,
+    /// `vec_masks[p]`: bit `v` set iff full-length vector `v` contains
+    /// address bit `p`. Empty when more than 128 vectors exist (the u128
+    /// fast path is gated off and the recompute path is used instead).
+    vec_masks: Vec<u128>,
+    /// All-vectors mask: `(1 << vectors.len()) - 1` when the fast path is
+    /// enabled, 0 otherwise.
+    full_mask: u128,
 }
 
 impl SaferPolicy {
@@ -416,11 +427,35 @@ impl SaferPolicy {
         assert!(m <= 7, "SaferPolicy supports up to 128 groups (m <= 7)");
         let scheme = SaferScheme::new(m, block_bits);
         let vectors = scheme.all_vectors();
+        let (vec_masks, full_mask) = if vectors.len() <= 128 {
+            let mut masks = vec![0u128; scheme.addr_bits()];
+            for (v, positions) in vectors.iter().enumerate() {
+                for &p in positions {
+                    masks[p] |= 1u128 << v;
+                }
+            }
+            let full = if vectors.len() == 128 {
+                u128::MAX
+            } else {
+                (1u128 << vectors.len()) - 1
+            };
+            (masks, full)
+        } else {
+            (Vec::new(), 0)
+        };
+        let search_tag = match search {
+            PartitionSearch::Incremental => 1,
+            PartitionSearch::Exhaustive => 2,
+        };
+        let key = cache_key(&[0x5AFE, m as u64, block_bits as u64, search_tag]);
         Self {
             scheme,
             vectors,
             cache,
             search,
+            key,
+            vec_masks,
+            full_mask,
         }
     }
 
@@ -475,6 +510,78 @@ impl SaferPolicy {
         }
         positions
     }
+
+    /// Incremental (exhaustive search): for each *new* fault, the set of
+    /// vectors under which it shares a group with each earlier fault — a
+    /// pure function of the offset pair, cached once per pair.
+    fn absorb_pair_masks(&self, faults: &[Fault], cache: &mut pcm_sim::policy::PairCache) {
+        let start = cache.begin(self.key, faults);
+        for j in start..faults.len() {
+            let fj = faults[j];
+            for (i, fi) in faults[..j].iter().enumerate() {
+                // The pair is co-grouped under exactly the vectors avoiding
+                // every address bit on which the two offsets differ.
+                let mut diff = fi.offset ^ fj.offset;
+                let mut excluded = 0u128;
+                while diff != 0 {
+                    excluded |= self.vec_masks[diff.trailing_zeros() as usize];
+                    diff &= diff - 1;
+                }
+                let mask = self.full_mask & !excluded;
+                if mask != 0 {
+                    cache.pairs.push(CachedPair {
+                        a: i as u32,
+                        b: j as u32,
+                        tag: 0,
+                    });
+                    cache.masks.push(mask);
+                    cache.all_mask |= mask;
+                }
+            }
+            cache.commit(fj);
+        }
+    }
+
+    /// Incremental (published search): replay [`Self::incremental_vector`]'s
+    /// growth for the new suffix only, then keep per-fault groups current.
+    fn absorb_incremental_vector(&self, faults: &[Fault], cache: &mut pcm_sim::policy::PairCache) {
+        let start = cache.begin(self.key, faults);
+        if start == faults.len() {
+            return;
+        }
+        let old_len = cache.positions.len();
+        for j in start..faults.len() {
+            let fj = faults[j];
+            for fi in &faults[..j] {
+                // Mirrors incremental_vector exactly: the length check sits
+                // before the group comparison on every pair visit.
+                if cache.positions.len() >= self.scheme.m {
+                    break;
+                }
+                if self.scheme.group_of(fj.offset, &cache.positions)
+                    == self.scheme.group_of(fi.offset, &cache.positions)
+                {
+                    if let Some(bit) =
+                        self.scheme
+                            .distinguishing_bit(fj.offset, fi.offset, &cache.positions)
+                    {
+                        cache.positions.push(bit);
+                    }
+                }
+            }
+            cache.commit(fj);
+        }
+        let range = if cache.positions.len() == old_len {
+            start..faults.len()
+        } else {
+            cache.groups.clear();
+            0..faults.len()
+        };
+        for f in &faults[range] {
+            let g = self.scheme.group_of(f.offset, &cache.positions) as u8;
+            cache.groups.push(g);
+        }
+    }
 }
 
 impl RecoveryPolicy for SaferPolicy {
@@ -524,6 +631,79 @@ impl RecoveryPolicy for SaferPolicy {
         match self.search {
             PartitionSearch::Exhaustive => self.vectors.iter().any(|p| injective(p)),
             PartitionSearch::Incremental => injective(&self.incremental_vector(faults)),
+        }
+    }
+
+    fn observe_fault(&self, faults: &[Fault], scratch: &mut PolicyScratch) {
+        match self.search {
+            PartitionSearch::Exhaustive => {
+                if !self.vec_masks.is_empty() {
+                    self.absorb_pair_masks(faults, &mut scratch.pair_cache);
+                }
+            }
+            PartitionSearch::Incremental => {
+                self.absorb_incremental_vector(faults, &mut scratch.pair_cache);
+            }
+        }
+    }
+
+    fn forget_block(&self, scratch: &mut PolicyScratch) {
+        scratch.pair_cache.reset();
+    }
+
+    fn recoverable_with(
+        &self,
+        faults: &[Fault],
+        wrong: &[bool],
+        scratch: &mut PolicyScratch,
+    ) -> bool {
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        let cache = &scratch.pair_cache;
+        if !cache.matches(self.key, faults) {
+            return self.recoverable(faults, wrong);
+        }
+        match self.search {
+            PartitionSearch::Exhaustive => {
+                // Recoverable iff some vector co-groups no *mattering* pair.
+                // A vector outside `all_mask` co-groups no pair at all.
+                if cache.all_mask != self.full_mask {
+                    return true;
+                }
+                let mut bad = 0u128;
+                for (pair, &mask) in cache.pairs.iter().zip(&cache.masks) {
+                    let wi = wrong[pair.a as usize];
+                    let wj = wrong[pair.b as usize];
+                    let matters = if self.cache { wi != wj } else { wi || wj };
+                    if matters {
+                        bad |= mask;
+                        if bad == self.full_mask {
+                            return false;
+                        }
+                    }
+                }
+                bad != self.full_mask
+            }
+            PartitionSearch::Incremental => {
+                // partition_ok over the cached per-fault groups, in the same
+                // fault order and with identical occupancy semantics.
+                let mut has_w = 0u128;
+                let mut has_r = 0u128;
+                for (&g, &is_wrong) in cache.groups.iter().zip(wrong) {
+                    let bit = 1u128 << g;
+                    if is_wrong {
+                        if has_r & bit != 0 || (!self.cache && has_w & bit != 0) {
+                            return false;
+                        }
+                        has_w |= bit;
+                    } else {
+                        if has_w & bit != 0 {
+                            return false;
+                        }
+                        has_r |= bit;
+                    }
+                }
+                true
+            }
         }
     }
 }
@@ -680,6 +860,49 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn non_power_of_two_block_panics() {
         let _ = SaferScheme::new(3, 500);
+    }
+
+    #[test]
+    fn incremental_cache_matches_recompute() {
+        let mut rng = SmallRng::seed_from_u64(911);
+        let configs = [
+            (3usize, 64usize, PartitionSearch::Exhaustive, false, 30),
+            (3, 64, PartitionSearch::Exhaustive, true, 30),
+            (3, 64, PartitionSearch::Incremental, false, 30),
+            (3, 64, PartitionSearch::Incremental, true, 30),
+            (5, 512, PartitionSearch::Exhaustive, false, 8),
+            (5, 512, PartitionSearch::Incremental, true, 8),
+        ];
+        for &(m, bits, search, cache, blocks) in &configs {
+            let policy = SaferPolicy::with_search(m, bits, cache, search);
+            let mut warm = PolicyScratch::new();
+            for _ in 0..blocks {
+                policy.forget_block(&mut warm);
+                let mut faults: Vec<Fault> = Vec::new();
+                while faults.len() < m + 3 {
+                    let o: usize = rng.random_range(0..bits);
+                    if faults.iter().any(|f| f.offset == o) {
+                        continue;
+                    }
+                    faults.push(Fault::new(o, rng.random()));
+                    policy.observe_fault(&faults, &mut warm);
+                    assert!(warm.pair_cache.matches(policy.key, &faults));
+                    for _ in 0..4 {
+                        let wrong: Vec<bool> = faults.iter().map(|_| rng.random()).collect();
+                        let warm_verdict = policy.recoverable_with(&faults, &wrong, &mut warm);
+                        let cold_verdict =
+                            policy.recoverable_with(&faults, &wrong, &mut PolicyScratch::new());
+                        let plain = policy.recoverable(&faults, &wrong);
+                        let ctx = format!(
+                            "m={m} bits={bits} {search:?} cache={cache} \
+                             faults={faults:?} wrong={wrong:?}"
+                        );
+                        assert_eq!(warm_verdict, plain, "warm: {ctx}");
+                        assert_eq!(cold_verdict, plain, "cold: {ctx}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,21 +1,28 @@
-//! PR 3 bench gate: reads `BENCH_pr3.json` (the `kernels` bench target's
-//! output) and fails — exit code 1 — unless the kernel rewrite holds its
-//! promises:
+//! Bench gate: reads the recorded bench documents and fails — exit
+//! code 1 — unless the performance work holds its promises:
 //!
-//! 1. **Kernel speedup.** The `encode_512_9x61` and `predicate_512_9x61`
-//!    groups must show the `kernel` leg at least 2× faster (median) than
-//!    the `scalar` leg; `repartition_512_9x61` and `fig5_page_512_9x61`
-//!    must show the kernel no slower than 1.1× scalar. These are
-//!    same-process ratios, so they are machine-independent.
-//! 2. **No wall-clock regression.** When a baseline document is supplied
-//!    (second argument, or `BENCH_pr3.baseline.json` next to the current
-//!    file), every benchmark present in both must not have regressed by
-//!    more than 20% (median), and a recorded fig5 `--full` post-change
-//!    wall clock must beat the pre-change measurement.
+//! 1. **Kernel speedup (PR 3, `BENCH_pr3.json`).** The `encode_512_9x61`
+//!    and `predicate_512_9x61` groups must show the `kernel` leg at least
+//!    2× faster (median) than the `scalar` leg; `repartition_512_9x61`
+//!    and `fig5_page_512_9x61` must show the kernel no slower than
+//!    1.25× scalar. These are same-process ratios, so they are
+//!    machine-independent.
+//! 2. **Incremental speedup (PR 4, `BENCH_pr4.json`).** The
+//!    `predicate_incremental_512_9x61`, `safer_predicate_incremental_512`
+//!    and `page_eval_512_9x61` groups must show the `incremental` leg at
+//!    least 1.5× faster (median) than the `recompute` leg, and the
+//!    `scaling_512_9x61` group must show the `threadsN` leg no slower
+//!    than 1.25× the `threads1` leg.
+//! 3. **No wall-clock regression.** For each document, a recorded fig5
+//!    `--full` post-change wall clock must beat the pre-change
+//!    measurement, and every benchmark present in the matching
+//!    `*.baseline.json` must not have regressed by more than 20%
+//!    (median).
 //!
 //! Usage: `bench-gate [CURRENT_JSON [BASELINE_JSON]]` — defaults to
-//! `results/bench/BENCH_pr3.json` under the workspace root. Exit code 2
-//! on unreadable/malformed input.
+//! `results/bench/BENCH_pr3.json` under the workspace root; the PR 4
+//! document and both baselines are resolved as siblings of the current
+//! path. Exit code 2 on unreadable/malformed input.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +35,9 @@ use std::process::ExitCode;
 /// Minimum kernel-over-scalar median speedup for the encode and predicate
 /// groups (the PR 3 acceptance bar).
 const REQUIRED_SPEEDUP: f64 = 2.0;
+/// Minimum incremental-over-recompute median speedup for the PR 4
+/// predicate and page-evaluation groups.
+const REQUIRED_INCREMENTAL_SPEEDUP: f64 = 1.5;
 /// Noise allowance for the groups only required not to regress.
 const PARITY_TOLERANCE: f64 = 1.25;
 /// Maximum tolerated median regression versus the recorded baseline.
@@ -64,38 +74,83 @@ fn workspace_default() -> PathBuf {
     dir.join("results/bench/BENCH_pr3.json")
 }
 
-/// Ratio checks within the current document. Returns failure messages.
-fn check_speedups(current: &BTreeMap<(String, String), f64>) -> Vec<String> {
+/// One same-process ratio requirement: the `fast` leg of `group` must be
+/// at least `required`× quicker (median) than the `slow` leg.
+struct RatioCheck {
+    group: &'static str,
+    fast: &'static str,
+    slow: &'static str,
+    required: f64,
+}
+
+/// Ratio checks within one document. Returns failure messages.
+fn check_ratios(current: &BTreeMap<(String, String), f64>, checks: &[RatioCheck]) -> Vec<String> {
     let mut failures = Vec::new();
-    let groups = [
-        ("encode_512_9x61", REQUIRED_SPEEDUP),
-        ("predicate_512_9x61", REQUIRED_SPEEDUP),
-        ("repartition_512_9x61", 1.0 / PARITY_TOLERANCE),
-        ("fig5_page_512_9x61", 1.0 / PARITY_TOLERANCE),
-    ];
-    for (group, required) in groups {
-        let kernel = current.get(&(group.to_string(), "kernel".to_string()));
-        let scalar = current.get(&(group.to_string(), "scalar".to_string()));
-        match (kernel, scalar) {
-            (Some(&k), Some(&s)) if k > 0.0 => {
-                let speedup = s / k;
+    for check in checks {
+        let group = check.group;
+        let fast = current.get(&(group.to_string(), check.fast.to_string()));
+        let slow = current.get(&(group.to_string(), check.slow.to_string()));
+        match (fast, slow) {
+            (Some(&f), Some(&s)) if f > 0.0 => {
+                let speedup = s / f;
+                let required = check.required;
                 let verdict = if speedup >= required { "ok" } else { "FAIL" };
                 println!(
-                    "{group}: kernel {k:.0} ns, scalar {s:.0} ns, speedup {speedup:.2}x \
-                     (need >= {required:.2}x) .. {verdict}"
+                    "{group}: {} {f:.0} ns, {} {s:.0} ns, speedup {speedup:.2}x \
+                     (need >= {required:.2}x) .. {verdict}",
+                    check.fast, check.slow
                 );
                 if speedup < required {
                     failures.push(format!(
-                        "{group}: kernel speedup {speedup:.2}x below the required {required:.2}x"
+                        "{group}: {} speedup {speedup:.2}x below the required {required:.2}x",
+                        check.fast
                     ));
                 }
             }
             _ => failures.push(format!(
-                "{group}: missing kernel/scalar pair in bench document"
+                "{group}: missing {}/{} pair in bench document",
+                check.fast, check.slow
             )),
         }
     }
     failures
+}
+
+/// The PR 3 kernel-vs-scalar requirements.
+fn pr3_checks() -> Vec<RatioCheck> {
+    let pair = |group, required| RatioCheck {
+        group,
+        fast: "kernel",
+        slow: "scalar",
+        required,
+    };
+    vec![
+        pair("encode_512_9x61", REQUIRED_SPEEDUP),
+        pair("predicate_512_9x61", REQUIRED_SPEEDUP),
+        pair("repartition_512_9x61", 1.0 / PARITY_TOLERANCE),
+        pair("fig5_page_512_9x61", 1.0 / PARITY_TOLERANCE),
+    ]
+}
+
+/// The PR 4 incremental-vs-recompute and thread-scaling requirements.
+fn pr4_checks() -> Vec<RatioCheck> {
+    let pair = |group| RatioCheck {
+        group,
+        fast: "incremental",
+        slow: "recompute",
+        required: REQUIRED_INCREMENTAL_SPEEDUP,
+    };
+    vec![
+        pair("predicate_incremental_512_9x61"),
+        pair("safer_predicate_incremental_512"),
+        pair("page_eval_512_9x61"),
+        RatioCheck {
+            group: "scaling_512_9x61",
+            fast: "threadsN",
+            slow: "threads1",
+            required: 1.0 / PARITY_TOLERANCE,
+        },
+    ]
 }
 
 /// Median-vs-baseline regression checks. Returns failure messages.
@@ -146,6 +201,51 @@ fn check_fig5_wall_clock(doc: &Json) -> Vec<String> {
     }
 }
 
+/// Runs every check for one bench document: in-process ratios, the fig5
+/// wall-clock record, and (outside fast mode) the regression comparison
+/// against its baseline. Returns failure messages.
+fn gate_document(
+    doc: &Json,
+    path: &Path,
+    baseline_path: &Path,
+    checks: &[RatioCheck],
+) -> Vec<String> {
+    println!("== {}", path.display());
+    let Some(current) = medians(doc) else {
+        return vec![format!("{} is not a bench document", path.display())];
+    };
+    let mut failures = check_ratios(&current, checks);
+    failures.extend(check_fig5_wall_clock(doc));
+
+    let fast_mode = doc
+        .get("manifest")
+        .and_then(|m| m.get("fast"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if fast_mode {
+        // SIM_BENCH_FAST shrinks sampling below what absolute-time
+        // comparisons tolerate; the in-process ratios above still hold.
+        println!("fast-mode bench document — skipping baseline regression check");
+    } else if baseline_path.exists() {
+        match load(baseline_path).map(|doc| medians(&doc)) {
+            Ok(Some(baseline)) => {
+                println!("baseline: {}", baseline_path.display());
+                failures.extend(check_baseline(&current, &baseline));
+            }
+            _ => failures.push(format!(
+                "baseline {} is unreadable or malformed",
+                baseline_path.display()
+            )),
+        }
+    } else {
+        println!(
+            "no baseline at {} — skipping regression check",
+            baseline_path.display()
+        );
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let current_path = args.first().map_or_else(workspace_default, PathBuf::from);
@@ -161,42 +261,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let Some(current) = medians(&doc) else {
-        eprintln!(
-            "bench-gate: {} is not a bench document",
-            current_path.display()
-        );
-        return ExitCode::from(2);
-    };
 
-    let mut failures = check_speedups(&current);
-    failures.extend(check_fig5_wall_clock(&doc));
+    let mut failures = gate_document(&doc, &current_path, &baseline_path, &pr3_checks());
 
-    let fast_mode = doc
-        .get("manifest")
-        .and_then(|m| m.get("fast"))
-        .and_then(Json::as_bool)
-        .unwrap_or(false);
-    if fast_mode {
-        // SIM_BENCH_FAST shrinks sampling below what absolute-time
-        // comparisons tolerate; the in-process ratios above still hold.
-        println!("fast-mode bench document — skipping baseline regression check");
-    } else if baseline_path.exists() {
-        match load(&baseline_path).map(|doc| medians(&doc)) {
-            Ok(Some(baseline)) => {
-                println!("baseline: {}", baseline_path.display());
-                failures.extend(check_baseline(&current, &baseline));
-            }
-            _ => failures.push(format!(
-                "baseline {} is unreadable or malformed",
-                baseline_path.display()
-            )),
-        }
-    } else {
-        println!(
-            "no baseline at {} — skipping regression check",
-            baseline_path.display()
-        );
+    // The PR 4 engine record rides next to the PR 3 kernel record; its
+    // checks are enforced whenever the document exists (it is committed
+    // with the repo, so a missing file means a broken bench run).
+    let pr4_path = current_path.with_file_name("BENCH_pr4.json");
+    match load(&pr4_path) {
+        Ok(pr4_doc) => failures.extend(gate_document(
+            &pr4_doc,
+            &pr4_path,
+            // Resolved next to the PR 3 baseline so an explicit second
+            // argument redirects both regression checks at once.
+            &baseline_path.with_file_name("BENCH_pr4.baseline.json"),
+            &pr4_checks(),
+        )),
+        Err(e) => failures.push(e),
     }
 
     if failures.is_empty() {

@@ -25,6 +25,7 @@ pub fn bench_options() -> RunOptions {
         seed: 7,
         criterion: FailureCriterion::default(),
         page_bytes: 4096,
+        threads: None,
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::csvout;
 use crate::runner::RunOptions;
 use crate::schemes;
-use pcm_sim::montecarlo::block_outcomes;
+use pcm_sim::montecarlo::block_outcomes_with_threads;
 use pcm_sim::stats;
 use std::io;
 use std::path::Path;
@@ -30,8 +30,13 @@ pub fn run(opts: &RunOptions) -> Vec<FormationSweep> {
             let series = POINTER_SWEEP
                 .map(|p| {
                     let policy = schemes::aegis_rw_p(a, b, 512, p);
-                    let outcomes =
-                        block_outcomes(policy.as_ref(), opts.criterion, opts.trials, opts.seed);
+                    let outcomes = block_outcomes_with_threads(
+                        policy.as_ref(),
+                        opts.criterion,
+                        opts.trials,
+                        opts.seed,
+                        opts.threads,
+                    );
                     let lifetimes: Vec<f64> =
                         outcomes.iter().filter_map(|o| o.death_time).collect();
                     (p, stats::mean(&lifetimes))
@@ -100,6 +105,7 @@ mod tests {
             seed: 11,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         })
     }
 

@@ -165,6 +165,7 @@ mod tests {
             seed: 3,
             criterion: pcm_sim::montecarlo::FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         }
     }
 

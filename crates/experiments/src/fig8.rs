@@ -4,7 +4,7 @@
 use crate::csvout;
 use crate::runner::RunOptions;
 use crate::schemes;
-use pcm_sim::montecarlo::block_failure_cdf;
+use pcm_sim::montecarlo::block_failure_cdf_with_threads;
 use std::io;
 use std::path::Path;
 
@@ -25,7 +25,14 @@ pub fn run(opts: &RunOptions) -> Vec<SchemeCdf> {
         .iter()
         .map(|policy| SchemeCdf {
             name: policy.name(),
-            cdf: block_failure_cdf(policy.as_ref(), opts.criterion, opts.trials, opts.seed).cdf(),
+            cdf: block_failure_cdf_with_threads(
+                policy.as_ref(),
+                opts.criterion,
+                opts.trials,
+                opts.seed,
+                opts.threads,
+            )
+            .cdf(),
         })
         .collect()
 }
@@ -99,6 +106,7 @@ mod tests {
             seed: 9,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         };
         let results = run(&opts);
         assert_eq!(results.len(), schemes::fig8_schemes().len());
@@ -125,6 +133,7 @@ mod tests {
             seed: 1,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         };
         let text = report(&run(&opts));
         assert!(text.contains("faults"));

@@ -113,6 +113,7 @@ mod tests {
             seed: 5,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         };
         let results = run(&opts);
         let unprotected = results
@@ -137,6 +138,7 @@ mod tests {
             seed: 2,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         };
         for s in run(&opts) {
             assert_eq!(s.curve.last().unwrap().1, 0.0, "{}", s.name);

@@ -42,6 +42,9 @@ Options:
   --page-bytes N  Memory-block size in bytes (default 4096; the paper also
                   reports 256-byte memory blocks show the same trend)
   --samples N     W/R splits tested per fault event (default 1)
+  --threads N     Simulation worker threads (default: SIM_THREADS env var,
+                  then available parallelism; results are identical at any
+                  thread count)
   --guaranteed    Use the strict all-data failure criterion
   --scalar        fig5/6/7 only: evaluate the Aegis bars with the scalar
                   reference predicates instead of the ROM kernels (results
@@ -104,6 +107,7 @@ fn parse_args() -> Result<Cli, String> {
             "--seed" => cli.opts.seed = parsed!("--seed"),
             "--page-bytes" => cli.opts.page_bytes = parsed!("--page-bytes"),
             "--samples" => samples = parsed!("--samples"),
+            "--threads" => cli.opts.threads = Some(parsed!("--threads")),
             "--guaranteed" => guaranteed = true,
             "--full" => {
                 cli.opts.pages = 2048;
@@ -440,6 +444,12 @@ fn main() -> ExitCode {
     tel.set_meta(
         "predicate_mode",
         if cli.scalar { "scalar" } else { "kernel" },
+    );
+    // The resolved worker count is replay metadata, not stream data: the
+    // event stream stays identical at any thread count.
+    tel.set_meta(
+        "threads_effective",
+        &sim_pool::resolve_threads(cli.opts.threads).to_string(),
     );
     tel.set_meta("out_dir", &cli.out_dir.display().to_string());
 

@@ -167,6 +167,7 @@ mod tests {
             seed: 31,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         });
         // 3 schemes × (bare + FREE-p 1% + FREE-p 4% + pairing).
         assert_eq!(rows.len(), 12);

@@ -159,6 +159,7 @@ mod tests {
             seed: 23,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         });
         assert_eq!(rows.len(), 4);
         let dedicated = &rows[0];

@@ -20,6 +20,9 @@ pub struct RunOptions {
     /// and reports that 256 B memory blocks "show a similar trend";
     /// both are supported (`--page-bytes`).
     pub page_bytes: usize,
+    /// Simulation worker threads (`--threads`); `None` defers to the
+    /// `SIM_THREADS` environment variable, then to available parallelism.
+    pub threads: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -30,6 +33,7 @@ impl Default for RunOptions {
             seed: 42,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         }
     }
 }
@@ -54,6 +58,7 @@ impl RunOptions {
             block_bits,
             criterion: self.criterion,
             seed: self.seed,
+            threads: self.threads,
         }
     }
 }
@@ -217,6 +222,7 @@ mod tests {
             seed: 7,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         };
         let policies = vec![schemes::ecp(6, 512), schemes::aegis(23, 23, 512)];
         let a = summarize_schemes(&policies, 512, &opts);

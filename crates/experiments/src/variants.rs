@@ -129,6 +129,7 @@ mod tests {
             seed: 17,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         });
         // §3.3: Aegis-rw substantially increases recoverable faults over
         // Aegis on every formation.
@@ -160,6 +161,7 @@ mod tests {
             seed: 1,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
+            threads: None,
         });
         let f11 = report_fig11(&results);
         for (a, b) in schemes::variant_formations() {

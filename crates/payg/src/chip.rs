@@ -184,6 +184,7 @@ mod tests {
             block_bits: 512,
             criterion: FailureCriterion::default(),
             seed,
+            threads: None,
         }
     }
 

@@ -65,6 +65,14 @@ pub struct McTelemetry {
     blocks_outlived: Counter,
     page_fault_arrivals: Histogram,
     page_lifetime_writes: Histogram,
+    /// Pages executed beyond a worker's fair static share
+    /// (`pool.<scheme>.pages_stolen`). Scheduling-dependent, so registered
+    /// as a *volatile* counter: present in the JSONL stream but excluded
+    /// from the deterministic byte-identity contract.
+    pool_pages_stolen: Counter,
+    /// Batch pulls from the pool's shared counter
+    /// (`pool.<scheme>.worker_batches`). Volatile, like `pool_pages_stolen`.
+    pool_worker_batches: Counter,
 }
 
 impl McTelemetry {
@@ -73,6 +81,8 @@ impl McTelemetry {
     pub fn for_scheme(registry: &Registry, scheme: &str) -> McTelemetry {
         let counter = |metric: &str| registry.counter(&metric_name("mc", scheme, metric));
         let histogram = |metric: &str| registry.histogram(&metric_name("mc", scheme, metric));
+        let volatile =
+            |metric: &str| registry.volatile_counter(&metric_name("pool", scheme, metric));
         McTelemetry {
             pages: counter("pages"),
             fault_events: counter("fault_events"),
@@ -82,7 +92,16 @@ impl McTelemetry {
             blocks_outlived: counter("blocks_outlived"),
             page_fault_arrivals: histogram("page_fault_arrivals"),
             page_lifetime_writes: histogram("page_lifetime_writes"),
+            pool_pages_stolen: volatile("pages_stolen"),
+            pool_worker_batches: volatile("worker_batches"),
         }
+    }
+
+    /// Feeds one pool run's scheduling statistics into the volatile
+    /// `pool.<scheme>.*` counters.
+    fn record_pool(&self, stats: &sim_pool::PoolStats) {
+        self.pool_pages_stolen.add(stats.stolen);
+        self.pool_worker_batches.add(stats.batches);
     }
 }
 
@@ -153,10 +172,15 @@ pub fn evaluate_block_with_scratch(
     let mut faults: Vec<Fault> = std::mem::take(&mut scratch.faults);
     let mut wrong: Vec<bool> = std::mem::take(&mut scratch.split);
     faults.clear();
+    // A new block begins: any incremental pair state in the arena is stale.
+    policy.forget_block(scratch);
     let mut decisions = 0u64;
     let outcome = 'outcome: {
         for (i, event) in timeline.events.iter().enumerate() {
             faults.push(event.fault);
+            // Let the policy extend its incremental pair state with the new
+            // arrival before the split checks for this population run.
+            policy.observe_fault(&faults, scratch);
             let survivable = match criterion {
                 FailureCriterion::PerEventSplit { samples } => {
                     let mut rng = SmallRng::seed_from_u64(event.split_seed);
@@ -303,6 +327,11 @@ pub struct SimConfig {
     /// Master seed; every policy evaluated with the same config sees the
     /// identical fault timelines.
     pub seed: u64,
+    /// Worker threads; `None` defers to the `SIM_THREADS` environment
+    /// variable and then to the machine's available parallelism (see
+    /// [`sim_pool::resolve_threads`]). Never affects results, only wall
+    /// clock.
+    pub threads: Option<usize>,
 }
 
 impl SimConfig {
@@ -315,6 +344,7 @@ impl SimConfig {
             block_bits,
             criterion: FailureCriterion::default(),
             seed,
+            threads: None,
         }
     }
 
@@ -327,6 +357,7 @@ impl SimConfig {
             block_bits,
             criterion: FailureCriterion::default(),
             seed,
+            threads: None,
         }
     }
 
@@ -401,6 +432,13 @@ pub fn run_memory(policy: &dyn RecoveryPolicy, cfg: &SimConfig) -> MemoryRun {
 ///
 /// The hooks never influence the simulation — results are byte-identical
 /// with hooks on or off (telemetry totals are order-independent sums).
+///
+/// Pages are scheduled dynamically over `cfg.threads` workers by
+/// [`sim_pool::run_indexed`]: page lifetimes vary ~10×, so workers pull
+/// small index batches from a shared counter instead of owning static
+/// chunks. Each page's randomness is derived from `(cfg.seed, page_idx)`
+/// and results are written by index, so the thread count and stealing
+/// order never change the output.
 pub fn run_memory_with(
     policy: &dyn RecoveryPolicy,
     cfg: &SimConfig,
@@ -415,53 +453,38 @@ pub fn run_memory_with(
     );
     let sampler = TimelineSampler::paper_default(cfg.block_bits);
     let blocks_per_page = cfg.blocks_per_page();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let chunk = cfg.pages.div_ceil(threads).max(1);
+    let threads = sim_pool::resolve_threads(cfg.threads);
     let done = AtomicUsize::new(0);
+    let telemetry = hooks.telemetry.as_ref();
+    let progress = hooks.progress;
 
-    let mut results: Vec<(f64, f64, usize, bool)> = Vec::with_capacity(cfg.pages);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.pages)
-            .collect::<Vec<_>>()
-            .chunks(chunk)
-            .map(|pages| {
-                let pages = pages.to_vec();
-                let telemetry = hooks.telemetry.clone();
-                let progress = hooks.progress;
-                let done = &done;
-                scope.spawn(move || {
-                    let mut scratch = PolicyScratch::new();
-                    pages
-                        .into_iter()
-                        .map(|page_idx| {
-                            let mut rng = TimelineSampler::page_rng(cfg.seed, page_idx as u64);
-                            let page = sampler.sample_page(&mut rng, blocks_per_page);
-                            let outcome = evaluate_page_with_scratch(
-                                policy,
-                                &page,
-                                cfg.criterion,
-                                telemetry.as_ref(),
-                                &mut scratch,
-                            );
-                            if let Some(report) = progress {
-                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                                report(finished, cfg.pages);
-                            }
-                            (
-                                outcome.death_time,
-                                page.first_cell_death(),
-                                outcome.faults_recovered,
-                                outcome.capped,
-                            )
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            results.extend(handle.join().expect("simulation worker panicked"));
-        }
-    });
+    let (results, stats) = sim_pool::run_indexed(
+        threads,
+        cfg.pages,
+        PolicyScratch::new,
+        |scratch, page_idx| {
+            let mut rng = TimelineSampler::page_rng(cfg.seed, page_idx as u64);
+            let page = sampler.sample_page(&mut rng, blocks_per_page);
+            let outcome =
+                evaluate_page_with_scratch(policy, &page, cfg.criterion, telemetry, scratch);
+            // Advance completion unconditionally so the count can never
+            // disagree with the telemetry pages counter, then report it.
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(report) = progress {
+                report(finished, cfg.pages);
+            }
+            (
+                outcome.death_time,
+                page.first_cell_death(),
+                outcome.faults_recovered,
+                outcome.capped,
+            )
+        },
+    );
+    debug_assert_eq!(done.load(Ordering::Relaxed), cfg.pages);
+    if let Some(t) = telemetry {
+        t.record_pool(&stats);
+    }
 
     let mut run = MemoryRun::default();
     for (death, unprotected, faults, capped) in results {
@@ -552,32 +575,28 @@ pub fn block_outcomes(
     trials: usize,
     seed: u64,
 ) -> Vec<BlockOutcome> {
+    block_outcomes_with_threads(policy, criterion, trials, seed, None)
+}
+
+/// [`block_outcomes`] with an explicit worker-thread override (`None`
+/// defers to `SIM_THREADS`, then available parallelism). Trials are
+/// dynamically scheduled by [`sim_pool::run_indexed`]; the thread count
+/// never affects the outcomes.
+pub fn block_outcomes_with_threads(
+    policy: &dyn RecoveryPolicy,
+    criterion: FailureCriterion,
+    trials: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> Vec<BlockOutcome> {
     let sampler = TimelineSampler::paper_default(policy.block_bits());
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let chunk = trials.div_ceil(threads).max(1);
-    let mut outcomes = Vec::with_capacity(trials);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..trials)
-            .collect::<Vec<_>>()
-            .chunks(chunk)
-            .map(|idxs| {
-                let idxs = idxs.to_vec();
-                scope.spawn(move || {
-                    let mut scratch = PolicyScratch::new();
-                    idxs.into_iter()
-                        .map(|i| {
-                            let mut rng = TimelineSampler::page_rng(seed, i as u64);
-                            let tl = sampler.sample_block(&mut rng);
-                            evaluate_block_with_scratch(policy, &tl, criterion, None, &mut scratch)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            outcomes.extend(handle.join().expect("worker panicked"));
-        }
-    });
+    let threads = sim_pool::resolve_threads(threads);
+    let (outcomes, _stats) =
+        sim_pool::run_indexed(threads, trials, PolicyScratch::new, |scratch, i| {
+            let mut rng = TimelineSampler::page_rng(seed, i as u64);
+            let tl = sampler.sample_block(&mut rng);
+            evaluate_block_with_scratch(policy, &tl, criterion, None, scratch)
+        });
     outcomes
 }
 
@@ -589,9 +608,21 @@ pub fn block_failure_cdf(
     trials: usize,
     seed: u64,
 ) -> FailureCdf {
+    block_failure_cdf_with_threads(policy, criterion, trials, seed, None)
+}
+
+/// [`block_failure_cdf`] with an explicit worker-thread override (see
+/// [`block_outcomes_with_threads`]).
+pub fn block_failure_cdf_with_threads(
+    policy: &dyn RecoveryPolicy,
+    criterion: FailureCriterion,
+    trials: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> FailureCdf {
     let sampler = TimelineSampler::paper_default(policy.block_bits());
     let mut histogram = vec![0usize; sampler.max_events() + 1];
-    for outcome in block_outcomes(policy, criterion, trials, seed) {
+    for outcome in block_outcomes_with_threads(policy, criterion, trials, seed, threads) {
         if outcome.death_time.is_some() {
             let slot = (outcome.events_survived + 1).min(histogram.len() - 1);
             histogram[slot] += 1;
@@ -716,6 +747,7 @@ mod tests {
             block_bits: 512,
             criterion: FailureCriterion::default(),
             seed: 77,
+            threads: None,
         };
         let plain = run_memory(&policy, &cfg);
 
@@ -742,9 +774,62 @@ mod tests {
 
         let mut calls = progress.into_inner().unwrap();
         calls.sort_unstable();
-        assert_eq!(calls.len(), 6, "one progress call per page");
+        // `done` advances unconditionally and exactly once per page, so the
+        // sorted calls are exactly (1,6)..(6,6) — in particular the final
+        // call is pinned to (total, total).
+        let expected: Vec<(usize, usize)> = (1..=6).map(|i| (i, 6)).collect();
+        assert_eq!(calls, expected);
         assert_eq!(calls.last(), Some(&(6, 6)));
-        assert!(calls.iter().all(|&(_, total)| total == 6));
+    }
+
+    #[test]
+    fn results_are_invariant_under_thread_count() {
+        let policy = CapPolicy { cap: 4, bits: 512 };
+        let mut cfg = SimConfig {
+            pages: 7,
+            page_bits: 4096,
+            block_bits: 512,
+            criterion: FailureCriterion::default(),
+            seed: 23,
+            threads: Some(1),
+        };
+        let single = run_memory(&policy, &cfg);
+        for threads in [2, 3, 8] {
+            cfg.threads = Some(threads);
+            let multi = run_memory(&policy, &cfg);
+            assert_eq!(single.page_lifetimes, multi.page_lifetimes);
+            assert_eq!(single.unprotected_lifetimes, multi.unprotected_lifetimes);
+            assert_eq!(single.faults_recovered, multi.faults_recovered);
+        }
+        let a = block_outcomes_with_threads(&policy, cfg.criterion, 50, 9, Some(1));
+        let b = block_outcomes_with_threads(&policy, cfg.criterion, 50, 9, Some(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_counters_are_volatile_and_observable() {
+        let policy = CapPolicy { cap: 4, bits: 512 };
+        let cfg = SimConfig {
+            pages: 5,
+            page_bits: 4096,
+            block_bits: 512,
+            criterion: FailureCriterion::default(),
+            seed: 3,
+            threads: Some(2),
+        };
+        let registry = Registry::new();
+        let hooks = RunHooks {
+            telemetry: Some(McTelemetry::for_scheme(&registry, "cap4")),
+            progress: None,
+        };
+        run_memory_with(&policy, &cfg, &hooks);
+        let volatile: std::collections::BTreeMap<String, u64> =
+            registry.volatile_counters().into_iter().collect();
+        assert!(volatile.contains_key("pool.cap4.pages_stolen"));
+        assert!(volatile["pool.cap4.worker_batches"] >= 1);
+        // Volatile counters must not leak into the deterministic snapshot.
+        let deterministic: Vec<String> = registry.counters().into_iter().map(|(n, _)| n).collect();
+        assert!(deterministic.iter().all(|n| !n.starts_with("pool.")));
     }
 
     #[test]
@@ -775,6 +860,7 @@ mod tests {
             block_bits: 512,
             criterion: FailureCriterion::default(),
             seed: 5,
+            threads: None,
         };
         let a = run_memory(&policy, &cfg);
         let b = run_memory(&policy, &cfg);

@@ -30,10 +30,139 @@ pub struct PolicyScratch {
     pub bytes: Vec<u8>,
     /// Word-wide tallies for policies that count rather than flag.
     pub counts: Vec<u32>,
+    /// Incremental per-block fault-pair state maintained by
+    /// [`RecoveryPolicy::observe_fault`].
+    pub pair_cache: PairCache,
     /// W/R split buffer owned by the Monte Carlo driver.
     pub(crate) split: Vec<bool>,
     /// Fault-population buffer owned by the Monte Carlo driver.
     pub(crate) faults: Vec<Fault>,
+}
+
+/// One cached fault pair: indices into the covered fault slice plus a
+/// scheme-defined tag (Aegis stores the colliding slope here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedPair {
+    /// Index of the earlier fault of the pair.
+    pub a: u32,
+    /// Index of the later fault of the pair.
+    pub b: u32,
+    /// Scheme-defined payload (e.g. the slope both faults land on).
+    pub tag: u32,
+}
+
+/// Incremental per-block fault-pair state.
+///
+/// A block's fault population only ever *grows* during its lifetime, and the
+/// expensive part of every per-write recoverability check is a function of
+/// fault *pairs* (collision slopes for Aegis, co-grouping vector masks for
+/// SAFER, …). The cache lets [`RecoveryPolicy::observe_fault`] derive each
+/// pair exactly once — when the `(F+1)`-th fault arrives, only its `F` new
+/// pairs are computed — while the per-event split check walks the cached
+/// entries.
+///
+/// The cache is *self-healing*: every consumer calls
+/// [`begin`](PairCache::begin) with its owner key and the current fault
+/// slice. If the cache belongs to another policy, or the covered faults are
+/// not a prefix of the current population, the cache resets and is rebuilt
+/// from scratch; otherwise only the suffix of unseen faults is absorbed.
+/// Correctness therefore never depends on `forget_block` being called —
+/// the cached content is a pure function of `(owner, covered)`.
+///
+/// The field set is a deliberately generic union of what the workspace's
+/// schemes need (mirroring the `flags`/`bytes`/`counts` design of
+/// [`PolicyScratch`]); each policy documents which fields it owns.
+#[derive(Debug, Default)]
+pub struct PairCache {
+    /// Key identifying the policy configuration that built this cache; see
+    /// [`cache_key`].
+    pub owner: u64,
+    /// The exact fault prefix the cached state describes.
+    covered: Vec<Fault>,
+    /// Cached pairs in arrival order of the later fault.
+    pub pairs: Vec<CachedPair>,
+    /// Per-pair `u128` masks, parallel to `pairs` when a scheme needs mask
+    /// payloads wider than `CachedPair::tag` (SAFER's vector masks).
+    pub masks: Vec<u128>,
+    /// Per-tag pair counts (Aegis: colliding pairs per slope).
+    pub counts: Vec<u32>,
+    /// Number of tags with a zero count (Aegis: slopes no pair collides on).
+    pub clean: usize,
+    /// Union of `masks` (SAFER: vectors hit by at least one pair).
+    pub all_mask: u128,
+    /// Grown partition state (SAFER incremental: the vector positions).
+    pub positions: Vec<usize>,
+    /// Per-covered-fault group under `positions` (SAFER incremental).
+    pub groups: Vec<u8>,
+    /// Per-covered-fault geometric coordinates (RDIS: `(row, col)`).
+    pub coords: Vec<(u32, u32)>,
+}
+
+impl PairCache {
+    /// Whether the cache was built by `owner` for exactly `faults`.
+    ///
+    /// This is the fast-path guard `recoverable_with` uses before trusting
+    /// cached state; the comparison is `O(f)` on fault count.
+    #[must_use]
+    pub fn matches(&self, owner: u64, faults: &[Fault]) -> bool {
+        self.owner == owner && self.covered == faults
+    }
+
+    /// Synchronises ownership with `owner`/`faults` and returns the number
+    /// of leading faults whose pair state is already cached.
+    ///
+    /// If the cache belongs to a different owner, or its covered faults are
+    /// not a prefix of `faults`, all cached state is dropped and 0 is
+    /// returned; the caller then absorbs every fault. Otherwise the caller
+    /// only absorbs `faults[start..]`, committing each with
+    /// [`commit`](PairCache::commit).
+    pub fn begin(&mut self, owner: u64, faults: &[Fault]) -> usize {
+        let prefix_ok = self.owner == owner
+            && self.covered.len() <= faults.len()
+            && self.covered == faults[..self.covered.len()];
+        if !prefix_ok {
+            self.reset();
+            self.owner = owner;
+        }
+        self.covered.len()
+    }
+
+    /// Records that the pair state for `fault` is now cached.
+    pub fn commit(&mut self, fault: Fault) {
+        self.covered.push(fault);
+    }
+
+    /// The faults whose pair state is cached.
+    #[must_use]
+    pub fn covered(&self) -> &[Fault] {
+        &self.covered
+    }
+
+    /// Drops all cached state (including ownership).
+    pub fn reset(&mut self) {
+        self.owner = 0;
+        self.covered.clear();
+        self.pairs.clear();
+        self.masks.clear();
+        self.counts.clear();
+        self.clean = 0;
+        self.all_mask = 0;
+        self.positions.clear();
+        self.groups.clear();
+        self.coords.clear();
+    }
+}
+
+/// Hashes a policy configuration into a [`PairCache`] owner key.
+///
+/// FNV-1a over the caller's scheme tag and geometry parameters. Policies
+/// with distinct recoverability predicates must fold in a distinct leading
+/// tag so a cache built by one can never be mistaken for another's.
+#[must_use]
+pub fn cache_key(parts: &[u64]) -> u64 {
+    parts.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &p| {
+        (h ^ p).wrapping_mul(0x1000_0000_01b3)
+    })
 }
 
 impl PolicyScratch {
@@ -105,6 +234,30 @@ pub trait RecoveryPolicy: Sync {
     ) -> bool {
         let _ = scratch;
         self.recoverable(faults, wrong)
+    }
+
+    /// Notifies the policy that the last entry of `faults` just arrived, so
+    /// it can extend incremental per-block state in `scratch.pair_cache`.
+    ///
+    /// The Monte Carlo engine calls this once per fault arrival, *before*
+    /// the per-event [`recoverable_with`](Self::recoverable_with) calls for
+    /// that population. The default is a no-op: policies without an
+    /// incremental path simply keep recomputing, and `recoverable_with`
+    /// implementations must treat a non-matching cache as "recompute"
+    /// (the cache is advisory, never load-bearing for correctness).
+    fn observe_fault(&self, faults: &[Fault], scratch: &mut PolicyScratch) {
+        let _ = (faults, scratch);
+    }
+
+    /// Notifies the policy that the block under evaluation changed, so any
+    /// per-block incremental state in `scratch` is stale.
+    ///
+    /// Called by the engine before each block's event loop. Because
+    /// [`PairCache::begin`] self-heals on owner/prefix mismatch this is an
+    /// optimisation hint (drop state eagerly) rather than a correctness
+    /// requirement; the default is a no-op.
+    fn forget_block(&self, scratch: &mut PolicyScratch) {
+        let _ = scratch;
     }
 
     /// Whether the fault population is recoverable for *every* data word
@@ -226,5 +379,72 @@ mod tests {
         assert_eq!(scratch.flags(4), &vec![false; 4]);
         scratch.bytes(3)[0] = 7;
         assert_eq!(scratch.bytes(5), &vec![0u8; 5]);
+    }
+
+    #[test]
+    fn observe_and_forget_default_to_noops() {
+        let p = AtMostWrong { cap: 1 };
+        let mut scratch = PolicyScratch::new();
+        p.observe_fault(&faults(2), &mut scratch);
+        p.forget_block(&mut scratch);
+        assert!(scratch.pair_cache.covered().is_empty());
+    }
+
+    #[test]
+    fn pair_cache_begin_absorbs_only_the_new_suffix() {
+        let mut cache = PairCache::default();
+        let key = cache_key(&[1, 9, 61]);
+        let fs = faults(3);
+
+        assert_eq!(cache.begin(key, &fs[..1]), 0);
+        cache.pairs.push(CachedPair { a: 0, b: 0, tag: 7 });
+        cache.commit(fs[0]);
+        assert!(cache.matches(key, &fs[..1]));
+
+        // Growing the population keeps the cached prefix.
+        assert_eq!(cache.begin(key, &fs), 1);
+        cache.commit(fs[1]);
+        cache.commit(fs[2]);
+        assert!(cache.matches(key, &fs));
+        assert_eq!(cache.pairs.len(), 1);
+    }
+
+    #[test]
+    fn pair_cache_resets_on_owner_or_prefix_mismatch() {
+        let mut cache = PairCache::default();
+        let key_a = cache_key(&[1, 9, 61]);
+        let key_b = cache_key(&[2, 9, 61]);
+        let fs = faults(2);
+
+        cache.begin(key_a, &fs);
+        cache.commit(fs[0]);
+        cache.commit(fs[1]);
+        cache.pairs.push(CachedPair { a: 0, b: 1, tag: 3 });
+        cache.counts.push(1);
+        cache.clean = 4;
+
+        // Different owner: full reset.
+        assert_eq!(cache.begin(key_b, &fs), 0);
+        assert!(cache.pairs.is_empty());
+        assert!(cache.counts.is_empty());
+        assert_eq!(cache.clean, 0);
+        assert!(!cache.matches(key_a, &fs));
+
+        // Same owner but a different block's faults (not a prefix): reset.
+        cache.commit(fs[0]);
+        cache.commit(fs[1]);
+        let other = vec![Fault::new(5, true)];
+        assert_eq!(cache.begin(key_b, &other), 0);
+        assert!(cache.covered().is_empty());
+    }
+
+    #[test]
+    fn cache_keys_separate_policy_configurations() {
+        let a = cache_key(&[1, 9, 61, 512]);
+        let b = cache_key(&[2, 9, 61, 512]);
+        let c = cache_key(&[1, 17, 31, 512]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
     }
 }

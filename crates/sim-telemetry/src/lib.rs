@@ -34,4 +34,4 @@ pub use registry::{
     HISTOGRAM_BUCKETS,
 };
 pub use run::{RunTelemetry, Span};
-pub use sink::{Event, SharedBuf};
+pub use sink::{strip_volatile, Event, SharedBuf};

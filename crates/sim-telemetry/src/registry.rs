@@ -161,6 +161,10 @@ pub struct Registry {
     enabled: bool,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    /// Names of counters whose values are scheduling-dependent (e.g. the
+    /// sim-pool steal counters). They are excluded from [`Registry::counters`]
+    /// and emitted as `volatile` events so determinism checks can strip them.
+    volatile: Mutex<std::collections::BTreeSet<String>>,
 }
 
 impl Default for Registry {
@@ -177,6 +181,7 @@ impl Registry {
             enabled: true,
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            volatile: Mutex::new(std::collections::BTreeSet::new()),
         }
     }
 
@@ -187,6 +192,7 @@ impl Registry {
             enabled: false,
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            volatile: Mutex::new(std::collections::BTreeSet::new()),
         }
     }
 
@@ -209,6 +215,24 @@ impl Registry {
         Counter(Some(Arc::clone(cell)))
     }
 
+    /// Returns (registering on first use) the counter handle for `name`,
+    /// marking it *volatile*: its value is scheduling-dependent and must
+    /// not take part in deterministic byte-identity comparisons. Volatile
+    /// counters are excluded from [`Registry::counters`], surface through
+    /// [`Registry::volatile_counters`], and are serialized as `volatile`
+    /// events (see [`crate::sink::strip_volatile`]).
+    #[must_use]
+    pub fn volatile_counter(&self, name: &str) -> Counter {
+        if !self.enabled {
+            return Counter(None);
+        }
+        self.volatile
+            .lock()
+            .expect("volatile set poisoned")
+            .insert(name.to_owned());
+        self.counter(name)
+    }
+
     /// Returns (registering on first use) the histogram handle for `name`.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Histogram {
@@ -220,13 +244,31 @@ impl Registry {
         Histogram(Some(Arc::clone(core)))
     }
 
-    /// Sorted snapshot of every counter. Empty for a disabled registry.
+    /// Sorted snapshot of every *deterministic* counter (volatile counters
+    /// are excluded; see [`Registry::volatile_counters`]). Empty for a
+    /// disabled registry.
     #[must_use]
     pub fn counters(&self) -> Vec<(String, u64)> {
+        let volatile = self.volatile.lock().expect("volatile set poisoned");
         self.counters
             .lock()
             .expect("counter map poisoned")
             .iter()
+            .filter(|(name, _)| !volatile.contains(name.as_str()))
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Sorted snapshot of every *volatile* counter. Empty for a disabled
+    /// registry.
+    #[must_use]
+    pub fn volatile_counters(&self) -> Vec<(String, u64)> {
+        let volatile = self.volatile.lock().expect("volatile set poisoned");
+        self.counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .filter(|(name, _)| volatile.contains(name.as_str()))
             .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
             .collect()
     }
@@ -243,13 +285,17 @@ impl Registry {
     }
 
     /// Merges every metric from `other` into `self` (adding counters,
-    /// summing histogram buckets). Disabled registries absorb nothing.
+    /// summing histogram buckets, preserving volatility). Disabled
+    /// registries absorb nothing.
     pub fn absorb(&self, other: &Registry) {
         if !self.enabled {
             return;
         }
         for (name, value) in other.counters() {
             self.counter(&name).add(value);
+        }
+        for (name, value) in other.volatile_counters() {
+            self.volatile_counter(&name).add(value);
         }
         for (name, snap) in other.histograms() {
             let handle = self.histogram(&name);
@@ -337,6 +383,41 @@ mod tests {
         );
         assert_eq!(split_metric("nodots"), None);
         assert_eq!(split_metric("one.dot"), None);
+    }
+
+    #[test]
+    fn volatile_counters_are_segregated() {
+        let reg = Registry::new();
+        reg.counter("mc.A.pages").add(3);
+        let v = reg.volatile_counter("pool.A.pages_stolen");
+        v.add(7);
+        assert_eq!(reg.counters(), vec![("mc.A.pages".to_owned(), 3)]);
+        assert_eq!(
+            reg.volatile_counters(),
+            vec![("pool.A.pages_stolen".to_owned(), 7)]
+        );
+        // Same underlying cell regardless of the accessor used.
+        reg.counter("pool.A.pages_stolen").add(1);
+        assert_eq!(reg.volatile_counters()[0].1, 8);
+
+        let off = Registry::disabled();
+        let c = off.volatile_counter("pool.A.pages_stolen");
+        c.add(5);
+        assert!(off.volatile_counters().is_empty());
+    }
+
+    #[test]
+    fn absorb_preserves_volatility() {
+        let shared = Registry::new();
+        let local = Registry::new();
+        local.volatile_counter("pool.A.worker_batches").add(4);
+        local.counter("mc.A.pages").add(2);
+        shared.absorb(&local);
+        assert_eq!(shared.counters(), vec![("mc.A.pages".to_owned(), 2)]);
+        assert_eq!(
+            shared.volatile_counters(),
+            vec![("pool.A.worker_batches".to_owned(), 4)]
+        );
     }
 
     #[test]

@@ -198,6 +198,12 @@ impl RunTelemetry {
             for (name, snap) in self.registry.histograms() {
                 self.emit(&Event::from_snapshot(&name, &snap))?;
             }
+            // Volatile counters last, still in sorted-name order: their
+            // presence, order and seq positions are deterministic; only the
+            // values are scheduling-dependent (see `strip_volatile`).
+            for (name, value) in self.registry.volatile_counters() {
+                self.emit(&Event::Volatile { name, value })?;
+            }
             let events = {
                 let state = self.state.lock().expect("telemetry state poisoned");
                 state.seq + 1
@@ -284,6 +290,42 @@ mod tests {
             .collect();
         assert_eq!(counters, vec!["mc.A.pages", "mc.B.pages"]);
         assert!(matches!(events.last(), Some(Event::RunEnd { .. })));
+    }
+
+    #[test]
+    fn volatile_counters_flush_after_histograms() {
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("t2", buf.clone()).unwrap();
+        run.registry().counter("mc.A.pages").add(2);
+        run.registry()
+            .histogram("mc.A.page_fault_arrivals")
+            .record(1);
+        run.registry()
+            .volatile_counter("pool.A.pages_stolen")
+            .add(5);
+        run.finish().unwrap();
+
+        let events = Event::parse_stream(&buf.text()).unwrap();
+        let tags: Vec<&str> = events
+            .iter()
+            .map(|e| match e {
+                Event::RunStart { .. } => "run_start",
+                Event::SpanBegin { .. } => "span_begin",
+                Event::SpanEnd { .. } => "span_end",
+                Event::Counter { .. } => "counter",
+                Event::Histogram { .. } => "histogram",
+                Event::Volatile { .. } => "volatile",
+                Event::RunEnd { .. } => "run_end",
+            })
+            .collect();
+        assert_eq!(
+            tags,
+            vec!["run_start", "counter", "histogram", "volatile", "run_end"]
+        );
+        // The volatile value made it through with its name intact.
+        assert!(events.iter().any(
+            |e| matches!(e, Event::Volatile { name, value } if name == "pool.A.pages_stolen" && *value == 5)
+        ));
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! span timing lives only in the run manifest — so two same-seed runs
 //! produce byte-identical `.jsonl` files (asserted by
 //! `tests/determinism.rs`).
+//!
+//! One exception is carved out explicitly: [`Event::Volatile`] lines
+//! carry scheduling-dependent values (the sim-pool steal counters).
+//! Their *presence, order and sequence numbers* are still deterministic
+//! — only the values vary — and [`strip_volatile`] removes them so the
+//! byte-identity contract becomes "streams are identical after
+//! stripping volatile lines".
 
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
@@ -50,6 +57,16 @@ pub enum Event {
         sum: u64,
         /// Non-empty buckets as `(index, count)` pairs, ascending.
         buckets: Vec<(usize, u64)>,
+    },
+    /// Final value of one *volatile* counter: a metric whose value is
+    /// scheduling-dependent (thread interleaving), unlike everything else
+    /// in the stream. Emitted in sorted-name order at a deterministic
+    /// stream position; see [`strip_volatile`].
+    Volatile {
+        /// Metric name (`layer.scheme.metric`).
+        name: String,
+        /// Final value (not covered by the determinism contract).
+        value: u64,
     },
     /// Last line of every stream.
     RunEnd {
@@ -114,6 +131,10 @@ impl Event {
                     cells.join(", ")
                 )
             }
+            Event::Volatile { name, value } => format!(
+                "{{\"seq\": {seq}, \"event\": \"volatile\", \"name\": {}, \"value\": {value}}}",
+                escape(name)
+            ),
             Event::RunEnd { events } => {
                 format!("{{\"seq\": {seq}, \"event\": \"run_end\", \"events\": {events}}}")
             }
@@ -191,6 +212,12 @@ impl Event {
                     buckets,
                 }
             }
+            "volatile" => Event::Volatile {
+                name: name(&value)?,
+                value: value
+                    .u64_field("value")
+                    .ok_or_else(|| fail("missing value"))?,
+            },
             "run_end" => Event::RunEnd {
                 events: value
                     .u64_field("events")
@@ -221,6 +248,24 @@ impl Event {
         }
         Ok(events)
     }
+}
+
+/// Removes volatile event lines from a JSONL stream, returning the text
+/// whose bytes *are* covered by the determinism contract.
+///
+/// Two same-seed runs (at any thread counts) must satisfy
+/// `strip_volatile(a) == strip_volatile(b)`. Lines that fail to parse are
+/// kept, so the comparison still catches corrupted streams; note the
+/// stripped text has seq gaps where volatile lines were, so it is for
+/// byte comparison only — parse the *full* stream with
+/// [`Event::parse_stream`].
+#[must_use]
+pub fn strip_volatile(stream: &str) -> String {
+    stream
+        .lines()
+        .filter(|line| !matches!(Event::parse_line(line), Ok((_, Event::Volatile { .. }))))
+        .map(|line| format!("{line}\n"))
+        .collect()
 }
 
 /// A clonable, thread-safe in-memory `Write` sink for tests: every clone
@@ -311,6 +356,43 @@ mod tests {
         assert!(Event::parse_stream(&format!("{good}\n{gap}\n")).is_err());
         assert!(Event::parse_stream("not json\n").is_err());
         assert!(Event::parse_line("{\"seq\": 0, \"event\": \"mystery\"}").is_err());
+    }
+
+    #[test]
+    fn volatile_events_round_trip_and_strip() {
+        let events = vec![
+            Event::RunStart {
+                run_id: "x".to_owned(),
+            },
+            Event::Counter {
+                name: "mc.A.pages".to_owned(),
+                value: 8,
+            },
+            Event::Volatile {
+                name: "pool.A.pages_stolen".to_owned(),
+                value: 3,
+            },
+            Event::RunEnd { events: 4 },
+        ];
+        let stream: String = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.to_json(i as u64) + "\n")
+            .collect();
+        assert_eq!(Event::parse_stream(&stream).unwrap(), events);
+
+        let stripped = strip_volatile(&stream);
+        assert!(!stripped.contains("\"volatile\""));
+        assert!(stripped.contains("\"counter\""));
+        assert_eq!(stripped.lines().count(), 3);
+
+        // Two streams differing only in volatile values strip identically.
+        let other = stream.replace("\"value\": 3", "\"value\": 900");
+        assert_ne!(stream, other);
+        assert_eq!(stripped, strip_volatile(&other));
+
+        // Garbage lines are preserved so corruption still fails compares.
+        assert_eq!(strip_volatile("not json\n"), "not json\n");
     }
 
     #[test]

@@ -18,6 +18,11 @@ run() {
 run cargo build --release --offline --workspace
 run cargo test -q --offline --workspace
 
+# The same suite once more with the simulation pool forced to two
+# workers, so every test exercises the work-stealing path (the default
+# above resolves to the machine's parallelism, which can be 1 in CI).
+SIM_THREADS=2 run cargo test -q --offline --workspace
+
 # Style and lint gates.
 run cargo fmt --all --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -45,13 +50,19 @@ rm -rf "$smoke_out"
 # ran it at reduced depth; this is the zero-divergence gate.
 SIM_PROP_CASES=10000 run cargo test -q --offline --release --test differential_kernels
 
-# PR 3 bench gate: run the kernel benchmarks into a scratch directory (so
-# the tracked results/bench/BENCH_pr3.json is not clobbered) and check the
-# kernel/scalar speedup ratios plus the recorded baseline (see
-# EXPERIMENTS.md for regeneration).
+# Differential policy suite at CI depth: 10^4 random cases per property,
+# warm incremental scratches vs cold recomputes vs the stateless
+# reference across all six policies (see tests/incremental_policies.rs).
+SIM_PROP_CASES=10000 run cargo test -q --offline --release --test incremental_policies
+
+# Bench gate: run the kernel (PR 3) and engine (PR 4) benchmarks into a
+# scratch directory (so the tracked results/bench/ records are not
+# clobbered) and check the speedup ratios plus the recorded baselines
+# (see EXPERIMENTS.md for regeneration).
 bench_out="${TMPDIR:-/tmp}/aegis-verify-bench"
 rm -rf "$bench_out"
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench kernels
+SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench engine
 run cargo run -q --release --offline -p aegis-bench --bin bench-gate \
     "$bench_out/BENCH_pr3.json" results/bench/BENCH_pr3.baseline.json
 rm -rf "$bench_out"

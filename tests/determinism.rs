@@ -13,7 +13,7 @@ use aegis_experiments::schemes;
 use aegis_pcm::aegis::{AegisPolicy, Rectangle};
 use aegis_pcm::pcm::montecarlo::{run_memory, SimConfig};
 use aegis_pcm::pcm::timeline::TimelineSampler;
-use aegis_pcm::telemetry::{Event, RunTelemetry, SharedBuf};
+use aegis_pcm::telemetry::{strip_volatile, Event, RunTelemetry, SharedBuf};
 use sim_rng::{Rng, RngCore, SeedableRng, SmallRng};
 
 /// The raw generator is reproducible from a seed and sensitive to it.
@@ -127,11 +127,17 @@ fn telemetry_stream(seed: u64) -> String {
 /// [`telemetry_stream`] selecting the kernel (default) or scalar scheme
 /// set.
 fn telemetry_stream_mode(seed: u64, scalar: bool) -> String {
+    telemetry_stream_with(seed, scalar, None)
+}
+
+/// [`telemetry_stream_mode`] with an explicit worker-thread count.
+fn telemetry_stream_with(seed: u64, scalar: bool, threads: Option<usize>) -> String {
     let buf = SharedBuf::new();
     let run = RunTelemetry::with_buffer("det-check", buf.clone()).expect("buffer sink");
     let opts = RunOptions {
         pages: 3,
         seed,
+        threads,
         ..RunOptions::default()
     };
     let observer = RunObserver::with_registry(run.registry());
@@ -155,7 +161,8 @@ fn kernel_and_scalar_paths_serialize_identical_telemetry() {
     let kernel = telemetry_stream_mode(11, false);
     let scalar = telemetry_stream_mode(11, true);
     assert_eq!(
-        kernel, scalar,
+        strip_volatile(&kernel),
+        strip_volatile(&scalar),
         "scalar reference must replay the kernel path's stream byte for byte"
     );
 }
@@ -169,8 +176,18 @@ fn telemetry_event_streams_are_byte_identical_under_a_repeated_seed() {
     let first = telemetry_stream(11);
     let second = telemetry_stream(11);
     let other = telemetry_stream(12);
-    assert_eq!(first, second, "same seed must replay the identical stream");
-    assert_ne!(first, other, "different seeds must change observed metrics");
+    // Pool scheduling counters are declared volatile; everything else in
+    // the stream is covered by the byte-identity contract.
+    assert_eq!(
+        strip_volatile(&first),
+        strip_volatile(&second),
+        "same seed must replay the identical stream"
+    );
+    assert_ne!(
+        strip_volatile(&first),
+        strip_volatile(&other),
+        "different seeds must change observed metrics"
+    );
 }
 
 /// The stream round-trips through the parser that `telemetry-report`
@@ -195,6 +212,56 @@ fn telemetry_streams_round_trip_through_the_report_parser() {
         ),
         "fault-arrival histograms must be in the stream"
     );
+}
+
+/// The worker-thread count is a pure throughput knob: page RNGs derive
+/// from `(seed, page_idx)` and outputs are keyed by index, so running the
+/// pool with 1, 2, or 8 workers must produce identical results and (after
+/// dropping the declared-volatile pool counters) identical telemetry.
+#[test]
+fn thread_count_does_not_perturb_results_or_telemetry() {
+    let single = telemetry_stream_with(11, false, Some(1));
+    for threads in [2usize, 8] {
+        let pooled = telemetry_stream_with(11, false, Some(threads));
+        assert_eq!(
+            strip_volatile(&single),
+            strip_volatile(&pooled),
+            "threads={threads} must replay the single-thread stream"
+        );
+    }
+    // The scheduling counters themselves are still observable in the raw
+    // stream (as `volatile` events), just excluded from the contract.
+    assert!(
+        single.contains("\"event\": \"volatile\""),
+        "pool counters must be present as volatile events"
+    );
+
+    let summaries = |threads: Option<usize>| {
+        let opts = RunOptions {
+            pages: 5,
+            seed: 23,
+            threads,
+            ..RunOptions::default()
+        };
+        summarize_schemes_with(
+            &schemes::fig5_schemes(512),
+            512,
+            &opts,
+            &RunObserver::default(),
+        )
+    };
+    let one = summaries(Some(1));
+    let four = summaries(Some(4));
+    assert_eq!(one.len(), four.len());
+    for (a, b) in one.iter().zip(&four) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.mean_faults_recovered.to_bits(),
+            b.mean_faults_recovered.to_bits()
+        );
+        assert_eq!(a.mean_lifetime.to_bits(), b.mean_lifetime.to_bits());
+        assert_eq!(a.half_lifetime.to_bits(), b.half_lifetime.to_bits());
+    }
 }
 
 /// Distribution helpers consume entropy identically regardless of how the

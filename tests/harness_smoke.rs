@@ -12,6 +12,7 @@ fn tiny() -> RunOptions {
         seed: 2013,
         criterion: FailureCriterion::default(),
         page_bytes: 4096,
+        threads: None,
     }
 }
 

@@ -1,0 +1,278 @@
+//! Differential property suite for the PR 4 incremental predicates: for
+//! every policy family (Aegis, Aegis-rw, Aegis-rw-p, SAFER in both search
+//! and cache modes, RDIS, ECP), a warm [`PolicyScratch`] fed one fault at a
+//! time through `observe_fault` must produce `recoverable_with` verdicts
+//! identical to a cold-scratch recompute and to the stateless
+//! `recoverable` reference — across random fault arrival orders, random
+//! W/R splits, and deliberate cache abuse (skipped observations, stale
+//! scratch reuse across policies).
+//!
+//! Failures shrink toward fewer faults and fewer splits via the in-tree
+//! `sim_rng::prop` harness; CI runs the suite with `SIM_PROP_CASES=10000`
+//! per property (see `scripts/verify.sh`).
+
+use aegis_pcm::aegis::{AegisPolicy, AegisRwPPolicy, AegisRwPolicy, Rectangle};
+use aegis_pcm::baselines::{EcpPolicy, PartitionSearch, RdisPolicy, SaferPolicy};
+use aegis_pcm::pcm::policy::{PolicyScratch, RecoveryPolicy};
+use aegis_pcm::pcm::Fault;
+use sim_rng::prop::{shrink, Runner};
+use sim_rng::{prop_assert_eq, Rng, SeedableRng, SmallRng};
+
+/// `(label, block_bits)` of every policy configuration the generator draws
+/// from; `build_policy` constructs the matching predicate.
+const CONFIGS: &[(&str, usize)] = &[
+    ("aegis-9x61", 512),
+    ("aegis-rw-9x61", 512),
+    ("aegis-rw-p-9x61", 512),
+    ("aegis-5x7-ragged", 32),
+    ("safer32-ideal", 512),
+    ("safer32-cache-ideal", 512),
+    ("safer32", 512),
+    ("safer32-cache", 512),
+    ("safer8-cache-ideal", 64),
+    ("rdis3-512", 512),
+    ("rdis3-64", 64),
+    ("ecp6", 512),
+];
+
+fn build_policy(config: usize, pointers: usize) -> Box<dyn RecoveryPolicy> {
+    let r512 = || Rectangle::new(9, 61, 512).expect("valid formation");
+    match config {
+        0 => Box::new(AegisPolicy::new(r512())),
+        1 => Box::new(AegisRwPolicy::new(r512())),
+        2 => Box::new(AegisRwPPolicy::new(r512(), pointers)),
+        3 => Box::new(AegisPolicy::new(
+            Rectangle::new(5, 7, 32).expect("valid formation"),
+        )),
+        4 => Box::new(SaferPolicy::with_search(
+            5,
+            512,
+            false,
+            PartitionSearch::Exhaustive,
+        )),
+        5 => Box::new(SaferPolicy::with_search(
+            5,
+            512,
+            true,
+            PartitionSearch::Exhaustive,
+        )),
+        6 => Box::new(SaferPolicy::with_search(
+            5,
+            512,
+            false,
+            PartitionSearch::Incremental,
+        )),
+        7 => Box::new(SaferPolicy::with_search(
+            5,
+            512,
+            true,
+            PartitionSearch::Incremental,
+        )),
+        8 => Box::new(SaferPolicy::with_search(
+            3,
+            64,
+            true,
+            PartitionSearch::Exhaustive,
+        )),
+        9 => Box::new(RdisPolicy::rdis3(512)),
+        10 => Box::new(RdisPolicy::rdis3(64)),
+        11 => Box::new(EcpPolicy::new(6, 512)),
+        _ => unreachable!("generator stays within CONFIGS"),
+    }
+}
+
+/// One differential trial: a policy configuration, a fault arrival order,
+/// split seeds (one W/R split per seed per prefix), and a pointer budget
+/// for the rw-p configuration.
+#[derive(Debug, Clone)]
+struct Case {
+    config: usize,
+    faults: Vec<Fault>,
+    splits: Vec<u64>,
+    pointers: usize,
+}
+
+fn gen_case(rng: &mut SmallRng) -> Case {
+    let config = rng.random_range(0..CONFIGS.len());
+    let bits = CONFIGS[config].1;
+    let n = rng.random_range(0..=8usize.min(bits));
+    let mut offsets: Vec<usize> = Vec::with_capacity(n);
+    while offsets.len() < n {
+        let offset = rng.random_range(0..bits);
+        if !offsets.contains(&offset) {
+            offsets.push(offset);
+        }
+    }
+    let faults = offsets
+        .into_iter()
+        .map(|offset| Fault::new(offset, rng.random_bool(0.5)))
+        .collect();
+    let splits = (0..rng.random_range(1..=3usize))
+        .map(|_| rng.random::<u64>())
+        .collect();
+    let pointers = rng.random_range(1..=4usize);
+    Case {
+        config,
+        faults,
+        splits,
+        pointers,
+    }
+}
+
+/// Shrinker: drop faults (preserving arrival order), then drop/simplify
+/// split seeds (keeping at least one), then pull the pointer budget down.
+/// The configuration is pinned: changing it would invalidate the offsets.
+fn shrink_case(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    for faults in shrink::vec(&case.faults, shrink::none) {
+        out.push(Case {
+            faults,
+            ..case.clone()
+        });
+    }
+    for splits in shrink::vec(&case.splits, |&s| shrink::u64_down(s)) {
+        if !splits.is_empty() {
+            out.push(Case {
+                splits,
+                ..case.clone()
+            });
+        }
+    }
+    for pointers in shrink::usize_toward(case.pointers, 1) {
+        out.push(Case {
+            pointers,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+fn split_for(seed: u64, len: usize) -> Vec<bool> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_bool(0.5)).collect()
+}
+
+/// The tentpole contract: warm incremental scratch ≡ cold recompute ≡
+/// stateless reference, at every prefix of the arrival order.
+#[test]
+fn incremental_verdicts_match_recompute_at_every_prefix() {
+    Runner::new("incremental_verdicts_match_recompute_at_every_prefix")
+        .cases(2_000)
+        .run(gen_case, shrink_case, |case| {
+            let policy = build_policy(case.config, case.pointers);
+            let mut warm = PolicyScratch::new();
+            policy.forget_block(&mut warm);
+            let mut seen: Vec<Fault> = Vec::new();
+            for &fault in &case.faults {
+                seen.push(fault);
+                policy.observe_fault(&seen, &mut warm);
+                for &seed in &case.splits {
+                    let wrong = split_for(seed, seen.len());
+                    let want = policy.recoverable(&seen, &wrong);
+                    prop_assert_eq!(
+                        policy.recoverable_with(&seen, &wrong, &mut warm),
+                        want,
+                        "warm {} faults={:?} wrong={:?}",
+                        CONFIGS[case.config].0,
+                        &seen,
+                        &wrong
+                    );
+                    prop_assert_eq!(
+                        policy.recoverable_with(&seen, &wrong, &mut PolicyScratch::new()),
+                        want,
+                        "cold {} faults={:?} wrong={:?}",
+                        CONFIGS[case.config].0,
+                        &seen,
+                        &wrong
+                    );
+                }
+            }
+            Ok(())
+        });
+}
+
+/// Arrival-order robustness: feeding the same fault set in a different
+/// order (observing each prefix) still matches the stateless reference on
+/// the reordered slice — the cache is keyed by the exact arrival history,
+/// never by assumptions about it.
+#[test]
+fn shuffled_arrival_orders_still_match_the_reference() {
+    Runner::new("shuffled_arrival_orders_still_match_the_reference")
+        .cases(1_000)
+        .run(gen_case, shrink_case, |case| {
+            let policy = build_policy(case.config, case.pointers);
+            // Deterministic reorder driven by the first split seed.
+            let mut order: Vec<Fault> = case.faults.clone();
+            let mut rng = SmallRng::seed_from_u64(case.splits[0] ^ 0x5EED);
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.random_range(0..=i));
+            }
+            let mut warm = PolicyScratch::new();
+            policy.forget_block(&mut warm);
+            let mut seen: Vec<Fault> = Vec::new();
+            for &fault in &order {
+                seen.push(fault);
+                policy.observe_fault(&seen, &mut warm);
+                let wrong = split_for(case.splits[0], seen.len());
+                let want = policy.recoverable(&seen, &wrong);
+                prop_assert_eq!(
+                    policy.recoverable_with(&seen, &wrong, &mut warm),
+                    want,
+                    "{} order={:?} wrong={:?}",
+                    CONFIGS[case.config].0,
+                    &seen,
+                    &wrong
+                );
+            }
+            Ok(())
+        });
+}
+
+/// Cache abuse: observations may be skipped entirely (a fault arrives that
+/// the scratch never saw) or the scratch may be left warm from a different
+/// policy. Both must self-heal — via the owner/prefix check — to the
+/// reference verdict, never to a stale one.
+#[test]
+fn skipped_observations_and_foreign_scratch_self_heal() {
+    Runner::new("skipped_observations_and_foreign_scratch_self_heal")
+        .cases(1_000)
+        .run(gen_case, shrink_case, |case| {
+            let policy = build_policy(case.config, case.pointers);
+            let foreign = build_policy((case.config + 1) % CONFIGS.len(), case.pointers);
+            let mut warm = PolicyScratch::new();
+            policy.forget_block(&mut warm);
+            let mut seen: Vec<Fault> = Vec::new();
+            for (i, &fault) in case.faults.iter().enumerate() {
+                seen.push(fault);
+                // Observe only every other arrival; in between, let the
+                // *other* policy stomp the scratch with its own content
+                // (bounded by its block width so offsets stay in range).
+                if i % 2 == 0 {
+                    policy.observe_fault(&seen, &mut warm);
+                } else {
+                    let bits = CONFIGS[(case.config + 1) % CONFIGS.len()].1;
+                    let mut decoy: Vec<Fault> = Vec::new();
+                    for f in &seen {
+                        let offset = f.offset % bits;
+                        if !decoy.iter().any(|d: &Fault| d.offset == offset) {
+                            decoy.push(Fault::new(offset, f.stuck));
+                        }
+                    }
+                    foreign.observe_fault(&decoy, &mut warm);
+                }
+                for &seed in &case.splits {
+                    let wrong = split_for(seed, seen.len());
+                    prop_assert_eq!(
+                        policy.recoverable_with(&seen, &wrong, &mut warm),
+                        policy.recoverable(&seen, &wrong),
+                        "{} i={} faults={:?} wrong={:?}",
+                        CONFIGS[case.config].0,
+                        i,
+                        &seen,
+                        &wrong
+                    );
+                }
+            }
+            Ok(())
+        });
+}
