@@ -306,6 +306,17 @@ impl RecoveryPolicy for AegisPolicy {
         let (_, count) = bad_slopes(&self.rect, faults, &all_wrong, |_, _| true);
         count < self.rect.slopes()
     }
+
+    fn explain(&self, faults: &[Fault], wrong: &[bool]) -> Option<String> {
+        let slopes = self.rect.slopes();
+        let (bad, count) = bad_slopes(&self.rect, faults, wrong, |wi, wj| wi || wj);
+        if count == slopes {
+            return Some(format!("no usable slope ({count}/{slopes} bad)"));
+        }
+        // count < slopes means no early exit fired, so the flags are exact.
+        let slope = bad.iter().position(|&b| !b).expect("a good slope exists");
+        Some(format!("slope {slope} usable ({count}/{slopes} bad)"))
+    }
 }
 
 /// Monte Carlo predicate for Aegis-rw (§2.4 semantics, ideal fail cache).
@@ -405,6 +416,18 @@ impl RecoveryPolicy for AegisRwPolicy {
 
     fn forget_block(&self, scratch: &mut PolicyScratch) {
         scratch.pair_cache.reset();
+    }
+
+    fn explain(&self, faults: &[Fault], wrong: &[bool]) -> Option<String> {
+        let slopes = self.rect.slopes();
+        let (bad, count) = bad_slopes(&self.rect, faults, wrong, |wi, wj| wi != wj);
+        if count == slopes {
+            return Some(format!("no usable slope ({count}/{slopes} mixed-pair bad)"));
+        }
+        let slope = bad.iter().position(|&b| !b).expect("a good slope exists");
+        Some(format!(
+            "slope {slope} usable ({count}/{slopes} mixed-pair bad)"
+        ))
     }
 }
 
@@ -586,6 +609,55 @@ impl RecoveryPolicy for AegisRwPPolicy {
 
     fn forget_block(&self, scratch: &mut PolicyScratch) {
         scratch.pair_cache.reset();
+    }
+
+    fn explain(&self, faults: &[Fault], wrong: &[bool]) -> Option<String> {
+        let slopes = self.rect.slopes();
+        let (bad, count) = bad_slopes(&self.rect, faults, wrong, |wi, wj| wi != wj);
+        if count == slopes {
+            return Some(format!("no usable slope ({count}/{slopes} mixed-pair bad)"));
+        }
+        // Re-walk the good slopes exactly as the predicate does, reporting
+        // the first slope within budget, or the cheapest one if none fits.
+        let groups = self.rect.groups();
+        let mut occupancy = vec![0u8; groups];
+        let mut best: Option<(usize, usize, usize, usize)> = None;
+        for (slope, &is_bad) in bad.iter().enumerate() {
+            if is_bad {
+                continue;
+            }
+            occupancy.fill(0);
+            let (mut w_groups, mut r_groups) = (0usize, 0usize);
+            for (fault, &is_wrong) in faults.iter().zip(wrong) {
+                let g = self.rect.group_of(fault.offset, slope);
+                let flag = if is_wrong { 1 } else { 2 };
+                if occupancy[g] & flag == 0 {
+                    occupancy[g] |= flag;
+                    if is_wrong {
+                        w_groups += 1;
+                    } else {
+                        r_groups += 1;
+                    }
+                }
+            }
+            let cost = w_groups.min(r_groups);
+            if cost <= self.pointers {
+                return Some(format!(
+                    "slope {slope}: {w_groups} W-group(s) vs {r_groups} R-group(s), \
+                     cost {cost} within budget {}",
+                    self.pointers
+                ));
+            }
+            if best.is_none_or(|(c, ..)| cost < c) {
+                best = Some((cost, slope, w_groups, r_groups));
+            }
+        }
+        let (cost, slope, w_groups, r_groups) = best.expect("a good slope exists");
+        Some(format!(
+            "cheapest slope {slope}: {w_groups} W-group(s) vs {r_groups} R-group(s), \
+             cost {cost} exceeds budget {}",
+            self.pointers
+        ))
     }
 }
 
@@ -791,6 +863,52 @@ mod tests {
                         assert_eq!(incremental, recompute, "{}", policy.name());
                         assert_eq!(incremental, policy.recoverable(&fs, &wrong));
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explain_agrees_with_the_verdict() {
+        use sim_rng::{Rng, SeedableRng, SmallRng};
+        let r = rect();
+        let policies: Vec<Box<dyn RecoveryPolicy>> = vec![
+            Box::new(AegisPolicy::new(r.clone())),
+            Box::new(AegisRwPolicy::new(r.clone())),
+            Box::new(AegisRwPPolicy::new(r.clone(), 1)),
+        ];
+        let mut rng = SmallRng::seed_from_u64(555);
+        for _ in 0..200 {
+            let f: usize = rng.random_range(1..10);
+            let mut offsets: Vec<usize> = Vec::new();
+            while offsets.len() < f {
+                let o: usize = rng.random_range(0..r.bits());
+                if !offsets.contains(&o) {
+                    offsets.push(o);
+                }
+            }
+            let fs: Vec<Fault> = offsets
+                .iter()
+                .map(|&o| Fault::new(o, rng.random()))
+                .collect();
+            let wrong: Vec<bool> = (0..f).map(|_| rng.random()).collect();
+            for policy in &policies {
+                let verdict = policy.recoverable(&fs, &wrong);
+                let note = policy.explain(&fs, &wrong).expect("aegis always narrates");
+                // A recoverable verdict narrates the chosen slope/budget; a
+                // death narrates why nothing worked.
+                if verdict {
+                    assert!(
+                        note.contains("usable") || note.contains("within budget"),
+                        "{}: {note}",
+                        policy.name()
+                    );
+                } else {
+                    assert!(
+                        note.contains("no usable slope") || note.contains("exceeds budget"),
+                        "{}: {note}",
+                        policy.name()
+                    );
                 }
             }
         }

@@ -13,16 +13,24 @@
 //!    least 1.5× faster (median) than the `recompute` leg, and the
 //!    `scaling_512_9x61` group must show the `threadsN` leg no slower
 //!    than 1.25× the `threads1` leg.
-//! 3. **No wall-clock regression.** For each document, a recorded fig5
+//! 3. **Tracing overhead (PR 5, `BENCH_pr5.json`).** The
+//!    `tracing_overhead_512_9x61` group must show the `disabled` leg
+//!    within 2% of the `off` leg (median) — what every default run pays
+//!    for carrying the tracer hooks — and the `enabled` leg within 10%
+//!    of `off` — what an instrumented `--trace` run pays for span rings,
+//!    pool-utilization capture and the closing drain.
+//! 4. **No wall-clock regression.** For each document, a recorded fig5
 //!    `--full` post-change wall clock must beat the pre-change
-//!    measurement, and every benchmark present in the matching
+//!    measurement (the PR 5 document records its pre-change field as the
+//!    PR 4 wall clock plus the tolerated 2%, so the same check enforces
+//!    "within 2% of PR 4"), and every benchmark present in the matching
 //!    `*.baseline.json` must not have regressed by more than 20%
 //!    (median).
 //!
 //! Usage: `bench-gate [CURRENT_JSON [BASELINE_JSON]]` — defaults to
-//! `results/bench/BENCH_pr3.json` under the workspace root; the PR 4
-//! document and both baselines are resolved as siblings of the current
-//! path. Exit code 2 on unreadable/malformed input.
+//! `results/bench/BENCH_pr3.json` under the workspace root; the PR 4 and
+//! PR 5 documents and all baselines are resolved as siblings of the
+//! current path. Exit code 2 on unreadable/malformed input.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +48,12 @@ const REQUIRED_SPEEDUP: f64 = 2.0;
 const REQUIRED_INCREMENTAL_SPEEDUP: f64 = 1.5;
 /// Noise allowance for the groups only required not to regress.
 const PARITY_TOLERANCE: f64 = 1.25;
+/// Maximum tolerated median slowdown of a run carrying a disabled tracer
+/// versus one with no tracer at all (the PR 5 "tracing off is free" bar).
+const TRACING_DISABLED_TOLERANCE: f64 = 1.02;
+/// Maximum tolerated median slowdown of a fully traced run versus an
+/// untraced one (the PR 5 instrumented-run bar).
+const TRACING_ENABLED_TOLERANCE: f64 = 1.10;
 /// Maximum tolerated median regression versus the recorded baseline.
 const REGRESSION_TOLERANCE: f64 = 1.2;
 
@@ -150,6 +164,22 @@ fn pr4_checks() -> Vec<RatioCheck> {
             slow: "threads1",
             required: 1.0 / PARITY_TOLERANCE,
         },
+    ]
+}
+
+/// The PR 5 tracing-overhead requirements. Both are "slower is expected,
+/// but bounded" checks, so the required ratio is the reciprocal of the
+/// tolerated slowdown — the same encoding the parity checks use.
+fn pr5_checks() -> Vec<RatioCheck> {
+    let leg = |fast, tolerance: f64| RatioCheck {
+        group: "tracing_overhead_512_9x61",
+        fast,
+        slow: "off",
+        required: 1.0 / tolerance,
+    };
+    vec![
+        leg("disabled", TRACING_DISABLED_TOLERANCE),
+        leg("enabled", TRACING_ENABLED_TOLERANCE),
     ]
 }
 
@@ -276,6 +306,19 @@ fn main() -> ExitCode {
             // argument redirects both regression checks at once.
             &baseline_path.with_file_name("BENCH_pr4.baseline.json"),
             &pr4_checks(),
+        )),
+        Err(e) => failures.push(e),
+    }
+
+    // And the PR 5 tracing-overhead record, under the same rule: the
+    // document is committed, so failing to load it is itself a failure.
+    let pr5_path = current_path.with_file_name("BENCH_pr5.json");
+    match load(&pr5_path) {
+        Ok(pr5_doc) => failures.extend(gate_document(
+            &pr5_doc,
+            &pr5_path,
+            &baseline_path.with_file_name("BENCH_pr5.baseline.json"),
+            &pr5_checks(),
         )),
         Err(e) => failures.push(e),
     }

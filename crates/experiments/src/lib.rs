@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod biasstudy;
 pub mod cachestudy;
 pub mod csvout;

@@ -6,11 +6,12 @@
 
 use aegis_experiments::runner::RunOptions;
 use aegis_experiments::{
-    biasstudy, cachestudy, fig10, fig567, fig8, fig9, osassist, payg_check, runner, table1,
-    telemetry, variants, wearlevel_check, writecost,
+    analyze, biasstudy, cachestudy, fig10, fig567, fig8, fig9, osassist, payg_check, runner,
+    schemes, table1, telemetry, variants, wearlevel_check, writecost,
 };
+use pcm_sim::forensics;
 use pcm_sim::montecarlo::FailureCriterion;
-use sim_telemetry::{RunTelemetry, Span};
+use sim_telemetry::{RunTelemetry, Span, TraceSpan, Tracer};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -34,6 +35,12 @@ Commands:
   telemetry-report RUN_ID
                      Pretty-print a finished run's telemetry (counters,
                      histograms, phase timings) from results/telemetry/
+  telemetry-analyze RUN_ID
+                     Profile a finished run: span tree with self/total
+                     times, hot-span percentiles, worker utilization; also
+                     writes <run-id>.collapsed.txt (flamegraph input),
+                     <run-id>.chrome.json (chrome://tracing), and
+                     <run-id>.analysis.json next to the run
 
 Options:
   --pages N       Pages per simulated chip (default 256; paper scale 2048)
@@ -55,6 +62,15 @@ Options:
   --telemetry     Record counters/histograms/spans to OUT/telemetry/<run-id>.jsonl
                   plus a <run-id>.manifest.json reproducibility sidecar
   --run-id ID     Telemetry run id (implies --telemetry; default <command>-s<seed>)
+  --trace         Record hierarchical wall-clock spans and per-worker pool
+                  utilization to OUT/telemetry/<run-id>.trace.jsonl (implies
+                  --telemetry; the deterministic .jsonl stream is unchanged)
+  --trace-block P,B
+                  Block-death forensics: deterministically replay page P,
+                  block B's fault-arrival and policy-decision history for
+                  every fig5 scheme from the run seed, print the annotated
+                  event traces, and exit (no simulation runs)
+  --top N         telemetry-analyze only: hot spans listed (default 10)
   --progress      Report page-completion progress on stderr
   --quiet         Suppress progress/status output (for CI); reports still print
 ";
@@ -69,6 +85,9 @@ struct Cli {
     progress: bool,
     quiet: bool,
     scalar: bool,
+    trace: bool,
+    trace_block: Option<(usize, usize)>,
+    top: usize,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -84,6 +103,9 @@ fn parse_args() -> Result<Cli, String> {
         progress: false,
         quiet: false,
         scalar: false,
+        trace: false,
+        trace_block: None,
+        top: 10,
     };
     let mut samples = 1u32;
     let mut guaranteed = false;
@@ -119,6 +141,20 @@ fn parse_args() -> Result<Cli, String> {
                 cli.run_id = Some(value("--run-id")?);
                 cli.telemetry = true;
             }
+            "--trace" => {
+                cli.trace = true;
+                cli.telemetry = true;
+            }
+            "--trace-block" => {
+                let raw = value("--trace-block")?;
+                let parsed = raw
+                    .split_once(',')
+                    .and_then(|(p, b)| Some((p.trim().parse().ok()?, b.trim().parse().ok()?)));
+                cli.trace_block = Some(parsed.ok_or_else(|| {
+                    format!("--trace-block: invalid value '{raw}': expected PAGE,BLOCK\n\n{USAGE}")
+                })?);
+            }
+            "--top" => cli.top = parsed!("--top"),
             "--progress" => cli.progress = true,
             "--quiet" => cli.quiet = true,
             "--scalar" => cli.scalar = true,
@@ -144,8 +180,16 @@ struct Ctx<'a> {
     out: &'a Path,
     quiet: bool,
     tel: &'a RunTelemetry,
+    tracer: &'a Tracer,
     progress_fn: Option<&'a runner::SchemeProgressFn<'a>>,
     scalar: bool,
+}
+
+/// Guard pairing a deterministic-stream phase span with its wall-clock
+/// trace span; both close when it drops.
+struct PhaseSpan<'a> {
+    _tel: Span<'a>,
+    _trace: TraceSpan<'a>,
 }
 
 impl Ctx<'_> {
@@ -159,11 +203,15 @@ impl Ctx<'_> {
         runner::RunObserver {
             registry: self.tel.is_enabled().then(|| self.tel.registry()),
             progress: self.progress_fn,
+            tracer: self.tracer.is_enabled().then_some(self.tracer),
         }
     }
 
-    fn span(&self, name: &str) -> std::io::Result<Span<'_>> {
-        self.tel.span(name)
+    fn span(&self, name: &str) -> std::io::Result<PhaseSpan<'_>> {
+        Ok(PhaseSpan {
+            _tel: self.tel.span(name)?,
+            _trace: self.tracer.span(name),
+        })
     }
 }
 
@@ -372,16 +420,99 @@ fn run_telemetry_report(cli: &Cli) -> ExitCode {
         eprintln!("telemetry-report expects a RUN_ID argument\n\n{USAGE}");
         return ExitCode::from(USAGE_ERROR);
     };
-    match telemetry::report(run_id, &telemetry::dir(&cli.out_dir)) {
-        Ok(text) => {
+    match telemetry::report_checked(run_id, &telemetry::dir(&cli.out_dir)) {
+        Ok((text, skipped)) => {
             println!("{text}");
-            ExitCode::SUCCESS
+            if skipped.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "telemetry-report: skipped {} malformed line(s) (first at line {})",
+                    skipped.len(),
+                    skipped[0]
+                );
+                ExitCode::from(USAGE_ERROR)
+            }
         }
         Err(err) => {
             eprintln!("telemetry-report: {err}");
             ExitCode::FAILURE
         }
     }
+}
+
+fn run_telemetry_analyze(cli: &Cli) -> ExitCode {
+    let Some(run_id) = cli.positionals.first() else {
+        eprintln!("telemetry-analyze expects a RUN_ID argument\n\n{USAGE}");
+        return ExitCode::from(USAGE_ERROR);
+    };
+    match analyze::analyze(run_id, &telemetry::dir(&cli.out_dir), cli.top) {
+        Ok(analysis) => {
+            println!("{}", analysis.report);
+            if !analysis.skipped_lines.is_empty() {
+                eprintln!(
+                    "telemetry-analyze: skipped {} malformed stream line(s) (first at line {})",
+                    analysis.skipped_lines.len(),
+                    analysis.skipped_lines[0]
+                );
+            }
+            if analysis.dropped > 0 {
+                eprintln!(
+                    "telemetry-analyze: warning: {} trace record(s) were dropped; \
+                     the profile is incomplete",
+                    analysis.dropped
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("telemetry-analyze: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--trace-block P,B`: re-derive one block's fault and decision history
+/// for every fig5 scheme from the run seed and print the annotated
+/// replays. Pure output — no simulation, CSV, or telemetry files.
+fn run_trace_block(cli: &Cli, page: usize, block: usize) -> ExitCode {
+    const BLOCK_BITS: usize = 512;
+    if page >= cli.opts.pages {
+        eprintln!(
+            "--trace-block: page {page} out of range: the run simulates {} pages \
+             (see --pages)\n\n{USAGE}",
+            cli.opts.pages
+        );
+        return ExitCode::from(USAGE_ERROR);
+    }
+    let cfg = forensics::BlockTraceConfig {
+        seed: cli.opts.seed,
+        page_bits: cli.opts.page_bytes * 8,
+        block_bits: BLOCK_BITS,
+        criterion: cli.opts.criterion,
+        page,
+        block,
+    };
+    let timeline = match forensics::derive_block_timeline(&cfg) {
+        Ok(timeline) => timeline,
+        Err(msg) => {
+            eprintln!("--trace-block: {msg}\n\n{USAGE}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+    };
+    let policies = if cli.scalar {
+        schemes::fig5_schemes_scalar(BLOCK_BITS)
+    } else {
+        schemes::fig5_schemes(BLOCK_BITS)
+    };
+    for (i, policy) in policies.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let trace = forensics::trace_block(policy.as_ref(), &timeline, cfg.criterion);
+        print!("{}", trace.report(&cfg));
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -394,6 +525,9 @@ fn main() -> ExitCode {
     };
     if cli.command == "telemetry-report" {
         return run_telemetry_report(&cli);
+    }
+    if cli.command == "telemetry-analyze" {
+        return run_telemetry_analyze(&cli);
     }
     const COMMANDS: &[&str] = &[
         "table1",
@@ -418,6 +552,9 @@ fn main() -> ExitCode {
         // Reject before any telemetry files are created for a bogus run.
         eprintln!("unknown command '{}'\n\n{USAGE}", cli.command);
         return ExitCode::from(USAGE_ERROR);
+    }
+    if let Some((page, block)) = cli.trace_block {
+        return run_trace_block(&cli, page, block);
     }
 
     let run_id = cli
@@ -452,6 +589,13 @@ fn main() -> ExitCode {
         &sim_pool::resolve_threads(cli.opts.threads).to_string(),
     );
     tel.set_meta("out_dir", &cli.out_dir.display().to_string());
+    tel.set_meta("trace", if cli.trace { "on" } else { "off" });
+
+    let tracer = if cli.trace {
+        Tracer::with_default_capacity()
+    } else {
+        Tracer::disabled()
+    };
 
     let report_progress = |scheme: &str, done: usize, total: usize| {
         let step = (total / 10).max(1);
@@ -464,17 +608,37 @@ fn main() -> ExitCode {
         out: cli.out_dir.as_path(),
         quiet: cli.quiet,
         tel: &tel,
+        tracer: &tracer,
         progress_fn: (cli.progress && !cli.quiet).then_some(&report_progress),
         scalar: cli.scalar,
     };
 
-    let outcome = dispatch(&cli.command, &ctx);
-    if matches!(outcome, Ok(Ok(()))) && tel.is_enabled() {
-        // The figure paths exercise analytic policies; the codec probe
-        // feeds the codec.<scheme>.* counters through the shared
-        // WriteTelemetry path so every run's report covers both layers.
-        if let Ok(_span) = ctx.span("codec-probe") {
-            telemetry::codec_probe(tel.registry(), cli.opts.seed);
+    let outcome = {
+        let _run_span = tracer.span("run");
+        let outcome = dispatch(&cli.command, &ctx);
+        if matches!(outcome, Ok(Ok(()))) && tel.is_enabled() {
+            // The figure paths exercise analytic policies; the codec probe
+            // feeds the codec.<scheme>.* counters through the shared
+            // WriteTelemetry path so every run's report covers both layers.
+            if let Ok(_span) = ctx.span("codec-probe") {
+                telemetry::codec_probe(tel.registry(), cli.opts.seed);
+            }
+        }
+        outcome
+    };
+    if let Some(log) = tracer.finish(&run_id) {
+        let trace_path = telemetry::dir(&cli.out_dir).join(format!("{run_id}.trace.jsonl"));
+        if let Err(err) = std::fs::write(&trace_path, log.to_jsonl()) {
+            eprintln!("trace: {err}");
+            return ExitCode::FAILURE;
+        }
+        if !cli.quiet {
+            eprintln!(
+                "trace written to {} ({} spans, {} dropped)",
+                trace_path.display(),
+                log.spans.len(),
+                log.total_dropped()
+            );
         }
     }
     let telemetry_enabled = tel.is_enabled();

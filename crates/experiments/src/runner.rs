@@ -3,7 +3,7 @@
 
 use crate::schemes::Policy;
 use pcm_sim::montecarlo::{self, FailureCriterion, McTelemetry, MemoryRun, RunHooks, SimConfig};
-use sim_telemetry::Registry;
+use sim_telemetry::{Registry, Tracer};
 
 /// Knobs shared by every experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -122,6 +122,9 @@ pub struct RunObserver<'a> {
     pub registry: Option<&'a Registry>,
     /// Per-scheme page-completion callback.
     pub progress: Option<&'a SchemeProgressFn<'a>>,
+    /// Wall-clock span collector (`--trace`). Records only to the trace
+    /// sidecar, never the deterministic stream.
+    pub tracer: Option<&'a Tracer>,
 }
 
 impl<'a> RunObserver<'a> {
@@ -131,6 +134,7 @@ impl<'a> RunObserver<'a> {
         Self {
             registry: Some(registry),
             progress: None,
+            tracer: None,
         }
     }
 }
@@ -179,6 +183,7 @@ fn run_observed(
             let hooks = RunHooks {
                 telemetry,
                 progress: Some(&forward),
+                tracer: observer.tracer,
             };
             montecarlo::run_memory_with(policy, cfg, &hooks)
         }
@@ -186,6 +191,7 @@ fn run_observed(
             let hooks = RunHooks {
                 telemetry,
                 progress: None,
+                tracer: observer.tracer,
             };
             montecarlo::run_memory_with(policy, cfg, &hooks)
         }

@@ -39,14 +39,39 @@ pub fn codec_probe(registry: &Registry, seed: u64) {
     let _ = crate::writecost::run_with(PROBE_TRIALS, PROBE_WRITES, seed, Some(registry));
 }
 
-fn read_run(run_id: &str, telemetry_dir: &Path) -> io::Result<(RunManifest, Vec<Event>)> {
+/// A run read back from disk, tolerating mid-file corruption: malformed
+/// JSONL lines are skipped and their 1-based line numbers recorded, so a
+/// partially damaged stream still yields a report (and the caller can
+/// surface the damage instead of dying on line one).
+pub(crate) struct RunData {
+    pub manifest: RunManifest,
+    pub events: Vec<Event>,
+    /// 1-based line numbers of stream lines that failed to parse.
+    pub skipped_lines: Vec<usize>,
+}
+
+pub(crate) fn read_run(run_id: &str, telemetry_dir: &Path) -> io::Result<RunData> {
     let manifest_path = telemetry_dir.join(format!("{run_id}.manifest.json"));
     let manifest = RunManifest::parse(&fs::read_to_string(&manifest_path)?)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let stream_path = telemetry_dir.join(format!("{run_id}.jsonl"));
-    let events = Event::parse_stream(&fs::read_to_string(&stream_path)?)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    Ok((manifest, events))
+    let text = fs::read_to_string(&stream_path)?;
+    let mut events = Vec::new();
+    let mut skipped_lines = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::parse_line(line) {
+            Ok((_, event)) => events.push(event),
+            Err(_) => skipped_lines.push(i + 1),
+        }
+    }
+    Ok(RunData {
+        manifest,
+        events,
+        skipped_lines,
+    })
 }
 
 fn fmt_duration(nanos: u64) -> String {
@@ -63,9 +88,25 @@ fn fmt_duration(nanos: u64) -> String {
 ///
 /// # Errors
 ///
-/// Fails when the run's manifest or event stream is missing or malformed.
+/// Fails when the run's manifest is missing/malformed or the event stream
+/// is missing. Malformed lines *inside* the stream are skipped, not fatal;
+/// use [`report_checked`] to learn about them.
 pub fn report(run_id: &str, telemetry_dir: &Path) -> io::Result<String> {
-    let (manifest, events) = read_run(run_id, telemetry_dir)?;
+    report_checked(run_id, telemetry_dir).map(|(text, _)| text)
+}
+
+/// [`report`] plus the 1-based line numbers of malformed stream lines that
+/// were skipped while reading (empty for a clean stream).
+///
+/// # Errors
+///
+/// Same conditions as [`report`].
+pub fn report_checked(run_id: &str, telemetry_dir: &Path) -> io::Result<(String, Vec<usize>)> {
+    let RunData {
+        manifest,
+        events,
+        skipped_lines,
+    } = read_run(run_id, telemetry_dir)?;
     let mut out = String::new();
     let _ = writeln!(out, "Telemetry report: run '{}'", manifest.run_id);
     let _ = writeln!(
@@ -157,7 +198,7 @@ pub fn report(run_id: &str, telemetry_dir: &Path) -> io::Result<String> {
             "  {name:<40} n={count} mean={mean:.2} max_bucket=2^{max_bucket}"
         );
     }
-    Ok(out)
+    Ok((out, skipped_lines))
 }
 
 #[cfg(test)]
@@ -219,6 +260,39 @@ mod tests {
     #[test]
     fn report_fails_cleanly_when_run_is_missing() {
         assert!(report("no-such-run", Path::new("/nonexistent-dir")).is_err());
+    }
+
+    #[test]
+    fn malformed_stream_lines_are_skipped_and_counted() {
+        let dir = std::env::temp_dir().join(format!(
+            "aegis-telemetry-corrupt-test-{}",
+            std::process::id()
+        ));
+        let run = RunTelemetry::create("unit-corrupt", &dir).unwrap();
+        run.registry().counter("mc.Aegis 9x61.pages").add(4);
+        run.finish().unwrap();
+
+        // Corrupt one line in place (truncated JSON), keep the rest.
+        let stream_path = dir.join("unit-corrupt.jsonl");
+        let text = std::fs::read_to_string(&stream_path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        assert!(lines.len() >= 3, "stream too short to corrupt: {text}");
+        let bad = lines.len() - 1; // the run_end trailer
+        lines[bad] = "{\"seq\": 999, \"event\": \"run_en".to_owned();
+        std::fs::write(&stream_path, lines.join("\n") + "\n").unwrap();
+
+        let (text, skipped) = report_checked("unit-corrupt", &dir).unwrap();
+        assert_eq!(
+            skipped,
+            vec![bad + 1],
+            "1-based line number of the bad line"
+        );
+        assert!(text.contains("run 'unit-corrupt'"));
+        assert!(
+            text.contains("pages=4"),
+            "good lines still reported: {text}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -281,6 +281,186 @@ fn scalar_mode_telemetry_is_byte_identical_to_kernel_mode() {
 }
 
 #[test]
+fn telemetry_report_skips_malformed_lines_and_exits_2() {
+    let dir = std::env::temp_dir().join("aegis-cli-telemetry-corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = experiments()
+        .args(["table1", "--run-id", "corrupt", "--quiet", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Corrupt one line mid-file; the report must still render the rest.
+    let stream_path = dir.join("telemetry/corrupt.jsonl");
+    let text = std::fs::read_to_string(&stream_path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let bad = lines.len() / 2;
+    lines[bad] = "{\"seq\": 1, \"event\": \"coun".to_owned();
+    std::fs::write(&stream_path, lines.join("\n") + "\n").unwrap();
+
+    let report = experiments()
+        .args(["telemetry-report", "corrupt", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        report.status.code(),
+        Some(2),
+        "a damaged stream must exit 2: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&report.stderr);
+    assert!(
+        stderr.contains(&format!(
+            "skipped 1 malformed line(s) (first at line {})",
+            bad + 1
+        )),
+        "{stderr}"
+    );
+    // The surviving lines still produce a report on stdout.
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    assert!(stdout.contains("run 'corrupt'"), "{stdout}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn traced_run_supports_telemetry_analyze_end_to_end() {
+    let dir = std::env::temp_dir().join("aegis-cli-analyze");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = experiments()
+        .args([
+            "fig5", "--pages", "2", "--seed", "9", "--trace", "--run-id", "prof", "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("trace written to"), "{stderr}");
+
+    let tel = dir.join("telemetry");
+    let trace_text = std::fs::read_to_string(tel.join("prof.trace.jsonl")).expect("sidecar");
+    let log = sim_telemetry::TraceLog::parse(&trace_text).expect("sidecar parses");
+    assert!(log.spans.iter().any(|s| s.name == "run"));
+    assert!(log.spans.iter().any(|s| s.name == "page"));
+    assert_eq!(log.total_dropped(), 0);
+
+    let analyzed = experiments()
+        .args(["telemetry-analyze", "prof", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        analyzed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&analyzed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&analyzed.stdout);
+    assert!(stdout.contains("Span tree:"), "{stdout}");
+    assert!(stdout.contains("coverage:"), "{stdout}");
+    assert!(stdout.contains("Hot spans"), "{stdout}");
+    assert!(stdout.contains("Worker utilization:"), "{stdout}");
+    assert!(stdout.contains("mc.Aegis 9x61"), "{stdout}");
+
+    // Self-time coverage of the root span: at least 95% of the root's
+    // wall time is attributed somewhere in the tree.
+    let summary = std::fs::read_to_string(tel.join("prof.analysis.json")).expect("summary");
+    let value = sim_telemetry::Json::parse(&summary).expect("summary parses");
+    assert_eq!(value.str_field("run_id"), Some("prof"));
+    let coverage = value
+        .get("coverage")
+        .and_then(sim_telemetry::Json::as_f64)
+        .expect("coverage present");
+    assert!(coverage >= 0.95, "coverage {coverage} below floor");
+    assert_eq!(value.u64_field("dropped"), Some(0));
+
+    // Chrome trace: {"traceEvents": [...]} of ph=X complete events.
+    let chrome = std::fs::read_to_string(tel.join("prof.chrome.json")).expect("chrome trace");
+    let value = sim_telemetry::Json::parse(&chrome).expect("chrome json parses");
+    let events = value
+        .get("traceEvents")
+        .and_then(sim_telemetry::Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), log.spans.len());
+    for event in events {
+        assert_eq!(event.str_field("ph"), Some("X"));
+        assert!(event.u64_field("ts").is_some());
+        assert!(event.u64_field("dur").is_some());
+    }
+
+    // Collapsed stacks: every line is `path;seg value`.
+    let collapsed = std::fs::read_to_string(tel.join("prof.collapsed.txt")).expect("collapsed");
+    assert!(!collapsed.is_empty());
+    for line in collapsed.lines() {
+        let (path, value) = line.rsplit_once(' ').expect("path value");
+        assert!(!path.is_empty(), "{line}");
+        assert!(value.parse::<u64>().is_ok(), "{line}");
+    }
+    assert!(collapsed.lines().any(|l| l.starts_with("run;")));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn trace_block_forensics_is_byte_identical_across_runs() {
+    let run = || {
+        let output = experiments()
+            .args(["fig5", "--seed", "9", "--trace-block", "1,12"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        output.stdout
+    };
+    let a = run();
+    assert_eq!(a, run(), "forensics replay must be deterministic");
+    let text = String::from_utf8_lossy(&a);
+    assert!(text.contains("policy:    Aegis 9x61"), "{text}");
+    assert!(text.contains("policy:    ECP6"), "{text}");
+    assert!(
+        text.contains("target:    page 1 block 12 (seed 9)"),
+        "{text}"
+    );
+    assert!(text.contains("verdict:"), "{text}");
+    assert!(text.contains("stuck-at-"), "{text}");
+}
+
+#[test]
+fn trace_block_rejects_malformed_and_out_of_range_targets() {
+    let bad_shape = experiments()
+        .args(["fig5", "--trace-block", "7"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(bad_shape.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_shape.stderr).contains("expected PAGE,BLOCK"));
+
+    let out_of_range = experiments()
+        .args(["fig5", "--pages", "2", "--trace-block", "2,0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out_of_range.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out_of_range.stderr).contains("out of range"));
+
+    let bad_block = experiments()
+        .args(["fig5", "--trace-block", "0,64"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(bad_block.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_block.stderr).contains("out of range"));
+}
+
+#[test]
 fn wearlevel_extension_runs_standalone() {
     let dir = std::env::temp_dir().join("aegis-cli-wearlevel");
     let _ = std::fs::remove_dir_all(&dir);

@@ -59,6 +59,7 @@ mod lifetime;
 pub mod chip;
 pub mod codec;
 pub mod failcache;
+pub mod forensics;
 pub mod montecarlo;
 pub mod policy;
 pub mod securerefresh;

@@ -20,7 +20,7 @@ use crate::timeline::{BlockTimeline, PageTimeline, TimelineSampler};
 use crate::Fault;
 use sim_rng::SeedableRng;
 use sim_rng::SmallRng;
-use sim_telemetry::{metric_name, Counter, Histogram, Registry};
+use sim_telemetry::{metric_name, Counter, Histogram, PoolWorkerUtil, Registry, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// When is a block considered dead? (See DESIGN.md §3.)
@@ -113,6 +113,11 @@ pub struct RunHooks<'a> {
     pub telemetry: Option<McTelemetry>,
     /// Called after each page completes.
     pub progress: Option<&'a ProgressFn<'a>>,
+    /// Wall-clock span collector. When enabled, the run opens an
+    /// `mc.<scheme>` span, each worker records per-`page` spans into its
+    /// private ring, and per-worker pool utilization is captured — all on
+    /// the volatile trace sidecar, never the deterministic stream.
+    pub tracer: Option<&'a Tracer>,
 }
 
 /// Outcome of running one policy over one block timeline.
@@ -458,29 +463,62 @@ pub fn run_memory_with(
     let telemetry = hooks.telemetry.as_ref();
     let progress = hooks.progress;
 
-    let (results, stats) = sim_pool::run_indexed(
-        threads,
-        cfg.pages,
-        PolicyScratch::new,
-        |scratch, page_idx| {
-            let mut rng = TimelineSampler::page_rng(cfg.seed, page_idx as u64);
-            let page = sampler.sample_page(&mut rng, blocks_per_page);
-            let outcome =
-                evaluate_page_with_scratch(policy, &page, cfg.criterion, telemetry, scratch);
-            // Advance completion unconditionally so the count can never
-            // disagree with the telemetry pages counter, then report it.
-            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-            if let Some(report) = progress {
-                report(finished, cfg.pages);
-            }
-            (
-                outcome.death_time,
-                page.first_cell_death(),
-                outcome.faults_recovered,
-                outcome.capped,
-            )
-        },
-    );
+    // The identical per-page body runs under both scheduling paths, so
+    // tracing can only add spans around it, never change what it computes.
+    let eval_page = |scratch: &mut PolicyScratch, page_idx: usize| {
+        let mut rng = TimelineSampler::page_rng(cfg.seed, page_idx as u64);
+        let page = sampler.sample_page(&mut rng, blocks_per_page);
+        let outcome = evaluate_page_with_scratch(policy, &page, cfg.criterion, telemetry, scratch);
+        // Advance completion unconditionally so the count can never
+        // disagree with the telemetry pages counter, then report it.
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(report) = progress {
+            report(finished, cfg.pages);
+        }
+        (
+            outcome.death_time,
+            page.first_cell_death(),
+            outcome.faults_recovered,
+            outcome.capped,
+        )
+    };
+
+    let tracer = hooks.tracer.filter(|t| t.is_enabled());
+    let (results, stats) = match tracer {
+        None => sim_pool::run_indexed(threads, cfg.pages, PolicyScratch::new, |scratch, idx| {
+            eval_page(scratch, idx)
+        }),
+        Some(tracer) => {
+            let phase_name = format!("mc.{}", policy.name());
+            let phase = tracer.span(&phase_name);
+            let parent = Some(phase.id());
+            let (results, stats, workers) = sim_pool::run_indexed_stats(
+                threads,
+                cfg.pages,
+                || (PolicyScratch::new(), tracer.worker(parent)),
+                |(scratch, trace), idx| {
+                    let span = trace.begin("page");
+                    let out = eval_page(scratch, idx);
+                    trace.end(span);
+                    out
+                },
+            );
+            drop(phase);
+            let utils: Vec<PoolWorkerUtil> = workers
+                .into_iter()
+                .map(|w| PoolWorkerUtil {
+                    worker: w.worker,
+                    tasks: w.tasks,
+                    batches: w.batches,
+                    busy_ns: w.busy_ns,
+                    idle_ns: w.idle_ns,
+                    pull_ns: w.pull_ns,
+                })
+                .collect();
+            tracer.record_pool(&phase_name, utils);
+            (results, stats)
+        }
+    };
     debug_assert_eq!(done.load(Ordering::Relaxed), cfg.pages);
     if let Some(t) = telemetry {
         t.record_pool(&stats);
@@ -759,6 +797,7 @@ mod tests {
         let hooks = RunHooks {
             telemetry: Some(McTelemetry::for_scheme(&registry, &policy.name())),
             progress: Some(&record),
+            tracer: None,
         };
         let observed = run_memory_with(&policy, &cfg, &hooks);
 
@@ -821,6 +860,7 @@ mod tests {
         let hooks = RunHooks {
             telemetry: Some(McTelemetry::for_scheme(&registry, "cap4")),
             progress: None,
+            tracer: None,
         };
         run_memory_with(&policy, &cfg, &hooks);
         let volatile: std::collections::BTreeMap<String, u64> =
@@ -849,6 +889,45 @@ mod tests {
         assert_eq!(counters["mc.cap1.block_deaths_guarantee"], 1);
         assert_eq!(counters["mc.cap1.block_deaths_split"], 0);
         assert_eq!(counters["mc.cap1.policy_decisions"], 2);
+    }
+
+    #[test]
+    fn tracer_records_spans_without_perturbing_results() {
+        let policy = CapPolicy { cap: 4, bits: 512 };
+        let cfg = SimConfig {
+            pages: 6,
+            page_bits: 4096,
+            block_bits: 512,
+            criterion: FailureCriterion::default(),
+            seed: 77,
+            threads: Some(2),
+        };
+        let plain = run_memory(&policy, &cfg);
+
+        let tracer = Tracer::new(1024);
+        let hooks = RunHooks {
+            tracer: Some(&tracer),
+            ..RunHooks::default()
+        };
+        let traced = run_memory_with(&policy, &cfg, &hooks);
+        assert_eq!(plain.page_lifetimes, traced.page_lifetimes);
+        assert_eq!(plain.faults_recovered, traced.faults_recovered);
+
+        let log = tracer.finish("unit").unwrap();
+        let phase = log.spans.iter().find(|s| s.name == "mc.cap4").unwrap();
+        let pages: Vec<_> = log.spans.iter().filter(|s| s.name == "page").collect();
+        assert_eq!(pages.len(), 6);
+        // Every page span hangs off the engine phase and was recorded by
+        // a worker collector.
+        assert!(pages.iter().all(|s| s.parent == Some(phase.id)));
+        assert!(pages.iter().all(|s| s.worker != 0));
+        // Pool utilization was captured for the phase, one entry per
+        // worker, and the task counts add up to the page count.
+        assert_eq!(log.pool.len(), 1);
+        assert_eq!(log.pool[0].phase, "mc.cap4");
+        let tasks: usize = log.pool[0].workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(tasks, 6);
+        assert_eq!(log.total_dropped(), 0);
     }
 
     #[test]

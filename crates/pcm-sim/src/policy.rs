@@ -260,6 +260,20 @@ pub trait RecoveryPolicy: Sync {
         let _ = scratch;
     }
 
+    /// Human-readable account of how the scheme handles (or fails) the
+    /// given fault population and W/R split — e.g. which slope Aegis
+    /// settles on, or how many correction pointers SAFER-style schemes
+    /// spend. Used by block-death forensics to annotate event traces.
+    ///
+    /// The default returns `None` (no scheme-specific narration); an
+    /// implementation must be a pure function of its arguments so forensic
+    /// replays stay deterministic, and must agree with
+    /// [`recoverable`](Self::recoverable) about the verdict it describes.
+    fn explain(&self, faults: &[Fault], wrong: &[bool]) -> Option<String> {
+        let _ = (faults, wrong);
+        None
+    }
+
     /// Whether the fault population is recoverable for *every* data word
     /// (the strict, data-independent criterion).
     ///

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Environment variable consulted by [`resolve_threads`] when no explicit
 /// thread count is given.
@@ -85,6 +86,35 @@ fn batch_size(tasks: usize, threads: usize) -> usize {
     (tasks / (threads * 8)).max(1)
 }
 
+/// Per-worker utilization sample from one [`run_indexed_stats`] run.
+///
+/// All timing fields are wall-clock and therefore *volatile*: like
+/// [`PoolStats::batches`], they must only be reported through channels
+/// excluded from determinism checks (the telemetry trace sidecar).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Worker index within this run (0-based; worker 0 is the caller's
+    /// thread when the run was inline).
+    pub worker: usize,
+    /// Tasks this worker executed.
+    pub tasks: usize,
+    /// Successful batch pulls from the shared counter.
+    pub batches: u64,
+    /// Nanoseconds spent executing tasks.
+    pub busy_ns: u64,
+    /// Nanoseconds of the worker's wall time not spent executing tasks
+    /// (spawn-to-first-pull, counter pulls, final empty pull). Always 0
+    /// for an inline single-threaded run.
+    pub idle_ns: u64,
+    /// Latency of each successful batch pull, nanoseconds, in pull order.
+    pub pull_ns: Vec<u64>,
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn nanos(from: Instant) -> u64 {
+    from.elapsed().as_nanos() as u64
+}
+
 /// Runs `tasks` index-addressed tasks on `threads` workers and returns
 /// the results in index order together with scheduling statistics.
 ///
@@ -111,6 +141,44 @@ where
     MS: Fn() -> S + Sync,
     W: Fn(&mut S, usize) -> T + Sync,
 {
+    let (out, stats, _) = run_indexed_impl::<false, _, _, _, _>(threads, tasks, make_scratch, work);
+    (out, stats)
+}
+
+/// Like [`run_indexed`], but additionally measures per-worker wall-clock
+/// utilization ([`WorkerStats`], ascending worker index). Identical
+/// scheduling and results; the extra `Instant` reads cost a few tens of
+/// nanoseconds per batch and per task, so reserve this variant for
+/// instrumented runs.
+///
+/// # Panics
+/// Propagates panics from `work` and panics if a worker thread cannot be
+/// joined.
+pub fn run_indexed_stats<T, S, MS, W>(
+    threads: usize,
+    tasks: usize,
+    make_scratch: MS,
+    work: W,
+) -> (Vec<T>, PoolStats, Vec<WorkerStats>)
+where
+    T: Send,
+    MS: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+{
+    run_indexed_impl::<true, _, _, _, _>(threads, tasks, make_scratch, work)
+}
+
+fn run_indexed_impl<const TIMED: bool, T, S, MS, W>(
+    threads: usize,
+    tasks: usize,
+    make_scratch: MS,
+    work: W,
+) -> (Vec<T>, PoolStats, Vec<WorkerStats>)
+where
+    T: Send,
+    MS: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = threads.max(1).min(tasks.max(1));
     let mut stats = PoolStats {
         threads,
@@ -119,45 +187,73 @@ where
         stolen: 0,
     };
     if tasks == 0 {
-        return (Vec::new(), stats);
+        return (Vec::new(), stats, Vec::new());
     }
     let chunk = batch_size(tasks, threads);
 
     if threads == 1 {
+        let started = TIMED.then(Instant::now);
         let mut scratch = make_scratch();
         let mut out = Vec::with_capacity(tasks);
         for idx in 0..tasks {
             out.push(work(&mut scratch, idx));
         }
         stats.batches = tasks.div_ceil(chunk) as u64;
-        return (out, stats);
+        let workers = match started {
+            Some(started) => vec![WorkerStats {
+                worker: 0,
+                tasks,
+                batches: stats.batches,
+                busy_ns: nanos(started),
+                idle_ns: 0,
+                pull_ns: Vec::new(),
+            }],
+            None => Vec::new(),
+        };
+        return (out, stats, workers);
     }
 
     let next = AtomicUsize::new(0);
     let fair_share = tasks.div_ceil(threads);
-    let mut per_worker: Vec<(u64, Vec<(usize, T)>)> = Vec::with_capacity(threads);
+    let mut per_worker: Vec<(WorkerStats, Vec<(usize, T)>)> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for worker in 0..threads {
             let next = &next;
             let make_scratch = &make_scratch;
             let work = &work;
             handles.push(scope.spawn(move || {
+                let spawned = TIMED.then(Instant::now);
                 let mut scratch = make_scratch();
                 let mut local: Vec<(usize, T)> = Vec::new();
-                let mut batches = 0u64;
+                let mut timing = WorkerStats {
+                    worker,
+                    ..WorkerStats::default()
+                };
                 loop {
+                    let pull_started = TIMED.then(Instant::now);
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
                     if start >= tasks {
                         break;
                     }
-                    batches += 1;
+                    if let Some(pull_started) = pull_started {
+                        timing.pull_ns.push(nanos(pull_started));
+                    }
+                    timing.batches += 1;
                     let end = (start + chunk).min(tasks);
+                    let batch_started = TIMED.then(Instant::now);
                     for idx in start..end {
                         local.push((idx, work(&mut scratch, idx)));
                     }
+                    if let Some(batch_started) = batch_started {
+                        timing.busy_ns += nanos(batch_started);
+                    }
                 }
-                (batches, local)
+                timing.tasks = local.len();
+                if let Some(spawned) = spawned {
+                    timing.idle_ns = nanos(spawned).saturating_sub(timing.busy_ns);
+                }
+                (timing, local)
             }));
         }
         for handle in handles {
@@ -167,20 +263,25 @@ where
 
     let mut slots: Vec<Option<T>> = Vec::with_capacity(tasks);
     slots.resize_with(tasks, || None);
-    for (batches, local) in per_worker {
-        stats.batches += batches;
+    let mut workers = Vec::with_capacity(if TIMED { threads } else { 0 });
+    for (timing, local) in per_worker {
+        stats.batches += timing.batches;
         stats.stolen += (local.len().saturating_sub(fair_share)) as u64;
+        if TIMED {
+            workers.push(timing);
+        }
         for (idx, value) in local {
             debug_assert!(slots[idx].is_none(), "task {idx} produced twice");
             slots[idx] = Some(value);
         }
     }
+    workers.sort_by_key(|w| w.worker);
     let out: Vec<T> = slots
         .into_iter()
         .enumerate()
         .map(|(idx, slot)| slot.unwrap_or_else(|| panic!("task {idx} was never executed")))
         .collect();
-    (out, stats)
+    (out, stats, workers)
 }
 
 #[cfg(test)]
@@ -273,5 +374,50 @@ mod tests {
         let (got, stats) = run_indexed(64, 3, || (), |(), i| i);
         assert_eq!(got, vec![0, 1, 2]);
         assert!(stats.threads <= 3);
+    }
+
+    #[test]
+    fn stats_variant_reports_coherent_worker_utilization() {
+        let (got, stats, workers) = run_indexed_stats(
+            3,
+            120,
+            || (),
+            |(), i| {
+                std::hint::black_box(i);
+                i * 3
+            },
+        );
+        assert_eq!(got[119], 357);
+        assert_eq!(workers.len(), stats.threads);
+        // Workers are sorted and their per-worker figures sum to the
+        // pool totals.
+        for (i, w) in workers.iter().enumerate() {
+            assert_eq!(w.worker, i);
+            assert_eq!(w.pull_ns.len() as u64, w.batches);
+        }
+        assert_eq!(workers.iter().map(|w| w.tasks).sum::<usize>(), stats.tasks);
+        assert_eq!(
+            workers.iter().map(|w| w.batches).sum::<u64>(),
+            stats.batches
+        );
+    }
+
+    #[test]
+    fn inline_stats_have_zero_idle_and_no_pulls() {
+        let (got, stats, workers) = run_indexed_stats(1, 10, || (), |(), i| i);
+        assert_eq!(got.len(), 10);
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].worker, 0);
+        assert_eq!(workers[0].tasks, 10);
+        assert_eq!(workers[0].batches, stats.batches);
+        assert_eq!(workers[0].idle_ns, 0);
+        assert!(workers[0].pull_ns.is_empty());
+    }
+
+    #[test]
+    fn stats_variant_matches_untimed_results() {
+        let (plain, _) = run_indexed(4, 99, || (), |(), i| i * i);
+        let (timed, _, _) = run_indexed_stats(4, 99, || (), |(), i| i * i);
+        assert_eq!(plain, timed);
     }
 }

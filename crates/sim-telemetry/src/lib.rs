@@ -17,21 +17,35 @@
 //!
 //! Metric names follow `layer.scheme.metric` (see [`metric_name`] /
 //! [`split_metric`] and DESIGN.md § Observability).
+//!
+//! On top of the deterministic stream sit two volatile (wall-clock)
+//! layers, kept in a separate `<run-id>.trace.jsonl` sidecar so they can
+//! never perturb the byte-identity contract: [`Tracer`] — hierarchical
+//! spans with parent links collected into bounded, drop-counted
+//! per-worker rings — and [`profile`] — span trees with self/total
+//! times plus collapsed-stack and Chrome `trace_event` exporters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
 pub mod manifest;
+pub mod profile;
 pub mod registry;
 pub mod run;
 pub mod sink;
+pub mod trace;
 
 pub use json::{escape, Json, JsonError};
 pub use manifest::{git_describe, unix_millis, RunManifest};
+pub use profile::{chrome_trace, collapsed_stack, NameStats, ProfileNode, SpanTree};
 pub use registry::{
     bucket_index, metric_name, split_metric, Counter, Histogram, HistogramSnapshot, Registry,
     HISTOGRAM_BUCKETS,
 };
 pub use run::{RunTelemetry, Span};
 pub use sink::{strip_volatile, Event, SharedBuf};
+pub use trace::{
+    PoolPhase, PoolWorkerUtil, TraceLog, TraceRecord, TraceSpan, Tracer, WorkerLog,
+    WorkerSpanHandle, WorkerTracer, DEFAULT_TRACE_CAPACITY,
+};

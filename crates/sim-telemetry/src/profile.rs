@@ -1,0 +1,431 @@
+//! Profile analysis over a finished [`TraceLog`]: span trees with
+//! self/total times, per-name percentiles, and exporters to the two
+//! standard trace interchange formats (collapsed stacks and Chrome
+//! `trace_event` JSON).
+//!
+//! Self time is attributed per thread: a span's self time is its duration
+//! minus the durations of its *same-worker* children. Children recorded
+//! on a different worker ran concurrently with the parent (the parent's
+//! thread was not descheduled for them), so they do not reduce the
+//! parent's self time. A consequence is that total coverage — the sum of
+//! all self times over the sum of root durations — can exceed 1 under
+//! parallelism; values *below* ~0.95 indicate dropped records or an
+//! instrumentation gap.
+
+use std::collections::HashMap;
+
+use crate::json::escape;
+use crate::trace::{TraceLog, TraceRecord};
+
+/// Per-span-name aggregate statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameStats {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: usize,
+    /// Sum of durations, nanoseconds.
+    pub total_ns: u64,
+    /// Sum of self times, nanoseconds.
+    pub self_ns: u64,
+    /// Median duration (nearest-rank), nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile duration (nearest-rank), nanoseconds.
+    pub p95_ns: u64,
+}
+
+/// One node of the aggregated display tree: spans sharing a name under
+/// the same parent path are merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// Span name.
+    pub name: String,
+    /// Number of merged spans.
+    pub count: usize,
+    /// Sum of durations, nanoseconds.
+    pub total_ns: u64,
+    /// Sum of self times, nanoseconds.
+    pub self_ns: u64,
+    /// Child nodes, descending by `total_ns` (name-tiebroken).
+    pub children: Vec<ProfileNode>,
+}
+
+/// A [`TraceLog`] resolved into parent/child structure with per-span
+/// self times.
+pub struct SpanTree<'a> {
+    log: &'a TraceLog,
+    /// Children of span `i` (indices into `log.spans`).
+    children: Vec<Vec<usize>>,
+    /// Spans with no (surviving) parent.
+    roots: Vec<usize>,
+    self_ns: Vec<u64>,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    // Nearest-rank: the smallest value with at least q of the mass at or
+    // below it.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    #[allow(clippy::cast_precision_loss)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl<'a> SpanTree<'a> {
+    /// Resolves parent links and computes per-thread self times. Spans
+    /// whose parent record was dropped from a full ring become roots.
+    #[must_use]
+    pub fn build(log: &'a TraceLog) -> SpanTree<'a> {
+        let index_of: HashMap<u32, usize> = log
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, i))
+            .collect();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); log.spans.len()];
+        let mut roots = Vec::new();
+        for (i, span) in log.spans.iter().enumerate() {
+            match span.parent.and_then(|p| index_of.get(&p)) {
+                Some(&parent) => children[parent].push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut self_ns = Vec::with_capacity(log.spans.len());
+        for (i, span) in log.spans.iter().enumerate() {
+            let same_worker_child_ns: u64 = children[i]
+                .iter()
+                .map(|&c| &log.spans[c])
+                .filter(|c| c.worker == span.worker)
+                .map(|c| c.dur_ns)
+                .sum();
+            self_ns.push(span.dur_ns.saturating_sub(same_worker_child_ns));
+        }
+        SpanTree {
+            log,
+            children,
+            roots,
+            self_ns,
+        }
+    }
+
+    /// The spans this tree was built over.
+    #[must_use]
+    pub fn spans(&self) -> &[TraceRecord] {
+        &self.log.spans
+    }
+
+    /// Root spans (no surviving parent).
+    #[must_use]
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Self time of span `i`, nanoseconds.
+    #[must_use]
+    pub fn self_ns(&self, i: usize) -> u64 {
+        self.self_ns[i]
+    }
+
+    /// Sum of root-span durations, nanoseconds.
+    #[must_use]
+    pub fn root_total_ns(&self) -> u64 {
+        self.roots.iter().map(|&r| self.log.spans[r].dur_ns).sum()
+    }
+
+    /// Sum of all self times over the sum of root durations. Can exceed
+    /// 1 under parallelism; below ~0.95 means records were dropped or a
+    /// phase is uninstrumented. Returns 1 for an empty trace.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let roots = self.root_total_ns();
+        if roots == 0 {
+            return 1.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.self_ns.iter().sum::<u64>() as f64 / roots as f64
+        }
+    }
+
+    /// Ancestor name path of span `i`, root first, ending in `i`'s name.
+    #[must_use]
+    pub fn path(&self, i: usize) -> Vec<&str> {
+        let index_of: HashMap<u32, usize> = self
+            .log
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(idx, s)| (s.id, idx))
+            .collect();
+        let mut names = Vec::new();
+        let mut cursor = Some(i);
+        while let Some(at) = cursor {
+            names.push(self.log.spans[at].name.as_str());
+            cursor = self.log.spans[at]
+                .parent
+                .and_then(|p| index_of.get(&p))
+                .copied();
+        }
+        names.reverse();
+        names
+    }
+
+    fn aggregate_level(&self, siblings: &[usize]) -> Vec<ProfileNode> {
+        let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+        for &i in siblings {
+            let name = &self.log.spans[i].name;
+            match groups.iter_mut().find(|(n, _)| n == name) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((name.clone(), vec![i])),
+            }
+        }
+        let mut nodes: Vec<ProfileNode> = groups
+            .into_iter()
+            .map(|(name, members)| {
+                let grandchildren: Vec<usize> = members
+                    .iter()
+                    .flat_map(|&m| self.children[m].iter().copied())
+                    .collect();
+                ProfileNode {
+                    name,
+                    count: members.len(),
+                    total_ns: members.iter().map(|&m| self.log.spans[m].dur_ns).sum(),
+                    self_ns: members.iter().map(|&m| self.self_ns[m]).sum(),
+                    children: self.aggregate_level(&grandchildren),
+                }
+            })
+            .collect();
+        nodes.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        nodes
+    }
+
+    /// Aggregated display tree: spans sharing a name under the same
+    /// parent path merge into one node.
+    #[must_use]
+    pub fn aggregate(&self) -> Vec<ProfileNode> {
+        self.aggregate_level(&self.roots)
+    }
+
+    /// Per-name statistics, descending by self time (name-tiebroken).
+    #[must_use]
+    pub fn name_stats(&self) -> Vec<NameStats> {
+        let mut by_name: Vec<(String, Vec<usize>)> = Vec::new();
+        for (i, span) in self.log.spans.iter().enumerate() {
+            match by_name.iter_mut().find(|(n, _)| n == &span.name) {
+                Some((_, members)) => members.push(i),
+                None => by_name.push((span.name.clone(), vec![i])),
+            }
+        }
+        let mut stats: Vec<NameStats> = by_name
+            .into_iter()
+            .map(|(name, members)| {
+                let mut durs: Vec<u64> =
+                    members.iter().map(|&m| self.log.spans[m].dur_ns).collect();
+                durs.sort_unstable();
+                NameStats {
+                    name,
+                    count: members.len(),
+                    total_ns: durs.iter().sum(),
+                    self_ns: members.iter().map(|&m| self.self_ns[m]).sum(),
+                    p50_ns: percentile(&durs, 0.50),
+                    p95_ns: percentile(&durs, 0.95),
+                }
+            })
+            .collect();
+        stats.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+        stats
+    }
+}
+
+/// Exports a trace as collapsed stacks (`a;b;c value` per line, one line
+/// per unique ancestor path, value = aggregated self nanoseconds,
+/// zero-valued paths omitted, lines sorted lexically) — the input format
+/// of `flamegraph.pl` and inferno.
+#[must_use]
+pub fn collapsed_stack(log: &TraceLog) -> String {
+    let tree = SpanTree::build(log);
+    let mut by_path: Vec<(String, u64)> = Vec::new();
+    for i in 0..log.spans.len() {
+        let self_ns = tree.self_ns(i);
+        if self_ns == 0 {
+            continue;
+        }
+        let path = tree.path(i).join(";");
+        match by_path.iter_mut().find(|(p, _)| *p == path) {
+            Some((_, v)) => *v += self_ns,
+            None => by_path.push((path, self_ns)),
+        }
+    }
+    by_path.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (path, value) in by_path {
+        out.push_str(&format!("{path} {value}\n"));
+    }
+    out
+}
+
+/// Exports a trace as Chrome `trace_event` JSON (the "JSON object
+/// format": `{"traceEvents": [...]}` of `ph: "X"` complete events,
+/// timestamps and durations in microseconds, `tid` = collector id).
+/// Loadable in `chrome://tracing` and Perfetto.
+#[must_use]
+pub fn chrome_trace(log: &TraceLog) -> String {
+    let events: Vec<String> = log
+        .spans
+        .iter()
+        .map(|span| {
+            format!(
+                "{{\"name\": {}, \"cat\": \"sim\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+                 \"pid\": 1, \"tid\": {}, \"args\": {{\"id\": {}, \"parent\": {}}}}}",
+                escape(&span.name),
+                span.start_ns / 1_000,
+                span.dur_ns / 1_000,
+                span.worker,
+                span.id,
+                span.parent
+                    .map_or_else(|| "null".to_owned(), |p| p.to_string()),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"traceEvents\": [{}], \"displayTimeUnit\": \"ms\"}}\n",
+        events.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::trace::TraceLog;
+
+    fn span(
+        id: u32,
+        parent: Option<u32>,
+        name: &str,
+        worker: u32,
+        start: u64,
+        dur: u64,
+    ) -> TraceRecord {
+        TraceRecord {
+            id,
+            parent,
+            name: name.to_owned(),
+            worker,
+            start_ns: start,
+            dur_ns: dur,
+        }
+    }
+
+    fn log(spans: Vec<TraceRecord>) -> TraceLog {
+        TraceLog {
+            run_id: "test".to_owned(),
+            capacity: 64,
+            spans,
+            drops: vec![(0, 0)],
+            pool: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_same_worker_children_only() {
+        let log = log(vec![
+            span(0, None, "root", 0, 0, 1000),
+            span(1, Some(0), "child", 0, 100, 300),
+            // Same parent, different worker: ran concurrently, must not
+            // eat into the root's self time.
+            span(2, Some(0), "task", 1, 100, 900),
+        ]);
+        let tree = SpanTree::build(&log);
+        assert_eq!(tree.roots(), &[0]);
+        assert_eq!(tree.self_ns(0), 700); // 1000 - 300, not - 900
+        assert_eq!(tree.self_ns(1), 300);
+        assert_eq!(tree.self_ns(2), 900);
+        assert_eq!(tree.root_total_ns(), 1000);
+        // 700 + 300 + 900 over the 1000 ns root: > 1 under parallelism.
+        assert!(tree.coverage() > 1.0);
+    }
+
+    #[test]
+    fn orphaned_spans_become_roots() {
+        let log = log(vec![span(5, Some(99), "stranded", 0, 0, 10)]);
+        let tree = SpanTree::build(&log);
+        assert_eq!(tree.roots(), &[0]);
+        assert_eq!(tree.path(0), vec!["stranded"]);
+    }
+
+    #[test]
+    fn aggregate_merges_same_name_siblings() {
+        let log = log(vec![
+            span(0, None, "root", 0, 0, 100),
+            span(1, Some(0), "page", 0, 0, 20),
+            span(2, Some(0), "page", 0, 20, 30),
+            span(3, Some(0), "flush", 0, 50, 10),
+        ]);
+        let nodes = SpanTree::build(&log).aggregate();
+        assert_eq!(nodes.len(), 1);
+        let root = &nodes[0];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.self_ns, 40); // 100 - 20 - 30 - 10
+        assert_eq!(root.children.len(), 2);
+        // Children sorted by total descending.
+        assert_eq!(root.children[0].name, "page");
+        assert_eq!(root.children[0].count, 2);
+        assert_eq!(root.children[0].total_ns, 50);
+        assert_eq!(root.children[1].name, "flush");
+    }
+
+    #[test]
+    fn name_stats_report_nearest_rank_percentiles() {
+        let spans: Vec<TraceRecord> = (0..100)
+            .map(|i| span(i, None, "page", 0, u64::from(i), u64::from(i) + 1))
+            .collect();
+        let log = log(spans);
+        let stats = SpanTree::build(&log).name_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].count, 100);
+        assert_eq!(stats[0].p50_ns, 50);
+        assert_eq!(stats[0].p95_ns, 95);
+    }
+
+    #[test]
+    fn collapsed_stack_uses_semicolon_paths_and_self_values() {
+        let log = log(vec![
+            span(0, None, "root", 0, 0, 100),
+            span(1, Some(0), "page", 0, 0, 60),
+            span(2, Some(1), "eval", 0, 0, 25),
+        ]);
+        let text = collapsed_stack(&log);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["root 40", "root;page 35", "root;page;eval 25"]);
+        // Every line is `path value`.
+        for line in lines {
+            let (path, value) = line.rsplit_once(' ').unwrap();
+            assert!(!path.is_empty());
+            assert!(value.parse::<u64>().is_ok());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_trace_event_json() {
+        let log = log(vec![
+            span(0, None, "root", 0, 0, 5_000),
+            span(1, Some(0), "page", 1, 1_000, 2_000),
+        ]);
+        let text = chrome_trace(&log);
+        let value = Json::parse(&text).unwrap();
+        let events = value.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        for event in events {
+            assert_eq!(event.str_field("ph"), Some("X"));
+            assert!(event.str_field("name").is_some());
+            assert!(event.u64_field("ts").is_some());
+            assert!(event.u64_field("dur").is_some());
+            assert!(event.u64_field("tid").is_some());
+        }
+        assert_eq!(events[0].u64_field("dur"), Some(5));
+        assert_eq!(events[1].u64_field("ts"), Some(1));
+    }
+}

@@ -370,6 +370,33 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundaries_sit_exactly_at_powers_of_two() {
+        // bucket_index(v) = floor(log2 v) + 1 for v > 0, so each power of
+        // two opens a new bucket: 2^k is the smallest value in bucket k+1
+        // and 2^k − 1 the largest in bucket k.
+        for k in 1..64u32 {
+            let pow = 1u64 << k;
+            assert_eq!(bucket_index(pow), k as usize + 1, "2^{k}");
+            assert_eq!(bucket_index(pow - 1), k as usize, "2^{k} - 1");
+            assert_eq!(bucket_index(pow + 1), k as usize + 1, "2^{k} + 1");
+        }
+        // The top bucket is the last slot: no power of two can overflow
+        // the fixed bucket array.
+        assert_eq!(bucket_index(1 << 63), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+
+        let reg = Registry::new();
+        let h = reg.histogram("mc.X.boundary");
+        h.record((1 << 10) - 1);
+        h.record(1 << 10);
+        h.record((1 << 10) + 1);
+        let snap = &reg.histograms()[0].1;
+        assert_eq!(snap.buckets[10], 1, "2^10 - 1 stays below the boundary");
+        assert_eq!(snap.buckets[11], 2, "2^10 and 2^10 + 1 cross it");
+        assert_eq!(snap.max_bucket(), Some(11));
+    }
+
+    #[test]
     fn metric_names_split_on_first_and_last_dot() {
         let name = metric_name("codec", "Aegis 9x61", "verify_reads");
         assert_eq!(

@@ -293,6 +293,39 @@ mod tests {
     }
 
     #[test]
+    fn strip_volatile_round_trips_a_full_run() {
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("strip", buf.clone()).unwrap();
+        run.registry().counter("mc.A.pages").add(2);
+        run.registry()
+            .histogram("mc.A.page_fault_arrivals")
+            .record(1);
+        run.registry()
+            .volatile_counter("pool.A.pages_stolen")
+            .add(5);
+        run.finish().unwrap();
+        let raw = buf.text();
+
+        // Volatile lines are present in the raw sink...
+        assert!(raw.contains("\"event\": \"volatile\""));
+        assert!(raw.contains("pool.A.pages_stolen"));
+        // ...absent after stripping...
+        let stripped = crate::sink::strip_volatile(&raw);
+        assert!(!stripped.contains("\"volatile\""));
+        assert!(!stripped.contains("pool.A.pages_stolen"));
+        // ...and every non-volatile line survives byte for byte.
+        let kept: Vec<&str> = stripped.lines().collect();
+        let expected: Vec<&str> = raw
+            .lines()
+            .filter(|l| !l.contains("\"event\": \"volatile\""))
+            .collect();
+        assert_eq!(kept, expected);
+        assert_eq!(kept.len(), raw.lines().count() - 1);
+        assert!(stripped.contains("mc.A.pages"));
+        assert!(stripped.contains("mc.A.page_fault_arrivals"));
+    }
+
+    #[test]
     fn volatile_counters_flush_after_histograms() {
         let buf = SharedBuf::new();
         let run = RunTelemetry::with_buffer("t2", buf.clone()).unwrap();

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates the PR 5 tracing-overhead record results/bench/BENCH_pr5.json
+# (and, with --baseline, the regression baseline next to it): times an
+# untraced `experiments fig5 --full` run — the end-to-end cost of carrying
+# the tracer hooks with tracing off — then runs the `tracing` bench target
+# with the measured wall clock spliced into the document (next to the
+# off/disabled/enabled overhead ratios and a per-worker utilization
+# summary from one traced run), then runs the gate.
+#
+# Usage: scripts/bench_pr5.sh [--baseline]
+#   --baseline   also copy the fresh record over BENCH_pr5.baseline.json
+#                (do this when re-recording on a new reference machine).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline -p aegis-experiments -p aegis-bench
+
+out="${TMPDIR:-/tmp}/aegis-bench-pr5-fig5"
+rm -rf "$out"
+echo "==> timing experiments fig5 --full (this takes minutes)"
+TIMEFORMAT='%R'
+seconds=$( { time ./target/release/experiments fig5 --full --quiet --out "$out" >/dev/null; } 2>&1 )
+rm -rf "$out"
+echo "==> fig5 --full wall clock: ${seconds}s"
+
+echo "==> cargo bench -p aegis-bench --bench tracing"
+SIM_FIG5_FULL_SECONDS="$seconds" cargo bench --offline -p aegis-bench --bench tracing
+
+if [[ "${1:-}" == "--baseline" ]]; then
+    cp results/bench/BENCH_pr5.json results/bench/BENCH_pr5.baseline.json
+    echo "==> baseline re-recorded"
+fi
+
+echo "==> bench-gate"
+cargo run -q --release --offline -p aegis-bench --bin bench-gate

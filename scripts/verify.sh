@@ -27,21 +27,41 @@ SIM_THREADS=2 run cargo test -q --offline --workspace
 run cargo fmt --all --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Telemetry smoke: a tiny instrumented fig5 run must emit a parseable
-# event stream plus a manifest sidecar, and the report must read them
-# back. Uses a scratch directory so the tracked CSVs in results/ are not
-# overwritten with reduced-scale data.
+# Telemetry smoke: a tiny instrumented fig5 run (with tracing on) must
+# emit a parseable event stream, a manifest sidecar and a trace sidecar;
+# the report and the profiler must read them back, and the profiler must
+# leave its exporter artifacts (collapsed stack, Chrome trace, analysis
+# JSON) behind. Uses a scratch directory so the tracked CSVs in results/
+# are not overwritten with reduced-scale data.
 smoke_out="${TMPDIR:-/tmp}/aegis-verify-smoke"
 rm -rf "$smoke_out"
 run cargo run --release --offline -p aegis-experiments -- \
-    fig5 --pages 2 --telemetry --run-id verify-smoke --quiet --out "$smoke_out"
+    fig5 --pages 2 --trace --run-id verify-smoke --quiet --out "$smoke_out"
 for f in "$smoke_out"/telemetry/verify-smoke.jsonl \
-         "$smoke_out"/telemetry/verify-smoke.manifest.json; do
+         "$smoke_out"/telemetry/verify-smoke.manifest.json \
+         "$smoke_out"/telemetry/verify-smoke.trace.jsonl; do
     [[ -s "$f" ]] || { echo "missing telemetry output: $f" >&2; exit 1; }
 done
 echo "==> experiments telemetry-report verify-smoke"
 cargo run --release --offline -p aegis-experiments -- \
     telemetry-report verify-smoke --out "$smoke_out" >/dev/null
+echo "==> experiments telemetry-analyze verify-smoke"
+cargo run --release --offline -p aegis-experiments -- \
+    telemetry-analyze verify-smoke --out "$smoke_out" >/dev/null
+for f in "$smoke_out"/telemetry/verify-smoke.collapsed.txt \
+         "$smoke_out"/telemetry/verify-smoke.chrome.json \
+         "$smoke_out"/telemetry/verify-smoke.analysis.json; do
+    [[ -s "$f" ]] || { echo "missing profiler artifact: $f" >&2; exit 1; }
+done
+# Block-death forensics smoke: the replayed per-block trace must be
+# byte-identical across two invocations of the same seed.
+echo "==> experiments fig5 --trace-block 1,12 (determinism)"
+cargo run --release --offline -p aegis-experiments -- \
+    fig5 --pages 2 --trace-block 1,12 >"$smoke_out/trace-block.a"
+cargo run --release --offline -p aegis-experiments -- \
+    fig5 --pages 2 --trace-block 1,12 >"$smoke_out/trace-block.b"
+cmp "$smoke_out/trace-block.a" "$smoke_out/trace-block.b" \
+    || { echo "--trace-block output is not deterministic" >&2; exit 1; }
 rm -rf "$smoke_out"
 
 # Differential kernel suite at CI depth: 10^4 random cases per codec
@@ -55,14 +75,16 @@ SIM_PROP_CASES=10000 run cargo test -q --offline --release --test differential_k
 # reference across all six policies (see tests/incremental_policies.rs).
 SIM_PROP_CASES=10000 run cargo test -q --offline --release --test incremental_policies
 
-# Bench gate: run the kernel (PR 3) and engine (PR 4) benchmarks into a
-# scratch directory (so the tracked results/bench/ records are not
-# clobbered) and check the speedup ratios plus the recorded baselines
-# (see EXPERIMENTS.md for regeneration).
+# Bench gate: run the kernel (PR 3), engine (PR 4) and tracing-overhead
+# (PR 5) benchmarks into a scratch directory (so the tracked
+# results/bench/ records are not clobbered) and check the speedup and
+# overhead ratios plus the recorded baselines (see EXPERIMENTS.md for
+# regeneration).
 bench_out="${TMPDIR:-/tmp}/aegis-verify-bench"
 rm -rf "$bench_out"
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench kernels
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench engine
+SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench tracing
 run cargo run -q --release --offline -p aegis-bench --bin bench-gate \
     "$bench_out/BENCH_pr3.json" results/bench/BENCH_pr3.baseline.json
 rm -rf "$bench_out"

@@ -11,9 +11,10 @@
 use aegis_experiments::runner::{summarize_schemes_with, RunObserver, RunOptions};
 use aegis_experiments::schemes;
 use aegis_pcm::aegis::{AegisPolicy, Rectangle};
-use aegis_pcm::pcm::montecarlo::{run_memory, SimConfig};
+use aegis_pcm::pcm::forensics::{derive_block_timeline, trace_block, BlockTraceConfig};
+use aegis_pcm::pcm::montecarlo::{evaluate_block, run_memory, FailureCriterion, SimConfig};
 use aegis_pcm::pcm::timeline::TimelineSampler;
-use aegis_pcm::telemetry::{strip_volatile, Event, RunTelemetry, SharedBuf};
+use aegis_pcm::telemetry::{strip_volatile, Event, RunTelemetry, SharedBuf, Tracer};
 use sim_rng::{Rng, RngCore, SeedableRng, SmallRng};
 
 /// The raw generator is reproducible from a seed and sensitive to it.
@@ -261,6 +262,97 @@ fn thread_count_does_not_perturb_results_or_telemetry() {
         );
         assert_eq!(a.mean_lifetime.to_bits(), b.mean_lifetime.to_bits());
         assert_eq!(a.half_lifetime.to_bits(), b.half_lifetime.to_bits());
+    }
+}
+
+/// [`telemetry_stream_with`] with a live span tracer attached to the
+/// observer, so the engine records per-page wall-clock spans while it
+/// feeds the deterministic stream.
+fn telemetry_stream_traced(seed: u64, threads: Option<usize>) -> String {
+    let buf = SharedBuf::new();
+    let run = RunTelemetry::with_buffer("det-check", buf.clone()).expect("buffer sink");
+    let opts = RunOptions {
+        pages: 3,
+        seed,
+        threads,
+        ..RunOptions::default()
+    };
+    let tracer = Tracer::new(1024);
+    let observer = RunObserver {
+        registry: Some(run.registry()),
+        progress: None,
+        tracer: Some(&tracer),
+    };
+    let _ = summarize_schemes_with(&schemes::fig5_schemes(512), 512, &opts, &observer);
+    let log = tracer
+        .finish("det-check")
+        .expect("an enabled tracer yields a log");
+    assert!(
+        log.spans.iter().any(|s| s.name == "page"),
+        "tracing must actually record engine spans"
+    );
+    run.finish().expect("finish");
+    buf.text()
+}
+
+/// Wall-clock tracing is a pure observer: the stripped telemetry stream
+/// must be byte-identical with tracing on or off, and — with tracing on —
+/// across any worker-thread count. Span records live only in the separate
+/// trace sidecar, never in the stream.
+#[test]
+fn tracing_does_not_perturb_the_deterministic_stream() {
+    let plain = telemetry_stream_with(11, false, Some(2));
+    let traced = telemetry_stream_traced(11, Some(2));
+    assert_eq!(
+        strip_volatile(&plain),
+        strip_volatile(&traced),
+        "enabling tracing must not change a single stream byte"
+    );
+    let single = telemetry_stream_traced(11, Some(1));
+    let pooled = telemetry_stream_traced(11, Some(4));
+    assert_eq!(
+        strip_volatile(&single),
+        strip_volatile(&pooled),
+        "traced runs must stay thread-count independent"
+    );
+}
+
+/// Block-death forensics is an exact replay: for every fig5 scheme, the
+/// re-derived fault history reaches the same outcome as the engine's
+/// block loop (same entropy consumption, same short-circuiting), and the
+/// rendered report is byte-identical across replays.
+#[test]
+fn block_forensics_replays_the_engine_decision_for_decision() {
+    for criterion in [
+        FailureCriterion::default(),
+        FailureCriterion::GuaranteedAllData,
+    ] {
+        let cfg = BlockTraceConfig {
+            seed: 42,
+            page_bits: 4096 * 8,
+            block_bits: 512,
+            criterion,
+            page: 1,
+            block: 12,
+        };
+        let timeline = derive_block_timeline(&cfg).expect("valid geometry");
+        for policy in schemes::fig5_schemes(512) {
+            let trace = trace_block(policy.as_ref(), &timeline, cfg.criterion);
+            let engine = evaluate_block(policy.as_ref(), &timeline, cfg.criterion);
+            assert_eq!(
+                trace.outcome,
+                engine,
+                "{} must replay the engine verdict",
+                policy.name()
+            );
+            let replayed = derive_block_timeline(&cfg).expect("valid geometry");
+            assert_eq!(
+                trace.report(&cfg),
+                trace_block(policy.as_ref(), &replayed, cfg.criterion).report(&cfg),
+                "{} report must be byte-identical across replays",
+                policy.name()
+            );
+        }
     }
 }
 
