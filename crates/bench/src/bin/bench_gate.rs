@@ -27,10 +27,16 @@
 //!    `*.baseline.json` must not have regressed by more than 20%
 //!    (median).
 //!
-//! Usage: `bench-gate [CURRENT_JSON [BASELINE_JSON]]` — defaults to
+//! Usage: `bench-gate [CURRENT_JSON [BASELINE]]` — defaults to
 //! `results/bench/BENCH_pr3.json` under the workspace root; the PR 4 and
-//! PR 5 documents and all baselines are resolved as siblings of the
-//! current path. Exit code 2 on unreadable/malformed input.
+//! PR 5 documents are resolved as siblings of the current path.
+//! `BASELINE` may be a directory holding every `BENCH_pr*.baseline.json`
+//! or the PR 3 baseline file itself (sibling baselines resolve next to
+//! it). With no baseline argument or a directory, every committed record
+//! must have its baseline — a missing one fails the gate; only an
+//! explicit baseline *file* downgrades missing sibling baselines to a
+//! printed skip (the scratch-comparison flow). Exit code 2 on
+//! unreadable/malformed input.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -234,11 +240,19 @@ fn check_fig5_wall_clock(doc: &Json) -> Vec<String> {
 /// Runs every check for one bench document: in-process ratios, the fig5
 /// wall-clock record, and (outside fast mode) the regression comparison
 /// against its baseline. Returns failure messages.
+///
+/// A missing baseline is a failure when `strict` — the committed records
+/// ship with committed baselines, so absence means the bench workflow
+/// was not finished (the bug this gate once hid by silently skipping).
+/// `strict` is false only for a scratch baseline file named explicitly
+/// on the command line, where sibling baselines may legitimately not
+/// exist yet.
 fn gate_document(
     doc: &Json,
     path: &Path,
     baseline_path: &Path,
     checks: &[RatioCheck],
+    strict: bool,
 ) -> Vec<String> {
     println!("== {}", path.display());
     let Some(current) = medians(doc) else {
@@ -267,6 +281,12 @@ fn gate_document(
                 baseline_path.display()
             )),
         }
+    } else if strict {
+        failures.push(format!(
+            "baseline {} is missing — regenerate and commit it (see scripts/bench_pr*.sh \
+             --baseline)",
+            baseline_path.display()
+        ));
     } else {
         println!(
             "no baseline at {} — skipping regression check",
@@ -279,10 +299,18 @@ fn gate_document(
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let current_path = args.first().map_or_else(workspace_default, PathBuf::from);
-    let baseline_path = args
-        .get(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| current_path.with_file_name("BENCH_pr3.baseline.json"));
+    // The second argument may be a baseline *file* (the legacy scratch
+    // flow: sibling baselines may not exist, so their checks are skipped
+    // with a notice) or a baseline *directory* (every record's committed
+    // baseline is expected inside it). With no argument the baselines
+    // resolve next to the committed records — also strict.
+    let baseline_arg = args.get(1).map(PathBuf::from);
+    let strict = baseline_arg.as_ref().is_none_or(|path| path.is_dir());
+    let baseline_path = match &baseline_arg {
+        Some(path) if path.is_dir() => path.join("BENCH_pr3.baseline.json"),
+        Some(path) => path.clone(),
+        None => current_path.with_file_name("BENCH_pr3.baseline.json"),
+    };
 
     let doc = match load(&current_path) {
         Ok(doc) => doc,
@@ -292,7 +320,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut failures = gate_document(&doc, &current_path, &baseline_path, &pr3_checks());
+    let mut failures = gate_document(&doc, &current_path, &baseline_path, &pr3_checks(), strict);
 
     // The PR 4 engine record rides next to the PR 3 kernel record; its
     // checks are enforced whenever the document exists (it is committed
@@ -306,6 +334,7 @@ fn main() -> ExitCode {
             // argument redirects both regression checks at once.
             &baseline_path.with_file_name("BENCH_pr4.baseline.json"),
             &pr4_checks(),
+            strict,
         )),
         Err(e) => failures.push(e),
     }
@@ -319,6 +348,7 @@ fn main() -> ExitCode {
             &pr5_path,
             &baseline_path.with_file_name("BENCH_pr5.baseline.json"),
             &pr5_checks(),
+            strict,
         )),
         Err(e) => failures.push(e),
     }

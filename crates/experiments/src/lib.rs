@@ -29,6 +29,7 @@
 pub mod analyze;
 pub mod biasstudy;
 pub mod cachestudy;
+pub mod checkpoint;
 pub mod csvout;
 pub mod fig10;
 pub mod fig567;
@@ -38,6 +39,7 @@ pub mod osassist;
 pub mod payg_check;
 pub mod runner;
 pub mod schemes;
+pub mod shardmerge;
 pub mod table1;
 pub mod telemetry;
 pub mod variants;

@@ -4,10 +4,11 @@
 //! (unknown command/option or a malformed value — the offending token is
 //! echoed with the usage text).
 
+use aegis_experiments::checkpoint::{Checkpoint, CheckpointCtl, CheckpointOutcome};
 use aegis_experiments::runner::RunOptions;
 use aegis_experiments::{
-    analyze, biasstudy, cachestudy, fig10, fig567, fig8, fig9, osassist, payg_check, runner,
-    schemes, table1, telemetry, variants, wearlevel_check, writecost,
+    analyze, biasstudy, cachestudy, checkpoint, fig10, fig567, fig8, fig9, osassist, payg_check,
+    runner, schemes, shardmerge, table1, telemetry, variants, wearlevel_check, writecost,
 };
 use pcm_sim::forensics;
 use pcm_sim::montecarlo::FailureCriterion;
@@ -41,6 +42,16 @@ Commands:
                      writes <run-id>.collapsed.txt (flamegraph input),
                      <run-id>.chrome.json (chrome://tracing), and
                      <run-id>.analysis.json next to the run
+  shard FIG --shards K --shard-id I
+                     Run shard I of a K-way fig5/fig6/fig7 campaign: the
+                     contiguous stripe [I*P/K, (I+1)*P/K) of global page
+                     indices under the master seed (each page is its own
+                     seed-disjoint substream). Writes telemetry plus a
+                     <run-id>.shard.json raw-results sidecar; no CSVs
+  merge ID [ID...]   Merge finished shards (listed by run id, any order)
+                     into the campaign's reports, CSVs and telemetry —
+                     byte-identical to the unsharded run after stripping
+                     volatile lines. Refuses mismatched configs/revisions
 
 Options:
   --pages N       Pages per simulated chip (default 256; paper scale 2048)
@@ -71,6 +82,18 @@ Options:
                   every fig5 scheme from the run seed, print the annotated
                   event traces, and exit (no simulation runs)
   --top N         telemetry-analyze only: hot spans listed (default 10)
+  --checkpoint-every N
+                  fig5/fig6/fig7 only: snapshot engine state to
+                  OUT/telemetry/<run-id>.ckpt.json every N pages per scheme
+                  (implies --telemetry). SIGINT then stops the run at the
+                  next snapshot barrier with exit code 130 instead of
+                  killing it; the snapshot is removed when the run completes
+  --resume RUN_ID fig5/fig6/fig7 only: continue RUN_ID from its snapshot to
+                  output byte-identical to an uninterrupted run (implies
+                  --telemetry; adopts the snapshot's recorded configuration
+                  and refuses explicit conflicting options)
+  --shards K      shard only: total number of shards in the campaign
+  --shard-id I    shard only: this shard's index (0-based, < K)
   --progress      Report page-completion progress on stderr
   --quiet         Suppress progress/status output (for CI); reports still print
 ";
@@ -88,6 +111,10 @@ struct Cli {
     trace: bool,
     trace_block: Option<(usize, usize)>,
     top: usize,
+    checkpoint_every: Option<usize>,
+    resume: Option<String>,
+    shards: Option<usize>,
+    shard_id: Option<usize>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -106,6 +133,10 @@ fn parse_args() -> Result<Cli, String> {
         trace: false,
         trace_block: None,
         top: 10,
+        checkpoint_every: None,
+        resume: None,
+        shards: None,
+        shard_id: None,
     };
     let mut samples = 1u32;
     let mut guaranteed = false;
@@ -155,6 +186,22 @@ fn parse_args() -> Result<Cli, String> {
                 })?);
             }
             "--top" => cli.top = parsed!("--top"),
+            "--checkpoint-every" => {
+                let every: usize = parsed!("--checkpoint-every");
+                if every == 0 {
+                    return Err(format!(
+                        "--checkpoint-every: invalid value '0': must be at least 1\n\n{USAGE}"
+                    ));
+                }
+                cli.checkpoint_every = Some(every);
+                cli.telemetry = true;
+            }
+            "--resume" => {
+                cli.resume = Some(value("--resume")?);
+                cli.telemetry = true;
+            }
+            "--shards" => cli.shards = Some(parsed!("--shards")),
+            "--shard-id" => cli.shard_id = Some(parsed!("--shard-id")),
             "--progress" => cli.progress = true,
             "--quiet" => cli.quiet = true,
             "--scalar" => cli.scalar = true,
@@ -183,6 +230,7 @@ struct Ctx<'a> {
     tracer: &'a Tracer,
     progress_fn: Option<&'a runner::SchemeProgressFn<'a>>,
     scalar: bool,
+    ckpt: Option<&'a CheckpointCtl<'a>>,
 }
 
 /// Guard pairing a deterministic-stream phase span with its wall-clock
@@ -234,7 +282,25 @@ fn run_fig567(command: &str, ctx: &Ctx) -> std::io::Result<()> {
     ));
     let results = {
         let _span = ctx.span("fig567.montecarlo")?;
-        fig567::run_with_mode(ctx.opts, &ctx.observer(), ctx.scalar)
+        match ctx.ckpt {
+            None => fig567::run_with_mode(ctx.opts, &ctx.observer(), ctx.scalar),
+            Some(ctl) => {
+                match checkpoint::run_fig567_checkpointed(
+                    ctx.opts,
+                    &ctx.observer(),
+                    ctx.scalar,
+                    ctl,
+                )? {
+                    CheckpointOutcome::Complete(results) => results,
+                    CheckpointOutcome::Interrupted => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::Interrupted,
+                            format!("checkpoint written to {}", ctl.path.display()),
+                        ));
+                    }
+                }
+            }
+        }
     };
     if matches!(command, "fig5" | "all") {
         println!("{}", fig567::report_fig5(&results));
@@ -408,10 +474,393 @@ fn dispatch(command: &str, ctx: &Ctx) -> Result<std::io::Result<()>, ()> {
 
 const USAGE_ERROR: u8 = 2;
 
+/// Exit code of a run stopped by SIGINT after writing its checkpoint
+/// (128 + SIGINT, the shell convention for signal exits).
+const INTERRUPTED_EXIT: u8 = 130;
+
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the SIGINT handler; polled at checkpoint chunk barriers.
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+
+    /// Replaces the default SIGINT disposition with a flag store, so an
+    /// interrupted checkpointed run can finish its current page chunk,
+    /// write the snapshot, and exit cleanly instead of dying mid-write.
+    pub fn install() {
+        // SAFETY: `signal` only swaps this process's handler table entry,
+        // and the installed handler performs a single lock-free atomic
+        // store, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+
+    /// Never set on platforms without `signal(2)`; `--checkpoint-every`
+    /// still snapshots periodically, it just cannot trap Ctrl-C.
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    /// No-op.
+    pub fn install() {}
+}
+
 fn criterion_label(criterion: FailureCriterion) -> String {
     match criterion {
         FailureCriterion::PerEventSplit { samples } => format!("per-event-split:{samples}"),
         FailureCriterion::GuaranteedAllData => "guaranteed-all-data".to_owned(),
+    }
+}
+
+/// The configuration fingerprint stored in checkpoints and cross-checked
+/// on `--resume` (key order matches [`Checkpoint::fingerprint_keys`]).
+fn config_fingerprint(command: &str, cli: &Cli) -> Vec<(String, String)> {
+    vec![
+        ("command".to_owned(), command.to_owned()),
+        ("seed".to_owned(), cli.opts.seed.to_string()),
+        ("pages".to_owned(), cli.opts.pages.to_string()),
+        ("trials".to_owned(), cli.opts.trials.to_string()),
+        ("page_bytes".to_owned(), cli.opts.page_bytes.to_string()),
+        ("criterion".to_owned(), criterion_label(cli.opts.criterion)),
+        (
+            "predicate_mode".to_owned(),
+            if cli.scalar { "scalar" } else { "kernel" }.to_owned(),
+        ),
+    ]
+}
+
+/// Adopts the resume snapshot's recorded configuration into the CLI.
+///
+/// Options left at their defaults take the snapshot's values; options the
+/// user set explicitly to something else are refused — resuming under a
+/// different configuration could never reproduce the original run.
+fn apply_resume(cli: &mut Cli, ckpt: &Checkpoint) -> Result<(), String> {
+    let defaults = RunOptions::default();
+    let stored = |key: &str| -> Result<&str, String> {
+        ckpt.fingerprint_value(key)
+            .ok_or_else(|| format!("checkpoint lacks fingerprint key '{key}'"))
+    };
+    let command = stored("command")?;
+    if command != cli.command {
+        return Err(format!(
+            "checkpoint belongs to command '{command}', not '{}'",
+            cli.command
+        ));
+    }
+    fn adopt<T: std::str::FromStr + PartialEq + std::fmt::Display + Copy>(
+        key: &str,
+        stored: &str,
+        current: T,
+        default: T,
+    ) -> Result<T, String> {
+        let recorded: T = stored
+            .parse()
+            .map_err(|_| format!("checkpoint fingerprint '{key}' value '{stored}' is malformed"))?;
+        if current != recorded && current != default {
+            return Err(format!(
+                "checkpoint was taken with {key}={recorded} but the command line says \
+                 {key}={current}; drop the conflicting option or start a fresh run"
+            ));
+        }
+        Ok(recorded)
+    }
+    cli.opts.seed = adopt("seed", stored("seed")?, cli.opts.seed, defaults.seed)?;
+    cli.opts.pages = adopt("pages", stored("pages")?, cli.opts.pages, defaults.pages)?;
+    cli.opts.trials = adopt(
+        "trials",
+        stored("trials")?,
+        cli.opts.trials,
+        defaults.trials,
+    )?;
+    cli.opts.page_bytes = adopt(
+        "page_bytes",
+        stored("page_bytes")?,
+        cli.opts.page_bytes,
+        defaults.page_bytes,
+    )?;
+    let criterion = stored("criterion")?;
+    let current_label = criterion_label(cli.opts.criterion);
+    if current_label != criterion && current_label != criterion_label(defaults.criterion) {
+        return Err(format!(
+            "checkpoint was taken with criterion={criterion} but the command line says \
+             criterion={current_label}; drop the conflicting option or start a fresh run"
+        ));
+    }
+    cli.opts.criterion = match criterion {
+        "guaranteed-all-data" => FailureCriterion::GuaranteedAllData,
+        label => {
+            let samples = label
+                .strip_prefix("per-event-split:")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    format!("checkpoint fingerprint criterion '{label}' is malformed")
+                })?;
+            FailureCriterion::PerEventSplit { samples }
+        }
+    };
+    let mode = stored("predicate_mode")?;
+    match (mode, cli.scalar) {
+        ("scalar", _) => cli.scalar = true,
+        ("kernel", false) => {}
+        ("kernel", true) => {
+            return Err(
+                "checkpoint was taken in kernel predicate mode but --scalar was passed; \
+                 drop the conflicting option or start a fresh run"
+                    .to_owned(),
+            )
+        }
+        (other, _) => {
+            return Err(format!(
+                "checkpoint fingerprint predicate_mode '{other}' is malformed"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Sets the replay-metadata keys every simulation run records (shard runs
+/// add their stripe on top). The manifest stores options sorted by key,
+/// so call order never shows through.
+fn set_run_meta(tel: &RunTelemetry, command: &str, cli: &Cli) {
+    tel.set_meta("command", command);
+    tel.set_meta("seed", &cli.opts.seed.to_string());
+    tel.set_meta("pages", &cli.opts.pages.to_string());
+    tel.set_meta("trials", &cli.opts.trials.to_string());
+    tel.set_meta("page_bytes", &cli.opts.page_bytes.to_string());
+    tel.set_meta("criterion", &criterion_label(cli.opts.criterion));
+    tel.set_meta(
+        "predicate_mode",
+        if cli.scalar { "scalar" } else { "kernel" },
+    );
+    // The resolved worker count is replay metadata, not stream data: the
+    // event stream stays identical at any thread count.
+    tel.set_meta(
+        "threads_effective",
+        &sim_pool::resolve_threads(cli.opts.threads).to_string(),
+    );
+    tel.set_meta("out_dir", &cli.out_dir.display().to_string());
+    tel.set_meta("trace", if cli.trace { "on" } else { "off" });
+}
+
+/// `experiments shard FIG --shards K --shard-id I`: run one stripe of a
+/// fig5/6/7 campaign and leave its telemetry + raw-results sidecar for
+/// `merge`. No reports or CSVs — those are the merged campaign's.
+fn run_shard(cli: &Cli) -> ExitCode {
+    let usage_error = |msg: &str| {
+        eprintln!("shard: {msg}\n\n{USAGE}");
+        ExitCode::from(USAGE_ERROR)
+    };
+    let Some(figure) = cli.positionals.first() else {
+        return usage_error("expects a figure command (fig5, fig6 or fig7)");
+    };
+    if !matches!(figure.as_str(), "fig5" | "fig6" | "fig7") {
+        return usage_error(&format!(
+            "'{figure}' cannot be sharded (only fig5, fig6 and fig7 can)"
+        ));
+    }
+    let (Some(shards), Some(shard_id)) = (cli.shards, cli.shard_id) else {
+        return usage_error("--shards and --shard-id are required");
+    };
+    if shards == 0 {
+        return usage_error("--shards must be at least 1");
+    }
+    if shard_id >= shards {
+        return usage_error(&format!(
+            "--shard-id {shard_id} out of range for --shards {shards}"
+        ));
+    }
+    if cli.checkpoint_every.is_some() || cli.resume.is_some() {
+        return usage_error("--checkpoint-every/--resume do not apply to shard runs");
+    }
+    let (lo, hi) = shardmerge::shard_range(cli.opts.pages, shards, shard_id);
+    let run_id = cli
+        .run_id
+        .clone()
+        .unwrap_or_else(|| shardmerge::shard_run_id(figure, cli.opts.seed, shards, shard_id));
+    let tel = match RunTelemetry::create(&run_id, &telemetry::dir(&cli.out_dir)) {
+        Ok(tel) => tel,
+        Err(err) => {
+            eprintln!("telemetry: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    set_run_meta(&tel, figure, cli);
+    tel.set_meta("shards", &shards.to_string());
+    tel.set_meta("shard_id", &shard_id.to_string());
+    tel.set_meta("page_lo", &lo.to_string());
+    tel.set_meta("page_hi", &hi.to_string());
+    if !cli.quiet {
+        eprintln!(
+            "[shard] {figure} shard {shard_id}/{shards}: pages {lo}..{hi} of {}",
+            cli.opts.pages
+        );
+    }
+    let registry = tel.registry();
+    let observer = runner::RunObserver::with_registry(registry);
+    let units = {
+        let span = match tel.span("fig567.montecarlo") {
+            Ok(span) => span,
+            Err(err) => {
+                eprintln!("telemetry: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let units = shardmerge::run_shard_units(&cli.opts, &observer, cli.scalar, lo, hi);
+        drop(span);
+        units
+    };
+    let sidecar = Checkpoint {
+        every: 0,
+        fingerprint: config_fingerprint(figure, cli),
+        counters: Vec::new(),
+        volatile: Vec::new(),
+        histograms: Vec::new(),
+        units,
+    };
+    let sidecar_path = telemetry::dir(&cli.out_dir).join(format!("{run_id}.shard.json"));
+    if let Err(err) = sidecar.store(&sidecar_path) {
+        eprintln!("shard: {err}");
+        return ExitCode::FAILURE;
+    }
+    match tel.finish() {
+        Ok(_) => {
+            if !cli.quiet {
+                eprintln!("shard results written to {}", sidecar_path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("telemetry: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `experiments merge ID [ID...]`: cross-check and combine finished
+/// shards into the campaign's reports, CSVs and telemetry.
+fn run_merge(cli: &Cli) -> ExitCode {
+    if cli.positionals.is_empty() {
+        eprintln!("merge expects the shard RUN_IDs to combine\n\n{USAGE}");
+        return ExitCode::from(USAGE_ERROR);
+    }
+    let dir = telemetry::dir(&cli.out_dir);
+    let mut inputs = Vec::with_capacity(cli.positionals.len());
+    for id in &cli.positionals {
+        match shardmerge::read_shard(&dir, id) {
+            Ok(input) => inputs.push(input),
+            Err(err) => {
+                eprintln!("merge: shard '{id}': {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(msg) = shardmerge::validate_shards(&mut inputs) {
+        eprintln!("merge: {msg}");
+        return ExitCode::from(USAGE_ERROR);
+    }
+    let option = |key: &str| inputs[0].manifest.options.get(key).cloned();
+    let command = option("command").unwrap_or_default();
+    let scalar = option("predicate_mode").as_deref() == Some("scalar");
+    let Some(seed) = option("seed").and_then(|v| v.parse::<u64>().ok()) else {
+        eprintln!("merge: shard manifests carry a non-numeric 'seed' option");
+        return ExitCode::from(USAGE_ERROR);
+    };
+    let results = match shardmerge::merge_results(&inputs, scalar) {
+        Ok(results) => results,
+        Err(msg) => {
+            eprintln!("merge: {msg}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+    };
+    if !cli.quiet {
+        eprintln!(
+            "[merge] combining {} shards of '{command}' (seed {seed})",
+            inputs.len()
+        );
+    }
+
+    // Rebuild the campaign's telemetry under its unsharded run id: the
+    // same span skeleton, the summed shard metrics, and one codec probe —
+    // after stripping volatile lines the stream is byte-identical to the
+    // run that was never sharded.
+    let run_id = cli
+        .run_id
+        .clone()
+        .unwrap_or_else(|| telemetry::default_run_id(&command, seed));
+    let tel = match RunTelemetry::create(&run_id, &dir) {
+        Ok(tel) => tel,
+        Err(err) => {
+            eprintln!("telemetry: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for key in [
+        "command",
+        "seed",
+        "pages",
+        "trials",
+        "page_bytes",
+        "criterion",
+        "predicate_mode",
+    ] {
+        if let Some(value) = option(key) {
+            tel.set_meta(key, &value);
+        }
+    }
+    tel.set_meta(
+        "threads_effective",
+        &sim_pool::resolve_threads(cli.opts.threads).to_string(),
+    );
+    tel.set_meta("out_dir", &cli.out_dir.display().to_string());
+    tel.set_meta("trace", "off");
+    let emit = || -> std::io::Result<()> {
+        {
+            let _span = tel.span("fig567.montecarlo")?;
+            shardmerge::absorb_shard_streams(&inputs, tel.registry());
+        }
+        {
+            let _span = tel.span("codec-probe")?;
+            telemetry::codec_probe(tel.registry(), seed);
+        }
+        match command.as_str() {
+            "fig5" => println!("{}", fig567::report_fig5(&results)),
+            "fig6" => println!("{}", fig567::report_fig6(&results)),
+            "fig7" => println!("{}", fig567::report_fig7(&results)),
+            _ => {}
+        }
+        fig567::write_csvs(&results, &cli.out_dir)?;
+        tel.finish().map(drop)
+    };
+    match emit() {
+        Ok(()) => {
+            if !cli.quiet {
+                eprintln!(
+                    "merged telemetry written to {}; CSV written to {}",
+                    dir.join(format!("{run_id}.jsonl")).display(),
+                    cli.out_dir.display()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("merge: {err}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -516,7 +965,7 @@ fn run_trace_block(cli: &Cli, page: usize, block: usize) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let cli = match parse_args() {
+    let mut cli = match parse_args() {
         Ok(cli) => cli,
         Err(msg) => {
             eprintln!("{msg}");
@@ -528,6 +977,12 @@ fn main() -> ExitCode {
     }
     if cli.command == "telemetry-analyze" {
         return run_telemetry_analyze(&cli);
+    }
+    if cli.command == "shard" {
+        return run_shard(&cli);
+    }
+    if cli.command == "merge" {
+        return run_merge(&cli);
     }
     const COMMANDS: &[&str] = &[
         "table1",
@@ -556,6 +1011,45 @@ fn main() -> ExitCode {
     if let Some((page, block)) = cli.trace_block {
         return run_trace_block(&cli, page, block);
     }
+    if cli.shards.is_some() || cli.shard_id.is_some() {
+        eprintln!("--shards/--shard-id only apply to the shard command\n\n{USAGE}");
+        return ExitCode::from(USAGE_ERROR);
+    }
+
+    // Checkpoint/resume setup. Resume first adopts the snapshot's recorded
+    // configuration (so a bare `--resume ID` needs no other options), then
+    // the adopted CLI state produces the fingerprint new snapshots carry.
+    let checkpointing = cli.checkpoint_every.is_some() || cli.resume.is_some();
+    if checkpointing && !matches!(cli.command.as_str(), "fig5" | "fig6" | "fig7") {
+        eprintln!("--checkpoint-every/--resume only apply to fig5, fig6 and fig7\n\n{USAGE}");
+        return ExitCode::from(USAGE_ERROR);
+    }
+    let resume_ckpt = if let Some(id) = cli.resume.clone() {
+        let path = telemetry::dir(&cli.out_dir).join(format!("{id}.ckpt.json"));
+        let ckpt = match Checkpoint::load(&path) {
+            Ok(ckpt) => ckpt,
+            Err(err) if err.kind() == std::io::ErrorKind::InvalidData => {
+                eprintln!("--resume: {err}");
+                return ExitCode::from(USAGE_ERROR);
+            }
+            Err(err) => {
+                eprintln!("--resume: no checkpoint at {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(msg) = apply_resume(&mut cli, &ckpt) {
+            eprintln!("--resume: {msg}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+        // Resuming continues the original run's files unless the user
+        // picks a different id explicitly.
+        if cli.run_id.is_none() {
+            cli.run_id = Some(id);
+        }
+        Some(ckpt)
+    } else {
+        None
+    };
 
     let run_id = cli
         .run_id
@@ -572,24 +1066,25 @@ fn main() -> ExitCode {
     } else {
         RunTelemetry::disabled()
     };
-    tel.set_meta("command", &cli.command);
-    tel.set_meta("seed", &cli.opts.seed.to_string());
-    tel.set_meta("pages", &cli.opts.pages.to_string());
-    tel.set_meta("trials", &cli.opts.trials.to_string());
-    tel.set_meta("page_bytes", &cli.opts.page_bytes.to_string());
-    tel.set_meta("criterion", &criterion_label(cli.opts.criterion));
-    tel.set_meta(
-        "predicate_mode",
-        if cli.scalar { "scalar" } else { "kernel" },
-    );
-    // The resolved worker count is replay metadata, not stream data: the
-    // event stream stays identical at any thread count.
-    tel.set_meta(
-        "threads_effective",
-        &sim_pool::resolve_threads(cli.opts.threads).to_string(),
-    );
-    tel.set_meta("out_dir", &cli.out_dir.display().to_string());
-    tel.set_meta("trace", if cli.trace { "on" } else { "off" });
+    set_run_meta(&tel, &cli.command, &cli);
+
+    let ckpt_ctl = if checkpointing {
+        sigint::install();
+        let every = cli
+            .checkpoint_every
+            .or_else(|| resume_ckpt.as_ref().map(|c| c.every))
+            .unwrap_or(1)
+            .max(1);
+        Some(CheckpointCtl {
+            path: telemetry::dir(&cli.out_dir).join(format!("{run_id}.ckpt.json")),
+            every,
+            interrupted: &sigint::INTERRUPTED,
+            resume: resume_ckpt,
+            fingerprint: config_fingerprint(&cli.command, &cli),
+        })
+    } else {
+        None
+    };
 
     let tracer = if cli.trace {
         Tracer::with_default_capacity()
@@ -611,6 +1106,7 @@ fn main() -> ExitCode {
         tracer: &tracer,
         progress_fn: (cli.progress && !cli.quiet).then_some(&report_progress),
         scalar: cli.scalar,
+        ckpt: ckpt_ctl.as_ref(),
     };
 
     let outcome = {
@@ -666,6 +1162,10 @@ fn main() -> ExitCode {
                 eprintln!("CSV written to {}", cli.out_dir.display());
             }
             ExitCode::SUCCESS
+        }
+        Ok(Err(err)) if err.kind() == std::io::ErrorKind::Interrupted => {
+            eprintln!("interrupted: {err}; rerun with --resume {run_id} to continue",);
+            ExitCode::from(INTERRUPTED_EXIT)
         }
         Ok(Err(err)) => {
             eprintln!("I/O error: {err}");

@@ -474,3 +474,403 @@ fn wearlevel_extension_runs_standalone() {
     assert!(dir.join("wearlevel.csv").exists());
     let _ = std::fs::remove_dir_all(dir);
 }
+
+#[cfg(unix)]
+#[test]
+fn sigint_checkpoints_and_resume_replays_the_uninterrupted_run() {
+    let dir_ref = std::env::temp_dir().join("aegis-cli-ckpt-ref");
+    let dir_int = std::env::temp_dir().join("aegis-cli-ckpt-int");
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&dir_int);
+
+    // Uninterrupted reference with the same run id.
+    let reference = experiments()
+        .args([
+            "fig5", "--pages", "4", "--seed", "9", "--run-id", "ck", "--quiet", "--out",
+        ])
+        .arg(&dir_ref)
+        .output()
+        .expect("binary runs");
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    // Interrupted leg: SIGINT as soon as the first snapshot lands; the
+    // run must stop at the next chunk barrier with exit code 130.
+    let mut child = experiments()
+        .args([
+            "fig5",
+            "--pages",
+            "4",
+            "--seed",
+            "9",
+            "--run-id",
+            "ck",
+            "--checkpoint-every",
+            "1",
+            "--quiet",
+            "--out",
+        ])
+        .arg(&dir_int)
+        .spawn()
+        .expect("binary starts");
+    let ckpt_path = dir_int.join("telemetry/ck.ckpt.json");
+    for _ in 0..600 {
+        if ckpt_path.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(ckpt_path.exists(), "first snapshot never appeared");
+    let kill = std::process::Command::new("kill")
+        .arg("-INT")
+        .arg(child.id().to_string())
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let status = child.wait().expect("child exits");
+    assert_eq!(
+        status.code(),
+        Some(130),
+        "an interrupted checkpointed run must exit 130"
+    );
+    assert!(ckpt_path.exists(), "interruption must leave the snapshot");
+
+    // Resume to completion; output must replay the uninterrupted run.
+    let resumed = experiments()
+        .args(["fig5", "--resume", "ck", "--quiet", "--out"])
+        .arg(&dir_int)
+        .output()
+        .expect("binary runs");
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert!(!ckpt_path.exists(), "completion must remove the snapshot");
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "resumed report must match"
+    );
+    for csv in ["fig5.csv", "fig6.csv", "fig7.csv"] {
+        assert_eq!(
+            std::fs::read(dir_ref.join(csv)).unwrap(),
+            std::fs::read(dir_int.join(csv)).unwrap(),
+            "{csv} must match the uninterrupted run"
+        );
+    }
+    let a = std::fs::read_to_string(dir_ref.join("telemetry/ck.jsonl")).unwrap();
+    let b = std::fs::read_to_string(dir_int.join("telemetry/ck.jsonl")).unwrap();
+    assert_eq!(
+        sim_telemetry::strip_volatile(&a),
+        sim_telemetry::strip_volatile(&b),
+        "resumed stream must be byte-identical after stripping volatile lines"
+    );
+    let _ = std::fs::remove_dir_all(dir_ref);
+    let _ = std::fs::remove_dir_all(dir_int);
+}
+
+#[test]
+fn resume_without_a_checkpoint_fails_cleanly() {
+    let dir = std::env::temp_dir().join("aegis-cli-resume-missing");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = experiments()
+        .args(["fig5", "--resume", "nope", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "missing snapshot is an I/O failure"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("no checkpoint at"), "{stderr}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn resume_refuses_conflicting_options_and_malformed_snapshots() {
+    let dir = std::env::temp_dir().join("aegis-cli-resume-conflict");
+    let _ = std::fs::remove_dir_all(&dir);
+    let tel = dir.join("telemetry");
+    std::fs::create_dir_all(&tel).expect("mkdir");
+    // A minimal valid snapshot recorded at seed 9.
+    std::fs::write(
+        tel.join("conflict.ckpt.json"),
+        r#"{
+  "version": 1,
+  "every": 1,
+  "fingerprint": {
+    "command": "fig5", "seed": "9", "pages": "4", "trials": "4000",
+    "page_bytes": "4096", "criterion": "per-event-split:1",
+    "predicate_mode": "kernel"
+  },
+  "counters": {  },
+  "volatile": {  },
+  "histograms": [  ],
+  "units": [  ]
+}"#,
+    )
+    .expect("write snapshot");
+
+    let conflicting = experiments()
+        .args(["fig5", "--resume", "conflict", "--seed", "10", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        conflicting.status.code(),
+        Some(2),
+        "conflicts are usage errors"
+    );
+    let stderr = String::from_utf8_lossy(&conflicting.stderr);
+    assert!(stderr.contains("seed"), "{stderr}");
+
+    let wrong_command = experiments()
+        .args(["fig6", "--resume", "conflict", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(wrong_command.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&wrong_command.stderr).contains("belongs to command 'fig5'"),);
+
+    std::fs::write(tel.join("broken.ckpt.json"), "not json").expect("corrupt snapshot");
+    let malformed = experiments()
+        .args(["fig5", "--resume", "broken", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        malformed.status.code(),
+        Some(2),
+        "malformed snapshots are usage errors"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn checkpoint_flags_only_apply_to_the_fig567_family() {
+    let output = experiments()
+        .args(["table1", "--checkpoint-every", "1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("only apply to fig5, fig6 and fig7"));
+    let zero = experiments()
+        .args(["fig5", "--checkpoint-every", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(zero.status.code(), Some(2), "a zero cadence is rejected");
+}
+
+#[test]
+fn sharded_campaign_merges_byte_identically_in_any_order() {
+    let dir_ref = std::env::temp_dir().join("aegis-cli-shard-ref");
+    let dir_sh = std::env::temp_dir().join("aegis-cli-shard-sh");
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&dir_sh);
+
+    let reference = experiments()
+        .args([
+            "fig5",
+            "--pages",
+            "4",
+            "--seed",
+            "9",
+            "--telemetry",
+            "--quiet",
+            "--out",
+        ])
+        .arg(&dir_ref)
+        .output()
+        .expect("binary runs");
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    for shard_id in ["0", "1"] {
+        let shard = experiments()
+            .args([
+                "shard",
+                "fig5",
+                "--pages",
+                "4",
+                "--seed",
+                "9",
+                "--shards",
+                "2",
+                "--shard-id",
+                shard_id,
+                "--quiet",
+                "--out",
+            ])
+            .arg(&dir_sh)
+            .output()
+            .expect("binary runs");
+        assert!(
+            shard.status.success(),
+            "{}",
+            String::from_utf8_lossy(&shard.stderr)
+        );
+        assert!(dir_sh
+            .join(format!("telemetry/fig5-s9-shard{shard_id}of2.shard.json"))
+            .exists());
+    }
+
+    // Merge twice with the shard ids in both orders: the outputs must be
+    // identical to each other and to the unsharded run.
+    let mut merged_stdout = Vec::new();
+    for order in [
+        ["fig5-s9-shard0of2", "fig5-s9-shard1of2"],
+        ["fig5-s9-shard1of2", "fig5-s9-shard0of2"],
+    ] {
+        let merge = experiments()
+            .args(["merge", order[0], order[1], "--quiet", "--out"])
+            .arg(&dir_sh)
+            .output()
+            .expect("binary runs");
+        assert!(
+            merge.status.success(),
+            "{}",
+            String::from_utf8_lossy(&merge.stderr)
+        );
+        merged_stdout.push(merge.stdout);
+    }
+    assert_eq!(
+        merged_stdout[0], merged_stdout[1],
+        "merge must not depend on input order"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&merged_stdout[0]),
+        "merged report must match the unsharded run"
+    );
+    for csv in ["fig5.csv", "fig6.csv", "fig7.csv"] {
+        assert_eq!(
+            std::fs::read(dir_ref.join(csv)).unwrap(),
+            std::fs::read(dir_sh.join(csv)).unwrap(),
+            "{csv} must match the unsharded run"
+        );
+    }
+    let a = std::fs::read_to_string(dir_ref.join("telemetry/fig5-s9.jsonl")).unwrap();
+    let b = std::fs::read_to_string(dir_sh.join("telemetry/fig5-s9.jsonl")).unwrap();
+    assert_eq!(
+        sim_telemetry::strip_volatile(&a),
+        sim_telemetry::strip_volatile(&b),
+        "merged stream must be byte-identical after stripping volatile lines"
+    );
+    let _ = std::fs::remove_dir_all(dir_ref);
+    let _ = std::fs::remove_dir_all(dir_sh);
+}
+
+#[test]
+fn merge_refuses_mismatched_or_missing_shards() {
+    let dir = std::env::temp_dir().join("aegis-cli-merge-mismatch");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Two shards recorded under different seeds cannot merge.
+    for (shard_id, seed) in [("0", "9"), ("1", "10")] {
+        let run_id = format!("mix-{shard_id}");
+        let shard = experiments()
+            .args([
+                "shard",
+                "fig5",
+                "--pages",
+                "2",
+                "--seed",
+                seed,
+                "--shards",
+                "2",
+                "--shard-id",
+                shard_id,
+                "--run-id",
+                &run_id,
+                "--quiet",
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            shard.status.success(),
+            "{}",
+            String::from_utf8_lossy(&shard.stderr)
+        );
+    }
+    let mismatched = experiments()
+        .args(["merge", "mix-0", "mix-1", "--quiet", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        mismatched.status.code(),
+        Some(2),
+        "config mismatch is a usage error"
+    );
+    assert!(
+        String::from_utf8_lossy(&mismatched.stderr).contains("seed"),
+        "{}",
+        String::from_utf8_lossy(&mismatched.stderr)
+    );
+
+    let missing = experiments()
+        .args(["merge", "mix-0", "no-such-shard", "--quiet", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        missing.status.code(),
+        Some(1),
+        "unreadable shards are I/O failures"
+    );
+
+    let incomplete = experiments()
+        .args(["merge", "mix-0", "--quiet", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        incomplete.status.code(),
+        Some(2),
+        "a shard set that does not cover 0..K must be refused"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn shard_rejects_bad_usage() {
+    let no_figure = experiments()
+        .args(["shard", "--shards", "2", "--shard-id", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(no_figure.status.code(), Some(2));
+
+    let bad_figure = experiments()
+        .args(["shard", "fig8", "--shards", "2", "--shard-id", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(bad_figure.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_figure.stderr).contains("cannot be sharded"));
+
+    let out_of_range = experiments()
+        .args(["shard", "fig5", "--shards", "2", "--shard-id", "2"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out_of_range.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out_of_range.stderr).contains("out of range"));
+
+    let stray_flags = experiments()
+        .args(["fig5", "--shards", "2"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(stray_flags.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&stray_flags.stderr).contains("only apply to the shard command")
+    );
+}

@@ -383,7 +383,7 @@ impl SimConfig {
 }
 
 /// Results of a chip-level run of one policy.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemoryRun {
     /// Per-page death times under the policy, in page writes.
     pub page_lifetimes: Vec<f64>,
@@ -449,6 +449,30 @@ pub fn run_memory_with(
     cfg: &SimConfig,
     hooks: &RunHooks<'_>,
 ) -> MemoryRun {
+    run_memory_range_with(policy, cfg, 0, cfg.pages, hooks)
+}
+
+/// [`run_memory_with`] restricted to the global pages `start..end`.
+///
+/// Because every page's randomness is the `substream_seed(cfg.seed,
+/// page_idx)` substream (see [`TimelineSampler::page_rng`]), evaluating a
+/// sub-range produces exactly the per-page results the full run would
+/// produce for those indices — no RNG state crosses page boundaries. This
+/// is the primitive under both checkpoint/resume (a resumed run continues
+/// from the page high-water mark) and sharding (shard `i` of `K` runs the
+/// stripe `[i·P/K, (i+1)·P/K)`); concatenating the ranges in index order
+/// is byte-identical to one uninterrupted call over `0..cfg.pages`.
+///
+/// `cfg.pages` stays the *global* page count: progress reports and
+/// telemetry denominators describe positions in the full run, so a resumed
+/// run reports `start+1..=end` of `cfg.pages`.
+pub fn run_memory_range_with(
+    policy: &dyn RecoveryPolicy,
+    cfg: &SimConfig,
+    start: usize,
+    end: usize,
+    hooks: &RunHooks<'_>,
+) -> MemoryRun {
     assert_eq!(
         policy.block_bits(),
         cfg.block_bits,
@@ -456,6 +480,12 @@ pub fn run_memory_with(
         policy.block_bits(),
         cfg.block_bits
     );
+    assert!(
+        start <= end && end <= cfg.pages,
+        "page range {start}..{end} out of bounds for {} pages",
+        cfg.pages
+    );
+    let count = end - start;
     let sampler = TimelineSampler::paper_default(cfg.block_bits);
     let blocks_per_page = cfg.blocks_per_page();
     let threads = sim_pool::resolve_threads(cfg.threads);
@@ -473,7 +503,7 @@ pub fn run_memory_with(
         // disagree with the telemetry pages counter, then report it.
         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(report) = progress {
-            report(finished, cfg.pages);
+            report(start + finished, cfg.pages);
         }
         (
             outcome.death_time,
@@ -485,8 +515,8 @@ pub fn run_memory_with(
 
     let tracer = hooks.tracer.filter(|t| t.is_enabled());
     let (results, stats) = match tracer {
-        None => sim_pool::run_indexed(threads, cfg.pages, PolicyScratch::new, |scratch, idx| {
-            eval_page(scratch, idx)
+        None => sim_pool::run_indexed(threads, count, PolicyScratch::new, |scratch, idx| {
+            eval_page(scratch, start + idx)
         }),
         Some(tracer) => {
             let phase_name = format!("mc.{}", policy.name());
@@ -494,11 +524,11 @@ pub fn run_memory_with(
             let parent = Some(phase.id());
             let (results, stats, workers) = sim_pool::run_indexed_stats(
                 threads,
-                cfg.pages,
+                count,
                 || (PolicyScratch::new(), tracer.worker(parent)),
                 |(scratch, trace), idx| {
                     let span = trace.begin("page");
-                    let out = eval_page(scratch, idx);
+                    let out = eval_page(scratch, start + idx);
                     trace.end(span);
                     out
                 },
@@ -519,7 +549,7 @@ pub fn run_memory_with(
             (results, stats)
         }
     };
-    debug_assert_eq!(done.load(Ordering::Relaxed), cfg.pages);
+    debug_assert_eq!(done.load(Ordering::Relaxed), count);
     if let Some(t) = telemetry {
         t.record_pool(&stats);
     }

@@ -197,11 +197,15 @@ impl TimelineSampler {
 
     /// Deterministic per-page RNG: every policy evaluated on page `index`
     /// of a run seeded with `master_seed` sees the identical timeline.
+    ///
+    /// Each page is its own [`sim_rng::substream_seed`] substream of the
+    /// master seed, which is what makes page-range sharding and
+    /// checkpoint/resume byte-exact: any process that knows `(master_seed,
+    /// index)` reconstructs the identical timeline, regardless of which
+    /// pages ran before it or in which process they ran.
     #[must_use]
     pub fn page_rng(master_seed: u64, index: u64) -> SmallRng {
-        SmallRng::seed_from_u64(
-            master_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17),
-        )
+        SmallRng::seed_from_u64(sim_rng::substream_seed(master_seed, index))
     }
 }
 

@@ -38,7 +38,7 @@ mod core;
 mod dist;
 pub mod prop;
 
-pub use crate::core::{RngCore, SeedableRng, SplitMix64, Xoshiro256StarStar};
+pub use crate::core::{substream_seed, RngCore, SeedableRng, SplitMix64, Xoshiro256StarStar};
 pub use crate::dist::{Bernoulli, Rng, SampleRange, Standard};
 
 /// The workspace's default generator: xoshiro256\*\* seeded via SplitMix64.

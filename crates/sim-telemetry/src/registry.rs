@@ -284,6 +284,25 @@ impl Registry {
             .collect()
     }
 
+    /// Adds a previously captured [`HistogramSnapshot`] into the named
+    /// histogram (summing count, sum and per-bucket tallies).
+    ///
+    /// This is the restore half of [`Registry::histograms`]: a checkpoint
+    /// or a shard merge serialises the snapshots, and a later process
+    /// replays them here before accumulating new samples, so the final
+    /// [`Registry::histograms`] output is byte-identical to a run that was
+    /// never interrupted or split. No-op on a disabled registry.
+    pub fn add_histogram_snapshot(&self, name: &str, snap: &HistogramSnapshot) {
+        let handle = self.histogram(name);
+        if let Some(core) = &handle.0 {
+            core.count.fetch_add(snap.count, Ordering::Relaxed);
+            core.sum.fetch_add(snap.sum, Ordering::Relaxed);
+            for (bucket, add) in core.buckets.iter().zip(&snap.buckets) {
+                bucket.fetch_add(*add, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Merges every metric from `other` into `self` (adding counters,
     /// summing histogram buckets, preserving volatility). Disabled
     /// registries absorb nothing.
@@ -298,14 +317,7 @@ impl Registry {
             self.volatile_counter(&name).add(value);
         }
         for (name, snap) in other.histograms() {
-            let handle = self.histogram(&name);
-            if let Some(core) = &handle.0 {
-                core.count.fetch_add(snap.count, Ordering::Relaxed);
-                core.sum.fetch_add(snap.sum, Ordering::Relaxed);
-                for (bucket, add) in core.buckets.iter().zip(&snap.buckets) {
-                    bucket.fetch_add(*add, Ordering::Relaxed);
-                }
-            }
+            self.add_histogram_snapshot(&name, &snap);
         }
     }
 }
@@ -468,5 +480,32 @@ mod tests {
         let off = Registry::disabled();
         off.absorb(&local);
         assert!(off.counters().is_empty());
+    }
+
+    #[test]
+    fn histogram_snapshot_round_trips_through_restore() {
+        let source = Registry::new();
+        let h = source.histogram("mc.A.page_fault_arrivals");
+        for v in [0, 1, 3, 900, u64::MAX] {
+            h.record(v);
+        }
+        let snaps = source.histograms();
+
+        let restored = Registry::new();
+        restored.histogram("mc.A.page_fault_arrivals").record(7);
+        for (name, snap) in &snaps {
+            restored.add_histogram_snapshot(name, snap);
+        }
+
+        let direct = Registry::new();
+        let d = direct.histogram("mc.A.page_fault_arrivals");
+        for v in [7, 0, 1, 3, 900, u64::MAX] {
+            d.record(v);
+        }
+        assert_eq!(restored.histograms(), direct.histograms());
+
+        let off = Registry::disabled();
+        off.add_histogram_snapshot("mc.A.page_fault_arrivals", &snaps[0].1);
+        assert!(off.histograms().is_empty());
     }
 }

@@ -64,6 +64,47 @@ cmp "$smoke_out/trace-block.a" "$smoke_out/trace-block.b" \
     || { echo "--trace-block output is not deterministic" >&2; exit 1; }
 rm -rf "$smoke_out"
 
+# Shard/merge smoke: a fig5 campaign split into two seed-disjoint shards
+# and merged back must reproduce the unsharded run byte-for-byte — same
+# report, same CSVs, same telemetry stream modulo volatile lines.
+shard_out="${TMPDIR:-/tmp}/aegis-verify-shard"
+rm -rf "$shard_out"
+mkdir -p "$shard_out/ref" "$shard_out/sh"
+echo "==> experiments shard/merge smoke (2 shards vs unsharded)"
+cargo run --release --offline -p aegis-experiments -- \
+    fig5 --pages 8 --seed 7 --telemetry --quiet --out "$shard_out/ref" \
+    >"$shard_out/ref-report.txt"
+for i in 0 1; do
+    cargo run --release --offline -p aegis-experiments -- \
+        shard fig5 --pages 8 --seed 7 --shards 2 --shard-id "$i" \
+        --quiet --out "$shard_out/sh" >/dev/null
+done
+cargo run --release --offline -p aegis-experiments -- \
+    merge fig5-s7-shard1of2 fig5-s7-shard0of2 --quiet --out "$shard_out/sh" \
+    >"$shard_out/sh-report.txt"
+cmp "$shard_out/ref-report.txt" "$shard_out/sh-report.txt" \
+    || { echo "merged report differs from the unsharded run" >&2; exit 1; }
+for csv in fig5.csv fig6.csv fig7.csv; do
+    cmp "$shard_out/ref/$csv" "$shard_out/sh/$csv" \
+        || { echo "merged $csv differs from the unsharded run" >&2; exit 1; }
+done
+grep -v '"event": "volatile"' "$shard_out/ref/telemetry/fig5-s7.jsonl" \
+    >"$shard_out/ref-stream.jsonl"
+grep -v '"event": "volatile"' "$shard_out/sh/telemetry/fig5-s7.jsonl" \
+    >"$shard_out/sh-stream.jsonl"
+cmp "$shard_out/ref-stream.jsonl" "$shard_out/sh-stream.jsonl" \
+    || { echo "merged telemetry stream differs from the unsharded run" >&2; exit 1; }
+rm -rf "$shard_out"
+
+# Repo hygiene: every PR's bench record AND its regression baseline must
+# be committed — the PR 4 pair was once missing for two releases because
+# the gate only printed a skip notice when a baseline was absent.
+for pr in pr3 pr4 pr5; do
+    for f in "results/bench/BENCH_$pr.json" "results/bench/BENCH_$pr.baseline.json"; do
+        [[ -s "$f" ]] || { echo "missing committed bench record: $f" >&2; exit 1; }
+    done
+done
+
 # Differential kernel suite at CI depth: 10^4 random cases per codec
 # variant, word-level kernels vs the retained scalar references (see
 # tests/differential_kernels.rs). The default `cargo test` above already
@@ -86,7 +127,7 @@ SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench kern
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench engine
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench tracing
 run cargo run -q --release --offline -p aegis-bench --bin bench-gate \
-    "$bench_out/BENCH_pr3.json" results/bench/BENCH_pr3.baseline.json
+    "$bench_out/BENCH_pr3.json" results/bench
 rm -rf "$bench_out"
 
 # Optional: compile + smoke-run every bench target.

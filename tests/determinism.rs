@@ -375,3 +375,202 @@ fn dispatch_does_not_shift_streams() {
         assert_eq!(direct.random_bool(0.3), boxed.random_bool(0.3));
     }
 }
+
+/// Page-range execution is a pure reindexing of the full run: evaluating
+/// `[0, k)` and `[k, pages)` separately and concatenating gives the
+/// bit-identical result of one `[0, pages)` pass, because every page's
+/// randomness is its own seed-disjoint substream of the master seed.
+/// This is the property checkpoint chunks and campaign shards build on.
+#[test]
+fn page_ranges_concatenate_to_the_full_run() {
+    use aegis_pcm::pcm::montecarlo::{run_memory_range_with, RunHooks};
+
+    let cfg = SimConfig::scaled(5, 512, 21);
+    let policy = AegisPolicy::new(Rectangle::new(9, 61, 512).unwrap());
+    let hooks = RunHooks::default();
+    let full = run_memory_range_with(&policy, &cfg, 0, cfg.pages, &hooks);
+    for split in 0..=cfg.pages {
+        let head = run_memory_range_with(&policy, &cfg, 0, split, &hooks);
+        let tail = run_memory_range_with(&policy, &cfg, split, cfg.pages, &hooks);
+        let glue =
+            |a: &[f64], b: &[f64]| -> Vec<u64> { a.iter().chain(b).map(|v| v.to_bits()).collect() };
+        assert_eq!(
+            glue(&head.page_lifetimes, &tail.page_lifetimes),
+            full.page_lifetimes
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "split at {split} must concatenate bit-identically"
+        );
+        assert_eq!(
+            glue(&head.unprotected_lifetimes, &tail.unprotected_lifetimes),
+            full.unprotected_lifetimes
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        let mut faults = head.faults_recovered.clone();
+        faults.extend(&tail.faults_recovered);
+        assert_eq!(faults, full.faults_recovered);
+        assert_eq!(head.capped_pages + tail.capped_pages, full.capped_pages);
+    }
+}
+
+/// An interrupted-then-resumed checkpointed fig5/6/7 run serializes the
+/// byte-identical deterministic event stream of a straight run, and its
+/// results match bit for bit — the tentpole contract of `--resume`.
+#[test]
+fn checkpoint_interrupt_and_resume_replays_the_straight_run() {
+    use aegis_experiments::checkpoint::{
+        run_fig567_checkpointed, Checkpoint, CheckpointCtl, CheckpointOutcome,
+    };
+    use aegis_experiments::fig567;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let opts = RunOptions {
+        pages: 4,
+        seed: 13,
+        ..RunOptions::default()
+    };
+    let dir = std::env::temp_dir().join("aegis-det-ckpt-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("det.ckpt.json");
+
+    // Straight reference run, stream captured in memory.
+    let straight_stream = {
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("ck-det", buf.clone()).expect("buffer sink");
+        let observer = RunObserver::with_registry(run.registry());
+        let _ = fig567::run_with_mode(&opts, &observer, false);
+        run.finish().expect("finish");
+        buf.text()
+    };
+
+    // Interrupted leg: the "SIGINT" lands before the first chunk barrier,
+    // so the run snapshots immediately and stops.
+    {
+        let interrupted = AtomicBool::new(true);
+        let ctl = CheckpointCtl {
+            path: path.clone(),
+            every: 2,
+            interrupted: &interrupted,
+            resume: None,
+            fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+        };
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("ck-det", buf.clone()).expect("buffer sink");
+        let observer = RunObserver::with_registry(run.registry());
+        match run_fig567_checkpointed(&opts, &observer, false, &ctl).expect("checkpointed run") {
+            CheckpointOutcome::Interrupted => {}
+            CheckpointOutcome::Complete(_) => panic!("pending interrupt must stop the run"),
+        }
+        assert!(path.exists(), "interruption must leave a snapshot behind");
+        run.finish().expect("finish");
+        interrupted.store(false, Ordering::SeqCst);
+    }
+
+    // Resumed leg: continue from the snapshot to completion.
+    let (resumed, resumed_stream) = {
+        let resume = Checkpoint::load(&path).expect("snapshot loads");
+        let interrupted = AtomicBool::new(false);
+        let ctl = CheckpointCtl {
+            path: path.clone(),
+            every: 2,
+            interrupted: &interrupted,
+            resume: Some(resume),
+            fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+        };
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("ck-det", buf.clone()).expect("buffer sink");
+        let observer = RunObserver::with_registry(run.registry());
+        let results =
+            match run_fig567_checkpointed(&opts, &observer, false, &ctl).expect("resumed run") {
+                CheckpointOutcome::Complete(results) => results,
+                CheckpointOutcome::Interrupted => panic!("nothing interrupts the resumed leg"),
+            };
+        run.finish().expect("finish");
+        (results, buf.text())
+    };
+    assert!(!path.exists(), "completion must remove the snapshot");
+    assert_eq!(
+        strip_volatile(&resumed_stream),
+        strip_volatile(&straight_stream),
+        "resume must serialize the straight run's deterministic stream byte for byte"
+    );
+
+    let straight = {
+        let observer = RunObserver::default();
+        fig567::run_with_mode(&opts, &observer, false)
+    };
+    assert_eq!(resumed.by_block.len(), straight.by_block.len());
+    for ((rb, rs), (sb, ss)) in resumed.by_block.iter().zip(&straight.by_block) {
+        assert_eq!(rb, sb);
+        for (r, s) in rs.iter().zip(ss) {
+            assert_eq!(r.name, s.name);
+            assert_eq!(
+                r.mean_faults_recovered.to_bits(),
+                s.mean_faults_recovered.to_bits()
+            );
+            assert_eq!(r.mean_lifetime.to_bits(), s.mean_lifetime.to_bits());
+            assert_eq!(r.half_lifetime.to_bits(), s.half_lifetime.to_bits());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Seed-disjoint shard substreams: every shard stripes a distinct page
+/// range, the ranges tile the page space, and gluing per-shard unit
+/// results back together reproduces the full run bit for bit.
+#[test]
+fn shard_stripes_tile_and_reproduce_the_full_run() {
+    use aegis_experiments::shardmerge::{run_shard_units, shard_range};
+
+    let opts = RunOptions {
+        pages: 5,
+        seed: 17,
+        ..RunOptions::default()
+    };
+    let shards = 3;
+    let mut edges = Vec::new();
+    for shard_id in 0..shards {
+        let (lo, hi) = shard_range(opts.pages, shards, shard_id);
+        edges.push((lo, hi));
+    }
+    assert_eq!(edges.first().map(|&(lo, _)| lo), Some(0));
+    assert_eq!(edges.last().map(|&(_, hi)| hi), Some(opts.pages));
+    for pair in edges.windows(2) {
+        assert_eq!(pair[0].1, pair[1].0, "stripes must tile without gaps");
+    }
+
+    let observer = RunObserver::default();
+    let full = run_shard_units(&opts, &observer, false, 0, opts.pages);
+    let parts: Vec<_> = edges
+        .iter()
+        .map(|&(lo, hi)| run_shard_units(&opts, &observer, false, lo, hi))
+        .collect();
+    for (unit_idx, unit) in full.iter().enumerate() {
+        let mut lifetimes = Vec::new();
+        let mut faults = Vec::new();
+        for part in &parts {
+            lifetimes.extend(
+                part[unit_idx]
+                    .run
+                    .page_lifetimes
+                    .iter()
+                    .map(|v| v.to_bits()),
+            );
+            faults.extend(part[unit_idx].run.faults_recovered.iter().copied());
+        }
+        assert_eq!(
+            lifetimes,
+            unit.run
+                .page_lifetimes
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "unit {} must reassemble bit-identically",
+            unit.scheme
+        );
+        assert_eq!(faults, unit.run.faults_recovered);
+    }
+}
