@@ -66,7 +66,19 @@ fn pr5_doc() -> String {
     )
 }
 
-/// Writes the full committed layout — three records, three baselines —
+fn pr7_doc() -> String {
+    // The per-unit overhead must be at least 50x quicker than the unit
+    // it rides on (the 2% fraction bound).
+    passing_doc(
+        "BENCH_pr7",
+        &[
+            ("series_overhead_512_9x61", "unit", 10000.0),
+            ("series_overhead_512_9x61", "per_unit_overhead", 100.0),
+        ],
+    )
+}
+
+/// Writes the full committed layout — four records, four baselines —
 /// into a fresh temp dir and returns it.
 fn committed_layout(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("aegis-bench-gate-{tag}"));
@@ -76,6 +88,7 @@ fn committed_layout(tag: &str) -> PathBuf {
         ("BENCH_pr3", pr3_doc()),
         ("BENCH_pr4", pr4_doc()),
         ("BENCH_pr5", pr5_doc()),
+        ("BENCH_pr7", pr7_doc()),
     ] {
         std::fs::write(dir.join(format!("{name}.json")), &doc).expect("write record");
         std::fs::write(dir.join(format!("{name}.baseline.json")), &doc).expect("write baseline");
@@ -167,6 +180,7 @@ fn explicit_baseline_file_downgrades_missing_siblings_to_a_skip() {
     let dir = committed_layout("scratch-file");
     std::fs::remove_file(dir.join("BENCH_pr4.baseline.json")).expect("remove baseline");
     std::fs::remove_file(dir.join("BENCH_pr5.baseline.json")).expect("remove baseline");
+    std::fs::remove_file(dir.join("BENCH_pr7.baseline.json")).expect("remove baseline");
     let output = gate(&[
         &dir.join("BENCH_pr3.json"),
         &dir.join("BENCH_pr3.baseline.json"),

@@ -23,7 +23,10 @@ use crate::fig567::Fig567;
 use crate::runner::{RunObserver, RunOptions, SchemeSummary};
 use crate::schemes::{self, Policy};
 use pcm_sim::montecarlo::{self, McTelemetry, MemoryRun, RunHooks};
-use sim_telemetry::{escape, HistogramSnapshot, Json, Registry, HISTOGRAM_BUCKETS};
+use sim_telemetry::{
+    escape, HistogramSnapshot, Json, Registry, RunState, SeriesCursor, SeriesWriter,
+    HISTOGRAM_BUCKETS,
+};
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,6 +68,11 @@ pub struct Checkpoint {
     pub volatile: Vec<(String, u64)>,
     /// Histograms at the snapshot barrier.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Time-series sidecar position at the snapshot barrier, so a resumed
+    /// run reopens `<run-id>.series.jsonl` in append mode exactly where
+    /// the interrupted run left it. Absent in pre-series checkpoints
+    /// (parsed as the zero cursor; no version bump needed).
+    pub series: SeriesCursor,
     /// Per-unit progress, in fixed unit order (block size major, scheme
     /// set order minor).
     pub units: Vec<UnitProgress>,
@@ -113,6 +121,14 @@ impl Checkpoint {
             .collect();
         out.push_str(&fp.join(",\n"));
         out.push_str("\n  },\n");
+        out.push_str(&format!(
+            "  \"series\": {{\"seq\": {}, \"pages\": {}, \"last_sample\": {}}},\n",
+            self.series.seq,
+            self.series.pages,
+            self.series
+                .last_sample
+                .map_or_else(|| "null".to_owned(), |p| p.to_string())
+        ));
         out.push_str("  \"counters\": {\n");
         let cs: Vec<String> = self
             .counters
@@ -186,6 +202,21 @@ impl Checkpoint {
             .collect::<Result<Vec<_>, _>>()?;
         let counters = counter_entries(&value, "counters")?;
         let volatile = counter_entries(&value, "volatile")?;
+        let series = match value.get("series") {
+            None => SeriesCursor::default(),
+            Some(cursor) => SeriesCursor {
+                seq: cursor
+                    .u64_field("seq")
+                    .ok_or("series cursor missing 'seq'")?,
+                pages: cursor
+                    .u64_field("pages")
+                    .ok_or("series cursor missing 'pages'")?,
+                last_sample: match cursor.get("last_sample") {
+                    Some(Json::Null) | None => None,
+                    Some(v) => Some(v.as_u64().ok_or("series cursor 'last_sample' not a u64")?),
+                },
+            },
+        };
         let histograms = arr_entries(&value, "histograms")?
             .iter()
             .map(parse_histogram)
@@ -200,6 +231,7 @@ impl Checkpoint {
             counters,
             volatile,
             histograms,
+            series,
             units,
         })
     }
@@ -435,6 +467,7 @@ pub fn run_unit_range(
                 telemetry,
                 progress: Some(&forward),
                 tracer: observer.tracer,
+                status: observer.status,
             };
             montecarlo::run_memory_range_with(policy.as_ref(), &cfg, start, end, &hooks)
         }
@@ -443,6 +476,7 @@ pub fn run_unit_range(
                 telemetry,
                 progress: None,
                 tracer: observer.tracer,
+                status: observer.status,
             };
             montecarlo::run_memory_range_with(policy.as_ref(), &cfg, start, end, &hooks)
         }
@@ -536,6 +570,15 @@ pub fn run_fig567_checkpointed(
         if let Some(registry) = observer.registry {
             resume.restore_metrics(registry);
         }
+        // Fold fully-completed prior units into the status base so a
+        // resumed run's heartbeat reports global progress, not just this
+        // process's share. The partial unit needs nothing: the engine
+        // reports unit-global positions (`start + finished`).
+        if let Some(status) = observer.status {
+            for unit in units.iter().filter(|u| u.pages_done >= opts.pages) {
+                status.complete_unit(unit.pages_done as u64);
+            }
+        }
     }
 
     let snapshot = |units: &[UnitProgress]| -> Checkpoint {
@@ -549,7 +592,16 @@ pub fn run_fig567_checkpointed(
             counters,
             volatile,
             histograms,
+            series: observer
+                .series
+                .map(SeriesWriter::cursor)
+                .unwrap_or_default(),
             units: units.to_vec(),
+        }
+    };
+    let mark = |state: RunState| {
+        if let Some(status) = observer.status {
+            status.mark(state);
         }
     };
 
@@ -559,6 +611,7 @@ pub fn run_fig567_checkpointed(
             while units[flat].pages_done < opts.pages {
                 if ctl.interrupted.load(Ordering::SeqCst) {
                     snapshot(&units).store(&ctl.path)?;
+                    mark(RunState::Interrupted);
                     return Ok(CheckpointOutcome::Interrupted);
                 }
                 let start = units[flat].pages_done;
@@ -566,7 +619,15 @@ pub fn run_fig567_checkpointed(
                 let part = run_unit_range(policy, *bits, opts, observer, start, end);
                 append_run(&mut units[flat].run, part);
                 units[flat].pages_done = end;
+                // The unit barrier must precede the snapshot so the stored
+                // series cursor covers the sample this barrier just wrote;
+                // mid-unit chunks never sample, which is exactly why the
+                // sidecar is byte-identical to an uninterrupted run's.
+                if end == opts.pages {
+                    observer.unit_barrier(opts.pages as u64);
+                }
                 snapshot(&units).store(&ctl.path)?;
+                mark(RunState::Checkpointed);
             }
             flat += 1;
         }
@@ -575,6 +636,7 @@ pub fn run_fig567_checkpointed(
         // A SIGINT that lands after the last chunk still stops the run
         // (reports/CSVs are skipped); the final snapshot covers everything.
         snapshot(&units).store(&ctl.path)?;
+        mark(RunState::Interrupted);
         return Ok(CheckpointOutcome::Interrupted);
     }
 
@@ -620,6 +682,11 @@ mod tests {
                     buckets,
                 }
             })],
+            series: SeriesCursor {
+                seq: 9,
+                pages: 14,
+                last_sample: Some(12),
+            },
             units: vec![UnitProgress {
                 block_bits: 512,
                 scheme: "ECP6".to_owned(),
@@ -644,6 +711,26 @@ mod tests {
             parsed.units[0].run.page_lifetimes[1].to_bits(),
             0xdead_beef_dead_beef
         );
+    }
+
+    #[test]
+    fn pre_series_checkpoints_parse_with_zero_cursor() {
+        // Snapshots written before the series sidecar existed have no
+        // "series" field; they must load with the default cursor (and a
+        // null last_sample must round-trip).
+        let mut ckpt = sample_checkpoint();
+        ckpt.series.last_sample = None;
+        let parsed = Checkpoint::parse(&ckpt.to_json()).expect("parse");
+        assert_eq!(parsed.series.last_sample, None);
+
+        let legacy: String = ckpt
+            .to_json()
+            .lines()
+            .filter(|line| !line.contains("\"series\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = Checkpoint::parse(&legacy).expect("legacy parse");
+        assert_eq!(parsed.series, SeriesCursor::default());
     }
 
     #[test]

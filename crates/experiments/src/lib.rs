@@ -31,10 +31,12 @@ pub mod biasstudy;
 pub mod cachestudy;
 pub mod checkpoint;
 pub mod csvout;
+pub mod diff;
 pub mod fig10;
 pub mod fig567;
 pub mod fig8;
 pub mod fig9;
+pub mod monitor;
 pub mod osassist;
 pub mod payg_check;
 pub mod runner;

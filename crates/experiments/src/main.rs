@@ -7,12 +7,13 @@
 use aegis_experiments::checkpoint::{Checkpoint, CheckpointCtl, CheckpointOutcome};
 use aegis_experiments::runner::RunOptions;
 use aegis_experiments::{
-    analyze, biasstudy, cachestudy, checkpoint, fig10, fig567, fig8, fig9, osassist, payg_check,
-    runner, schemes, shardmerge, table1, telemetry, variants, wearlevel_check, writecost,
+    analyze, biasstudy, cachestudy, checkpoint, diff, fig10, fig567, fig8, fig9, monitor, osassist,
+    payg_check, runner, schemes, shardmerge, table1, telemetry, variants, wearlevel_check,
+    writecost,
 };
 use pcm_sim::forensics;
 use pcm_sim::montecarlo::FailureCriterion;
-use sim_telemetry::{RunTelemetry, Span, TraceSpan, Tracer};
+use sim_telemetry::{RunState, RunTelemetry, SeriesWriter, Span, StatusWriter, TraceSpan, Tracer};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -52,6 +53,19 @@ Commands:
                      into the campaign's reports, CSVs and telemetry —
                      byte-identical to the unsharded run after stripping
                      volatile lines. Refuses mismatched configs/revisions
+  monitor [DIR]      Tail every <run-id>.status.json under DIR (default
+                     results/telemetry): one row per run with phase,
+                     progress, ETA and worker busy fraction, plus a state
+                     rollup. Refreshes until interrupted; --once prints a
+                     single snapshot (for scripts/CI) and --json emits a
+                     machine-readable summary
+  telemetry-diff RUN_A RUN_B
+                     Align two runs' deterministic streams and series
+                     sidecars (volatile lines stripped first): counter
+                     deltas, histogram distribution shift (max per-bucket
+                     ratio and p50/p90/p99 deltas), new/missing event
+                     kinds and diverging series samples. Exit 0 when the
+                     runs agree, 1 on drift, 2 on a malformed stream
 
 Options:
   --pages N       Pages per simulated chip (default 256; paper scale 2048)
@@ -82,6 +96,24 @@ Options:
                   every fig5 scheme from the run seed, print the annotated
                   event traces, and exit (no simulation runs)
   --top N         telemetry-analyze only: hot spans listed (default 10)
+  --series        Sample every counter/histogram into a time-series sidecar
+                  OUT/telemetry/<run-id>.series.jsonl, keyed by pages
+                  evaluated (implies --telemetry; byte-identical per seed
+                  after stripping volatile lines, at any thread count)
+  --series-every N
+                  Minimum pages between series samples (default 0 = sample
+                  at every unit barrier; implies --series)
+  --status        Heartbeat run liveness (phase, progress, ETA, worker busy
+                  fraction) into OUT/telemetry/<run-id>.status.json for
+                  `experiments monitor` (implies --telemetry; the status
+                  file is wall-clock and never part of the deterministic
+                  contract)
+  --once          monitor only: print one snapshot and exit
+  --json          monitor only: machine-readable output
+  --interval N    monitor only: seconds between refreshes (default 2)
+  --threshold X   telemetry-diff only: relative tolerance before a counter,
+                  histogram bucket or series sample counts as drift
+                  (default 0 = exact)
   --checkpoint-every N
                   fig5/fig6/fig7 only: snapshot engine state to
                   OUT/telemetry/<run-id>.ckpt.json every N pages per scheme
@@ -115,6 +147,13 @@ struct Cli {
     resume: Option<String>,
     shards: Option<usize>,
     shard_id: Option<usize>,
+    series: bool,
+    series_every: u64,
+    status: bool,
+    once: bool,
+    json: bool,
+    interval: u64,
+    threshold: f64,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -137,6 +176,13 @@ fn parse_args() -> Result<Cli, String> {
         resume: None,
         shards: None,
         shard_id: None,
+        series: false,
+        series_every: 0,
+        status: false,
+        once: false,
+        json: false,
+        interval: 2,
+        threshold: 0.0,
     };
     let mut samples = 1u32;
     let mut guaranteed = false;
@@ -186,6 +232,31 @@ fn parse_args() -> Result<Cli, String> {
                 })?);
             }
             "--top" => cli.top = parsed!("--top"),
+            "--series" => {
+                cli.series = true;
+                cli.telemetry = true;
+            }
+            "--series-every" => {
+                cli.series_every = parsed!("--series-every");
+                cli.series = true;
+                cli.telemetry = true;
+            }
+            "--status" => {
+                cli.status = true;
+                cli.telemetry = true;
+            }
+            "--once" => cli.once = true,
+            "--json" => cli.json = true,
+            "--interval" => cli.interval = parsed!("--interval"),
+            "--threshold" => {
+                cli.threshold = parsed!("--threshold");
+                if cli.threshold.is_nan() || cli.threshold < 0.0 {
+                    return Err(format!(
+                        "--threshold: invalid value '{}': must be non-negative\n\n{USAGE}",
+                        cli.threshold
+                    ));
+                }
+            }
             "--checkpoint-every" => {
                 let every: usize = parsed!("--checkpoint-every");
                 if every == 0 {
@@ -231,6 +302,8 @@ struct Ctx<'a> {
     progress_fn: Option<&'a runner::SchemeProgressFn<'a>>,
     scalar: bool,
     ckpt: Option<&'a CheckpointCtl<'a>>,
+    series: &'a SeriesWriter,
+    status_w: &'a StatusWriter,
 }
 
 /// Guard pairing a deterministic-stream phase span with its wall-clock
@@ -252,6 +325,8 @@ impl Ctx<'_> {
             registry: self.tel.is_enabled().then(|| self.tel.registry()),
             progress: self.progress_fn,
             tracer: self.tracer.is_enabled().then_some(self.tracer),
+            series: self.series.is_enabled().then_some(self.series),
+            status: self.status_w.is_enabled().then_some(self.status_w),
         }
     }
 
@@ -711,7 +786,42 @@ fn run_shard(cli: &Cli) -> ExitCode {
         );
     }
     let registry = tel.registry();
-    let observer = runner::RunObserver::with_registry(registry);
+    let series = if cli.series {
+        match SeriesWriter::create(&run_id, &telemetry::dir(&cli.out_dir), cli.series_every) {
+            Ok(series) => series,
+            Err(err) => {
+                eprintln!("series: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        SeriesWriter::disabled()
+    };
+    let status = if cli.status {
+        match StatusWriter::create(&run_id, &telemetry::dir(&cli.out_dir)) {
+            Ok(status) => status,
+            Err(err) => {
+                eprintln!("status: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        StatusWriter::disabled()
+    };
+    if status.is_enabled() {
+        let units: usize = checkpoint::unit_policies(cli.scalar)
+            .iter()
+            .map(|(_, policies)| policies.len())
+            .sum();
+        status.set_total_pages((units * (hi - lo)) as u64);
+        status.set_shard(shard_id as u64, shards as u64);
+    }
+    let observer = runner::RunObserver {
+        registry: Some(registry),
+        series: series.is_enabled().then_some(&series),
+        status: status.is_enabled().then_some(&status),
+        ..runner::RunObserver::default()
+    };
     let units = {
         let span = match tel.span("fig567.montecarlo") {
             Ok(span) => span,
@@ -730,6 +840,7 @@ fn run_shard(cli: &Cli) -> ExitCode {
         counters: Vec::new(),
         volatile: Vec::new(),
         histograms: Vec::new(),
+        series: series.cursor(),
         units,
     };
     let sidecar_path = telemetry::dir(&cli.out_dir).join(format!("{run_id}.shard.json"));
@@ -737,6 +848,11 @@ fn run_shard(cli: &Cli) -> ExitCode {
         eprintln!("shard: {err}");
         return ExitCode::FAILURE;
     }
+    if let Err(err) = series.finish() {
+        eprintln!("series: {err}");
+        return ExitCode::FAILURE;
+    }
+    status.mark(RunState::Done);
     match tel.finish() {
         Ok(_) => {
             if !cli.quiet {
@@ -872,15 +988,12 @@ fn run_telemetry_report(cli: &Cli) -> ExitCode {
     match telemetry::report_checked(run_id, &telemetry::dir(&cli.out_dir)) {
         Ok((text, skipped)) => {
             println!("{text}");
-            if skipped.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                eprintln!(
-                    "telemetry-report: skipped {} malformed line(s) (first at line {})",
-                    skipped.len(),
-                    skipped[0]
-                );
-                ExitCode::from(USAGE_ERROR)
+            match telemetry::skipped_lines_diagnostic("telemetry-report", &skipped) {
+                None => ExitCode::SUCCESS,
+                Some(diagnostic) => {
+                    eprintln!("{diagnostic}");
+                    ExitCode::from(USAGE_ERROR)
+                }
             }
         }
         Err(err) => {
@@ -898,13 +1011,6 @@ fn run_telemetry_analyze(cli: &Cli) -> ExitCode {
     match analyze::analyze(run_id, &telemetry::dir(&cli.out_dir), cli.top) {
         Ok(analysis) => {
             println!("{}", analysis.report);
-            if !analysis.skipped_lines.is_empty() {
-                eprintln!(
-                    "telemetry-analyze: skipped {} malformed stream line(s) (first at line {})",
-                    analysis.skipped_lines.len(),
-                    analysis.skipped_lines[0]
-                );
-            }
             if analysis.dropped > 0 {
                 eprintln!(
                     "telemetry-analyze: warning: {} trace record(s) were dropped; \
@@ -912,10 +1018,86 @@ fn run_telemetry_analyze(cli: &Cli) -> ExitCode {
                     analysis.dropped
                 );
             }
-            ExitCode::SUCCESS
+            match telemetry::skipped_lines_diagnostic("telemetry-analyze", &analysis.skipped_lines)
+            {
+                None => ExitCode::SUCCESS,
+                Some(diagnostic) => {
+                    eprintln!("{diagnostic}");
+                    ExitCode::from(USAGE_ERROR)
+                }
+            }
         }
         Err(err) => {
             eprintln!("telemetry-analyze: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `experiments monitor [DIR]`: tail every `<run-id>.status.json` under
+/// DIR and render one row per run plus a state rollup. Refreshes every
+/// `--interval` seconds until interrupted; `--once` prints one snapshot
+/// and `--json` emits the machine-readable summary.
+fn run_monitor(cli: &Cli) -> ExitCode {
+    let dir = cli
+        .positionals
+        .first()
+        .map_or_else(|| telemetry::dir(&cli.out_dir), PathBuf::from);
+    loop {
+        let snapshot = match monitor::scan(&dir) {
+            Ok(snapshot) => snapshot,
+            Err(err) => {
+                eprintln!("monitor: {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if cli.json {
+            println!("{}", monitor::render_json(&snapshot));
+        } else {
+            if !cli.once {
+                // Clear and home so each refresh redraws in place.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!(
+                "{}",
+                monitor::render(&snapshot, sim_telemetry::unix_millis())
+            );
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+        }
+        if cli.once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(cli.interval.max(1)));
+    }
+}
+
+/// `experiments telemetry-diff RUN_A RUN_B`: align two runs' deterministic
+/// streams and series sidecars and report any drift. Exit 0 when the runs
+/// agree (within `--threshold`), 1 on drift, 2 on a malformed stream.
+fn run_telemetry_diff(cli: &Cli) -> ExitCode {
+    let [run_a, run_b] = cli.positionals.as_slice() else {
+        eprintln!("telemetry-diff expects exactly two RUN_ID arguments\n\n{USAGE}");
+        return ExitCode::from(USAGE_ERROR);
+    };
+    match diff::diff_runs(&telemetry::dir(&cli.out_dir), run_a, run_b, cli.threshold) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            if outcome.drift {
+                eprintln!("telemetry-diff: runs '{run_a}' and '{run_b}' drifted");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(diff::DiffError::Malformed { path, line }) => {
+            eprintln!(
+                "telemetry-diff: malformed line {line} in {}",
+                path.display()
+            );
+            ExitCode::from(USAGE_ERROR)
+        }
+        Err(diff::DiffError::Io(err)) => {
+            eprintln!("telemetry-diff: {err}");
             ExitCode::FAILURE
         }
     }
@@ -984,6 +1166,12 @@ fn main() -> ExitCode {
     if cli.command == "merge" {
         return run_merge(&cli);
     }
+    if cli.command == "monitor" {
+        return run_monitor(&cli);
+    }
+    if cli.command == "telemetry-diff" {
+        return run_telemetry_diff(&cli);
+    }
     const COMMANDS: &[&str] = &[
         "table1",
         "fig5",
@@ -1050,6 +1238,12 @@ fn main() -> ExitCode {
     } else {
         None
     };
+    // Resuming a run that was recording a series sidecar continues it even
+    // without an explicit --series, starting from the snapshot's cursor.
+    let resume_series = resume_ckpt.as_ref().map(|ckpt| ckpt.series);
+    if resume_series.is_some_and(|cursor| cursor.seq > 0) {
+        cli.series = true;
+    }
 
     let run_id = cli
         .run_id
@@ -1067,6 +1261,41 @@ fn main() -> ExitCode {
         RunTelemetry::disabled()
     };
     set_run_meta(&tel, &cli.command, &cli);
+
+    let series = if cli.series {
+        let dir = telemetry::dir(&cli.out_dir);
+        let result = match resume_series.filter(|cursor| cursor.seq > 0) {
+            Some(cursor) => SeriesWriter::resume(&run_id, &dir, cli.series_every, cursor),
+            None => SeriesWriter::create(&run_id, &dir, cli.series_every),
+        };
+        match result {
+            Ok(series) => series,
+            Err(err) => {
+                eprintln!("series: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        SeriesWriter::disabled()
+    };
+    let status_w = if cli.status {
+        match StatusWriter::create(&run_id, &telemetry::dir(&cli.out_dir)) {
+            Ok(status) => status,
+            Err(err) => {
+                eprintln!("status: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        StatusWriter::disabled()
+    };
+    if status_w.is_enabled() && matches!(cli.command.as_str(), "fig5" | "fig6" | "fig7") {
+        let units: usize = checkpoint::unit_policies(cli.scalar)
+            .iter()
+            .map(|(_, policies)| policies.len())
+            .sum();
+        status_w.set_total_pages((units * cli.opts.pages) as u64);
+    }
 
     let ckpt_ctl = if checkpointing {
         sigint::install();
@@ -1107,6 +1336,8 @@ fn main() -> ExitCode {
         progress_fn: (cli.progress && !cli.quiet).then_some(&report_progress),
         scalar: cli.scalar,
         ckpt: ckpt_ctl.as_ref(),
+        series: &series,
+        status_w: &status_w,
     };
 
     let outcome = {
@@ -1122,6 +1353,20 @@ fn main() -> ExitCode {
         }
         outcome
     };
+    // On interrupt the series sidecar stays open-ended (no run_end):
+    // --resume reopens it at the checkpoint's cursor and continues it
+    // byte-for-byte; the status file was already marked interrupted.
+    let interrupted =
+        matches!(&outcome, Ok(Err(err)) if err.kind() == std::io::ErrorKind::Interrupted);
+    if !interrupted {
+        if let Err(err) = series.finish() {
+            eprintln!("series: {err}");
+            return ExitCode::FAILURE;
+        }
+        if matches!(&outcome, Ok(Ok(()))) {
+            status_w.mark(RunState::Done);
+        }
+    }
     if let Some(log) = tracer.finish(&run_id) {
         let trace_path = telemetry::dir(&cli.out_dir).join(format!("{run_id}.trace.jsonl"));
         if let Err(err) = std::fs::write(&trace_path, log.to_jsonl()) {

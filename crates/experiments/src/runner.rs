@@ -3,7 +3,7 @@
 
 use crate::schemes::Policy;
 use pcm_sim::montecarlo::{self, FailureCriterion, McTelemetry, MemoryRun, RunHooks, SimConfig};
-use sim_telemetry::{Registry, Tracer};
+use sim_telemetry::{Registry, SeriesWriter, StatusWriter, Tracer};
 
 /// Knobs shared by every experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -125,6 +125,14 @@ pub struct RunObserver<'a> {
     /// Wall-clock span collector (`--trace`). Records only to the trace
     /// sidecar, never the deterministic stream.
     pub tracer: Option<&'a Tracer>,
+    /// Time-series sidecar (`--series`). Sampled from `registry` at unit
+    /// barriers — one `(block_bits, scheme)` Monte Carlo unit completing —
+    /// so the sidecar is byte-identical (after volatile stripping) across
+    /// thread counts and checkpoint/resume. No-op without a registry.
+    pub series: Option<&'a SeriesWriter>,
+    /// Live `<run-id>.status.json` heartbeats (`--status`): forwarded to
+    /// the engine for page-level progress and folded at unit barriers.
+    pub status: Option<&'a StatusWriter>,
 }
 
 impl<'a> RunObserver<'a> {
@@ -133,8 +141,21 @@ impl<'a> RunObserver<'a> {
     pub fn with_registry(registry: &'a Registry) -> Self {
         Self {
             registry: Some(registry),
-            progress: None,
-            tracer: None,
+            ..Self::default()
+        }
+    }
+
+    /// Marks one Monte Carlo unit of `pages` pages complete: samples the
+    /// time-series sidecar from the registry and folds the pages into the
+    /// status heartbeat's base count. Called at every unit barrier —
+    /// straight runs do this per scheme; chunked (checkpointed) runs only
+    /// when a unit's final chunk lands, keeping the sidecars identical.
+    pub fn unit_barrier(&self, pages: u64) {
+        if let (Some(series), Some(registry)) = (self.series, self.registry) {
+            let _ = series.advance(registry, pages);
+        }
+        if let Some(status) = self.status {
+            status.complete_unit(pages);
         }
     }
 }
@@ -177,13 +198,14 @@ fn run_observed(
     let telemetry = observer
         .registry
         .map(|registry| McTelemetry::for_scheme(registry, &name));
-    match observer.progress {
+    let run = match observer.progress {
         Some(report) => {
             let forward = |done: usize, total: usize| report(&name, done, total);
             let hooks = RunHooks {
                 telemetry,
                 progress: Some(&forward),
                 tracer: observer.tracer,
+                status: observer.status,
             };
             montecarlo::run_memory_with(policy, cfg, &hooks)
         }
@@ -192,10 +214,13 @@ fn run_observed(
                 telemetry,
                 progress: None,
                 tracer: observer.tracer,
+                status: observer.status,
             };
             montecarlo::run_memory_with(policy, cfg, &hooks)
         }
-    }
+    };
+    observer.unit_barrier(cfg.pages as u64);
+    run
 }
 
 /// Runs one policy and returns the raw chip run (for survival curves).

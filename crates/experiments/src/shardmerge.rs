@@ -53,11 +53,18 @@ pub fn run_shard_units(
     unit_policies(scalar)
         .iter()
         .flat_map(|(bits, set)| {
-            set.iter().map(|policy| UnitProgress {
-                block_bits: *bits,
-                scheme: policy.name(),
-                pages_done: hi - lo,
-                run: run_unit_range(policy, *bits, opts, observer, lo, hi),
+            set.iter().map(|policy| {
+                let run = run_unit_range(policy, *bits, opts, observer, lo, hi);
+                // A shard's unit barrier covers its stripe: the series
+                // sidecar is keyed by *this shard's* cumulative pages and
+                // the status heartbeat folds `hi - lo` pages per unit.
+                observer.unit_barrier((hi - lo) as u64);
+                UnitProgress {
+                    block_bits: *bits,
+                    scheme: policy.name(),
+                    pages_done: hi - lo,
+                    run,
+                }
             })
         })
         .collect()

@@ -8,7 +8,9 @@
 //! `codec.<scheme>.*` counters (verify reads, re-partitions, inversion
 //! writes) alongside the Monte Carlo engine's `mc.<scheme>.*` metrics.
 
-use sim_telemetry::{split_metric, Event, Registry, RunManifest};
+use sim_telemetry::{
+    split_metric, Event, HistogramSnapshot, Registry, RunManifest, HISTOGRAM_BUCKETS,
+};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -72,6 +74,48 @@ pub(crate) fn read_run(run_id: &str, telemetry_dir: &Path) -> io::Result<RunData
         events,
         skipped_lines,
     })
+}
+
+/// Shared CLI plumbing for the lenient telemetry readers
+/// (`telemetry-report` and `telemetry-analyze`): `None` for a clean
+/// stream, otherwise the diagnostic naming the count and the first
+/// offending 1-based line. Both tools print this to stderr and exit with
+/// the usage code (2), so their malformed-stream behavior cannot drift.
+#[must_use]
+pub fn skipped_lines_diagnostic(tool: &str, skipped: &[usize]) -> Option<String> {
+    let first = *skipped.first()?;
+    Some(format!(
+        "{tool}: skipped {} malformed stream line(s) (first at line {first})",
+        skipped.len()
+    ))
+}
+
+/// Rebuilds a dense [`HistogramSnapshot`] from the sparse `(bucket,
+/// count)` pairs a stream's `histogram`/`series_histogram` events carry.
+#[must_use]
+pub fn snapshot_from_sparse(count: u64, sum: u64, sparse: &[(usize, u64)]) -> HistogramSnapshot {
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    for &(bucket, tally) in sparse {
+        if let Some(slot) = buckets.get_mut(bucket) {
+            *slot = tally;
+        }
+    }
+    HistogramSnapshot {
+        count,
+        sum,
+        buckets,
+    }
+}
+
+/// Renders a quantile value for reports: bucket lower bounds are exact
+/// powers of two, so integers print plainly; empty histograms print `-`.
+#[must_use]
+pub fn fmt_quantile(value: f64) -> String {
+    if value.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{value:.0}")
+    }
 }
 
 fn fmt_duration(nanos: u64) -> String {
@@ -193,9 +237,12 @@ pub fn report_checked(run_id: &str, telemetry_dir: &Path) -> io::Result<(String,
             *sum as f64 / *count as f64
         };
         let max_bucket = buckets.iter().map(|&(i, _)| i).max().unwrap_or(0);
+        let snap = snapshot_from_sparse(*count, *sum, buckets);
         let _ = writeln!(
             out,
-            "  {name:<40} n={count} mean={mean:.2} max_bucket=2^{max_bucket}"
+            "  {name:<40} n={count} mean={mean:.2} p50={} p99={} max_bucket=2^{max_bucket}",
+            fmt_quantile(snap.quantile(0.5)),
+            fmt_quantile(snap.quantile(0.99)),
         );
     }
     Ok((out, skipped_lines))
@@ -254,7 +301,33 @@ mod tests {
         assert!(text.contains("repartitions=3"));
         assert!(text.contains("seed=42"));
         assert!(text.contains("slope_trials"));
+        assert!(
+            text.contains("p50=2 p99=2"),
+            "histogram rows carry quantiles: {text}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn skipped_line_diagnostics_name_the_first_offender() {
+        assert_eq!(skipped_lines_diagnostic("telemetry-report", &[]), None);
+        assert_eq!(
+            skipped_lines_diagnostic("telemetry-analyze", &[7, 9]).as_deref(),
+            Some("telemetry-analyze: skipped 2 malformed stream line(s) (first at line 7)")
+        );
+    }
+
+    #[test]
+    fn sparse_snapshots_round_trip_quantiles() {
+        // Samples 1, 2, 2, 8 → buckets 1, 2 (x2), 4.
+        let snap = snapshot_from_sparse(4, 13, &[(1, 1), (2, 2), (4, 1)]);
+        assert_eq!(snap.quantile(0.5), 2.0);
+        assert_eq!(snap.quantile(1.0), 8.0);
+        assert_eq!(fmt_quantile(snap.quantile(0.5)), "2");
+        // Out-of-range sparse buckets are ignored, not a panic.
+        let snap = snapshot_from_sparse(1, 1, &[(HISTOGRAM_BUCKETS + 5, 1)]);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 0);
+        assert_eq!(fmt_quantile(f64::NAN), "-");
     }
 
     #[test]

@@ -317,7 +317,7 @@ fn telemetry_report_skips_malformed_lines_and_exits_2() {
     let stderr = String::from_utf8_lossy(&report.stderr);
     assert!(
         stderr.contains(&format!(
-            "skipped 1 malformed line(s) (first at line {})",
+            "skipped 1 malformed stream line(s) (first at line {})",
             bad + 1
         )),
         "{stderr}"
@@ -872,5 +872,149 @@ fn shard_rejects_bad_usage() {
     assert_eq!(stray_flags.status.code(), Some(2));
     assert!(
         String::from_utf8_lossy(&stray_flags.stderr).contains("only apply to the shard command")
+    );
+}
+
+#[test]
+fn series_status_monitor_and_diff_cover_the_observability_loop() {
+    let dir = std::env::temp_dir().join("aegis-cli-observability");
+    let _ = std::fs::remove_dir_all(&dir);
+    for (run_id, seed) in [("obsA", "9"), ("obsB", "9"), ("obsC", "10")] {
+        let output = experiments()
+            .args([
+                "fig5", "--pages", "2", "--seed", seed, "--series", "--status", "--run-id", run_id,
+                "--quiet", "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let tel = dir.join("telemetry");
+        assert!(tel.join(format!("{run_id}.series.jsonl")).exists());
+        assert!(tel.join(format!("{run_id}.status.json")).exists());
+    }
+
+    // `monitor --once --json` over the finished campaign: all_done.
+    let monitored = experiments()
+        .args(["monitor", "--once", "--json", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        monitored.status.success(),
+        "{}",
+        String::from_utf8_lossy(&monitored.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&monitored.stdout);
+    let value = sim_telemetry::Json::parse(&stdout).expect("monitor json parses");
+    assert_eq!(
+        value.get("all_done").and_then(sim_telemetry::Json::as_bool),
+        Some(true)
+    );
+    let runs = value
+        .get("runs")
+        .and_then(sim_telemetry::Json::as_arr)
+        .unwrap();
+    assert_eq!(runs.len(), 3, "{stdout}");
+
+    // The plain-text snapshot renders a row per run plus the rollup.
+    let table = experiments()
+        .args(["monitor", "--once", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(table.status.success());
+    let text = String::from_utf8_lossy(&table.stdout);
+    assert!(text.contains("obsA"), "{text}");
+    assert!(text.contains("3 run(s):"), "{text}");
+    assert!(text.contains("3 done"), "{text}");
+
+    // Same seed: clean, exit 0.
+    let clean = experiments()
+        .args(["telemetry-diff", "obsA", "obsB", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    assert!(String::from_utf8_lossy(&clean.stdout).contains("Verdict: clean"));
+
+    // Different seed: drift, exit 1, and the report names what moved.
+    let drifted = experiments()
+        .args(["telemetry-diff", "obsA", "obsC", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(drifted.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&drifted.stdout).contains("Verdict: DRIFT"));
+    assert!(String::from_utf8_lossy(&drifted.stderr).contains("drifted"));
+
+    // A corrupted stream is a usage error naming the offending line.
+    let stream_path = dir.join("telemetry/obsB.jsonl");
+    let text = std::fs::read_to_string(&stream_path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    lines[1] = "{\"seq\": 1, \"event\": \"coun".to_owned();
+    std::fs::write(&stream_path, lines.join("\n") + "\n").unwrap();
+    let malformed = experiments()
+        .args(["telemetry-diff", "obsA", "obsB", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(malformed.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&malformed.stderr).contains("malformed line 2"),
+        "{}",
+        String::from_utf8_lossy(&malformed.stderr)
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn monitor_and_diff_reject_bad_usage() {
+    let missing_dir = experiments()
+        .args(["monitor", "--once", "/nonexistent-aegis-monitor-dir"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        missing_dir.status.code(),
+        Some(1),
+        "an unreadable directory is an I/O failure"
+    );
+    assert!(String::from_utf8_lossy(&missing_dir.stderr).contains("monitor:"));
+
+    let one_arg = experiments()
+        .args(["telemetry-diff", "solo"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(one_arg.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&one_arg.stderr).contains("exactly two RUN_ID"),
+        "{}",
+        String::from_utf8_lossy(&one_arg.stderr)
+    );
+
+    let bad_threshold = experiments()
+        .args(["telemetry-diff", "a", "b", "--threshold", "-0.5"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(bad_threshold.status.code(), Some(2));
+
+    let missing_runs = experiments()
+        .args(["telemetry-diff", "ghostA", "ghostB", "--out"])
+        .arg(std::env::temp_dir().join("aegis-cli-diff-ghost"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        missing_runs.status.code(),
+        Some(1),
+        "missing streams are I/O failures"
     );
 }

@@ -20,7 +20,9 @@ use crate::timeline::{BlockTimeline, PageTimeline, TimelineSampler};
 use crate::Fault;
 use sim_rng::SeedableRng;
 use sim_rng::SmallRng;
-use sim_telemetry::{metric_name, Counter, Histogram, PoolWorkerUtil, Registry, Tracer};
+use sim_telemetry::{
+    metric_name, Counter, Histogram, PoolWorkerUtil, Registry, StatusWriter, Tracer,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// When is a block considered dead? (See DESIGN.md §3.)
@@ -118,6 +120,11 @@ pub struct RunHooks<'a> {
     /// private ring, and per-worker pool utilization is captured — all on
     /// the volatile trace sidecar, never the deterministic stream.
     pub tracer: Option<&'a Tracer>,
+    /// Live heartbeat sink. When enabled, the run enters an `mc.<scheme>`
+    /// phase, reports page completions as phase progress (rate-limited
+    /// rewrites of `<run-id>.status.json`), and records the pool's worker
+    /// busy fraction — pure liveness, outside the determinism contract.
+    pub status: Option<&'a StatusWriter>,
 }
 
 /// Outcome of running one policy over one block timeline.
@@ -492,6 +499,10 @@ pub fn run_memory_range_with(
     let done = AtomicUsize::new(0);
     let telemetry = hooks.telemetry.as_ref();
     let progress = hooks.progress;
+    let status = hooks.status.filter(|s| s.is_enabled());
+    if let Some(status) = status {
+        status.begin_phase(&format!("mc.{}", policy.name()));
+    }
 
     // The identical per-page body runs under both scheduling paths, so
     // tracing can only add spans around it, never change what it computes.
@@ -505,6 +516,9 @@ pub fn run_memory_range_with(
         if let Some(report) = progress {
             report(start + finished, cfg.pages);
         }
+        if let Some(status) = status {
+            status.phase_progress((start + finished) as u64);
+        }
         (
             outcome.death_time,
             page.first_cell_death(),
@@ -514,11 +528,23 @@ pub fn run_memory_range_with(
     };
 
     let tracer = hooks.tracer.filter(|t| t.is_enabled());
-    let (results, stats) = match tracer {
-        None => sim_pool::run_indexed(threads, count, PolicyScratch::new, |scratch, idx| {
-            eval_page(scratch, start + idx)
-        }),
-        Some(tracer) => {
+    let (results, stats) = match (tracer, status) {
+        (None, None) => {
+            sim_pool::run_indexed(threads, count, PolicyScratch::new, |scratch, idx| {
+                eval_page(scratch, start + idx)
+            })
+        }
+        // Status heartbeats without tracing still need the timed pool
+        // variant for the worker busy fraction; results are identical.
+        (None, Some(status)) => {
+            let (results, stats, workers) =
+                sim_pool::run_indexed_stats(threads, count, PolicyScratch::new, |scratch, idx| {
+                    eval_page(scratch, start + idx)
+                });
+            status.set_busy(sim_pool::busy_fraction(&workers));
+            (results, stats)
+        }
+        (Some(tracer), _) => {
             let phase_name = format!("mc.{}", policy.name());
             let phase = tracer.span(&phase_name);
             let parent = Some(phase.id());
@@ -534,6 +560,9 @@ pub fn run_memory_range_with(
                 },
             );
             drop(phase);
+            if let Some(status) = status {
+                status.set_busy(sim_pool::busy_fraction(&workers));
+            }
             let utils: Vec<PoolWorkerUtil> = workers
                 .into_iter()
                 .map(|w| PoolWorkerUtil {
@@ -827,7 +856,7 @@ mod tests {
         let hooks = RunHooks {
             telemetry: Some(McTelemetry::for_scheme(&registry, &policy.name())),
             progress: Some(&record),
-            tracer: None,
+            ..RunHooks::default()
         };
         let observed = run_memory_with(&policy, &cfg, &hooks);
 
@@ -889,8 +918,7 @@ mod tests {
         let registry = Registry::new();
         let hooks = RunHooks {
             telemetry: Some(McTelemetry::for_scheme(&registry, "cap4")),
-            progress: None,
-            tracer: None,
+            ..RunHooks::default()
         };
         run_memory_with(&policy, &cfg, &hooks);
         let volatile: std::collections::BTreeMap<String, u64> =
@@ -958,6 +986,42 @@ mod tests {
         let tasks: usize = log.pool[0].workers.iter().map(|w| w.tasks).sum();
         assert_eq!(tasks, 6);
         assert_eq!(log.total_dropped(), 0);
+    }
+
+    #[test]
+    fn status_hooks_heartbeat_without_perturbing_results() {
+        let policy = CapPolicy { cap: 4, bits: 512 };
+        let cfg = SimConfig {
+            pages: 6,
+            page_bits: 4096,
+            block_bits: 512,
+            criterion: FailureCriterion::default(),
+            seed: 77,
+            threads: Some(2),
+        };
+        let plain = run_memory(&policy, &cfg);
+
+        let dir = std::env::temp_dir().join(format!("pcm-sim-status-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let status =
+            StatusWriter::with_interval("engine", &dir, std::time::Duration::ZERO).unwrap();
+        status.set_total_pages(6);
+        let hooks = RunHooks {
+            status: Some(&status),
+            ..RunHooks::default()
+        };
+        let observed = run_memory_with(&policy, &cfg, &hooks);
+        assert_eq!(plain.page_lifetimes, observed.page_lifetimes);
+        assert_eq!(plain.faults_recovered, observed.faults_recovered);
+
+        let record = status.record().unwrap();
+        assert_eq!(record.phase, "mc.cap4");
+        assert_eq!(record.pages_done, 6);
+        assert!(record.busy.is_some(), "pool utilization was sampled");
+        let text = std::fs::read_to_string(dir.join("engine.status.json")).unwrap();
+        let on_disk = sim_telemetry::StatusRecord::parse(&text).unwrap();
+        assert_eq!(on_disk.pages_done, 6);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

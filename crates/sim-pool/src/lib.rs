@@ -110,6 +110,39 @@ pub struct WorkerStats {
     pub pull_ns: Vec<u64>,
 }
 
+impl WorkerStats {
+    /// Fraction of this worker's wall time spent executing tasks,
+    /// 0..=1 (0.0 when no time was observed at all).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        let wall = self.busy_ns + self.idle_ns;
+        if wall == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.busy_ns as f64 / wall as f64
+        }
+    }
+}
+
+/// Pool-wide busy fraction: total busy nanoseconds over total observed
+/// wall nanoseconds across the sampled workers (0.0 for an empty or
+/// unobserved sample). This is the utilization figure surfaced in live
+/// status heartbeats.
+#[must_use]
+pub fn busy_fraction(workers: &[WorkerStats]) -> f64 {
+    let busy: u64 = workers.iter().map(|w| w.busy_ns).sum();
+    let wall: u64 = workers.iter().map(|w| w.busy_ns + w.idle_ns).sum();
+    if wall == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        busy as f64 / wall as f64
+    }
+}
+
 #[allow(clippy::cast_possible_truncation)]
 fn nanos(from: Instant) -> u64 {
     from.elapsed().as_nanos() as u64
@@ -412,6 +445,29 @@ mod tests {
         assert_eq!(workers[0].batches, stats.batches);
         assert_eq!(workers[0].idle_ns, 0);
         assert!(workers[0].pull_ns.is_empty());
+    }
+
+    #[test]
+    fn busy_fraction_weights_workers_by_wall_time() {
+        let workers = vec![
+            WorkerStats {
+                worker: 0,
+                busy_ns: 300,
+                idle_ns: 100,
+                ..WorkerStats::default()
+            },
+            WorkerStats {
+                worker: 1,
+                busy_ns: 100,
+                idle_ns: 500,
+                ..WorkerStats::default()
+            },
+        ];
+        assert!((workers[0].occupancy() - 0.75).abs() < 1e-12);
+        // Pool-wide: 400 busy of 1000 observed wall nanoseconds.
+        assert!((busy_fraction(&workers) - 0.4).abs() < 1e-12);
+        assert_eq!(busy_fraction(&[]), 0.0);
+        assert_eq!(WorkerStats::default().occupancy(), 0.0);
     }
 
     #[test]

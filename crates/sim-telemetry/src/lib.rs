@@ -24,6 +24,14 @@
 //! spans with parent links collected into bounded, drop-counted
 //! per-worker rings — and [`profile`] — span trees with self/total
 //! times plus collapsed-stack and Chrome `trace_event` exporters.
+//!
+//! A third layer adds time-series and live observability:
+//! [`SeriesWriter`] emits periodic metric snapshots keyed by pages
+//! evaluated (deterministic per seed; volatile metrics tagged for
+//! [`strip_volatile`]) into a `<run-id>.series.jsonl` sidecar — see
+//! [`series`] — and [`StatusWriter`] heartbeats run liveness (phase,
+//! progress, ETA, worker busy fraction) into an atomically-rewritten
+//! `<run-id>.status.json` for `experiments monitor` — see [`status`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,7 +41,9 @@ pub mod manifest;
 pub mod profile;
 pub mod registry;
 pub mod run;
+pub mod series;
 pub mod sink;
+pub mod status;
 pub mod trace;
 
 pub use json::{escape, Json, JsonError};
@@ -44,7 +54,9 @@ pub use registry::{
     HISTOGRAM_BUCKETS,
 };
 pub use run::{RunTelemetry, Span};
+pub use series::{SeriesCursor, SeriesWriter};
 pub use sink::{strip_volatile, Event, SharedBuf};
+pub use status::{RunState, StatusRecord, StatusWriter, DEFAULT_STATUS_INTERVAL};
 pub use trace::{
     PoolPhase, PoolWorkerUtil, TraceLog, TraceRecord, TraceSpan, Tracer, WorkerLog,
     WorkerSpanHandle, WorkerTracer, DEFAULT_TRACE_CAPACITY,

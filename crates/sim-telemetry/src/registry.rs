@@ -95,6 +95,42 @@ impl HistogramSnapshot {
     pub fn max_bucket(&self) -> Option<usize> {
         self.buckets.iter().rposition(|&c| c > 0)
     }
+
+    /// Value at quantile `q ∈ [0, 1]` by the ceiling nearest-rank method
+    /// over the bucket tallies: the lower bound of the bucket holding the
+    /// sample of rank `⌈q·n⌉` (with `q = 0` mapping to rank 1). Bucket 0
+    /// reports 0 and bucket `b > 0` reports `2^(b-1)`, so for samples that
+    /// are exact bucket lower bounds (0, 1, 2, 4, …) this agrees with
+    /// nearest-rank percentiles over the raw values. `NaN` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        #[allow(clippy::cast_possible_truncation)]
+        let rank = (self.count as f64 * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &tally) in self.buckets.iter().enumerate() {
+            seen += tally;
+            if seen >= rank {
+                #[allow(clippy::cast_precision_loss)]
+                return if bucket == 0 {
+                    0.0
+                } else {
+                    (1u128 << (bucket - 1)) as f64
+                };
+            }
+        }
+        // count > 0 guarantees the cumulative walk reaches the rank unless
+        // the tallies disagree with count (a corrupt snapshot).
+        f64::NAN
+    }
 }
 
 /// Handle to a named counter. No-op when obtained from a disabled
@@ -406,6 +442,49 @@ mod tests {
         assert_eq!(snap.buckets[10], 1, "2^10 - 1 stays below the boundary");
         assert_eq!(snap.buckets[11], 2, "2^10 and 2^10 + 1 cross it");
         assert_eq!(snap.max_bucket(), Some(11));
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("mc.X.lat");
+        // 0, 1, 2, 4, 8: each sample is its bucket's lower bound.
+        for v in [0, 1, 2, 4, 8] {
+            h.record(v);
+        }
+        let snap = &reg.histograms()[0].1;
+        assert_eq!(snap.quantile(0.0), 0.0, "q=0 is the minimum");
+        assert_eq!(snap.quantile(0.5), 2.0, "rank ⌈0.5·5⌉ = 3");
+        assert_eq!(snap.quantile(0.9), 8.0, "rank ⌈0.9·5⌉ = 5");
+        assert_eq!(snap.quantile(1.0), 8.0);
+
+        // Non-boundary samples report their bucket's lower bound.
+        let reg2 = Registry::new();
+        let h2 = reg2.histogram("mc.X.lat");
+        h2.record(700); // bucket 10 = [512, 1024)
+        let snap2 = &reg2.histograms()[0].1;
+        assert_eq!(snap2.quantile(0.5), 512.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_nan() {
+        let snap = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        };
+        assert!(snap.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let snap = HistogramSnapshot {
+            count: 1,
+            sum: 1,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        };
+        let _ = snap.quantile(1.5);
     }
 
     #[test]

@@ -348,6 +348,9 @@ mod tests {
                 Event::Counter { .. } => "counter",
                 Event::Histogram { .. } => "histogram",
                 Event::Volatile { .. } => "volatile",
+                Event::Series { .. } => "series",
+                Event::SeriesHistogram { .. } => "series_histogram",
+                Event::SeriesVolatile { .. } => "series_volatile",
                 Event::RunEnd { .. } => "run_end",
             })
             .collect();

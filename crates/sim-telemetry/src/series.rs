@@ -1,0 +1,377 @@
+//! Time-series telemetry: periodic metric snapshots keyed by *pages
+//! evaluated*, written to a `<run-id>.series.jsonl` sidecar.
+//!
+//! Where the main event stream ([`crate::sink`]) carries one final
+//! snapshot per metric, a [`SeriesWriter`] samples every counter and
+//! histogram at deterministic barriers while the run is still going. The
+//! sample key is the cumulative number of pages evaluated — never wall
+//! clock — so the sidecar is byte-identical per seed at any thread count
+//! and with tracing or monitoring on or off. Volatile metrics (the
+//! sim-pool steal counters) are sampled too, but tagged as
+//! [`Event::SeriesVolatile`] so [`crate::sink::strip_volatile`] removes
+//! them before byte comparison, exactly like the main stream's
+//! `volatile` lines.
+//!
+//! Samples are only taken at *barriers*: points where every worker
+//! thread has joined and the registry's counter values are a pure
+//! function of the seed (unit completions in the experiment runner,
+//! chunk boundaries coinciding with unit completions in checkpointed
+//! runs). Sampling anywhere else would observe scheduling-dependent
+//! partial counts and break the determinism contract.
+//!
+//! Checkpoint/resume: the writer exposes its cursor
+//! ([`SeriesWriter::cursor`]) for inclusion in an engine snapshot, and
+//! [`SeriesWriter::resume`] reopens the sidecar in append mode at that
+//! cursor, so an interrupted-and-resumed run's sidecar is byte-identical
+//! to an uninterrupted one's.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::registry::Registry;
+use crate::sink::{Event, SharedBuf};
+
+/// The series writer's position, serialized into checkpoints so a
+/// resumed run continues the sidecar instead of restarting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeriesCursor {
+    /// Next event sequence number.
+    pub seq: u64,
+    /// Cumulative pages evaluated.
+    pub pages: u64,
+    /// Pages key of the last emitted sample (`None` before the first).
+    pub last_sample: Option<u64>,
+}
+
+struct SeriesState {
+    writer: Option<Box<dyn Write + Send>>,
+    cursor: SeriesCursor,
+}
+
+/// Periodic snapshot writer for one run; see the module docs.
+pub struct SeriesWriter {
+    run_id: String,
+    /// Minimum pages between samples (0 = sample at every barrier).
+    every: u64,
+    state: Mutex<SeriesState>,
+}
+
+impl SeriesWriter {
+    fn with_sink(
+        run_id: &str,
+        every: u64,
+        writer: Option<Box<dyn Write + Send>>,
+        cursor: SeriesCursor,
+        emit_start: bool,
+    ) -> io::Result<SeriesWriter> {
+        let series = SeriesWriter {
+            run_id: run_id.to_owned(),
+            every,
+            state: Mutex::new(SeriesState { writer, cursor }),
+        };
+        if emit_start {
+            series.emit(&Event::RunStart {
+                run_id: run_id.to_owned(),
+            })?;
+        }
+        Ok(series)
+    }
+
+    /// A writer that records nothing.
+    #[must_use]
+    pub fn disabled() -> SeriesWriter {
+        SeriesWriter {
+            run_id: String::new(),
+            every: 0,
+            state: Mutex::new(SeriesState {
+                writer: None,
+                cursor: SeriesCursor::default(),
+            }),
+        }
+    }
+
+    /// Creates `<dir>/<run-id>.series.jsonl` (truncating any previous
+    /// sidecar) and writes the opening `run_start` line.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory or file cannot be created/written.
+    pub fn create(run_id: &str, dir: &Path, every: u64) -> io::Result<SeriesWriter> {
+        fs::create_dir_all(dir)?;
+        let file = fs::File::create(dir.join(format!("{run_id}.series.jsonl")))?;
+        Self::with_sink(
+            run_id,
+            every,
+            Some(Box::new(io::BufWriter::new(file))),
+            SeriesCursor::default(),
+            true,
+        )
+    }
+
+    /// Reopens `<dir>/<run-id>.series.jsonl` in append mode at `cursor`
+    /// (taken from a checkpoint), so the resumed run's samples continue
+    /// the interrupted run's byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be opened for appending.
+    pub fn resume(
+        run_id: &str,
+        dir: &Path,
+        every: u64,
+        cursor: SeriesCursor,
+    ) -> io::Result<SeriesWriter> {
+        fs::create_dir_all(dir)?;
+        let file = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(dir.join(format!("{run_id}.series.jsonl")))?;
+        Self::with_sink(
+            run_id,
+            every,
+            Some(Box::new(io::BufWriter::new(file))),
+            cursor,
+            false,
+        )
+    }
+
+    /// Streams samples into a [`SharedBuf`] (for in-process tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the opening `run_start` line cannot be written.
+    pub fn with_buffer(run_id: &str, buffer: SharedBuf, every: u64) -> io::Result<SeriesWriter> {
+        Self::with_sink(
+            run_id,
+            every,
+            Some(Box::new(buffer)),
+            SeriesCursor::default(),
+            true,
+        )
+    }
+
+    /// Whether this writer records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.state
+            .lock()
+            .expect("series state poisoned")
+            .writer
+            .is_some()
+    }
+
+    /// The run identifier.
+    #[must_use]
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// The writer's current position (for checkpointing).
+    #[must_use]
+    pub fn cursor(&self) -> SeriesCursor {
+        self.state.lock().expect("series state poisoned").cursor
+    }
+
+    fn emit(&self, event: &Event) -> io::Result<()> {
+        let mut state = self.state.lock().expect("series state poisoned");
+        Self::emit_locked(&mut state, event)
+    }
+
+    fn emit_locked(state: &mut SeriesState, event: &Event) -> io::Result<()> {
+        let seq = state.cursor.seq;
+        if let Some(writer) = state.writer.as_mut() {
+            let line = event.to_json(seq);
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+            state.cursor.seq = seq + 1;
+        }
+        Ok(())
+    }
+
+    /// Advances the pages-evaluated cursor by `pages_delta` and, when the
+    /// sampling interval has been crossed, snapshots every registry metric
+    /// at this barrier: deterministic counters first (sorted by name),
+    /// then histograms, then volatile counters — all keyed by the
+    /// cumulative page count. Returns whether a sample was emitted.
+    ///
+    /// Must only be called at barriers (no simulation worker running).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn advance(&self, registry: &Registry, pages_delta: u64) -> io::Result<bool> {
+        let mut state = self.state.lock().expect("series state poisoned");
+        if state.writer.is_none() {
+            return Ok(false);
+        }
+        state.cursor.pages += pages_delta;
+        let pages = state.cursor.pages;
+        let due = match state.cursor.last_sample {
+            None => true,
+            Some(last) => pages >= last + self.every.max(1),
+        };
+        if !due {
+            return Ok(false);
+        }
+        for (name, value) in registry.counters() {
+            Self::emit_locked(&mut state, &Event::Series { name, pages, value })?;
+        }
+        for (name, snap) in registry.histograms() {
+            Self::emit_locked(
+                &mut state,
+                &Event::series_from_snapshot(&name, pages, &snap),
+            )?;
+        }
+        for (name, value) in registry.volatile_counters() {
+            Self::emit_locked(&mut state, &Event::SeriesVolatile { name, pages, value })?;
+        }
+        state.cursor.last_sample = Some(pages);
+        // Flush at every barrier so an interrupt at a checkpoint barrier
+        // leaves a complete sidecar behind for `resume` to append to.
+        if let Some(writer) = state.writer.as_mut() {
+            writer.flush()?;
+        }
+        Ok(true)
+    }
+
+    /// Writes the closing `run_end` line and flushes. Returns the total
+    /// event count (0 when disabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn finish(self) -> io::Result<u64> {
+        let events = {
+            let state = self.state.lock().expect("series state poisoned");
+            if state.writer.is_none() {
+                return Ok(0);
+            }
+            state.cursor.seq + 1
+        };
+        self.emit(&Event::RunEnd { events })?;
+        let mut state = self.state.into_inner().expect("series state poisoned");
+        if let Some(writer) = state.writer.as_mut() {
+            writer.flush()?;
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::strip_volatile;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("mc.A.pages").add(4);
+        reg.histogram("mc.A.page_fault_arrivals").record(3);
+        reg.volatile_counter("pool.A.pages_stolen").add(2);
+        reg
+    }
+
+    #[test]
+    fn advance_emits_ordered_samples_at_barriers() {
+        let buf = SharedBuf::new();
+        let series = SeriesWriter::with_buffer("s1", buf.clone(), 0).unwrap();
+        let reg = sample_registry();
+        assert!(series.advance(&reg, 4).unwrap());
+        reg.counter("mc.A.pages").add(4);
+        assert!(series.advance(&reg, 4).unwrap());
+        let events = series.finish().unwrap();
+
+        let parsed = Event::parse_stream(&buf.text()).unwrap();
+        assert_eq!(parsed.len() as u64, events);
+        assert!(matches!(&parsed[0], Event::RunStart { run_id } if run_id == "s1"));
+        // Per barrier: counter, histogram, volatile — in that order.
+        assert!(matches!(&parsed[1], Event::Series { name, pages, value }
+                if name == "mc.A.pages" && *pages == 4 && *value == 4));
+        assert!(matches!(&parsed[2], Event::SeriesHistogram { pages, .. } if *pages == 4));
+        assert!(
+            matches!(&parsed[3], Event::SeriesVolatile { name, pages, .. }
+                if name == "pool.A.pages_stolen" && *pages == 4)
+        );
+        assert!(matches!(&parsed[4], Event::Series { pages, value, .. }
+                if *pages == 8 && *value == 8));
+        assert!(matches!(parsed.last(), Some(Event::RunEnd { .. })));
+    }
+
+    #[test]
+    fn interval_skips_barriers_between_samples() {
+        let buf = SharedBuf::new();
+        let series = SeriesWriter::with_buffer("s2", buf.clone(), 8).unwrap();
+        let reg = sample_registry();
+        assert!(series.advance(&reg, 4).unwrap(), "first barrier samples");
+        assert!(!series.advance(&reg, 4).unwrap(), "pages 8 < 4 + 8");
+        assert!(series.advance(&reg, 4).unwrap(), "pages 12 >= 4 + 8");
+        series.finish().unwrap();
+        let pages: Vec<u64> = Event::parse_stream(&buf.text())
+            .unwrap()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Series { pages, .. } => Some(*pages),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pages, vec![4, 12]);
+    }
+
+    #[test]
+    fn stripped_series_is_volatile_free() {
+        let buf = SharedBuf::new();
+        let series = SeriesWriter::with_buffer("s3", buf.clone(), 0).unwrap();
+        let reg = sample_registry();
+        series.advance(&reg, 4).unwrap();
+        series.finish().unwrap();
+        let raw = buf.text();
+        assert!(raw.contains("series_volatile"));
+        let stripped = strip_volatile(&raw);
+        assert!(!stripped.contains("series_volatile"));
+        assert!(stripped.contains("\"event\": \"series\""));
+        assert!(stripped.contains("series_histogram"));
+    }
+
+    #[test]
+    fn disabled_writer_emits_nothing() {
+        let series = SeriesWriter::disabled();
+        assert!(!series.is_enabled());
+        let reg = sample_registry();
+        assert!(!series.advance(&reg, 4).unwrap());
+        assert_eq!(series.cursor(), SeriesCursor::default());
+        assert_eq!(series.finish().unwrap(), 0);
+    }
+
+    #[test]
+    fn resume_appends_byte_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("sim-telemetry-series-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let reg = sample_registry();
+
+        // Straight run: two barriers, then finish.
+        let straight = SeriesWriter::create("straight", &dir, 0).unwrap();
+        straight.advance(&reg, 4).unwrap();
+        straight.advance(&reg, 4).unwrap();
+        straight.finish().unwrap();
+
+        // Interrupted run: one barrier, cursor saved, process "dies".
+        let first = SeriesWriter::create("split", &dir, 0).unwrap();
+        first.advance(&reg, 4).unwrap();
+        let cursor = first.cursor();
+        drop(first); // no finish(): the interrupt path never closes the stream
+        let resumed = SeriesWriter::resume("split", &dir, 0, cursor).unwrap();
+        resumed.advance(&reg, 4).unwrap();
+        resumed.finish().unwrap();
+
+        let a = fs::read_to_string(dir.join("straight.series.jsonl")).unwrap();
+        let b = fs::read_to_string(dir.join("split.series.jsonl")).unwrap();
+        assert_eq!(
+            a.replace("straight", "split"),
+            b,
+            "resumed sidecar must equal the uninterrupted one"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

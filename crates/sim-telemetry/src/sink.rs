@@ -68,6 +68,43 @@ pub enum Event {
         /// Final value (not covered by the determinism contract).
         value: u64,
     },
+    /// Periodic deterministic sample of one counter, keyed by pages
+    /// evaluated (never wall clock). Lives in the `<run-id>.series.jsonl`
+    /// sidecar; covered by the byte-identity contract.
+    Series {
+        /// Metric name (`layer.scheme.metric`).
+        name: String,
+        /// Pages evaluated when the sample was taken.
+        pages: u64,
+        /// Counter value at the sample barrier.
+        value: u64,
+    },
+    /// Periodic deterministic sample of one histogram, keyed by pages
+    /// evaluated. Same sparse bucket encoding as [`Event::Histogram`].
+    SeriesHistogram {
+        /// Metric name (`layer.scheme.metric`).
+        name: String,
+        /// Pages evaluated when the sample was taken.
+        pages: u64,
+        /// Sample count.
+        count: u64,
+        /// Sample sum.
+        sum: u64,
+        /// Non-empty buckets as `(index, count)` pairs, ascending.
+        buckets: Vec<(usize, u64)>,
+    },
+    /// Periodic sample of one *volatile* counter (pool/trace metrics whose
+    /// values are scheduling-dependent). Presence, order and sequence
+    /// numbers are deterministic; [`strip_volatile`] removes these lines
+    /// like [`Event::Volatile`].
+    SeriesVolatile {
+        /// Metric name (`layer.scheme.metric`).
+        name: String,
+        /// Pages evaluated when the sample was taken.
+        pages: u64,
+        /// Counter value (not covered by the determinism contract).
+        value: u64,
+    },
     /// Last line of every stream.
     RunEnd {
         /// Total number of events in the stream, this line included.
@@ -90,6 +127,28 @@ impl Event {
                 .filter(|&(_, &c)| c > 0)
                 .map(|(i, &c)| (i, c))
                 .collect(),
+        }
+    }
+
+    /// Builds a deterministic series histogram sample from a registry
+    /// snapshot, keyed by pages evaluated.
+    #[must_use]
+    pub fn series_from_snapshot(name: &str, pages: u64, snap: &HistogramSnapshot) -> Event {
+        let Event::Histogram {
+            name,
+            count,
+            sum,
+            buckets,
+        } = Event::from_snapshot(name, snap)
+        else {
+            unreachable!("from_snapshot always builds Event::Histogram")
+        };
+        Event::SeriesHistogram {
+            name,
+            pages,
+            count,
+            sum,
+            buckets,
         }
     }
 
@@ -133,6 +192,34 @@ impl Event {
             }
             Event::Volatile { name, value } => format!(
                 "{{\"seq\": {seq}, \"event\": \"volatile\", \"name\": {}, \"value\": {value}}}",
+                escape(name)
+            ),
+            Event::Series { name, pages, value } => format!(
+                "{{\"seq\": {seq}, \"event\": \"series\", \"name\": {}, \"pages\": {pages}, \
+                 \"value\": {value}}}",
+                escape(name)
+            ),
+            Event::SeriesHistogram {
+                name,
+                pages,
+                count,
+                sum,
+                buckets,
+            } => {
+                let cells: Vec<String> = buckets
+                    .iter()
+                    .map(|(index, count)| format!("[{index}, {count}]"))
+                    .collect();
+                format!(
+                    "{{\"seq\": {seq}, \"event\": \"series_histogram\", \"name\": {}, \
+                     \"pages\": {pages}, \"count\": {count}, \"sum\": {sum}, \"buckets\": [{}]}}",
+                    escape(name),
+                    cells.join(", ")
+                )
+            }
+            Event::SeriesVolatile { name, pages, value } => format!(
+                "{{\"seq\": {seq}, \"event\": \"series_volatile\", \"name\": {}, \
+                 \"pages\": {pages}, \"value\": {value}}}",
                 escape(name)
             ),
             Event::RunEnd { events } => {
@@ -182,38 +269,45 @@ impl Event {
                     .u64_field("value")
                     .ok_or_else(|| fail("missing value"))?,
             },
-            "histogram" => {
-                let buckets = value
-                    .get("buckets")
-                    .and_then(Json::as_arr)
-                    .ok_or_else(|| fail("missing buckets"))?
-                    .iter()
-                    .map(|cell| {
-                        let pair = cell.as_arr().filter(|p| p.len() == 2);
-                        match pair {
-                            Some(p) => match (p[0].as_u64(), p[1].as_u64()) {
-                                (Some(index), Some(count)) =>
-                                {
-                                    #[allow(clippy::cast_possible_truncation)]
-                                    Ok((index as usize, count))
-                                }
-                                _ => Err(fail("bucket cell must be [index, count]")),
-                            },
-                            None => Err(fail("bucket cell must be [index, count]")),
-                        }
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                Event::Histogram {
-                    name: name(&value)?,
-                    count: value
-                        .u64_field("count")
-                        .ok_or_else(|| fail("missing count"))?,
-                    sum: value.u64_field("sum").ok_or_else(|| fail("missing sum"))?,
-                    buckets,
-                }
-            }
+            "histogram" => Event::Histogram {
+                name: name(&value)?,
+                count: value
+                    .u64_field("count")
+                    .ok_or_else(|| fail("missing count"))?,
+                sum: value.u64_field("sum").ok_or_else(|| fail("missing sum"))?,
+                buckets: parse_buckets(&value)?,
+            },
             "volatile" => Event::Volatile {
                 name: name(&value)?,
+                value: value
+                    .u64_field("value")
+                    .ok_or_else(|| fail("missing value"))?,
+            },
+            "series" => Event::Series {
+                name: name(&value)?,
+                pages: value
+                    .u64_field("pages")
+                    .ok_or_else(|| fail("missing pages"))?,
+                value: value
+                    .u64_field("value")
+                    .ok_or_else(|| fail("missing value"))?,
+            },
+            "series_histogram" => Event::SeriesHistogram {
+                name: name(&value)?,
+                pages: value
+                    .u64_field("pages")
+                    .ok_or_else(|| fail("missing pages"))?,
+                count: value
+                    .u64_field("count")
+                    .ok_or_else(|| fail("missing count"))?,
+                sum: value.u64_field("sum").ok_or_else(|| fail("missing sum"))?,
+                buckets: parse_buckets(&value)?,
+            },
+            "series_volatile" => Event::SeriesVolatile {
+                name: name(&value)?,
+                pages: value
+                    .u64_field("pages")
+                    .ok_or_else(|| fail("missing pages"))?,
                 value: value
                     .u64_field("value")
                     .ok_or_else(|| fail("missing value"))?,
@@ -250,20 +344,54 @@ impl Event {
     }
 }
 
+/// Parses a sparse `"buckets": [[index, count], ...]` field.
+fn parse_buckets(value: &Json) -> Result<Vec<(usize, u64)>, JsonError> {
+    let fail = |message: &str| JsonError {
+        pos: 0,
+        message: message.to_owned(),
+    };
+    value
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("missing buckets"))?
+        .iter()
+        .map(|cell| {
+            let pair = cell.as_arr().filter(|p| p.len() == 2);
+            match pair {
+                Some(p) => match (p[0].as_u64(), p[1].as_u64()) {
+                    (Some(index), Some(count)) =>
+                    {
+                        #[allow(clippy::cast_possible_truncation)]
+                        Ok((index as usize, count))
+                    }
+                    _ => Err(fail("bucket cell must be [index, count]")),
+                },
+                None => Err(fail("bucket cell must be [index, count]")),
+            }
+        })
+        .collect()
+}
+
 /// Removes volatile event lines from a JSONL stream, returning the text
 /// whose bytes *are* covered by the determinism contract.
 ///
 /// Two same-seed runs (at any thread counts) must satisfy
-/// `strip_volatile(a) == strip_volatile(b)`. Lines that fail to parse are
-/// kept, so the comparison still catches corrupted streams; note the
-/// stripped text has seq gaps where volatile lines were, so it is for
-/// byte comparison only — parse the *full* stream with
+/// `strip_volatile(a) == strip_volatile(b)`. Both [`Event::Volatile`]
+/// final values and [`Event::SeriesVolatile`] samples are stripped. Lines
+/// that fail to parse are kept, so the comparison still catches corrupted
+/// streams; note the stripped text has seq gaps where volatile lines
+/// were, so it is for byte comparison only — parse the *full* stream with
 /// [`Event::parse_stream`].
 #[must_use]
 pub fn strip_volatile(stream: &str) -> String {
     stream
         .lines()
-        .filter(|line| !matches!(Event::parse_line(line), Ok((_, Event::Volatile { .. }))))
+        .filter(|line| {
+            !matches!(
+                Event::parse_line(line),
+                Ok((_, Event::Volatile { .. } | Event::SeriesVolatile { .. }))
+            )
+        })
         .map(|line| format!("{line}\n"))
         .collect()
 }
@@ -393,6 +521,66 @@ mod tests {
 
         // Garbage lines are preserved so corruption still fails compares.
         assert_eq!(strip_volatile("not json\n"), "not json\n");
+    }
+
+    #[test]
+    fn series_events_round_trip_and_strip() {
+        let reg = Registry::new();
+        let h = reg.histogram("codec.Aegis 9x61.slope_trials");
+        h.record(3);
+        let snap = &reg.histograms()[0].1;
+        let events = vec![
+            Event::RunStart {
+                run_id: "x".to_owned(),
+            },
+            Event::Series {
+                name: "mc.A.pages".to_owned(),
+                pages: 4,
+                value: 4,
+            },
+            Event::series_from_snapshot("codec.Aegis 9x61.slope_trials", 4, snap),
+            Event::SeriesVolatile {
+                name: "pool.A.pages_stolen".to_owned(),
+                pages: 4,
+                value: 2,
+            },
+            Event::RunEnd { events: 5 },
+        ];
+        let stream: String = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.to_json(i as u64) + "\n")
+            .collect();
+        assert_eq!(Event::parse_stream(&stream).unwrap(), events);
+
+        // Volatile-tagged samples strip; deterministic samples stay.
+        let stripped = strip_volatile(&stream);
+        assert!(!stripped.contains("series_volatile"));
+        assert!(stripped.contains("\"series\""));
+        assert!(stripped.contains("series_histogram"));
+        assert_eq!(stripped.lines().count(), 4);
+
+        // Streams differing only in the volatile sample strip identically.
+        let other = stream.replace("\"pages\": 4, \"value\": 2", "\"pages\": 4, \"value\": 77");
+        assert_ne!(stream, other);
+        assert_eq!(stripped, strip_volatile(&other));
+    }
+
+    #[test]
+    fn series_parser_requires_pages_key() {
+        assert!(Event::parse_line(
+            "{\"seq\": 0, \"event\": \"series\", \"name\": \"x\", \"value\": 1}"
+        )
+        .is_err());
+        assert!(Event::parse_line(
+            "{\"seq\": 0, \"event\": \"series_volatile\", \"name\": \"x\", \"value\": 1}"
+        )
+        .is_err());
+        assert!(Event::parse_line(
+            "{\"seq\": 0, \"event\": \"series_histogram\", \"name\": \"x\", \
+             \"count\": 1, \"sum\": 1, \"buckets\": [[1, 1]]}"
+        )
+        .is_err());
     }
 
     #[test]

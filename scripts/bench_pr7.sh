@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Regenerates the PR 7 series/status-overhead record
+# results/bench/BENCH_pr7.json (and, with --baseline, the regression
+# baseline next to it): times `experiments fig5 --full` twice back to
+# back — bare, then with `--series --status` — so the wall-clock pair
+# shares one machine regime, then runs the `series` bench target with
+# both measurements spliced into the document (pre = bare plus the
+# tolerated 2%, post = instrumented; the gate's `post < pre` check
+# enforces "sidecars within 2% of a bare run end to end"), then runs
+# the gate. The bench itself gates the recurring per-unit overhead as a
+# fraction of the unit it rides on — see crates/bench/benches/series.rs
+# for why the fraction, not a race of two like-sized legs, is what a
+# noisy shared runner can verify.
+#
+# Usage: scripts/bench_pr7.sh [--baseline]
+#   --baseline   also copy the fresh record over BENCH_pr7.baseline.json
+#                (do this when re-recording on a new reference machine).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline -p aegis-experiments -p aegis-bench
+
+out="${TMPDIR:-/tmp}/aegis-bench-pr7-fig5"
+rm -rf "$out"
+TIMEFORMAT='%R'
+echo "==> timing experiments fig5 --full, bare (this takes minutes)"
+bare=$( { time ./target/release/experiments fig5 --full \
+    --quiet --out "$out" >/dev/null; } 2>&1 )
+echo "==> bare fig5 --full wall clock: ${bare}s"
+
+echo "==> timing experiments fig5 --full --series --status (this takes minutes)"
+instrumented=$( { time ./target/release/experiments fig5 --full --series --status \
+    --run-id bench-pr7 --quiet --out "$out" >/dev/null; } 2>&1 )
+rm -rf "$out"
+echo "==> instrumented fig5 --full wall clock: ${instrumented}s"
+
+echo "==> cargo bench -p aegis-bench --bench series"
+SIM_FIG5_BARE_SECONDS="$bare" SIM_FIG5_FULL_SECONDS="$instrumented" \
+    cargo bench --offline -p aegis-bench --bench series
+
+if [[ "${1:-}" == "--baseline" ]]; then
+    cp results/bench/BENCH_pr7.json results/bench/BENCH_pr7.baseline.json
+    echo "==> baseline re-recorded"
+fi
+
+echo "==> bench-gate"
+cargo run -q --release --offline -p aegis-bench --bin bench-gate

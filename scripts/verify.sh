@@ -96,10 +96,40 @@ cmp "$shard_out/ref-stream.jsonl" "$shard_out/sh-stream.jsonl" \
     || { echo "merged telemetry stream differs from the unsharded run" >&2; exit 1; }
 rm -rf "$shard_out"
 
+# Observability smoke: runs recorded with --series --status must leave a
+# series sidecar and a status heartbeat; `monitor --once --json` must
+# report the finished campaign all_done; `telemetry-diff` must find a
+# run clean against its own seed (exit 0) and drifted against a
+# different seed (exit 1) — the self-check that makes the diff tool
+# trustworthy as a regression gate.
+obs_out="${TMPDIR:-/tmp}/aegis-verify-obs"
+rm -rf "$obs_out"
+echo "==> observability smoke (series/status/monitor/telemetry-diff)"
+for run in "obs-a 5" "obs-b 5" "obs-c 6"; do
+    set -- $run
+    cargo run --release --offline -p aegis-experiments -- \
+        fig5 --pages 2 --seed "$2" --series --status --run-id "$1" \
+        --quiet --out "$obs_out" >/dev/null
+    for f in "$obs_out/telemetry/$1.series.jsonl" "$obs_out/telemetry/$1.status.json"; do
+        [[ -s "$f" ]] || { echo "missing observability output: $f" >&2; exit 1; }
+    done
+done
+cargo run --release --offline -p aegis-experiments -- \
+    monitor --once --json --out "$obs_out" | grep -q '"all_done": true' \
+    || { echo "monitor did not report the finished campaign all_done" >&2; exit 1; }
+cargo run --release --offline -p aegis-experiments -- \
+    telemetry-diff obs-a obs-b --out "$obs_out" >/dev/null \
+    || { echo "telemetry-diff flagged drift between identical seeds" >&2; exit 1; }
+if cargo run --release --offline -p aegis-experiments -- \
+    telemetry-diff obs-a obs-c --out "$obs_out" >/dev/null 2>&1; then
+    echo "telemetry-diff missed drift between different seeds" >&2; exit 1
+fi
+rm -rf "$obs_out"
+
 # Repo hygiene: every PR's bench record AND its regression baseline must
 # be committed — the PR 4 pair was once missing for two releases because
 # the gate only printed a skip notice when a baseline was absent.
-for pr in pr3 pr4 pr5; do
+for pr in pr3 pr4 pr5 pr7; do
     for f in "results/bench/BENCH_$pr.json" "results/bench/BENCH_$pr.baseline.json"; do
         [[ -s "$f" ]] || { echo "missing committed bench record: $f" >&2; exit 1; }
     done
@@ -116,16 +146,17 @@ SIM_PROP_CASES=10000 run cargo test -q --offline --release --test differential_k
 # reference across all six policies (see tests/incremental_policies.rs).
 SIM_PROP_CASES=10000 run cargo test -q --offline --release --test incremental_policies
 
-# Bench gate: run the kernel (PR 3), engine (PR 4) and tracing-overhead
-# (PR 5) benchmarks into a scratch directory (so the tracked
-# results/bench/ records are not clobbered) and check the speedup and
-# overhead ratios plus the recorded baselines (see EXPERIMENTS.md for
-# regeneration).
+# Bench gate: run the kernel (PR 3), engine (PR 4), tracing-overhead
+# (PR 5) and series/status-overhead (PR 7) benchmarks into a scratch
+# directory (so the tracked results/bench/ records are not clobbered)
+# and check the speedup and overhead ratios plus the recorded baselines
+# (see EXPERIMENTS.md for regeneration).
 bench_out="${TMPDIR:-/tmp}/aegis-verify-bench"
 rm -rf "$bench_out"
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench kernels
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench engine
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench tracing
+SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench series
 run cargo run -q --release --offline -p aegis-bench --bin bench-gate \
     "$bench_out/BENCH_pr3.json" results/bench
 rm -rf "$bench_out"

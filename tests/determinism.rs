@@ -14,7 +14,9 @@ use aegis_pcm::aegis::{AegisPolicy, Rectangle};
 use aegis_pcm::pcm::forensics::{derive_block_timeline, trace_block, BlockTraceConfig};
 use aegis_pcm::pcm::montecarlo::{evaluate_block, run_memory, FailureCriterion, SimConfig};
 use aegis_pcm::pcm::timeline::TimelineSampler;
-use aegis_pcm::telemetry::{strip_volatile, Event, RunTelemetry, SharedBuf, Tracer};
+use aegis_pcm::telemetry::{
+    strip_volatile, Event, RunTelemetry, SeriesWriter, SharedBuf, StatusWriter, Tracer,
+};
 use sim_rng::{Rng, RngCore, SeedableRng, SmallRng};
 
 /// The raw generator is reproducible from a seed and sensitive to it.
@@ -280,8 +282,8 @@ fn telemetry_stream_traced(seed: u64, threads: Option<usize>) -> String {
     let tracer = Tracer::new(1024);
     let observer = RunObserver {
         registry: Some(run.registry()),
-        progress: None,
         tracer: Some(&tracer),
+        ..RunObserver::default()
     };
     let _ = summarize_schemes_with(&schemes::fig5_schemes(512), 512, &opts, &observer);
     let log = tracer
@@ -315,6 +317,228 @@ fn tracing_does_not_perturb_the_deterministic_stream() {
         strip_volatile(&pooled),
         "traced runs must stay thread-count independent"
     );
+}
+
+/// Runs the fig5 512-bit sweep with a series sidecar attached and returns
+/// `(deterministic stream, series sidecar)` text. Optionally attaches a
+/// tracer and a live status heartbeat, which must both be pure observers.
+fn series_stream_with(
+    seed: u64,
+    threads: Option<usize>,
+    traced: bool,
+    status: Option<&StatusWriter>,
+) -> (String, String) {
+    let buf = SharedBuf::new();
+    let series_buf = SharedBuf::new();
+    let run = RunTelemetry::with_buffer("series-det", buf.clone()).expect("buffer sink");
+    let series = SeriesWriter::with_buffer("series-det", series_buf.clone(), 0).expect("series");
+    let opts = RunOptions {
+        pages: 3,
+        seed,
+        threads,
+        ..RunOptions::default()
+    };
+    let tracer = if traced {
+        Tracer::new(1024)
+    } else {
+        Tracer::disabled()
+    };
+    let observer = RunObserver {
+        registry: Some(run.registry()),
+        tracer: tracer.is_enabled().then_some(&tracer),
+        series: Some(&series),
+        status,
+        ..RunObserver::default()
+    };
+    let _ = summarize_schemes_with(&schemes::fig5_schemes(512), 512, &opts, &observer);
+    series.finish().expect("series finish");
+    run.finish().expect("finish");
+    (buf.text(), series_buf.text())
+}
+
+/// The series sidecar is part of the determinism contract: samples are
+/// taken at unit barriers keyed by pages evaluated (never wall clock), so
+/// after stripping the declared-volatile pool samples the sidecar must be
+/// byte-identical across worker-thread counts, with tracing on or off,
+/// and with live status monitoring on or off — and attaching the sidecar
+/// must not change a byte of the deterministic stream itself.
+#[test]
+fn series_sidecar_is_byte_identical_across_threads_tracing_and_monitoring() {
+    let (plain_stream, _) = {
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("series-det", buf.clone()).expect("buffer sink");
+        let opts = RunOptions {
+            pages: 3,
+            seed: 11,
+            threads: Some(2),
+            ..RunOptions::default()
+        };
+        let observer = RunObserver::with_registry(run.registry());
+        let _ = summarize_schemes_with(&schemes::fig5_schemes(512), 512, &opts, &observer);
+        run.finish().expect("finish");
+        (buf.text(), ())
+    };
+
+    let status_dir = std::env::temp_dir().join("aegis-det-series-status");
+    let _ = std::fs::remove_dir_all(&status_dir);
+    let status = StatusWriter::create("series-det", &status_dir).expect("status");
+    let (stream_1, series_1) = series_stream_with(11, Some(1), false, None);
+    let (stream_4, series_4) = series_stream_with(11, Some(4), true, Some(&status));
+    let (_, series_8) = series_stream_with(11, Some(8), false, None);
+    let (_, series_other) = series_stream_with(12, Some(1), false, None);
+    let _ = std::fs::remove_dir_all(&status_dir);
+
+    assert_eq!(
+        strip_volatile(&plain_stream),
+        strip_volatile(&stream_1),
+        "attaching a series sidecar must not change the deterministic stream"
+    );
+    assert_eq!(
+        strip_volatile(&stream_1),
+        strip_volatile(&stream_4),
+        "stream identity must hold with series + tracing + status attached"
+    );
+    assert_eq!(
+        strip_volatile(&series_1),
+        strip_volatile(&series_4),
+        "series sidecars must be identical across threads/tracing/monitoring"
+    );
+    assert_eq!(strip_volatile(&series_1), strip_volatile(&series_8));
+    assert_ne!(
+        strip_volatile(&series_1),
+        strip_volatile(&series_other),
+        "different seeds must change the sampled series"
+    );
+    // The scheduling-dependent pool samples are present in the raw sidecar
+    // as series_volatile events — observable, but outside the contract.
+    assert!(
+        series_4.contains("\"event\": \"series_volatile\""),
+        "pool counters must be sampled as series_volatile events"
+    );
+    assert!(series_1.contains("\"event\": \"series\""));
+    assert!(series_1.contains("\"event\": \"series_histogram\""));
+}
+
+/// An interrupted-then-resumed checkpointed run continues its series
+/// sidecar from the snapshot's cursor: the finished file must be
+/// byte-identical (after volatile stripping) to the sidecar of a run
+/// that was never interrupted.
+#[test]
+fn checkpoint_resume_continues_the_series_sidecar() {
+    use aegis_experiments::checkpoint::{
+        run_fig567_checkpointed, Checkpoint, CheckpointCtl, CheckpointOutcome,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let opts = RunOptions {
+        pages: 4,
+        seed: 13,
+        ..RunOptions::default()
+    };
+    let dir = std::env::temp_dir().join("aegis-det-series-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let straight_dir = dir.join("straight");
+    let resumed_dir = dir.join("resumed");
+    let path = dir.join("sr.ckpt.json");
+
+    // Straight reference leg.
+    {
+        let run = RunTelemetry::with_buffer("sr", SharedBuf::new()).expect("buffer sink");
+        let series = SeriesWriter::create("sr", &straight_dir, 0).expect("series");
+        let observer = RunObserver {
+            registry: Some(run.registry()),
+            series: Some(&series),
+            ..RunObserver::default()
+        };
+        match run_fig567_checkpointed(
+            &opts,
+            &observer,
+            false,
+            &CheckpointCtl {
+                path: dir.join("straight.ckpt.json"),
+                every: 2,
+                interrupted: &AtomicBool::new(false),
+                resume: None,
+                fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+            },
+        )
+        .expect("straight run")
+        {
+            CheckpointOutcome::Complete(_) => {}
+            CheckpointOutcome::Interrupted => panic!("nothing interrupts the straight leg"),
+        }
+        series.finish().expect("series finish");
+        run.finish().expect("finish");
+    }
+
+    // Interrupted leg: the progress hook pulls the plug mid-run, so the
+    // snapshot lands at a chunk barrier with the sidecar mid-unit.
+    {
+        let interrupted = AtomicBool::new(false);
+        let pull_plug = |_: &str, done: usize, _: usize| {
+            if done >= 2 {
+                interrupted.store(true, Ordering::SeqCst);
+            }
+        };
+        let run = RunTelemetry::with_buffer("sr", SharedBuf::new()).expect("buffer sink");
+        let series = SeriesWriter::create("sr", &resumed_dir, 0).expect("series");
+        let observer = RunObserver {
+            registry: Some(run.registry()),
+            progress: Some(&pull_plug),
+            series: Some(&series),
+            ..RunObserver::default()
+        };
+        let ctl = CheckpointCtl {
+            path: path.clone(),
+            every: 2,
+            interrupted: &interrupted,
+            resume: None,
+            fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+        };
+        match run_fig567_checkpointed(&opts, &observer, false, &ctl).expect("interrupted run") {
+            CheckpointOutcome::Interrupted => {}
+            CheckpointOutcome::Complete(_) => panic!("the pulled plug must stop the run"),
+        }
+        assert!(path.exists(), "interruption must leave a snapshot");
+        run.finish().expect("finish");
+        // The writer is dropped without finish(): an interrupted sidecar
+        // is open-ended, exactly like the CLI leaves it.
+    }
+
+    // Resumed leg: reopen the sidecar at the snapshot's cursor.
+    {
+        let resume = Checkpoint::load(&path).expect("snapshot loads");
+        let run = RunTelemetry::with_buffer("sr", SharedBuf::new()).expect("buffer sink");
+        let series =
+            SeriesWriter::resume("sr", &resumed_dir, 0, resume.series).expect("series resume");
+        let observer = RunObserver {
+            registry: Some(run.registry()),
+            series: Some(&series),
+            ..RunObserver::default()
+        };
+        let ctl = CheckpointCtl {
+            path: path.clone(),
+            every: 2,
+            interrupted: &AtomicBool::new(false),
+            resume: Some(resume),
+            fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+        };
+        match run_fig567_checkpointed(&opts, &observer, false, &ctl).expect("resumed run") {
+            CheckpointOutcome::Complete(_) => {}
+            CheckpointOutcome::Interrupted => panic!("nothing interrupts the resumed leg"),
+        }
+        series.finish().expect("series finish");
+        run.finish().expect("finish");
+    }
+
+    let straight = std::fs::read_to_string(straight_dir.join("sr.series.jsonl")).expect("read");
+    let resumed = std::fs::read_to_string(resumed_dir.join("sr.series.jsonl")).expect("read");
+    assert_eq!(
+        strip_volatile(&resumed),
+        strip_volatile(&straight),
+        "resume must continue the sidecar byte-for-byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Block-death forensics is an exact replay: for every fig5 scheme, the

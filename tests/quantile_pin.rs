@@ -1,0 +1,95 @@
+//! Pins [`HistogramSnapshot::quantile`] against the repo's reference
+//! nearest-rank implementation, `pcm_sim::stats::percentile`.
+//!
+//! The telemetry histograms are log₂-bucketed, so a quantile read off the
+//! buckets can only report bucket *lower bounds*. For sample sets whose
+//! values are exactly those lower bounds (0, 1, 2, 4, 8, …) no precision
+//! is lost, and the two implementations must agree exactly — for every
+//! multiset and every quantile. This is what lets `telemetry-report`
+//! print p50/p99 rows that mean the same thing as the figure modules'
+//! percentile columns.
+
+use aegis_pcm::pcm::stats::percentile;
+use aegis_pcm::telemetry::{HistogramSnapshot, Registry};
+
+/// Bucket lower bounds used as sample values: bucket 0 holds {0}, bucket
+/// `b > 0` starts at `2^(b-1)`.
+const LOWER_BOUNDS: [u64; 6] = [0, 1, 2, 4, 8, 16];
+
+const QUANTILES: [f64; 8] = [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let registry = Registry::new();
+    let histogram = registry.histogram("pin.test.samples");
+    for &sample in samples {
+        histogram.record(sample);
+    }
+    let (_, snapshot) = registry
+        .histograms()
+        .into_iter()
+        .find(|(name, _)| name == "pin.test.samples")
+        .expect("recorded histogram is in the registry");
+    snapshot
+}
+
+/// Exhaustive agreement over every multiset of bucket lower bounds up to
+/// size 4 (1296 ordered tuples; order cannot matter and duplicates are
+/// cheap), at every quantile.
+#[test]
+fn quantile_matches_reference_percentile_on_exhaustive_small_cases() {
+    let mut checked = 0usize;
+    for len in 1..=4usize {
+        let mut indices = vec![0usize; len];
+        loop {
+            let samples: Vec<u64> = indices.iter().map(|&i| LOWER_BOUNDS[i]).collect();
+            let snapshot = snapshot_of(&samples);
+            #[allow(clippy::cast_precision_loss)]
+            let values: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+            for q in QUANTILES {
+                let from_buckets = snapshot.quantile(q);
+                let reference = percentile(&values, q);
+                assert_eq!(
+                    from_buckets.to_bits(),
+                    reference.to_bits(),
+                    "samples {samples:?} at q={q}: buckets say {from_buckets}, \
+                     reference says {reference}"
+                );
+            }
+            checked += 1;
+            // Odometer over LOWER_BOUNDS^len.
+            let mut pos = 0;
+            loop {
+                indices[pos] += 1;
+                if indices[pos] < LOWER_BOUNDS.len() {
+                    break;
+                }
+                indices[pos] = 0;
+                pos += 1;
+                if pos == len {
+                    break;
+                }
+            }
+            if pos == len {
+                break;
+            }
+        }
+    }
+    assert_eq!(checked, 6 + 36 + 216 + 1296);
+}
+
+/// Both implementations agree that an empty sample set has no quantiles.
+#[test]
+fn empty_histograms_report_nan_like_the_reference() {
+    let snapshot = snapshot_of(&[]);
+    assert!(snapshot.quantile(0.5).is_nan());
+    assert!(percentile(&[], 0.5).is_nan());
+}
+
+/// Values *between* lower bounds round down to their bucket's lower
+/// bound — the documented precision loss of the log₂ encoding.
+#[test]
+fn interior_values_round_down_to_bucket_lower_bounds() {
+    let snapshot = snapshot_of(&[5, 6, 7]);
+    assert_eq!(snapshot.quantile(0.5), 4.0);
+    assert_eq!(percentile(&[5.0, 6.0, 7.0], 0.5), 6.0);
+}
