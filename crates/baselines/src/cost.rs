@@ -28,6 +28,22 @@ pub fn rdis_paper_overhead(block_bits: usize) -> Option<usize> {
     }
 }
 
+/// Additive-masking overhead: `t` BCH row-blocks of `m = field_bits(n)`
+/// bits each (the coefficient vector `a` ∈ GF(2^m)^t stored alongside the
+/// block). Mask6 at 512 bits costs 60 — one bit under ECP6's 61.
+#[must_use]
+pub fn masking_overhead(t: usize, block_bits: usize) -> usize {
+    t * crate::gf2m::field_bits(block_bits)
+}
+
+/// Partitioned-linear-code overhead: `t_mask` masking row-blocks plus
+/// `t_ecc` ECP-style pointer entries (no ECP "full bit" — the mask part
+/// already distinguishes the all-repaired case).
+#[must_use]
+pub fn plbc_overhead(t_mask: usize, t_ecc: usize, block_bits: usize) -> usize {
+    masking_overhead(t_mask, block_bits) + t_ecc * (ceil_log2(block_bits) + 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +60,16 @@ mod tests {
         assert_eq!(rdis_paper_overhead(512), Some(97));
         assert_eq!(rdis_paper_overhead(256), Some(64));
         assert_eq!(rdis_paper_overhead(128), None);
+    }
+
+    #[test]
+    fn masking_and_plbc_land_on_the_matched_budget() {
+        // m = 10 at 512 bits, pointer entry = ⌈log₂512⌉ + 1 = 10.
+        assert_eq!(masking_overhead(6, 512), 60);
+        assert_eq!(plbc_overhead(4, 2, 512), 60);
+        assert_eq!(plbc_overhead(5, 1, 512), 60);
+        // All three sit at or under ECP6's 61.
+        assert!(masking_overhead(6, 512) < ecp_overhead(6, 512));
+        assert_eq!(masking_overhead(2, 15), 8); // primitive length, m = 4
     }
 }

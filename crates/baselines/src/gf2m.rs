@@ -1,0 +1,132 @@
+//! Minimal GF(2^m) arithmetic for the BCH-based masking comparators.
+//!
+//! The additive-masking encoder (Kim & Kumar, arXiv:1304.4821) and the
+//! redundancy-allocated partitioned linear code (arXiv:1305.3289) both
+//! build their parity columns from consecutive powers of a primitive
+//! element α of GF(2^m). Construction happens once per scheme instance,
+//! so a plain shift-and-reduce power table is all that is needed — no
+//! log/antilog tables, no carry-less multiply.
+
+/// Primitive polynomial for GF(2^m), as the feedback mask including the
+/// `x^m` term (so `poly & (1 << m) != 0`).
+///
+/// # Panics
+///
+/// Panics for `m` outside the supported `2..=13` range (enough for any
+/// block up to 8191 bits; the paper's blocks are 128–512 bits).
+#[must_use]
+pub fn primitive_poly(m: usize) -> u32 {
+    match m {
+        2 => 0b111,                // x^2 + x + 1
+        3 => 0b1011,               // x^3 + x + 1
+        4 => 0b1_0011,             // x^4 + x + 1
+        5 => 0b10_0101,            // x^5 + x^2 + 1
+        6 => 0b100_0011,           // x^6 + x + 1
+        7 => 0b1000_1001,          // x^7 + x^3 + 1
+        8 => 0b1_0001_1101,        // x^8 + x^4 + x^3 + x^2 + 1
+        9 => 0b10_0001_0001,       // x^9 + x^4 + 1
+        10 => 0b100_0000_1001,     // x^10 + x^3 + 1
+        11 => 0b1000_0000_0101,    // x^11 + x^2 + 1
+        12 => 0b1_0000_0101_0011,  // x^12 + x^6 + x^4 + x + 1
+        13 => 0b10_0000_0001_1011, // x^13 + x^4 + x^3 + x + 1
+        _ => panic!("GF(2^{m}) is outside the supported 2..=13 range"),
+    }
+}
+
+/// Smallest field degree `m` with `2^m − 1 ≥ n`, i.e. the smallest field
+/// whose multiplicative group provides `n` *distinct* powers
+/// `α^0, …, α^{n−1}`. A 512-bit block needs m = 10.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the required degree exceeds the supported range.
+#[must_use]
+pub fn field_bits(n: usize) -> usize {
+    assert!(n >= 1, "field for an empty block");
+    let mut m = 2;
+    while (1usize << m) - 1 < n {
+        m += 1;
+        assert!(
+            m <= 13,
+            "block of {n} bits exceeds the supported field range"
+        );
+    }
+    m
+}
+
+/// The powers `α^0, α^1, …, α^{count−1}` of the primitive element of
+/// GF(2^m), each as an m-bit polynomial representation.
+///
+/// # Panics
+///
+/// As [`primitive_poly`]; also if `count` exceeds the group order
+/// `2^m − 1` (beyond which powers repeat and columns would collide).
+#[must_use]
+pub fn alpha_powers(m: usize, count: usize) -> Vec<u32> {
+    let poly = primitive_poly(m);
+    let order = (1usize << m) - 1;
+    assert!(
+        count <= order,
+        "{count} powers exceed the order {order} of GF(2^{m})*"
+    );
+    let mut powers = Vec::with_capacity(count);
+    let mut value: u32 = 1;
+    for _ in 0..count {
+        powers.push(value);
+        value <<= 1; // multiply by α = x
+        if value & (1 << m) != 0 {
+            value ^= poly;
+        }
+    }
+    powers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_bits_matches_the_block_sizes_of_interest() {
+        assert_eq!(field_bits(15), 4); // primitive length: 2^4 − 1 = 15
+        assert_eq!(field_bits(16), 5);
+        assert_eq!(field_bits(128), 8);
+        assert_eq!(field_bits(256), 9);
+        assert_eq!(field_bits(512), 10);
+        assert_eq!(field_bits(1023), 10);
+        assert_eq!(field_bits(1024), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported field range")]
+    fn oversized_blocks_panic() {
+        let _ = field_bits(1 << 14);
+    }
+
+    #[test]
+    fn alpha_powers_are_distinct_and_cycle_correctly() {
+        for m in 2..=13 {
+            let order = (1usize << m) - 1;
+            let powers = alpha_powers(m, order);
+            assert_eq!(powers[0], 1);
+            // All powers nonzero, m bits wide, and pairwise distinct
+            // (α is primitive, so its order is exactly 2^m − 1).
+            let mut seen = vec![false; 1 << m];
+            for &p in &powers {
+                assert!(p != 0 && (p >> m) == 0, "GF(2^{m}): power {p:#x}");
+                assert!(!std::mem::replace(&mut seen[p as usize], true));
+            }
+            // One more multiplication by α wraps back to α^0 = 1.
+            let mut next = powers[order - 1] << 1;
+            if next & (1 << m) != 0 {
+                next ^= primitive_poly(m);
+            }
+            assert_eq!(next, 1, "α^{order} must equal 1 in GF(2^{m})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the order")]
+    fn too_many_powers_panic() {
+        let _ = alpha_powers(4, 16);
+    }
+}

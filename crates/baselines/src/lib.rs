@@ -13,7 +13,13 @@
 //!   invertible set (Melhem et al., DSN 2012), depth-parameterized
 //!   (RDIS-3 by default);
 //! - [`UnprotectedCodec`] / [`UnprotectedPolicy`] — the normalization
-//!   baseline of the lifetime-improvement figures.
+//!   baseline of the lifetime-improvement figures;
+//! - [`MaskingCodec`] / [`MaskingPolicy`] — the additive-masking encoder
+//!   of Kim & Kumar (arXiv:1304.4821), XORing a BCH-derived mask so that
+//!   every stuck cell lands on its stuck value;
+//! - [`PlbcCodec`] / [`PlbcPolicy`] — the redundancy-allocated
+//!   partitioned linear code (arXiv:1305.3289), trading masking rows for
+//!   ECP-style pointer repairs at matched overhead.
 //!
 //! Each scheme comes in two faces, like the Aegis variants in
 //! [`aegis_core`]: a functional [`StuckAtCodec`](pcm_sim::codec::StuckAtCodec)
@@ -44,15 +50,20 @@
 #![warn(missing_docs)]
 
 mod ecp;
+mod masking;
+mod plbc;
 mod rdis;
 mod safer;
 mod unprotected;
 
 pub mod cost;
+pub mod gf2m;
 pub mod hamming;
 
 pub use ecp::{EcpCodec, EcpPolicy};
 pub use hamming::{HammingCodec, HammingPolicy};
+pub use masking::{MaskMatrix, MaskSystem, MaskingCodec, MaskingPolicy, MAX_MASK_FAULTS};
+pub use plbc::{PlbcCodec, PlbcPolicy, MAX_PLBC_POINTERS};
 pub use rdis::{InvertibleSets, RdisCodec, RdisPolicy, RdisRom, RdisScheme};
 pub use safer::{combinations, PartitionSearch, SaferCodec, SaferPolicy, SaferScheme};
 pub use unprotected::{UnprotectedCodec, UnprotectedPolicy};

@@ -1,5 +1,6 @@
-//! Benchmarks the Figure 8 pipeline: per-block failure CDFs for the
-//! cache/no-cache scheme set.
+//! Benchmarks the block-failure-CDF pipeline (the paper's Figure 8,
+//! `experiments failcdf`): per-block failure CDFs for the cache/no-cache
+//! scheme set.
 
 use aegis_bench::bench_options;
 use aegis_experiments::schemes;
@@ -8,11 +9,11 @@ use sim_rng::bench::Bench;
 use sim_rng::{bench_group, bench_main};
 use std::hint::black_box;
 
-fn bench_fig8(c: &mut Bench) {
+fn bench_failcdf(c: &mut Bench) {
     let opts = bench_options();
-    let mut group = c.benchmark_group("fig8_block_failure_cdf");
+    let mut group = c.benchmark_group("failcdf_block_failure_cdf");
     group.sample_size(10);
-    for policy in schemes::fig8_schemes() {
+    for policy in schemes::failcdf_schemes() {
         group.bench_function(policy.name(), |b| {
             b.iter(|| {
                 black_box(block_failure_cdf(
@@ -27,5 +28,5 @@ fn bench_fig8(c: &mut Bench) {
     group.finish();
 }
 
-bench_group!(benches, bench_fig8);
+bench_group!(benches, bench_failcdf);
 bench_main!(benches);

@@ -1,4 +1,5 @@
-//! Deterministic checkpoint/resume for the fig5/6/7 Monte Carlo family.
+//! Deterministic checkpoint/resume for the fig5/6/7 and fig8 Monte Carlo
+//! campaigns.
 //!
 //! A checkpoint is a serializable engine snapshot taken at a page-range
 //! boundary: the per-unit page high-water marks, the partial per-scheme
@@ -20,9 +21,10 @@
 //! and is round-trip tested in `pcm-sim`; see DESIGN.md §12.
 
 use crate::fig567::Fig567;
-use crate::runner::{RunObserver, RunOptions, SchemeSummary};
+use crate::fig8::{self, Fig8};
+use crate::runner::{run_labeled_range, RunObserver, RunOptions, SchemeSummary};
 use crate::schemes::{self, Policy};
-use pcm_sim::montecarlo::{self, McTelemetry, MemoryRun, RunHooks};
+use pcm_sim::montecarlo::{MemoryRun, SimConfig};
 use sim_telemetry::{
     escape, HistogramSnapshot, Json, Registry, RunState, SeriesCursor, SeriesWriter,
     HISTOGRAM_BUCKETS,
@@ -455,32 +457,56 @@ pub fn run_unit_range(
     start: usize,
     end: usize,
 ) -> MemoryRun {
-    let cfg = opts.sim_config(block_bits);
-    let name = policy.name();
-    let telemetry = observer
-        .registry
-        .map(|registry| McTelemetry::for_scheme(registry, &name));
-    match observer.progress {
-        Some(report) => {
-            let forward = |done: usize, total: usize| report(&name, done, total);
-            let hooks = RunHooks {
-                telemetry,
-                progress: Some(&forward),
-                tracer: observer.tracer,
-                status: observer.status,
-            };
-            montecarlo::run_memory_range_with(policy.as_ref(), &cfg, start, end, &hooks)
-        }
-        None => {
-            let hooks = RunHooks {
-                telemetry,
-                progress: None,
-                tracer: observer.tracer,
-                status: observer.status,
-            };
-            montecarlo::run_memory_range_with(policy.as_ref(), &cfg, start, end, &hooks)
-        }
-    }
+    run_labeled_range(
+        policy.as_ref(),
+        &policy.name(),
+        &opts.sim_config(block_bits),
+        observer,
+        start,
+        end,
+    )
+}
+
+/// One Monte Carlo unit of a checkpointed or sharded campaign: a policy
+/// over an explicit chip configuration under a stable label. fig5/6/7
+/// units differ in block size; fig8 units differ in partially-stuck
+/// fraction (the label carries the `#p<percent>` suffix).
+pub struct UnitSpec {
+    /// Stable unit key (telemetry scheme label and checkpoint unit name).
+    pub label: String,
+    /// Chip configuration this unit simulates.
+    pub cfg: SimConfig,
+    /// The policy under evaluation.
+    pub policy: Policy,
+}
+
+/// The fig5/6/7 campaign's unit specs, in unit order.
+#[must_use]
+pub fn fig567_unit_specs(opts: &RunOptions, scalar: bool) -> Vec<UnitSpec> {
+    unit_policies(scalar)
+        .into_iter()
+        .flat_map(|(bits, set)| {
+            let cfg = opts.sim_config(bits);
+            set.into_iter().map(move |policy| UnitSpec {
+                label: policy.name(),
+                cfg,
+                policy,
+            })
+        })
+        .collect()
+}
+
+/// The fig8 campaign's unit specs, in unit order (fraction major).
+#[must_use]
+pub fn fig8_unit_specs(opts: &RunOptions) -> Vec<UnitSpec> {
+    fig8::units()
+        .into_iter()
+        .map(|(percent, policy)| UnitSpec {
+            label: fig8::unit_label(&policy.name(), percent),
+            cfg: opts.sim_config_partial(fig8::FIG8_BLOCK_BITS, percent as f64 / 100.0),
+            policy,
+        })
+        .collect()
 }
 
 fn append_run(acc: &mut MemoryRun, part: MemoryRun) {
@@ -514,34 +540,35 @@ pub enum CheckpointOutcome {
     Interrupted,
 }
 
-/// [`crate::fig567::run_with_mode`] with periodic snapshots: every unit
-/// runs in `ctl.every`-page chunks, a snapshot is written after each
-/// chunk, and a pending SIGINT stops the run at the barrier.
+/// Runs a campaign's unit specs in `ctl.every`-page chunks with a
+/// snapshot after each chunk, seeding progress from `ctl.resume` when
+/// present (validating it describes the same unit list). Returns `None`
+/// when a pending SIGINT stopped the run at a chunk barrier — the
+/// snapshot at [`CheckpointCtl::path`] then holds everything needed to
+/// resume — and the completed per-unit runs otherwise (with the snapshot
+/// file removed).
 ///
 /// # Errors
 ///
 /// Propagates snapshot I/O errors; a resume snapshot whose unit list
-/// disagrees with the rebuilt policy sets is [`io::ErrorKind::InvalidData`].
-pub fn run_fig567_checkpointed(
-    opts: &RunOptions,
+/// disagrees with `specs` is [`io::ErrorKind::InvalidData`].
+pub fn run_units_checkpointed(
+    specs: &[UnitSpec],
+    pages: usize,
     observer: &RunObserver<'_>,
-    scalar: bool,
     ctl: &CheckpointCtl<'_>,
-) -> io::Result<CheckpointOutcome> {
-    let sets = unit_policies(scalar);
+) -> io::Result<Option<Vec<UnitProgress>>> {
     let every = ctl.every.max(1);
 
     // Seed per-unit progress from the resume snapshot (validating that it
     // describes the same unit list) or start every unit empty.
-    let mut units: Vec<UnitProgress> = sets
+    let mut units: Vec<UnitProgress> = specs
         .iter()
-        .flat_map(|(bits, set)| {
-            set.iter().map(|policy| UnitProgress {
-                block_bits: *bits,
-                scheme: policy.name(),
-                pages_done: 0,
-                run: MemoryRun::default(),
-            })
+        .map(|spec| UnitProgress {
+            block_bits: spec.cfg.block_bits,
+            scheme: spec.label.clone(),
+            pages_done: 0,
+            run: MemoryRun::default(),
         })
         .collect();
     if let Some(resume) = &ctl.resume {
@@ -575,7 +602,7 @@ pub fn run_fig567_checkpointed(
         // process's share. The partial unit needs nothing: the engine
         // reports unit-global positions (`start + finished`).
         if let Some(status) = observer.status {
-            for unit in units.iter().filter(|u| u.pages_done >= opts.pages) {
+            for unit in units.iter().filter(|u| u.pages_done >= pages) {
                 status.complete_unit(unit.pages_done as u64);
             }
         }
@@ -605,31 +632,34 @@ pub fn run_fig567_checkpointed(
         }
     };
 
-    let mut flat = 0usize;
-    for (bits, set) in &sets {
-        for policy in set {
-            while units[flat].pages_done < opts.pages {
-                if ctl.interrupted.load(Ordering::SeqCst) {
-                    snapshot(&units).store(&ctl.path)?;
-                    mark(RunState::Interrupted);
-                    return Ok(CheckpointOutcome::Interrupted);
-                }
-                let start = units[flat].pages_done;
-                let end = (start + every).min(opts.pages);
-                let part = run_unit_range(policy, *bits, opts, observer, start, end);
-                append_run(&mut units[flat].run, part);
-                units[flat].pages_done = end;
-                // The unit barrier must precede the snapshot so the stored
-                // series cursor covers the sample this barrier just wrote;
-                // mid-unit chunks never sample, which is exactly why the
-                // sidecar is byte-identical to an uninterrupted run's.
-                if end == opts.pages {
-                    observer.unit_barrier(opts.pages as u64);
-                }
+    for (flat, spec) in specs.iter().enumerate() {
+        while units[flat].pages_done < pages {
+            if ctl.interrupted.load(Ordering::SeqCst) {
                 snapshot(&units).store(&ctl.path)?;
-                mark(RunState::Checkpointed);
+                mark(RunState::Interrupted);
+                return Ok(None);
             }
-            flat += 1;
+            let start = units[flat].pages_done;
+            let end = (start + every).min(pages);
+            let part = run_labeled_range(
+                spec.policy.as_ref(),
+                &spec.label,
+                &spec.cfg,
+                observer,
+                start,
+                end,
+            );
+            append_run(&mut units[flat].run, part);
+            units[flat].pages_done = end;
+            // The unit barrier must precede the snapshot so the stored
+            // series cursor covers the sample this barrier just wrote;
+            // mid-unit chunks never sample, which is exactly why the
+            // sidecar is byte-identical to an uninterrupted run's.
+            if end == pages {
+                observer.unit_barrier(pages as u64);
+            }
+            snapshot(&units).store(&ctl.path)?;
+            mark(RunState::Checkpointed);
         }
     }
     if ctl.interrupted.load(Ordering::SeqCst) {
@@ -637,26 +667,72 @@ pub fn run_fig567_checkpointed(
         // (reports/CSVs are skipped); the final snapshot covers everything.
         snapshot(&units).store(&ctl.path)?;
         mark(RunState::Interrupted);
-        return Ok(CheckpointOutcome::Interrupted);
-    }
-
-    // Complete: assemble the figure results and drop the snapshot.
-    let mut by_block = Vec::new();
-    let mut flat = 0usize;
-    for (bits, set) in &sets {
-        let mut summaries: Vec<SchemeSummary> = Vec::with_capacity(set.len());
-        for policy in set {
-            summaries.push(SchemeSummary::from_run(policy.as_ref(), &units[flat].run));
-            flat += 1;
-        }
-        by_block.push((*bits, summaries));
+        return Ok(None);
     }
     match std::fs::remove_file(&ctl.path) {
         Ok(()) => {}
         Err(err) if err.kind() == io::ErrorKind::NotFound => {}
         Err(err) => return Err(err),
     }
+    Ok(Some(units))
+}
+
+/// [`crate::fig567::run_with_mode`] with periodic snapshots: every unit
+/// runs in `ctl.every`-page chunks, a snapshot is written after each
+/// chunk, and a pending SIGINT stops the run at the barrier.
+///
+/// # Errors
+///
+/// Propagates snapshot I/O errors; a resume snapshot whose unit list
+/// disagrees with the rebuilt policy sets is [`io::ErrorKind::InvalidData`].
+pub fn run_fig567_checkpointed(
+    opts: &RunOptions,
+    observer: &RunObserver<'_>,
+    scalar: bool,
+    ctl: &CheckpointCtl<'_>,
+) -> io::Result<CheckpointOutcome> {
+    let specs = fig567_unit_specs(opts, scalar);
+    let Some(units) = run_units_checkpointed(&specs, opts.pages, observer, ctl)? else {
+        return Ok(CheckpointOutcome::Interrupted);
+    };
+    let mut by_block: Vec<(usize, Vec<SchemeSummary>)> = Vec::new();
+    for (spec, unit) in specs.iter().zip(&units) {
+        let summary = SchemeSummary::from_run(spec.policy.as_ref(), &unit.run);
+        match by_block.last_mut() {
+            Some((bits, summaries)) if *bits == unit.block_bits => summaries.push(summary),
+            _ => by_block.push((unit.block_bits, vec![summary])),
+        }
+    }
     Ok(CheckpointOutcome::Complete(Fig567 { by_block }))
+}
+
+/// How a checkpointed fig8 run ended (the fig8 analogue of
+/// [`CheckpointOutcome`]).
+pub enum Fig8CheckpointOutcome {
+    /// All units finished; the snapshot file has been removed.
+    Complete(Fig8),
+    /// SIGINT was observed at a chunk barrier; the snapshot at
+    /// [`CheckpointCtl::path`] holds everything needed to `--resume`.
+    Interrupted,
+}
+
+/// [`crate::fig8::run_with`] with periodic snapshots, chunked and resumed
+/// exactly like the fig5/6/7 campaign.
+///
+/// # Errors
+///
+/// As [`run_units_checkpointed`].
+pub fn run_fig8_checkpointed(
+    opts: &RunOptions,
+    observer: &RunObserver<'_>,
+    ctl: &CheckpointCtl<'_>,
+) -> io::Result<Fig8CheckpointOutcome> {
+    let specs = fig8_unit_specs(opts);
+    let Some(units) = run_units_checkpointed(&specs, opts.pages, observer, ctl)? else {
+        return Ok(Fig8CheckpointOutcome::Interrupted);
+    };
+    let runs: Vec<MemoryRun> = units.into_iter().map(|unit| unit.run).collect();
+    Ok(Fig8CheckpointOutcome::Complete(fig8::assemble(&runs)))
 }
 
 #[cfg(test)]
@@ -800,6 +876,43 @@ mod tests {
         assert_eq!(chunked.by_block.len(), straight.by_block.len());
         for ((cb, cs), (sb, ss)) in chunked.by_block.iter().zip(&straight.by_block) {
             assert_eq!(cb, sb);
+            for (c, s) in cs.iter().zip(ss) {
+                assert_eq!(c.name, s.name);
+                assert_eq!(c.mean_faults_recovered, s.mean_faults_recovered);
+                assert_eq!(c.mean_lifetime, s.mean_lifetime);
+                assert_eq!(c.half_lifetime, s.half_lifetime);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_fig8_run_matches_single_shot() {
+        let opts = RunOptions {
+            pages: 3,
+            seed: 13,
+            ..RunOptions::default()
+        };
+        let interrupted = AtomicBool::new(false);
+        let dir = std::env::temp_dir().join("aegis-ckpt-fig8-chunk-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctl = CheckpointCtl {
+            path: dir.join("t.ckpt.json"),
+            every: 2,
+            interrupted: &interrupted,
+            resume: None,
+            fingerprint: Vec::new(),
+        };
+        let observer = RunObserver::default();
+        let chunked = match run_fig8_checkpointed(&opts, &observer, &ctl).expect("run") {
+            Fig8CheckpointOutcome::Complete(results) => results,
+            Fig8CheckpointOutcome::Interrupted => panic!("not interrupted"),
+        };
+        assert!(!ctl.path.exists(), "snapshot must be removed on success");
+        let straight = fig8::run_with(&opts, &observer);
+        assert_eq!(chunked.by_fraction.len(), straight.by_fraction.len());
+        for ((cp, cs), (sp, ss)) in chunked.by_fraction.iter().zip(&straight.by_fraction) {
+            assert_eq!(cp, sp);
             for (c, s) in cs.iter().zip(ss) {
                 assert_eq!(c.name, s.name);
                 assert_eq!(c.mean_faults_recovered, s.mean_faults_recovered);

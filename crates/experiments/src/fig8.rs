@@ -1,94 +1,162 @@
-//! Figure 8: probability that a 512-bit block has failed after a given
-//! number of faults.
+//! Figure 8: masking redundancy vs lifetime at matched metadata overhead,
+//! swept over the partially-stuck cell fraction.
+//!
+//! The information-theoretic comparator families (additive masking and
+//! the partitioned linear code; see `aegis_baselines`) trade redundancy
+//! very differently from the pointer/partition schemes: a masking
+//! row-block buys capability against *any* ≤ 2t faults, while a pointer
+//! buys exactly one repaired cell. This figure sweeps the masking
+//! redundancy Mask2–Mask6 against ECP6, both 60-bit PLBC allocations and
+//! an Aegis reference — all within a couple of bits of each other — and
+//! repeats the comparison with 0%, 25% and 50% of dying cells only
+//! *partially* stuck (they still take the written value with probability
+//! q = 1/2 per write; see `pcm_sim::Stuckness`).
+//!
+//! One Monte Carlo unit is a `(partial-stuck fraction, scheme)` pair over
+//! the full chip; units are keyed `"{scheme}#p{percent}"` in telemetry,
+//! checkpoints and shard sidecars. Every unit at one fraction sees the
+//! identical fault timelines (common random numbers), and the whole
+//! figure composes with `--threads`, `--checkpoint-every`/`--resume`, and
+//! `shard`/`merge` byte-identically — pinned in `tests/determinism.rs`
+//! and the CLI suite.
 
 use crate::csvout;
-use crate::runner::RunOptions;
-use crate::schemes;
-use pcm_sim::montecarlo::block_failure_cdf_with_threads;
+use crate::runner::{run_labeled_range, RunObserver, RunOptions, SchemeSummary};
+use crate::schemes::{self, Policy};
+use pcm_sim::montecarlo::MemoryRun;
 use std::io;
 use std::path::Path;
 
-/// One scheme's failure CDF.
-#[derive(Debug, Clone)]
-pub struct SchemeCdf {
-    /// Scheme label.
-    pub name: String,
-    /// `cdf[f]` = P(block failed | f faults occurred).
-    pub cdf: Vec<f64>,
+/// Figure 8 runs 512-bit blocks only (where the budgets align).
+pub const FIG8_BLOCK_BITS: usize = 512;
+
+/// The partially-stuck fractions the figure sweeps, as percentages.
+pub const FIG8_PARTIAL_PERCENTS: [usize; 3] = [0, 25, 50];
+
+/// The stable unit key of one `(scheme, fraction)` Monte Carlo unit —
+/// used as the telemetry scheme label and the checkpoint/shard unit name.
+#[must_use]
+pub fn unit_label(scheme: &str, percent: usize) -> String {
+    format!("{scheme}#p{percent}")
 }
 
-/// Runs the Figure 8 simulation: many independent 512-bit blocks per
-/// scheme, identical fault timelines across schemes.
+/// The figure's Monte Carlo units in fixed order (fraction major, scheme
+/// set order minor): `(partial-stuck percent, policy)`.
 #[must_use]
-pub fn run(opts: &RunOptions) -> Vec<SchemeCdf> {
-    schemes::fig8_schemes()
-        .iter()
-        .map(|policy| SchemeCdf {
-            name: policy.name(),
-            cdf: block_failure_cdf_with_threads(
-                policy.as_ref(),
-                opts.criterion,
-                opts.trials,
-                opts.seed,
-                opts.threads,
-            )
-            .cdf(),
+pub fn units() -> Vec<(usize, Policy)> {
+    FIG8_PARTIAL_PERCENTS
+        .into_iter()
+        .flat_map(|percent| {
+            schemes::fig8_schemes()
+                .into_iter()
+                .map(move |policy| (percent, policy))
         })
         .collect()
 }
 
-/// Largest fault count worth printing: first index where every scheme's
-/// CDF has reached 1.
-fn horizon(results: &[SchemeCdf]) -> usize {
-    results
-        .iter()
-        .map(|s| {
-            s.cdf
-                .iter()
-                .position(|&p| p >= 1.0)
-                .unwrap_or(s.cdf.len() - 1)
-        })
-        .max()
-        .unwrap_or(0)
-        + 1
+/// Results: one summary row per scheme per partially-stuck fraction.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// `(partial-stuck percent, per-scheme summaries)` in sweep order.
+    pub by_fraction: Vec<(usize, Vec<SchemeSummary>)>,
 }
 
-/// Renders the CDFs as a fault-count × scheme table.
+/// Folds per-unit raw runs (in [`units`] order) into the figure results.
+///
+/// # Panics
+///
+/// Panics if `runs` does not match the unit list length.
 #[must_use]
-pub fn report(results: &[SchemeCdf]) -> String {
-    let mut out =
-        String::from("Figure 8: 512-bit block failure probability vs faults in the block\n\n");
-    out.push_str(&format!("{:<7}", "faults"));
-    for s in results {
-        out.push_str(&format!("{:>17}", s.name));
-    }
-    out.push('\n');
-    let horizon = horizon(results).min(results[0].cdf.len());
-    for f in 1..horizon {
-        out.push_str(&format!("{f:<7}"));
-        for s in results {
-            out.push_str(&format!("{:>17.3}", s.cdf[f]));
+pub fn assemble(runs: &[MemoryRun]) -> Fig8 {
+    let specs = units();
+    assert_eq!(runs.len(), specs.len(), "unit/run count mismatch");
+    let mut by_fraction: Vec<(usize, Vec<SchemeSummary>)> = Vec::new();
+    for ((percent, policy), run) in specs.iter().zip(runs) {
+        let summary = SchemeSummary::from_run(policy.as_ref(), run);
+        match by_fraction.last_mut() {
+            Some((p, summaries)) if p == percent => summaries.push(summary),
+            _ => by_fraction.push((*percent, vec![summary])),
         }
-        out.push('\n');
+    }
+    Fig8 { by_fraction }
+}
+
+/// Runs the Figure 8 sweep.
+#[must_use]
+pub fn run(opts: &RunOptions) -> Fig8 {
+    run_with(opts, &RunObserver::default())
+}
+
+/// [`run`] with telemetry/progress observation.
+#[must_use]
+pub fn run_with(opts: &RunOptions, observer: &RunObserver<'_>) -> Fig8 {
+    let runs: Vec<MemoryRun> = units()
+        .iter()
+        .map(|(percent, policy)| {
+            let cfg = opts.sim_config_partial(FIG8_BLOCK_BITS, *percent as f64 / 100.0);
+            let label = unit_label(&policy.name(), *percent);
+            let run = run_labeled_range(policy.as_ref(), &label, &cfg, observer, 0, opts.pages);
+            observer.unit_barrier(opts.pages as u64);
+            run
+        })
+        .collect();
+    assemble(&runs)
+}
+
+/// Renders the sweep as one table per partially-stuck fraction.
+#[must_use]
+pub fn report(results: &Fig8) -> String {
+    let mut out = String::from(
+        "Figure 8: masking redundancy vs lifetime at matched overhead (512-bit blocks)\n",
+    );
+    for (percent, summaries) in &results.by_fraction {
+        out.push_str(&format!("\n-- partially-stuck fraction {percent}% --\n"));
+        out.push_str(&format!(
+            "{:<12} {:>5} {:>13} {:>15}\n",
+            "scheme", "bits", "improvement", "half-lifetime"
+        ));
+        for s in summaries {
+            out.push_str(&format!(
+                "{:<12} {:>5} {:>12}x {:>15.3e}\n",
+                s.name,
+                s.overhead_bits,
+                csvout::fmt_f64(s.lifetime_improvement),
+                s.half_lifetime
+            ));
+        }
     }
     out
 }
 
-/// Writes `fig8.csv`: long format `(scheme, faults, failure_probability)`.
+/// Writes `fig8.csv`: long format over the full sweep.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_csv(results: &[SchemeCdf], out_dir: &Path) -> io::Result<()> {
+pub fn write_csv(results: &Fig8, out_dir: &Path) -> io::Result<()> {
     let mut rows = Vec::new();
-    for s in results {
-        for (f, p) in s.cdf.iter().enumerate().skip(1) {
-            rows.push(vec![s.name.clone(), f.to_string(), format!("{p:.5}")]);
+    for (percent, summaries) in &results.by_fraction {
+        for s in summaries {
+            rows.push(vec![
+                percent.to_string(),
+                s.name.clone(),
+                s.overhead_bits.to_string(),
+                format!("{:.4}", s.mean_faults_recovered),
+                format!("{:.4}", s.lifetime_improvement),
+                format!("{:.1}", s.half_lifetime),
+            ]);
         }
     }
     csvout::write_csv(
         out_dir.join("fig8.csv"),
-        &["scheme", "faults", "failure_probability"],
+        &[
+            "partial_pct",
+            "scheme",
+            "overhead_bits",
+            "mean_recoverable_faults",
+            "lifetime_improvement_x",
+            "half_lifetime_page_writes",
+        ],
         &rows,
     )
 }
@@ -98,45 +166,62 @@ mod tests {
     use super::*;
     use pcm_sim::montecarlo::FailureCriterion;
 
-    #[test]
-    fn cdfs_are_monotone_and_start_at_zero_before_hard_ftc() {
-        let opts = RunOptions {
-            pages: 1,
-            trials: 200,
-            seed: 9,
+    fn tiny() -> RunOptions {
+        RunOptions {
+            pages: 3,
+            trials: 10,
+            seed: 8,
             criterion: FailureCriterion::default(),
             page_bytes: 4096,
             threads: None,
-        };
-        let results = run(&opts);
-        assert_eq!(results.len(), schemes::fig8_schemes().len());
-        for s in &results {
-            assert!(
-                s.cdf.windows(2).all(|w| w[0] <= w[1]),
-                "{} not monotone",
-                s.name
-            );
-            // One fault never kills any of these schemes.
-            assert_eq!(s.cdf[1], 0.0, "{} dies at one fault", s.name);
         }
-        // ECP6 must be exactly zero at 6 faults and one at 7.
-        let ecp = results.iter().find(|s| s.name == "ECP6").unwrap();
-        assert_eq!(ecp.cdf[6], 0.0);
-        assert_eq!(ecp.cdf[7], 1.0);
     }
 
     #[test]
-    fn report_has_header_row() {
-        let opts = RunOptions {
-            pages: 1,
-            trials: 50,
-            seed: 1,
-            criterion: FailureCriterion::default(),
-            page_bytes: 4096,
-            threads: None,
-        };
-        let text = report(&run(&opts));
-        assert!(text.contains("faults"));
-        assert!(text.contains("ECP6"));
+    fn unit_list_is_fraction_major() {
+        let specs = units();
+        assert_eq!(
+            specs.len(),
+            FIG8_PARTIAL_PERCENTS.len() * schemes::fig8_schemes().len()
+        );
+        assert_eq!(specs[0].0, 0);
+        assert_eq!(specs.last().unwrap().0, 50);
+        assert_eq!(unit_label(&specs[0].1.name(), specs[0].0), "ECP6#p0");
+    }
+
+    #[test]
+    fn sweep_covers_every_fraction_and_masking_grows_with_t() {
+        let results = run(&tiny());
+        assert_eq!(results.by_fraction.len(), FIG8_PARTIAL_PERCENTS.len());
+        for (percent, summaries) in &results.by_fraction {
+            assert!(FIG8_PARTIAL_PERCENTS.contains(percent));
+            assert_eq!(summaries.len(), schemes::fig8_schemes().len());
+            let mask = |t: usize| {
+                summaries
+                    .iter()
+                    .find(|s| s.name == format!("Mask{t}"))
+                    .unwrap()
+            };
+            // More masking redundancy never hurts (Mask t ⊆ Mask t+1 is a
+            // per-split theorem; means inherit it under common random
+            // numbers).
+            for t in 2..6 {
+                assert!(
+                    mask(t + 1).mean_lifetime >= mask(t).mean_lifetime,
+                    "p={percent}: Mask{} < Mask{t}",
+                    t + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_and_rerun_are_deterministic() {
+        let a = report(&run(&tiny()));
+        let b = report(&run(&tiny()));
+        assert_eq!(a, b);
+        assert!(a.contains("partially-stuck fraction 25%"));
+        assert!(a.contains("Mask6"));
+        assert!(a.contains("PLC4+2"));
     }
 }

@@ -19,8 +19,8 @@ pub struct SchemeSurvival {
     pub half_lifetime: f64,
 }
 
-/// Runs the Figure 9 simulation on 512-bit blocks (the Figure 8 scheme set
-/// plus the unprotected baseline).
+/// Runs the Figure 9 simulation on 512-bit blocks (the block-failure-CDF
+/// scheme set plus the unprotected baseline).
 #[must_use]
 pub fn run(opts: &RunOptions) -> Vec<SchemeSurvival> {
     run_with(opts, &RunObserver::default())
@@ -29,7 +29,7 @@ pub fn run(opts: &RunOptions) -> Vec<SchemeSurvival> {
 /// [`run`] with telemetry/progress observation.
 #[must_use]
 pub fn run_with(opts: &RunOptions, observer: &RunObserver<'_>) -> Vec<SchemeSurvival> {
-    let mut policies = schemes::fig8_schemes();
+    let mut policies = schemes::failcdf_schemes();
     policies.push(schemes::unprotected(512));
     policies
         .iter()

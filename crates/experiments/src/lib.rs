@@ -11,7 +11,8 @@
 //! |---|---|
 //! | [`table1`] | Table 1 — cost (bits) vs hard FTC |
 //! | [`fig567`] | Figures 5–7 — recoverable faults, lifetime improvement, per-bit contribution |
-//! | [`fig8`] | Figure 8 — block failure probability vs fault count |
+//! | [`failcdf`] | Block failure probability vs fault count (the paper's Figure 8 CDF) |
+//! | [`fig8`] | Figure 8 — masking redundancy vs lifetime at matched overhead |
 //! | [`fig9`] | Figure 9 — page survival and half lifetime |
 //! | [`fig10`] | Figure 10 — Aegis-rw-p lifetime vs pointer count |
 //! | [`variants`] | Figures 11–13 — Aegis vs Aegis-rw vs Aegis-rw-p |
@@ -32,6 +33,7 @@ pub mod cachestudy;
 pub mod checkpoint;
 pub mod csvout;
 pub mod diff;
+pub mod failcdf;
 pub mod fig10;
 pub mod fig567;
 pub mod fig8;

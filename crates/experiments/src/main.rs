@@ -7,9 +7,9 @@
 use aegis_experiments::checkpoint::{Checkpoint, CheckpointCtl, CheckpointOutcome};
 use aegis_experiments::runner::RunOptions;
 use aegis_experiments::{
-    analyze, biasstudy, cachestudy, checkpoint, diff, fig10, fig567, fig8, fig9, monitor, osassist,
-    payg_check, runner, schemes, shardmerge, table1, telemetry, variants, wearlevel_check,
-    writecost,
+    analyze, biasstudy, cachestudy, checkpoint, diff, failcdf, fig10, fig567, fig8, fig9, monitor,
+    osassist, payg_check, runner, schemes, shardmerge, table1, telemetry, variants,
+    wearlevel_check, writecost,
 };
 use pcm_sim::forensics;
 use pcm_sim::montecarlo::FailureCriterion;
@@ -23,7 +23,9 @@ Usage: experiments <COMMAND> [OPTIONS]
 Commands:
   table1             Table 1: per-block cost (bits) vs hard FTC
   fig5 | fig6 | fig7 Recoverable faults / lifetime improvement / per-bit contribution
-  fig8               Block failure probability vs fault count
+  fig8               Masking redundancy vs lifetime at matched overhead,
+                     swept over the partially-stuck cell fraction
+  failcdf            Block failure probability vs fault count
   fig9               Page survival rate and half lifetime
   fig10              Aegis-rw-p lifetime vs pointer count
   fig11|fig12|fig13  Aegis vs Aegis-rw vs Aegis-rw-p
@@ -44,7 +46,7 @@ Commands:
                      <run-id>.chrome.json (chrome://tracing), and
                      <run-id>.analysis.json next to the run
   shard FIG --shards K --shard-id I
-                     Run shard I of a K-way fig5/fig6/fig7 campaign: the
+                     Run shard I of a K-way fig5/fig6/fig7/fig8 campaign: the
                      contiguous stripe [I*P/K, (I+1)*P/K) of global page
                      indices under the master seed (each page is its own
                      seed-disjoint substream). Writes telemetry plus a
@@ -69,7 +71,7 @@ Commands:
 
 Options:
   --pages N       Pages per simulated chip (default 256; paper scale 2048)
-  --trials N      Independent blocks for fig8/fig10 (default 4000)
+  --trials N      Independent blocks for failcdf/fig10 (default 4000)
   --seed N        Master RNG seed (default 42)
   --page-bytes N  Memory-block size in bytes (default 4096; the paper also
                   reports 256-byte memory blocks show the same trend)
@@ -115,12 +117,12 @@ Options:
                   histogram bucket or series sample counts as drift
                   (default 0 = exact)
   --checkpoint-every N
-                  fig5/fig6/fig7 only: snapshot engine state to
-                  OUT/telemetry/<run-id>.ckpt.json every N pages per scheme
+                  fig5/fig6/fig7/fig8 only: snapshot engine state to
+                  OUT/telemetry/<run-id>.ckpt.json every N pages per unit
                   (implies --telemetry). SIGINT then stops the run at the
                   next snapshot barrier with exit code 130 instead of
                   killing it; the snapshot is removed when the run completes
-  --resume RUN_ID fig5/fig6/fig7 only: continue RUN_ID from its snapshot to
+  --resume RUN_ID fig5/fig6/fig7/fig8 only: continue RUN_ID from its snapshot to
                   output byte-identical to an uninterrupted run (implies
                   --telemetry; adopts the snapshot's recorded configuration
                   and refuses explicit conflicting options)
@@ -391,15 +393,39 @@ fn run_fig567(command: &str, ctx: &Ctx) -> std::io::Result<()> {
 
 fn run_fig8(ctx: &Ctx) -> std::io::Result<()> {
     ctx.status(&format!(
-        "[fig8] simulating {} blocks per scheme…",
-        ctx.opts.trials
+        "[fig8] sweeping partially-stuck fractions over {} pages per unit…",
+        ctx.opts.pages
     ));
     let results = {
         let _span = ctx.span("fig8.montecarlo")?;
-        fig8::run(ctx.opts)
+        match ctx.ckpt {
+            None => fig8::run_with(ctx.opts, &ctx.observer()),
+            Some(ctl) => match checkpoint::run_fig8_checkpointed(ctx.opts, &ctx.observer(), ctl)? {
+                checkpoint::Fig8CheckpointOutcome::Complete(results) => results,
+                checkpoint::Fig8CheckpointOutcome::Interrupted => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        format!("checkpoint written to {}", ctl.path.display()),
+                    ));
+                }
+            },
+        }
     };
     println!("{}", fig8::report(&results));
     fig8::write_csv(&results, ctx.out)
+}
+
+fn run_failcdf(ctx: &Ctx) -> std::io::Result<()> {
+    ctx.status(&format!(
+        "[failcdf] simulating {} blocks per scheme…",
+        ctx.opts.trials
+    ));
+    let results = {
+        let _span = ctx.span("failcdf.montecarlo")?;
+        failcdf::run(ctx.opts)
+    };
+    println!("{}", failcdf::report(&results));
+    failcdf::write_csv(&results, ctx.out)
 }
 
 fn run_fig9(ctx: &Ctx) -> std::io::Result<()> {
@@ -522,6 +548,7 @@ fn dispatch(command: &str, ctx: &Ctx) -> Result<std::io::Result<()>, ()> {
         "table1" => run_table1(ctx),
         "fig5" | "fig6" | "fig7" => run_fig567(command, ctx),
         "fig8" => run_fig8(ctx),
+        "failcdf" => run_failcdf(ctx),
         "fig9" => run_fig9(ctx),
         "fig10" => run_fig10(ctx),
         "fig11" | "fig12" | "fig13" => run_variants(command, ctx),
@@ -534,6 +561,7 @@ fn dispatch(command: &str, ctx: &Ctx) -> Result<std::io::Result<()>, ()> {
         "all" => run_table1(ctx)
             .and_then(|()| run_fig567("all", ctx))
             .and_then(|()| run_fig8(ctx))
+            .and_then(|()| run_failcdf(ctx))
             .and_then(|()| run_fig9(ctx))
             .and_then(|()| run_fig10(ctx))
             .and_then(|()| run_variants("all", ctx))
@@ -741,13 +769,14 @@ fn run_shard(cli: &Cli) -> ExitCode {
         ExitCode::from(USAGE_ERROR)
     };
     let Some(figure) = cli.positionals.first() else {
-        return usage_error("expects a figure command (fig5, fig6 or fig7)");
+        return usage_error("expects a figure command (fig5, fig6, fig7 or fig8)");
     };
-    if !matches!(figure.as_str(), "fig5" | "fig6" | "fig7") {
+    if !matches!(figure.as_str(), "fig5" | "fig6" | "fig7" | "fig8") {
         return usage_error(&format!(
-            "'{figure}' cannot be sharded (only fig5, fig6 and fig7 can)"
+            "'{figure}' cannot be sharded (only fig5, fig6, fig7 and fig8 can)"
         ));
     }
+    let is_fig8 = figure == "fig8";
     let (Some(shards), Some(shard_id)) = (cli.shards, cli.shard_id) else {
         return usage_error("--shards and --shard-id are required");
     };
@@ -809,10 +838,14 @@ fn run_shard(cli: &Cli) -> ExitCode {
         StatusWriter::disabled()
     };
     if status.is_enabled() {
-        let units: usize = checkpoint::unit_policies(cli.scalar)
-            .iter()
-            .map(|(_, policies)| policies.len())
-            .sum();
+        let units: usize = if is_fig8 {
+            fig8::units().len()
+        } else {
+            checkpoint::unit_policies(cli.scalar)
+                .iter()
+                .map(|(_, policies)| policies.len())
+                .sum()
+        };
         status.set_total_pages((units * (hi - lo)) as u64);
         status.set_shard(shard_id as u64, shards as u64);
     }
@@ -823,14 +856,23 @@ fn run_shard(cli: &Cli) -> ExitCode {
         ..runner::RunObserver::default()
     };
     let units = {
-        let span = match tel.span("fig567.montecarlo") {
+        let span_name = if is_fig8 {
+            "fig8.montecarlo"
+        } else {
+            "fig567.montecarlo"
+        };
+        let span = match tel.span(span_name) {
             Ok(span) => span,
             Err(err) => {
                 eprintln!("telemetry: {err}");
                 return ExitCode::FAILURE;
             }
         };
-        let units = shardmerge::run_shard_units(&cli.opts, &observer, cli.scalar, lo, hi);
+        let units = if is_fig8 {
+            shardmerge::run_fig8_shard_units(&cli.opts, &observer, lo, hi)
+        } else {
+            shardmerge::run_shard_units(&cli.opts, &observer, cli.scalar, lo, hi)
+        };
         drop(span);
         units
     };
@@ -896,7 +938,26 @@ fn run_merge(cli: &Cli) -> ExitCode {
         eprintln!("merge: shard manifests carry a non-numeric 'seed' option");
         return ExitCode::from(USAGE_ERROR);
     };
-    let results = match shardmerge::merge_results(&inputs, scalar) {
+    let is_fig8 = command == "fig8";
+    // fig8 rebuilds its unit specs from the campaign options; only the
+    // spec labels and block size matter for validating the sidecars.
+    let merge_opts = RunOptions {
+        seed,
+        pages: option("pages")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(RunOptions::default().pages),
+        ..RunOptions::default()
+    };
+    enum Merged {
+        Fig567(fig567::Fig567),
+        Fig8(fig8::Fig8),
+    }
+    let merged = if is_fig8 {
+        shardmerge::merge_fig8_results(&inputs, &merge_opts).map(Merged::Fig8)
+    } else {
+        shardmerge::merge_results(&inputs, scalar).map(Merged::Fig567)
+    };
+    let results = match merged {
         Ok(results) => results,
         Err(msg) => {
             eprintln!("merge: {msg}");
@@ -946,20 +1007,32 @@ fn run_merge(cli: &Cli) -> ExitCode {
     tel.set_meta("trace", "off");
     let emit = || -> std::io::Result<()> {
         {
-            let _span = tel.span("fig567.montecarlo")?;
+            let _span = tel.span(if is_fig8 {
+                "fig8.montecarlo"
+            } else {
+                "fig567.montecarlo"
+            })?;
             shardmerge::absorb_shard_streams(&inputs, tel.registry());
         }
         {
             let _span = tel.span("codec-probe")?;
             telemetry::codec_probe(tel.registry(), seed);
         }
-        match command.as_str() {
-            "fig5" => println!("{}", fig567::report_fig5(&results)),
-            "fig6" => println!("{}", fig567::report_fig6(&results)),
-            "fig7" => println!("{}", fig567::report_fig7(&results)),
-            _ => {}
+        match &results {
+            Merged::Fig567(results) => {
+                match command.as_str() {
+                    "fig5" => println!("{}", fig567::report_fig5(results)),
+                    "fig6" => println!("{}", fig567::report_fig6(results)),
+                    "fig7" => println!("{}", fig567::report_fig7(results)),
+                    _ => {}
+                }
+                fig567::write_csvs(results, &cli.out_dir)?;
+            }
+            Merged::Fig8(results) => {
+                println!("{}", fig8::report(results));
+                fig8::write_csv(results, &cli.out_dir)?;
+            }
         }
-        fig567::write_csvs(&results, &cli.out_dir)?;
         tel.finish().map(drop)
     };
     match emit() {
@@ -1123,6 +1196,7 @@ fn run_trace_block(cli: &Cli, page: usize, block: usize) -> ExitCode {
         criterion: cli.opts.criterion,
         page,
         block,
+        partial_fraction: 0.0,
     };
     let timeline = match forensics::derive_block_timeline(&cfg) {
         Ok(timeline) => timeline,
@@ -1178,6 +1252,7 @@ fn main() -> ExitCode {
         "fig6",
         "fig7",
         "fig8",
+        "failcdf",
         "fig9",
         "fig10",
         "fig11",
@@ -1208,8 +1283,8 @@ fn main() -> ExitCode {
     // configuration (so a bare `--resume ID` needs no other options), then
     // the adopted CLI state produces the fingerprint new snapshots carry.
     let checkpointing = cli.checkpoint_every.is_some() || cli.resume.is_some();
-    if checkpointing && !matches!(cli.command.as_str(), "fig5" | "fig6" | "fig7") {
-        eprintln!("--checkpoint-every/--resume only apply to fig5, fig6 and fig7\n\n{USAGE}");
+    if checkpointing && !matches!(cli.command.as_str(), "fig5" | "fig6" | "fig7" | "fig8") {
+        eprintln!("--checkpoint-every/--resume only apply to fig5, fig6, fig7 and fig8\n\n{USAGE}");
         return ExitCode::from(USAGE_ERROR);
     }
     let resume_ckpt = if let Some(id) = cli.resume.clone() {
@@ -1295,6 +1370,9 @@ fn main() -> ExitCode {
             .map(|(_, policies)| policies.len())
             .sum();
         status_w.set_total_pages((units * cli.opts.pages) as u64);
+    }
+    if status_w.is_enabled() && cli.command == "fig8" {
+        status_w.set_total_pages((fig8::units().len() * cli.opts.pages) as u64);
     }
 
     let ckpt_ctl = if checkpointing {

@@ -10,7 +10,7 @@
 
 use crate::csvout::{self, fmt_f64};
 use crate::runner::RunOptions;
-use aegis_baselines::EcpPolicy;
+use aegis_baselines::{cost, EcpPolicy, MaskingPolicy, PlbcPolicy};
 use aegis_core::{AegisPolicy, Rectangle};
 use aegis_payg::overhead::affordable_gec_entries;
 use aegis_payg::run_payg_chip;
@@ -88,6 +88,37 @@ pub fn run(opts: &RunOptions) -> Vec<PaygRow> {
             gec_used: outcome.gec_used,
         });
     }
+
+    // PAYG with the information-theoretic families as the local scheme:
+    // Mask1 masks any single stuck cell in 10 bits (one bit under ECP1's
+    // 11), PLC1+1 adds one pointer repair on top for 20.
+    let lec_mask1 = MaskingPolicy::new(1, 512);
+    let mask1_bits = cost::masking_overhead(1, 512);
+    let entries = affordable_gec_entries(BUDGET_BITS_PER_BLOCK, mask1_bits, blocks, 512);
+    let run = run_payg_chip(&lec_mask1, entries, &cfg);
+    let outcome = run.outcome();
+    rows.push(PaygRow {
+        name: "PAYG: Mask1 + GEC".to_owned(),
+        lec_bits: mask1_bits,
+        gec_entries: entries,
+        mean_faults: outcome.mean_faults,
+        lifetime_improvement: outcome.lifetime_improvement,
+        gec_used: outcome.gec_used,
+    });
+
+    let lec_plbc = PlbcPolicy::new(1, 1, 512);
+    let plbc_bits = cost::plbc_overhead(1, 1, 512);
+    let entries = affordable_gec_entries(BUDGET_BITS_PER_BLOCK, plbc_bits, blocks, 512);
+    let run = run_payg_chip(&lec_plbc, entries, &cfg);
+    let outcome = run.outcome();
+    rows.push(PaygRow {
+        name: "PAYG: PLC1+1 + GEC".to_owned(),
+        lec_bits: plbc_bits,
+        gec_entries: entries,
+        mean_faults: outcome.mean_faults,
+        lifetime_improvement: outcome.lifetime_improvement,
+        gec_used: outcome.gec_used,
+    });
     rows
 }
 
@@ -161,7 +192,7 @@ mod tests {
             page_bytes: 4096,
             threads: None,
         });
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 6);
         let dedicated = &rows[0];
         for payg in &rows[1..] {
             assert!(
@@ -178,5 +209,12 @@ mod tests {
         let ecp1 = &rows[1];
         let aegis = &rows[2];
         assert!(aegis.gec_entries < ecp1.gec_entries);
+        // Mask1 undercuts ECP1 by a bit per block, so it affords at least
+        // as many global entries while guaranteeing twice the faults.
+        let mask1 = rows.iter().find(|r| r.name.contains("Mask1")).unwrap();
+        assert_eq!(mask1.lec_bits, 10);
+        assert!(mask1.gec_entries >= ecp1.gec_entries);
+        let plbc = rows.iter().find(|r| r.name.contains("PLC1+1")).unwrap();
+        assert_eq!(plbc.lec_bits, 20);
     }
 }

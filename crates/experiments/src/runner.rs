@@ -59,6 +59,17 @@ impl RunOptions {
             criterion: self.criterion,
             seed: self.seed,
             threads: self.threads,
+            partial_fraction: 0.0,
+        }
+    }
+
+    /// [`sim_config`](Self::sim_config) with a partially-stuck cell
+    /// fraction (the fig8 sweep axis; `0.0` is the classic model).
+    #[must_use]
+    pub fn sim_config_partial(&self, block_bits: usize, partial_fraction: f64) -> SimConfig {
+        SimConfig {
+            partial_fraction,
+            ..self.sim_config(block_bits)
         }
     }
 }
@@ -221,6 +232,46 @@ fn run_observed(
     };
     observer.unit_barrier(cfg.pages as u64);
     run
+}
+
+/// Runs one policy over the global pages `start..end` of an explicit chip
+/// configuration, recording telemetry/progress under `label` instead of
+/// the policy's own name. The shared engine path of the checkpointed,
+/// sharded, and swept (fig8) campaigns: a unit's label stays stable even
+/// when the same policy appears under several configurations.
+#[must_use]
+pub fn run_labeled_range(
+    policy: &dyn pcm_sim::policy::RecoveryPolicy,
+    label: &str,
+    cfg: &SimConfig,
+    observer: &RunObserver<'_>,
+    start: usize,
+    end: usize,
+) -> MemoryRun {
+    let telemetry = observer
+        .registry
+        .map(|registry| McTelemetry::for_scheme(registry, label));
+    match observer.progress {
+        Some(report) => {
+            let forward = |done: usize, total: usize| report(label, done, total);
+            let hooks = RunHooks {
+                telemetry,
+                progress: Some(&forward),
+                tracer: observer.tracer,
+                status: observer.status,
+            };
+            montecarlo::run_memory_range_with(policy, cfg, start, end, &hooks)
+        }
+        None => {
+            let hooks = RunHooks {
+                telemetry,
+                progress: None,
+                tracer: observer.tracer,
+                status: observer.status,
+            };
+            montecarlo::run_memory_range_with(policy, cfg, start, end, &hooks)
+        }
+    }
 }
 
 /// Runs one policy and returns the raw chip run (for survival curves).

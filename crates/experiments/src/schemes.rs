@@ -1,7 +1,9 @@
 //! Scheme registry: the exact configurations each figure of the paper
 //! evaluates.
 
-use aegis_baselines::{EcpPolicy, RdisPolicy, SaferPolicy, UnprotectedPolicy};
+use aegis_baselines::{
+    EcpPolicy, MaskingPolicy, PlbcPolicy, RdisPolicy, SaferPolicy, UnprotectedPolicy,
+};
 use aegis_core::{AegisPolicy, AegisRwPPolicy, AegisRwPolicy, Rectangle};
 use pcm_sim::policy::RecoveryPolicy;
 
@@ -76,6 +78,33 @@ pub fn safer_exhaustive(m: usize, block_bits: usize, cache: bool) -> Policy {
 #[must_use]
 pub fn rdis3(block_bits: usize) -> Policy {
     Box::new(RdisPolicy::rdis3(block_bits))
+}
+
+/// Additive masking with `t` BCH row-blocks (Kim & Kumar).
+#[must_use]
+pub fn masking(t: usize, block_bits: usize) -> Policy {
+    Box::new(MaskingPolicy::new(t, block_bits))
+}
+
+/// [`masking`] in reference (scalar) mode: per-bit Gaussian elimination
+/// instead of the packed-column basis kernel.
+#[must_use]
+pub fn masking_scalar(t: usize, block_bits: usize) -> Policy {
+    Box::new(MaskingPolicy::scalar(t, block_bits))
+}
+
+/// Partitioned linear code with `t_mask` masking row-blocks and `t_ecc`
+/// pointer repairs (arXiv:1305.3289).
+#[must_use]
+pub fn plbc(t_mask: usize, t_ecc: usize, block_bits: usize) -> Policy {
+    Box::new(PlbcPolicy::new(t_mask, t_ecc, block_bits))
+}
+
+/// [`plbc`] in reference (scalar) mode: flip-subset enumeration over the
+/// per-bit consistency check.
+#[must_use]
+pub fn plbc_scalar(t_mask: usize, t_ecc: usize, block_bits: usize) -> Policy {
+    Box::new(PlbcPolicy::scalar(t_mask, t_ecc, block_bits))
 }
 
 /// The unprotected baseline.
@@ -180,10 +209,10 @@ fn fig5_schemes_mode(block_bits: usize, scalar: bool) -> Vec<Policy> {
     }
 }
 
-/// Figure 8/9 scheme set (512-bit blocks, including the cache-assisted
-/// SAFER variants).
+/// Block-failure-CDF / Figure 9 scheme set (512-bit blocks, including the
+/// cache-assisted SAFER variants).
 #[must_use]
-pub fn fig8_schemes() -> Vec<Policy> {
+pub fn failcdf_schemes() -> Vec<Policy> {
     vec![
         ecp(6, 512),
         rdis3(512),
@@ -193,6 +222,25 @@ pub fn fig8_schemes() -> Vec<Policy> {
         safer(7, 512, true),
         aegis(17, 31, 512),
         aegis(9, 61, 512),
+    ]
+}
+
+/// Figure 8 scheme set: the information-theoretic comparator families at
+/// (near-)matched metadata budgets against ECP6 and an Aegis reference —
+/// masking redundancy sweep Mask2–Mask6 (20–60 bits), both 60-bit PLBC
+/// allocations, ECP6 (61) and Aegis 10×53 (59).
+#[must_use]
+pub fn fig8_schemes() -> Vec<Policy> {
+    vec![
+        ecp(6, 512),
+        masking(2, 512),
+        masking(3, 512),
+        masking(4, 512),
+        masking(5, 512),
+        masking(6, 512),
+        plbc(4, 2, 512),
+        plbc(5, 1, 512),
+        aegis(10, 53, 512),
     ]
 }
 
@@ -239,6 +287,27 @@ mod tests {
         assert_eq!(ecp(6, 512).name(), "ECP6");
         assert_eq!(rdis3(512).name(), "RDIS-3");
         assert_eq!(aegis_rw_p(8, 71, 512, 9).name(), "Aegis-rw-p 8x71 p=9");
+        assert_eq!(masking(6, 512).name(), "Mask6");
+        assert_eq!(plbc(4, 2, 512).name(), "PLC4+2");
+    }
+
+    #[test]
+    fn fig8_set_sits_at_matched_overhead() {
+        let set = fig8_schemes();
+        assert_eq!(set.len(), 9);
+        // Every non-sweep scheme lands within a couple of bits of ECP6.
+        for policy in &set {
+            if policy.name().starts_with("Mask") && policy.name() != "Mask6" {
+                continue; // the redundancy sweep itself
+            }
+            let delta = policy.overhead_bits().abs_diff(61);
+            assert!(
+                delta <= 2,
+                "{}: {} bits",
+                policy.name(),
+                policy.overhead_bits()
+            );
+        }
     }
 
     #[test]

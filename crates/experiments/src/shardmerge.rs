@@ -19,9 +19,12 @@
 //! byte-identical to the unsharded run's — pinned in the CLI test suite
 //! and the verify.sh/CI smoke.
 
-use crate::checkpoint::{run_unit_range, unit_policies, Checkpoint, UnitProgress};
+use crate::checkpoint::{
+    fig8_unit_specs, run_unit_range, unit_policies, Checkpoint, UnitProgress, UnitSpec,
+};
 use crate::fig567::Fig567;
-use crate::runner::{RunObserver, RunOptions, SchemeSummary};
+use crate::fig8::{self, Fig8};
+use crate::runner::{run_labeled_range, RunObserver, RunOptions, SchemeSummary};
 use sim_telemetry::{Event, Registry, RunManifest};
 use std::io;
 use std::path::Path;
@@ -66,6 +69,37 @@ pub fn run_shard_units(
                     run,
                 }
             })
+        })
+        .collect()
+}
+
+/// Runs this shard's stripe of every fig8 unit (the fig8 analogue of
+/// [`run_shard_units`]; the shard machinery is otherwise identical).
+#[must_use]
+pub fn run_fig8_shard_units(
+    opts: &RunOptions,
+    observer: &RunObserver<'_>,
+    lo: usize,
+    hi: usize,
+) -> Vec<UnitProgress> {
+    fig8_unit_specs(opts)
+        .iter()
+        .map(|spec| {
+            let run = run_labeled_range(
+                spec.policy.as_ref(),
+                &spec.label,
+                &spec.cfg,
+                observer,
+                lo,
+                hi,
+            );
+            observer.unit_barrier((hi - lo) as u64);
+            UnitProgress {
+                block_bits: spec.cfg.block_bits,
+                scheme: spec.label.clone(),
+                pages_done: hi - lo,
+                run,
+            }
         })
         .collect()
 }
@@ -245,14 +279,8 @@ pub fn validate_shards(inputs: &mut [ShardInput]) -> Result<(), String> {
 }
 
 /// Concatenates the sorted shards' per-unit results into full-campaign
-/// runs and summarizes them into the figure results.
-///
-/// # Errors
-///
-/// Returns a message when the shards' unit lists disagree.
-pub fn merge_results(inputs: &[ShardInput], scalar: bool) -> Result<Fig567, String> {
-    let sets = unit_policies(scalar);
-    let unit_count: usize = sets.iter().map(|(_, set)| set.len()).sum();
+/// unit runs, cross-checking every shard's unit list.
+fn concat_units(inputs: &[ShardInput], unit_count: usize) -> Result<Vec<UnitProgress>, String> {
     let mut merged: Vec<UnitProgress> = Vec::with_capacity(unit_count);
     for input in inputs {
         if input.sidecar.units.len() != unit_count {
@@ -288,6 +316,19 @@ pub fn merge_results(inputs: &[ShardInput], scalar: bool) -> Result<Fig567, Stri
             }
         }
     }
+    Ok(merged)
+}
+
+/// Concatenates the sorted shards' per-unit results into full-campaign
+/// runs and summarizes them into the figure results.
+///
+/// # Errors
+///
+/// Returns a message when the shards' unit lists disagree.
+pub fn merge_results(inputs: &[ShardInput], scalar: bool) -> Result<Fig567, String> {
+    let sets = unit_policies(scalar);
+    let unit_count: usize = sets.iter().map(|(_, set)| set.len()).sum();
+    let merged = concat_units(inputs, unit_count)?;
 
     let mut by_block = Vec::new();
     let mut flat = 0usize;
@@ -311,6 +352,28 @@ pub fn merge_results(inputs: &[ShardInput], scalar: bool) -> Result<Fig567, Stri
         by_block.push((*bits, summaries));
     }
     Ok(Fig567 { by_block })
+}
+
+/// [`merge_results`] for a fig8 campaign: concatenates the shards' unit
+/// runs and folds them into the sweep results.
+///
+/// # Errors
+///
+/// Returns a message when the shards' unit lists disagree with the
+/// rebuilt fig8 unit specs.
+pub fn merge_fig8_results(inputs: &[ShardInput], opts: &RunOptions) -> Result<Fig8, String> {
+    let specs: Vec<UnitSpec> = fig8_unit_specs(opts);
+    let merged = concat_units(inputs, specs.len())?;
+    for (spec, unit) in specs.iter().zip(&merged) {
+        if unit.scheme != spec.label || unit.block_bits != spec.cfg.block_bits {
+            return Err(format!(
+                "merged unit '{}' ({} bits) does not match the rebuilt fig8 unit '{}' ({} bits)",
+                unit.scheme, unit.block_bits, spec.label, spec.cfg.block_bits
+            ));
+        }
+    }
+    let runs: Vec<_> = merged.into_iter().map(|unit| unit.run).collect();
+    Ok(fig8::assemble(&runs))
 }
 
 /// Replays every metric event of the sorted shard streams into

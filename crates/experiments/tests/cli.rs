@@ -653,13 +653,15 @@ fn resume_refuses_conflicting_options_and_malformed_snapshots() {
 }
 
 #[test]
-fn checkpoint_flags_only_apply_to_the_fig567_family() {
+fn checkpoint_flags_only_apply_to_the_checkpointable_figures() {
     let output = experiments()
         .args(["table1", "--checkpoint-every", "1"])
         .output()
         .expect("binary runs");
     assert_eq!(output.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&output.stderr).contains("only apply to fig5, fig6 and fig7"));
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("only apply to fig5, fig6, fig7 and fig8")
+    );
     let zero = experiments()
         .args(["fig5", "--checkpoint-every", "0"])
         .output()
@@ -852,11 +854,12 @@ fn shard_rejects_bad_usage() {
     assert_eq!(no_figure.status.code(), Some(2));
 
     let bad_figure = experiments()
-        .args(["shard", "fig8", "--shards", "2", "--shard-id", "0"])
+        .args(["shard", "fig9", "--shards", "2", "--shard-id", "0"])
         .output()
         .expect("binary runs");
     assert_eq!(bad_figure.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&bad_figure.stderr).contains("cannot be sharded"));
+    assert!(String::from_utf8_lossy(&bad_figure.stderr)
+        .contains("cannot be sharded (only fig5, fig6, fig7 and fig8 can)"));
 
     let out_of_range = experiments()
         .args(["shard", "fig5", "--shards", "2", "--shard-id", "2"])
@@ -873,6 +876,216 @@ fn shard_rejects_bad_usage() {
     assert!(
         String::from_utf8_lossy(&stray_flags.stderr).contains("only apply to the shard command")
     );
+}
+
+#[test]
+fn fig8_run_is_deterministic_and_reports_the_sweep() {
+    let dir_a = std::env::temp_dir().join("aegis-cli-fig8-a");
+    let dir_b = std::env::temp_dir().join("aegis-cli-fig8-b");
+    let mut stdouts = Vec::new();
+    for dir in [&dir_a, &dir_b] {
+        let _ = std::fs::remove_dir_all(dir);
+        let output = experiments()
+            .args(["fig8", "--pages", "2", "--seed", "9", "--quiet", "--out"])
+            .arg(dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        stdouts.push(output.stdout);
+    }
+    assert_eq!(stdouts[0], stdouts[1], "same seed must replay the report");
+    let text = String::from_utf8_lossy(&stdouts[0]);
+    assert!(text.contains("Mask6"), "{text}");
+    assert!(text.contains("PLC4+2"), "{text}");
+    assert!(text.contains("ECP6"), "{text}");
+    let a = std::fs::read_to_string(dir_a.join("fig8.csv")).unwrap();
+    let b = std::fs::read_to_string(dir_b.join("fig8.csv")).unwrap();
+    assert_eq!(a, b, "same seed must give identical CSV");
+    // The sweep axis: every partially-stuck fraction appears in the CSV.
+    for percent in ["0", "25", "50"] {
+        assert!(
+            a.lines()
+                .skip(1)
+                .any(|l| l.starts_with(&format!("{percent},"))),
+            "fraction {percent} missing from fig8.csv"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+}
+
+#[cfg(unix)]
+#[test]
+fn fig8_sigint_checkpoints_and_resume_replays_the_uninterrupted_run() {
+    let dir_ref = std::env::temp_dir().join("aegis-cli-fig8-ckpt-ref");
+    let dir_int = std::env::temp_dir().join("aegis-cli-fig8-ckpt-int");
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&dir_int);
+
+    let reference = experiments()
+        .args([
+            "fig8", "--pages", "4", "--seed", "9", "--run-id", "ck8", "--quiet", "--out",
+        ])
+        .arg(&dir_ref)
+        .output()
+        .expect("binary runs");
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    // Interrupted leg: SIGINT after the first snapshot; exit code 130.
+    let mut child = experiments()
+        .args([
+            "fig8",
+            "--pages",
+            "4",
+            "--seed",
+            "9",
+            "--run-id",
+            "ck8",
+            "--checkpoint-every",
+            "1",
+            "--quiet",
+            "--out",
+        ])
+        .arg(&dir_int)
+        .spawn()
+        .expect("binary starts");
+    let ckpt_path = dir_int.join("telemetry/ck8.ckpt.json");
+    for _ in 0..600 {
+        if ckpt_path.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(ckpt_path.exists(), "first snapshot never appeared");
+    let kill = std::process::Command::new("kill")
+        .arg("-INT")
+        .arg(child.id().to_string())
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let status = child.wait().expect("child exits");
+    assert_eq!(
+        status.code(),
+        Some(130),
+        "an interrupted checkpointed fig8 run must exit 130"
+    );
+    assert!(ckpt_path.exists(), "interruption must leave the snapshot");
+
+    let resumed = experiments()
+        .args(["fig8", "--resume", "ck8", "--quiet", "--out"])
+        .arg(&dir_int)
+        .output()
+        .expect("binary runs");
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert!(!ckpt_path.exists(), "completion must remove the snapshot");
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "resumed report must match"
+    );
+    assert_eq!(
+        std::fs::read(dir_ref.join("fig8.csv")).unwrap(),
+        std::fs::read(dir_int.join("fig8.csv")).unwrap(),
+        "fig8.csv must match the uninterrupted run"
+    );
+    let a = std::fs::read_to_string(dir_ref.join("telemetry/ck8.jsonl")).unwrap();
+    let b = std::fs::read_to_string(dir_int.join("telemetry/ck8.jsonl")).unwrap();
+    assert_eq!(
+        sim_telemetry::strip_volatile(&a),
+        sim_telemetry::strip_volatile(&b),
+        "resumed stream must be byte-identical after stripping volatile lines"
+    );
+    let _ = std::fs::remove_dir_all(dir_ref);
+    let _ = std::fs::remove_dir_all(dir_int);
+}
+
+#[test]
+fn fig8_sharded_campaign_merges_byte_identically() {
+    let dir_ref = std::env::temp_dir().join("aegis-cli-fig8-shard-ref");
+    let dir_sh = std::env::temp_dir().join("aegis-cli-fig8-shard-sh");
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&dir_sh);
+
+    let reference = experiments()
+        .args(["fig8", "--pages", "4", "--seed", "9", "--quiet", "--out"])
+        .arg(&dir_ref)
+        .output()
+        .expect("binary runs");
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    for shard_id in ["0", "1"] {
+        let shard = experiments()
+            .args([
+                "shard",
+                "fig8",
+                "--pages",
+                "4",
+                "--seed",
+                "9",
+                "--shards",
+                "2",
+                "--shard-id",
+                shard_id,
+                "--quiet",
+                "--out",
+            ])
+            .arg(&dir_sh)
+            .output()
+            .expect("binary runs");
+        assert!(
+            shard.status.success(),
+            "{}",
+            String::from_utf8_lossy(&shard.stderr)
+        );
+        assert!(dir_sh
+            .join(format!("telemetry/fig8-s9-shard{shard_id}of2.shard.json"))
+            .exists());
+    }
+
+    let merge = experiments()
+        .args([
+            "merge",
+            "fig8-s9-shard0of2",
+            "fig8-s9-shard1of2",
+            "--quiet",
+            "--out",
+        ])
+        .arg(&dir_sh)
+        .output()
+        .expect("binary runs");
+    assert!(
+        merge.status.success(),
+        "{}",
+        String::from_utf8_lossy(&merge.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&merge.stdout),
+        "merged fig8 report must match the unsharded run"
+    );
+    assert_eq!(
+        std::fs::read(dir_ref.join("fig8.csv")).unwrap(),
+        std::fs::read(dir_sh.join("fig8.csv")).unwrap(),
+        "fig8.csv must match the unsharded run"
+    );
+    let _ = std::fs::remove_dir_all(dir_ref);
+    let _ = std::fs::remove_dir_all(dir_sh);
 }
 
 #[test]

@@ -185,6 +185,7 @@ mod tests {
             criterion: FailureCriterion::default(),
             seed,
             threads: None,
+            partial_fraction: 0.0,
         }
     }
 

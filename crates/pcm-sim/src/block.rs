@@ -43,8 +43,17 @@ use bitblock::BitBlock;
 pub struct PcmBlock {
     /// Stored value of every cell (stuck cells hold their stuck-at value).
     values: BitBlock,
-    /// Mask of cells whose endurance is exhausted.
+    /// Mask of cells whose endurance is exhausted (fully *or* partially
+    /// stuck — either way `write_raw` never pulses them).
     stuck: BitBlock,
+    /// Subset of `stuck`: cells that failed only *partially* (they reliably
+    /// store their stuck value; the opposite value takes only with the
+    /// per-cell weak-write probability `weak_q8[i] / 256`, which the
+    /// worst-case functional model rounds down to "never").
+    partial: BitBlock,
+    /// Per-cell weak-write success probability (1/256ths); meaningful only
+    /// where `partial` is set.
+    weak_q8: Vec<u8>,
     /// Remaining programming pulses per cell.
     writes_left: Vec<u64>,
     writes: u64,
@@ -58,6 +67,8 @@ impl PcmBlock {
         Self {
             values: BitBlock::zeros(len),
             stuck: BitBlock::zeros(len),
+            partial: BitBlock::zeros(len),
+            weak_q8: vec![0; len],
             writes_left: vec![u64::MAX; len],
             writes: 0,
         }
@@ -79,6 +90,8 @@ impl PcmBlock {
         Self {
             values: BitBlock::zeros(len),
             stuck: BitBlock::from_fn(len, |i| writes_left[i] == 0),
+            partial: BitBlock::zeros(len),
+            weak_q8: vec![0; len],
             writes_left,
             writes: 0,
         }
@@ -186,7 +199,13 @@ impl PcmBlock {
     pub fn faults(&self) -> Vec<Fault> {
         self.stuck
             .ones()
-            .map(|offset| Fault::new(offset, self.values.get(offset)))
+            .map(|offset| {
+                if self.partial.get(offset) {
+                    Fault::partial(offset, self.values.get(offset), self.weak_q8[offset])
+                } else {
+                    Fault::new(offset, self.values.get(offset))
+                }
+            })
             .collect()
     }
 
@@ -206,17 +225,41 @@ impl PcmBlock {
         assert!(offset < self.len(), "offset out of range");
         self.values.set(offset, value);
         self.stuck.set(offset, true);
+        self.partial.set(offset, false);
+        self.weak_q8[offset] = 0;
         self.writes_left[offset] = 0;
     }
 
-    /// Snapshot of a cell (value + remaining endurance).
+    /// Fault-injection hook: forces the cell at `offset` to be *partially*
+    /// stuck at `value` with weak-write success probability
+    /// `weak_success_q8 / 256` (reported through the
+    /// [`faults`](Self::faults) oracle; `write_raw` treats the cell as
+    /// unchangeable, the worst case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of range.
+    pub fn force_partially_stuck(&mut self, offset: usize, value: bool, weak_success_q8: u8) {
+        assert!(offset < self.len(), "offset out of range");
+        self.values.set(offset, value);
+        self.stuck.set(offset, true);
+        self.partial.set(offset, true);
+        self.weak_q8[offset] = weak_success_q8;
+        self.writes_left[offset] = 0;
+    }
+
+    /// Snapshot of a cell (value + remaining endurance + failure mode).
     ///
     /// # Panics
     ///
     /// Panics if `offset` is out of range.
     #[must_use]
     pub fn cell(&self, offset: usize) -> Cell {
-        Cell::new(self.values.get(offset), self.writes_left[offset])
+        if self.partial.get(offset) {
+            Cell::partially_stuck_at(self.values.get(offset))
+        } else {
+            Cell::new(self.values.get(offset), self.writes_left[offset])
+        }
     }
 
     /// How many block-level writes have been issued so far.
@@ -320,5 +363,27 @@ mod tests {
         b.force_stuck(0, false);
         let target = BitBlock::ones_block(4);
         assert_eq!(b.pending_pulses(&target), 3);
+    }
+
+    #[test]
+    fn partially_stuck_cells_hold_their_value_and_report_their_kind() {
+        let mut b = PcmBlock::pristine(16);
+        b.force_partially_stuck(4, true, 128);
+        b.force_stuck(9, false);
+        // Worst-case functional model: writes never change the partial cell.
+        let zeros = BitBlock::zeros(16);
+        b.write_raw(&zeros);
+        assert_eq!(b.verify(&zeros), vec![4]);
+        assert_eq!(
+            b.faults(),
+            vec![Fault::partial(4, true, 128), Fault::new(9, false)]
+        );
+        let cell = b.cell(4);
+        assert!(cell.is_partially_stuck());
+        assert_eq!(cell.stuck_value(), Some(true));
+        assert!(!b.cell(9).is_partially_stuck());
+        // Fully re-forcing the same offset clears the partial refinement.
+        b.force_stuck(4, true);
+        assert_eq!(b.faults()[0], Fault::new(4, true));
     }
 }

@@ -25,6 +25,7 @@
 pub struct Cell {
     value: bool,
     writes_left: u64,
+    partial: bool,
 }
 
 impl Cell {
@@ -34,6 +35,7 @@ impl Cell {
         Self {
             value,
             writes_left: lifetime,
+            partial: false,
         }
     }
 
@@ -45,6 +47,21 @@ impl Cell {
         Self {
             value,
             writes_left: 0,
+            partial: false,
+        }
+    }
+
+    /// Creates an already-failed cell *partially* stuck at `value`: it
+    /// reliably stores `value`, while writes of the opposite value only
+    /// succeed occasionally (never, in this worst-case functional model —
+    /// the probabilistic weak write lives in the Monte Carlo layer; see
+    /// [`Stuckness::Partial`](crate::Stuckness::Partial)).
+    #[must_use]
+    pub fn partially_stuck_at(value: bool) -> Self {
+        Self {
+            value,
+            writes_left: 0,
+            partial: true,
         }
     }
 
@@ -71,10 +88,21 @@ impl Cell {
         true
     }
 
-    /// Whether the cell has exhausted its endurance.
+    /// Whether the cell has exhausted its endurance (fully *or* partially
+    /// stuck — either way, the worst-case functional model treats it as
+    /// unchangeable; [`is_partially_stuck`](Self::is_partially_stuck)
+    /// refines the failure mode).
     #[must_use]
     pub fn is_stuck(&self) -> bool {
         self.writes_left == 0
+    }
+
+    /// Whether the cell failed in the *partially*-stuck mode: it reliably
+    /// stores its stuck value, and a write of the opposite value has a
+    /// residual (probabilistic) chance of taking.
+    #[must_use]
+    pub fn is_partially_stuck(&self) -> bool {
+        self.partial
     }
 
     /// The stuck-at value, if the cell has failed.
@@ -94,6 +122,15 @@ impl Cell {
     pub fn force_stuck(&mut self, value: bool) {
         self.value = value;
         self.writes_left = 0;
+        self.partial = false;
+    }
+
+    /// Forces the cell into the *partially* stuck state at `value`.
+    /// Fault-injection hook for tests and the exhaustive suites.
+    pub fn force_partially_stuck(&mut self, value: bool) {
+        self.value = value;
+        self.writes_left = 0;
+        self.partial = true;
     }
 }
 
@@ -148,5 +185,23 @@ mod tests {
         let c = Cell::default();
         assert!(!c.is_stuck());
         assert!(!c.read());
+    }
+
+    #[test]
+    fn partially_stuck_cell_holds_its_reliable_value() {
+        let mut c = Cell::partially_stuck_at(true);
+        assert!(c.is_stuck());
+        assert!(c.is_partially_stuck());
+        assert_eq!(c.stuck_value(), Some(true));
+        // Worst-case functional model: the weak write never takes.
+        assert!(!c.write(false));
+        assert!(c.read());
+        // Re-forcing to fully stuck clears the partial flag.
+        c.force_stuck(false);
+        assert!(!c.is_partially_stuck());
+        let mut d = Cell::new(false, 100);
+        d.force_partially_stuck(true);
+        assert!(d.is_partially_stuck());
+        assert_eq!(d.stuck_value(), Some(true));
     }
 }

@@ -13,7 +13,7 @@
 //! renders a deterministic text report. A differential test pins the
 //! replayed outcome against the engine's.
 
-use crate::fault::{sample_split_into, Fault};
+use crate::fault::{sample_split_for_into, Fault, Stuckness};
 use crate::montecarlo::{BlockOutcome, FailureCriterion};
 use crate::policy::{PolicyScratch, RecoveryPolicy};
 use crate::timeline::{BlockTimeline, TimelineSampler};
@@ -35,6 +35,10 @@ pub struct BlockTraceConfig {
     pub page: usize,
     /// Block index within the page.
     pub block: usize,
+    /// Partially-stuck fraction of the run being replayed (see
+    /// [`SimConfig::partial_fraction`](crate::montecarlo::SimConfig));
+    /// `0.0` for every classic run.
+    pub partial_fraction: f64,
 }
 
 /// Re-derives the fault timeline of the configured block, byte-identical
@@ -58,7 +62,10 @@ pub fn derive_block_timeline(cfg: &BlockTraceConfig) -> Result<BlockTimeline, St
             cfg.block, cfg.page_bits, blocks_per_page, cfg.block_bits
         ));
     }
-    let sampler = TimelineSampler::paper_default(cfg.block_bits);
+    let sampler = TimelineSampler::paper_default(cfg.block_bits).with_partial_mix(
+        cfg.partial_fraction,
+        crate::timeline::DEFAULT_WEAK_SUCCESS_Q8,
+    );
     let mut rng = TimelineSampler::page_rng(cfg.seed, cfg.page as u64);
     let page = sampler.sample_page(&mut rng, blocks_per_page);
     page.blocks
@@ -138,7 +145,7 @@ pub fn trace_block(
                 let mut rng = SmallRng::seed_from_u64(event.split_seed);
                 let mut all_ok = true;
                 for _ in 0..samples {
-                    sample_split_into(&mut rng, faults.len(), &mut wrong);
+                    sample_split_for_into(&mut rng, &faults, &mut wrong);
                     let ok = policy.recoverable_with(&faults, &wrong, &mut scratch);
                     splits.push(SplitTrace {
                         wrong: wrong.clone(),
@@ -213,8 +220,14 @@ impl BlockTrace {
             self.events.len()
         ));
         for event in &self.events {
+            let kind = match event.fault.kind {
+                Stuckness::Full => String::new(),
+                Stuckness::Partial { weak_success_q8 } => {
+                    format!(" (partial, weak q8={weak_success_q8})")
+                }
+            };
             out.push_str(&format!(
-                "event {:>3}  t={}  bit {} stuck-at-{}\n",
+                "event {:>3}  t={}  bit {} stuck-at-{}{kind}\n",
                 event.index,
                 event.time,
                 event.fault.offset,
@@ -298,6 +311,7 @@ mod tests {
             criterion: FailureCriterion::default(),
             page: 3,
             block: 12,
+            partial_fraction: 0.0,
         }
     }
 
@@ -360,6 +374,35 @@ mod tests {
         assert!(a.contains("page 3 block 12 (seed 42)"));
         assert!(a.contains("wrong (cap 3)"));
         assert!(a.contains("verdict:"));
+    }
+
+    #[test]
+    fn partial_fraction_replay_matches_the_engine() {
+        let cfg = BlockTraceConfig {
+            partial_fraction: 0.5,
+            ..cfg()
+        };
+        let timeline = derive_block_timeline(&cfg).unwrap();
+        assert!(timeline.events.iter().any(|e| e.fault.is_partial()));
+        assert!(timeline.events.iter().any(|e| !e.fault.is_partial()));
+        for cap in [2, 1000] {
+            let policy = WrongCap { cap };
+            let trace = trace_block(&policy, &timeline, cfg.criterion);
+            let engine = evaluate_block(&policy, &timeline, cfg.criterion);
+            assert_eq!(trace.outcome, engine, "cap={cap}");
+        }
+        // An outliving replay narrates every arrival, including the
+        // partially stuck ones, with their kind annotated.
+        let trace = trace_block(&WrongCap { cap: 1000 }, &timeline, cfg.criterion);
+        assert!(trace.report(&cfg).contains("partial, weak q8=128"));
+        // And a zero-fraction replay of the same coordinates is the classic
+        // timeline (different draws, no partial faults).
+        let classic = derive_block_timeline(&BlockTraceConfig {
+            partial_fraction: 0.0,
+            ..cfg
+        })
+        .unwrap();
+        assert!(classic.events.iter().all(|e| !e.fault.is_partial()));
     }
 
     #[test]

@@ -71,5 +71,8 @@ pub mod wearlevel;
 pub use block::PcmBlock;
 pub use cell::Cell;
 pub use error::UncorrectableError;
-pub use fault::{classify_split, sample_split, sample_split_into, Fault};
+pub use fault::{
+    classify_split, sample_split, sample_split_for, sample_split_for_into, sample_split_into,
+    Fault, Stuckness,
+};
 pub use lifetime::{LifetimeModel, WearModel};

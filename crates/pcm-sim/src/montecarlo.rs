@@ -14,7 +14,7 @@
 //! - [`block_failure_cdf`] → Figure 8 curves;
 //! - [`survival_curve`] / [`half_lifetime`] → Figure 9 curves.
 
-use crate::fault::sample_split_into;
+use crate::fault::sample_split_for_into;
 use crate::policy::{PolicyScratch, RecoveryPolicy};
 use crate::timeline::{BlockTimeline, PageTimeline, TimelineSampler};
 use crate::Fault;
@@ -198,7 +198,11 @@ pub fn evaluate_block_with_scratch(
                     let mut rng = SmallRng::seed_from_u64(event.split_seed);
                     (0..samples).all(|_| {
                         decisions += 1;
-                        sample_split_into(&mut rng, faults.len(), &mut wrong);
+                        // Fault-aware sampling: fully stuck faults consume
+                        // exactly one bool (identical stream to the legacy
+                        // count-based sampler), partially stuck faults get
+                        // their weak-write chance to land on R.
+                        sample_split_for_into(&mut rng, &faults, &mut wrong);
                         policy.recoverable_with(&faults, &wrong, scratch)
                     })
                 }
@@ -344,6 +348,12 @@ pub struct SimConfig {
     /// [`sim_pool::resolve_threads`]). Never affects results, only wall
     /// clock.
     pub threads: Option<usize>,
+    /// Fraction of dying cells that are only *partially* stuck (still able
+    /// to store one value reliably); `0.0` is the classic all-fully-stuck
+    /// model and leaves the RNG streams byte-identical to historical runs.
+    /// Partially stuck cells carry the default weak-write success
+    /// probability ([`crate::timeline::DEFAULT_WEAK_SUCCESS_Q8`]).
+    pub partial_fraction: f64,
 }
 
 impl SimConfig {
@@ -357,6 +367,7 @@ impl SimConfig {
             criterion: FailureCriterion::default(),
             seed,
             threads: None,
+            partial_fraction: 0.0,
         }
     }
 
@@ -370,6 +381,7 @@ impl SimConfig {
             criterion: FailureCriterion::default(),
             seed,
             threads: None,
+            partial_fraction: 0.0,
         }
     }
 
@@ -493,7 +505,12 @@ pub fn run_memory_range_with(
         cfg.pages
     );
     let count = end - start;
-    let sampler = TimelineSampler::paper_default(cfg.block_bits);
+    // A zero partial fraction skips the kind draw entirely, so legacy
+    // configs keep their historical timelines bit for bit.
+    let sampler = TimelineSampler::paper_default(cfg.block_bits).with_partial_mix(
+        cfg.partial_fraction,
+        crate::timeline::DEFAULT_WEAK_SUCCESS_Q8,
+    );
     let blocks_per_page = cfg.blocks_per_page();
     let threads = sim_pool::resolve_threads(cfg.threads);
     let done = AtomicUsize::new(0);
@@ -845,6 +862,7 @@ mod tests {
             criterion: FailureCriterion::default(),
             seed: 77,
             threads: None,
+            partial_fraction: 0.0,
         };
         let plain = run_memory(&policy, &cfg);
 
@@ -890,6 +908,7 @@ mod tests {
             criterion: FailureCriterion::default(),
             seed: 23,
             threads: Some(1),
+            partial_fraction: 0.0,
         };
         let single = run_memory(&policy, &cfg);
         for threads in [2, 3, 8] {
@@ -914,6 +933,7 @@ mod tests {
             criterion: FailureCriterion::default(),
             seed: 3,
             threads: Some(2),
+            partial_fraction: 0.0,
         };
         let registry = Registry::new();
         let hooks = RunHooks {
@@ -959,6 +979,7 @@ mod tests {
             criterion: FailureCriterion::default(),
             seed: 77,
             threads: Some(2),
+            partial_fraction: 0.0,
         };
         let plain = run_memory(&policy, &cfg);
 
@@ -998,6 +1019,7 @@ mod tests {
             criterion: FailureCriterion::default(),
             seed: 77,
             threads: Some(2),
+            partial_fraction: 0.0,
         };
         let plain = run_memory(&policy, &cfg);
 
@@ -1024,6 +1046,47 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Policy that dies on the first stuck-at-Wrong fault.
+    struct NoWrong;
+
+    impl RecoveryPolicy for NoWrong {
+        fn name(&self) -> String {
+            "no-wrong".into()
+        }
+        fn overhead_bits(&self) -> usize {
+            0
+        }
+        fn block_bits(&self) -> usize {
+            512
+        }
+        fn recoverable(&self, _faults: &[Fault], wrong: &[bool]) -> bool {
+            wrong.iter().all(|&w| !w)
+        }
+    }
+
+    #[test]
+    fn partial_fraction_weakens_faults_and_stays_deterministic() {
+        let mut cfg = SimConfig::scaled(12, 512, 41);
+        let classic = run_memory(&NoWrong, &cfg);
+        cfg.partial_fraction = 1.0;
+        let partial = run_memory(&NoWrong, &cfg);
+        let partial_again = run_memory(&NoWrong, &cfg);
+        // Deterministic per seed and thread-invariant.
+        assert_eq!(partial.page_lifetimes, partial_again.page_lifetimes);
+        cfg.threads = Some(3);
+        let threaded = run_memory(&NoWrong, &cfg);
+        assert_eq!(partial.page_lifetimes, threaded.page_lifetimes);
+        // Every fault of an all-partial chip has a weak-write escape hatch
+        // (W probability ¼ instead of ½), so this split-sensitive policy
+        // recovers strictly more faults in aggregate.
+        assert!(
+            partial.mean_faults_recovered() > classic.mean_faults_recovered(),
+            "partial {} vs classic {}",
+            partial.mean_faults_recovered(),
+            classic.mean_faults_recovered()
+        );
+    }
+
     #[test]
     fn run_memory_is_deterministic_and_ordered() {
         let policy = CapPolicy { cap: 4, bits: 512 };
@@ -1034,6 +1097,7 @@ mod tests {
             criterion: FailureCriterion::default(),
             seed: 5,
             threads: None,
+            partial_fraction: 0.0,
         };
         let a = run_memory(&policy, &cfg);
         let b = run_memory(&policy, &cfg);

@@ -10,7 +10,7 @@
 //! [`StuckAtCodec`](crate::codec::StuckAtCodec) implementation, so the fast
 //! path provably matches the slow one.
 
-use crate::fault::{sample_split, Fault};
+use crate::fault::{sample_split, Fault, Stuckness};
 use sim_rng::SeedableRng;
 use sim_rng::SmallRng;
 
@@ -368,9 +368,16 @@ pub trait RecoveryPolicy: Sync {
             })
         } else {
             // Deterministic sampled approximation, seeded by the fault set
-            // so repeated queries agree.
+            // so repeated queries agree. The guarantee criterion treats a
+            // partially stuck cell as its fully stuck worst case, but the
+            // kind still feeds the seed (only when non-default, so all-Full
+            // populations keep their historical hashes).
             let seed = faults.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, fa| {
-                (h ^ (fa.offset as u64) ^ ((fa.stuck as u64) << 32)).wrapping_mul(0x1000_0000_01b3)
+                let mut x = (fa.offset as u64) ^ ((fa.stuck as u64) << 32);
+                if let Stuckness::Partial { weak_success_q8 } = fa.kind {
+                    x ^= (u64::from(weak_success_q8) | 0x100) << 33;
+                }
+                (h ^ x).wrapping_mul(0x1000_0000_01b3)
             });
             let mut rng = SmallRng::seed_from_u64(seed);
             (0..SAMPLED_GUARANTEE_SPLITS).all(|_| {

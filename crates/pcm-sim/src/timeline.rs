@@ -91,7 +91,21 @@ pub struct TimelineSampler {
     /// data this is ½ (the default); real devices can be asymmetric (SET
     /// vs RESET failure modes), which the bias ablation explores.
     stuck_one_probability: f64,
+    /// Fraction of dying cells that are only *partially* stuck
+    /// ([`crate::Stuckness::Partial`]): they still reliably store
+    /// their stuck value and accept the opposite value with probability
+    /// `weak_success_q8 / 256` per write. `0.0` (the default) reproduces
+    /// the classic all-fully-stuck model and consumes identical entropy,
+    /// so legacy runs stay byte-identical.
+    partial_fraction: f64,
+    /// Weak-write success probability assigned to partially stuck cells,
+    /// in units of 1/256.
+    weak_success_q8: u8,
 }
+
+/// Default weak-write success probability for partially stuck cells
+/// (½, i.e. the weak pulse takes every other write on average).
+pub const DEFAULT_WEAK_SUCCESS_Q8: u8 = 128;
 
 /// Default cap on tracked fault events per block. No scheme in the paper
 /// survives anywhere near this many faults in one 512-bit block (the best
@@ -121,6 +135,8 @@ impl TimelineSampler {
             wear,
             max_events: max_events.min(block_bits),
             stuck_one_probability: 0.5,
+            partial_fraction: 0.0,
+            weak_success_q8: DEFAULT_WEAK_SUCCESS_Q8,
         }
     }
 
@@ -134,6 +150,33 @@ impl TimelineSampler {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.stuck_one_probability = p;
         self
+    }
+
+    /// Makes a fraction of dying cells only partially stuck: each new fault
+    /// is [`Stuckness::Partial`](crate::Stuckness::Partial) with
+    /// probability `fraction`, carrying weak-write success probability
+    /// `weak_success_q8 / 256`.
+    ///
+    /// `fraction = 0.0` is *exactly* the legacy sampler: the kind draw is
+    /// skipped entirely, so the RNG stream (and hence every downstream
+    /// timeline, split and result) is byte-identical to a sampler built
+    /// without this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ fraction ≤ 1`.
+    #[must_use]
+    pub fn with_partial_mix(mut self, fraction: f64, weak_success_q8: u8) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "probability out of range");
+        self.partial_fraction = fraction;
+        self.weak_success_q8 = weak_success_q8;
+        self
+    }
+
+    /// Fraction of dying cells sampled as partially stuck.
+    #[must_use]
+    pub fn partial_fraction(&self) -> f64 {
+        self.partial_fraction
     }
 
     /// The paper's §3.1 configuration for the given block width.
@@ -169,13 +212,25 @@ impl TimelineSampler {
         cells.truncate(self.max_events);
         let events = cells
             .into_iter()
-            .map(|(time, offset)| FaultEvent {
-                time,
+            .map(|(time, offset)| {
                 // A cell sticks at whatever it held when it died; under
                 // random write data that is a fair coin (bias configurable
                 // via `with_stuck_bias`).
-                fault: Fault::new(offset, rng.random_bool(self.stuck_one_probability)),
-                split_seed: rng.random(),
+                let stuck = rng.random_bool(self.stuck_one_probability);
+                // The kind draw is gated on the mix being enabled so a
+                // zero-fraction sampler consumes exactly the legacy
+                // entropy (stuck value, then split seed).
+                let fault = if self.partial_fraction > 0.0 && rng.random_bool(self.partial_fraction)
+                {
+                    Fault::partial(offset, stuck, self.weak_success_q8)
+                } else {
+                    Fault::new(offset, stuck)
+                };
+                FaultEvent {
+                    time,
+                    fault,
+                    split_seed: rng.random(),
+                }
             })
             .collect();
         BlockTimeline { events }
@@ -307,5 +362,46 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn bad_bias_panics() {
         let _ = TimelineSampler::paper_default(64).with_stuck_bias(1.5);
+    }
+
+    #[test]
+    fn zero_partial_mix_is_stream_identical_to_legacy() {
+        let plain = TimelineSampler::paper_default(512);
+        let mixed = plain.with_partial_mix(0.0, 200);
+        let mut a = SmallRng::seed_from_u64(12);
+        let mut b = SmallRng::seed_from_u64(12);
+        for _ in 0..5 {
+            let ta = plain.sample_block(&mut a);
+            let tb = mixed.sample_block(&mut b);
+            assert_eq!(ta.events, tb.events);
+        }
+        // RNG state also agrees afterwards.
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn partial_mix_fraction_shows_up_in_sampled_kinds() {
+        let sampler = TimelineSampler::paper_default(512).with_partial_mix(0.4, 99);
+        assert_eq!(sampler.partial_fraction(), 0.4);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut partial = 0usize;
+        let mut total = 0usize;
+        for _ in 0..30 {
+            for event in sampler.sample_block(&mut rng).events {
+                if let crate::fault::Stuckness::Partial { weak_success_q8 } = event.fault.kind {
+                    assert_eq!(weak_success_q8, 99);
+                    partial += 1;
+                }
+                total += 1;
+            }
+        }
+        let fraction = partial as f64 / total as f64;
+        assert!((0.33..0.47).contains(&fraction), "{fraction}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_partial_fraction_panics() {
+        let _ = TimelineSampler::paper_default(64).with_partial_mix(-0.1, 128);
     }
 }

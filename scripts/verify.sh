@@ -96,6 +96,35 @@ cmp "$shard_out/ref-stream.jsonl" "$shard_out/sh-stream.jsonl" \
     || { echo "merged telemetry stream differs from the unsharded run" >&2; exit 1; }
 rm -rf "$shard_out"
 
+# fig8 smoke (PR 8): the matched-overhead masking sweep split into two
+# page shards and merged back must reproduce the unsharded run — same
+# report, same fig8.csv — and the sweep must cover all three
+# partially-stuck fractions.
+fig8_out="${TMPDIR:-/tmp}/aegis-verify-fig8"
+rm -rf "$fig8_out"
+mkdir -p "$fig8_out/ref" "$fig8_out/sh"
+echo "==> experiments fig8 shard/merge smoke (2 shards vs unsharded)"
+cargo run --release --offline -p aegis-experiments -- \
+    fig8 --pages 4 --seed 7 --quiet --out "$fig8_out/ref" \
+    >"$fig8_out/ref-report.txt"
+for pct in 0 25 50; do
+    grep -q "^$pct," "$fig8_out/ref/fig8.csv" \
+        || { echo "fig8.csv missing the $pct% partially-stuck fraction" >&2; exit 1; }
+done
+for i in 0 1; do
+    cargo run --release --offline -p aegis-experiments -- \
+        shard fig8 --pages 4 --seed 7 --shards 2 --shard-id "$i" \
+        --quiet --out "$fig8_out/sh" >/dev/null
+done
+cargo run --release --offline -p aegis-experiments -- \
+    merge fig8-s7-shard1of2 fig8-s7-shard0of2 --quiet --out "$fig8_out/sh" \
+    >"$fig8_out/sh-report.txt"
+cmp "$fig8_out/ref-report.txt" "$fig8_out/sh-report.txt" \
+    || { echo "merged fig8 report differs from the unsharded run" >&2; exit 1; }
+cmp "$fig8_out/ref/fig8.csv" "$fig8_out/sh/fig8.csv" \
+    || { echo "merged fig8.csv differs from the unsharded run" >&2; exit 1; }
+rm -rf "$fig8_out"
+
 # Observability smoke: runs recorded with --series --status must leave a
 # series sidecar and a status heartbeat; `monitor --once --json` must
 # report the finished campaign all_done; `telemetry-diff` must find a
@@ -143,8 +172,22 @@ SIM_PROP_CASES=10000 run cargo test -q --offline --release --test differential_k
 
 # Differential policy suite at CI depth: 10^4 random cases per property,
 # warm incremental scratches vs cold recomputes vs the stateless
-# reference across all six policies (see tests/incremental_policies.rs).
+# reference across all policy families — including the masking/PLBC
+# predicates with partially-stuck arrivals (see
+# tests/incremental_policies.rs).
 SIM_PROP_CASES=10000 run cargo test -q --offline --release --test incremental_policies
+
+# Theorem/guarantee suite at CI depth: the paper's theorems over random
+# rectangle formations plus the PR 8 masking invariants — the Mask
+# t ⊆ t+1 subspace chain at random partially-stuck fractions and the
+# weak-write-strength monotonicity of the split sampler (see
+# tests/theorem_invariants.rs).
+SIM_PROP_CASES=10000 run cargo test -q --offline --release --test theorem_invariants
+
+# Dominance suite at CI depth: the cross-scheme partial orders,
+# Mask6 ⊋ ECP6 at matched overhead, PLBC pointer-budget monotonicity
+# and the exhaustive Mask2/PLC1+1 crossover (see tests/dominance.rs).
+SIM_PROP_CASES=10000 run cargo test -q --offline --release --test dominance
 
 # Bench gate: run the kernel (PR 3), engine (PR 4), tracing-overhead
 # (PR 5) and series/status-overhead (PR 7) benchmarks into a scratch

@@ -558,6 +558,7 @@ fn block_forensics_replays_the_engine_decision_for_decision() {
             criterion,
             page: 1,
             block: 12,
+            partial_fraction: 0.0,
         };
         let timeline = derive_block_timeline(&cfg).expect("valid geometry");
         for policy in schemes::fig5_schemes(512) {
@@ -740,6 +741,237 @@ fn checkpoint_interrupt_and_resume_replays_the_straight_run() {
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Flattens a fig8 sweep into a bit-exact comparison key.
+fn fig8_bits(results: &aegis_experiments::fig8::Fig8) -> Vec<(usize, String, u64, u64)> {
+    results
+        .by_fraction
+        .iter()
+        .flat_map(|(percent, summaries)| {
+            summaries.iter().map(|s| {
+                (
+                    *percent,
+                    s.name.clone(),
+                    s.mean_faults_recovered.to_bits(),
+                    s.half_lifetime.to_bits(),
+                )
+            })
+        })
+        .collect()
+}
+
+/// The fig8 partially-stuck sweep obeys the same contract as every other
+/// figure: worker threads are a pure throughput knob, the same seed
+/// replays bit-identical results, and a different seed actually changes
+/// them — including the partial-fault timelines the sweep is built on.
+#[test]
+fn fig8_sweep_is_thread_count_independent_and_seed_sensitive() {
+    use aegis_experiments::fig8;
+    let sweep = |seed: u64, threads: Option<usize>| {
+        let opts = RunOptions {
+            pages: 3,
+            seed,
+            threads,
+            ..RunOptions::default()
+        };
+        fig8_bits(&fig8::run_with(&opts, &RunObserver::default()))
+    };
+    let single = sweep(31, Some(1));
+    assert_eq!(single, sweep(31, Some(1)), "same seed must replay");
+    for threads in [2usize, 4] {
+        assert_eq!(
+            single,
+            sweep(31, Some(threads)),
+            "threads={threads} must match the single-thread sweep"
+        );
+    }
+    assert_ne!(single, sweep(32, Some(1)), "different seeds must differ");
+}
+
+/// Runs the fig8 sweep with telemetry attached (optionally traced) and
+/// returns the raw JSONL event stream.
+fn fig8_stream(seed: u64, threads: Option<usize>, traced: bool) -> String {
+    let buf = SharedBuf::new();
+    let run = RunTelemetry::with_buffer("fig8-det", buf.clone()).expect("buffer sink");
+    let opts = RunOptions {
+        pages: 2,
+        seed,
+        threads,
+        ..RunOptions::default()
+    };
+    let tracer = if traced {
+        Tracer::new(1024)
+    } else {
+        Tracer::disabled()
+    };
+    let observer = RunObserver {
+        registry: Some(run.registry()),
+        tracer: tracer.is_enabled().then_some(&tracer),
+        ..RunObserver::default()
+    };
+    let _ = aegis_experiments::fig8::run_with(&opts, &observer);
+    if traced {
+        tracer
+            .finish("fig8-det")
+            .expect("an enabled tracer yields a log");
+    }
+    run.finish().expect("finish");
+    buf.text()
+}
+
+/// fig8's telemetry stream is covered by the byte-identity contract:
+/// thread counts and wall-clock tracing must not change a single stripped
+/// byte, and reseeding must.
+#[test]
+fn fig8_telemetry_is_byte_identical_across_threads_and_tracing() {
+    let single = fig8_stream(11, Some(1), false);
+    assert_eq!(
+        strip_volatile(&single),
+        strip_volatile(&fig8_stream(11, Some(4), false)),
+        "fig8 must stay thread-count independent"
+    );
+    assert_eq!(
+        strip_volatile(&single),
+        strip_volatile(&fig8_stream(11, Some(2), true)),
+        "tracing a fig8 run must not perturb the stream"
+    );
+    assert_ne!(
+        strip_volatile(&single),
+        strip_volatile(&fig8_stream(12, Some(1), false)),
+        "different seeds must change observed metrics"
+    );
+}
+
+/// An interrupted-then-resumed checkpointed fig8 run serializes the
+/// byte-identical deterministic event stream of a straight run, and its
+/// sweep results match bit for bit.
+#[test]
+fn fig8_checkpoint_interrupt_and_resume_replays_the_straight_run() {
+    use aegis_experiments::checkpoint::{
+        run_fig8_checkpointed, Checkpoint, CheckpointCtl, Fig8CheckpointOutcome,
+    };
+    use aegis_experiments::fig8;
+    use std::sync::atomic::AtomicBool;
+
+    let opts = RunOptions {
+        pages: 4,
+        seed: 13,
+        ..RunOptions::default()
+    };
+    let dir = std::env::temp_dir().join("aegis-det-fig8-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("fig8.ckpt.json");
+
+    // Straight reference run, stream captured in memory.
+    let straight_stream = {
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("f8-det", buf.clone()).expect("buffer sink");
+        let observer = RunObserver::with_registry(run.registry());
+        let _ = fig8::run_with(&opts, &observer);
+        run.finish().expect("finish");
+        buf.text()
+    };
+
+    // Interrupted leg: the pending "SIGINT" stops the run at the first
+    // chunk barrier, leaving a snapshot behind.
+    {
+        let interrupted = AtomicBool::new(true);
+        let ctl = CheckpointCtl {
+            path: path.clone(),
+            every: 2,
+            interrupted: &interrupted,
+            resume: None,
+            fingerprint: vec![("command".to_owned(), "fig8".to_owned())],
+        };
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("f8-det", buf.clone()).expect("buffer sink");
+        let observer = RunObserver::with_registry(run.registry());
+        match run_fig8_checkpointed(&opts, &observer, &ctl).expect("checkpointed run") {
+            Fig8CheckpointOutcome::Interrupted => {}
+            Fig8CheckpointOutcome::Complete(_) => panic!("pending interrupt must stop the run"),
+        }
+        assert!(path.exists(), "interruption must leave a snapshot behind");
+        run.finish().expect("finish");
+    }
+
+    // Resumed leg: continue from the snapshot to completion.
+    let (resumed, resumed_stream) = {
+        let resume = Checkpoint::load(&path).expect("snapshot loads");
+        let interrupted = AtomicBool::new(false);
+        let ctl = CheckpointCtl {
+            path: path.clone(),
+            every: 2,
+            interrupted: &interrupted,
+            resume: Some(resume),
+            fingerprint: vec![("command".to_owned(), "fig8".to_owned())],
+        };
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("f8-det", buf.clone()).expect("buffer sink");
+        let observer = RunObserver::with_registry(run.registry());
+        let results = match run_fig8_checkpointed(&opts, &observer, &ctl).expect("resumed run") {
+            Fig8CheckpointOutcome::Complete(results) => results,
+            Fig8CheckpointOutcome::Interrupted => panic!("nothing interrupts the resumed leg"),
+        };
+        run.finish().expect("finish");
+        (results, buf.text())
+    };
+    assert!(!path.exists(), "completion must remove the snapshot");
+    assert_eq!(
+        strip_volatile(&resumed_stream),
+        strip_volatile(&straight_stream),
+        "resume must serialize the straight run's deterministic stream byte for byte"
+    );
+    let straight = fig8::run_with(&opts, &RunObserver::default());
+    assert_eq!(fig8_bits(&resumed), fig8_bits(&straight));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// fig8 shard stripes tile the page space and glue back into the full
+/// sweep bit for bit — the library-level half of the `shard`/`merge` CLI
+/// contract for the new figure.
+#[test]
+fn fig8_shard_stripes_reproduce_the_full_sweep() {
+    use aegis_experiments::shardmerge::{run_fig8_shard_units, shard_range};
+
+    let opts = RunOptions {
+        pages: 4,
+        seed: 17,
+        ..RunOptions::default()
+    };
+    let observer = RunObserver::default();
+    let full = run_fig8_shard_units(&opts, &observer, 0, opts.pages);
+    let parts: Vec<_> = (0..2usize)
+        .map(|shard_id| {
+            let (lo, hi) = shard_range(opts.pages, 2, shard_id);
+            run_fig8_shard_units(&opts, &observer, lo, hi)
+        })
+        .collect();
+    for (unit_idx, unit) in full.iter().enumerate() {
+        let mut lifetimes = Vec::new();
+        let mut faults = Vec::new();
+        for part in &parts {
+            lifetimes.extend(
+                part[unit_idx]
+                    .run
+                    .page_lifetimes
+                    .iter()
+                    .map(|v| v.to_bits()),
+            );
+            faults.extend(part[unit_idx].run.faults_recovered.iter().copied());
+        }
+        assert_eq!(
+            lifetimes,
+            unit.run
+                .page_lifetimes
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "unit {} must reassemble bit-identically",
+            unit.scheme
+        );
+        assert_eq!(faults, unit.run.faults_recovered);
+    }
 }
 
 /// Seed-disjoint shard substreams: every shard stripes a distinct page

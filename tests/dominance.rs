@@ -5,7 +5,9 @@
 //! never hurts, more ECP entries never hurt).
 
 use aegis_pcm::aegis::{AegisPolicy, AegisRwPPolicy, AegisRwPolicy, Rectangle};
-use aegis_pcm::baselines::{EcpPolicy, RdisPolicy, RdisScheme, SaferPolicy};
+use aegis_pcm::baselines::{
+    EcpPolicy, MaskingPolicy, PlbcPolicy, RdisPolicy, RdisScheme, SaferPolicy,
+};
 use aegis_pcm::pcm::policy::RecoveryPolicy;
 use aegis_pcm::pcm::Fault;
 use sim_rng::prop::{shrink, Runner};
@@ -165,6 +167,109 @@ fn rdis_is_monotone_in_depth() {
             }
             Ok(())
         },
+    );
+}
+
+/// At matched overhead the masking family strictly dominates ECP: Mask6
+/// spends 60 bits to ECP6's 61 and accepts a strict superset of
+/// populations. ECP6's acceptance (`u ≤ 6`) sits inside Mask6's distance
+/// bound (`u ≤ 12`), and every all-W population with 7..=12 faults is a
+/// strict separation witness.
+#[test]
+fn mask6_strictly_dominates_ecp6_at_matched_overhead() {
+    let mask = MaskingPolicy::new(6, 512);
+    let ecp = EcpPolicy::new(6, 512);
+    assert!(mask.overhead_bits() < ecp.overhead_bits());
+    Runner::new("mask6_strictly_dominates_ecp6_at_matched_overhead")
+        .cases(256)
+        .run(population(16), shrink_population, |(faults, wrong)| {
+            let mask = MaskingPolicy::new(6, 512);
+            let ecp = EcpPolicy::new(6, 512);
+            if ecp.recoverable(faults, wrong) {
+                prop_assert!(
+                    mask.recoverable(faults, wrong),
+                    "ECP6 accepted a population Mask6 rejects"
+                );
+            }
+            Ok(())
+        });
+    // Strict separation at every fault count between the two guarantees,
+    // on the adversarial all-W split.
+    for f in 7..=12usize {
+        let faults: Vec<Fault> = (0..f).map(|i| Fault::new(i * 37, false)).collect();
+        let wrong = vec![true; f];
+        assert!(
+            !ecp.recoverable(&faults, &wrong),
+            "ECP6 accepted {f} faults"
+        );
+        assert!(
+            mask.recoverable(&faults, &wrong),
+            "Mask6 rejected {f} faults"
+        );
+    }
+}
+
+/// A larger pointer budget accepts a superset, and any pointer budget
+/// accepts at least what the bare mask accepts — per split, not merely in
+/// the mean.
+#[test]
+fn plbc_is_monotone_in_pointer_budget() {
+    Runner::new("plbc_is_monotone_in_pointer_budget")
+        .cases(256)
+        .run(population(14), shrink_population, |(faults, wrong)| {
+            if MaskingPolicy::new(4, 512).recoverable(faults, wrong) {
+                prop_assert!(PlbcPolicy::new(4, 1, 512).recoverable(faults, wrong));
+            }
+            let mut previous = false;
+            for pointers in [1usize, 2, 3] {
+                let now = PlbcPolicy::new(4, pointers, 512).recoverable(faults, wrong);
+                prop_assert!(!previous || now, "losing acceptance when adding pointers");
+                previous = now;
+            }
+            Ok(())
+        });
+}
+
+/// Neither information-theoretic family dominates the other at
+/// near-matched overhead: on one full GF(2^4) field (15 bits), Mask2
+/// (8 overhead bits) and PLC1+1 (9 bits) cross over. The witnesses are
+/// found by exhaustive search over fault placements and splits, so this
+/// pins the exact boundary rather than a sampled one.
+#[test]
+fn mask_and_pointer_extension_cross_over_at_one_full_field() {
+    let mask2 = MaskingPolicy::new(2, 15);
+    let plbc = PlbcPolicy::new(1, 1, 15);
+    let mut mask_only = None; // Mask2 accepts, PLC1+1 rejects
+    let mut plbc_only = None; // PLC1+1 accepts, Mask2 rejects
+    for u in 4..=6usize {
+        if mask_only.is_some() && plbc_only.is_some() {
+            break;
+        }
+        for offsets in aegis_pcm::baselines::combinations(15, u) {
+            let faults: Vec<Fault> = offsets.iter().map(|&o| Fault::new(o, false)).collect();
+            for pattern in 0..1u32 << u {
+                let wrong: Vec<bool> = (0..u).map(|i| pattern >> i & 1 == 1).collect();
+                let m = mask2.recoverable(&faults, &wrong);
+                let p = plbc.recoverable(&faults, &wrong);
+                if m && !p && mask_only.is_none() {
+                    mask_only = Some((offsets.clone(), pattern));
+                }
+                if p && !m && plbc_only.is_none() {
+                    plbc_only = Some((offsets.clone(), pattern));
+                }
+            }
+            if mask_only.is_some() && plbc_only.is_some() {
+                break;
+            }
+        }
+    }
+    assert!(
+        mask_only.is_some(),
+        "expected a split Mask2 accepts but PLC1+1 rejects"
+    );
+    assert!(
+        plbc_only.is_some(),
+        "expected a split PLC1+1 accepts but Mask2 rejects"
     );
 }
 

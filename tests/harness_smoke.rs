@@ -2,7 +2,7 @@
 //! CSV emission, and the paper's headline orderings.
 
 use aegis_experiments::runner::RunOptions;
-use aegis_experiments::{fig10, fig567, fig8, fig9, table1, variants};
+use aegis_experiments::{failcdf, fig10, fig567, fig8, fig9, table1, variants};
 use pcm_sim::montecarlo::FailureCriterion;
 
 fn tiny() -> RunOptions {
@@ -53,8 +53,8 @@ fn fig5_headline_orderings_hold_even_at_tiny_scale() {
 }
 
 #[test]
-fn fig8_hard_ftc_boundaries_are_exact() {
-    let results = fig8::run(&tiny());
+fn failcdf_hard_ftc_boundaries_are_exact() {
+    let results = failcdf::run(&tiny());
     let get = |name: &str| results.iter().find(|s| s.name == name).unwrap();
     // ECP6: a step function at 6 faults.
     let ecp = get("ECP6").cdf.clone();
@@ -73,6 +73,25 @@ fn fig8_hard_ftc_boundaries_are_exact() {
     for (f, (p, c)) in plain.iter().zip(&cached).enumerate() {
         assert!(c <= p, "cache hurt SAFER64 at {f} faults");
     }
+}
+
+#[test]
+fn fig8_sweep_orders_masking_against_the_pointer_schemes() {
+    let results = fig8::run(&tiny());
+    let classic = &results.by_fraction[0];
+    assert_eq!(classic.0, 0);
+    let get = |name: &str| {
+        classic
+            .1
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    // Mask6 guarantees any 12 faults on 60 bits; ECP6 guarantees 6 on 61.
+    assert!(get("Mask6").mean_faults_recovered > get("ECP6").mean_faults_recovered);
+    assert!(get("Mask6").overhead_bits < get("ECP6").overhead_bits);
+    // The pointer budget never hurts: PLC4+2 accepts a superset of Mask4.
+    assert!(get("PLC4+2").mean_faults_recovered >= get("Mask4").mean_faults_recovered);
 }
 
 #[test]

@@ -12,7 +12,9 @@
 //! per property (see `scripts/verify.sh`).
 
 use aegis_pcm::aegis::{AegisPolicy, AegisRwPPolicy, AegisRwPolicy, Rectangle};
-use aegis_pcm::baselines::{EcpPolicy, PartitionSearch, RdisPolicy, SaferPolicy};
+use aegis_pcm::baselines::{
+    EcpPolicy, MaskingPolicy, PartitionSearch, PlbcPolicy, RdisPolicy, SaferPolicy,
+};
 use aegis_pcm::pcm::policy::{PolicyScratch, RecoveryPolicy};
 use aegis_pcm::pcm::Fault;
 use sim_rng::prop::{shrink, Runner};
@@ -33,6 +35,12 @@ const CONFIGS: &[(&str, usize)] = &[
     ("rdis3-512", 512),
     ("rdis3-64", 64),
     ("ecp6", 512),
+    ("mask2-512", 512),
+    ("mask2-scalar-512", 512),
+    ("mask1-64", 64),
+    ("plbc2+2-512", 512),
+    ("plbc2+2-scalar-512", 512),
+    ("plbc1+1-64", 64),
 ];
 
 fn build_policy(config: usize, pointers: usize) -> Box<dyn RecoveryPolicy> {
@@ -77,6 +85,12 @@ fn build_policy(config: usize, pointers: usize) -> Box<dyn RecoveryPolicy> {
         9 => Box::new(RdisPolicy::rdis3(512)),
         10 => Box::new(RdisPolicy::rdis3(64)),
         11 => Box::new(EcpPolicy::new(6, 512)),
+        12 => Box::new(MaskingPolicy::new(2, 512)),
+        13 => Box::new(MaskingPolicy::scalar(2, 512)),
+        14 => Box::new(MaskingPolicy::new(1, 64)),
+        15 => Box::new(PlbcPolicy::new(2, 2, 512)),
+        16 => Box::new(PlbcPolicy::scalar(2, 2, 512)),
+        17 => Box::new(PlbcPolicy::new(1, 1, 64)),
         _ => unreachable!("generator stays within CONFIGS"),
     }
 }
@@ -105,7 +119,17 @@ fn gen_case(rng: &mut SmallRng) -> Case {
     }
     let faults = offsets
         .into_iter()
-        .map(|offset| Fault::new(offset, rng.random_bool(0.5)))
+        .map(|offset| {
+            let stuck = rng.random_bool(0.5);
+            // A quarter of arrivals are partially stuck: the differential
+            // contract must hold for both Stuckness kinds (predicates may
+            // only read the kind through the guarantee seeding).
+            if rng.random_bool(0.25) {
+                Fault::partial(offset, stuck, rng.random::<u8>())
+            } else {
+                Fault::new(offset, stuck)
+            }
+        })
         .collect();
     let splits = (0..rng.random_range(1..=3usize))
         .map(|_| rng.random::<u64>())

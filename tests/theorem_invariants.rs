@@ -5,10 +5,11 @@
 use aegis_pcm::aegis::primes::{is_prime, next_prime_at_least};
 use aegis_pcm::aegis::rom::{CollisionRom, GroupRom, InversionRom};
 use aegis_pcm::aegis::{AegisCodec, AegisRwPolicy, Rectangle};
+use aegis_pcm::baselines::{MaskingPolicy, PlbcPolicy};
 use aegis_pcm::bitblock::BitBlock;
 use aegis_pcm::codec::StuckAtCodec;
 use aegis_pcm::pcm::policy::RecoveryPolicy;
-use aegis_pcm::pcm::{Fault, PcmBlock};
+use aegis_pcm::pcm::{sample_split_for, Fault, PcmBlock, Stuckness};
 use sim_rng::prop::{shrink, Runner};
 use sim_rng::{prop_assert, prop_assert_eq, Rng, SeedableRng, SmallRng};
 
@@ -180,6 +181,109 @@ fn roms_agree_with_geometry() {
                             rect.collision_slope(o1, o2)
                         );
                     }
+                }
+            }
+            Ok(())
+        });
+}
+
+/// Generator: a mixed fully/partially stuck population on a 512-bit block
+/// plus a W/R split. The partially-stuck fraction is itself drawn at
+/// random (0–100%) so the masking invariants are exercised across the
+/// whole fig8 sweep range, not just the endpoints.
+fn mixed_population(rng: &mut SmallRng) -> (Vec<Fault>, Vec<bool>) {
+    let count = rng.random_range(0..=14usize);
+    let partial_percent = rng.random_range(0..=100u32);
+    let mut offsets: Vec<usize> = Vec::with_capacity(count);
+    while offsets.len() < count {
+        let offset = rng.random_range(0..512usize);
+        if !offsets.contains(&offset) {
+            offsets.push(offset);
+        }
+    }
+    let faults = offsets
+        .into_iter()
+        .map(|offset| {
+            let stuck = rng.random();
+            if rng.random_range(0..100u32) < partial_percent {
+                Fault::partial(offset, stuck, rng.random())
+            } else {
+                Fault::new(offset, stuck)
+            }
+        })
+        .collect();
+    let wrong = (0..count).map(|_| rng.random()).collect();
+    (faults, wrong)
+}
+
+/// Generator: a mixed population plus a sampling seed for the tests that
+/// replay `sample_split_for` under common random numbers.
+fn mixed_population_and_seed(rng: &mut SmallRng) -> (Vec<Fault>, u64) {
+    (mixed_population(rng).0, rng.random())
+}
+
+/// Masking-redundancy monotonicity: `Mask t ⊆ Mask t+1` on every fault
+/// population and split — at any partially-stuck fraction — because the
+/// t-row-block mask space is a subspace of the (t+1)-row one. The distance
+/// guarantee (`u ≤ 2t` is always accepted) and the pointer extension
+/// (`PLC t+e ⊇ Mask t`) are pinned on the same populations.
+#[test]
+fn masking_redundancy_is_monotone_at_any_partially_stuck_fraction() {
+    Runner::new("masking_redundancy_is_monotone_at_any_partially_stuck_fraction")
+        .cases(128)
+        .run(mixed_population, shrink::none, |(faults, wrong)| {
+            let mut previous = false;
+            for t in 1..=6usize {
+                let now = MaskingPolicy::new(t, 512).recoverable(faults, wrong);
+                prop_assert!(
+                    !previous || now,
+                    "Mask{} accepted a split Mask{t} rejects",
+                    t - 1
+                );
+                if faults.len() <= 2 * t {
+                    prop_assert!(now, "distance bound violated at t={t}");
+                }
+                // A pointer budget only ever widens the accepted set.
+                if now {
+                    prop_assert!(
+                        PlbcPolicy::new(t, 1, 512).recoverable(faults, wrong),
+                        "PLC{t}+1 rejected a split Mask{t} accepts"
+                    );
+                }
+                previous = now;
+            }
+            Ok(())
+        });
+}
+
+/// The partially-stuck refinement is deterministic under a fixed seed:
+/// strengthening the weak write (raising `weak_success_q8`) can only turn
+/// W verdicts into R, never the reverse, and fully stuck verdicts are
+/// untouched. This is the handle that makes fig8's lifetime ordering
+/// monotone in the weak-write strength under common random numbers.
+#[test]
+fn partial_split_verdicts_are_monotone_in_weak_write_strength() {
+    Runner::new("partial_split_verdicts_are_monotone_in_weak_write_strength")
+        .cases(128)
+        .run(mixed_population_and_seed, shrink::none, |(faults, seed)| {
+            let mut deltas = SmallRng::seed_from_u64(seed ^ 0x00D3_17A5);
+            let raised: Vec<Fault> = faults
+                .iter()
+                .map(|f| match f.kind {
+                    Stuckness::Full => *f,
+                    Stuckness::Partial { weak_success_q8 } => Fault::partial(
+                        f.offset,
+                        f.stuck,
+                        weak_success_q8.saturating_add(deltas.random::<u8>()),
+                    ),
+                })
+                .collect();
+            let before = sample_split_for(&mut SmallRng::seed_from_u64(*seed), faults);
+            let after = sample_split_for(&mut SmallRng::seed_from_u64(*seed), &raised);
+            for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+                prop_assert!(*b || !*a, "raising q8 flipped fault {i} from R to W");
+                if !faults[i].is_partial() {
+                    prop_assert_eq!(*a, *b, "fully stuck verdict {i} drifted");
                 }
             }
             Ok(())
