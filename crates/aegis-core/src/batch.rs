@@ -1,0 +1,465 @@
+//! Cross-block batched Aegis kernels over lane-major SoA batches.
+//!
+//! The single-block kernels in [`crate::rom`]/`codec` stream the same
+//! [`ShiftRom`] row from memory once per block. The batched kernels here
+//! load each `(slope, group)` mask word **once** and apply it to a whole
+//! lane chunk of a [`BatchBitBlock`] — the cross-block SoA restructuring
+//! of ROADMAP item 2. The chunk width follows the selected
+//! [`bitblock::simd`] backend (eight lanes on AVX-512, four on AVX2, two
+//! on NEON; `SIM_FORCE_SCALAR=1` pins the portable loops), and each chunk
+//! marches through [`bitblock::simd::slope_bad_lanes`] /
+//! [`bitblock::simd::encode_slope_lanes`], which pin the chunk's batch
+//! words in vector registers for an entire slope pass.
+//!
+//! # The mask formulation of the collision predicates
+//!
+//! The `O(f²)` pair predicates ([`crate::AegisPolicy`],
+//! [`crate::AegisRwPolicy`]) ask, per slope, whether some fault pair that
+//! "matters" shares a group. Over per-lane fault masks the same question
+//! becomes per *group*: with `F` the fault-offset mask and `W ⊆ F` the
+//! stuck-at-Wrong mask of one lane, a group mask `G` makes a slope bad iff
+//!
+//! - **base Aegis** ([`PairRule::AnyWrong`], pairs matter unless R–R):
+//!   `|G ∩ F| ≥ 2` and `G ∩ W ≠ ∅` — at least one member pair, not all-R;
+//! - **Aegis-rw** ([`PairRule::Mixed`], only W–R pairs matter):
+//!   `G ∩ W ≠ ∅` and `G ∩ (F \ W) ≠ ∅` — a W member next to an R member.
+//!
+//! A block is recoverable iff some slope has no bad group — exactly
+//! [`crate::AegisPolicy::recoverable`] / [`crate::AegisRwPolicy`]'s
+//! verdict (the differential suites in `tests/batched_kernels.rs` pin the
+//! equivalence case by case). The fold computes "≥ 2 members" without a
+//! popcount via the slope kernels' `seen`/`dup` accumulator pair, which is
+//! what lets every backend vectorize it; lanes already decided recoverable
+//! are handed back to the kernel as "bad", so a chunk stops scanning the
+//! moment its last open lane resolves.
+//!
+//! Aegis-rw-p's pointer-budget stage is deliberately *not* batched: its
+//! per-good-slope group walk is data-dependent per lane, and the Monte
+//! Carlo engine's incremental pair cache already answers it faster for
+//! the sparse fault populations the simulator sees (DESIGN.md §15).
+//!
+//! The single-lane twins ([`encode_single`], [`predicate_single`]) run the
+//! identical algorithm one lane at a time over plain [`BitBlock`] masks;
+//! they are the differential reference the ≥4× batch bench races against,
+//! playing the role `write_scalar` plays for the codec kernels.
+//!
+//! # Precondition
+//!
+//! Fault offsets within one lane must be distinct — the Monte Carlo
+//! engine's standing invariant (a cell fails once). A duplicated offset
+//! would collapse to one mask bit and under-count pairs.
+
+use crate::rom::ShiftRom;
+use bitblock::{simd, BatchBitBlock, BitBlock};
+use pcm_sim::Fault;
+
+/// Which fault pairs poison a slope (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairRule {
+    /// Base Aegis: every pair matters unless both members are stuck-at-R.
+    AnyWrong,
+    /// Aegis-rw: only mixed W–R pairs matter.
+    Mixed,
+}
+
+/// Per-lane fault populations as lane-major F/W mask batches.
+///
+/// `F` holds one bit per fault offset; `W ⊆ F` holds the offsets whose
+/// faults are stuck-at-Wrong for the data being written.
+#[derive(Debug, Clone)]
+pub struct FaultBatch {
+    f: BatchBitBlock,
+    w: BatchBitBlock,
+}
+
+impl FaultBatch {
+    /// An empty batch of `lanes` populations over `bits`-wide blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    #[must_use]
+    pub fn zeros(bits: usize, lanes: usize) -> Self {
+        Self {
+            f: BatchBitBlock::zeros(bits, lanes),
+            w: BatchBitBlock::zeros(bits, lanes),
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.f.lanes()
+    }
+
+    /// Per-lane block width in bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.f.bits()
+    }
+
+    /// Replaces lane `lane` with the population `faults` under the W/R
+    /// split `wrong` (`wrong[i]` ⇔ `faults[i]` is stuck-at-Wrong).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range, the slice lengths differ, or a
+    /// fault offset exceeds the block width. Debug builds additionally
+    /// check the distinct-offsets precondition.
+    pub fn set_lane(&mut self, lane: usize, faults: &[Fault], wrong: &[bool]) {
+        assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+        debug_assert!(
+            faults
+                .iter()
+                .enumerate()
+                .all(|(i, a)| faults[..i].iter().all(|b| a.offset != b.offset)),
+            "fault offsets within a lane must be distinct"
+        );
+        self.f.clear_lane(lane);
+        self.w.clear_lane(lane);
+        for (fault, &is_wrong) in faults.iter().zip(wrong) {
+            self.f.set(lane, fault.offset, true);
+            if is_wrong {
+                self.w.set(lane, fault.offset, true);
+            }
+        }
+    }
+
+    /// Zeroes lane `lane` (an empty population — always recoverable).
+    pub fn clear_lane(&mut self, lane: usize) {
+        self.f.clear_lane(lane);
+        self.w.clear_lane(lane);
+    }
+}
+
+/// Encodes L lanes at once under one slope: for every lane `l`,
+/// `out[l] = data[l] XOR union(mask(slope, g) for g in inversions[l])`.
+///
+/// `inversions` is a lane-major batch of inversion vectors (`bits ==
+/// shift.groups()`). Group masks within one slope are disjoint, so the
+/// XOR accumulation equals the union — the same identity
+/// `AegisCodec::write`'s kernel relies on. Lane chunks run through
+/// [`bitblock::simd::encode_slope_lanes`], which keeps each chunk's
+/// codewords in registers across the whole slope pass.
+///
+/// # Panics
+///
+/// Panics if `slope` is out of range (debug builds; see
+/// [`ShiftRom::mask_words`]), if the batch shapes disagree, or if
+/// `inversions` is not `shift.groups()` wide.
+pub fn encode_batch(
+    shift: &ShiftRom,
+    slope: usize,
+    inversions: &BatchBitBlock,
+    data: &BatchBitBlock,
+    out: &mut BatchBitBlock,
+) {
+    let lanes = data.lanes();
+    assert_eq!(inversions.lanes(), lanes, "lane count mismatch");
+    assert_eq!(out.lanes(), lanes, "lane count mismatch");
+    assert_eq!(data.bits(), shift.bits(), "block width mismatch");
+    assert_eq!(out.bits(), shift.bits(), "block width mismatch");
+    assert_eq!(
+        inversions.bits(),
+        shift.groups(),
+        "inversion vector width must equal the group count"
+    );
+    let rows = shift.slope_rows(slope);
+    let words = shift.words_per_mask();
+    let inv_words = inversions.words_per_lane();
+    let chunk = simd::chunk_lanes();
+    let mut l0 = 0;
+    while l0 < lanes {
+        let l1 = (l0 + chunk).min(lanes);
+        simd::encode_slope_lanes(
+            rows,
+            words,
+            inversions.as_words(),
+            inv_words,
+            data.as_words(),
+            out.as_words_mut(),
+            lanes,
+            l0,
+            l1,
+        );
+        l0 = l1;
+    }
+}
+
+/// Single-lane twin of [`encode_batch`]: `out = data XOR union(selected
+/// group masks)` over plain [`BitBlock`]s — the same per-row loop the
+/// codec kernel (`AegisCodec::write`) runs, kept as the differential and
+/// bench reference for the batched path.
+///
+/// # Panics
+///
+/// As [`encode_batch`], for the single-lane shapes.
+pub fn encode_single(
+    shift: &ShiftRom,
+    slope: usize,
+    inversion: &BitBlock,
+    data: &BitBlock,
+    out: &mut BitBlock,
+) {
+    assert_eq!(data.len(), shift.bits(), "block width mismatch");
+    assert_eq!(out.len(), shift.bits(), "block width mismatch");
+    assert_eq!(
+        inversion.len(),
+        shift.groups(),
+        "inversion vector width must equal the group count"
+    );
+    out.copy_from(data);
+    for group in inversion.ones() {
+        out.xor_words(shift.mask_words(slope, group));
+    }
+}
+
+/// Batched recoverability verdicts: `out[l]` ⇔ lane `l`'s population can
+/// absorb a write under `rule` — bit-identical to the corresponding
+/// single-block predicate ([`crate::AegisPolicy::recoverable`] for
+/// [`PairRule::AnyWrong`], [`crate::AegisRwPolicy`] for
+/// [`PairRule::Mixed`]).
+///
+/// Scans slopes in ascending order, one lane chunk at a time: a lane is
+/// decided recoverable at its first good slope, and a chunk's scan stops
+/// early once every lane in it is decided (or every slope is exhausted —
+/// undecided lanes are unrecoverable). Within a slope pass each
+/// `(slope, group)` ROM row is streamed exactly once for the whole chunk.
+///
+/// # Panics
+///
+/// Panics if `out.len() != batch.lanes()` or the batch width differs from
+/// the ROM's.
+pub fn predicate_batch(shift: &ShiftRom, batch: &FaultBatch, rule: PairRule, out: &mut [bool]) {
+    let lanes = batch.lanes();
+    assert_eq!(out.len(), lanes, "verdict width mismatch");
+    assert_eq!(batch.bits(), shift.bits(), "block width mismatch");
+    out.fill(false);
+    let words = shift.words_per_mask();
+    let mixed = rule == PairRule::Mixed;
+    let chunk = simd::chunk_lanes();
+    let mut l0 = 0;
+    while l0 < lanes {
+        let l1 = (l0 + chunk).min(lanes);
+        let full = (1u64 << (l1 - l0)) - 1;
+        // Decided-recoverable lanes re-enter the kernel as "already bad"
+        // so their verdicts are settled and the chunk can stop as soon as
+        // the kernel reports every lane bad.
+        let mut decided = 0u64;
+        for slope in 0..shift.slopes() {
+            let bad = simd::slope_bad_lanes(
+                shift.slope_rows(slope),
+                words,
+                batch.f.as_words(),
+                batch.w.as_words(),
+                lanes,
+                l0,
+                l1,
+                mixed,
+                decided,
+            );
+            let mut good = !bad & full;
+            decided |= good;
+            while good != 0 {
+                out[l0 + good.trailing_zeros() as usize] = true;
+                good &= good - 1;
+            }
+            if decided == full {
+                break;
+            }
+        }
+        l0 = l1;
+    }
+}
+
+/// Single-lane twin of [`predicate_batch`] over plain F/W masks: the same
+/// group-mask fold, one lane at a time — the single-block kernel the batch
+/// bench races against.
+///
+/// # Panics
+///
+/// Panics if the masks disagree with each other or with the ROM's width.
+#[must_use]
+pub fn predicate_single(shift: &ShiftRom, f: &BitBlock, w: &BitBlock, rule: PairRule) -> bool {
+    assert_eq!(f.len(), shift.bits(), "block width mismatch");
+    assert_eq!(w.len(), shift.bits(), "block width mismatch");
+    let fw = f.as_words();
+    let ww = w.as_words();
+    'slopes: for slope in 0..shift.slopes() {
+        for group in 0..shift.groups() {
+            let row = shift.mask_words(slope, group);
+            let (mut seen, mut dup, mut wseen, mut rseen) = (0u64, 0u64, 0u64, 0u64);
+            for (i, &rw) in row.iter().enumerate() {
+                let x = rw & fw[i];
+                dup |= x & x.wrapping_sub(1);
+                if seen != 0 {
+                    dup |= x;
+                }
+                seen |= x;
+                wseen |= rw & ww[i];
+                rseen |= x & !ww[i];
+            }
+            let bad = match rule {
+                PairRule::AnyWrong => dup != 0 && wseen != 0,
+                PairRule::Mixed => wseen != 0 && rseen != 0,
+            };
+            if bad {
+                continue 'slopes;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Builds the `(F, W)` masks [`predicate_single`] consumes from a fault
+/// slice and its W/R split — the bridge from the engine's representation.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or an offset exceeds `bits`.
+#[must_use]
+pub fn fault_masks(bits: usize, faults: &[Fault], wrong: &[bool]) -> (BitBlock, BitBlock) {
+    assert_eq!(faults.len(), wrong.len(), "split width mismatch");
+    let mut f = BitBlock::zeros(bits);
+    let mut w = BitBlock::zeros(bits);
+    for (fault, &is_wrong) in faults.iter().zip(wrong) {
+        f.set(fault.offset, true);
+        if is_wrong {
+            w.set(fault.offset, true);
+        }
+    }
+    (f, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rom::InversionRom;
+    use crate::{AegisPolicy, AegisRwPolicy, Rectangle};
+    use pcm_sim::policy::RecoveryPolicy;
+    use sim_rng::{Rng, SeedableRng, SmallRng};
+
+    fn rect() -> Rectangle {
+        Rectangle::new(5, 7, 32).unwrap()
+    }
+
+    fn random_population(
+        rng: &mut SmallRng,
+        bits: usize,
+        max_faults: usize,
+    ) -> (Vec<Fault>, Vec<bool>) {
+        let count = rng.random_range(0..=max_faults);
+        let mut offsets: Vec<usize> = Vec::new();
+        while offsets.len() < count {
+            let o = rng.random_range(0..bits);
+            if !offsets.contains(&o) {
+                offsets.push(o);
+            }
+        }
+        let faults: Vec<Fault> = offsets
+            .iter()
+            .map(|&o| Fault::new(o, rng.random()))
+            .collect();
+        let wrong: Vec<bool> = (0..count).map(|_| rng.random()).collect();
+        (faults, wrong)
+    }
+
+    #[test]
+    fn batched_encode_matches_single_and_the_inversion_rom() {
+        let r = rect();
+        let shift = ShiftRom::new(&r);
+        let rom = InversionRom::new(&r);
+        let mut rng = SmallRng::seed_from_u64(61);
+        let lanes = 5;
+        for slope in 0..r.slopes() {
+            let mut data = BatchBitBlock::zeros(r.bits(), lanes);
+            let mut inversions = BatchBitBlock::zeros(r.groups(), lanes);
+            let mut lane_data = Vec::new();
+            let mut lane_inv = Vec::new();
+            for lane in 0..lanes {
+                let d = BitBlock::random(&mut rng, r.bits());
+                let v = BitBlock::random(&mut rng, r.groups());
+                data.load_lane(lane, &d);
+                inversions.load_lane(lane, &v);
+                lane_data.push(d);
+                lane_inv.push(v);
+            }
+            let mut out = BatchBitBlock::zeros(r.bits(), lanes);
+            encode_batch(&shift, slope, &inversions, &data, &mut out);
+            for lane in 0..lanes {
+                let mut single = BitBlock::zeros(r.bits());
+                encode_single(
+                    &shift,
+                    slope,
+                    &lane_inv[lane],
+                    &lane_data[lane],
+                    &mut single,
+                );
+                assert_eq!(out.lane(lane), single, "slope {slope} lane {lane}");
+                // And both equal the block-level ROM's definition.
+                let expect = &lane_data[lane] ^ &rom.inversion_mask(slope, &lane_inv[lane]);
+                assert_eq!(single, expect, "slope {slope} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_predicate_matches_the_pair_policies() {
+        let r = rect();
+        let shift = ShiftRom::new(&r);
+        let base = AegisPolicy::new(r.clone());
+        let rw = AegisRwPolicy::new(r.clone());
+        let mut rng = SmallRng::seed_from_u64(4821);
+        let lanes = 8;
+        let mut batch = FaultBatch::zeros(r.bits(), lanes);
+        for _ in 0..60 {
+            let mut pops = Vec::new();
+            for lane in 0..lanes {
+                let (faults, wrong) = random_population(&mut rng, r.bits(), 10);
+                batch.set_lane(lane, &faults, &wrong);
+                pops.push((faults, wrong));
+            }
+            for (rule, policy) in [
+                (PairRule::AnyWrong, &base as &dyn RecoveryPolicy),
+                (PairRule::Mixed, &rw as &dyn RecoveryPolicy),
+            ] {
+                let mut verdicts = vec![false; lanes];
+                predicate_batch(&shift, &batch, rule, &mut verdicts);
+                for (lane, (faults, wrong)) in pops.iter().enumerate() {
+                    let want = policy.recoverable(faults, wrong);
+                    assert_eq!(verdicts[lane], want, "{rule:?} lane {lane}: {faults:?}");
+                    let (f, w) = fault_masks(r.bits(), faults, wrong);
+                    assert_eq!(
+                        predicate_single(&shift, &f, &w, rule),
+                        want,
+                        "{rule:?} single lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_saturated_populations_decide_correctly() {
+        let r = Rectangle::new(2, 3, 6).unwrap();
+        let shift = ShiftRom::new(&r);
+        let mut batch = FaultBatch::zeros(r.bits(), 2);
+        // Lane 0: empty (always recoverable). Lane 1: every bit stuck and
+        // wrong — every slope has a multi-W group, so base Aegis fails.
+        let faults: Vec<Fault> = (0..6).map(|o| Fault::new(o, false)).collect();
+        let wrong = vec![true; 6];
+        batch.set_lane(1, &faults, &wrong);
+        let mut verdicts = vec![false; 2];
+        predicate_batch(&shift, &batch, PairRule::AnyWrong, &mut verdicts);
+        assert!(verdicts[0], "an empty population is always recoverable");
+        assert!(!verdicts[1], "an all-wrong saturated population is not");
+        // Under -rw the same all-W population has no mixed pair at all.
+        predicate_batch(&shift, &batch, PairRule::Mixed, &mut verdicts);
+        assert!(verdicts[0] && verdicts[1]);
+        // clear_lane resets lane 1 back to recoverable everywhere.
+        batch.clear_lane(1);
+        predicate_batch(&shift, &batch, PairRule::AnyWrong, &mut verdicts);
+        assert!(verdicts[0] && verdicts[1]);
+    }
+}

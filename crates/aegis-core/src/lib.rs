@@ -63,6 +63,7 @@ mod geometry;
 mod predicate;
 
 pub mod analysis;
+pub mod batch;
 pub mod cost;
 pub mod primes;
 pub mod rom;

@@ -23,7 +23,9 @@
 use crate::cost::ceil_log2;
 use crate::rom::{CollisionRom, GroupRom};
 use crate::Rectangle;
-use pcm_sim::policy::{cache_key, CachedPair, PairCache, PolicyScratch, RecoveryPolicy};
+use pcm_sim::policy::{
+    cache_key, guaranteed_splits_with, CachedPair, PairCache, PolicyScratch, RecoveryPolicy,
+};
 use pcm_sim::Fault;
 
 /// Precomputed lookup tables shared by the kernel-mode predicates: the
@@ -195,6 +197,33 @@ fn bad_slopes_into<F: Fn(bool, bool) -> bool>(
     count
 }
 
+/// [`bad_slopes_into`] under the all-wrong split, where every colliding
+/// pair matters: marks every slope holding *any* colliding pair. Same pair
+/// order and early exit, so it agrees bit-for-bit with
+/// `bad_slopes_into(.., &[true; f], |_, _| true, ..)`.
+fn bad_slopes_all_into(
+    slopes: usize,
+    roms: &PolicyRoms,
+    faults: &[Fault],
+    bad: &mut [bool],
+) -> usize {
+    let mut count = 0;
+    for (i, fi) in faults.iter().enumerate() {
+        for fj in faults.iter().skip(i + 1) {
+            if let Some(k) = roms.collisions.collision_slope(fi.offset, fj.offset) {
+                if !bad[k] {
+                    bad[k] = true;
+                    count += 1;
+                    if count == slopes {
+                        return count;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
 /// Monte Carlo predicate for base Aegis (§2.2 semantics).
 #[derive(Debug, Clone)]
 pub struct AegisPolicy {
@@ -307,6 +336,23 @@ impl RecoveryPolicy for AegisPolicy {
         count < self.rect.slopes()
     }
 
+    /// Allocation-free twin of [`guaranteed`](RecoveryPolicy::guaranteed).
+    /// Under the all-wrong split every colliding pair matters, so a slope
+    /// is bad iff it carries at least one pair — and the cached verdict is
+    /// exactly "a pair-free slope survives".
+    fn guaranteed_with(&self, faults: &[Fault], scratch: &mut PolicyScratch) -> bool {
+        let Some(roms) = &self.roms else {
+            return self.guaranteed(faults);
+        };
+        if scratch.pair_cache.matches(self.key, faults) {
+            return scratch.pair_cache.clean > 0;
+        }
+        let slopes = self.rect.slopes();
+        let bad = scratch.flags(slopes);
+        let count = bad_slopes_all_into(slopes, roms, faults, bad);
+        count < slopes
+    }
+
     fn explain(&self, faults: &[Fault], wrong: &[bool]) -> Option<String> {
         let slopes = self.rect.slopes();
         let (bad, count) = bad_slopes(&self.rect, faults, wrong, |wi, wj| wi || wj);
@@ -416,6 +462,14 @@ impl RecoveryPolicy for AegisRwPolicy {
 
     fn forget_block(&self, scratch: &mut PolicyScratch) {
         scratch.pair_cache.reset();
+    }
+
+    /// The mixed-pair guarantee has no closed form (whether a pair is W–R
+    /// depends on the split), so it uses the trait's enumeration
+    /// discipline; this override replays the same split stream with
+    /// arena-backed buffers, the cached-pair fast path deciding each one.
+    fn guaranteed_with(&self, faults: &[Fault], scratch: &mut PolicyScratch) -> bool {
+        guaranteed_splits_with(self, faults, scratch)
     }
 
     fn explain(&self, faults: &[Fault], wrong: &[bool]) -> Option<String> {
@@ -609,6 +663,14 @@ impl RecoveryPolicy for AegisRwPPolicy {
 
     fn forget_block(&self, scratch: &mut PolicyScratch) {
         scratch.pair_cache.reset();
+    }
+
+    /// The mixed-pair guarantee has no closed form (whether a pair is W–R
+    /// depends on the split), so it uses the trait's enumeration
+    /// discipline; this override replays the same split stream with
+    /// arena-backed buffers, the cached-pair fast path deciding each one.
+    fn guaranteed_with(&self, faults: &[Fault], scratch: &mut PolicyScratch) -> bool {
+        guaranteed_splits_with(self, faults, scratch)
     }
 
     fn explain(&self, faults: &[Fault], wrong: &[bool]) -> Option<String> {

@@ -106,10 +106,17 @@ impl InversionRom {
     ///
     /// # Panics
     ///
-    /// Panics if either input is out of range.
+    /// In debug builds, panics if either input is out of range. Release
+    /// builds skip the explicit range check on this hot accessor: the
+    /// `Vec` indexing below is still bounds-checked, so an out-of-range
+    /// `(slope, group)` can never read out of bounds — at worst it panics
+    /// on the slice index or (if the flat index aliases another row)
+    /// returns a well-formed mask belonging to a different `(slope,
+    /// group)`. Both inputs are loop counters bounded by the ROM's own
+    /// geometry at every call site.
     #[must_use]
     pub fn group_mask(&self, slope: usize, group: usize) -> &BitBlock {
-        assert!(
+        debug_assert!(
             slope < self.slopes && group < self.groups,
             "InversionRom index out of range"
         );
@@ -193,19 +200,53 @@ impl ShiftRom {
         self.words_per_mask
     }
 
+    /// Number of slopes the table covers.
+    #[must_use]
+    pub fn slopes(&self) -> usize {
+        self.slopes
+    }
+
+    /// Number of groups per slope.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
     /// Member mask of one group under one slope, as raw words.
     ///
     /// # Panics
     ///
-    /// Panics if either input is out of range.
+    /// In debug builds, panics if either input is out of range. Release
+    /// builds skip the explicit range check on this hot accessor (it sits
+    /// inside the per-`(slope, group)` kernel loops): the slice indexing
+    /// below is still bounds-checked, so an out-of-range input can never
+    /// read outside the table — at worst it panics on the range index or
+    /// (if the flat index aliases another row) returns the well-formed
+    /// mask of a different `(slope, group)`. Both inputs are loop counters
+    /// bounded by the ROM's own geometry at every call site.
     #[must_use]
     pub fn mask_words(&self, slope: usize, group: usize) -> &[u64] {
-        assert!(
+        debug_assert!(
             slope < self.slopes && group < self.groups,
             "ShiftRom index out of range"
         );
         let start = (slope * self.groups + group) * self.words_per_mask;
         &self.words[start..start + self.words_per_mask]
+    }
+
+    /// All group masks of one slope as one contiguous word slice
+    /// (`groups() * words_per_mask()` words, group-major) — the unit the
+    /// batched slope kernels ([`bitblock::simd`]) stream in a single pass.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `slope` is out of range (release builds
+    /// rely on the slice indexing below, as [`ShiftRom::mask_words`] does).
+    #[must_use]
+    pub fn slope_rows(&self, slope: usize) -> &[u64] {
+        debug_assert!(slope < self.slopes, "ShiftRom slope out of range");
+        let per_slope = self.groups * self.words_per_mask;
+        &self.words[slope * per_slope..(slope + 1) * per_slope]
     }
 
     /// Fills `out` with the union of every group mask selected by
@@ -405,5 +446,48 @@ mod tests {
     fn collision_rom_rejects_identical_offsets() {
         let rom = CollisionRom::new(&rect());
         let _ = rom.collision_slope(3, 3);
+    }
+
+    #[test]
+    fn hot_accessors_cover_every_boundary_index_exhaustively() {
+        // The release-build range checks in `ShiftRom::mask_words` and
+        // `InversionRom::group_mask` were demoted to `debug_assert!`; this
+        // exhaustive small-width sweep pins that every in-range index —
+        // including the extreme corners (0, 0), (0, groups-1),
+        // (slopes-1, 0) and (slopes-1, groups-1) — resolves to the mask
+        // the rectangle geometry defines, across formations whose group
+        // counts differ per width (so a slope/group transposition or an
+        // off-by-one in the flat index cannot cancel out).
+        for (a, b, bits) in [(1usize, 3usize, 3usize), (2, 3, 6), (3, 5, 15), (5, 7, 32)] {
+            let r = Rectangle::new(a, b, bits).unwrap();
+            let packed = ShiftRom::new(&r);
+            let rom = InversionRom::new(&r);
+            assert_eq!(packed.slopes(), r.slopes());
+            assert_eq!(packed.groups(), r.groups());
+            for slope in 0..r.slopes() {
+                for group in 0..r.groups() {
+                    let expect = BitBlock::from_indices(bits, r.group_members(slope, group));
+                    assert_eq!(
+                        packed.mask_words(slope, group),
+                        expect.as_words(),
+                        "{a}x{b}/{bits} slope {slope} group {group}"
+                    );
+                    assert_eq!(
+                        rom.group_mask(slope, group),
+                        &expect,
+                        "{a}x{b}/{bits} slope {slope} group {group}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "ShiftRom index out of range")]
+    fn mask_words_still_guards_ranges_in_debug_builds() {
+        let r = rect();
+        let packed = ShiftRom::new(&r);
+        let _ = packed.mask_words(r.slopes(), 0);
     }
 }

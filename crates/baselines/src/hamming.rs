@@ -15,7 +15,7 @@
 
 use bitblock::BitBlock;
 use pcm_sim::codec::{StuckAtCodec, WriteReport};
-use pcm_sim::policy::RecoveryPolicy;
+use pcm_sim::policy::{PolicyScratch, RecoveryPolicy};
 use pcm_sim::{Fault, PcmBlock, UncorrectableError};
 
 /// Number of payload bits per codeword.
@@ -282,6 +282,20 @@ impl RecoveryPolicy for HammingPolicy {
             let w = fault.offset / WORD_BITS;
             per_word[w] += 1;
             if per_word[w] > 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Same per-word tally out of the arena's byte buffer.
+    fn guaranteed_with(&self, faults: &[Fault], scratch: &mut PolicyScratch) -> bool {
+        scratch.bytes.clear();
+        scratch.bytes.resize(self.block_bits / WORD_BITS, 0);
+        for fault in faults {
+            let w = fault.offset / WORD_BITS;
+            scratch.bytes[w] += 1;
+            if scratch.bytes[w] > 1 {
                 return false;
             }
         }

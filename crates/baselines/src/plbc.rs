@@ -37,7 +37,8 @@ use crate::safer::combinations;
 use bitblock::BitBlock;
 use pcm_sim::codec::{StuckAtCodec, WriteReport};
 use pcm_sim::policy::{
-    cache_key, PolicyScratch, RecoveryPolicy, EXHAUSTIVE_SPLIT_LIMIT, SAMPLED_GUARANTEE_SPLITS,
+    cache_key, guaranteed_splits_with, PolicyScratch, RecoveryPolicy, EXHAUSTIVE_SPLIT_LIMIT,
+    SAMPLED_GUARANTEE_SPLITS,
 };
 use pcm_sim::{sample_split, Fault, PcmBlock, Stuckness, UncorrectableError};
 use sim_rng::{SeedableRng, SmallRng};
@@ -356,6 +357,16 @@ impl RecoveryPolicy for PlbcPolicy {
                 self.recoverable(faults, &wrong)
             })
         }
+    }
+
+    /// Same closed-form bound, then the shared arena-backed enumeration
+    /// (identical split stream to [`guaranteed`](Self::guaranteed) above,
+    /// so the verdicts agree).
+    fn guaranteed_with(&self, faults: &[Fault], scratch: &mut PolicyScratch) -> bool {
+        if faults.len() <= 2 * self.matrix.t() {
+            return true;
+        }
+        guaranteed_splits_with(self, faults, scratch)
     }
 }
 

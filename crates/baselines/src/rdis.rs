@@ -25,7 +25,7 @@
 use crate::cost::{rdis_overhead, rdis_paper_overhead};
 use bitblock::BitBlock;
 use pcm_sim::codec::{StuckAtCodec, WriteReport};
-use pcm_sim::policy::{cache_key, PolicyScratch, RecoveryPolicy};
+use pcm_sim::policy::{cache_key, guaranteed_splits_with, PolicyScratch, RecoveryPolicy};
 use pcm_sim::{classify_split, Fault, PcmBlock, UncorrectableError};
 
 /// Grid geometry and recursion depth of an RDIS scheme.
@@ -431,6 +431,14 @@ impl RecoveryPolicy for RdisPolicy {
 
     fn forget_block(&self, scratch: &mut PolicyScratch) {
         scratch.pair_cache.reset();
+    }
+
+    /// RDIS has no closed-form guarantee (whether the removal fixed point
+    /// converges depends on the split), so it uses the trait's enumeration
+    /// discipline; this override replays it with arena-backed splits so
+    /// each enumerated split runs the cached mask fast path below.
+    fn guaranteed_with(&self, faults: &[Fault], scratch: &mut PolicyScratch) -> bool {
+        guaranteed_splits_with(self, faults, scratch)
     }
 
     /// Allocation-free replay of [`RdisScheme::build_sets`]'s fixed point:

@@ -620,18 +620,47 @@ impl RecoveryPolicy for SaferPolicy {
 
     fn guaranteed(&self, faults: &[Fault]) -> bool {
         // Recoverable for every data word iff some reachable partition puts
-        // every fault in its own group.
+        // every fault in its own group. Group occupancy lives in a `u128`
+        // bitmask as in `partition_ok` (SAFER never exceeds 128 groups), so
+        // the exhaustive scan allocates nothing.
         let injective = |positions: &[usize]| {
-            let mut seen = vec![false; 1 << positions.len()];
+            debug_assert!(
+                positions.len() <= 7,
+                "u128 occupancy supports <= 128 groups"
+            );
+            let mut seen = 0u128;
             faults.iter().all(|f| {
-                let g = self.scheme.group_of(f.offset, positions);
-                !std::mem::replace(&mut seen[g], true)
+                let bit = 1u128 << self.scheme.group_of(f.offset, positions);
+                let fresh = seen & bit == 0;
+                seen |= bit;
+                fresh
             })
         };
         match self.search {
             PartitionSearch::Exhaustive => self.vectors.iter().any(|p| injective(p)),
             PartitionSearch::Incremental => injective(&self.incremental_vector(faults)),
         }
+    }
+
+    /// Allocation-free twin of [`guaranteed`](RecoveryPolicy::guaranteed)
+    /// for the incremental search: `absorb_incremental_vector` already
+    /// replayed the vector growth into the cache and keeps every fault's
+    /// group current, so injectivity is one duplicate scan over the cached
+    /// groups — no vector rebuild, no allocation.
+    fn guaranteed_with(&self, faults: &[Fault], scratch: &mut PolicyScratch) -> bool {
+        if self.search == PartitionSearch::Incremental
+            && self.scheme.m <= 7
+            && scratch.pair_cache.matches(self.key, faults)
+        {
+            let mut seen = 0u128;
+            return scratch.pair_cache.groups.iter().all(|&g| {
+                let bit = 1u128 << g;
+                let fresh = seen & bit == 0;
+                seen |= bit;
+                fresh
+            });
+        }
+        self.guaranteed(faults)
     }
 
     fn observe_fault(&self, faults: &[Fault], scratch: &mut PolicyScratch) {

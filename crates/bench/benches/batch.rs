@@ -1,0 +1,304 @@
+//! PR 9 batch-kernel gate: lane-major SoA batched kernels versus the
+//! single-block kernels they replace, on the paper's strongest 512-bit
+//! formation (9×61), 16 lanes per batch.
+//!
+//! Three benchmark groups, each with a `batched` and a `single` leg timed
+//! in the same process on identical inputs, both legs doing the *same
+//! total work* (16 blocks per iteration) so the ratio is the per-block
+//! speedup:
+//!
+//! - `batch_kernels_512_9x61` — the PR 9 headline gate: one fused
+//!   steady-state step per block (a recoverability verdict over an 8-fault
+//!   population plus one slope encode), batched across 16 lanes via
+//!   [`predicate_batch`]/[`encode_batch`] vs 16 calls of the single-block
+//!   twins.
+//! - `predicate_batch_512_9x61` — the verdict alone (the term that
+//!   dominates Monte Carlo work).
+//! - `encode_batch_512_9x61` — the encode alone (bandwidth-bound; the
+//!   batched layout mainly saves the 16× re-streaming of ROM rows).
+//!
+//! The batched legs exercise whatever SIMD backend
+//! [`bitblock::simd::backend`] resolved for this machine — the ≥4× gate
+//! is a statement about the vectorized batch path. Running under
+//! `SIM_FORCE_SCALAR=1` times the portable fallback instead (useful for
+//! isolating the layout's contribution and for determinism debugging);
+//! the gate is checked against the committed record, which is always
+//! generated with the native backend.
+//!
+//! Output goes to `results/bench/BENCH_pr9.json` (checked by
+//! `bench-gate`). If `SIM_FIG5_FULL_SECONDS` is set — as
+//! `scripts/bench_pr9.sh` does after timing `experiments fig5 --full` —
+//! the measured wall clock is spliced in next to the recorded pre-change
+//! measurement, capturing the end-to-end effect of this PR's timeline
+//! cache + batched engine in the same document as the kernel ratios.
+
+use aegis_bench::faulty_block;
+use aegis_core::batch::{
+    encode_batch, encode_single, fault_masks, predicate_batch, predicate_single, FaultBatch,
+    PairRule,
+};
+use aegis_core::rom::ShiftRom;
+use aegis_core::Rectangle;
+use bitblock::{BatchBitBlock, BitBlock};
+use sim_rng::bench::Bench;
+use sim_rng::bench_group;
+use sim_rng::{Rng, SeedableRng, SmallRng};
+use std::hint::black_box;
+
+/// `experiments fig5 --full` wall clock measured on this tree immediately
+/// before this PR's timeline cache + batched engine landed (same machine
+/// as the recorded baseline; release build, bash `time`, seconds).
+const FIG5_FULL_PRE_CHANGE_SECONDS: f64 = 93.613;
+
+/// Lanes per batch — the wide end of the engine's supported widths.
+const LANES: usize = 16;
+
+fn rect() -> Rectangle {
+    Rectangle::new(9, 61, 512).expect("paper formation")
+}
+
+/// 16 independent 8-fault populations with W/R splits, in both the
+/// batched (F/W mask batch) and single-block (per-lane mask pair)
+/// representations.
+struct Populations {
+    batch: FaultBatch,
+    masks: Vec<(BitBlock, BitBlock)>,
+}
+
+fn populations(seed: u64) -> Populations {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut batch = FaultBatch::zeros(512, LANES);
+    let mut masks = Vec::with_capacity(LANES);
+    for lane in 0..LANES {
+        let (_, faults) = faulty_block(512, 8, seed.wrapping_mul(31).wrapping_add(lane as u64));
+        let wrong: Vec<bool> = (0..faults.len()).map(|_| rng.random()).collect();
+        batch.set_lane(lane, &faults, &wrong);
+        masks.push(fault_masks(512, &faults, &wrong));
+    }
+    Populations { batch, masks }
+}
+
+/// 16 random inversion vectors (61 groups wide) and data words, again in
+/// both representations.
+struct EncodeInputs {
+    inversions: BatchBitBlock,
+    data: BatchBitBlock,
+    lane_inversions: Vec<BitBlock>,
+    lane_data: Vec<BitBlock>,
+}
+
+fn encode_inputs(seed: u64) -> EncodeInputs {
+    let r = rect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut inversions = BatchBitBlock::zeros(r.groups(), LANES);
+    let mut data = BatchBitBlock::zeros(r.bits(), LANES);
+    let mut lane_inversions = Vec::with_capacity(LANES);
+    let mut lane_data = Vec::with_capacity(LANES);
+    for lane in 0..LANES {
+        let v = BitBlock::random_with_density(&mut rng, r.groups(), 0.25);
+        let d = BitBlock::random(&mut rng, r.bits());
+        inversions.load_lane(lane, &v);
+        data.load_lane(lane, &d);
+        lane_inversions.push(v);
+        lane_data.push(d);
+    }
+    EncodeInputs {
+        inversions,
+        data,
+        lane_inversions,
+        lane_data,
+    }
+}
+
+fn bench_predicate(c: &mut Bench) {
+    let mut group = c.benchmark_group("predicate_batch_512_9x61");
+    group.sample_size(40);
+    let shift = ShiftRom::new(&rect());
+    let pops: Vec<Populations> = (0..8).map(|i| populations(100 + i)).collect();
+
+    let mut verdicts = vec![false; LANES];
+    let mut i = 0usize;
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            i = (i + 1) % pops.len();
+            predicate_batch(
+                black_box(&shift),
+                black_box(&pops[i].batch),
+                PairRule::AnyWrong,
+                &mut verdicts,
+            );
+            black_box(&verdicts);
+        });
+    });
+
+    let mut i = 0usize;
+    group.bench_function("single", |b| {
+        b.iter(|| {
+            i = (i + 1) % pops.len();
+            for (f, w) in &pops[i].masks {
+                black_box(predicate_single(
+                    black_box(&shift),
+                    f,
+                    w,
+                    PairRule::AnyWrong,
+                ));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_encode(c: &mut Bench) {
+    let mut group = c.benchmark_group("encode_batch_512_9x61");
+    let shift = ShiftRom::new(&rect());
+    let inputs: Vec<EncodeInputs> = (0..8).map(|i| encode_inputs(200 + i)).collect();
+
+    let mut out = BatchBitBlock::zeros(512, LANES);
+    let mut i = 0usize;
+    let mut slope = 0usize;
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            i = (i + 1) % inputs.len();
+            slope = (slope + 1) % 9;
+            encode_batch(
+                black_box(&shift),
+                slope,
+                &inputs[i].inversions,
+                &inputs[i].data,
+                &mut out,
+            );
+            black_box(&out);
+        });
+    });
+
+    let mut single_out = BitBlock::zeros(512);
+    let mut i = 0usize;
+    let mut slope = 0usize;
+    group.bench_function("single", |b| {
+        b.iter(|| {
+            i = (i + 1) % inputs.len();
+            slope = (slope + 1) % 9;
+            let input = &inputs[i];
+            for lane in 0..LANES {
+                encode_single(
+                    black_box(&shift),
+                    slope,
+                    &input.lane_inversions[lane],
+                    &input.lane_data[lane],
+                    &mut single_out,
+                );
+                black_box(&single_out);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_combined(c: &mut Bench) {
+    let mut group = c.benchmark_group("batch_kernels_512_9x61");
+    group.sample_size(40);
+    let shift = ShiftRom::new(&rect());
+    let pops: Vec<Populations> = (0..8).map(|i| populations(300 + i)).collect();
+    let inputs: Vec<EncodeInputs> = (0..8).map(|i| encode_inputs(400 + i)).collect();
+
+    let mut verdicts = vec![false; LANES];
+    let mut out = BatchBitBlock::zeros(512, LANES);
+    let mut i = 0usize;
+    let mut slope = 0usize;
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            i = (i + 1) % pops.len();
+            slope = (slope + 1) % 9;
+            predicate_batch(
+                black_box(&shift),
+                black_box(&pops[i].batch),
+                PairRule::AnyWrong,
+                &mut verdicts,
+            );
+            encode_batch(
+                black_box(&shift),
+                slope,
+                &inputs[i].inversions,
+                &inputs[i].data,
+                &mut out,
+            );
+            black_box((&verdicts, &out));
+        });
+    });
+
+    let mut single_out = BitBlock::zeros(512);
+    let mut i = 0usize;
+    let mut slope = 0usize;
+    group.bench_function("single", |b| {
+        b.iter(|| {
+            i = (i + 1) % pops.len();
+            slope = (slope + 1) % 9;
+            let input = &inputs[i];
+            for lane in 0..LANES {
+                let (f, w) = &pops[i].masks[lane];
+                black_box(predicate_single(
+                    black_box(&shift),
+                    f,
+                    w,
+                    PairRule::AnyWrong,
+                ));
+                encode_single(
+                    black_box(&shift),
+                    slope,
+                    &input.lane_inversions[lane],
+                    &input.lane_data[lane],
+                    &mut single_out,
+                );
+                black_box(&single_out);
+            }
+        });
+    });
+    group.finish();
+}
+
+bench_group!(benches, bench_combined, bench_predicate, bench_encode);
+
+/// Splices the end-to-end fig5 `--full` wall-clock record into the bench
+/// JSON: the recorded pre-change measurement always, the post-change
+/// measurement when `SIM_FIG5_FULL_SECONDS` carries one.
+fn with_fig5_wall_clock(json: &str) -> String {
+    let post = std::env::var("SIM_FIG5_FULL_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok());
+    let body = json
+        .trim_end()
+        .strip_suffix('}')
+        .expect("bench JSON document ends with an object")
+        .trim_end()
+        .to_string();
+    let post_field = match post {
+        Some(s) => format!("\"post_change_s\": {s:.3}"),
+        None => "\"post_change_s\": null".to_string(),
+    };
+    format!(
+        "{body},\n  \"simd_backend\": \"{}\",\n  \"fig5_full_wall_clock\": {{\"pre_change_s\": {FIG5_FULL_PRE_CHANGE_SECONDS:.3}, {post_field}}}\n}}\n",
+        bitblock::simd::backend_name()
+    )
+}
+
+fn main() {
+    let mut bench = Bench::new();
+    benches(&mut bench);
+    let json = with_fig5_wall_clock(&bench.to_json("BENCH_pr9"));
+    let dir = match std::env::var_os("SIM_BENCH_OUT") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            // Mirror `Bench::write_json`: results/bench/ at the workspace
+            // root (nearest ancestor with a Cargo.lock).
+            let mut dir = std::env::current_dir().expect("cwd");
+            while !dir.join("Cargo.lock").exists() {
+                assert!(dir.pop(), "no workspace root found above the bench");
+            }
+            dir.join("results").join("bench")
+        }
+    };
+    std::fs::create_dir_all(&dir).expect("create bench output dir");
+    let path = dir.join("BENCH_pr9.json");
+    std::fs::write(&path, json).expect("write BENCH_pr9.json");
+    println!("bench results written to {}", path.display());
+}

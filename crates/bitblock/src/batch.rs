@@ -1,0 +1,224 @@
+//! Lane-major batches of equal-width bit vectors.
+//!
+//! [`BatchBitBlock`] stores word `w` of lanes `0..L` contiguously
+//! (`words[w * lanes + lane]`), so a kernel that applies one ROM mask word
+//! to L blocks touches L adjacent words — the structure-of-arrays layout
+//! the [`crate::simd`] row kernels consume. A [`crate::BitBlock`] is the
+//! `lanes == 1` degenerate case; [`BatchBitBlock::load_lane`] /
+//! [`BatchBitBlock::store_lane`] convert between the two layouts.
+//!
+//! The same canonical-form invariant as [`crate::BitBlock`] holds per lane:
+//! bits beyond `bits` in each lane's last word are always zero, so word
+//! kernels never need tail masking.
+
+use crate::BitBlock;
+
+/// A lane-major batch of `lanes` bit vectors, each `bits` wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchBitBlock {
+    /// `words[w * lanes + lane]` = word `w` of lane `lane`.
+    words: Vec<u64>,
+    lanes: usize,
+    bits: usize,
+    words_per_lane: usize,
+}
+
+impl BatchBitBlock {
+    /// Creates an all-zero batch of `lanes` vectors, each `bits` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` (a batch needs at least one lane; `bits == 0`
+    /// is allowed and yields empty lanes, mirroring [`BitBlock::zeros`]).
+    #[must_use]
+    pub fn zeros(bits: usize, lanes: usize) -> Self {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        let words_per_lane = bits.div_ceil(64);
+        Self {
+            words: vec![0; words_per_lane * lanes],
+            lanes,
+            bits,
+            words_per_lane,
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Per-lane width in bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Words stored per lane (`bits.div_ceil(64)`).
+    #[must_use]
+    pub fn words_per_lane(&self) -> usize {
+        self.words_per_lane
+    }
+
+    /// The raw lane-major words (`words_per_lane * lanes` entries).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the raw lane-major words.
+    ///
+    /// Callers must uphold the canonical-form invariant: tail bits beyond
+    /// `bits` in each lane's last word stay zero. The word kernels in
+    /// [`crate::simd`] preserve it because every ROM row they apply is
+    /// itself canonical.
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Zeroes every lane.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Zeroes one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn clear_lane(&mut self, lane: usize) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        for w in 0..self.words_per_lane {
+            self.words[w * self.lanes + lane] = 0;
+        }
+    }
+
+    /// Copies `block` into `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or `block.len() != bits`.
+    pub fn load_lane(&mut self, lane: usize, block: &BitBlock) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert_eq!(block.len(), self.bits, "lane width mismatch");
+        for (w, &word) in block.as_words().iter().enumerate() {
+            self.words[w * self.lanes + lane] = word;
+        }
+    }
+
+    /// Copies `lane` into `out` (which keeps its allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or `out.len() != bits`.
+    pub fn store_lane(&self, lane: usize, out: &mut BitBlock) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert_eq!(out.len(), self.bits, "lane width mismatch");
+        for w in 0..self.words_per_lane {
+            out.set_word(w, self.words[w * self.lanes + lane]);
+        }
+    }
+
+    /// Extracts `lane` as a fresh [`BitBlock`].
+    #[must_use]
+    pub fn lane(&self, lane: usize) -> BitBlock {
+        let mut out = BitBlock::zeros(self.bits);
+        self.store_lane(lane, &mut out);
+        out
+    }
+
+    /// Reads one bit of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` or `index` is out of range.
+    #[must_use]
+    pub fn get(&self, lane: usize, index: usize) -> bool {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert!(index < self.bits, "bit {index} out of range");
+        let word = self.words[(index / 64) * self.lanes + lane];
+        word >> (index % 64) & 1 == 1
+    }
+
+    /// Sets one bit of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` or `index` is out of range.
+    pub fn set(&mut self, lane: usize, index: usize, value: bool) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert!(index < self.bits, "bit {index} out of range");
+        let at = (index / 64) * self.lanes + lane;
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.words[at] |= mask;
+        } else {
+            self.words[at] &= !mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_rng::{SeedableRng, SmallRng};
+
+    #[test]
+    fn layout_is_lane_major() {
+        let mut batch = BatchBitBlock::zeros(130, 3);
+        assert_eq!(batch.words_per_lane(), 3);
+        assert_eq!(batch.as_words().len(), 9);
+        batch.set(1, 64, true); // word 1 of lane 1 = flat index 1 * lanes + 1
+        assert_eq!(batch.as_words()[4], 1);
+        assert!(batch.get(1, 64));
+        assert!(!batch.get(0, 64));
+        batch.set(1, 64, false);
+        assert!(batch.as_words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn lanes_round_trip_through_bitblocks() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut batch = BatchBitBlock::zeros(200, 5);
+        let blocks: Vec<BitBlock> = (0..5).map(|_| BitBlock::random(&mut rng, 200)).collect();
+        for (lane, block) in blocks.iter().enumerate() {
+            batch.load_lane(lane, block);
+        }
+        for (lane, block) in blocks.iter().enumerate() {
+            assert_eq!(&batch.lane(lane), block);
+            for idx in [0usize, 63, 64, 199] {
+                assert_eq!(batch.get(lane, idx), block.get(idx));
+            }
+        }
+        batch.clear_lane(2);
+        assert_eq!(batch.lane(2).count_ones(), 0);
+        assert_eq!(&batch.lane(1), &blocks[1], "clearing lane 2 spares lane 1");
+        assert_eq!(&batch.lane(3), &blocks[3]);
+        batch.clear();
+        assert!(batch.as_words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn load_lane_keeps_the_tail_canonical() {
+        // A 70-bit lane occupies two words; the high 58 bits of word 1 must
+        // stay zero after round-tripping a full block.
+        let mut batch = BatchBitBlock::zeros(70, 2);
+        let block = BitBlock::ones_block(70);
+        batch.load_lane(0, &block);
+        batch.load_lane(1, &block);
+        assert_eq!(batch.as_words()[2] & !0x3f, 0, "tail bits must stay zero");
+        assert_eq!(batch.lane(0), block);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width mismatch")]
+    fn load_lane_rejects_width_mismatch() {
+        BatchBitBlock::zeros(64, 2).load_lane(0, &BitBlock::zeros(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_are_rejected() {
+        let _ = BatchBitBlock::zeros(64, 0);
+    }
+}

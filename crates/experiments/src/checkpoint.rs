@@ -559,6 +559,15 @@ pub fn run_units_checkpointed(
     ctl: &CheckpointCtl<'_>,
 ) -> io::Result<Option<Vec<UnitProgress>>> {
     let every = ctl.every.max(1);
+    // Campaign-scope timeline cache: units sharing a chip configuration
+    // (every scheme of one width) sample each page once across chunks and
+    // resumes. Byte-identity is unaffected — cached pages are bit-equal to
+    // resampled ones.
+    let campaign_timelines = pcm_sim::timeline::TimelineCache::new();
+    let observer = &RunObserver {
+        timelines: observer.timelines.or(Some(&campaign_timelines)),
+        ..*observer
+    };
 
     // Seed per-unit progress from the resume snapshot (validating that it
     // describes the same unit list) or start every unit empty.

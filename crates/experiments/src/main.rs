@@ -329,6 +329,9 @@ impl Ctx<'_> {
             tracer: self.tracer.is_enabled().then_some(self.tracer),
             series: self.series.is_enabled().then_some(self.series),
             status: self.status_w.is_enabled().then_some(self.status_w),
+            // Deeper layers attach sweep/campaign timeline caches; the CLI
+            // context itself carries none.
+            timelines: None,
         }
     }
 
@@ -756,6 +759,11 @@ fn set_run_meta(tel: &RunTelemetry, command: &str, cli: &Cli) {
         "threads_effective",
         &sim_pool::resolve_threads(cli.opts.threads).to_string(),
     );
+    // SIMD dispatch and engine lane width are resolved once per process;
+    // like the thread count, they never affect the event stream — the
+    // manifest records them so a replayed run can state what actually ran.
+    tel.set_meta("simd_backend", bitblock::simd::backend_name());
+    tel.set_meta("eval_lanes", &pcm_sim::montecarlo::eval_lanes().to_string());
     tel.set_meta("out_dir", &cli.out_dir.display().to_string());
     tel.set_meta("trace", if cli.trace { "on" } else { "off" });
 }

@@ -3,6 +3,7 @@
 
 use crate::schemes::Policy;
 use pcm_sim::montecarlo::{self, FailureCriterion, McTelemetry, MemoryRun, RunHooks, SimConfig};
+use pcm_sim::timeline::TimelineCache;
 use sim_telemetry::{Registry, SeriesWriter, StatusWriter, Tracer};
 
 /// Knobs shared by every experiment run.
@@ -144,6 +145,11 @@ pub struct RunObserver<'a> {
     /// Live `<run-id>.status.json` heartbeats (`--status`): forwarded to
     /// the engine for page-level progress and folded at unit barriers.
     pub status: Option<&'a StatusWriter>,
+    /// Shared page-timeline cache. Campaign drivers set this so every
+    /// scheme evaluated under the same `(seed, width)` samples each page
+    /// once; [`summarize_schemes_with`] provides a per-sweep cache when the
+    /// caller brings none. Results are byte-identical with or without it.
+    pub timelines: Option<&'a TimelineCache>,
 }
 
 impl<'a> RunObserver<'a> {
@@ -191,10 +197,19 @@ pub fn summarize_schemes_with(
     observer: &RunObserver<'_>,
 ) -> Vec<SchemeSummary> {
     let cfg = opts.sim_config(block_bits);
+    // One shared timeline cache per scheme sweep: all schemes see the same
+    // sampled chip, so the (dominant) sampling cost is paid once per width
+    // instead of once per scheme. Campaign drivers that already carry a
+    // longer-lived cache keep theirs.
+    let sweep_cache = TimelineCache::new();
+    let observer = RunObserver {
+        timelines: observer.timelines.or(Some(&sweep_cache)),
+        ..*observer
+    };
     policies
         .iter()
         .map(|policy| {
-            let run = run_observed(policy.as_ref(), &cfg, observer);
+            let run = run_observed(policy.as_ref(), &cfg, &observer);
             SchemeSummary::from_run(policy.as_ref(), &run)
         })
         .collect()
@@ -217,6 +232,7 @@ fn run_observed(
                 progress: Some(&forward),
                 tracer: observer.tracer,
                 status: observer.status,
+                timelines: observer.timelines,
             };
             montecarlo::run_memory_with(policy, cfg, &hooks)
         }
@@ -226,6 +242,7 @@ fn run_observed(
                 progress: None,
                 tracer: observer.tracer,
                 status: observer.status,
+                timelines: observer.timelines,
             };
             montecarlo::run_memory_with(policy, cfg, &hooks)
         }
@@ -259,6 +276,7 @@ pub fn run_labeled_range(
                 progress: Some(&forward),
                 tracer: observer.tracer,
                 status: observer.status,
+                timelines: observer.timelines,
             };
             montecarlo::run_memory_range_with(policy, cfg, start, end, &hooks)
         }
@@ -268,6 +286,7 @@ pub fn run_labeled_range(
                 progress: None,
                 tracer: observer.tracer,
                 status: observer.status,
+                timelines: observer.timelines,
             };
             montecarlo::run_memory_range_with(policy, cfg, start, end, &hooks)
         }

@@ -53,6 +53,13 @@ pub fn run_shard_units(
     lo: usize,
     hi: usize,
 ) -> Vec<UnitProgress> {
+    // Shard-scope timeline cache: all schemes of one width share their
+    // stripe's sampled pages within this process.
+    let shard_timelines = pcm_sim::timeline::TimelineCache::new();
+    let observer = &RunObserver {
+        timelines: observer.timelines.or(Some(&shard_timelines)),
+        ..*observer
+    };
     unit_policies(scalar)
         .iter()
         .flat_map(|(bits, set)| {

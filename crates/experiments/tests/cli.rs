@@ -280,6 +280,55 @@ fn scalar_mode_telemetry_is_byte_identical_to_kernel_mode() {
     let _ = std::fs::remove_dir_all(dir_scalar);
 }
 
+/// The PR 9 determinism contract, end to end: batch lane width
+/// (`SIM_EVAL_LANES`) and SIMD dispatch backend (`SIM_FORCE_SCALAR`) are
+/// pure performance knobs — same seed, same bytes out, in separate
+/// processes. The reference run uses the defaults (native backend, 8
+/// lanes); the variants pin one lane, a wide batch, and the portable
+/// fallback.
+#[test]
+fn lane_width_and_simd_backend_leave_output_byte_identical() {
+    let variants: [(&str, &[(&str, &str)]); 4] = [
+        ("native", &[]),
+        ("lanes1", &[("SIM_EVAL_LANES", "1")]),
+        ("lanes16", &[("SIM_EVAL_LANES", "16")]),
+        (
+            "scalar16",
+            &[("SIM_FORCE_SCALAR", "1"), ("SIM_EVAL_LANES", "16")],
+        ),
+    ];
+    let mut streams: Vec<(String, String, Vec<u8>)> = Vec::new();
+    for (tag, envs) in variants {
+        let dir = std::env::temp_dir().join(format!("aegis-cli-lanes-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cmd = experiments();
+        cmd.args([
+            "fig5", "--pages", "2", "--seed", "9", "--run-id", "lanes", "--quiet",
+        ]);
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let output = cmd.arg("--out").arg(&dir).output().expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stream = std::fs::read_to_string(dir.join("telemetry/lanes.jsonl")).unwrap();
+        let csv = std::fs::read(dir.join("fig5.csv")).unwrap();
+        streams.push((tag.to_string(), sim_telemetry::strip_volatile(&stream), csv));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let (_, ref_stream, ref_csv) = &streams[0];
+    for (tag, stream, csv) in &streams[1..] {
+        assert_eq!(
+            stream, ref_stream,
+            "{tag}: lane width / backend changed the telemetry stream"
+        );
+        assert_eq!(csv, ref_csv, "{tag}: lane width / backend changed fig5.csv");
+    }
+}
+
 #[test]
 fn telemetry_report_skips_malformed_lines_and_exits_2() {
     let dir = std::env::temp_dir().join("aegis-cli-telemetry-corrupt");

@@ -16,7 +16,7 @@
 
 use crate::fault::sample_split_for_into;
 use crate::policy::{PolicyScratch, RecoveryPolicy};
-use crate::timeline::{BlockTimeline, PageTimeline, TimelineSampler};
+use crate::timeline::{BlockTimeline, FaultEvent, PageTimeline, TimelineCache, TimelineSampler};
 use crate::Fault;
 use sim_rng::SeedableRng;
 use sim_rng::SmallRng;
@@ -24,6 +24,7 @@ use sim_telemetry::{
     metric_name, Counter, Histogram, PoolWorkerUtil, Registry, StatusWriter, Tracer,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// When is a block considered dead? (See DESIGN.md §3.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,12 @@ pub struct RunHooks<'a> {
     /// rewrites of `<run-id>.status.json`), and records the pool's worker
     /// busy fraction — pure liveness, outside the determinism contract.
     pub status: Option<&'a StatusWriter>,
+    /// Shared page-timeline cache. When set, workers fetch sampled pages
+    /// through [`TimelineCache::get_or_sample`] instead of re-sampling, so
+    /// a sweep evaluating several schemes over the same `(seed, width)`
+    /// samples each page once. Results are byte-identical with the cache
+    /// on or off (see the cache's determinism notes).
+    pub timelines: Option<&'a TimelineCache>,
 }
 
 /// Outcome of running one policy over one block timeline.
@@ -179,10 +186,12 @@ pub fn evaluate_block_with_scratch(
     telemetry: Option<&McTelemetry>,
     scratch: &mut PolicyScratch,
 ) -> BlockOutcome {
-    // Detach the driver-owned buffers so the policy can borrow the arena's
-    // own fields (`flags`, `bytes`, `counts`) mutably during the decision.
+    // Detach the driver-owned fault buffer so the policy can borrow the
+    // arena's own fields (`flags`, `bytes`, `counts`) mutably during the
+    // decision. The split buffer stays in the arena until a branch needs
+    // it: the guarantee branch hands the whole arena to the policy, which
+    // may enumerate splits out of `scratch.split` itself.
     let mut faults: Vec<Fault> = std::mem::take(&mut scratch.faults);
-    let mut wrong: Vec<bool> = std::mem::take(&mut scratch.split);
     faults.clear();
     // A new block begins: any incremental pair state in the arena is stale.
     policy.forget_block(scratch);
@@ -195,8 +204,9 @@ pub fn evaluate_block_with_scratch(
             policy.observe_fault(&faults, scratch);
             let survivable = match criterion {
                 FailureCriterion::PerEventSplit { samples } => {
+                    let mut wrong: Vec<bool> = std::mem::take(&mut scratch.split);
                     let mut rng = SmallRng::seed_from_u64(event.split_seed);
-                    (0..samples).all(|_| {
+                    let ok = (0..samples).all(|_| {
                         decisions += 1;
                         // Fault-aware sampling: fully stuck faults consume
                         // exactly one bool (identical stream to the legacy
@@ -204,11 +214,13 @@ pub fn evaluate_block_with_scratch(
                         // their weak-write chance to land on R.
                         sample_split_for_into(&mut rng, &faults, &mut wrong);
                         policy.recoverable_with(&faults, &wrong, scratch)
-                    })
+                    });
+                    scratch.split = wrong;
+                    ok
                 }
                 FailureCriterion::GuaranteedAllData => {
                     decisions += 1;
-                    policy.guaranteed(&faults)
+                    policy.guaranteed_with(&faults, scratch)
                 }
             };
             if !survivable {
@@ -225,7 +237,6 @@ pub fn evaluate_block_with_scratch(
     };
     let fault_events = faults.len() as u64;
     scratch.faults = faults;
-    scratch.split = wrong;
     if let Some(t) = telemetry {
         t.fault_events.add(fault_events);
         t.policy_decisions.add(decisions);
@@ -303,6 +314,287 @@ pub fn evaluate_page_with_scratch(
     // have died before the earliest real death; its last tracked event is a
     // lower bound witness.
     let capped = capped
+        && page
+            .blocks
+            .iter()
+            .any(|b| b.events.last().is_some_and(|e| e.time < death_time));
+    let faults_recovered = page
+        .blocks
+        .iter()
+        .flat_map(|b| &b.events)
+        .filter(|e| e.time < death_time)
+        .count();
+    if let Some(t) = telemetry {
+        t.pages.incr();
+        let arrivals = page.blocks.iter().map(|b| b.events.len()).sum::<usize>();
+        t.page_fault_arrivals.record(arrivals as u64);
+        if death_time.is_finite() && death_time >= 0.0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            t.page_lifetime_writes.record(death_time as u64);
+        }
+    }
+    PageOutcome {
+        death_time,
+        faults_recovered,
+        capped,
+    }
+}
+
+/// Default number of blocks a worker evaluates in lockstep per batch.
+pub const DEFAULT_EVAL_LANES: usize = 8;
+
+/// Blocks per lane-sized batch in the chip-level engine, resolved once per
+/// process: `SIM_EVAL_LANES` (clamped to `1..=64`) overrides the default of
+/// [`DEFAULT_EVAL_LANES`]. The lane width never affects results — the
+/// determinism suite pins byte-identical telemetry across widths — only
+/// locality and batching opportunity.
+pub fn eval_lanes() -> usize {
+    static LANES: OnceLock<usize> = OnceLock::new();
+    *LANES.get_or_init(|| {
+        std::env::var("SIM_EVAL_LANES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(DEFAULT_EVAL_LANES, |n| n.clamp(1, 64))
+    })
+}
+
+/// Per-worker arena for the batched engine path: one [`PolicyScratch`] per
+/// lane plus the batch bookkeeping, so steady-state evaluation of
+/// lane-sized block batches allocates nothing once warm.
+#[derive(Debug)]
+pub struct BatchScratch {
+    /// One policy arena per lane; lane `l` of every batch reuses arena `l`,
+    /// so each arena sees one block at a time exactly like the sequential
+    /// path (the pair cache self-heals on the block boundary).
+    per_lane: Vec<PolicyScratch>,
+    /// Per-lane outcomes of the current batch.
+    outcomes: Vec<BlockOutcome>,
+    /// Lanes still in lockstep (not yet dead or out of events).
+    active: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// An arena evaluating `lanes` blocks per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    #[must_use]
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        Self {
+            per_lane: (0..lanes).map(|_| PolicyScratch::new()).collect(),
+            outcomes: Vec::with_capacity(lanes),
+            active: Vec::with_capacity(lanes),
+        }
+    }
+
+    /// An arena sized by [`eval_lanes`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(eval_lanes())
+    }
+
+    /// Lanes per batch.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.per_lane.len()
+    }
+}
+
+/// Advances one lane by one fault event; returns whether the lane
+/// survived it. This is the per-event body of
+/// [`evaluate_block_with_scratch`], factored out so the batched and
+/// single-block paths run literally the same code (same entropy, same
+/// policy calls, same decision count).
+fn step_lane(
+    policy: &dyn RecoveryPolicy,
+    event: &FaultEvent,
+    criterion: FailureCriterion,
+    scratch: &mut PolicyScratch,
+    decisions: &mut u64,
+) -> bool {
+    let mut faults: Vec<Fault> = std::mem::take(&mut scratch.faults);
+    faults.push(event.fault);
+    policy.observe_fault(&faults, scratch);
+    let survivable = match criterion {
+        FailureCriterion::PerEventSplit { samples } => {
+            let mut wrong: Vec<bool> = std::mem::take(&mut scratch.split);
+            let mut rng = SmallRng::seed_from_u64(event.split_seed);
+            let ok = (0..samples).all(|_| {
+                *decisions += 1;
+                sample_split_for_into(&mut rng, &faults, &mut wrong);
+                policy.recoverable_with(&faults, &wrong, scratch)
+            });
+            scratch.split = wrong;
+            ok
+        }
+        FailureCriterion::GuaranteedAllData => {
+            *decisions += 1;
+            policy.guaranteed_with(&faults, scratch)
+        }
+    };
+    scratch.faults = faults;
+    survivable
+}
+
+/// Evaluates up to `lanes` blocks in lockstep — the batched twin of
+/// [`evaluate_block_with_scratch`].
+///
+/// All lanes advance event index by event index. Each lane's decisions
+/// depend only on its own fault population, split RNG (re-seeded per event
+/// from [`FaultEvent::split_seed`]) and per-lane arena, so interleaving
+/// lanes cannot change any lane's verdict: outcome `l` is exactly what
+/// [`evaluate_block_with_scratch`] returns for `blocks[l]`.
+///
+/// Per-lane fault divergence — a lane dying or running out of events while
+/// others continue — is handled by *compacting* the diverged lane out of
+/// the active set; when the batch thins to a single survivor, its remaining
+/// events finish on the plain single-block loop. Telemetry totals are
+/// order-independent sums, so the batched path feeds the exact counter
+/// values of the sequential path.
+///
+/// # Panics
+///
+/// Panics if `blocks.len()` exceeds the arena's lane count.
+pub fn evaluate_block_batch_with_scratch<'a>(
+    policy: &dyn RecoveryPolicy,
+    blocks: &[BlockTimeline],
+    criterion: FailureCriterion,
+    telemetry: Option<&McTelemetry>,
+    batch: &'a mut BatchScratch,
+) -> &'a [BlockOutcome] {
+    let BatchScratch {
+        per_lane,
+        outcomes,
+        active,
+    } = batch;
+    assert!(
+        blocks.len() <= per_lane.len(),
+        "batch of {} blocks exceeds {} lanes",
+        blocks.len(),
+        per_lane.len()
+    );
+    outcomes.clear();
+    outcomes.resize(
+        blocks.len(),
+        BlockOutcome {
+            events_survived: 0,
+            death_time: None,
+        },
+    );
+    active.clear();
+    active.extend(0..blocks.len());
+    let mut decisions = 0u64;
+    let mut fault_events = 0u64;
+    let mut outlived = 0u64;
+    let mut died = 0u64;
+    for scratch in per_lane.iter_mut().take(blocks.len()) {
+        scratch.faults.clear();
+        // A new block begins in every lane: stale incremental pair state
+        // from the previous batch must not leak in.
+        policy.forget_block(scratch);
+    }
+    let mut event_idx = 0usize;
+    while active.len() > 1 {
+        let idx = event_idx;
+        active.retain(|&lane| {
+            let scratch = &mut per_lane[lane];
+            match blocks[lane].events.get(idx) {
+                // Lane out of events: it outlived its (truncated) timeline.
+                None => {
+                    outcomes[lane] = BlockOutcome {
+                        events_survived: idx,
+                        death_time: None,
+                    };
+                    fault_events += scratch.faults.len() as u64;
+                    outlived += 1;
+                    false
+                }
+                Some(event) => {
+                    if step_lane(policy, event, criterion, scratch, &mut decisions) {
+                        true
+                    } else {
+                        outcomes[lane] = BlockOutcome {
+                            events_survived: idx,
+                            death_time: Some(event.time),
+                        };
+                        fault_events += scratch.faults.len() as u64;
+                        died += 1;
+                        false
+                    }
+                }
+            }
+        });
+        event_idx += 1;
+    }
+    // Lone survivor: fall back to the single-block path for its tail.
+    if let Some(&lane) = active.first() {
+        let scratch = &mut per_lane[lane];
+        let block = &blocks[lane];
+        let mut outcome = BlockOutcome {
+            events_survived: block.events.len(),
+            death_time: None,
+        };
+        let mut alive = true;
+        for (i, event) in block.events.iter().enumerate().skip(event_idx) {
+            if !step_lane(policy, event, criterion, scratch, &mut decisions) {
+                outcome = BlockOutcome {
+                    events_survived: i,
+                    death_time: Some(event.time),
+                };
+                alive = false;
+                break;
+            }
+        }
+        outcomes[lane] = outcome;
+        fault_events += scratch.faults.len() as u64;
+        if alive {
+            outlived += 1;
+        } else {
+            died += 1;
+        }
+        active.clear();
+    }
+    if let Some(t) = telemetry {
+        t.fault_events.add(fault_events);
+        t.policy_decisions.add(decisions);
+        t.blocks_outlived.add(outlived);
+        match criterion {
+            FailureCriterion::PerEventSplit { .. } => t.block_deaths_split.add(died),
+            FailureCriterion::GuaranteedAllData => t.block_deaths_guarantee.add(died),
+        }
+    }
+    outcomes
+}
+
+/// Batched twin of [`evaluate_page_with_scratch`]: the page's blocks are
+/// pulled through [`evaluate_block_batch_with_scratch`] in lane-sized
+/// chunks (the final chunk may be partial). Outcome aggregation is
+/// identical to the sequential form, so the returned [`PageOutcome`] — and
+/// all telemetry — is byte-identical lane width by lane width.
+pub fn evaluate_page_batched_with_scratch(
+    policy: &dyn RecoveryPolicy,
+    page: &PageTimeline,
+    criterion: FailureCriterion,
+    telemetry: Option<&McTelemetry>,
+    batch: &mut BatchScratch,
+) -> PageOutcome {
+    let lanes = batch.lanes();
+    let mut death_time = f64::INFINITY;
+    let mut any_outlived = false;
+    for chunk in page.blocks.chunks(lanes) {
+        for outcome in evaluate_block_batch_with_scratch(policy, chunk, criterion, telemetry, batch)
+        {
+            match outcome.death_time {
+                Some(t) => death_time = death_time.min(t),
+                None => any_outlived = true,
+            }
+        }
+    }
+    // Same capping rule as the sequential path: truncation only matters if
+    // an outlived block could have died before the earliest real death.
+    let capped = any_outlived
         && page
             .blocks
             .iter()
@@ -521,12 +813,21 @@ pub fn run_memory_range_with(
         status.begin_phase(&format!("mc.{}", policy.name()));
     }
 
+    let timelines = hooks.timelines;
     // The identical per-page body runs under both scheduling paths, so
     // tracing can only add spans around it, never change what it computes.
-    let eval_page = |scratch: &mut PolicyScratch, page_idx: usize| {
-        let mut rng = TimelineSampler::page_rng(cfg.seed, page_idx as u64);
-        let page = sampler.sample_page(&mut rng, blocks_per_page);
-        let outcome = evaluate_page_with_scratch(policy, &page, cfg.criterion, telemetry, scratch);
+    let eval_page = |scratch: &mut BatchScratch, page_idx: usize| {
+        let page = match timelines {
+            Some(cache) => {
+                cache.get_or_sample(&sampler, cfg.seed, page_idx as u64, blocks_per_page)
+            }
+            None => {
+                let mut rng = TimelineSampler::page_rng(cfg.seed, page_idx as u64);
+                Arc::new(sampler.sample_page(&mut rng, blocks_per_page))
+            }
+        };
+        let outcome =
+            evaluate_page_batched_with_scratch(policy, &page, cfg.criterion, telemetry, scratch);
         // Advance completion unconditionally so the count can never
         // disagree with the telemetry pages counter, then report it.
         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -547,17 +848,19 @@ pub fn run_memory_range_with(
     let tracer = hooks.tracer.filter(|t| t.is_enabled());
     let (results, stats) = match (tracer, status) {
         (None, None) => {
-            sim_pool::run_indexed(threads, count, PolicyScratch::new, |scratch, idx| {
+            sim_pool::run_indexed(threads, count, BatchScratch::from_env, |scratch, idx| {
                 eval_page(scratch, start + idx)
             })
         }
         // Status heartbeats without tracing still need the timed pool
         // variant for the worker busy fraction; results are identical.
         (None, Some(status)) => {
-            let (results, stats, workers) =
-                sim_pool::run_indexed_stats(threads, count, PolicyScratch::new, |scratch, idx| {
-                    eval_page(scratch, start + idx)
-                });
+            let (results, stats, workers) = sim_pool::run_indexed_stats(
+                threads,
+                count,
+                BatchScratch::from_env,
+                |scratch, idx| eval_page(scratch, start + idx),
+            );
             status.set_busy(sim_pool::busy_fraction(&workers));
             (results, stats)
         }
@@ -568,7 +871,7 @@ pub fn run_memory_range_with(
             let (results, stats, workers) = sim_pool::run_indexed_stats(
                 threads,
                 count,
-                || (PolicyScratch::new(), tracer.worker(parent)),
+                || (BatchScratch::from_env(), tracer.worker(parent)),
                 |(scratch, trace), idx| {
                     let span = trace.begin("page");
                     let out = eval_page(scratch, start + idx);
@@ -1085,6 +1388,90 @@ mod tests {
             partial.mean_faults_recovered(),
             classic.mean_faults_recovered()
         );
+    }
+
+    #[test]
+    fn batched_evaluation_matches_sequential_for_every_lane_width() {
+        let policy = CapPolicy { cap: 3, bits: 256 };
+        let sampler = crate::timeline::TimelineSampler::paper_default(256);
+        for seed in 0..4u64 {
+            let mut rng = crate::timeline::TimelineSampler::page_rng(seed, 0);
+            let page = sampler.sample_page(&mut rng, 16);
+            let registry = Registry::new();
+            let telemetry = McTelemetry::for_scheme(&registry, "seq");
+            let expected = evaluate_page_with_scratch(
+                &policy,
+                &page,
+                FailureCriterion::default(),
+                Some(&telemetry),
+                &mut PolicyScratch::new(),
+            );
+            let expected_counters: std::collections::BTreeMap<String, u64> =
+                registry.counters().into_iter().collect();
+            for lanes in [1usize, 2, 3, 5, 8, 16, 64] {
+                let registry = Registry::new();
+                let telemetry = McTelemetry::for_scheme(&registry, "seq");
+                let mut batch = BatchScratch::new(lanes);
+                let got = evaluate_page_batched_with_scratch(
+                    &policy,
+                    &page,
+                    FailureCriterion::default(),
+                    Some(&telemetry),
+                    &mut batch,
+                );
+                assert_eq!(got, expected, "seed {seed} lanes {lanes}");
+                let counters: std::collections::BTreeMap<String, u64> =
+                    registry.counters().into_iter().collect();
+                assert_eq!(counters, expected_counters, "seed {seed} lanes {lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_guarantee_criterion_matches_sequential() {
+        let policy = CapPolicy { cap: 2, bits: 512 };
+        let page = PageTimeline {
+            blocks: vec![
+                timeline(&[5.0, 50.0, 60.0]),
+                timeline(&[7.0, 9.0]),
+                timeline(&[]),
+                timeline(&[1.0, 2.0, 3.0, 4.0]),
+            ],
+        };
+        let expected = evaluate_page(&policy, &page, FailureCriterion::GuaranteedAllData);
+        for lanes in [1usize, 2, 4, 8] {
+            let got = evaluate_page_batched_with_scratch(
+                &policy,
+                &page,
+                FailureCriterion::GuaranteedAllData,
+                None,
+                &mut BatchScratch::new(lanes),
+            );
+            assert_eq!(got, expected, "lanes {lanes}");
+        }
+    }
+
+    #[test]
+    fn timeline_cache_leaves_chip_results_byte_identical() {
+        let policy = CapPolicy { cap: 4, bits: 512 };
+        let mut cfg = SimConfig::scaled(6, 512, 123);
+        cfg.partial_fraction = 0.25;
+        let plain = run_memory(&policy, &cfg);
+        let cache = TimelineCache::with_capacity(64);
+        let hooks = RunHooks {
+            timelines: Some(&cache),
+            ..RunHooks::default()
+        };
+        let cached_cold = run_memory_with(&policy, &cfg, &hooks);
+        assert_eq!(cache.len(), 6, "every page was retained");
+        assert_eq!(cache.hits(), 0);
+        let cached_warm = run_memory_with(&policy, &cfg, &hooks);
+        assert_eq!(cache.hits(), 6, "second run served entirely from cache");
+        for run in [&cached_cold, &cached_warm] {
+            assert_eq!(plain.page_lifetimes, run.page_lifetimes);
+            assert_eq!(plain.unprotected_lifetimes, run.unprotected_lifetimes);
+            assert_eq!(plain.faults_recovered, run.faults_recovered);
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! [`StuckAtCodec`](crate::codec::StuckAtCodec) implementation, so the fast
 //! path provably matches the slow one.
 
-use crate::fault::{sample_split, Fault, Stuckness};
+use crate::fault::{sample_split_into, Fault, Stuckness};
 use sim_rng::SeedableRng;
 use sim_rng::SmallRng;
 
@@ -367,25 +367,86 @@ pub trait RecoveryPolicy: Sync {
                 self.recoverable(faults, &wrong)
             })
         } else {
-            // Deterministic sampled approximation, seeded by the fault set
-            // so repeated queries agree. The guarantee criterion treats a
-            // partially stuck cell as its fully stuck worst case, but the
-            // kind still feeds the seed (only when non-default, so all-Full
-            // populations keep their historical hashes).
-            let seed = faults.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, fa| {
-                let mut x = (fa.offset as u64) ^ ((fa.stuck as u64) << 32);
-                if let Stuckness::Partial { weak_success_q8 } = fa.kind {
-                    x ^= (u64::from(weak_success_q8) | 0x100) << 33;
-                }
-                (h ^ x).wrapping_mul(0x1000_0000_01b3)
-            });
-            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut rng = SmallRng::seed_from_u64(guarantee_sample_seed(faults));
+            // One reused buffer for all sampled splits; `sample_split_into`
+            // consumes exactly the entropy the allocating form did, so the
+            // verdict stream is unchanged.
+            let mut wrong = Vec::with_capacity(f);
             (0..SAMPLED_GUARANTEE_SPLITS).all(|_| {
-                let wrong = sample_split(&mut rng, f);
+                sample_split_into(&mut rng, f, &mut wrong);
                 self.recoverable(faults, &wrong)
             })
         }
     }
+
+    /// [`guaranteed`](Self::guaranteed) with caller-provided working
+    /// memory.
+    ///
+    /// The Monte Carlo engine always calls this form. The default
+    /// delegates to [`guaranteed`](Self::guaranteed), so overriding it is
+    /// purely an allocation-free refinement: the two forms must return
+    /// identical verdicts on every fault population, and `scratch` may
+    /// only hold working buffers, never decision state that outlives the
+    /// call. Policies whose `guaranteed` is the trait default override
+    /// this with [`guaranteed_splits_with`], which replays the same split
+    /// stream out of the arena.
+    fn guaranteed_with(&self, faults: &[Fault], scratch: &mut PolicyScratch) -> bool {
+        let _ = scratch;
+        self.guaranteed(faults)
+    }
+}
+
+/// Seed for the sampled branch of the default
+/// [`RecoveryPolicy::guaranteed`]: a deterministic hash of the fault set,
+/// so repeated queries agree. The guarantee criterion treats a partially
+/// stuck cell as its fully stuck worst case, but the kind still feeds the
+/// seed (only when non-default, so all-Full populations keep their
+/// historical hashes).
+fn guarantee_sample_seed(faults: &[Fault]) -> u64 {
+    faults.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, fa| {
+        let mut x = (fa.offset as u64) ^ ((fa.stuck as u64) << 32);
+        if let Stuckness::Partial { weak_success_q8 } = fa.kind {
+            x ^= (u64::from(weak_success_q8) | 0x100) << 33;
+        }
+        (h ^ x).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// The default [`RecoveryPolicy::guaranteed`] enumeration discipline with
+/// caller-provided working memory: the same split stream (exhaustive up to
+/// [`EXHAUSTIVE_SPLIT_LIMIT`] faults, then [`SAMPLED_GUARANTEE_SPLITS`]
+/// deterministic samples from the same seed), but the split buffer lives
+/// in the arena and each split is decided through
+/// [`recoverable_with`](RecoveryPolicy::recoverable_with) — contractually
+/// identical to `recoverable`, so the verdict is unchanged while the
+/// policy's incremental pair state gets to serve every enumerated split.
+pub fn guaranteed_splits_with<P: RecoveryPolicy + ?Sized>(
+    policy: &P,
+    faults: &[Fault],
+    scratch: &mut PolicyScratch,
+) -> bool {
+    let f = faults.len();
+    // Detach the driver-owned split buffer so the policy can borrow the
+    // arena's own fields during each decision.
+    let mut wrong = std::mem::take(&mut scratch.split);
+    let verdict = if f <= EXHAUSTIVE_SPLIT_LIMIT {
+        wrong.clear();
+        wrong.resize(f, false);
+        (0u64..(1 << f)).all(|pattern| {
+            for (i, w) in wrong.iter_mut().enumerate() {
+                *w = (pattern >> i) & 1 == 1;
+            }
+            policy.recoverable_with(faults, &wrong, scratch)
+        })
+    } else {
+        let mut rng = SmallRng::seed_from_u64(guarantee_sample_seed(faults));
+        (0..SAMPLED_GUARANTEE_SPLITS).all(|_| {
+            sample_split_into(&mut rng, f, &mut wrong);
+            policy.recoverable_with(faults, &wrong, scratch)
+        })
+    };
+    scratch.split = wrong;
+    verdict
 }
 
 /// Largest fault count for which the default [`RecoveryPolicy::guaranteed`]

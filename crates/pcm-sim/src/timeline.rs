@@ -11,6 +11,9 @@
 use crate::{Fault, LifetimeModel, WearModel};
 use sim_rng::SmallRng;
 use sim_rng::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One fault arrival within a block.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -264,6 +267,151 @@ impl TimelineSampler {
     }
 }
 
+/// Default cap on distinct pages a [`TimelineCache`] retains.
+pub const DEFAULT_TIMELINE_CACHE_PAGES: usize = 16_384;
+
+/// A shared, thread-safe cache of sampled [`PageTimeline`]s.
+///
+/// Timelines are the engine's common random numbers: every scheme evaluated
+/// under one `(master_seed, page, blocks_per_page, sampler)` tuple sees the
+/// *identical* timeline by construction, yet historically each scheme
+/// re-sampled it from the per-page RNG. Sampling dominates chip-sweep wall
+/// clock (it is ~86% of `fig5 --full`), so a sweep over S schemes pays the
+/// cost S times for bit-identical data. The cache samples each page once
+/// and hands out `Arc` clones to every subsequent run.
+///
+/// # Determinism
+///
+/// A cached timeline is a pure function of its key: on a miss the cache
+/// derives the same [`TimelineSampler::page_rng`] stream the uncached path
+/// uses, so hit and miss return bit-identical events and the per-page RNG
+/// is never observable downstream (per-event splits re-seed from
+/// [`FaultEvent::split_seed`]). Two workers racing on the same missing key
+/// sample the same value; the first insert wins and the loser's copy is
+/// dropped. Results are therefore byte-identical with the cache on or off,
+/// across thread counts and across processes.
+///
+/// The capacity is a page-count cap, not an eviction policy: once full, new
+/// keys are sampled and returned *uncached* (correct, just not shared).
+/// `SIM_TIMELINE_CACHE_PAGES` overrides the default cap at construction.
+pub struct TimelineCache {
+    map: Mutex<HashMap<CacheKey, Arc<PageTimeline>>>,
+    max_pages: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Cache key: the full provenance of one sampled page. The sampler is
+/// fingerprinted by its `Debug` rendering, which spells out every model
+/// parameter (including exact float values), so samplers that could ever
+/// produce different timelines never share an entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    seed: u64,
+    page: u64,
+    blocks_per_page: usize,
+    sampler: String,
+}
+
+impl Default for TimelineCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimelineCache {
+    /// An empty cache with the default capacity, overridable via the
+    /// `SIM_TIMELINE_CACHE_PAGES` environment variable.
+    #[must_use]
+    pub fn new() -> Self {
+        let max_pages = std::env::var("SIM_TIMELINE_CACHE_PAGES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_TIMELINE_CACHE_PAGES);
+        Self::with_capacity(max_pages)
+    }
+
+    /// An empty cache retaining at most `max_pages` distinct pages
+    /// (`0` disables retention entirely — every call samples).
+    #[must_use]
+    pub fn with_capacity(max_pages: usize) -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            max_pages,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the timeline of `(master_seed, page)` for `sampler`,
+    /// sampling and (capacity permitting) retaining it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking thread.
+    pub fn get_or_sample(
+        &self,
+        sampler: &TimelineSampler,
+        master_seed: u64,
+        page: u64,
+        blocks_per_page: usize,
+    ) -> Arc<PageTimeline> {
+        let key = CacheKey {
+            seed: master_seed,
+            page,
+            blocks_per_page,
+            sampler: format!("{sampler:?}"),
+        };
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Sample outside the lock: pages are independent substreams, so
+        // concurrent misses on different keys sample in parallel.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut rng = TimelineSampler::page_rng(master_seed, page);
+        let fresh = Arc::new(sampler.sample_page(&mut rng, blocks_per_page));
+        let mut map = self.map.lock().unwrap();
+        if let Some(raced) = map.get(&key) {
+            // Another worker sampled the identical timeline first; keep the
+            // shared copy so every consumer aliases one allocation.
+            return Arc::clone(raced);
+        }
+        if map.len() < self.max_pages {
+            map.insert(key, Arc::clone(&fresh));
+        }
+        fresh
+    }
+
+    /// Distinct pages currently retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no pages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to sample so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,5 +551,64 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn bad_partial_fraction_panics() {
         let _ = TimelineSampler::paper_default(64).with_partial_mix(-0.1, 128);
+    }
+
+    fn assert_pages_equal(a: &PageTimeline, b: &PageTimeline) {
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            assert_eq!(x.events, y.events);
+        }
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_to_uncached_sampling() {
+        let sampler = TimelineSampler::paper_default(256);
+        let cache = TimelineCache::with_capacity(8);
+        for page in [0u64, 3, 7] {
+            let cached = cache.get_or_sample(&sampler, 99, page, 4);
+            let again = cache.get_or_sample(&sampler, 99, page, 4);
+            let mut rng = TimelineSampler::page_rng(99, page);
+            let direct = sampler.sample_page(&mut rng, 4);
+            assert_pages_equal(&cached, &direct);
+            // The second lookup aliases the first allocation.
+            assert!(Arc::ptr_eq(&cached, &again));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn cache_keys_separate_samplers_seeds_and_shapes() {
+        let a = TimelineSampler::paper_default(256);
+        let b = TimelineSampler::paper_default(256).with_partial_mix(0.5, 77);
+        let cache = TimelineCache::with_capacity(16);
+        let base = cache.get_or_sample(&a, 1, 0, 4);
+        // Different sampler parameters, seed, page and page shape all miss.
+        assert!(!Arc::ptr_eq(&base, &cache.get_or_sample(&b, 1, 0, 4)));
+        assert!(!Arc::ptr_eq(&base, &cache.get_or_sample(&a, 2, 0, 4)));
+        assert!(!Arc::ptr_eq(&base, &cache.get_or_sample(&a, 1, 1, 4)));
+        assert!(!Arc::ptr_eq(&base, &cache.get_or_sample(&a, 1, 0, 2)));
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.hits(), 0);
+        // And the original key still hits.
+        assert!(Arc::ptr_eq(&base, &cache.get_or_sample(&a, 1, 0, 4)));
+    }
+
+    #[test]
+    fn full_cache_still_serves_correct_uncached_timelines() {
+        let sampler = TimelineSampler::paper_default(128);
+        let cache = TimelineCache::with_capacity(1);
+        let first = cache.get_or_sample(&sampler, 5, 0, 2);
+        let overflow = cache.get_or_sample(&sampler, 5, 1, 2);
+        assert_eq!(cache.len(), 1, "capacity caps retention");
+        let mut rng = TimelineSampler::page_rng(5, 1);
+        assert_pages_equal(&overflow, &sampler.sample_page(&mut rng, 2));
+        // The retained page keeps hitting; the overflow page keeps missing
+        // but stays correct.
+        assert!(Arc::ptr_eq(&first, &cache.get_or_sample(&sampler, 5, 0, 2)));
+        let overflow_again = cache.get_or_sample(&sampler, 5, 1, 2);
+        assert!(!Arc::ptr_eq(&overflow, &overflow_again));
+        assert_pages_equal(&overflow, &overflow_again);
     }
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerates the PR 9 batched-kernel record results/bench/BENCH_pr9.json
+# (and, with --baseline, the regression baseline next to it): times
+# `experiments fig5 --full` on the current tree, then runs the `batch`
+# bench target with the measurement spliced in as the post-change wall
+# clock (the pre-change measurement — the same figure timed immediately
+# before the PR 9 timeline cache + batched engine landed — is recorded in
+# crates/bench/benches/batch.rs), then runs the gate. The bench races the
+# lane-major batched kernels against the single-block kernels doing the
+# same total work; the gate requires >= 4x on the fused steady-state step
+# and the predicate group (see crates/bench/benches/batch.rs).
+#
+# Usage: scripts/bench_pr9.sh [--baseline]
+#   --baseline   also copy the fresh record over BENCH_pr9.baseline.json
+#                (do this when re-recording on a new reference machine).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline -p aegis-experiments -p aegis-bench
+
+out="${TMPDIR:-/tmp}/aegis-bench-pr9-fig5"
+rm -rf "$out"
+TIMEFORMAT='%R'
+echo "==> timing experiments fig5 --full (this takes minutes)"
+full=$( { time ./target/release/experiments fig5 --full \
+    --quiet --out "$out" >/dev/null; } 2>&1 )
+rm -rf "$out"
+echo "==> fig5 --full wall clock: ${full}s"
+
+echo "==> cargo bench -p aegis-bench --bench batch"
+SIM_FIG5_FULL_SECONDS="$full" \
+    cargo bench --offline -p aegis-bench --bench batch
+
+if [[ "${1:-}" == "--baseline" ]]; then
+    cp results/bench/BENCH_pr9.json results/bench/BENCH_pr9.baseline.json
+    echo "==> baseline re-recorded"
+fi
+
+echo "==> bench-gate"
+cargo run -q --release --offline -p aegis-bench --bin bench-gate
