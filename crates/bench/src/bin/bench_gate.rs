@@ -41,7 +41,14 @@
 //!    (its contribution to the fused gate is already covered by the
 //!    combined group). The document also carries the end-to-end fig5
 //!    `--full` wall-clock record for this PR, checked like the others.
-//! 6. **No wall-clock regression.** For each document, a recorded fig5
+//! 6. **Estimate-snapshot overhead (PR 10, `BENCH_pr10.json`).** The
+//!    `estimate_overhead_512_9x61` group must show the
+//!    `per_unit_overhead` leg — everything the streaming uncertainty
+//!    layer adds at a unit barrier: the per-page moment folds, the
+//!    series estimate lines and the status `mean ± CI` upserts — at
+//!    least 50× (the reciprocal of the 2% bound) faster than the
+//!    `unit` leg it rides on, sample minima, mirroring the PR 7 gate.
+//! 7. **No wall-clock regression.** For each document, a recorded fig5
 //!    `--full` post-change wall clock must beat the pre-change
 //!    measurement (the PR 5 document records its pre-change field as the
 //!    PR 4 wall clock plus the tolerated 2%, and the PR 7 document as a
@@ -96,6 +103,11 @@ const TRACING_ENABLED_TOLERANCE: f64 = 1.10;
 /// recurring `--series --status` instrumentation may add (the PR 7
 /// "watchable campaigns are free" bar).
 const SERIES_OVERHEAD_FRACTION: f64 = 0.02;
+/// Maximum fraction of a `(block_bits, scheme)` unit's runtime that the
+/// recurring PR 10 estimate snapshot — moment folds, series estimate
+/// lines and status `mean ± CI` upserts at a unit barrier — may add
+/// (the PR 10 "uncertainty quantification is free" bar).
+const ESTIMATE_OVERHEAD_FRACTION: f64 = 0.02;
 /// Minimum batched-over-single median speedup for the PR 9 fused
 /// steady-state step and predicate groups (the PR 9 acceptance bar).
 const REQUIRED_BATCH_SPEEDUP: f64 = 4.0;
@@ -308,6 +320,21 @@ fn pr7_checks() -> Vec<RatioCheck> {
         fast: "per_unit_overhead",
         slow: "unit",
         required: 1.0 / SERIES_OVERHEAD_FRACTION,
+        stat: Stat::Min,
+    }]
+}
+
+/// The PR 10 estimate-snapshot overhead requirement, mirroring the PR 7
+/// series gate: the estimate work added at a unit barrier must be at
+/// least 50× quicker than the unit it rides on — "overhead at most 2%
+/// of a unit", expressed as a fraction so shared-runner noise cannot
+/// flip the verdict.
+fn pr10_checks() -> Vec<RatioCheck> {
+    vec![RatioCheck {
+        group: "estimate_overhead_512_9x61",
+        fast: "per_unit_overhead",
+        slow: "unit",
+        required: 1.0 / ESTIMATE_OVERHEAD_FRACTION,
         stat: Stat::Min,
     }]
 }
@@ -546,6 +573,20 @@ fn main() -> ExitCode {
             &pr9_path,
             &baseline_path.with_file_name("BENCH_pr9.baseline.json"),
             &pr9_checks(),
+            strict,
+        )),
+        Err(e) => failures.push(e),
+    }
+
+    // The PR 10 estimate-snapshot record: streaming uncertainty
+    // quantification must stay within its overhead fraction of a unit.
+    let pr10_path = current_path.with_file_name("BENCH_pr10.json");
+    match load(&pr10_path) {
+        Ok(pr10_doc) => failures.extend(gate_document(
+            &pr10_doc,
+            &pr10_path,
+            &baseline_path.with_file_name("BENCH_pr10.baseline.json"),
+            &pr10_checks(),
             strict,
         )),
         Err(e) => failures.push(e),

@@ -94,7 +94,19 @@ fn pr9_doc() -> String {
     )
 }
 
-/// Writes the full committed layout — five records, five baselines —
+fn pr10_doc() -> String {
+    // The per-barrier estimate work must be at least 50x quicker than
+    // the unit it rides on (the 2% fraction bound).
+    passing_doc(
+        "BENCH_pr10",
+        &[
+            ("estimate_overhead_512_9x61", "unit", 10000.0),
+            ("estimate_overhead_512_9x61", "per_unit_overhead", 100.0),
+        ],
+    )
+}
+
+/// Writes the full committed layout — every record with its baseline —
 /// into a fresh temp dir and returns it.
 fn committed_layout(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("aegis-bench-gate-{tag}"));
@@ -106,6 +118,7 @@ fn committed_layout(tag: &str) -> PathBuf {
         ("BENCH_pr5", pr5_doc()),
         ("BENCH_pr7", pr7_doc()),
         ("BENCH_pr9", pr9_doc()),
+        ("BENCH_pr10", pr10_doc()),
     ] {
         std::fs::write(dir.join(format!("{name}.json")), &doc).expect("write record");
         std::fs::write(dir.join(format!("{name}.baseline.json")), &doc).expect("write baseline");

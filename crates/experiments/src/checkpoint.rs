@@ -22,7 +22,7 @@
 
 use crate::fig567::Fig567;
 use crate::fig8::{self, Fig8};
-use crate::runner::{run_labeled_range, RunObserver, RunOptions, SchemeSummary};
+use crate::runner::{run_labeled_range, unit_estimates, RunObserver, RunOptions, SchemeSummary};
 use crate::schemes::{self, Policy};
 use pcm_sim::montecarlo::{MemoryRun, SimConfig};
 use sim_telemetry::{
@@ -509,6 +509,16 @@ pub fn fig8_unit_specs(opts: &RunOptions) -> Vec<UnitSpec> {
         .collect()
 }
 
+/// The `--target-rse` early-stop predicate, evaluated only at chunk
+/// barriers: the unit's mean-lifetime relative standard error has reached
+/// the target (lifetime is the campaign's highest-variance metric; when
+/// it converges, the fault-count mean converged earlier). `None` — no
+/// target — never stops, and fewer than [`sim_telemetry::MIN_SAMPLES`]
+/// pages never stop.
+fn unit_converged(unit: &UnitProgress, target_rse: Option<f64>) -> bool {
+    target_rse.is_some_and(|target| unit.run.lifetime_moments().converged(target))
+}
+
 fn append_run(acc: &mut MemoryRun, part: MemoryRun) {
     acc.page_lifetimes.extend(part.page_lifetimes);
     acc.unprotected_lifetimes.extend(part.unprotected_lifetimes);
@@ -529,6 +539,15 @@ pub struct CheckpointCtl<'a> {
     /// Fingerprint of the current CLI configuration, stored into every
     /// snapshot (and already validated against `resume` by the caller).
     pub fingerprint: Vec<(String, String)>,
+    /// `--target-rse`: stop a unit at the first chunk barrier where the
+    /// relative standard error of its mean lifetime reaches the target.
+    /// The predicate is a pure function of the pages processed so far
+    /// ([`sim_telemetry::Moments::converged`]), evaluated only at chunk
+    /// barriers, so the stop decision — and the stopped byte stream — is
+    /// identical across thread counts, tracing modes, and SIGINT +
+    /// `--resume` (a resumed run re-evaluates the predicate at the stored
+    /// grid point and skips the unit without re-emitting its barrier).
+    pub target_rse: Option<f64>,
 }
 
 /// How a checkpointed run ended.
@@ -611,7 +630,10 @@ pub fn run_units_checkpointed(
         // process's share. The partial unit needs nothing: the engine
         // reports unit-global positions (`start + finished`).
         if let Some(status) = observer.status {
-            for unit in units.iter().filter(|u| u.pages_done >= pages) {
+            for unit in units
+                .iter()
+                .filter(|u| u.pages_done >= pages || unit_converged(u, ctl.target_rse))
+            {
                 status.complete_unit(unit.pages_done as u64);
             }
         }
@@ -642,7 +664,13 @@ pub fn run_units_checkpointed(
     };
 
     for (flat, spec) in specs.iter().enumerate() {
-        while units[flat].pages_done < pages {
+        // The loop-entry convergence check is what makes `--resume` of an
+        // early-stopped unit deterministic: surviving past a grid point
+        // implies the predicate did not hold there, so a resumed run that
+        // finds it holding at the stored grid point knows the original
+        // run stopped exactly here — skip without re-emitting the barrier
+        // (the stored series cursor already covers it).
+        while units[flat].pages_done < pages && !unit_converged(&units[flat], ctl.target_rse) {
             if ctl.interrupted.load(Ordering::SeqCst) {
                 snapshot(&units).store(&ctl.path)?;
                 mark(RunState::Interrupted);
@@ -663,9 +691,14 @@ pub fn run_units_checkpointed(
             // The unit barrier must precede the snapshot so the stored
             // series cursor covers the sample this barrier just wrote;
             // mid-unit chunks never sample, which is exactly why the
-            // sidecar is byte-identical to an uninterrupted run's.
-            if end == pages {
-                observer.unit_barrier(pages as u64);
+            // sidecar is byte-identical to an uninterrupted run's. An
+            // early stop is a unit barrier too: the unit is done at
+            // `end < pages` pages.
+            if end == pages || unit_converged(&units[flat], ctl.target_rse) {
+                observer.unit_barrier_with(
+                    units[flat].pages_done as u64,
+                    &unit_estimates(&spec.label, spec.cfg.block_bits, &units[flat].run),
+                );
             }
             snapshot(&units).store(&ctl.path)?;
             mark(RunState::Checkpointed);
@@ -874,6 +907,7 @@ mod tests {
             interrupted: &interrupted,
             resume: None,
             fingerprint: Vec::new(),
+            target_rse: None,
         };
         let observer = RunObserver::default();
         let chunked = match run_fig567_checkpointed(&opts, &observer, false, &ctl).expect("run") {
@@ -911,6 +945,7 @@ mod tests {
             interrupted: &interrupted,
             resume: None,
             fingerprint: Vec::new(),
+            target_rse: None,
         };
         let observer = RunObserver::default();
         let chunked = match run_fig8_checkpointed(&opts, &observer, &ctl).expect("run") {

@@ -10,10 +10,20 @@
 //! present in one run but not the other, and diverging series samples —
 //! instead of a bare "files differ".
 //!
-//! Drift is judged against a relative tolerance (default 0 = exact), so
-//! the tool doubles as a loose regression gate between *intentionally*
-//! different runs (e.g. comparing scalar vs kernel predicate modes, which
-//! must agree exactly, or different seeds, which must not).
+//! Two verdict modes share the alignment report:
+//!
+//! - [`DiffMode::Interval`] (the default): when both runs carry
+//!   `series_estimate` lines, the verdict is statistical — drift only
+//!   when some final estimate's 95% confidence intervals *separate*
+//!   (`|Δmean| > ci_a + ci_b`). Structural differences (counters,
+//!   histograms, raw series samples) are still itemised but are context,
+//!   not a verdict: two seeds of the same configuration legitimately
+//!   disagree sample-by-sample while estimating the same quantity. Runs
+//!   without estimate lines fall back to exact comparison.
+//! - [`DiffMode::Threshold`]: the legacy heuristic — every compared
+//!   quantity is judged against a relative tolerance (0 = exact), so the
+//!   tool doubles as a strict byte-level gate between runs that must
+//!   agree exactly (e.g. scalar vs kernel predicate modes).
 //!
 //! Volatile lines ([`Event::Volatile`], [`Event::SeriesVolatile`]) are
 //! stripped before comparison: they carry scheduling-dependent values and
@@ -49,6 +59,17 @@ impl From<io::Error> for DiffError {
     }
 }
 
+/// How the drift verdict is reached (the report is the same either way).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiffMode {
+    /// Statistical default: drift only when the final confidence
+    /// intervals of a shared estimate separate. Falls back to
+    /// `Threshold(0.0)` when either run lacks estimate lines.
+    Interval,
+    /// Legacy heuristic: relative tolerance on every compared quantity.
+    Threshold(f64),
+}
+
 /// The rendered comparison and its verdict.
 #[derive(Debug)]
 pub struct DiffOutcome {
@@ -56,6 +77,14 @@ pub struct DiffOutcome {
     pub report: String,
     /// True when any compared quantity moved beyond the tolerance.
     pub drift: bool,
+}
+
+/// One `series_estimate` sample (see [`Event::SeriesEstimate`]).
+#[derive(Debug, Clone, Copy)]
+struct EstimateSample {
+    count: u64,
+    mean: f64,
+    ci95: f64,
 }
 
 /// Everything comparable extracted from one run's streams.
@@ -70,8 +99,24 @@ struct StreamFacts {
     series: BTreeMap<(String, u64), u64>,
     /// Series-sidecar histogram samples, keyed by `(metric, pages)`.
     series_histograms: BTreeMap<(String, u64), HistogramSnapshot>,
+    /// Series-sidecar estimate samples, keyed by `(estimate, pages)`.
+    estimates: BTreeMap<(String, u64), EstimateSample>,
     /// Whether a series sidecar existed at all.
     has_series: bool,
+}
+
+impl StreamFacts {
+    /// The last (highest page count) estimate sample per estimate name —
+    /// the pooled final state the interval verdict compares.
+    fn final_estimates(&self) -> BTreeMap<&str, EstimateSample> {
+        let mut finals: BTreeMap<&str, EstimateSample> = BTreeMap::new();
+        for ((name, _pages), sample) in &self.estimates {
+            // BTreeMap iterates (name, pages) in ascending order, so the
+            // last insert per name is the highest-pages sample.
+            finals.insert(name.as_str(), *sample);
+        }
+        finals
+    }
 }
 
 fn kind(event: &Event) -> &'static str {
@@ -85,6 +130,7 @@ fn kind(event: &Event) -> &'static str {
         Event::Series { .. } => "series",
         Event::SeriesHistogram { .. } => "series_histogram",
         Event::SeriesVolatile { .. } => "series_volatile",
+        Event::SeriesEstimate { .. } => "series_estimate",
         Event::RunEnd { .. } => "run_end",
     }
 }
@@ -120,6 +166,7 @@ fn gather(dir: &Path, run_id: &str) -> Result<StreamFacts, DiffError> {
         kinds: BTreeMap::new(),
         series: BTreeMap::new(),
         series_histograms: BTreeMap::new(),
+        estimates: BTreeMap::new(),
         has_series: false,
     };
     let absorb = |events: Vec<Event>, facts: &mut StreamFacts| {
@@ -152,6 +199,18 @@ fn gather(dir: &Path, run_id: &str) -> Result<StreamFacts, DiffError> {
                     facts
                         .series_histograms
                         .insert((name, pages), snapshot_from_sparse(count, sum, &buckets));
+                }
+                Event::SeriesEstimate {
+                    name,
+                    pages,
+                    count,
+                    mean,
+                    ci95,
+                    ..
+                } => {
+                    facts
+                        .estimates
+                        .insert((name, pages), EstimateSample { count, mean, ci95 });
                 }
                 _ => {}
             }
@@ -225,17 +284,29 @@ pub fn diff_runs(
     dir: &Path,
     run_a: &str,
     run_b: &str,
-    threshold: f64,
+    mode: DiffMode,
 ) -> Result<DiffOutcome, DiffError> {
     let a = gather(dir, run_a)?;
     let b = gather(dir, run_b)?;
+    let interval = mode == DiffMode::Interval && !a.estimates.is_empty() && !b.estimates.is_empty();
+    let threshold = match mode {
+        DiffMode::Threshold(t) => t,
+        DiffMode::Interval => 0.0,
+    };
     let mut out = String::new();
-    let mut drift = false;
+    let mut structural = 0usize;
     let mut finding = |out: &mut String, line: &str| {
         let _ = writeln!(out, "  {line}");
-        drift = true;
+        structural += 1;
     };
     let _ = writeln!(out, "Telemetry diff: '{run_a}' vs '{run_b}'");
+    if mode == DiffMode::Interval && !interval {
+        let _ = writeln!(
+            out,
+            "(interval mode requested but estimate lines are missing on at \
+             least one side; falling back to exact comparison)"
+        );
+    }
 
     // Event kinds present in one stream but not the other, and gross
     // count mismatches (always exact: stream shape is structural).
@@ -444,11 +515,90 @@ pub fn diff_runs(
         }
     }
 
+    // Final-estimate comparison: in interval mode this section alone
+    // decides the verdict; in threshold mode it is one more compared
+    // quantity (relative tolerance on the means).
+    let _ = writeln!(out, "\nEstimates:");
+    let mut statistical = 0usize;
+    if a.estimates.is_empty() && b.estimates.is_empty() {
+        let _ = writeln!(out, "  (neither run recorded estimate lines)");
+    } else {
+        let fa = a.final_estimates();
+        let fb = b.final_estimates();
+        let mut names: Vec<&str> = fa.keys().chain(fb.keys()).copied().collect();
+        names.sort_unstable();
+        names.dedup();
+        let mut aligned = 0usize;
+        for name in names {
+            match (fa.get(name), fb.get(name)) {
+                (Some(ea), Some(eb)) => {
+                    let separated = (ea.mean - eb.mean).abs() > ea.ci95 + eb.ci95;
+                    let moved = if interval {
+                        separated
+                    } else {
+                        rel_diff(ea.mean, eb.mean) > threshold
+                    };
+                    if moved {
+                        let _ = writeln!(
+                            out,
+                            "  {name}: {:.4} ± {:.4} (n={}) vs {:.4} ± {:.4} (n={}) — {}",
+                            ea.mean,
+                            ea.ci95,
+                            ea.count,
+                            eb.mean,
+                            eb.ci95,
+                            eb.count,
+                            if separated {
+                                "intervals separate"
+                            } else {
+                                "means differ"
+                            }
+                        );
+                        statistical += 1;
+                    } else {
+                        aligned += 1;
+                    }
+                }
+                (Some(ea), None) => {
+                    let _ = writeln!(
+                        out,
+                        "  {name}: {:.4} ± {:.4} only in '{run_a}'",
+                        ea.mean, ea.ci95
+                    );
+                    statistical += 1;
+                }
+                (None, Some(eb)) => {
+                    let _ = writeln!(
+                        out,
+                        "  {name}: {:.4} ± {:.4} only in '{run_b}'",
+                        eb.mean, eb.ci95
+                    );
+                    statistical += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        if statistical == 0 {
+            let _ = writeln!(out, "  ({aligned} estimate(s) aligned)");
+        }
+    }
+
+    let drift = if interval {
+        statistical > 0
+    } else {
+        structural > 0 || statistical > 0
+    };
     let _ = writeln!(
         out,
         "\nVerdict: {}",
         if drift {
-            "DRIFT (streams disagree beyond the tolerance)"
+            if interval {
+                "DRIFT (confidence intervals separate)"
+            } else {
+                "DRIFT (streams disagree beyond the tolerance)"
+            }
+        } else if interval && structural > 0 {
+            "clean (structural differences stay within overlapping confidence intervals)"
         } else {
             "clean (streams agree after volatile stripping)"
         }
@@ -459,15 +609,16 @@ pub fn diff_runs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sim_telemetry::{RunTelemetry, SeriesWriter};
+    use sim_telemetry::{Moments, RunTelemetry, SeriesWriter, UnitEstimate};
 
     fn temp_dir(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("aegis-diff-{tag}-{}", std::process::id()))
     }
 
     /// Writes a run whose counters/histogram take values from `scale`,
-    /// with a two-sample series sidecar.
-    fn write_run(run_id: &str, dir: &Path, scale: u64) {
+    /// with a two-sample series sidecar. `lifetimes`, when non-empty,
+    /// adds a final estimate snapshot over those samples.
+    fn write_run_with(run_id: &str, dir: &Path, scale: u64, lifetimes: &[u64]) {
         let run = RunTelemetry::create(run_id, dir).unwrap();
         run.registry().counter("mc.ECP6.pages").add(4 * scale);
         run.registry().counter("mc.ECP6.blocks_dead").add(scale);
@@ -475,9 +626,22 @@ mod tests {
         let series = SeriesWriter::create(run_id, dir, 0).unwrap();
         series.advance(run.registry(), 2).unwrap();
         run.registry().counter("mc.ECP6.pages").add(scale);
-        series.advance(run.registry(), 2).unwrap();
+        let estimates = if lifetimes.is_empty() {
+            Vec::new()
+        } else {
+            vec![UnitEstimate {
+                unit: "ECP6#512".to_owned(),
+                metric: "lifetime",
+                moments: Moments::from_samples(lifetimes),
+            }]
+        };
+        series.advance_with(run.registry(), 2, &estimates).unwrap();
         series.finish().unwrap();
         run.finish().unwrap();
+    }
+
+    fn write_run(run_id: &str, dir: &Path, scale: u64) {
+        write_run_with(run_id, dir, scale, &[]);
     }
 
     #[test]
@@ -486,7 +650,7 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         write_run("a", &dir, 3);
         write_run("b", &dir, 3);
-        let outcome = diff_runs(&dir, "a", "b", 0.0).unwrap();
+        let outcome = diff_runs(&dir, "a", "b", DiffMode::Threshold(0.0)).unwrap();
         assert!(!outcome.drift, "{}", outcome.report);
         assert!(outcome.report.contains("clean"), "{}", outcome.report);
         assert!(
@@ -503,7 +667,7 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         write_run("a", &dir, 3);
         write_run("b", &dir, 5);
-        let outcome = diff_runs(&dir, "a", "b", 0.0).unwrap();
+        let outcome = diff_runs(&dir, "a", "b", DiffMode::Threshold(0.0)).unwrap();
         assert!(outcome.drift);
         assert!(
             outcome.report.contains("mc.ECP6.pages: 15 -> 25"),
@@ -527,8 +691,16 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         write_run("a", &dir, 100);
         write_run("b", &dir, 101);
-        assert!(diff_runs(&dir, "a", "b", 0.0).unwrap().drift);
-        assert!(!diff_runs(&dir, "a", "b", 0.05).unwrap().drift);
+        assert!(
+            diff_runs(&dir, "a", "b", DiffMode::Threshold(0.0))
+                .unwrap()
+                .drift
+        );
+        assert!(
+            !diff_runs(&dir, "a", "b", DiffMode::Threshold(0.05))
+                .unwrap()
+                .drift
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -539,7 +711,7 @@ mod tests {
         write_run("a", &dir, 3);
         write_run("b", &dir, 3);
         fs::remove_file(dir.join("b.series.jsonl")).unwrap();
-        let outcome = diff_runs(&dir, "a", "b", 0.0).unwrap();
+        let outcome = diff_runs(&dir, "a", "b", DiffMode::Threshold(0.0)).unwrap();
         assert!(outcome.drift);
         assert!(
             outcome.report.contains("series sidecar only in 'a'"),
@@ -565,7 +737,7 @@ mod tests {
         stream.push_str(&event.to_json(42));
         stream.push('\n');
         fs::write(dir.join("a.jsonl"), stream).unwrap();
-        let outcome = diff_runs(&dir, "a", "b", 0.0).unwrap();
+        let outcome = diff_runs(&dir, "a", "b", DiffMode::Threshold(0.0)).unwrap();
         assert!(!outcome.drift, "{}", outcome.report);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -580,7 +752,7 @@ mod tests {
         let mut stream = fs::read_to_string(&path).unwrap();
         stream.push_str("{\"seq\": 999, \"event\": \"cou\n");
         fs::write(&path, stream).unwrap();
-        match diff_runs(&dir, "a", "b", 0.0) {
+        match diff_runs(&dir, "a", "b", DiffMode::Threshold(0.0)) {
             Err(DiffError::Malformed { path: p, line }) => {
                 assert!(p.ends_with("b.jsonl"));
                 assert!(line > 1);
@@ -591,12 +763,97 @@ mod tests {
     }
 
     #[test]
+    fn interval_mode_tolerates_overlap_despite_structural_drift() {
+        let dir = temp_dir("interval-overlap");
+        let _ = fs::remove_dir_all(&dir);
+        // Different per-sample values (as two seeds would produce), but
+        // overlapping confidence intervals around the same mean.
+        write_run_with("a", &dir, 3, &[90, 100, 110, 95, 105]);
+        write_run_with("b", &dir, 5, &[92, 101, 108, 97, 103]);
+        let outcome = diff_runs(&dir, "a", "b", DiffMode::Interval).unwrap();
+        assert!(!outcome.drift, "{}", outcome.report);
+        assert!(
+            outcome
+                .report
+                .contains("within overlapping confidence intervals"),
+            "{}",
+            outcome.report
+        );
+        // The same pair drifts under the exact structural gate.
+        assert!(
+            diff_runs(&dir, "a", "b", DiffMode::Threshold(0.0))
+                .unwrap()
+                .drift
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interval_mode_flags_separated_intervals() {
+        let dir = temp_dir("interval-separate");
+        let _ = fs::remove_dir_all(&dir);
+        write_run_with("a", &dir, 3, &[100, 101, 99, 100, 100]);
+        write_run_with("b", &dir, 3, &[200, 201, 199, 200, 200]);
+        let outcome = diff_runs(&dir, "a", "b", DiffMode::Interval).unwrap();
+        assert!(outcome.drift, "{}", outcome.report);
+        assert!(
+            outcome.report.contains("intervals separate"),
+            "{}",
+            outcome.report
+        );
+        assert!(
+            outcome.report.contains("ECP6#512.lifetime"),
+            "{}",
+            outcome.report
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interval_mode_falls_back_without_estimates() {
+        let dir = temp_dir("interval-fallback");
+        let _ = fs::remove_dir_all(&dir);
+        write_run("a", &dir, 3);
+        write_run("b", &dir, 5);
+        let outcome = diff_runs(&dir, "a", "b", DiffMode::Interval).unwrap();
+        assert!(outcome.drift, "{}", outcome.report);
+        assert!(
+            outcome.report.contains("falling back to exact comparison"),
+            "{}",
+            outcome.report
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn estimate_missing_on_one_side_is_drift_in_interval_mode() {
+        let dir = temp_dir("interval-missing");
+        let _ = fs::remove_dir_all(&dir);
+        write_run_with("a", &dir, 3, &[100, 101, 99]);
+        let run = RunTelemetry::create("b", &dir).unwrap();
+        run.registry().counter("mc.ECP6.pages").add(12);
+        let series = SeriesWriter::create("b", &dir, 0).unwrap();
+        let other = vec![UnitEstimate {
+            unit: "SAFER32#512".to_owned(),
+            metric: "lifetime",
+            moments: Moments::from_samples(&[100, 101, 99]),
+        }];
+        series.advance_with(run.registry(), 4, &other).unwrap();
+        series.finish().unwrap();
+        run.finish().unwrap();
+        let outcome = diff_runs(&dir, "a", "b", DiffMode::Interval).unwrap();
+        assert!(outcome.drift, "{}", outcome.report);
+        assert!(outcome.report.contains("only in 'a'"), "{}", outcome.report);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn missing_run_is_io_not_malformed() {
         let dir = temp_dir("missing");
         let _ = fs::remove_dir_all(&dir);
         write_run("a", &dir, 3);
         assert!(matches!(
-            diff_runs(&dir, "a", "nope", 0.0),
+            diff_runs(&dir, "a", "nope", DiffMode::Interval),
             Err(DiffError::Io(_))
         ));
         let _ = fs::remove_dir_all(&dir);

@@ -60,10 +60,11 @@ pub fn report_fig5(results: &Fig567) -> String {
         out.push_str(&header(*bits, "recoverable faults"));
         for s in summaries {
             out.push_str(&format!(
-                "{:<16} {:>4} bits  {:>8} faults\n",
+                "{:<16} {:>4} bits  {:>8} ± {:<8} faults\n",
                 s.name,
                 s.overhead_bits,
-                fmt_f64(s.mean_faults_recovered)
+                fmt_f64(s.mean_faults_recovered),
+                fmt_f64(s.faults_ci95)
             ));
         }
     }
@@ -79,10 +80,11 @@ pub fn report_fig6(results: &Fig567) -> String {
         out.push_str(&header(*bits, "lifetime improvement"));
         for s in summaries {
             out.push_str(&format!(
-                "{:<16} {:>4} bits  {:>7}x\n",
+                "{:<16} {:>4} bits  {:>7}x ± {:<7}\n",
                 s.name,
                 s.overhead_bits,
-                fmt_f64(s.lifetime_improvement)
+                fmt_f64(s.lifetime_improvement),
+                fmt_f64(s.improvement_ci95())
             ));
         }
     }
@@ -97,10 +99,11 @@ pub fn report_fig7(results: &Fig567) -> String {
         out.push_str(&header(*bits, "per-bit contribution"));
         for s in summaries {
             out.push_str(&format!(
-                "{:<16} {:>4} bits  {:>8}x/bit\n",
+                "{:<16} {:>4} bits  {:>8}x/bit ± {:<8}\n",
                 s.name,
                 s.overhead_bits,
-                fmt_f64(s.per_bit_contribution)
+                fmt_f64(s.per_bit_contribution),
+                fmt_f64(s.per_bit_ci95())
             ));
         }
     }
@@ -124,10 +127,10 @@ pub fn write_csvs(results: &Fig567, out_dir: &Path) -> io::Result<()> {
             .iter()
             .flat_map(|(bits, summaries)| {
                 summaries.iter().map(move |s| {
-                    let v = match fig {
-                        "fig5" => s.mean_faults_recovered,
-                        "fig6" => s.lifetime_improvement,
-                        _ => s.per_bit_contribution,
+                    let (v, hw, rse) = match fig {
+                        "fig5" => (s.mean_faults_recovered, s.faults_ci95, s.faults_rse),
+                        "fig6" => (s.lifetime_improvement, s.improvement_ci95(), s.lifetime_rse),
+                        _ => (s.per_bit_contribution, s.per_bit_ci95(), s.lifetime_rse),
                     };
                     vec![
                         bits.to_string(),
@@ -135,6 +138,8 @@ pub fn write_csvs(results: &Fig567, out_dir: &Path) -> io::Result<()> {
                         s.overhead_bits.to_string(),
                         format!("{:.2}", s.overhead_pct),
                         format!("{v:.4}"),
+                        format!("{hw:.4}"),
+                        format!("{rse:.4}"),
                     ]
                 })
             })
@@ -147,6 +152,8 @@ pub fn write_csvs(results: &Fig567, out_dir: &Path) -> io::Result<()> {
                 "overhead_bits",
                 "overhead_pct",
                 value,
+                "ci95_half_width",
+                "rse",
             ],
             &rows,
         )?;

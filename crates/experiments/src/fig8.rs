@@ -21,7 +21,7 @@
 //! and the CLI suite.
 
 use crate::csvout;
-use crate::runner::{run_labeled_range, RunObserver, RunOptions, SchemeSummary};
+use crate::runner::{run_labeled_range, unit_estimates, RunObserver, RunOptions, SchemeSummary};
 use crate::schemes::{self, Policy};
 use pcm_sim::montecarlo::MemoryRun;
 use std::io;
@@ -96,7 +96,10 @@ pub fn run_with(opts: &RunOptions, observer: &RunObserver<'_>) -> Fig8 {
             let cfg = opts.sim_config_partial(FIG8_BLOCK_BITS, *percent as f64 / 100.0);
             let label = unit_label(&policy.name(), *percent);
             let run = run_labeled_range(policy.as_ref(), &label, &cfg, observer, 0, opts.pages);
-            observer.unit_barrier(opts.pages as u64);
+            observer.unit_barrier_with(
+                opts.pages as u64,
+                &unit_estimates(&label, FIG8_BLOCK_BITS, &run),
+            );
             run
         })
         .collect();
@@ -112,15 +115,16 @@ pub fn report(results: &Fig8) -> String {
     for (percent, summaries) in &results.by_fraction {
         out.push_str(&format!("\n-- partially-stuck fraction {percent}% --\n"));
         out.push_str(&format!(
-            "{:<12} {:>5} {:>13} {:>15}\n",
-            "scheme", "bits", "improvement", "half-lifetime"
+            "{:<12} {:>5} {:>13} {:>9} {:>15}\n",
+            "scheme", "bits", "improvement", "±95%", "half-lifetime"
         ));
         for s in summaries {
             out.push_str(&format!(
-                "{:<12} {:>5} {:>12}x {:>15.3e}\n",
+                "{:<12} {:>5} {:>12}x {:>9} {:>15.3e}\n",
                 s.name,
                 s.overhead_bits,
                 csvout::fmt_f64(s.lifetime_improvement),
+                csvout::fmt_f64(s.improvement_ci95()),
                 s.half_lifetime
             ));
         }
@@ -144,6 +148,8 @@ pub fn write_csv(results: &Fig8, out_dir: &Path) -> io::Result<()> {
                 format!("{:.4}", s.mean_faults_recovered),
                 format!("{:.4}", s.lifetime_improvement),
                 format!("{:.1}", s.half_lifetime),
+                format!("{:.4}", s.improvement_ci95()),
+                format!("{:.4}", s.lifetime_rse),
             ]);
         }
     }
@@ -156,6 +162,8 @@ pub fn write_csv(results: &Fig8, out_dir: &Path) -> io::Result<()> {
             "mean_recoverable_faults",
             "lifetime_improvement_x",
             "half_lifetime_page_writes",
+            "ci95_half_width",
+            "rse",
         ],
         &rows,
     )

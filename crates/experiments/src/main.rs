@@ -66,8 +66,13 @@ Commands:
                      sidecars (volatile lines stripped first): counter
                      deltas, histogram distribution shift (max per-bucket
                      ratio and p50/p90/p99 deltas), new/missing event
-                     kinds and diverging series samples. Exit 0 when the
-                     runs agree, 1 on drift, 2 on a malformed stream
+                     kinds and diverging series samples. When both runs
+                     carry estimate lines the verdict is CI-aware: exit 1
+                     only when some final estimate's 95% confidence
+                     intervals separate (structural diffs are still
+                     reported as context); runs without estimates fall
+                     back to exact comparison. Exit 0 when the runs
+                     agree, 1 on drift, 2 on a malformed stream
 
 Options:
   --pages N       Pages per simulated chip (default 256; paper scale 2048)
@@ -113,9 +118,16 @@ Options:
   --once          monitor only: print one snapshot and exit
   --json          monitor only: machine-readable output
   --interval N    monitor only: seconds between refreshes (default 2)
-  --threshold X   telemetry-diff only: relative tolerance before a counter,
-                  histogram bucket or series sample counts as drift
-                  (default 0 = exact)
+  --threshold X   telemetry-diff only: switch from the CI-aware default to
+                  the relative-tolerance heuristic — every counter,
+                  histogram bucket and series sample is judged against X
+                  (0 = exact byte-level gate)
+  --target-rse X  fig5/fig6/fig7/fig8 only: deterministic early stopping —
+                  stop a unit at the first checkpoint barrier where the
+                  lifetime estimate's relative standard error is ≤ X
+                  (implies --checkpoint-every pages/8 when not set
+                  explicitly; the stopped stream is byte-identical at any
+                  thread count and across SIGINT + --resume)
   --checkpoint-every N
                   fig5/fig6/fig7/fig8 only: snapshot engine state to
                   OUT/telemetry/<run-id>.ckpt.json every N pages per unit
@@ -155,7 +167,8 @@ struct Cli {
     once: bool,
     json: bool,
     interval: u64,
-    threshold: f64,
+    threshold: Option<f64>,
+    target_rse: Option<f64>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -184,7 +197,8 @@ fn parse_args() -> Result<Cli, String> {
         once: false,
         json: false,
         interval: 2,
-        threshold: 0.0,
+        threshold: None,
+        target_rse: None,
     };
     let mut samples = 1u32;
     let mut guaranteed = false;
@@ -251,13 +265,24 @@ fn parse_args() -> Result<Cli, String> {
             "--json" => cli.json = true,
             "--interval" => cli.interval = parsed!("--interval"),
             "--threshold" => {
-                cli.threshold = parsed!("--threshold");
-                if cli.threshold.is_nan() || cli.threshold < 0.0 {
+                let threshold: f64 = parsed!("--threshold");
+                if threshold.is_nan() || threshold < 0.0 {
                     return Err(format!(
-                        "--threshold: invalid value '{}': must be non-negative\n\n{USAGE}",
-                        cli.threshold
+                        "--threshold: invalid value '{threshold}': must be non-negative\n\n{USAGE}"
                     ));
                 }
+                cli.threshold = Some(threshold);
+            }
+            "--target-rse" => {
+                let target: f64 = parsed!("--target-rse");
+                if !target.is_finite() || target <= 0.0 {
+                    return Err(format!(
+                        "--target-rse: invalid value '{target}': must be a finite \
+                         positive number\n\n{USAGE}"
+                    ));
+                }
+                cli.target_rse = Some(target);
+                cli.telemetry = true;
             }
             "--checkpoint-every" => {
                 let every: usize = parsed!("--checkpoint-every");
@@ -647,6 +672,11 @@ fn config_fingerprint(command: &str, cli: &Cli) -> Vec<(String, String)> {
             "predicate_mode".to_owned(),
             if cli.scalar { "scalar" } else { "kernel" }.to_owned(),
         ),
+        (
+            "target_rse".to_owned(),
+            cli.target_rse
+                .map_or_else(|| "none".to_owned(), |t| format!("{t}")),
+        ),
     ]
 }
 
@@ -736,6 +766,23 @@ fn apply_resume(cli: &mut Cli, ckpt: &Checkpoint) -> Result<(), String> {
             ))
         }
     }
+    // Early-stop target. Checkpoints written before the key existed mean
+    // "no early stopping" — treat a missing key as "none", not an error.
+    let stored_target = ckpt.fingerprint_value("target_rse").unwrap_or("none");
+    let recorded: Option<f64> = match stored_target {
+        "none" => None,
+        raw => Some(raw.parse().map_err(|_| {
+            format!("checkpoint fingerprint 'target_rse' value '{raw}' is malformed")
+        })?),
+    };
+    if cli.target_rse.is_some() && cli.target_rse != recorded {
+        return Err(format!(
+            "checkpoint was taken with target_rse={stored_target} but the command line says \
+             target_rse={}; drop the conflicting option or start a fresh run",
+            cli.target_rse.unwrap_or(f64::NAN)
+        ));
+    }
+    cli.target_rse = recorded;
     Ok(())
 }
 
@@ -799,6 +846,14 @@ fn run_shard(cli: &Cli) -> ExitCode {
     if cli.checkpoint_every.is_some() || cli.resume.is_some() {
         return usage_error("--checkpoint-every/--resume do not apply to shard runs");
     }
+    if cli.target_rse.is_some() {
+        // A shard stopping early would leave its stripe short and the
+        // merged CI silently optimistic; only unsharded runs may stop.
+        return usage_error(
+            "--target-rse does not apply to shard runs (shards must cover \
+             their full stripe so merge pools complete results)",
+        );
+    }
     let (lo, hi) = shardmerge::shard_range(cli.opts.pages, shards, shard_id);
     let run_id = cli
         .run_id
@@ -856,6 +911,10 @@ fn run_shard(cli: &Cli) -> ExitCode {
         };
         status.set_total_pages((units * (hi - lo)) as u64);
         status.set_shard(shard_id as u64, shards as u64);
+        status.set_backend(
+            bitblock::simd::backend_name(),
+            pcm_sim::montecarlo::eval_lanes() as u64,
+        );
     }
     let observer = runner::RunObserver {
         registry: Some(registry),
@@ -1160,7 +1219,10 @@ fn run_telemetry_diff(cli: &Cli) -> ExitCode {
         eprintln!("telemetry-diff expects exactly two RUN_ID arguments\n\n{USAGE}");
         return ExitCode::from(USAGE_ERROR);
     };
-    match diff::diff_runs(&telemetry::dir(&cli.out_dir), run_a, run_b, cli.threshold) {
+    let mode = cli
+        .threshold
+        .map_or(diff::DiffMode::Interval, diff::DiffMode::Threshold);
+    match diff::diff_runs(&telemetry::dir(&cli.out_dir), run_a, run_b, mode) {
         Ok(outcome) => {
             print!("{}", outcome.report);
             if outcome.drift {
@@ -1290,9 +1352,13 @@ fn main() -> ExitCode {
     // Checkpoint/resume setup. Resume first adopts the snapshot's recorded
     // configuration (so a bare `--resume ID` needs no other options), then
     // the adopted CLI state produces the fingerprint new snapshots carry.
-    let checkpointing = cli.checkpoint_every.is_some() || cli.resume.is_some();
+    let checkpointing =
+        cli.checkpoint_every.is_some() || cli.resume.is_some() || cli.target_rse.is_some();
     if checkpointing && !matches!(cli.command.as_str(), "fig5" | "fig6" | "fig7" | "fig8") {
-        eprintln!("--checkpoint-every/--resume only apply to fig5, fig6, fig7 and fig8\n\n{USAGE}");
+        eprintln!(
+            "--checkpoint-every/--resume/--target-rse only apply to fig5, fig6, fig7 \
+             and fig8\n\n{USAGE}"
+        );
         return ExitCode::from(USAGE_ERROR);
     }
     let resume_ckpt = if let Some(id) = cli.resume.clone() {
@@ -1372,6 +1438,15 @@ fn main() -> ExitCode {
     } else {
         StatusWriter::disabled()
     };
+    if status_w.is_enabled() {
+        status_w.set_backend(
+            bitblock::simd::backend_name(),
+            pcm_sim::montecarlo::eval_lanes() as u64,
+        );
+        if let Some(target) = cli.target_rse {
+            status_w.set_target_rse(target);
+        }
+    }
     if status_w.is_enabled() && matches!(cli.command.as_str(), "fig5" | "fig6" | "fig7") {
         let units: usize = checkpoint::unit_policies(cli.scalar)
             .iter()
@@ -1388,7 +1463,15 @@ fn main() -> ExitCode {
         let every = cli
             .checkpoint_every
             .or_else(|| resume_ckpt.as_ref().map(|c| c.every))
-            .unwrap_or(1)
+            .unwrap_or_else(|| {
+                // --target-rse without an explicit cadence: evaluate the
+                // stop predicate at eight deterministic barriers per unit.
+                if cli.target_rse.is_some() {
+                    (cli.opts.pages / 8).max(1)
+                } else {
+                    1
+                }
+            })
             .max(1);
         Some(CheckpointCtl {
             path: telemetry::dir(&cli.out_dir).join(format!("{run_id}.ckpt.json")),
@@ -1396,6 +1479,7 @@ fn main() -> ExitCode {
             interrupted: &sigint::INTERRUPTED,
             resume: resume_ckpt,
             fingerprint: config_fingerprint(&cli.command, &cli),
+            target_rse: cli.target_rse,
         })
     } else {
         None

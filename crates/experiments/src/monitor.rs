@@ -5,7 +5,10 @@
 //! `sim_telemetry::status`). This module scans a directory of those files
 //! — typically `results/telemetry` while a sharded campaign is running —
 //! and renders one row per run (state, phase, progress, ETA, worker busy
-//! fraction) plus a rollup of how many runs are in each state. The CLI
+//! fraction, SIMD backend/lanes) plus a per-run `mean ± CI` estimate
+//! table with convergence tags and a rollup of how many runs are in each
+//! state. Statistics a heartbeat cannot compute yet (no pages done, one
+//! sample) render `--`, never `inf`/`NaN`. The CLI
 //! refreshes the table until interrupted; `--once` takes a single
 //! snapshot for scripts and CI, and `--json` emits the machine-readable
 //! form.
@@ -83,9 +86,20 @@ pub fn scan(dir: &Path) -> io::Result<MonitorSnapshot> {
 
 fn fmt_eta(eta_ms: Option<u64>) -> String {
     match eta_ms {
-        None => "-".to_owned(),
+        None => "--".to_owned(),
         Some(ms) if ms >= 60_000 => format!("{}m{:02}s", ms / 60_000, (ms % 60_000) / 1000),
         Some(ms) => format!("{:.1}s", ms as f64 / 1000.0),
+    }
+}
+
+/// A statistic for the table: `--` when absent or non-finite (a
+/// zero-pages-done heartbeat has no rate to extrapolate from; a crafted
+/// or degenerate status file must not render `inf`/`NaN`).
+fn fmt_stat(value: f64) -> String {
+    if value.is_finite() {
+        crate::csvout::fmt_f64(value)
+    } else {
+        "--".to_owned()
     }
 }
 
@@ -105,8 +119,8 @@ pub fn render(snapshot: &MonitorSnapshot, now_unix_ms: u64) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<28} {:<13} {:<20} {:>14} {:>6} {:>8} {:>6} {:>8} {:>8}",
-        "RUN", "STATE", "PHASE", "PAGES", "%", "ETA", "BUSY", "SHARD", "AGE"
+        "{:<28} {:<13} {:<20} {:>14} {:>6} {:>8} {:>6} {:>10} {:>8} {:>8}",
+        "RUN", "STATE", "PHASE", "PAGES", "%", "ETA", "BUSY", "BACKEND", "SHARD", "AGE"
     );
     for run in &snapshot.runs {
         let pages = if run.pages_total > 0 {
@@ -116,17 +130,24 @@ pub fn render(snapshot: &MonitorSnapshot, now_unix_ms: u64) -> String {
         };
         let pct = run
             .fraction()
-            .map_or_else(|| "-".to_owned(), |f| format!("{:.0}", 100.0 * f));
+            .filter(|f| f.is_finite())
+            .map_or_else(|| "--".to_owned(), |f| format!("{:.0}", 100.0 * f));
         let busy = run
             .busy
-            .map_or_else(|| "-".to_owned(), |b| format!("{:.0}%", 100.0 * b));
+            .filter(|b| b.is_finite())
+            .map_or_else(|| "--".to_owned(), |b| format!("{:.0}%", 100.0 * b));
+        let backend = match (&run.simd_backend, run.eval_lanes) {
+            (Some(name), Some(lanes)) => format!("{name}/{lanes}"),
+            (Some(name), None) => name.clone(),
+            _ => "--".to_owned(),
+        };
         let shard = run
             .shard_id
             .zip(run.shards)
-            .map_or_else(|| "-".to_owned(), |(id, of)| format!("{id}/{of}"));
+            .map_or_else(|| "--".to_owned(), |(id, of)| format!("{id}/{of}"));
         let _ = writeln!(
             out,
-            "{:<28} {:<13} {:<20} {:>14} {:>6} {:>8} {:>6} {:>8} {:>8}",
+            "{:<28} {:<13} {:<20} {:>14} {:>6} {:>8} {:>6} {:>10} {:>8} {:>8}",
             run.run_id,
             run.state.as_str(),
             run.phase,
@@ -134,9 +155,34 @@ pub fn render(snapshot: &MonitorSnapshot, now_unix_ms: u64) -> String {
             pct,
             fmt_eta(run.eta_ms),
             busy,
+            backend,
             shard,
             fmt_age(run.updated_unix_ms, now_unix_ms)
         );
+    }
+    // Per-run estimate tables: the live `mean ± CI` view of every unit
+    // metric the run has completed so far.
+    for run in &snapshot.runs {
+        if run.estimates.is_empty() {
+            continue;
+        }
+        let target = run.target_rse.map_or_else(
+            || "display target".to_owned(),
+            |t| format!("target RSE {t}"),
+        );
+        let _ = writeln!(out, "estimates: {} ({target})", run.run_id);
+        for est in &run.estimates {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>10} ± {:<10} rse {:<8} n={:<8} {}",
+                est.name,
+                fmt_stat(est.mean),
+                fmt_stat(est.ci95),
+                fmt_stat(est.rse),
+                est.count,
+                est.state
+            );
+        }
     }
     for (path, err) in &snapshot.malformed {
         let _ = writeln!(out, "malformed: {}: {err}", path.display());
@@ -273,10 +319,70 @@ mod tests {
 
     #[test]
     fn eta_and_age_format_humanely() {
-        assert_eq!(fmt_eta(None), "-");
+        assert_eq!(fmt_eta(None), "--");
         assert_eq!(fmt_eta(Some(1500)), "1.5s");
         assert_eq!(fmt_eta(Some(125_000)), "2m05s");
         assert_eq!(fmt_age(1000, 3500), "2.5s");
         assert_eq!(fmt_age(5000, 1000), "0.0s");
+        assert_eq!(fmt_stat(f64::INFINITY), "--");
+        assert_eq!(fmt_stat(f64::NAN), "--");
+        assert_eq!(fmt_stat(1.5), "1.500");
+    }
+
+    #[test]
+    fn zero_progress_heartbeats_render_dashes_not_inf() {
+        let dir = temp_dir("zero");
+        let _ = fs::remove_dir_all(&dir);
+        // A run that heartbeats before evaluating any page: no rate, no
+        // ETA, no fraction. Every statistic must render `--`.
+        let w = StatusWriter::create("stalled", &dir).unwrap();
+        w.begin_phase("mc.ECP6");
+        let snapshot = scan(&dir).unwrap();
+        let record = &snapshot.runs[0];
+        assert_eq!(record.eta_ms, None);
+        let text = render(&snapshot, sim_telemetry::unix_millis());
+        let row = text.lines().find(|l| l.starts_with("stalled")).unwrap();
+        assert!(row.contains("--"), "{row}");
+        assert!(!row.contains("inf"), "{row}");
+        assert!(!row.contains("NaN"), "{row}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backend_and_estimates_render_in_table() {
+        let dir = temp_dir("estimates");
+        let _ = fs::remove_dir_all(&dir);
+        let w = StatusWriter::create("conv", &dir).unwrap();
+        w.set_total_pages(8);
+        w.set_backend("avx2", 8);
+        w.set_target_rse(0.05);
+        w.set_estimates(&[
+            sim_telemetry::UnitEstimate {
+                unit: "ECP6#512".to_owned(),
+                metric: "lifetime",
+                moments: sim_telemetry::Moments::from_samples(&[100, 100, 100, 100]),
+            },
+            // One sample: infinite RSE must render `--`, not `inf`.
+            sim_telemetry::UnitEstimate {
+                unit: "SAFER32#512".to_owned(),
+                metric: "lifetime",
+                moments: sim_telemetry::Moments::from_samples(&[7]),
+            },
+        ]);
+        w.complete_unit(4);
+        let snapshot = scan(&dir).unwrap();
+        let text = render(&snapshot, sim_telemetry::unix_millis());
+        assert!(text.contains("avx2/8"), "{text}");
+        assert!(text.contains("target RSE 0.05"), "{text}");
+        assert!(text.contains("ECP6#512.lifetime"), "{text}");
+        assert!(text.contains("converged"), "{text}");
+        let est_block: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("SAFER32#512.lifetime"))
+            .collect();
+        assert_eq!(est_block.len(), 1);
+        assert!(est_block[0].contains("--"), "{}", est_block[0]);
+        assert!(!est_block[0].contains("inf"), "{}", est_block[0]);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -4,7 +4,7 @@
 use crate::schemes::Policy;
 use pcm_sim::montecarlo::{self, FailureCriterion, McTelemetry, MemoryRun, RunHooks, SimConfig};
 use pcm_sim::timeline::TimelineCache;
-use sim_telemetry::{Registry, SeriesWriter, StatusWriter, Tracer};
+use sim_telemetry::{Registry, SeriesWriter, StatusWriter, Tracer, UnitEstimate};
 
 /// Knobs shared by every experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +99,16 @@ pub struct SchemeSummary {
     pub half_lifetime: f64,
     /// Pages whose death time was truncated by the event cap (must be 0).
     pub capped_pages: usize,
+    /// Half-width of the normal-approximation 95% confidence interval on
+    /// `mean_lifetime`, in page writes.
+    pub lifetime_ci95: f64,
+    /// Relative standard error of the mean lifetime.
+    pub lifetime_rse: f64,
+    /// Half-width of the 95% confidence interval on
+    /// `mean_faults_recovered`.
+    pub faults_ci95: f64,
+    /// Relative standard error of the mean recoverable-fault count.
+    pub faults_rse: f64,
 }
 
 impl SchemeSummary {
@@ -107,6 +117,8 @@ impl SchemeSummary {
     pub fn from_run(policy: &dyn pcm_sim::policy::RecoveryPolicy, run: &MemoryRun) -> Self {
         let overhead_bits = policy.overhead_bits();
         let improvement = run.lifetime_improvement();
+        let lifetime = run.lifetime_moments();
+        let faults = run.faults_moments();
         Self {
             name: policy.name(),
             overhead_bits,
@@ -117,8 +129,58 @@ impl SchemeSummary {
             per_bit_contribution: improvement / overhead_bits as f64,
             half_lifetime: montecarlo::half_lifetime(&run.page_lifetimes),
             capped_pages: run.capped_pages,
+            lifetime_ci95: lifetime.ci95_half_width(),
+            lifetime_rse: lifetime.rse(),
+            faults_ci95: faults.ci95_half_width(),
+            faults_rse: faults.rse(),
         }
     }
+
+    /// Delta-method 95% CI half-width on `lifetime_improvement`: the
+    /// baseline is deterministic (a closed form of the configuration), so
+    /// the ratio's uncertainty is the mean-lifetime CI scaled into ratio
+    /// units.
+    #[must_use]
+    pub fn improvement_ci95(&self) -> f64 {
+        if self.mean_lifetime > 0.0 {
+            self.lifetime_ci95 * self.lifetime_improvement / self.mean_lifetime
+        } else {
+            0.0
+        }
+    }
+
+    /// [`improvement_ci95`](Self::improvement_ci95) divided across the
+    /// scheme's overhead bits (Figure 7's unit).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn per_bit_ci95(&self) -> f64 {
+        if self.overhead_bits > 0 {
+            self.improvement_ci95() / self.overhead_bits as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The estimate set snapshotted at one unit's barrier: lifetime and
+/// recoverable-fault moments over the pages processed so far, keyed
+/// `<label>#<block_bits>` so the same scheme at two block sizes stays
+/// two estimates.
+#[must_use]
+pub fn unit_estimates(label: &str, block_bits: usize, run: &MemoryRun) -> Vec<UnitEstimate> {
+    let unit = format!("{label}#{block_bits}");
+    vec![
+        UnitEstimate {
+            unit: unit.clone(),
+            metric: "lifetime",
+            moments: run.lifetime_moments(),
+        },
+        UnitEstimate {
+            unit,
+            metric: "faults",
+            moments: run.faults_moments(),
+        },
+    ]
 }
 
 /// Per-scheme progress callback: `(scheme_name, pages_done, pages_total)`.
@@ -168,10 +230,23 @@ impl<'a> RunObserver<'a> {
     /// straight runs do this per scheme; chunked (checkpointed) runs only
     /// when a unit's final chunk lands, keeping the sidecars identical.
     pub fn unit_barrier(&self, pages: u64) {
+        self.unit_barrier_with(pages, &[]);
+    }
+
+    /// [`unit_barrier`](Self::unit_barrier) carrying the completed unit's
+    /// statistical estimates: they ride into the series sidecar (one
+    /// `series_estimate` line per metric, before the volatile tail) and
+    /// replace the status heartbeat's estimate table. The deterministic
+    /// event stream is never touched — estimates live only in sidecars,
+    /// so enabling them cannot perturb the byte-identity contract.
+    pub fn unit_barrier_with(&self, pages: u64, estimates: &[UnitEstimate]) {
         if let (Some(series), Some(registry)) = (self.series, self.registry) {
-            let _ = series.advance(registry, pages);
+            let _ = series.advance_with(registry, pages, estimates);
         }
         if let Some(status) = self.status {
+            if !estimates.is_empty() {
+                status.set_estimates(estimates);
+            }
             status.complete_unit(pages);
         }
     }
@@ -247,7 +322,10 @@ fn run_observed(
             montecarlo::run_memory_with(policy, cfg, &hooks)
         }
     };
-    observer.unit_barrier(cfg.pages as u64);
+    observer.unit_barrier_with(
+        cfg.pages as u64,
+        &unit_estimates(&name, cfg.block_bits, &run),
+    );
     run
 }
 

@@ -24,7 +24,7 @@ use crate::checkpoint::{
 };
 use crate::fig567::Fig567;
 use crate::fig8::{self, Fig8};
-use crate::runner::{run_labeled_range, RunObserver, RunOptions, SchemeSummary};
+use crate::runner::{run_labeled_range, unit_estimates, RunObserver, RunOptions, SchemeSummary};
 use sim_telemetry::{Event, Registry, RunManifest};
 use std::io;
 use std::path::Path;
@@ -68,7 +68,14 @@ pub fn run_shard_units(
                 // A shard's unit barrier covers its stripe: the series
                 // sidecar is keyed by *this shard's* cumulative pages and
                 // the status heartbeat folds `hi - lo` pages per unit.
-                observer.unit_barrier((hi - lo) as u64);
+                // Estimates snapshot the stripe's own moments; merge
+                // recomputes the pooled interval from the concatenated
+                // per-page results, so shard-local estimates are a
+                // monitoring view, not an input to the merged CI.
+                observer.unit_barrier_with(
+                    (hi - lo) as u64,
+                    &unit_estimates(&policy.name(), *bits, &run),
+                );
                 UnitProgress {
                     block_bits: *bits,
                     scheme: policy.name(),
@@ -100,7 +107,10 @@ pub fn run_fig8_shard_units(
                 lo,
                 hi,
             );
-            observer.unit_barrier((hi - lo) as u64);
+            observer.unit_barrier_with(
+                (hi - lo) as u64,
+                &unit_estimates(&spec.label, spec.cfg.block_bits, &run),
+            );
             UnitProgress {
                 block_bits: spec.cfg.block_bits,
                 scheme: spec.label.clone(),

@@ -1280,3 +1280,220 @@ fn monitor_and_diff_reject_bad_usage() {
         "missing streams are I/O failures"
     );
 }
+
+/// Satellite 2 (PR 10): a heartbeat with zero progress has no rate to
+/// extrapolate from — the monitor must render `--` placeholders, never
+/// `inf`/`NaN`, in both the table and the `--json` output.
+#[test]
+fn monitor_renders_dashes_for_zero_progress_heartbeats() {
+    let dir = std::env::temp_dir().join("aegis-cli-monitor-zero");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("telemetry")).unwrap();
+    let now_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis();
+    // A crafted status file: running, pages_done=0, no ETA, no busy
+    // fraction, no backend — everything the ETA math could divide by.
+    std::fs::write(
+        dir.join("telemetry/crafted.status.json"),
+        format!(
+            "{{\n  \"run_id\": \"crafted\",\n  \"state\": \"running\",\n  \
+             \"phase\": \"mc.Aegis 9x61\",\n  \"pages_done\": 0,\n  \
+             \"pages_total\": 100,\n  \"elapsed_ms\": 5000,\n  \"eta_ms\": null,\n  \
+             \"busy\": null,\n  \"shard_id\": null,\n  \"shards\": null,\n  \
+             \"simd_backend\": null,\n  \"eval_lanes\": null,\n  \
+             \"target_rse\": null,\n  \"estimates\": [],\n  \"heartbeats\": 1,\n  \
+             \"updated_unix_ms\": {now_ms}\n}}\n"
+        ),
+    )
+    .unwrap();
+
+    let table = experiments()
+        .args(["monitor", "--once", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(table.status.success());
+    let text = String::from_utf8_lossy(&table.stdout);
+    assert!(text.contains("crafted"), "{text}");
+    assert!(
+        text.contains("--"),
+        "zero-rate fields must render --: {text}"
+    );
+    assert!(!text.contains("inf"), "{text}");
+    assert!(!text.contains("NaN"), "{text}");
+
+    let json = experiments()
+        .args(["monitor", "--once", "--json", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(json.status.success());
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(
+        !stdout.contains("inf") && !stdout.contains("NaN"),
+        "{stdout}"
+    );
+    let value = sim_telemetry::Json::parse(&stdout).expect("monitor json parses");
+    let run = value
+        .get("runs")
+        .and_then(sim_telemetry::Json::as_arr)
+        .unwrap()[0]
+        .clone();
+    assert_eq!(
+        run.get("eta_ms"),
+        Some(&sim_telemetry::Json::Null),
+        "{stdout}"
+    );
+    assert_eq!(
+        run.get("busy"),
+        Some(&sim_telemetry::Json::Null),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// PR 10: the default diff verdict is CI-aware — structural differences
+/// between two seeds are tolerated while the final estimates' confidence
+/// intervals overlap, and the legacy `--threshold` heuristic still flags
+/// the same pair. Exit codes 0/1/2 are preserved in both modes.
+#[test]
+fn telemetry_diff_interval_mode_tolerates_what_threshold_mode_flags() {
+    let dir = std::env::temp_dir().join("aegis-cli-diff-interval");
+    let _ = std::fs::remove_dir_all(&dir);
+    for (run_id, seed) in [("ia", "21"), ("ib", "22")] {
+        let output = experiments()
+            .args([
+                "fig5", "--pages", "4", "--seed", seed, "--series", "--run-id", run_id, "--quiet",
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+
+    // Interval mode (default): seeds 21 and 22 shift counters but every
+    // final estimate's 95% CI overlaps at this sample size — clean.
+    let interval = experiments()
+        .args(["telemetry-diff", "ia", "ib", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        interval.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&interval.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&interval.stdout);
+    assert!(
+        stdout.contains("overlapping confidence intervals"),
+        "{stdout}"
+    );
+
+    // The legacy exact heuristic still sees the structural drift.
+    let threshold = experiments()
+        .args(["telemetry-diff", "ia", "ib", "--threshold", "0.0", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        threshold.status.code(),
+        Some(1),
+        "--threshold 0.0 must flag cross-seed structural drift"
+    );
+    assert!(String::from_utf8_lossy(&threshold.stdout).contains("Verdict: DRIFT"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// PR 10 early stopping, end to end: a loose `--target-rse` stops every
+/// unit well short of its page budget, the stopped stream is
+/// byte-identical across thread counts, and `shard` refuses the flag.
+#[test]
+fn target_rse_stops_early_and_replays_across_thread_counts() {
+    let dir_1 = std::env::temp_dir().join("aegis-cli-target-rse-1");
+    let dir_2 = std::env::temp_dir().join("aegis-cli-target-rse-2");
+    for (dir, threads) in [(&dir_1, "1"), (&dir_2, "2")] {
+        let _ = std::fs::remove_dir_all(dir);
+        let output = experiments()
+            .args([
+                "fig5",
+                "--pages",
+                "8",
+                "--seed",
+                "9",
+                "--series",
+                "--status",
+                "--target-rse",
+                "0.5",
+                "--threads",
+                threads,
+                "--run-id",
+                "es",
+                "--quiet",
+                "--out",
+            ])
+            .arg(dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+
+    // The status heartbeat shows how far the stopped run actually got.
+    let status = std::fs::read_to_string(dir_1.join("telemetry/es.status.json")).unwrap();
+    let record = sim_telemetry::StatusRecord::parse(&status).expect("status parses");
+    assert!(
+        record.pages_done < record.pages_total,
+        "a loose target must stop early ({} of {} pages)",
+        record.pages_done,
+        record.pages_total
+    );
+    assert_eq!(record.target_rse, Some(0.5), "{status}");
+
+    // Same stop decisions, same bytes, at any thread count.
+    for file in ["es.jsonl", "es.series.jsonl"] {
+        let one = std::fs::read_to_string(dir_1.join("telemetry").join(file)).unwrap();
+        let two = std::fs::read_to_string(dir_2.join("telemetry").join(file)).unwrap();
+        assert_eq!(
+            sim_telemetry::strip_volatile(&one),
+            sim_telemetry::strip_volatile(&two),
+            "{file} must be byte-identical across thread counts under --target-rse"
+        );
+    }
+
+    // Shards must cover their full stripe: early stopping is refused.
+    let shard = experiments()
+        .args([
+            "shard",
+            "fig5",
+            "--shards",
+            "2",
+            "--shard-id",
+            "0",
+            "--target-rse",
+            "0.5",
+            "--quiet",
+            "--out",
+        ])
+        .arg(&dir_1)
+        .output()
+        .expect("binary runs");
+    assert_eq!(shard.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&shard.stderr).contains("does not apply to shard runs"),
+        "{}",
+        String::from_utf8_lossy(&shard.stderr)
+    );
+    let _ = std::fs::remove_dir_all(dir_1);
+    let _ = std::fs::remove_dir_all(dir_2);
+}

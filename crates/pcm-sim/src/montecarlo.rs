@@ -732,6 +732,35 @@ impl MemoryRun {
     pub fn lifetime_improvement(&self) -> f64 {
         self.mean_lifetime() / self.mean_unprotected_lifetime()
     }
+
+    /// Streaming moments over per-page lifetimes, quantized to whole page
+    /// writes (the same flooring the `page_lifetime_writes` histogram
+    /// applies) so the accumulator keeps the exact integer power sums
+    /// that make shard merges and resumed runs bit-identical. Non-finite
+    /// death times (capped pages) are skipped, matching the histogram.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn lifetime_moments(&self) -> sim_telemetry::Moments {
+        let mut m = sim_telemetry::Moments::new();
+        for &t in &self.page_lifetimes {
+            if t.is_finite() && t >= 0.0 {
+                m.push(t as u64);
+            }
+        }
+        m
+    }
+
+    /// Streaming moments over per-page recoverable-fault counts
+    /// (Figure 5 / 8 metric) — exact, the counts are integers already.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn faults_moments(&self) -> sim_telemetry::Moments {
+        let mut m = sim_telemetry::Moments::new();
+        for &f in &self.faults_recovered {
+            m.push(f as u64);
+        }
+        m
+    }
 }
 
 /// Runs `policy` over a simulated chip, in parallel across pages.
@@ -1141,6 +1170,22 @@ mod tests {
         // Four pages of lifetimes [1, 1, 100, 100]: all four absorb writes
         // until the two short-lived pages die at global 4·1 = 4.
         assert_eq!(half_lifetime(&[1.0, 1.0, 100.0, 100.0]), 4.0);
+    }
+
+    #[test]
+    fn run_moments_quantize_like_the_histogram() {
+        let run = MemoryRun {
+            page_lifetimes: vec![10.5, 20.0, f64::INFINITY],
+            unprotected_lifetimes: vec![5.0, 8.0, 9.0],
+            faults_recovered: vec![3, 1, 2],
+            capped_pages: 1,
+        };
+        let lm = run.lifetime_moments();
+        assert_eq!(lm.count(), 2, "non-finite death times are skipped");
+        assert_eq!(lm.mean(), 15.0, "10.5 floors to 10, like the histogram");
+        let fm = run.faults_moments();
+        assert_eq!(fm.count(), 3);
+        assert_eq!(fm.mean(), 2.0);
     }
 
     #[test]

@@ -32,10 +32,18 @@
 //! [`series`] — and [`StatusWriter`] heartbeats run liveness (phase,
 //! progress, ETA, worker busy fraction) into an atomically-rewritten
 //! `<run-id>.status.json` for `experiments monitor` — see [`status`].
+//!
+//! The statistical layer on top of both: [`estimate`] carries streaming
+//! moment accumulators ([`Moments`]) and confidence intervals
+//! (normal-approximation and [`wilson_interval`]) per
+//! `(scheme, block_bits, metric)`, snapshotted at unit barriers into the
+//! series sidecar and status heartbeats, and driving `--target-rse`
+//! deterministic early stopping (DESIGN.md §16).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod estimate;
 pub mod json;
 pub mod manifest;
 pub mod profile;
@@ -46,6 +54,9 @@ pub mod sink;
 pub mod status;
 pub mod trace;
 
+pub use estimate::{
+    wilson_interval, Convergence, Moments, UnitEstimate, DISPLAY_TARGET_RSE, MIN_SAMPLES, Z95,
+};
 pub use json::{escape, Json, JsonError};
 pub use manifest::{git_describe, unix_millis, RunManifest};
 pub use profile::{chrome_trace, collapsed_stack, NameStats, ProfileNode, SpanTree};
@@ -56,7 +67,7 @@ pub use registry::{
 pub use run::{RunTelemetry, Span};
 pub use series::{SeriesCursor, SeriesWriter};
 pub use sink::{strip_volatile, Event, SharedBuf};
-pub use status::{RunState, StatusRecord, StatusWriter, DEFAULT_STATUS_INTERVAL};
+pub use status::{EstimateStatus, RunState, StatusRecord, StatusWriter, DEFAULT_STATUS_INTERVAL};
 pub use trace::{
     PoolPhase, PoolWorkerUtil, TraceLog, TraceRecord, TraceSpan, Tracer, WorkerLog,
     WorkerSpanHandle, WorkerTracer, DEFAULT_TRACE_CAPACITY,

@@ -351,6 +351,7 @@ mod tests {
                 Event::Series { .. } => "series",
                 Event::SeriesHistogram { .. } => "series_histogram",
                 Event::SeriesVolatile { .. } => "series_volatile",
+                Event::SeriesEstimate { .. } => "series_estimate",
                 Event::RunEnd { .. } => "run_end",
             })
             .collect();

@@ -202,6 +202,26 @@ impl SeriesWriter {
     ///
     /// Propagates sink I/O errors.
     pub fn advance(&self, registry: &Registry, pages_delta: u64) -> io::Result<bool> {
+        self.advance_with(registry, pages_delta, &[])
+    }
+
+    /// [`SeriesWriter::advance`] plus streaming estimate snapshots: after
+    /// the deterministic counters and histograms, one
+    /// [`Event::SeriesEstimate`] line per entry of `estimates` — the RSE
+    /// trajectory of every unit metric, keyed by the same cumulative page
+    /// count. Estimates are emitted in slice order, which callers keep
+    /// deterministic (unit declaration order), before the volatile block
+    /// so the stripped sidecar stays contiguous.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn advance_with(
+        &self,
+        registry: &Registry,
+        pages_delta: u64,
+        estimates: &[crate::estimate::UnitEstimate],
+    ) -> io::Result<bool> {
         let mut state = self.state.lock().expect("series state poisoned");
         if state.writer.is_none() {
             return Ok(false);
@@ -222,6 +242,19 @@ impl SeriesWriter {
             Self::emit_locked(
                 &mut state,
                 &Event::series_from_snapshot(&name, pages, &snap),
+            )?;
+        }
+        for est in estimates {
+            Self::emit_locked(
+                &mut state,
+                &Event::SeriesEstimate {
+                    name: est.name(),
+                    pages,
+                    count: est.moments.count(),
+                    mean: est.moments.mean(),
+                    rse: est.moments.rse(),
+                    ci95: est.moments.ci95_half_width(),
+                },
             )?;
         }
         for (name, value) in registry.volatile_counters() {
@@ -331,6 +364,47 @@ mod tests {
         assert!(!stripped.contains("series_volatile"));
         assert!(stripped.contains("\"event\": \"series\""));
         assert!(stripped.contains("series_histogram"));
+    }
+
+    #[test]
+    fn advance_with_emits_estimate_trajectory() {
+        use crate::estimate::{Moments, UnitEstimate};
+        let buf = SharedBuf::new();
+        let series = SeriesWriter::with_buffer("s4", buf.clone(), 0).unwrap();
+        let reg = sample_registry();
+        let est = vec![UnitEstimate {
+            unit: "Aegis 9x61#512".to_owned(),
+            metric: "lifetime",
+            moments: Moments::from_samples(&[10, 12, 14, 16]),
+        }];
+        series.advance_with(&reg, 4, &est).unwrap();
+        series.finish().unwrap();
+        let parsed = Event::parse_stream(&buf.text()).unwrap();
+        let estimate = parsed
+            .iter()
+            .find_map(|e| match e {
+                Event::SeriesEstimate {
+                    name,
+                    pages,
+                    count,
+                    mean,
+                    ..
+                } => Some((name.clone(), *pages, *count, *mean)),
+                _ => None,
+            })
+            .expect("estimate line emitted");
+        assert_eq!(estimate, ("Aegis 9x61#512.lifetime".to_owned(), 4, 4, 13.0));
+        // Ordering: the estimate sits between the deterministic block and
+        // the volatile tail, so stripping keeps one contiguous prefix.
+        let vol_idx = parsed
+            .iter()
+            .position(|e| matches!(e, Event::SeriesVolatile { .. }))
+            .unwrap();
+        let est_idx = parsed
+            .iter()
+            .position(|e| matches!(e, Event::SeriesEstimate { .. }))
+            .unwrap();
+        assert!(est_idx < vol_idx);
     }
 
     #[test]

@@ -105,6 +105,26 @@ pub enum Event {
         /// Counter value (not covered by the determinism contract).
         value: u64,
     },
+    /// Periodic deterministic estimate snapshot: the streaming mean, RSE
+    /// and 95% CI half-width of one unit metric at a page-count barrier
+    /// (the per-sample relative-standard-error trajectory). Lives in the
+    /// `<run-id>.series.jsonl` sidecar; covered by the byte-identity
+    /// contract — every field is a pure function of the samples processed.
+    SeriesEstimate {
+        /// Estimate name (`scheme#block_bits.metric`).
+        name: String,
+        /// Pages evaluated when the snapshot was taken.
+        pages: u64,
+        /// Samples accumulated.
+        count: u64,
+        /// Streaming mean.
+        mean: f64,
+        /// Relative standard error (may be infinite below two samples;
+        /// serialized as `null`, JSON having no Infinity).
+        rse: f64,
+        /// 95% confidence half-width (normal approximation).
+        ci95: f64,
+    },
     /// Last line of every stream.
     RunEnd {
         /// Total number of events in the stream, this line included.
@@ -222,6 +242,22 @@ impl Event {
                  \"pages\": {pages}, \"value\": {value}}}",
                 escape(name)
             ),
+            Event::SeriesEstimate {
+                name,
+                pages,
+                count,
+                mean,
+                rse,
+                ci95,
+            } => format!(
+                "{{\"seq\": {seq}, \"event\": \"series_estimate\", \"name\": {}, \
+                 \"pages\": {pages}, \"count\": {count}, \"mean\": {}, \"rse\": {}, \
+                 \"ci95\": {}}}",
+                escape(name),
+                crate::estimate::json_f64(*mean),
+                crate::estimate::json_f64(*rse),
+                crate::estimate::json_f64(*ci95),
+            ),
             Event::RunEnd { events } => {
                 format!("{{\"seq\": {seq}, \"event\": \"run_end\", \"events\": {events}}}")
             }
@@ -312,6 +348,30 @@ impl Event {
                     .u64_field("value")
                     .ok_or_else(|| fail("missing value"))?,
             },
+            "series_estimate" => {
+                // `null` encodes a non-finite statistic (JSON has no
+                // Infinity); parse it back as +∞ so round-trips are exact
+                // for every value the emitter produces.
+                let stat = |key: &str| -> Result<f64, JsonError> {
+                    match value.get(key) {
+                        Some(Json::Null) => Ok(f64::INFINITY),
+                        Some(v) => v.as_f64().ok_or_else(|| fail("non-numeric estimate field")),
+                        None => Err(fail("missing estimate field")),
+                    }
+                };
+                Event::SeriesEstimate {
+                    name: name(&value)?,
+                    pages: value
+                        .u64_field("pages")
+                        .ok_or_else(|| fail("missing pages"))?,
+                    count: value
+                        .u64_field("count")
+                        .ok_or_else(|| fail("missing count"))?,
+                    mean: stat("mean")?,
+                    rse: stat("rse")?,
+                    ci95: stat("ci95")?,
+                }
+            }
             "run_end" => Event::RunEnd {
                 events: value
                     .u64_field("events")
@@ -564,6 +624,43 @@ mod tests {
         let other = stream.replace("\"pages\": 4, \"value\": 2", "\"pages\": 4, \"value\": 77");
         assert_ne!(stream, other);
         assert_eq!(stripped, strip_volatile(&other));
+    }
+
+    #[test]
+    fn series_estimate_round_trips_including_non_finite() {
+        let events = vec![
+            Event::RunStart {
+                run_id: "x".to_owned(),
+            },
+            Event::SeriesEstimate {
+                name: "Aegis 9x61#512.lifetime".to_owned(),
+                pages: 64,
+                count: 64,
+                mean: 123456.75,
+                rse: 0.03125,
+                ci95: 7500.5,
+            },
+            // One sample: RSE is infinite and must survive the null trip.
+            Event::SeriesEstimate {
+                name: "ECP6#512.lifetime".to_owned(),
+                pages: 1,
+                count: 1,
+                mean: 9.0,
+                rse: f64::INFINITY,
+                ci95: 0.0,
+            },
+            Event::RunEnd { events: 4 },
+        ];
+        let stream: String = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.to_json(i as u64) + "\n")
+            .collect();
+        assert!(stream.contains("\"rse\": null"));
+        assert_eq!(Event::parse_stream(&stream).unwrap(), events);
+
+        // Estimates are deterministic — strip_volatile keeps them.
+        assert_eq!(strip_volatile(&stream), stream);
     }
 
     #[test]

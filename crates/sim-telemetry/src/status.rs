@@ -23,6 +23,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::estimate::{json_f64, Convergence, UnitEstimate, DISPLAY_TARGET_RSE};
 use crate::json::{escape, Json, JsonError};
 use crate::manifest::unix_millis;
 
@@ -67,6 +68,25 @@ impl RunState {
     }
 }
 
+/// One estimate line in a status heartbeat: the latest `mean ± CI` of a
+/// unit metric plus its convergence classification, as `experiments
+/// monitor` renders it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateStatus {
+    /// Estimate name (`scheme#block_bits.metric`).
+    pub name: String,
+    /// Samples accumulated.
+    pub count: u64,
+    /// Streaming mean.
+    pub mean: f64,
+    /// Relative standard error (may be infinite below two samples).
+    pub rse: f64,
+    /// 95% confidence half-width.
+    pub ci95: f64,
+    /// Convergence tag: `insufficient`, `converging` or `converged`.
+    pub state: String,
+}
+
 /// One parsed status file, as `experiments monitor` reads it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatusRecord {
@@ -90,6 +110,16 @@ pub struct StatusRecord {
     pub shard_id: Option<u64>,
     /// Shard count, for `experiments shard` runs.
     pub shards: Option<u64>,
+    /// SIMD dispatch backend the run resolved at startup (PR 9), e.g.
+    /// `avx2` or `scalar` — shows which backend each shard of a
+    /// mixed-machine campaign is running.
+    pub simd_backend: Option<String>,
+    /// Effective `SIM_EVAL_LANES` batch width.
+    pub eval_lanes: Option<u64>,
+    /// The run's `--target-rse` early-stop target, when set.
+    pub target_rse: Option<f64>,
+    /// Latest per-unit estimates (empty until the first unit barrier).
+    pub estimates: Vec<EstimateStatus>,
     /// Heartbeat writes so far (monotone; proves liveness).
     pub heartbeats: u64,
     /// Wall clock of the last rewrite, Unix milliseconds (staleness check).
@@ -111,13 +141,38 @@ impl StatusRecord {
     #[must_use]
     pub fn to_json(&self) -> String {
         let opt_u64 = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |v| v.to_string());
+        // A non-finite busy fraction (a degenerate pool phase) must not
+        // poison the JSON: render it as null, like the estimate fields.
         let busy = self
             .busy
+            .filter(|b| b.is_finite())
             .map_or_else(|| "null".to_owned(), |b| format!("{b:.4}"));
+        let backend = self
+            .simd_backend
+            .as_deref()
+            .map_or_else(|| "null".to_owned(), escape);
+        let estimates: Vec<String> = self
+            .estimates
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"name\": {}, \"count\": {}, \"mean\": {}, \"rse\": {}, \
+                     \"ci95\": {}, \"state\": {}}}",
+                    escape(&e.name),
+                    e.count,
+                    json_f64(e.mean),
+                    json_f64(e.rse),
+                    json_f64(e.ci95),
+                    escape(&e.state),
+                )
+            })
+            .collect();
         format!(
             "{{\n  \"run_id\": {},\n  \"state\": {},\n  \"phase\": {},\n  \
              \"pages_done\": {},\n  \"pages_total\": {},\n  \"elapsed_ms\": {},\n  \
              \"eta_ms\": {},\n  \"busy\": {},\n  \"shard_id\": {},\n  \"shards\": {},\n  \
+             \"simd_backend\": {},\n  \"eval_lanes\": {},\n  \"target_rse\": {},\n  \
+             \"estimates\": [{}],\n  \
              \"heartbeats\": {},\n  \"updated_unix_ms\": {}\n}}\n",
             escape(&self.run_id),
             escape(self.state.as_str()),
@@ -129,6 +184,10 @@ impl StatusRecord {
             busy,
             opt_u64(self.shard_id),
             opt_u64(self.shards),
+            backend,
+            opt_u64(self.eval_lanes),
+            self.target_rse.map_or_else(|| "null".to_owned(), json_f64),
+            estimates.join(", "),
             self.heartbeats,
             self.updated_unix_ms,
         )
@@ -163,6 +222,37 @@ impl StatusRecord {
                     .ok_or_else(|| fail(&format!("bad {key}"))),
             }
         };
+        // Estimate statistics may be `null` (infinite RSE below two
+        // samples); older status files lack the field entirely.
+        let est_f64 = |v: Option<&Json>| -> f64 {
+            match v {
+                Some(Json::Num(n)) => *n,
+                _ => f64::INFINITY,
+            }
+        };
+        let estimates = value
+            .get("estimates")
+            .and_then(Json::as_arr)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|item| {
+                        Some(EstimateStatus {
+                            name: item.str_field("name")?.to_owned(),
+                            count: item.u64_field("count").unwrap_or(0),
+                            mean: est_f64(item.get("mean")),
+                            rse: est_f64(item.get("rse")),
+                            ci95: est_f64(item.get("ci95")),
+                            state: item.str_field("state").unwrap_or("converging").to_owned(),
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let target_rse = match value.get("target_rse") {
+            Some(Json::Num(n)) => Some(*n),
+            _ => None,
+        };
         Ok(StatusRecord {
             run_id: value
                 .str_field("run_id")
@@ -181,6 +271,10 @@ impl StatusRecord {
             busy,
             shard_id: opt_u64("shard_id")?,
             shards: opt_u64("shards")?,
+            simd_backend: value.str_field("simd_backend").map(str::to_owned),
+            eval_lanes: opt_u64("eval_lanes")?,
+            target_rse,
+            estimates,
             heartbeats: value.u64_field("heartbeats").unwrap_or(0),
             updated_unix_ms: value.u64_field("updated_unix_ms").unwrap_or(0),
         })
@@ -197,6 +291,9 @@ struct StatusState {
     pages_total: u64,
     busy: Option<f64>,
     shard: Option<(u64, u64)>,
+    backend: Option<(String, u64)>,
+    target_rse: Option<f64>,
+    estimates: Vec<EstimateStatus>,
     heartbeats: u64,
     last_write: Option<Instant>,
 }
@@ -250,6 +347,9 @@ impl StatusWriter {
                 pages_total: 0,
                 busy: None,
                 shard: None,
+                backend: None,
+                target_rse: None,
+                estimates: Vec::new(),
                 heartbeats: 0,
                 last_write: None,
             }),
@@ -287,6 +387,52 @@ impl StatusWriter {
     pub fn set_shard(&self, id: u64, of: u64) {
         if let Some(core) = &self.0 {
             core.state.lock().expect("status poisoned").shard = Some((id, of));
+        }
+    }
+
+    /// Records the SIMD dispatch backend and effective eval-lanes width
+    /// the run resolved at startup, so a mixed-machine campaign's monitor
+    /// shows which backend each shard runs.
+    pub fn set_backend(&self, backend: &str, lanes: u64) {
+        if let Some(core) = &self.0 {
+            core.state.lock().expect("status poisoned").backend = Some((backend.to_owned(), lanes));
+        }
+    }
+
+    /// Records the run's `--target-rse` early-stop target (also the bar
+    /// the estimate lines are classified against; without one, the
+    /// display-only [`DISPLAY_TARGET_RSE`] applies).
+    pub fn set_target_rse(&self, target: f64) {
+        if let Some(core) = &self.0 {
+            core.state.lock().expect("status poisoned").target_rse = Some(target);
+        }
+    }
+
+    /// Folds a barrier snapshot into the per-unit estimate table:
+    /// entries upsert by name, so a campaign's successive barriers grow
+    /// one table covering every scheme seen so far. Does not write
+    /// through on its own: callers pair it with
+    /// [`StatusWriter::complete_unit`], whose forced rewrite publishes
+    /// both at once.
+    pub fn set_estimates(&self, estimates: &[UnitEstimate]) {
+        let Some(core) = &self.0 else { return };
+        let mut state = core.state.lock().expect("status poisoned");
+        let target = state.target_rse.unwrap_or(DISPLAY_TARGET_RSE);
+        // Upsert by name: successive unit barriers grow one table covering
+        // every scheme seen so far, in first-seen (unit declaration) order.
+        for est in estimates {
+            let entry = EstimateStatus {
+                name: est.name(),
+                count: est.moments.count(),
+                mean: est.moments.mean(),
+                rse: est.moments.rse(),
+                ci95: est.moments.ci95_half_width(),
+                state: Convergence::of(&est.moments, target).as_str().to_owned(),
+            };
+            match state.estimates.iter_mut().find(|e| e.name == entry.name) {
+                Some(slot) => *slot = entry,
+                None => state.estimates.push(entry),
+            }
         }
     }
 
@@ -376,6 +522,10 @@ impl StatusWriter {
             busy: state.busy,
             shard_id: state.shard.map(|(id, _)| id),
             shards: state.shard.map(|(_, of)| of),
+            simd_backend: state.backend.as_ref().map(|(name, _)| name.clone()),
+            eval_lanes: state.backend.as_ref().map(|&(_, lanes)| lanes),
+            target_rse: state.target_rse,
+            estimates: state.estimates.clone(),
             heartbeats: state.heartbeats,
             updated_unix_ms: unix_millis(),
         })
@@ -418,6 +568,28 @@ mod tests {
             busy: Some(0.8125),
             shard_id: Some(0),
             shards: Some(2),
+            simd_backend: Some("avx2".to_owned()),
+            eval_lanes: Some(8),
+            target_rse: Some(0.05),
+            estimates: vec![
+                EstimateStatus {
+                    name: "Aegis 9x61#512.lifetime".to_owned(),
+                    count: 12,
+                    mean: 123456.5,
+                    rse: 0.03125,
+                    ci95: 7561.25,
+                    state: "converged".to_owned(),
+                },
+                // Below two samples: RSE is infinite, round-trips via null.
+                EstimateStatus {
+                    name: "ECP6#512.lifetime".to_owned(),
+                    count: 1,
+                    mean: 9.0,
+                    rse: f64::INFINITY,
+                    ci95: 0.0,
+                    state: "insufficient".to_owned(),
+                },
+            ],
             heartbeats: 7,
             updated_unix_ms: 1_722_000_000_123,
         };
@@ -439,12 +611,26 @@ mod tests {
             busy: None,
             shard_id: None,
             shards: None,
+            simd_backend: None,
+            eval_lanes: None,
+            target_rse: None,
+            estimates: Vec::new(),
             heartbeats: 1,
             updated_unix_ms: 5,
         };
         let parsed = StatusRecord::parse(&record.to_json()).unwrap();
         assert_eq!(parsed, record);
         assert_eq!(parsed.fraction(), None);
+
+        // Pre-PR 10 status files lack the backend/estimate fields
+        // entirely; the parser defaults them instead of failing.
+        let legacy = "{\"run_id\": \"x\", \"state\": \"running\", \
+                      \"pages_done\": 0, \"pages_total\": 0}";
+        let parsed = StatusRecord::parse(legacy).unwrap();
+        assert_eq!(parsed.simd_backend, None);
+        assert_eq!(parsed.eval_lanes, None);
+        assert_eq!(parsed.target_rse, None);
+        assert!(parsed.estimates.is_empty());
     }
 
     #[test]
@@ -481,6 +667,13 @@ mod tests {
         assert!(read.eta_ms.is_some());
 
         status.phase_progress(4);
+        status.set_backend("avx2", 8);
+        status.set_target_rse(0.05);
+        status.set_estimates(&[crate::estimate::UnitEstimate {
+            unit: "ECP6#512".to_owned(),
+            metric: "lifetime",
+            moments: crate::estimate::Moments::from_samples(&[100, 100, 100, 100]),
+        }]);
         status.complete_unit(4);
         status.set_busy(0.75);
         status.mark(RunState::Done);
@@ -488,6 +681,13 @@ mod tests {
         assert_eq!(read.state, RunState::Done);
         assert_eq!(read.pages_done, 4, "complete_unit folds into base");
         assert_eq!(read.busy, Some(0.75));
+        assert_eq!(read.simd_backend.as_deref(), Some("avx2"));
+        assert_eq!(read.eval_lanes, Some(8));
+        assert_eq!(read.target_rse, Some(0.05));
+        assert_eq!(read.estimates.len(), 1);
+        assert_eq!(read.estimates[0].name, "ECP6#512.lifetime");
+        assert_eq!(read.estimates[0].mean, 100.0);
+        assert_eq!(read.estimates[0].state, "converged");
         assert!(read.heartbeats >= 5, "every transition heartbeats");
         let _ = fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Regenerates the PR 10 estimate-snapshot overhead record
+# results/bench/BENCH_pr10.json (and, with --baseline, the regression
+# baseline next to it): times `experiments fig5 --full` twice back to
+# back — bare, then with `--series --status` so every unit barrier
+# folds moment accumulators and writes estimate snapshots — so the
+# wall-clock pair shares one machine regime, then runs the `estimates`
+# bench target with both measurements spliced into the document (pre =
+# bare plus the tolerated 2%, post = instrumented; the gate's
+# `post < pre` check enforces "uncertainty quantification within 2% of
+# a bare run end to end"), then runs the gate. The bench itself gates
+# the recurring per-barrier estimate work as a fraction of the unit it
+# rides on — see crates/bench/benches/estimates.rs for why the
+# fraction, not a race of two like-sized legs, is what a noisy shared
+# runner can verify.
+#
+# Usage: scripts/bench_pr10.sh [--baseline]
+#   --baseline   also copy the fresh record over BENCH_pr10.baseline.json
+#                (do this when re-recording on a new reference machine).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline -p aegis-experiments -p aegis-bench
+
+out="${TMPDIR:-/tmp}/aegis-bench-pr10-fig5"
+rm -rf "$out"
+TIMEFORMAT='%R'
+# Shared-runner throughput drifts by >10% on minute timescales, far
+# above the 2% budget under test, so a single ordered bare-then-
+# instrumented pair is systematically biased toward whichever leg ran
+# during the faster regime. Alternate the legs over three pairs and
+# keep the per-leg minima: the minimum is the least-contended sample of
+# each leg, and interleaving means both legs sample the same regimes.
+bare="" instrumented=""
+min_s() { awk -v a="$1" -v b="$2" 'BEGIN { print (a == "" || b < a+0) ? b : a }'; }
+for pair in 1 2 3; do
+    echo "==> pair $pair/3: timing experiments fig5 --full, bare (this takes minutes)"
+    t=$( { time ./target/release/experiments fig5 --full \
+        --quiet --out "$out" >/dev/null; } 2>&1 )
+    bare=$(min_s "$bare" "$t")
+    echo "==> bare fig5 --full wall clock: ${t}s (min so far ${bare}s)"
+
+    echo "==> pair $pair/3: timing experiments fig5 --full --series --status"
+    t=$( { time ./target/release/experiments fig5 --full --series --status \
+        --run-id bench-pr10 --quiet --out "$out" >/dev/null; } 2>&1 )
+    instrumented=$(min_s "$instrumented" "$t")
+    echo "==> instrumented fig5 --full wall clock: ${t}s (min so far ${instrumented}s)"
+done
+rm -rf "$out"
+echo "==> keeping minima: bare ${bare}s, instrumented ${instrumented}s"
+
+echo "==> cargo bench -p aegis-bench --bench estimates"
+SIM_FIG5_BARE_SECONDS="$bare" SIM_FIG5_FULL_SECONDS="$instrumented" \
+    cargo bench --offline -p aegis-bench --bench estimates
+
+if [[ "${1:-}" == "--baseline" ]]; then
+    cp results/bench/BENCH_pr10.json results/bench/BENCH_pr10.baseline.json
+    echo "==> baseline re-recorded"
+fi
+
+echo "==> bench-gate"
+cargo run -q --release --offline -p aegis-bench --bin bench-gate

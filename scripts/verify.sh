@@ -90,6 +90,11 @@ cargo run --release --offline -p aegis-experiments -- \
     >"$shard_out/sh-report.txt"
 cmp "$shard_out/ref-report.txt" "$shard_out/sh-report.txt" \
     || { echo "merged report differs from the unsharded run" >&2; exit 1; }
+# The CSVs carry the PR 10 uncertainty columns, so these byte-level
+# comparisons also pin "merge pools moment accumulators exactly": the
+# merged ci95_half_width/rse must equal the unsharded run's.
+head -1 "$shard_out/ref/fig5.csv" | grep -q "ci95_half_width,rse" \
+    || { echo "fig5.csv is missing the CI columns" >&2; exit 1; }
 for csv in fig5.csv fig6.csv fig7.csv; do
     cmp "$shard_out/ref/$csv" "$shard_out/sh/$csv" \
         || { echo "merged $csv differs from the unsharded run" >&2; exit 1; }
@@ -161,10 +166,77 @@ if cargo run --release --offline -p aegis-experiments -- \
 fi
 rm -rf "$obs_out"
 
+# Convergence smoke (PR 10): `--target-rse` must stop a fig5 campaign
+# early, and the stop decision must be a pure function of pages
+# processed — the stopped stream is byte-identical at two worker
+# threads and across SIGINT + --resume. Larger memory blocks slow the
+# per-page step so the SIGINT below has a wide window of checkpoint
+# barriers to land between.
+conv_out="${TMPDIR:-/tmp}/aegis-verify-conv"
+rm -rf "$conv_out"
+mkdir -p "$conv_out"
+bin=./target/release/experiments
+conv_strip() {
+    grep -v -e '"event": "volatile"' -e '"event": "series_volatile"' "$1"
+}
+echo "==> convergence smoke (--target-rse early stop, threads, SIGINT/--resume)"
+run_conv() { # run_conv OUT_DIR THREADS EXTRA...
+    local out_dir="$1" threads="$2"; shift 2
+    "$bin" fig5 --pages 8 --seed 9 --page-bytes 32768 --series --status \
+        --target-rse 0.5 --threads "$threads" --checkpoint-every 1 \
+        --run-id conv --quiet --out "$out_dir" "$@" >/dev/null
+}
+run_conv "$conv_out/ref" 1
+pages_done=$(sed -n 's/.*"pages_done": \([0-9]*\).*/\1/p' \
+    "$conv_out/ref/telemetry/conv.status.json")
+pages_total=$(sed -n 's/.*"pages_total": \([0-9]*\).*/\1/p' \
+    "$conv_out/ref/telemetry/conv.status.json")
+[[ "$pages_done" -lt "$pages_total" ]] \
+    || { echo "--target-rse did not stop early ($pages_done of $pages_total pages)" >&2; exit 1; }
+run_conv "$conv_out/t2" 2
+for f in conv.jsonl conv.series.jsonl; do
+    conv_strip "$conv_out/ref/telemetry/$f" >"$conv_out/a.strip"
+    conv_strip "$conv_out/t2/telemetry/$f" >"$conv_out/b.strip"
+    cmp "$conv_out/a.strip" "$conv_out/b.strip" \
+        || { echo "stopped $f differs between --threads 1 and --threads 2" >&2; exit 1; }
+done
+# SIGINT mid-run, then --resume: the finished stream must still match.
+# The binary is backgrounded as a direct simple command — backgrounding
+# the run_conv *function* wraps it in a subshell whose non-interactive
+# SIGINT disposition can swallow the signal before it reaches the
+# binary. The leg may rarely finish before the signal lands (exit 0
+# instead of 130); retry with a fresh directory in that case.
+for attempt in 1 2 3; do
+    rm -rf "$conv_out/int"
+    "$bin" fig5 --pages 8 --seed 9 --page-bytes 32768 --series --status \
+        --target-rse 0.5 --threads 1 --checkpoint-every 1 \
+        --run-id conv --quiet --out "$conv_out/int" >/dev/null &
+    conv_pid=$!
+    for _ in $(seq 1 200); do
+        [[ -s "$conv_out/int/telemetry/conv.ckpt.json" ]] && break
+        sleep 0.02
+    done
+    kill -INT "$conv_pid" 2>/dev/null || true
+    conv_rc=0; wait "$conv_pid" || conv_rc=$?
+    if [[ "$conv_rc" -eq 130 ]]; then
+        break
+    fi
+    [[ "$attempt" -lt 3 ]] \
+        || { echo "could not interrupt the convergence leg (exit $conv_rc)" >&2; exit 1; }
+done
+"$bin" fig5 --resume conv --quiet --out "$conv_out/int" >/dev/null
+for f in conv.jsonl conv.series.jsonl; do
+    conv_strip "$conv_out/ref/telemetry/$f" >"$conv_out/a.strip"
+    conv_strip "$conv_out/int/telemetry/$f" >"$conv_out/b.strip"
+    cmp "$conv_out/a.strip" "$conv_out/b.strip" \
+        || { echo "stopped $f differs after SIGINT + --resume" >&2; exit 1; }
+done
+rm -rf "$conv_out"
+
 # Repo hygiene: every PR's bench record AND its regression baseline must
 # be committed — the PR 4 pair was once missing for two releases because
 # the gate only printed a skip notice when a baseline was absent.
-for pr in pr3 pr4 pr5 pr7 pr9; do
+for pr in pr3 pr4 pr5 pr7 pr9 pr10; do
     for f in "results/bench/BENCH_$pr.json" "results/bench/BENCH_$pr.baseline.json"; do
         [[ -s "$f" ]] || { echo "missing committed bench record: $f" >&2; exit 1; }
     done
@@ -202,9 +274,14 @@ SIM_PROP_CASES=10000 run cargo test -q --offline --release --test dominance
 # tests/batched_kernels.rs).
 SIM_PROP_CASES=10000 run cargo test -q --offline --release --test batched_kernels
 
+# Estimate suite at CI depth: Wilson coverage on 10^4 Bernoulli streams
+# per proportion and 10^4 shrinking merge-exactness cases (see
+# tests/estimates.rs).
+SIM_PROP_CASES=10000 run cargo test -q --offline --release --test estimates
+
 # Bench gate: run the kernel (PR 3), engine (PR 4), tracing-overhead
-# (PR 5), series/status-overhead (PR 7) and batched-kernel (PR 9)
-# benchmarks into a scratch directory (so the tracked results/bench/
+# (PR 5), series/status-overhead (PR 7), batched-kernel (PR 9) and
+# estimate-snapshot (PR 10) benchmarks into a scratch directory (so the tracked results/bench/
 # records are not clobbered) and check the speedup and overhead ratios
 # plus the recorded baselines (see EXPERIMENTS.md for regeneration).
 bench_out="${TMPDIR:-/tmp}/aegis-verify-bench"
@@ -214,6 +291,7 @@ SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench engi
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench tracing
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench series
 SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench batch
+SIM_BENCH_OUT="$bench_out" run cargo bench --offline -p aegis-bench --bench estimates
 run cargo run -q --release --offline -p aegis-bench --bin bench-gate \
     "$bench_out/BENCH_pr3.json" results/bench
 rm -rf "$bench_out"

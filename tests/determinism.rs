@@ -460,6 +460,7 @@ fn checkpoint_resume_continues_the_series_sidecar() {
                 interrupted: &AtomicBool::new(false),
                 resume: None,
                 fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+                target_rse: None,
             },
         )
         .expect("straight run")
@@ -494,6 +495,7 @@ fn checkpoint_resume_continues_the_series_sidecar() {
             interrupted: &interrupted,
             resume: None,
             fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+            target_rse: None,
         };
         match run_fig567_checkpointed(&opts, &observer, false, &ctl).expect("interrupted run") {
             CheckpointOutcome::Interrupted => {}
@@ -522,6 +524,7 @@ fn checkpoint_resume_continues_the_series_sidecar() {
             interrupted: &AtomicBool::new(false),
             resume: Some(resume),
             fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+            target_rse: None,
         };
         match run_fig567_checkpointed(&opts, &observer, false, &ctl).expect("resumed run") {
             CheckpointOutcome::Complete(_) => {}
@@ -539,6 +542,99 @@ fn checkpoint_resume_continues_the_series_sidecar() {
         "resume must continue the sidecar byte-for-byte"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// PR 10 pin: turning on estimate telemetry and `--target-rse` early
+/// stopping must not perturb the deterministic contract as long as the
+/// target is never reached. Estimate snapshots live only in the series
+/// sidecar (never the main event stream), and an unreachable target
+/// leaves both the stripped stream and the sidecar byte-identical to a
+/// run with early stopping disabled.
+#[test]
+fn unreached_target_rse_and_estimates_leave_the_stream_byte_identical() {
+    use aegis_experiments::checkpoint::{
+        run_fig567_checkpointed, CheckpointCtl, CheckpointOutcome,
+    };
+    use std::sync::atomic::AtomicBool;
+
+    let dir = std::env::temp_dir().join("aegis-det-target-rse");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let leg = |tag: &str, target_rse: Option<f64>| {
+        let opts = RunOptions {
+            pages: 4,
+            seed: 13,
+            ..RunOptions::default()
+        };
+        let buf = SharedBuf::new();
+        let run = RunTelemetry::with_buffer("tr", buf.clone()).expect("buffer sink");
+        let series_dir = dir.join(tag);
+        let series = SeriesWriter::create("tr", &series_dir, 0).expect("series");
+        let observer = RunObserver {
+            registry: Some(run.registry()),
+            series: Some(&series),
+            ..RunObserver::default()
+        };
+        let ctl = CheckpointCtl {
+            path: dir.join(format!("{tag}.ckpt.json")),
+            every: 2,
+            interrupted: &AtomicBool::new(false),
+            resume: None,
+            fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+            target_rse,
+        };
+        let results = match run_fig567_checkpointed(&opts, &observer, false, &ctl)
+            .expect("checkpointed run")
+        {
+            CheckpointOutcome::Complete(results) => results,
+            CheckpointOutcome::Interrupted => panic!("nothing interrupts this leg"),
+        };
+        series.finish().expect("series finish");
+        run.finish().expect("finish");
+        let sidecar = std::fs::read_to_string(series_dir.join("tr.series.jsonl")).expect("sidecar");
+        let summary_bits: Vec<(String, u64, u64)> = results
+            .by_block
+            .iter()
+            .flat_map(|(_, summaries)| summaries.iter())
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    s.mean_lifetime.to_bits(),
+                    s.mean_faults_recovered.to_bits(),
+                )
+            })
+            .collect();
+        (buf.text(), sidecar, summary_bits)
+    };
+
+    // An RSE of 1e-12 is unreachable at 4 pages: the early-stop predicate
+    // is evaluated at every barrier and never fires.
+    let (stream_off, sidecar_off, results_off) = leg("off", None);
+    let (stream_on, sidecar_on, results_on) = leg("on", Some(1e-12));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        strip_volatile(&stream_on),
+        strip_volatile(&stream_off),
+        "an unreached --target-rse must not change the deterministic stream"
+    );
+    assert_eq!(
+        strip_volatile(&sidecar_on),
+        strip_volatile(&sidecar_off),
+        "an unreached --target-rse must not change the series sidecar"
+    );
+    assert_eq!(
+        results_on, results_off,
+        "an unreached --target-rse must not change the results"
+    );
+    assert!(
+        sidecar_on.contains("\"event\": \"series_estimate\""),
+        "unit barriers must snapshot estimates into the sidecar"
+    );
+    assert!(
+        !stream_on.contains("series_estimate"),
+        "estimate snapshots must never leak into the main event stream"
+    );
 }
 
 /// Block-death forensics is an exact replay: for every fig5 scheme, the
@@ -681,6 +777,7 @@ fn checkpoint_interrupt_and_resume_replays_the_straight_run() {
             interrupted: &interrupted,
             resume: None,
             fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+            target_rse: None,
         };
         let buf = SharedBuf::new();
         let run = RunTelemetry::with_buffer("ck-det", buf.clone()).expect("buffer sink");
@@ -704,6 +801,7 @@ fn checkpoint_interrupt_and_resume_replays_the_straight_run() {
             interrupted: &interrupted,
             resume: Some(resume),
             fingerprint: vec![("command".to_owned(), "fig5".to_owned())],
+            target_rse: None,
         };
         let buf = SharedBuf::new();
         let run = RunTelemetry::with_buffer("ck-det", buf.clone()).expect("buffer sink");
@@ -883,6 +981,7 @@ fn fig8_checkpoint_interrupt_and_resume_replays_the_straight_run() {
             interrupted: &interrupted,
             resume: None,
             fingerprint: vec![("command".to_owned(), "fig8".to_owned())],
+            target_rse: None,
         };
         let buf = SharedBuf::new();
         let run = RunTelemetry::with_buffer("f8-det", buf.clone()).expect("buffer sink");
@@ -905,6 +1004,7 @@ fn fig8_checkpoint_interrupt_and_resume_replays_the_straight_run() {
             interrupted: &interrupted,
             resume: Some(resume),
             fingerprint: vec![("command".to_owned(), "fig8".to_owned())],
+            target_rse: None,
         };
         let buf = SharedBuf::new();
         let run = RunTelemetry::with_buffer("f8-det", buf.clone()).expect("buffer sink");

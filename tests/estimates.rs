@@ -1,0 +1,150 @@
+//! Property tests for the PR 10 estimate layer (`sim_telemetry::estimate`).
+//!
+//! Two families, both driven by the workspace property harness
+//! (`sim_rng::prop`, shrinking, `SIM_PROP_CASES` scaling — CI runs 10⁴
+//! cases):
+//!
+//! 1. **Merge exactness.** [`Moments`] carries exact integer power sums,
+//!    so pooling shards must be *bitwise* order-independent: for every
+//!    sample vector and every split point, `merge(a, b)`, `merge(b, a)`
+//!    and the single-pass accumulator agree to the last ulp on every
+//!    derived statistic. This is the property the shard/merge and
+//!    `--resume` determinism contracts rest on.
+//!
+//! 2. **Wilson coverage.** The [`wilson_interval`] used for proportion
+//!    CIs must keep near-nominal coverage on Bernoulli streams drawn
+//!    from the workspace RNG, including the small-p regime fault-rate
+//!    proportions live in: empirical 95% coverage stays at or above
+//!    `0.95 − 0.02` for p ∈ {0.01, 0.1, 0.5}.
+
+use sim_rng::prop::{shrink, Runner};
+use sim_rng::{prop_assert, prop_assert_eq, substream_seed, Rng, SeedableRng, SmallRng};
+use sim_telemetry::{wilson_interval, Moments, Z95};
+
+/// Page lifetimes fit comfortably below 2⁶⁰; bounding the generated
+/// samples keeps `n·Σx²` inside exact u128 arithmetic for every vector
+/// the generator can produce, so the property exercises the exact path
+/// (the f64 fallback is pinned separately in the unit tests).
+const MAX_SAMPLE: u64 = 1 << 60;
+
+fn moments_of(samples: &[u64]) -> Moments {
+    Moments::from_samples(samples)
+}
+
+/// Every derived statistic, as raw bits, so "equal" means last-ulp equal.
+fn stat_bits(m: &Moments) -> [u64; 5] {
+    [
+        m.mean().to_bits(),
+        m.variance().to_bits(),
+        m.stderr().to_bits(),
+        m.ci95_half_width().to_bits(),
+        m.rse().to_bits(),
+    ]
+}
+
+#[test]
+fn moments_merge_is_exactly_order_independent() {
+    Runner::new("moments_merge_is_exactly_order_independent").run(
+        |rng| {
+            let len = rng.gen_range(0..=48usize);
+            (0..len)
+                .map(|_| rng.gen_range(0..=MAX_SAMPLE))
+                .collect::<Vec<u64>>()
+        },
+        |samples| shrink::vec(samples, |&x| shrink::u64_down(x)),
+        |samples| {
+            let single = moments_of(samples);
+            // Every two-way split: merge(a, b) == merge(b, a) == single-pass.
+            for k in 0..=samples.len() {
+                let a = moments_of(&samples[..k]);
+                let b = moments_of(&samples[k..]);
+                let mut ab = a;
+                ab.merge(&b);
+                let mut ba = b;
+                ba.merge(&a);
+                prop_assert_eq!(ab, single, "merge(a,b) != single-pass at split {}", k);
+                prop_assert_eq!(ba, single, "merge(b,a) != single-pass at split {}", k);
+                prop_assert_eq!(stat_bits(&ab), stat_bits(&single), "stats differ at {}", k);
+                prop_assert_eq!(stat_bits(&ba), stat_bits(&single), "stats differ at {}", k);
+            }
+            // Three-way associativity: ((a·b)·c) == (a·(b·c)).
+            let third = samples.len() / 3;
+            let (a, b, c) = (
+                moments_of(&samples[..third]),
+                moments_of(&samples[third..2 * third]),
+                moments_of(&samples[2 * third..]),
+            );
+            let mut left = a;
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b;
+            bc.merge(&c);
+            let mut right = a;
+            right.merge(&bc);
+            prop_assert_eq!(left, right, "merge is not associative");
+            prop_assert_eq!(left, single, "three-way merge != single-pass");
+            prop_assert!(
+                left.count() == samples.len() as u64,
+                "merged count {} != {}",
+                left.count(),
+                samples.len()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Experiments per proportion for the coverage estimate. Scales with the
+/// harness knob so CI (`SIM_PROP_CASES=10000`) measures coverage on 10⁴
+/// independent streams per p, while local runs stay fast.
+fn coverage_experiments() -> u64 {
+    std::env::var("SIM_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(1000, |cases| cases.max(256))
+}
+
+#[test]
+fn wilson_coverage_stays_near_nominal_on_bernoulli_streams() {
+    // Draws per stream chosen so the expected success count stays ≥ 10
+    // even at p = 0.01 — the regime where the Wald interval collapses
+    // and Wilson is supposed to hold.
+    for (p, draws) in [(0.01, 1000u64), (0.1, 200), (0.5, 100)] {
+        let experiments = coverage_experiments();
+        let mut covered = 0u64;
+        for exp in 0..experiments {
+            let mut rng =
+                SmallRng::seed_from_u64(substream_seed(0xE571_0A7E_5EED_2010 ^ draws, exp));
+            let successes = (0..draws).filter(|_| rng.gen_bool(p)).count() as u64;
+            let (lo, hi) = wilson_interval(successes, draws, Z95);
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi);
+            if (lo..=hi).contains(&p) {
+                covered += 1;
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let coverage = covered as f64 / experiments as f64;
+        assert!(
+            coverage >= 0.95 - 0.02,
+            "Wilson coverage {coverage:.4} below nominal-2% at p={p} \
+             ({covered}/{experiments} intervals contained p)"
+        );
+    }
+}
+
+#[test]
+fn wilson_degenerate_inputs_stay_bounded() {
+    assert_eq!(wilson_interval(0, 0, Z95), (0.0, 1.0));
+    let (lo, hi) = wilson_interval(0, 50, Z95);
+    assert_eq!(lo, 0.0);
+    assert!(
+        hi > 0.0 && hi < 1.0,
+        "all-failures upper bound must be open"
+    );
+    let (lo, hi) = wilson_interval(50, 50, Z95);
+    assert!(
+        lo > 0.0 && lo < 1.0,
+        "all-successes lower bound must be open"
+    );
+    assert_eq!(hi, 1.0);
+}
